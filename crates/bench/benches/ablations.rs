@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices DESIGN.md calls out: growth
+//! criterion (gradient vs random), schedule shape (cubic vs linear vs
+//! constant), layer distribution (ERK vs uniform) and surrogate function.
+//! Each reports the final accuracy reached under a fixed smoke-scale budget
+//! (printed) while Criterion measures the wall-clock of the full run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, run_with_data};
+use ndsnn_snn::layers::{Layer, Linear, Sequential};
+use ndsnn_snn::models::Architecture;
+use ndsnn_sparse::distribution::Distribution;
+use ndsnn_sparse::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::schedule::UpdateSchedule;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn smoke_cfg(method: MethodSpec) -> ndsnn::config::RunConfig {
+    Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, method)
+}
+
+/// Growth criterion: NDSNN-style gradient growth vs SET-style random growth
+/// at the same schedule (accuracy printed, runtime measured).
+fn ablation_grow_criterion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grow");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let probe = smoke_cfg(MethodSpec::Dense);
+    let (train, test) = build_datasets(&probe);
+    for (label, method) in [
+        (
+            "gradient",
+            MethodSpec::Ndsnn {
+                initial_sparsity: 0.5,
+                final_sparsity: 0.9,
+            },
+        ),
+        ("random", MethodSpec::Set { sparsity: 0.9 }),
+    ] {
+        let cfg = smoke_cfg(method);
+        let acc = run_with_data(&cfg, &train, &test).unwrap().best_test_acc;
+        eprintln!("[ablation_grow] {label}: best acc {acc:.2}%");
+        group.bench_with_input(BenchmarkId::new("train", label), &label, |b, _| {
+            b.iter(|| black_box(run_with_data(&cfg, &train, &test).unwrap().best_test_acc));
+        });
+    }
+    group.finish();
+}
+
+/// Schedule shape: cubic (Eq. 4) vs linear vs constant, pure engine loop on
+/// an MLP so the schedule cost dominates.
+fn ablation_schedule_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for (label, trajectory, init) in [
+        ("cubic", SparsityTrajectory::CubicIncrease, 0.6),
+        ("linear", SparsityTrajectory::LinearIncrease, 0.6),
+        ("constant", SparsityTrajectory::Constant, 0.95),
+    ] {
+        group.bench_with_input(BenchmarkId::new("rounds", label), &label, |b, _| {
+            let mut rng = StdRng::seed_from_u64(20);
+            let mut m = Sequential::new("m").with(Box::new(
+                Linear::new("fc1", 256, 256, false, &mut rng).unwrap(),
+            ));
+            let update = UpdateSchedule::new(0, 1, 10_000).unwrap();
+            let mut e = DynamicEngine::with_label(
+                label,
+                DynamicConfig {
+                    initial_sparsity: init,
+                    final_sparsity: 0.95,
+                    trajectory,
+                    death_initial: 0.3,
+                    death_min: 0.05,
+                    update,
+                    growth: GrowthMode::Gradient,
+                    distribution: Distribution::Erk,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+            e.init(&mut m).unwrap();
+            m.for_each_param(&mut |p| {
+                p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng);
+            });
+            let mut step = 1usize;
+            b.iter(|| {
+                e.before_optim(step, &mut m).unwrap();
+                e.after_optim(step, &mut m).unwrap();
+                step += 1;
+                black_box(e.sparsity())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// ERK vs uniform distribution at the same global sparsity — accuracy
+/// printed, init runtime measured.
+fn ablation_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distribution");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for (label, dist) in [
+        ("erk", Distribution::Erk),
+        ("uniform", Distribution::Uniform),
+    ] {
+        group.bench_with_input(BenchmarkId::new("init", label), &label, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(30);
+                let mut m = Sequential::new("m")
+                    .with(Box::new(
+                        Linear::new("a", 64, 512, false, &mut rng).unwrap(),
+                    ))
+                    .with(Box::new(
+                        Linear::new("b", 512, 64, false, &mut rng).unwrap(),
+                    ));
+                let set =
+                    ndsnn_sparse::engine::init_random_masks(&mut m, dist, 0.95, &mut rng).unwrap();
+                black_box(set.overall_sparsity())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Surrogate gradient evaluation cost across the implemented families.
+fn ablation_surrogate(c: &mut Criterion) {
+    use ndsnn_snn::surrogate::Surrogate;
+    let mut group = c.benchmark_group("ablation_surrogate");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32 - 2048.0) / 512.0).collect();
+    for (label, s) in [
+        ("atan_eq3", Surrogate::Atan),
+        ("fast_sigmoid", Surrogate::FastSigmoid { alpha: 2.0 }),
+        ("rectangle", Surrogate::Rectangle { width: 1.0 }),
+        ("gaussian", Surrogate::Gaussian { sigma: 0.4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("grad", label), &label, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for &x in &xs {
+                    acc += s.grad(black_box(x));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_grow_criterion,
+    ablation_schedule_shape,
+    ablation_distribution,
+    ablation_surrogate
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the computational kernels underneath the paper's
+//! pipeline: LIF stepping, convolution, matmul under weight sparsity, the
+//! drop/grow selection primitives, and CSR conversion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn_snn::layers::{Layer, LifConfig, LifLayer};
+use ndsnn_sparse::csr::CsrMatrix;
+use ndsnn_sparse::kernels::{drop_by_magnitude, grow_by_gradient, random_mask};
+use ndsnn_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use ndsnn_tensor::ops::matmul::matmul;
+use ndsnn_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_lif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lif");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [1 << 10, 1 << 14] {
+        let input = Tensor::full([n], 0.8);
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            let mut lif = LifLayer::new("lif", LifConfig::default()).unwrap();
+            let mut t = 0usize;
+            b.iter(|| {
+                if t > 64 {
+                    lif.reset_state();
+                    t = 0;
+                }
+                let out = lif.forward(black_box(&input), t).unwrap();
+                t += 1;
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = Conv2dGeometry::square(16, 16, 3, 1, 1);
+    let input = ndsnn_tensor::init::uniform([4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let weight = ndsnn_tensor::init::uniform(g.weight_dims(), -0.2, 0.2, &mut rng);
+    group.bench_function("forward_16c_16px_b4", |b| {
+        b.iter(|| conv2d_forward(black_box(&input), black_box(&weight), None, &g).unwrap())
+    });
+    let out = conv2d_forward(&input, &weight, None, &g).unwrap();
+    let gy = Tensor::ones(out.shape().clone());
+    group.bench_function("backward_16c_16px_b4", |b| {
+        b.iter(|| conv2d_backward(black_box(&input), black_box(&weight), &gy, &g).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sparse_matmul(c: &mut Criterion) {
+    // The dense-kernel-with-zeros speedup the masked weights rely on:
+    // the matmul kernel skips zero multiplicands.
+    let mut group = c.benchmark_group("matmul_weight_sparsity");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = ndsnn_tensor::init::uniform([64, 256], -1.0, 1.0, &mut rng);
+    for sparsity in [0.0f64, 0.9, 0.99] {
+        let mut w = ndsnn_tensor::init::uniform([256, 256], -1.0, 1.0, &mut rng);
+        let mask = random_mask(&[256, 256], 1.0 - sparsity, &mut rng);
+        w.mul_assign(&mask).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("dense_kernel", format!("{sparsity:.2}")),
+            &sparsity,
+            |b, _| b.iter(|| matmul(black_box(&x), black_box(&w)).unwrap()),
+        );
+        // CSR path for comparison.
+        let csr = CsrMatrix::from_dense(&w.transpose2d().unwrap()).unwrap();
+        let xv: Vec<f32> = x.as_slice()[..256].to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("csr_spmv", format!("{sparsity:.2}")),
+            &sparsity,
+            |b, _| b.iter(|| csr.spmv(black_box(&xv)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_drop_grow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drop_grow");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [1usize << 14, 1 << 18] {
+        group.bench_with_input(BenchmarkId::new("round", n), &n, |b, &n| {
+            let side = (n as f64).sqrt() as usize;
+            let weight0 = ndsnn_tensor::init::uniform([side, side], -1.0, 1.0, &mut rng);
+            let grad = ndsnn_tensor::init::uniform([side, side], -1.0, 1.0, &mut rng);
+            let mask0 = random_mask(&[side, side], 0.2, &mut rng);
+            b.iter(|| {
+                let mut weight = weight0.clone();
+                let mut mask = mask0.clone();
+                let k = side * side / 50;
+                let dropped = drop_by_magnitude(&mut weight, &mut mask, k);
+                let grown = grow_by_gradient(&grad, &mut weight, &mut mask, dropped);
+                black_box((dropped, grown))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut w = ndsnn_tensor::init::uniform([512, 512], -1.0, 1.0, &mut rng);
+    let mask = random_mask(&[512, 512], 0.05, &mut rng);
+    w.mul_assign(&mask).unwrap();
+    group.bench_function("from_dense_512x512_95pct", |b| {
+        b.iter(|| CsrMatrix::from_dense(black_box(&w)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lif,
+    bench_conv,
+    bench_sparse_matmul,
+    bench_drop_grow,
+    bench_csr_conversion
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of the sparse-engine overheads themselves: mask-update rounds
+//! (drop-and-grow over a whole model), mask application, and ERK
+//! initialization — the bookkeeping a training framework pays on top of the
+//! math.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn_snn::layers::{Layer, Linear, Sequential};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
+use ndsnn_sparse::schedule::UpdateSchedule;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn model(scale: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(10);
+    Sequential::new("m")
+        .with(Box::new(
+            Linear::new("fc1", scale, scale, false, &mut rng).unwrap(),
+        ))
+        .with(Box::new(
+            Linear::new("fc2", scale, scale, false, &mut rng).unwrap(),
+        ))
+        .with(Box::new(
+            Linear::new("fc3", scale, 10, false, &mut rng).unwrap(),
+        ))
+}
+
+fn bench_engine_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_init");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for scale in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("erk_masks", scale), &scale, |b, &s| {
+            b.iter(|| {
+                let mut m = model(s);
+                let update = UpdateSchedule::new(0, 10, 1001).unwrap();
+                let mut e = ndsnn_engine(NdsnnConfig::new(0.7, 0.95, update)).unwrap();
+                e.init(&mut m).unwrap();
+                black_box(e.sparsity())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_update_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_update");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for scale in [128usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("drop_grow_round", scale),
+            &scale,
+            |b, &s| {
+                let mut m = model(s);
+                let update = UpdateSchedule::new(0, 1, 1_000_000).unwrap();
+                let mut e = ndsnn_engine(NdsnnConfig::new(0.7, 0.95, update)).unwrap();
+                e.init(&mut m).unwrap();
+                let mut rng = StdRng::seed_from_u64(11);
+                m.for_each_param(&mut |p| {
+                    p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng);
+                });
+                let mut step = 1usize;
+                b.iter(|| {
+                    e.before_optim(step, &mut m).unwrap();
+                    e.after_optim(step, &mut m).unwrap();
+                    step += 1;
+                    black_box(e.sparsity())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_init, bench_mask_update_round);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of one full BPTT training iteration (forward T steps + loss +
+//! backward + engine hooks + SGD) at several sparsities and timesteps — the
+//! unit of the paper's training-cost argument.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, build_engine, build_network};
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::optim::Sgd;
+
+fn bench_train_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_iteration");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    for (label, method) in [
+        ("dense", MethodSpec::Dense),
+        (
+            "ndsnn_90",
+            MethodSpec::Ndsnn {
+                initial_sparsity: 0.7,
+                final_sparsity: 0.9,
+            },
+        ),
+        ("rigl_90", MethodSpec::Rigl { sparsity: 0.9 }),
+    ] {
+        let cfg = Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, method);
+        let (train, _) = build_datasets(&cfg);
+        let loader = ndsnn_data::loader::BatchLoader::eval(cfg.batch_size);
+        let batch = loader.epoch(&train, 0).remove(0);
+        group.bench_with_input(BenchmarkId::new("vgg16_smoke", label), &label, |b, _| {
+            let mut net = build_network(&cfg).unwrap();
+            let mut engine = build_engine(&cfg, 10_000).unwrap();
+            engine.init(&mut net.layers).unwrap();
+            let mut opt = Sgd::new(cfg.sgd);
+            let mut step = 0usize;
+            b.iter(|| {
+                let stats = net.train_batch(&batch.images, &batch.labels).unwrap();
+                engine.before_optim(step, &mut net.layers).unwrap();
+                opt.step(&mut net.layers).unwrap();
+                engine.after_optim(step, &mut net.layers).unwrap();
+                step += 1;
+                black_box(stats.loss)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_timesteps(c: &mut Criterion) {
+    // Fig. 4 motivation: T = 2 vs T = 5 training cost in wall-clock terms.
+    let mut group = c.benchmark_group("timesteps");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for t in [2usize, 5] {
+        let mut cfg =
+            Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+        cfg.timesteps = t;
+        let (train, _) = build_datasets(&cfg);
+        let loader = ndsnn_data::loader::BatchLoader::eval(cfg.batch_size);
+        let batch = loader.epoch(&train, 0).remove(0);
+        group.bench_with_input(BenchmarkId::new("bptt", t), &t, |b, _| {
+            let mut net = build_network(&cfg).unwrap();
+            b.iter(|| {
+                let stats = net.train_batch(&batch.images, &batch.labels).unwrap();
+                black_box(stats.loss)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_iteration, bench_timesteps);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 1**: sparsity-vs-epoch trajectories of
+//! train-prune-retrain, iterative pruning (LTH) and NDSNN.
+
+use ndsnn::experiments::fig1::{sparsity_trajectories, Fig1Config};
+use ndsnn_bench::Cli;
+use ndsnn_metrics::series::{ascii_chart, to_csv};
+
+fn main() {
+    let cli = Cli::parse(
+        "fig1_sparsity_schedules",
+        "paper Fig. 1 (sparsity trajectories)",
+    );
+    let cfg = Fig1Config {
+        final_sparsity: cli.sparsity.unwrap_or(0.95),
+        ..Fig1Config::default()
+    };
+    let series = sparsity_trajectories(&cfg).expect("trajectories");
+    println!(
+        "Fig. 1 — sparsity during training (θ_f = {:.2}, NDSNN θ_i = {:.2})\n",
+        cfg.final_sparsity, cfg.ndsnn_initial
+    );
+    println!("{}", ascii_chart(&series, 72, 18));
+    let csv = to_csv(&series, "epoch");
+    cli.maybe_write_csv(&csv);
+    // Summarize the grey-area claim quantitatively.
+    let avg_first_half = |s: &ndsnn_metrics::series::Series| {
+        let n = s.points.len() / 2;
+        s.points[..n].iter().map(|p| p.1).sum::<f64>() / n as f64
+    };
+    println!("mean sparsity over the first half of training:");
+    for s in &series {
+        println!("  {:<22} {:.3}", s.label, avg_first_half(s));
+    }
+    println!("\n(higher early sparsity = lower training cost; paper §I, Fig. 1)");
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Fig. 4**: NDSNN vs LTH accuracy at reduced timestep budget
+//! (T = 2) across sparsities, on {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100}.
+
+use ndsnn::config::DatasetKind;
+use ndsnn::experiments::fig4::run_fig4;
+use ndsnn::experiments::table1::PAPER_SPARSITIES;
+use ndsnn_bench::Cli;
+use ndsnn_metrics::series::{ascii_chart, to_csv};
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cli = Cli::parse("fig4_timestep", "paper Fig. 4 (NDSNN vs LTH at T = 2)");
+    let combos = [
+        (Architecture::Vgg16, DatasetKind::Cifar10),
+        (Architecture::Vgg16, DatasetKind::Cifar100),
+        (Architecture::Resnet19, DatasetKind::Cifar10),
+        (Architecture::Resnet19, DatasetKind::Cifar100),
+    ];
+    let sparsities: Vec<f64> = match cli.sparsity {
+        Some(s) => vec![s],
+        None => PAPER_SPARSITIES.to_vec(),
+    };
+    let panels = run_fig4(cli.profile, &combos, &sparsities).expect("fig 4");
+
+    let mut all_series = Vec::new();
+    let mut table = TextTable::new("Fig. 4 — accuracy (%) at T = 2")
+        .header(&["panel", "sparsity", "NDSNN", "LTH", "gap"]);
+    for p in &panels {
+        for (i, &(s, nd)) in p.ndsnn.iter().enumerate() {
+            let lth = p.lth[i].1;
+            table.row(vec![
+                format!("{}/{}", p.arch, p.dataset),
+                format!("{:.0}%", s * 100.0),
+                format!("{nd:.2}"),
+                format!("{lth:.2}"),
+                format!("{:+.2}", nd - lth),
+            ]);
+        }
+        all_series.extend(p.series());
+    }
+    println!("{}", table.render());
+    println!("{}", ascii_chart(&all_series, 72, 16));
+    cli.maybe_write_csv(&to_csv(&all_series, "sparsity"));
+
+    let wins = panels
+        .iter()
+        .flat_map(|p| p.gaps())
+        .filter(|(_, g)| *g > 0.0)
+        .count();
+    let total: usize = panels.iter().map(|p| p.gaps().len()).sum();
+    println!("NDSNN beats LTH in {wins}/{total} settings (paper: all four panels)");
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Fig. 5**: spike-rate-normalized training cost of Dense,
+//! LTH and NDSNN on {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100} (§IV.C).
+
+use ndsnn::config::DatasetKind;
+use ndsnn::experiments::fig5::{render, run_fig5};
+use ndsnn_bench::Cli;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cli = Cli::parse("fig5_training_cost", "paper Fig. 5 (training cost)");
+    let combos = [
+        (Architecture::Vgg16, DatasetKind::Cifar10),
+        (Architecture::Vgg16, DatasetKind::Cifar100),
+        (Architecture::Resnet19, DatasetKind::Cifar10),
+        (Architecture::Resnet19, DatasetKind::Cifar100),
+    ];
+    let sparsity = cli.sparsity.unwrap_or(0.95);
+    let groups = run_fig5(cli.profile, &combos, sparsity).expect("fig 5");
+    println!("{}", render(&groups));
+    let mut bars = Vec::new();
+    for g in &groups {
+        bars.push((format!("{}/{} LTH", g.arch, g.dataset), g.lth_vs_dense()));
+        bars.push((format!("{}/{} NDSNN", g.arch, g.dataset), g.ndsnn_vs_dense()));
+    }
+    println!("{}", ndsnn_metrics::series::bar_chart(&bars, 50));
+    println!(
+        "paper reference points (CIFAR-10): NDSNN VGG-16 = 10.5% of dense;\n\
+         NDSNN = 40.89% of LTH on ResNet-19 and 31.35% of LTH on VGG-16."
+    );
+
+    let mut csv = String::from("arch,dataset,sparsity,lth_vs_dense,ndsnn_vs_dense,ndsnn_vs_lth\n");
+    for g in &groups {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            g.arch,
+            g.dataset,
+            g.sparsity,
+            g.lth_vs_dense(),
+            g.ndsnn_vs_dense(),
+            g.ndsnn_vs_lth()
+        ));
+    }
+    cli.maybe_write_csv(&csv);
+}

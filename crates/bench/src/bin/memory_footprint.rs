@@ -1,0 +1,54 @@
+//! Regenerates the **§III.D memory-footprint analysis**: the analytic
+//! training-memory model across sparsity and timesteps (at paper-scale
+//! VGG-16/ResNet-19 parameter counts), validated against a real CSR-encoded
+//! sparse model.
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::experiments::memory::{footprint_sweep, measure_sparse_model, render_sweep};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::count_params;
+use ndsnn_bench::Cli;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cli = Cli::parse("memory_footprint", "paper section III.D (memory footprint)");
+
+    for arch in [Architecture::Vgg16, Architecture::Resnet19] {
+        let cfg = Profile::Paper.run_config(arch, DatasetKind::Cifar10, MethodSpec::Dense);
+        let n = count_params(&cfg).expect("params");
+        println!("{} at paper scale: {n} parameters", arch.label());
+        let rows = footprint_sweep(n, &[0.0, 0.9, 0.95, 0.98, 0.99], &[2, 5]);
+        println!("{}", render_sweep(&rows));
+    }
+
+    println!("cross-check: measured CSR footprint of an ERK-sparsified VGG-16 (small profile)");
+    let sparsity = cli.sparsity.unwrap_or(0.95);
+    let m = measure_sparse_model(cli.profile, sparsity).expect("measurement");
+    let rel = (m.csr_bits as f64 - m.model_bits).abs() / m.model_bits;
+    println!(
+        "  weights {} | nnz {} | CSR {:.3} Mbit | model {:.3} Mbit | dense {:.3} Mbit | model error {:.2}%",
+        m.total_weights,
+        m.nnz,
+        m.csr_bits as f64 / 1e6,
+        m.model_bits / 1e6,
+        m.dense_bits as f64 / 1e6,
+        rel * 100.0
+    );
+
+    let mut csv = String::from("arch,sparsity,timesteps,bits,vs_dense\n");
+    for arch in [Architecture::Vgg16, Architecture::Resnet19] {
+        let cfg = Profile::Paper.run_config(arch, DatasetKind::Cifar10, MethodSpec::Dense);
+        let n = count_params(&cfg).expect("params");
+        for r in footprint_sweep(n, &[0.0, 0.9, 0.95, 0.98, 0.99], &[2, 5]) {
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                arch.label(),
+                r.sparsity,
+                r.timesteps,
+                r.model_bits,
+                r.vs_dense
+            ));
+        }
+    }
+    cli.maybe_write_csv(&csv);
+}

@@ -1,0 +1,76 @@
+//! Runs a single configurable training experiment and prints the full
+//! result record as JSON (per-epoch trace, activity, per-layer spike
+//! rates) — the scripting-friendly entry point for custom sweeps.
+//!
+//! ```sh
+//! run_single [--profile smoke|small|paper] [--arch vgg16|resnet19|lenet5]
+//!            [--dataset cifar10|cifar100|tiny] [--method dense|ndsnn|set|rigl|lth|admm]
+//!            [--sparsity <f64>] [--initial <f64>] [--timesteps <n>] [--seed <n>]
+//! ```
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let profile = get("--profile")
+        .and_then(|s| Profile::parse(&s))
+        .unwrap_or(Profile::Small);
+    let arch = match get("--arch").as_deref() {
+        Some("resnet19") => Architecture::Resnet19,
+        Some("lenet5") => Architecture::Lenet5,
+        _ => Architecture::Vgg16,
+    };
+    let dataset = match get("--dataset").as_deref() {
+        Some("cifar100") => DatasetKind::Cifar100,
+        Some("tiny") => DatasetKind::TinyImageNet,
+        _ => DatasetKind::Cifar10,
+    };
+    let sparsity: f64 = get("--sparsity")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.95);
+    let initial: f64 = get("--initial").and_then(|s| s.parse().ok()).unwrap_or(0.7);
+    let method = match get("--method").as_deref() {
+        Some("dense") => MethodSpec::Dense,
+        Some("set") => MethodSpec::Set { sparsity },
+        Some("rigl") => MethodSpec::Rigl { sparsity },
+        Some("lth") => MethodSpec::Lth {
+            final_sparsity: sparsity,
+            rounds: 4,
+        },
+        Some("admm") => MethodSpec::Admm {
+            target_sparsity: sparsity,
+        },
+        _ => MethodSpec::Ndsnn {
+            initial_sparsity: initial.min(sparsity),
+            final_sparsity: sparsity,
+        },
+    };
+    let mut cfg = profile.run_config(arch, dataset, method);
+    if let Some(t) = get("--timesteps").and_then(|s| s.parse().ok()) {
+        cfg.timesteps = t;
+    }
+    if let Some(seed) = get("--seed").and_then(|s| s.parse().ok()) {
+        cfg.seed = seed;
+    }
+    if let Some(dt) = get("--delta-t").and_then(|s| s.parse().ok()) {
+        cfg.delta_t = dt;
+    }
+    if let Some(e) = get("--epochs").and_then(|s| s.parse().ok()) {
+        cfg.epochs = e;
+    }
+    if get("--neuron").as_deref() == Some("plif") {
+        cfg.neuron = ndsnn_snn::models::NeuronKind::Plif;
+    }
+    cfg.image_size = cfg.image_size.max(trainer::min_image_size(arch));
+    eprintln!("running {}", cfg.describe());
+    let result = trainer::run(&cfg).expect("run failed");
+    println!("{}", result.to_json());
+}

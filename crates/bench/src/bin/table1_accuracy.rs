@@ -1,0 +1,49 @@
+//! Regenerates **Table I**: test accuracy of Dense/LTH/SET/RigL/NDSNN on
+//! {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100, Tiny-ImageNet} at sparsity
+//! 90/95/98/99%.
+//!
+//! Datasets are synthetic (see DESIGN.md); at the default `small` profile
+//! the absolute accuracies differ from the paper but the method ordering is
+//! the reproduction target.
+
+use ndsnn::config::DatasetKind;
+use ndsnn::experiments::table1::{render, run_table1, PAPER_SPARSITIES};
+use ndsnn_bench::Cli;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cli = Cli::parse("table1_accuracy", "paper Table I (accuracy grid)");
+    let archs = [Architecture::Vgg16, Architecture::Resnet19];
+    let datasets = [
+        DatasetKind::Cifar10,
+        DatasetKind::Cifar100,
+        DatasetKind::TinyImageNet,
+    ];
+    let sparsities: Vec<f64> = match cli.sparsity {
+        Some(s) => vec![s],
+        None => PAPER_SPARSITIES.to_vec(),
+    };
+    let result = run_table1(cli.profile, &archs, &datasets, &sparsities).expect("table 1 grid");
+    println!("{}", render(&result, &datasets, &sparsities));
+
+    println!("winning method per (arch, dataset, sparsity):");
+    let winners = result.winners();
+    let ndsnn_wins = winners.iter().filter(|w| w.3 == "NDSNN").count();
+    for (arch, dataset, s, method) in &winners {
+        println!("  {arch:<10} {dataset:<14} @{:.0}%  -> {method}", s * 100.0);
+    }
+    println!(
+        "\nNDSNN wins {ndsnn_wins}/{} cells (paper: NDSNN bold in every cell)",
+        winners.len()
+    );
+
+    // CSV export.
+    let mut csv = String::from("method,arch,dataset,sparsity,accuracy\n");
+    for c in &result.cells {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            c.method, c.arch, c.dataset, c.sparsity, c.accuracy
+        ));
+    }
+    cli.maybe_write_csv(&csv);
+}

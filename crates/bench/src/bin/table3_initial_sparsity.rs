@@ -1,0 +1,53 @@
+//! Regenerates **Table III**: effect of the NDSNN initial sparsity θᵢ on
+//! final accuracy (and average training density) for target sparsities
+//! 0.95/0.98 on {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100}.
+
+use ndsnn::config::DatasetKind;
+use ndsnn::experiments::table3::{
+    render, run_table3, PAPER_INITIAL_SPARSITIES, PAPER_TARGET_SPARSITIES,
+};
+use ndsnn_bench::Cli;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cli = Cli::parse(
+        "table3_initial_sparsity",
+        "paper Table III (initial-sparsity study)",
+    );
+    let combos = [
+        (Architecture::Vgg16, DatasetKind::Cifar10),
+        (Architecture::Vgg16, DatasetKind::Cifar100),
+        (Architecture::Resnet19, DatasetKind::Cifar10),
+        (Architecture::Resnet19, DatasetKind::Cifar100),
+    ];
+    let targets: Vec<f64> = match cli.sparsity {
+        Some(s) => vec![s],
+        None => PAPER_TARGET_SPARSITIES.to_vec(),
+    };
+    let result =
+        run_table3(cli.profile, &combos, &targets, &PAPER_INITIAL_SPARSITIES).expect("table 3");
+    println!("{}", render(&result));
+
+    println!("accuracy spread across initial sparsities (paper: 'the gap is small'):");
+    for (arch, dataset) in combos.iter().map(|(a, d)| (a.label(), d.label())) {
+        for &t in &targets {
+            if let Some(spread) = result.accuracy_spread(arch, dataset, t) {
+                println!("  {arch:<10} {dataset:<11} θ_f={t:.2}: spread {spread:.2}%");
+            }
+        }
+    }
+
+    let mut csv = String::from("arch,dataset,target,initial,accuracy,avg_density\n");
+    for e in &result.entries {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            e.arch,
+            e.dataset,
+            e.target_sparsity,
+            e.initial_sparsity,
+            e.accuracy,
+            e.avg_training_density
+        ));
+    }
+    cli.maybe_write_csv(&csv);
+}

@@ -1,0 +1,331 @@
+//! Model and mask checkpointing.
+//!
+//! LTH-style workflows need to save initial weights and resume runs; edge
+//! deployment needs to ship a trained sparse model. This module provides a
+//! compact binary container over the tensor codec of `ndsnn-tensor`:
+//!
+//! ```text
+//! magic "NDCKPT1\0" | u32 entry count | entries…
+//! entry: u32 name_len | name bytes | u64 payload_len | tensor codec bytes
+//! ```
+//!
+//! Entries are parameter tensors keyed by `Param::name`; mask sets use the
+//! same container with mask names. Loading matches entries to the model's
+//! parameters by name and validates shapes.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use ndsnn_snn::layers::Layer;
+use ndsnn_sparse::mask::MaskSet;
+use ndsnn_tensor::{serialize as tcodec, Tensor};
+
+use crate::error::{NdsnnError, Result};
+
+const MAGIC: &[u8; 8] = b"NDCKPT1\0";
+
+fn io_err(e: std::io::Error) -> NdsnnError {
+    NdsnnError::InvalidConfig(format!("checkpoint io error: {e}"))
+}
+
+/// Encodes a name→tensor map into the container format.
+pub fn encode_entries(entries: &BTreeMap<String, Tensor>) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(entries.len() as u32);
+    for (name, tensor) in entries {
+        let payload = tcodec::encode(tensor);
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+    }
+    buf.to_vec()
+}
+
+/// Decodes a container produced by [`encode_entries`].
+pub fn decode_entries(mut data: &[u8]) -> Result<BTreeMap<String, Tensor>> {
+    let corrupt = |msg: &str| NdsnnError::InvalidConfig(format!("corrupt checkpoint: {msg}"));
+    if data.len() < MAGIC.len() + 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let count = data.get_u32_le() as usize;
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(corrupt("truncated entry header"));
+        }
+        let name_len = data.get_u32_le() as usize;
+        if data.remaining() < name_len || name_len > 4096 {
+            return Err(corrupt("bad name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        data.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| corrupt("non-utf8 name"))?;
+        if data.remaining() < 8 {
+            return Err(corrupt("truncated payload length"));
+        }
+        let payload_len = data.get_u64_le() as usize;
+        if data.remaining() < payload_len {
+            return Err(corrupt("truncated payload"));
+        }
+        let tensor = tcodec::decode(&data[..payload_len])
+            .map_err(|e| corrupt(&format!("tensor {name}: {e}")))?;
+        data.advance(payload_len);
+        out.insert(name, tensor);
+    }
+    Ok(out)
+}
+
+/// Extracts all trainable parameters *and* state buffers (batch-norm
+/// running statistics) from a model as a name→tensor map.
+pub fn snapshot_params(model: &mut dyn Layer) -> BTreeMap<String, Tensor> {
+    let mut entries = BTreeMap::new();
+    model.for_each_param(&mut |p| {
+        entries.insert(p.name.clone(), p.value.clone());
+    });
+    model.for_each_buffer(&mut |name, t| {
+        entries.insert(name.to_string(), t.clone());
+    });
+    entries
+}
+
+/// Writes every trainable parameter of `model` to `path`.
+pub fn save_model(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let entries = snapshot_params(model);
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(&encode_entries(&entries)).map_err(io_err)?;
+    Ok(())
+}
+
+/// Loads parameters from `path` into `model`, matching by name.
+///
+/// Every model parameter must be present in the checkpoint with a matching
+/// shape; extra checkpoint entries are ignored (forward compatibility).
+pub fn load_model(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io_err)?
+        .read_to_end(&mut data)
+        .map_err(io_err)?;
+    let entries = decode_entries(&data)?;
+    let mut error: Option<NdsnnError> = None;
+    model.for_each_param(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        match entries.get(&p.name) {
+            Some(t) if t.dims() == p.value.dims() => p.value = t.clone(),
+            Some(t) => {
+                error = Some(NdsnnError::InvalidConfig(format!(
+                    "checkpoint shape mismatch for {}: {:?} vs {:?}",
+                    p.name,
+                    t.dims(),
+                    p.value.dims()
+                )))
+            }
+            None => {
+                error = Some(NdsnnError::InvalidConfig(format!(
+                    "checkpoint missing parameter {}",
+                    p.name
+                )))
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    // Restore state buffers (running statistics); missing buffers are an
+    // error for the same reason missing params are — eval would silently
+    // use fresh statistics.
+    model.for_each_buffer(&mut |name, t| {
+        if error.is_some() {
+            return;
+        }
+        match entries.get(name) {
+            Some(saved) if saved.dims() == t.dims() => *t = saved.clone(),
+            Some(saved) => {
+                error = Some(NdsnnError::InvalidConfig(format!(
+                    "checkpoint shape mismatch for buffer {name}: {:?} vs {:?}",
+                    saved.dims(),
+                    t.dims()
+                )))
+            }
+            None => {
+                error = Some(NdsnnError::InvalidConfig(format!(
+                    "checkpoint missing buffer {name}"
+                )))
+            }
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Writes a mask set to `path` (masks are 0/1 tensors in the same format).
+pub fn save_masks(masks: &MaskSet, path: impl AsRef<Path>) -> Result<()> {
+    let mut entries = BTreeMap::new();
+    for (name, mask) in masks.iter() {
+        entries.insert(name.clone(), mask.clone());
+    }
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(&encode_entries(&entries)).map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads a mask set previously written by [`save_masks`].
+pub fn load_masks(path: impl AsRef<Path>) -> Result<MaskSet> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io_err)?
+        .read_to_end(&mut data)
+        .map_err(io_err)?;
+    let entries = decode_entries(&data)?;
+    let mut set = MaskSet::new();
+    for (name, mask) in entries {
+        if !mask.as_slice().iter().all(|&v| v == 0.0 || v == 1.0) {
+            return Err(NdsnnError::InvalidConfig(format!(
+                "checkpoint mask {name} is not binary"
+            )));
+        }
+        set.insert(name, mask);
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsnn_snn::layers::{Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new("m")
+            .with(Box::new(Linear::new("fc1", 4, 6, true, &mut rng).unwrap()))
+            .with(Box::new(Linear::new("fc2", 6, 2, true, &mut rng).unwrap()))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ndsnn-ckpt-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn model_round_trip() {
+        let mut a = model(1);
+        let path = tmp("model");
+        save_model(&mut a, &path).unwrap();
+        let mut b = model(2); // different init
+        load_model(&mut b, &path).unwrap();
+        let (mut wa, mut wb) = (Vec::new(), Vec::new());
+        a.for_each_param(&mut |p| wa.push(p.value.clone()));
+        b.for_each_param(&mut |p| wb.push(p.value.clone()));
+        assert_eq!(wa, wb);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_param_rejected() {
+        let mut small = Sequential::new("m").with(Box::new(
+            Linear::new("fc1", 4, 6, true, &mut StdRng::seed_from_u64(3)).unwrap(),
+        ));
+        let path = tmp("missing");
+        save_model(&mut small, &path).unwrap();
+        let mut big = model(4);
+        let err = load_model(&mut big, &path).unwrap_err();
+        assert!(err.to_string().contains("missing parameter"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = Sequential::new("m").with(Box::new(
+            Linear::new("fc1", 4, 6, true, &mut StdRng::seed_from_u64(5)).unwrap(),
+        ));
+        let path = tmp("shape");
+        save_model(&mut a, &path).unwrap();
+        let mut b = Sequential::new("m").with(Box::new(
+            Linear::new("fc1", 4, 8, true, &mut StdRng::seed_from_u64(6)).unwrap(),
+        ));
+        let err = load_model(&mut b, &path).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn batchnorm_running_stats_round_trip() {
+        use ndsnn_snn::layers::{BatchNorm, Layer};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = Sequential::new("m").with(Box::new(BatchNorm::new("bn", 2, &mut rng).unwrap()));
+        // Drive running stats away from their defaults.
+        for _ in 0..20 {
+            a.reset_state();
+            let x = ndsnn_tensor::init::uniform([8, 2, 2, 2], 2.0, 4.0, &mut rng);
+            a.forward(&x, 0).unwrap();
+        }
+        let mut stats_a = Vec::new();
+        a.for_each_buffer(&mut |_, t| stats_a.push(t.clone()));
+        assert!(stats_a[0].mean() > 0.5, "running mean did not move");
+        let path = tmp("bnstats");
+        save_model(&mut a, &path).unwrap();
+        let mut b = Sequential::new("m").with(Box::new(
+            BatchNorm::new("bn", 2, &mut StdRng::seed_from_u64(8)).unwrap(),
+        ));
+        load_model(&mut b, &path).unwrap();
+        let mut stats_b = Vec::new();
+        b.for_each_buffer(&mut |_, t| stats_b.push(t.clone()));
+        assert_eq!(stats_a, stats_b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn masks_round_trip() {
+        let mut set = MaskSet::new();
+        set.insert("fc1.weight", Tensor::from_slice(&[1.0, 0.0, 1.0, 0.0]));
+        set.insert("fc2.weight", Tensor::ones([3]));
+        let path = tmp("masks");
+        save_masks(&set, &path).unwrap();
+        let loaded = load_masks(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.get("fc1.weight").unwrap().as_slice(),
+            &[1.0, 0.0, 1.0, 0.0]
+        );
+        assert!((loaded.overall_sparsity() - 2.0 / 7.0).abs() < 1e-9);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn non_binary_mask_rejected() {
+        let mut entries = BTreeMap::new();
+        entries.insert("m".to_string(), Tensor::from_slice(&[0.5]));
+        let path = tmp("nonbinary");
+        std::fs::write(&path, encode_entries(&entries)).unwrap();
+        assert!(load_masks(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_data_rejected() {
+        assert!(decode_entries(b"garbage").is_err());
+        let mut good = encode_entries(&BTreeMap::from([("a".to_string(), Tensor::ones([4]))]));
+        good.truncate(good.len() - 3);
+        assert!(decode_entries(&good).is_err());
+    }
+
+    #[test]
+    fn empty_container_round_trips() {
+        let entries = BTreeMap::new();
+        let decoded = decode_entries(&encode_entries(&entries)).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

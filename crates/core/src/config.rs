@@ -1,0 +1,205 @@
+//! Experiment configuration types.
+
+use ndsnn_snn::encoder::Encoding;
+use ndsnn_snn::models::{Architecture, NeuronKind};
+use ndsnn_snn::optim::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which dataset family an experiment targets (paper §IV.A). All are
+/// generated synthetically with matching tensor shapes — see DESIGN.md's
+/// substitution table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// 3×32×32, 10 classes.
+    Cifar10,
+    /// 3×32×32, 100 classes.
+    Cifar100,
+    /// 3×64×64, 200 classes.
+    TinyImageNet,
+}
+
+impl DatasetKind {
+    /// Human-readable name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10 => "CIFAR-10",
+            DatasetKind::Cifar100 => "CIFAR-100",
+            DatasetKind::TinyImageNet => "Tiny-ImageNet",
+        }
+    }
+
+    /// Paper-scale class count.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DatasetKind::Cifar10 => 10,
+            DatasetKind::Cifar100 => 100,
+            DatasetKind::TinyImageNet => 200,
+        }
+    }
+
+    /// Paper-scale image edge length.
+    pub fn image_size(&self) -> usize {
+        match self {
+            DatasetKind::Cifar10 | DatasetKind::Cifar100 => 32,
+            DatasetKind::TinyImageNet => 64,
+        }
+    }
+}
+
+/// Which sparse-training method to run — one per row family in Table I,
+/// plus the ADMM comparator of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MethodSpec {
+    /// Fully dense training.
+    Dense,
+    /// The paper's method (Eq. 4–9).
+    Ndsnn {
+        /// Initial sparsity θᵢ.
+        initial_sparsity: f64,
+        /// Final sparsity θ_f.
+        final_sparsity: f64,
+    },
+    /// SET-SNN: constant sparsity, random growth.
+    Set {
+        /// Constant sparsity.
+        sparsity: f64,
+    },
+    /// RigL-SNN: constant sparsity, gradient growth.
+    Rigl {
+        /// Constant sparsity.
+        sparsity: f64,
+    },
+    /// LTH-SNN: iterative magnitude pruning with rewinding.
+    Lth {
+        /// Final sparsity after the last round.
+        final_sparsity: f64,
+        /// Number of prune-rewind rounds.
+        rounds: usize,
+    },
+    /// ADMM train-prune-retrain.
+    Admm {
+        /// Target sparsity.
+        target_sparsity: f64,
+    },
+    /// Structured (filter-level) pruning — extension beyond the paper.
+    Structured {
+        /// Fraction of filters removed per layer.
+        filter_sparsity: f64,
+    },
+}
+
+impl MethodSpec {
+    /// Row label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodSpec::Dense => "Dense",
+            MethodSpec::Ndsnn { .. } => "NDSNN",
+            MethodSpec::Set { .. } => "SET",
+            MethodSpec::Rigl { .. } => "RigL",
+            MethodSpec::Lth { .. } => "LTH",
+            MethodSpec::Admm { .. } => "ADMM",
+            MethodSpec::Structured { .. } => "Structured",
+        }
+    }
+
+    /// The method's final sparsity (0 for dense).
+    pub fn final_sparsity(&self) -> f64 {
+        match *self {
+            MethodSpec::Dense => 0.0,
+            MethodSpec::Ndsnn { final_sparsity, .. } => final_sparsity,
+            MethodSpec::Set { sparsity } => sparsity,
+            MethodSpec::Rigl { sparsity } => sparsity,
+            MethodSpec::Lth { final_sparsity, .. } => final_sparsity,
+            MethodSpec::Admm { target_sparsity } => target_sparsity,
+            MethodSpec::Structured { filter_sparsity } => filter_sparsity,
+        }
+    }
+}
+
+/// A complete training-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Network architecture.
+    pub arch: Architecture,
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Sparse-training method.
+    pub method: MethodSpec,
+    /// Simulation timesteps `T` (paper default 5; Fig. 4 uses 2).
+    pub timesteps: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer settings.
+    pub sgd: SgdConfig,
+    /// Input encoding.
+    pub encoding: Encoding,
+    /// Master seed (model init, topology, shuffling).
+    pub seed: u64,
+    /// Channel width multiplier (1.0 = paper scale).
+    pub width_mult: f64,
+    /// Image edge length actually used (profile may shrink it).
+    pub image_size: usize,
+    /// Class count actually used.
+    pub num_classes: usize,
+    /// Training samples generated.
+    pub train_samples: usize,
+    /// Test samples generated.
+    pub test_samples: usize,
+    /// Drop-and-grow period ΔT in *batches* (dynamic methods).
+    pub delta_t: usize,
+    /// Fraction of total steps after which mask updates stop (dynamic
+    /// methods); 0.75 is the RigL-family convention.
+    pub update_horizon: f64,
+    /// Spiking neuron family (paper: fixed-decay LIF).
+    pub neuron: NeuronKind,
+}
+
+impl RunConfig {
+    /// Display string `"<method> <arch> <dataset> @ θ=<s>"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {} {} @ θ={:.2} T={}",
+            self.method.label(),
+            self.arch.label(),
+            self.dataset.label(),
+            self.method.final_sparsity(),
+            self.timesteps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DatasetKind::Cifar10.label(), "CIFAR-10");
+        assert_eq!(DatasetKind::TinyImageNet.num_classes(), 200);
+        assert_eq!(DatasetKind::Cifar100.image_size(), 32);
+        assert_eq!(
+            MethodSpec::Ndsnn {
+                initial_sparsity: 0.7,
+                final_sparsity: 0.95
+            }
+            .label(),
+            "NDSNN"
+        );
+    }
+
+    #[test]
+    fn final_sparsity_extraction() {
+        assert_eq!(MethodSpec::Dense.final_sparsity(), 0.0);
+        assert_eq!(MethodSpec::Set { sparsity: 0.9 }.final_sparsity(), 0.9);
+        assert_eq!(
+            MethodSpec::Lth {
+                final_sparsity: 0.99,
+                rounds: 5
+            }
+            .final_sparsity(),
+            0.99
+        );
+    }
+}

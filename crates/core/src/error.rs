@@ -1,0 +1,50 @@
+//! Top-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NdsnnError {
+    /// A spiking-network operation failed.
+    Snn(String),
+    /// A sparse-training operation failed.
+    Sparse(String),
+    /// A tensor operation failed.
+    Tensor(String),
+    /// A run configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NdsnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdsnnError::Snn(m) => write!(f, "snn: {m}"),
+            NdsnnError::Sparse(m) => write!(f, "sparse: {m}"),
+            NdsnnError::Tensor(m) => write!(f, "tensor: {m}"),
+            NdsnnError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NdsnnError {}
+
+impl From<ndsnn_snn::SnnError> for NdsnnError {
+    fn from(e: ndsnn_snn::SnnError) -> Self {
+        NdsnnError::Snn(e.to_string())
+    }
+}
+
+impl From<ndsnn_sparse::SparseError> for NdsnnError {
+    fn from(e: ndsnn_sparse::SparseError) -> Self {
+        NdsnnError::Sparse(e.to_string())
+    }
+}
+
+impl From<ndsnn_tensor::TensorError> for NdsnnError {
+    fn from(e: ndsnn_tensor::TensorError) -> Self {
+        NdsnnError::Tensor(e.to_string())
+    }
+}
+
+/// Convenience alias for harness results.
+pub type Result<T> = std::result::Result<T, NdsnnError>;

@@ -1,0 +1,144 @@
+//! Figure 1: sparsity-over-training trajectories of the competing
+//! sparsification strategies.
+//!
+//! The paper's Fig. 1 plots model sparsity against training epoch for
+//! train-prune-retrain (ADMM-style), iterative pruning (LTH) and NDSNN. The
+//! trajectories are fully determined by each method's schedule, so this
+//! driver computes them analytically — no training required — exactly as the
+//! paper draws them.
+
+use ndsnn_metrics::series::Series;
+use ndsnn_sparse::lth::LthConfig;
+use ndsnn_sparse::schedule::{SparsitySchedule, UpdateSchedule};
+
+use crate::error::Result;
+
+/// Configuration for the Fig. 1 curves.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Config {
+    /// Total training epochs on the x axis (paper: 300).
+    pub epochs: usize,
+    /// Final sparsity all methods converge to (paper's example: 0.95).
+    pub final_sparsity: f64,
+    /// NDSNN initial sparsity (paper's example: 0.8).
+    pub ndsnn_initial: f64,
+    /// Epoch at which train-prune-retrain performs its one-shot prune
+    /// (paper: epoch 150 of 300).
+    pub prune_epoch: usize,
+    /// LTH prune-rewind rounds.
+    pub lth_rounds: usize,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Fig1Config {
+            epochs: 300,
+            final_sparsity: 0.95,
+            ndsnn_initial: 0.8,
+            prune_epoch: 150,
+            lth_rounds: 6,
+        }
+    }
+}
+
+/// Computes the three sparsity-vs-epoch series of Fig. 1.
+pub fn sparsity_trajectories(cfg: &Fig1Config) -> Result<Vec<Series>> {
+    let epochs = cfg.epochs.max(2);
+    // Keep the prune point inside the horizon for short runs.
+    let prune_epoch = cfg.prune_epoch.min(epochs / 2).max(1);
+
+    // Train-prune-retrain: dense until the prune epoch, then sparse.
+    let mut tpr = Series::new("train-prune-retrain");
+    for e in 0..epochs {
+        tpr.push(
+            e as f64,
+            if e < prune_epoch {
+                0.0
+            } else {
+                cfg.final_sparsity
+            },
+        );
+    }
+
+    // Iterative pruning (LTH): staircase through the geometric round
+    // schedule, rising during the first half then retraining at target.
+    let lth_cfg = LthConfig::new(cfg.final_sparsity, cfg.lth_rounds)
+        .map_err(crate::error::NdsnnError::from)?;
+    let mut lth = Series::new("iterative (LTH)");
+    let ramp_epochs = prune_epoch;
+    let epochs_per_round = (ramp_epochs / (cfg.lth_rounds + 1)).max(1);
+    for e in 0..epochs {
+        let round = (e / epochs_per_round).min(cfg.lth_rounds);
+        lth.push(e as f64, lth_cfg.sparsity_after_round(round));
+    }
+
+    // NDSNN: cubic decreasing-density schedule (Eq. 4), mask updates over
+    // the first 75% of training.
+    let update = UpdateSchedule::new(0, 1, (epochs * 3 / 4).max(2))
+        .map_err(crate::error::NdsnnError::from)?;
+    let schedule = SparsitySchedule::new(cfg.ndsnn_initial, cfg.final_sparsity, update)
+        .map_err(crate::error::NdsnnError::from)?;
+    let mut nd = Series::new("NDSNN");
+    for e in 0..epochs {
+        nd.push(e as f64, schedule.at(e));
+    }
+
+    Ok(vec![tpr, lth, nd])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectories_have_paper_shape() {
+        let series = sparsity_trajectories(&Fig1Config::default()).unwrap();
+        assert_eq!(series.len(), 3);
+        let tpr = &series[0];
+        let lth = &series[1];
+        let nd = &series[2];
+
+        // Train-prune-retrain: zero sparsity for the first half.
+        assert_eq!(tpr.points[0].1, 0.0);
+        assert_eq!(tpr.points[149].1, 0.0);
+        assert!((tpr.points[150].1 - 0.95).abs() < 1e-12);
+
+        // LTH ramps gradually: strictly between 0 and target mid-ramp.
+        let mid = lth.points[60].1;
+        assert!(mid > 0.0 && mid < 0.95);
+
+        // NDSNN starts high and ends at target.
+        assert!((nd.points[0].1 - 0.8).abs() < 1e-9);
+        assert!((nd.points.last().unwrap().1 - 0.95).abs() < 1e-9);
+
+        // The grey-area claim: average sparsity over the first half of
+        // training is far higher for NDSNN than for either baseline.
+        let avg = |s: &ndsnn_metrics::series::Series| {
+            s.points[..150].iter().map(|p| p.1).sum::<f64>() / 150.0
+        };
+        assert!(avg(nd) > avg(lth) + 0.2, "nd {} lth {}", avg(nd), avg(lth));
+        assert!(avg(nd) > avg(tpr) + 0.2, "nd {} tpr {}", avg(nd), avg(tpr));
+    }
+
+    #[test]
+    fn all_methods_converge_to_target() {
+        let cfg = Fig1Config {
+            epochs: 100,
+            final_sparsity: 0.99,
+            ..Default::default()
+        };
+        for s in sparsity_trajectories(&cfg).unwrap() {
+            let last = s.points.last().unwrap().1;
+            assert!((last - 0.99).abs() < 1e-6, "{} ends at {last}", s.label);
+        }
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        for s in sparsity_trajectories(&Fig1Config::default()).unwrap() {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{} decreased", s.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 4: NDSNN vs LTH accuracy with a reduced timestep budget (T = 2)
+//! across sparsities on {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100}.
+
+use ndsnn_metrics::series::Series;
+use ndsnn_snn::models::Architecture;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec};
+use crate::error::Result;
+use crate::experiments::{LTH_ROUNDS, NDSNN_INITIAL_SPARSITY};
+use crate::profile::Profile;
+use crate::trainer::{build_datasets, run_with_data};
+
+/// One panel of Fig. 4 (a model/dataset combination).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Architecture label.
+    pub arch: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// (sparsity, accuracy %) for NDSNN.
+    pub ndsnn: Vec<(f64, f64)>,
+    /// (sparsity, accuracy %) for LTH.
+    pub lth: Vec<(f64, f64)>,
+}
+
+impl Panel {
+    /// NDSNN − LTH accuracy gap at each sparsity.
+    pub fn gaps(&self) -> Vec<(f64, f64)> {
+        self.ndsnn
+            .iter()
+            .zip(&self.lth)
+            .map(|(&(s, a), &(_, b))| (s, a - b))
+            .collect()
+    }
+
+    /// Converts to plottable series.
+    pub fn series(&self) -> Vec<Series> {
+        let mut nd = Series::new(format!("NDSNN {}/{}", self.arch, self.dataset));
+        for &(s, a) in &self.ndsnn {
+            nd.push(s, a);
+        }
+        let mut lt = Series::new(format!("LTH {}/{}", self.arch, self.dataset));
+        for &(s, a) in &self.lth {
+            lt.push(s, a);
+        }
+        vec![nd, lt]
+    }
+}
+
+/// Runs the Fig. 4 study: both methods at `timesteps = 2`.
+pub fn run_fig4(
+    profile: Profile,
+    combos: &[(Architecture, DatasetKind)],
+    sparsities: &[f64],
+) -> Result<Vec<Panel>> {
+    let mut panels = Vec::new();
+    for &(arch, dataset) in combos {
+        let mut probe = profile.run_config(arch, dataset, MethodSpec::Dense);
+        probe.timesteps = 2;
+        let (train, test) = build_datasets(&probe);
+        let mut panel = Panel {
+            arch: arch.label().into(),
+            dataset: dataset.label().into(),
+            ndsnn: Vec::new(),
+            lth: Vec::new(),
+        };
+        for &s in sparsities {
+            let mut nd_cfg = profile.run_config(
+                arch,
+                dataset,
+                MethodSpec::Ndsnn {
+                    initial_sparsity: NDSNN_INITIAL_SPARSITY.min(s),
+                    final_sparsity: s,
+                },
+            );
+            nd_cfg.timesteps = 2;
+            eprintln!("[fig4] {}", nd_cfg.describe());
+            panel
+                .ndsnn
+                .push((s, run_with_data(&nd_cfg, &train, &test)?.best_test_acc));
+
+            let mut lth_cfg = profile.run_config(
+                arch,
+                dataset,
+                MethodSpec::Lth {
+                    final_sparsity: s,
+                    rounds: LTH_ROUNDS,
+                },
+            );
+            lth_cfg.timesteps = 2;
+            eprintln!("[fig4] {}", lth_cfg.describe());
+            panel
+                .lth
+                .push((s, run_with_data(&lth_cfg, &train, &test)?.best_test_acc));
+        }
+        panels.push(panel);
+    }
+    Ok(panels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_panel() {
+        let panels = run_fig4(
+            Profile::Smoke,
+            &[(Architecture::Vgg16, DatasetKind::Cifar10)],
+            &[0.9],
+        )
+        .unwrap();
+        assert_eq!(panels.len(), 1);
+        let p = &panels[0];
+        assert_eq!(p.ndsnn.len(), 1);
+        assert_eq!(p.lth.len(), 1);
+        assert_eq!(p.gaps().len(), 1);
+        assert_eq!(p.series().len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! One driver per paper table/figure.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — sparsity-vs-epoch trajectories per method |
+//! | [`table1`] | Table I — accuracy grid across methods/sparsities/datasets |
+//! | [`table2`] | Table II — ADMM (LeNet-5) vs NDSNN (VGG-16) at moderate sparsity |
+//! | [`table3`] | Table III — initial-sparsity ablation |
+//! | [`fig4`] | Fig. 4 — NDSNN vs LTH at timestep T = 2 |
+//! | [`fig5`] | Fig. 5 — spike-rate-normalized training cost |
+//! | [`memory`] | §III.D — memory-footprint model + CSR measurement |
+//!
+//! Every driver takes a [`crate::profile::Profile`] so the same code runs at
+//! smoke/small/paper scale, and returns serializable results plus a rendered
+//! report string.
+
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod memory;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Number of LTH prune-rewind rounds used by the comparison experiments.
+///
+/// The LTH-SNN baseline \[6\] prunes iteratively; 4 rounds with geometric
+/// density decay lands within a few percent of the per-round 20% recipe at
+/// the paper's sparsity targets while fitting scaled-down epoch budgets.
+pub const LTH_ROUNDS: usize = 4;
+
+/// The paper's default initial sparsity for NDSNN runs (Table III shows
+/// {0.6, 0.7, 0.8} are near-equivalent; the paper picks from that set).
+pub const NDSNN_INITIAL_SPARSITY: f64 = 0.7;

@@ -1,0 +1,225 @@
+//! Table I: test accuracy of Dense / LTH / SET / RigL / NDSNN on
+//! {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100, Tiny-ImageNet} at sparsity
+//! 90/95/98/99%.
+
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec};
+use crate::error::Result;
+use crate::experiments::{LTH_ROUNDS, NDSNN_INITIAL_SPARSITY};
+use crate::profile::Profile;
+use crate::trainer::{build_datasets, run_with_data};
+
+/// One accuracy cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Method label.
+    pub method: String,
+    /// Architecture label.
+    pub arch: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Target sparsity (0 for dense rows).
+    pub sparsity: f64,
+    /// Best test accuracy in percent.
+    pub accuracy: f64,
+}
+
+/// Full Table I result grid.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// All cells, including the dense baselines (sparsity 0).
+    pub cells: Vec<Cell>,
+}
+
+impl Table1Result {
+    /// Looks up a cell.
+    pub fn get(&self, method: &str, arch: &str, dataset: &str, sparsity: f64) -> Option<&Cell> {
+        self.cells.iter().find(|c| {
+            c.method == method
+                && c.arch == arch
+                && c.dataset == dataset
+                && (c.sparsity - sparsity).abs() < 1e-9
+        })
+    }
+
+    /// For each (arch, dataset, sparsity) group, the winning method.
+    pub fn winners(&self) -> Vec<(String, String, f64, String)> {
+        let mut out = Vec::new();
+        let mut groups: Vec<(String, String, f64)> = self
+            .cells
+            .iter()
+            .filter(|c| c.sparsity > 0.0)
+            .map(|c| (c.arch.clone(), c.dataset.clone(), c.sparsity))
+            .collect();
+        groups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        groups.dedup();
+        for (arch, dataset, sparsity) in groups {
+            let best = self
+                .cells
+                .iter()
+                .filter(|c| {
+                    c.arch == arch && c.dataset == dataset && (c.sparsity - sparsity).abs() < 1e-9
+                })
+                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap());
+            if let Some(b) = best {
+                out.push((arch.clone(), dataset.clone(), sparsity, b.method.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Sparsity columns of the paper's Table I.
+pub const PAPER_SPARSITIES: [f64; 4] = [0.90, 0.95, 0.98, 0.99];
+
+/// The four sparse methods compared in Table I for a given target sparsity.
+pub fn table1_methods(sparsity: f64) -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Lth {
+            final_sparsity: sparsity,
+            rounds: LTH_ROUNDS,
+        },
+        MethodSpec::Set { sparsity },
+        MethodSpec::Rigl { sparsity },
+        MethodSpec::Ndsnn {
+            initial_sparsity: NDSNN_INITIAL_SPARSITY.min(sparsity),
+            final_sparsity: sparsity,
+        },
+    ]
+}
+
+/// Runs the Table I grid.
+///
+/// `archs`/`datasets`/`sparsities` let callers regenerate a sub-grid;
+/// progress is logged to stderr (one line per run).
+pub fn run_table1(
+    profile: Profile,
+    archs: &[Architecture],
+    datasets: &[DatasetKind],
+    sparsities: &[f64],
+) -> Result<Table1Result> {
+    let mut result = Table1Result::default();
+    for &dataset in datasets {
+        // Datasets depend only on the (profile, dataset) pair; share across
+        // architectures and methods.
+        let probe = profile.run_config(Architecture::Vgg16, dataset, MethodSpec::Dense);
+        let (train, test) = build_datasets(&probe);
+        for &arch in archs {
+            // Dense baseline.
+            let cfg = profile.run_config(arch, dataset, MethodSpec::Dense);
+            eprintln!("[table1] {}", cfg.describe());
+            let dense = run_with_data(&cfg, &train, &test)?;
+            result.cells.push(Cell {
+                method: "Dense".into(),
+                arch: arch.label().into(),
+                dataset: dataset.label().into(),
+                sparsity: 0.0,
+                accuracy: dense.best_test_acc,
+            });
+            for &sparsity in sparsities {
+                for method in table1_methods(sparsity) {
+                    let cfg = profile.run_config(arch, dataset, method);
+                    eprintln!("[table1] {}", cfg.describe());
+                    let r = run_with_data(&cfg, &train, &test)?;
+                    result.cells.push(Cell {
+                        method: method.label().into(),
+                        arch: arch.label().into(),
+                        dataset: dataset.label().into(),
+                        sparsity,
+                        accuracy: r.best_test_acc,
+                    });
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Renders the grid in the paper's layout: one block per architecture, one
+/// row per method, one column per (dataset, sparsity).
+pub fn render(result: &Table1Result, datasets: &[DatasetKind], sparsities: &[f64]) -> String {
+    let mut out = String::new();
+    let mut archs: Vec<String> = result.cells.iter().map(|c| c.arch.clone()).collect();
+    archs.sort();
+    archs.dedup();
+    for arch in archs {
+        let mut header: Vec<String> = vec!["Method".into()];
+        for d in datasets {
+            for s in sparsities {
+                header.push(format!("{} @{:.0}%", d.label(), s * 100.0));
+            }
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(format!("Table I — {arch} (best test accuracy, %)"))
+            .header(&header_refs);
+        // Dense row.
+        let mut dense_row = vec!["Dense".to_string()];
+        for d in datasets {
+            for _ in sparsities {
+                let acc = result
+                    .get("Dense", &arch, d.label(), 0.0)
+                    .map(|c| format!("{:.2}", c.accuracy))
+                    .unwrap_or_default();
+                dense_row.push(acc);
+            }
+        }
+        table.row(dense_row);
+        for method in ["LTH", "SET", "RigL", "NDSNN"] {
+            let mut row = vec![method.to_string()];
+            for d in datasets {
+                for &s in sparsities {
+                    let acc = result
+                        .get(method, &arch, d.label(), s)
+                        .map(|c| format!("{:.2}", c.accuracy))
+                        .unwrap_or_default();
+                    row.push(acc);
+                }
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_cover_paper_rows() {
+        let ms = table1_methods(0.95);
+        let labels: Vec<&str> = ms.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["LTH", "SET", "RigL", "NDSNN"]);
+        // NDSNN initial sparsity clamped to the target.
+        if let MethodSpec::Ndsnn {
+            initial_sparsity, ..
+        } = ms[3]
+        {
+            assert!(initial_sparsity <= 0.95);
+        }
+    }
+
+    #[test]
+    fn smoke_grid_single_cell() {
+        let result = run_table1(
+            Profile::Smoke,
+            &[Architecture::Vgg16],
+            &[DatasetKind::Cifar10],
+            &[0.9],
+        )
+        .unwrap();
+        // Dense + 4 methods.
+        assert_eq!(result.cells.len(), 5);
+        assert!(result.get("NDSNN", "VGG-16", "CIFAR-10", 0.9).is_some());
+        let winners = result.winners();
+        assert_eq!(winners.len(), 1);
+        let rendered = render(&result, &[DatasetKind::Cifar10], &[0.9]);
+        assert!(rendered.contains("NDSNN"));
+        assert!(rendered.contains("VGG-16"));
+    }
+}

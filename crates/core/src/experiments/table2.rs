@@ -1,0 +1,177 @@
+//! Table II: ADMM pruning (LeNet-5) vs NDSNN (VGG-16) on CIFAR-10 at
+//! moderate sparsity (40/50/60/75%).
+//!
+//! The paper quotes ADMM numbers from \[5\] and contrasts the *accuracy loss
+//! relative to each method's own dense baseline*. This driver actually runs
+//! both methods and reports the same two blocks.
+
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec};
+use crate::error::Result;
+use crate::experiments::NDSNN_INITIAL_SPARSITY;
+use crate::profile::Profile;
+use crate::trainer::{build_datasets, run_with_data};
+
+/// Sparsity columns of the paper's Table II.
+pub const PAPER_SPARSITIES: [f64; 4] = [0.40, 0.50, 0.60, 0.75];
+
+/// One method block of Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodBlock {
+    /// Method label.
+    pub method: String,
+    /// Architecture the method ran on.
+    pub arch: String,
+    /// The method's dense baseline accuracy (%).
+    pub dense_accuracy: f64,
+    /// (sparsity, accuracy %) pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl MethodBlock {
+    /// Accuracy loss (negative = worse than dense) at each sparsity.
+    pub fn accuracy_loss(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|&(s, a)| (s, a - self.dense_accuracy))
+            .collect()
+    }
+}
+
+/// Table II result: the ADMM block and the NDSNN block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// ADMM on LeNet-5.
+    pub admm: MethodBlock,
+    /// NDSNN on VGG-16.
+    pub ndsnn: MethodBlock,
+}
+
+/// Runs Table II at the given profile.
+pub fn run_table2(profile: Profile, sparsities: &[f64]) -> Result<Table2Result> {
+    // LeNet-5 needs at least 16×16 inputs; bump the profile's image size if
+    // the scaled preset went below that.
+    let lenet_block = {
+        let mut dense_cfg = profile.run_config(
+            Architecture::Lenet5,
+            DatasetKind::Cifar10,
+            MethodSpec::Dense,
+        );
+        if dense_cfg.image_size < 16 {
+            dense_cfg.image_size = 16;
+        }
+        let (train, test) = build_datasets(&dense_cfg);
+        eprintln!("[table2] {}", dense_cfg.describe());
+        let dense = run_with_data(&dense_cfg, &train, &test)?;
+        let mut points = Vec::new();
+        for &s in sparsities {
+            let mut cfg = dense_cfg;
+            cfg.method = MethodSpec::Admm { target_sparsity: s };
+            eprintln!("[table2] {}", cfg.describe());
+            let r = run_with_data(&cfg, &train, &test)?;
+            points.push((s, r.best_test_acc));
+        }
+        MethodBlock {
+            method: "ADMM".into(),
+            arch: "LeNet-5".into(),
+            dense_accuracy: dense.best_test_acc,
+            points,
+        }
+    };
+
+    let vgg_block = {
+        let dense_cfg =
+            profile.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+        let (train, test) = build_datasets(&dense_cfg);
+        eprintln!("[table2] {}", dense_cfg.describe());
+        let dense = run_with_data(&dense_cfg, &train, &test)?;
+        let mut points = Vec::new();
+        for &s in sparsities {
+            let mut cfg = dense_cfg;
+            cfg.method = MethodSpec::Ndsnn {
+                initial_sparsity: NDSNN_INITIAL_SPARSITY.min(s),
+                final_sparsity: s,
+            };
+            eprintln!("[table2] {}", cfg.describe());
+            let r = run_with_data(&cfg, &train, &test)?;
+            points.push((s, r.best_test_acc));
+        }
+        MethodBlock {
+            method: "NDSNN".into(),
+            arch: "VGG-16".into(),
+            dense_accuracy: dense.best_test_acc,
+            points,
+        }
+    };
+
+    Ok(Table2Result {
+        admm: lenet_block,
+        ndsnn: vgg_block,
+    })
+}
+
+/// Renders Table II in the paper's layout.
+pub fn render(result: &Table2Result) -> String {
+    let mut header = vec!["Row".to_string()];
+    for (s, _) in &result.admm.points {
+        header.push(format!("{:.0}%", s * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new("Table II — ADMM vs NDSNN on CIFAR-10").header(&header_refs);
+    for block in [&result.admm, &result.ndsnn] {
+        table.row(
+            std::iter::once(format!("{}({:.2} dense)", block.arch, block.dense_accuracy))
+                .chain(std::iter::repeat_n(String::new(), block.points.len()))
+                .collect(),
+        );
+        table.row(
+            std::iter::once(block.method.clone())
+                .chain(block.points.iter().map(|(_, a)| format!("{a:.2}")))
+                .collect(),
+        );
+        table.row(
+            std::iter::once("Acc. Loss".to_string())
+                .chain(
+                    block
+                        .accuracy_loss()
+                        .iter()
+                        .map(|(_, l)| format!("{l:+.2}")),
+                )
+                .collect(),
+        );
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_loss_relative_to_dense() {
+        let block = MethodBlock {
+            method: "X".into(),
+            arch: "Y".into(),
+            dense_accuracy: 90.0,
+            points: vec![(0.4, 89.0), (0.75, 85.0)],
+        };
+        let loss = block.accuracy_loss();
+        assert!((loss[0].1 + 1.0).abs() < 1e-12);
+        assert!((loss[1].1 + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_run_produces_both_blocks() {
+        let r = run_table2(Profile::Smoke, &[0.5]).unwrap();
+        assert_eq!(r.admm.arch, "LeNet-5");
+        assert_eq!(r.ndsnn.arch, "VGG-16");
+        assert_eq!(r.admm.points.len(), 1);
+        let rendered = render(&r);
+        assert!(rendered.contains("ADMM"));
+        assert!(rendered.contains("NDSNN"));
+        assert!(rendered.contains("Acc. Loss"));
+    }
+}

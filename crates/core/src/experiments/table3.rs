@@ -1,0 +1,202 @@
+//! Table III: effect of the initial sparsity θᵢ on final accuracy.
+//!
+//! The paper sweeps θᵢ ∈ {0.5, 0.6, 0.7, 0.8, 0.9} for target sparsities
+//! 0.95 and 0.98 on {VGG-16, ResNet-19} × {CIFAR-10, CIFAR-100} and finds
+//! the accuracy gap across θᵢ is small — which justifies picking a high θᵢ
+//! for cheaper training. This driver also reports each run's *average
+//! training density* (∝ training FLOPs), making the accuracy/cost trade
+//! explicit.
+
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec};
+use crate::error::Result;
+use crate::profile::Profile;
+use crate::trainer::{build_datasets, run_with_data};
+
+/// Paper's θᵢ sweep.
+pub const PAPER_INITIAL_SPARSITIES: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
+/// Paper's target sparsities for this study.
+pub const PAPER_TARGET_SPARSITIES: [f64; 2] = [0.95, 0.98];
+
+/// One ablation entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Entry {
+    /// Architecture label.
+    pub arch: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Target sparsity θ_f.
+    pub target_sparsity: f64,
+    /// Initial sparsity θᵢ.
+    pub initial_sparsity: f64,
+    /// Best test accuracy (%).
+    pub accuracy: f64,
+    /// Mean density over training epochs (training-cost proxy).
+    pub avg_training_density: f64,
+}
+
+/// Full Table III result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// All sweep entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Table3Result {
+    /// Maximum accuracy spread across initial sparsities for one
+    /// (arch, dataset, target) group — the paper's "gap is small" claim.
+    pub fn accuracy_spread(&self, arch: &str, dataset: &str, target: f64) -> Option<f64> {
+        let accs: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|e| {
+                e.arch == arch && e.dataset == dataset && (e.target_sparsity - target).abs() < 1e-9
+            })
+            .map(|e| e.accuracy)
+            .collect();
+        if accs.is_empty() {
+            return None;
+        }
+        let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+        Some(max - min)
+    }
+}
+
+/// Runs the Table III sweep.
+pub fn run_table3(
+    profile: Profile,
+    combos: &[(Architecture, DatasetKind)],
+    targets: &[f64],
+    initials: &[f64],
+) -> Result<Table3Result> {
+    let mut result = Table3Result::default();
+    for &(arch, dataset) in combos {
+        let probe = profile.run_config(arch, dataset, MethodSpec::Dense);
+        let (train, test) = build_datasets(&probe);
+        for &target in targets {
+            for &initial in initials {
+                let initial = initial.min(target);
+                let cfg = profile.run_config(
+                    arch,
+                    dataset,
+                    MethodSpec::Ndsnn {
+                        initial_sparsity: initial,
+                        final_sparsity: target,
+                    },
+                );
+                eprintln!("[table3] {} θi={initial:.1}", cfg.describe());
+                let r = run_with_data(&cfg, &train, &test)?;
+                let avg_density = if r.epochs.is_empty() {
+                    0.0
+                } else {
+                    r.epochs.iter().map(|e| 1.0 - e.sparsity).sum::<f64>() / r.epochs.len() as f64
+                };
+                result.entries.push(Entry {
+                    arch: arch.label().into(),
+                    dataset: dataset.label().into(),
+                    target_sparsity: target,
+                    initial_sparsity: initial,
+                    accuracy: r.best_test_acc,
+                    avg_training_density: avg_density,
+                });
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Renders the sweep in the paper's layout (one column per (arch, dataset)).
+pub fn render(result: &Table3Result) -> String {
+    let mut combos: Vec<(String, String)> = result
+        .entries
+        .iter()
+        .map(|e| (e.arch.clone(), e.dataset.clone()))
+        .collect();
+    combos.sort();
+    combos.dedup();
+    let mut header = vec!["Target".to_string(), "Initial".to_string()];
+    for (a, d) in &combos {
+        header.push(format!("{a}/{d}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table =
+        TextTable::new("Table III — effect of initial sparsity (accuracy %, [avg density])")
+            .header(&header_refs);
+    let mut keys: Vec<(f64, f64)> = result
+        .entries
+        .iter()
+        .map(|e| (e.target_sparsity, e.initial_sparsity))
+        .collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    keys.dedup();
+    for (target, initial) in keys {
+        let mut row = vec![format!("{target:.2}"), format!("{initial:.1}")];
+        for (a, d) in &combos {
+            let cell = result
+                .entries
+                .iter()
+                .find(|e| {
+                    &e.arch == a
+                        && &e.dataset == d
+                        && (e.target_sparsity - target).abs() < 1e-9
+                        && (e.initial_sparsity - initial).abs() < 1e-9
+                })
+                .map(|e| format!("{:.2} [{:.2}]", e.accuracy, e.avg_training_density))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_and_spread() {
+        let r = run_table3(
+            Profile::Smoke,
+            &[(Architecture::Vgg16, DatasetKind::Cifar10)],
+            &[0.9],
+            &[0.5, 0.8],
+        )
+        .unwrap();
+        assert_eq!(r.entries.len(), 2);
+        // Lower initial sparsity → denser training on average.
+        let d50 = r
+            .entries
+            .iter()
+            .find(|e| e.initial_sparsity == 0.5)
+            .unwrap()
+            .avg_training_density;
+        let d80 = r
+            .entries
+            .iter()
+            .find(|e| e.initial_sparsity == 0.8)
+            .unwrap()
+            .avg_training_density;
+        assert!(d50 > d80, "density ordering violated: {d50} vs {d80}");
+        assert!(r.accuracy_spread("VGG-16", "CIFAR-10", 0.9).is_some());
+        let rendered = render(&r);
+        assert!(rendered.contains("VGG-16/CIFAR-10"));
+    }
+
+    #[test]
+    fn initial_clamped_to_target() {
+        // θᵢ = 0.9 with target 0.5 must not error (clamped to 0.5).
+        let r = run_table3(
+            Profile::Smoke,
+            &[(Architecture::Vgg16, DatasetKind::Cifar10)],
+            &[0.5],
+            &[0.9],
+        )
+        .unwrap();
+        assert_eq!(r.entries[0].initial_sparsity, 0.5);
+    }
+}

@@ -1,0 +1,58 @@
+//! # ndsnn
+//!
+//! Full reproduction of **"Neurogenesis Dynamics-inspired Spiking Neural
+//! Network Training Acceleration"** (Huang et al., DAC 2023) in pure Rust.
+//!
+//! NDSNN trains spiking neural networks *sparse from scratch*: the binary
+//! weight mask is periodically updated with a drop-and-grow schedule in
+//! which the number of live weights **decreases over training** (the
+//! neurogenesis-dynamics analogy) — initial sparsity θᵢ rises to final
+//! sparsity θ_f along a cubic schedule (paper Eq. 4), dropping by weight
+//! magnitude and growing by gradient magnitude with a cosine-annealed death
+//! ratio (Eq. 5).
+//!
+//! This crate is the orchestration layer over four substrates:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | `ndsnn-tensor` | dense f32 tensors, conv/matmul/pool kernels |
+//! | `ndsnn-snn` | LIF neurons, surrogate-gradient BPTT, VGG-16/ResNet-19 |
+//! | `ndsnn-sparse` | NDSNN + SET/RigL/LTH/ADMM engines, ERK, CSR, memory model |
+//! | `ndsnn-data` | synthetic CIFAR-10/100- and TinyImageNet-shaped datasets |
+//! | `ndsnn-metrics` | accuracy meters, spike-rate cost model, tables/series |
+//!
+//! and provides:
+//!
+//! - [`config`]: run configuration ([`config::RunConfig`], [`config::MethodSpec`]),
+//! - [`checkpoint`]: binary save/load of model weights and sparse masks,
+//! - [`profile`]: smoke/small/paper scale presets,
+//! - [`trainer`]: the full training loop ([`trainer::run`]),
+//! - [`experiments`]: one driver per paper table/figure.
+//!
+//! ## Quickstart
+//! ```no_run
+//! use ndsnn::config::{DatasetKind, MethodSpec};
+//! use ndsnn::profile::Profile;
+//! use ndsnn::trainer;
+//! use ndsnn_snn::models::Architecture;
+//!
+//! let cfg = Profile::Small.run_config(
+//!     Architecture::Vgg16,
+//!     DatasetKind::Cifar10,
+//!     MethodSpec::Ndsnn { initial_sparsity: 0.7, final_sparsity: 0.95 },
+//! );
+//! let result = trainer::run(&cfg).unwrap();
+//! println!("best accuracy: {:.2}% at sparsity {:.2}",
+//!          result.best_test_acc, result.final_sparsity);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+mod error;
+pub mod experiments;
+pub mod profile;
+pub mod trainer;
+
+pub use error::{NdsnnError, Result};

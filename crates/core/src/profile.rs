@@ -1,0 +1,189 @@
+//! Experiment scale profiles.
+//!
+//! The paper trained on a Quadro RTX6000; this reproduction runs on whatever
+//! CPU is available, so every experiment driver is parameterized by a
+//! [`Profile`] that scales model width, image size, dataset size, epochs and
+//! timesteps together. `Paper` reproduces the publication-scale
+//! configuration; `Small` is the default used by the bench binaries; `Smoke`
+//! exists for tests.
+
+use ndsnn_snn::encoder::Encoding;
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::optim::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec, RunConfig};
+
+/// Scale preset for experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Minutes-scale CI/test profile (tiny everything).
+    Smoke,
+    /// Default for the bench binaries: small enough for a CPU, large enough
+    /// that method orderings are meaningful.
+    Small,
+    /// Paper-scale configuration (§IV.A): width 1.0, batch 128, lr 0.3,
+    /// T = 5, 300 epochs (100 for Tiny-ImageNet).
+    Paper,
+}
+
+impl Profile {
+    /// Parses `"smoke" | "small" | "paper"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Profile::Smoke),
+            "small" => Some(Profile::Small),
+            "paper" => Some(Profile::Paper),
+            _ => None,
+        }
+    }
+
+    /// Builds the run configuration for `(arch, dataset, method)` at this
+    /// scale with `timesteps` defaulting to the paper's 5 (scaled down for
+    /// smaller profiles).
+    pub fn run_config(
+        &self,
+        arch: Architecture,
+        dataset: DatasetKind,
+        method: MethodSpec,
+    ) -> RunConfig {
+        let (
+            width_mult,
+            image_size,
+            num_classes,
+            train_samples,
+            test_samples,
+            epochs,
+            batch,
+            t,
+            lr,
+        ) = match self {
+            Profile::Smoke => (
+                1.0 / 32.0,
+                8,
+                4.min(dataset.num_classes()),
+                48,
+                24,
+                2,
+                16,
+                2,
+                0.2,
+            ),
+            Profile::Small => {
+                let classes = match dataset {
+                    DatasetKind::Cifar10 => 10,
+                    DatasetKind::Cifar100 => 20,
+                    DatasetKind::TinyImageNet => 20,
+                };
+                let size = match dataset {
+                    DatasetKind::TinyImageNet => 12,
+                    _ => 8,
+                };
+                (1.0 / 8.0, size, classes, 256, 96, 12, 32, 2, 0.25)
+            }
+            Profile::Paper => {
+                let epochs = match dataset {
+                    DatasetKind::TinyImageNet => 100,
+                    _ => 300,
+                };
+                (
+                    1.0,
+                    dataset.image_size(),
+                    dataset.num_classes(),
+                    50_000,
+                    10_000,
+                    epochs,
+                    128,
+                    5,
+                    0.3,
+                )
+            }
+        };
+        RunConfig {
+            arch,
+            dataset,
+            method,
+            timesteps: t,
+            epochs,
+            batch_size: batch,
+            sgd: SgdConfig {
+                lr,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+            },
+            encoding: Encoding::Direct,
+            seed: 7,
+            width_mult,
+            image_size,
+            num_classes,
+            train_samples,
+            test_samples,
+            delta_t: 8,
+            update_horizon: 0.75,
+            neuron: Default::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Profile::parse("paper"), Some(Profile::Paper));
+        assert_eq!(Profile::parse("SMALL"), Some(Profile::Small));
+        assert_eq!(Profile::parse("smoke"), Some(Profile::Smoke));
+        assert_eq!(Profile::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_profile_matches_section_iv_a() {
+        let cfg =
+            Profile::Paper.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+        assert_eq!(cfg.batch_size, 128);
+        assert_eq!(cfg.timesteps, 5);
+        assert_eq!(cfg.epochs, 300);
+        assert!((cfg.sgd.lr - 0.3).abs() < 1e-6);
+        assert!((cfg.sgd.momentum - 0.9).abs() < 1e-6);
+        assert!((cfg.sgd.weight_decay - 5e-4).abs() < 1e-9);
+        assert_eq!(cfg.width_mult, 1.0);
+        assert_eq!(cfg.image_size, 32);
+        assert_eq!(cfg.num_classes, 10);
+    }
+
+    #[test]
+    fn paper_tiny_imagenet_uses_100_epochs() {
+        let cfg = Profile::Paper.run_config(
+            Architecture::Resnet19,
+            DatasetKind::TinyImageNet,
+            MethodSpec::Dense,
+        );
+        assert_eq!(cfg.epochs, 100);
+        assert_eq!(cfg.image_size, 64);
+        assert_eq!(cfg.num_classes, 200);
+    }
+
+    #[test]
+    fn small_profile_is_small() {
+        let cfg = Profile::Small.run_config(
+            Architecture::Vgg16,
+            DatasetKind::Cifar100,
+            MethodSpec::Dense,
+        );
+        assert!(cfg.width_mult <= 0.25);
+        assert!(cfg.train_samples <= 512);
+        assert!(cfg.epochs <= 20);
+    }
+
+    #[test]
+    fn smoke_profile_clamps_classes() {
+        let cfg = Profile::Smoke.run_config(
+            Architecture::Lenet5,
+            DatasetKind::Cifar10,
+            MethodSpec::Dense,
+        );
+        assert_eq!(cfg.num_classes, 4);
+        assert_eq!(cfg.image_size, 8);
+    }
+}

@@ -1,0 +1,450 @@
+//! The training loop binding network, sparse engine, data and metrics.
+
+use ndsnn_data::augment::AugmentConfig;
+use ndsnn_data::dataset::InMemoryDataset;
+use ndsnn_data::loader::BatchLoader;
+use ndsnn_data::synthetic::{generate, SyntheticConfig};
+use ndsnn_metrics::cost::ActivityTrace;
+use ndsnn_metrics::meters::{AccuracyMeter, AvgMeter, EpochRecord};
+use ndsnn_snn::layers::Layer;
+use ndsnn_snn::models::{Architecture, ModelConfig};
+use ndsnn_snn::network::SpikingNetwork;
+use ndsnn_snn::optim::{CosineSchedule, Sgd};
+use ndsnn_sparse::admm::{AdmmConfig, AdmmEngine};
+use ndsnn_sparse::engine::{DenseEngine, SparseEngine};
+use ndsnn_sparse::lth::{LthConfig, LthController};
+use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
+use ndsnn_sparse::rigl::{rigl_engine, RiglConfig};
+use ndsnn_sparse::schedule::UpdateSchedule;
+use ndsnn_sparse::set::{set_engine, SetConfig};
+use ndsnn_sparse::structured::{StructuredConfig, StructuredEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, MethodSpec, RunConfig};
+use crate::error::{NdsnnError, Result};
+
+/// Outcome of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The configuration that produced this result.
+    pub config: RunConfig,
+    /// Method label (Table I row family).
+    pub label: String,
+    /// Per-epoch training trace.
+    pub epochs: Vec<EpochRecord>,
+    /// Test accuracy after the final epoch, in percent.
+    pub final_test_acc: f64,
+    /// Best test accuracy over all epochs, in percent.
+    pub best_test_acc: f64,
+    /// Spike-rate/sparsity trace for the §IV.C cost model.
+    pub activity: ActivityTrace,
+    /// Trainable parameter count of the (dense) model.
+    pub num_params: usize,
+    /// Weight sparsity at the end of training.
+    pub final_sparsity: f64,
+    /// Average spike rate per spiking layer over the final training epoch —
+    /// the per-layer view of the §IV.C activity analysis.
+    pub layer_spike_rates: Vec<(String, f64)>,
+}
+
+impl RunResult {
+    /// Serializes the full result (config, per-epoch trace, activity) to a
+    /// compact JSON string for archival alongside the CSV exports.
+    pub fn to_json(&self) -> String {
+        ndsnn_metrics::json::to_string(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+/// Generates the synthetic train/test datasets for a run configuration.
+pub fn build_datasets(cfg: &RunConfig) -> (InMemoryDataset, InMemoryDataset) {
+    let base = match cfg.dataset {
+        DatasetKind::Cifar10 => SyntheticConfig::cifar10_like(cfg.train_samples, cfg.test_samples),
+        DatasetKind::Cifar100 => {
+            SyntheticConfig::cifar100_like(cfg.train_samples, cfg.test_samples)
+        }
+        DatasetKind::TinyImageNet => {
+            SyntheticConfig::tiny_imagenet_like(cfg.train_samples, cfg.test_samples)
+        }
+    };
+    let synth = base
+        .with_image_size(cfg.image_size)
+        .with_num_classes(cfg.num_classes);
+    generate(&synth)
+}
+
+/// Builds the spiking network described by the configuration.
+pub fn build_network(cfg: &RunConfig) -> Result<SpikingNetwork> {
+    let model_cfg = ModelConfig {
+        in_channels: 3,
+        image_size: cfg.image_size,
+        num_classes: cfg.num_classes,
+        width_mult: cfg.width_mult,
+        lif: Default::default(),
+        neuron: cfg.neuron,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let layers = model_cfg.build(cfg.arch, &mut rng)?;
+    Ok(SpikingNetwork::new(
+        layers,
+        cfg.timesteps,
+        cfg.encoding,
+        cfg.seed ^ 0xE4C0DE,
+    )?)
+}
+
+/// Builds the sparse engine for the configured method.
+///
+/// `total_steps` is the total optimizer-step count (epochs × batches), which
+/// dynamic methods use to place their mask-update horizon.
+pub fn build_engine(cfg: &RunConfig, total_steps: usize) -> Result<Box<dyn SparseEngine>> {
+    // Clamp ΔT so at least a few drop-and-grow rounds fit inside the mask
+    // horizon even on very short (smoke-scale) runs.
+    let delta_t = cfg.delta_t.max(1).min((total_steps / 4).max(1));
+    let horizon = (((total_steps as f64) * cfg.update_horizon) as usize).max(delta_t + 1);
+    let update =
+        UpdateSchedule::new(0, delta_t, horizon).map_err(|e| NdsnnError::Sparse(e.to_string()))?;
+    Ok(match cfg.method {
+        MethodSpec::Dense => Box::new(DenseEngine::new()),
+        MethodSpec::Ndsnn {
+            initial_sparsity,
+            final_sparsity,
+        } => {
+            let mut c = NdsnnConfig::new(initial_sparsity, final_sparsity, update);
+            c.seed = cfg.seed ^ 0x5EED;
+            Box::new(ndsnn_engine(c)?)
+        }
+        MethodSpec::Set { sparsity } => {
+            let mut c = SetConfig::new(sparsity, update);
+            c.seed = cfg.seed ^ 0x5EED;
+            Box::new(set_engine(c)?)
+        }
+        MethodSpec::Rigl { sparsity } => {
+            let mut c = RiglConfig::new(sparsity, update);
+            c.seed = cfg.seed ^ 0x5EED;
+            Box::new(rigl_engine(c)?)
+        }
+        MethodSpec::Lth {
+            final_sparsity,
+            rounds,
+        } => Box::new(LthController::new(LthConfig::new(final_sparsity, rounds)?)),
+        MethodSpec::Admm { target_sparsity } => {
+            // ADMM phase: first 60% of steps; masked retraining afterwards.
+            let retrain_start = ((total_steps as f64) * 0.6).max(1.0) as usize;
+            let mut c = AdmmConfig::new(target_sparsity, retrain_start)?;
+            c.projection_interval = cfg.delta_t.max(1);
+            Box::new(AdmmEngine::new(c))
+        }
+        MethodSpec::Structured { filter_sparsity } => {
+            // Dense warm-up for 30% of training, then filter pruning +
+            // fine-tune.
+            let prune_step = ((total_steps as f64) * 0.3) as usize;
+            Box::new(StructuredEngine::new(StructuredConfig::new(
+                filter_sparsity,
+                prune_step,
+            )?))
+        }
+    })
+}
+
+/// Runs a full training experiment, generating the data internally.
+pub fn run(cfg: &RunConfig) -> Result<RunResult> {
+    let (train, test) = build_datasets(cfg);
+    run_with_data(cfg, &train, &test)
+}
+
+/// Runs a full training experiment on caller-provided datasets (lets
+/// experiment grids share generated data across methods).
+pub fn run_with_data(
+    cfg: &RunConfig,
+    train: &InMemoryDataset,
+    test: &InMemoryDataset,
+) -> Result<RunResult> {
+    if cfg.epochs == 0 {
+        return Err(NdsnnError::InvalidConfig("epochs must be >= 1".into()));
+    }
+    let mut net = build_network(cfg)?;
+    let num_params = net.num_params();
+    let loader = BatchLoader::new(
+        cfg.batch_size,
+        true,
+        AugmentConfig {
+            crop_padding: (cfg.image_size / 8).min(4),
+            flip_prob: 0.5,
+            noise_std: 0.0,
+        },
+        cfg.seed ^ 0xDA7A,
+    );
+    let eval_loader = BatchLoader::eval(cfg.batch_size);
+    let batches_per_epoch = loader.batches_per_epoch(train);
+    let total_steps = batches_per_epoch * cfg.epochs;
+    let mut engine = match cfg.method {
+        MethodSpec::Lth {
+            final_sparsity,
+            rounds,
+        } => EngineKind::Lth(LthController::new(LthConfig::new(final_sparsity, rounds)?)),
+        _ => EngineKind::Generic(build_engine(cfg, total_steps)?),
+    };
+    engine.as_engine().init(&mut net.layers)?;
+
+    // LTH trains in segments: `rounds` prune-rewind rounds then a final
+    // segment at the target sparsity.
+    let lth_rounds = match cfg.method {
+        MethodSpec::Lth { rounds, .. } => rounds,
+        _ => 0,
+    };
+    let segments = lth_rounds + 1;
+    let epochs_per_segment = (cfg.epochs / segments).max(1);
+
+    let mut opt = Sgd::new(cfg.sgd);
+    let lr_schedule = CosineSchedule::new(cfg.sgd.lr, 0.0, epochs_per_segment.max(1));
+
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let mut activity = ActivityTrace::new(engine.as_engine().name());
+    let mut best_test = 0.0f64;
+    let mut final_test = 0.0f64;
+    let mut step = 0usize;
+    let mut layer_rates: Vec<(String, f64)> = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        let seg_epoch = epoch % epochs_per_segment;
+        // Segment boundary: advance LTH round (prune + rewind), restart
+        // optimizer state and LR schedule.
+        if epoch > 0 && seg_epoch == 0 && lth_rounds > 0 {
+            if let Some(lth) = engine.as_lth() {
+                if lth.round() < lth_rounds {
+                    lth.advance_round(&mut net.layers)?;
+                    opt = Sgd::new(cfg.sgd);
+                }
+            }
+        }
+        opt.set_lr(lr_schedule.at(seg_epoch));
+
+        net.reset_spike_stats();
+        let mut loss_meter = AvgMeter::new();
+        let mut acc_meter = AccuracyMeter::new();
+        for batch in loader.epoch(train, epoch) {
+            let stats = net
+                .train_batch(&batch.images, &batch.labels)
+                .map_err(|e| NdsnnError::Snn(e.to_string()))?;
+            if !stats.loss.is_finite() {
+                return Err(NdsnnError::InvalidConfig(format!(
+                    "training diverged (loss = {}) at epoch {epoch}: {}",
+                    stats.loss,
+                    cfg.describe()
+                )));
+            }
+            engine.as_engine().before_optim(step, &mut net.layers)?;
+            opt.step(&mut net.layers)?;
+            engine.as_engine().after_optim(step, &mut net.layers)?;
+            loss_meter.update(stats.loss as f64, stats.total as u64);
+            acc_meter.update(stats.correct, stats.total);
+            step += 1;
+        }
+        let train_rate = net.spike_stats().rate();
+        if epoch + 1 == cfg.epochs {
+            layer_rates = net
+                .layers
+                .spike_stats_per_layer()
+                .into_iter()
+                .map(|(name, s)| (name, s.rate()))
+                .collect();
+        }
+        let sparsity = engine.as_engine().sparsity();
+        activity.push(train_rate, sparsity);
+
+        // Evaluate.
+        let mut test_meter = AccuracyMeter::new();
+        for batch in eval_loader.epoch(test, 0) {
+            let stats = net
+                .eval_batch(&batch.images, &batch.labels)
+                .map_err(|e| NdsnnError::Snn(e.to_string()))?;
+            test_meter.update(stats.correct, stats.total);
+        }
+        final_test = test_meter.percent();
+        best_test = best_test.max(final_test);
+        records.push(EpochRecord {
+            epoch,
+            train_loss: loss_meter.mean(),
+            train_acc: acc_meter.percent(),
+            test_acc: final_test,
+            sparsity,
+            spike_rate: train_rate,
+            lr: opt.lr() as f64,
+        });
+    }
+
+    // Measure the weights' actual sparsity (not just the mask's claim).
+    let mut nonzero = 0usize;
+    let mut total = 0usize;
+    net.layers.for_each_param(&mut |p| {
+        if p.is_sparsifiable() {
+            nonzero += p.value.count_nonzero();
+            total += p.len();
+        }
+    });
+    let final_sparsity = if total == 0 {
+        0.0
+    } else {
+        1.0 - nonzero as f64 / total as f64
+    };
+
+    Ok(RunResult {
+        config: *cfg,
+        label: activity.label.clone(),
+        epochs: records,
+        final_test_acc: final_test,
+        best_test_acc: best_test,
+        activity,
+        num_params,
+        final_sparsity,
+        layer_spike_rates: layer_rates,
+    })
+}
+
+/// Engine holder that keeps LTH concrete (its `advance_round` is not on the
+/// `SparseEngine` trait).
+enum EngineKind {
+    Generic(Box<dyn SparseEngine>),
+    Lth(LthController),
+}
+
+impl EngineKind {
+    fn as_engine(&mut self) -> &mut dyn SparseEngine {
+        match self {
+            EngineKind::Generic(e) => e.as_mut(),
+            EngineKind::Lth(e) => e,
+        }
+    }
+
+    fn as_lth(&mut self) -> Option<&mut LthController> {
+        match self {
+            EngineKind::Lth(e) => Some(e),
+            EngineKind::Generic(_) => None,
+        }
+    }
+}
+
+/// Convenience: total parameter count of a run's architecture at a given
+/// width, without training.
+pub fn count_params(cfg: &RunConfig) -> Result<usize> {
+    let mut net = build_network(cfg)?;
+    Ok(net.num_params())
+}
+
+/// Convenience: run a dense baseline matching `cfg` (same everything, dense
+/// method) — used by the cost experiments for the `R_d` denominator.
+pub fn dense_twin(cfg: &RunConfig) -> RunConfig {
+    RunConfig {
+        method: MethodSpec::Dense,
+        ..*cfg
+    }
+}
+
+/// Minimum image edge length an architecture can ingest (LeNet-5's two
+/// valid-padding conv+pool stages require 16 pixels).
+pub fn min_image_size(arch: Architecture) -> usize {
+    match arch {
+        Architecture::Lenet5 => 16,
+        _ => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    fn smoke(method: MethodSpec) -> RunConfig {
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, method)
+    }
+
+    #[test]
+    fn dense_smoke_run_completes() {
+        let cfg = smoke(MethodSpec::Dense);
+        let result = run(&cfg).unwrap();
+        assert_eq!(result.epochs.len(), cfg.epochs);
+        assert_eq!(result.final_sparsity, 0.0);
+        assert!(result.final_test_acc >= 0.0);
+        assert!(result.num_params > 0);
+        assert!(result.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn ndsnn_smoke_run_reaches_target_sparsity() {
+        let cfg = smoke(MethodSpec::Ndsnn {
+            initial_sparsity: 0.5,
+            final_sparsity: 0.9,
+        });
+        let result = run(&cfg).unwrap();
+        assert!(
+            (result.final_sparsity - 0.9).abs() < 0.05,
+            "final sparsity {}",
+            result.final_sparsity
+        );
+        // Sparsity increased over epochs.
+        let first = result.epochs.first().unwrap().sparsity;
+        let last = result.epochs.last().unwrap().sparsity;
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn lth_smoke_run_advances_rounds() {
+        let mut cfg = smoke(MethodSpec::Lth {
+            final_sparsity: 0.8,
+            rounds: 1,
+        });
+        cfg.epochs = 2; // one round segment + final segment
+        let result = run(&cfg).unwrap();
+        assert!(
+            (result.final_sparsity - 0.8).abs() < 0.05,
+            "final sparsity {}",
+            result.final_sparsity
+        );
+        // First epoch dense, later sparse — the Fig. 1 trajectory.
+        assert_eq!(result.epochs[0].sparsity, 0.0);
+        assert!(result.epochs[1].sparsity > 0.7);
+    }
+
+    #[test]
+    fn spike_rates_recorded() {
+        let cfg = smoke(MethodSpec::Dense);
+        let result = run(&cfg).unwrap();
+        assert!(result
+            .activity
+            .epochs
+            .iter()
+            .all(|e| (0.0..=1.0).contains(&e.spike_rate)));
+        assert!(
+            result.activity.epochs.iter().any(|e| e.spike_rate > 0.0),
+            "no spikes recorded at all"
+        );
+    }
+
+    #[test]
+    fn zero_epochs_rejected() {
+        let mut cfg = smoke(MethodSpec::Dense);
+        cfg.epochs = 0;
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn run_result_json_export() {
+        let cfg = smoke(MethodSpec::Dense);
+        let result = run(&cfg).unwrap();
+        let json = result.to_json();
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"best_test_acc\""));
+        assert!(json.contains("\"epochs\""));
+        assert!(json.contains("\"Dense\""));
+    }
+
+    #[test]
+    fn dense_twin_strips_method() {
+        let cfg = smoke(MethodSpec::Set { sparsity: 0.9 });
+        let twin = dense_twin(&cfg);
+        assert_eq!(twin.method, MethodSpec::Dense);
+        assert_eq!(twin.seed, cfg.seed);
+    }
+}

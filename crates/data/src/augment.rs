@@ -1,0 +1,173 @@
+//! Training-time data augmentation.
+//!
+//! The standard CIFAR recipe the paper's baselines use: random crop with
+//! 4-pixel zero padding and random horizontal flip, plus optional Gaussian
+//! noise for the synthetic datasets.
+
+use ndsnn_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Zero-padding (in pixels) before a random crop back to the original
+    /// size; 0 disables the crop.
+    pub crop_padding: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Standard deviation of additive Gaussian noise; 0 disables.
+    pub noise_std: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            crop_padding: 4,
+            flip_prob: 0.5,
+            noise_std: 0.0,
+        }
+    }
+}
+
+impl AugmentConfig {
+    /// No-op augmentation (evaluation).
+    pub fn none() -> Self {
+        AugmentConfig {
+            crop_padding: 0,
+            flip_prob: 0.0,
+            noise_std: 0.0,
+        }
+    }
+
+    /// Applies the augmentation to a `(C, H, W)` image.
+    pub fn apply(&self, image: &Tensor, rng: &mut impl Rng) -> Tensor {
+        let mut out = image.clone();
+        if self.crop_padding > 0 {
+            out = random_crop(&out, self.crop_padding, rng);
+        }
+        if self.flip_prob > 0.0 && rng.gen_bool(self.flip_prob) {
+            out = hflip(&out);
+        }
+        if self.noise_std > 0.0 {
+            let std = self.noise_std;
+            for v in out.as_mut_slice() {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                *v = (*v + std * n).clamp(0.0, 1.0);
+            }
+        }
+        out
+    }
+}
+
+/// Horizontally flips a `(C, H, W)` image.
+pub fn hflip(image: &Tensor) -> Tensor {
+    let d = image.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let mut out = Tensor::zeros([c, h, w]);
+    let id = image.as_slice();
+    let od = out.as_mut_slice();
+    for ch in 0..c {
+        for y in 0..h {
+            let row = (ch * h + y) * w;
+            for x in 0..w {
+                od[row + x] = id[row + (w - 1 - x)];
+            }
+        }
+    }
+    out
+}
+
+/// Pads a `(C, H, W)` image with `pad` zeros on every side, then crops a
+/// random `H × W` window.
+pub fn random_crop(image: &Tensor, pad: usize, rng: &mut impl Rng) -> Tensor {
+    let d = image.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let off_y = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+    let off_x = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+    let mut out = Tensor::zeros([c, h, w]);
+    let id = image.as_slice();
+    let od = out.as_mut_slice();
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as isize + off_y;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize + off_x;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                od[(ch * h + y) * w + x] = id[(ch * h + sy as usize) * w + sx as usize];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn img() -> Tensor {
+        Tensor::from_vec([1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let f = hflip(&img());
+        assert_eq!(f.as_slice(), &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+        // Involution.
+        assert_eq!(hflip(&f), img());
+    }
+
+    #[test]
+    fn crop_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let c = random_crop(&img(), 1, &mut rng);
+            assert_eq!(c.dims(), img().dims());
+        }
+    }
+
+    #[test]
+    fn crop_zero_offset_possible() {
+        // With many draws, at least one crop equals the identity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let identity_seen = (0..100).any(|_| random_crop(&img(), 1, &mut rng) == img());
+        assert!(identity_seen);
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(AugmentConfig::none().apply(&img(), &mut rng), img());
+    }
+
+    #[test]
+    fn noise_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = AugmentConfig {
+            crop_padding: 0,
+            flip_prob: 0.0,
+            noise_std: 0.5,
+        };
+        let base = Tensor::full([1, 4, 4], 0.5);
+        for _ in 0..5 {
+            let a = cfg.apply(&base, &mut rng);
+            assert!(a.min() >= 0.0 && a.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn default_recipe_changes_images() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = AugmentConfig::default();
+        let changed = (0..20).any(|_| cfg.apply(&img(), &mut rng) != img());
+        assert!(changed);
+    }
+}

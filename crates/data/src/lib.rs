@@ -1,0 +1,36 @@
+//! # ndsnn-data
+//!
+//! Synthetic vision datasets for the NDSNN (DAC 2023) reproduction.
+//!
+//! The paper evaluates on CIFAR-10, CIFAR-100 and Tiny-ImageNet; an offline
+//! pure-Rust reproduction cannot ship those, so this crate generates
+//! procedural class-structured datasets with identical tensor shapes
+//! (documented as a substitution in the repository's DESIGN.md):
+//!
+//! - [`synthetic`]: the generator — per-class Gaussian-blob prototypes over
+//!   class gradients, with translation/jitter/noise controlling difficulty,
+//! - [`dataset`]: the [`dataset::Dataset`] trait and in-memory storage,
+//! - [`loader`]: deterministic shuffling [`loader::BatchLoader`],
+//! - [`augment`]: random crop + flip + noise (the standard CIFAR recipe).
+//!
+//! ## Example
+//! ```
+//! use ndsnn_data::synthetic::{generate, SyntheticConfig};
+//! use ndsnn_data::loader::BatchLoader;
+//! use ndsnn_data::dataset::Dataset;
+//!
+//! let cfg = SyntheticConfig::cifar10_like(64, 16).with_image_size(8);
+//! let (train, test) = generate(&cfg);
+//! assert_eq!(train.image_dims(), (3, 8, 8));
+//! let loader = BatchLoader::eval(16);
+//! let batches = loader.epoch(&train, 0);
+//! assert_eq!(batches[0].images.dims(), &[16, 3, 8, 8]);
+//! # let _ = test;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod dataset;
+pub mod loader;
+pub mod synthetic;

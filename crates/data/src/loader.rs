@@ -1,0 +1,156 @@
+//! Batching and shuffling.
+
+use ndsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::augment::AugmentConfig;
+use crate::dataset::Dataset;
+
+/// A collated batch: images `(B, C, H, W)` and integer labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Stacked images.
+    pub images: Tensor,
+    /// Class labels, one per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Deterministic shuffling batch loader with optional augmentation.
+#[derive(Debug)]
+pub struct BatchLoader {
+    batch_size: usize,
+    shuffle: bool,
+    augment: AugmentConfig,
+    seed: u64,
+}
+
+impl BatchLoader {
+    /// Creates a loader. `batch_size` is clamped to at least 1.
+    pub fn new(batch_size: usize, shuffle: bool, augment: AugmentConfig, seed: u64) -> Self {
+        BatchLoader {
+            batch_size: batch_size.max(1),
+            shuffle,
+            augment,
+            seed,
+        }
+    }
+
+    /// Evaluation loader: sequential order, no augmentation.
+    pub fn eval(batch_size: usize) -> Self {
+        Self::new(batch_size, false, AugmentConfig::none(), 0)
+    }
+
+    /// Number of batches per epoch for `dataset`.
+    pub fn batches_per_epoch(&self, dataset: &dyn Dataset) -> usize {
+        dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Produces the batches of one epoch. `epoch` perturbs the shuffle so
+    /// every epoch sees a different order while staying reproducible.
+    pub fn epoch(&self, dataset: &dyn Dataset, epoch: usize) -> Vec<Batch> {
+        let n = dataset.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if self.shuffle {
+            order.shuffle(&mut rng);
+        }
+        let (c, h, w) = dataset.image_dims();
+        let mut batches = Vec::with_capacity(n.div_ceil(self.batch_size));
+        for chunk in order.chunks(self.batch_size) {
+            let b = chunk.len();
+            let mut images = Tensor::zeros([b, c, h, w]);
+            let mut labels = Vec::with_capacity(b);
+            let stride = c * h * w;
+            for (slot, &i) in chunk.iter().enumerate() {
+                let (img, label) = dataset.get(i);
+                let img = self.augment.apply(&img, &mut rng);
+                images.as_mut_slice()[slot * stride..(slot + 1) * stride]
+                    .copy_from_slice(img.as_slice());
+                labels.push(label);
+            }
+            batches.push(Batch { images, labels });
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+
+    fn ds(n: usize) -> InMemoryDataset {
+        let images = (0..n).map(|i| Tensor::full([1, 2, 2], i as f32)).collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        InMemoryDataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn batches_cover_dataset() {
+        let loader = BatchLoader::eval(4);
+        let d = ds(10);
+        let batches = loader.epoch(&d, 0);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(loader.batches_per_epoch(&d), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn eval_order_is_sequential() {
+        let loader = BatchLoader::eval(3);
+        let batches = loader.epoch(&ds(6), 0);
+        assert_eq!(batches[0].images.get(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(batches[0].images.get(&[2, 0, 0, 0]), 2.0);
+        assert_eq!(batches[1].images.get(&[0, 0, 0, 0]), 3.0);
+    }
+
+    #[test]
+    fn shuffle_changes_order_but_not_content() {
+        let loader = BatchLoader::new(10, true, AugmentConfig::none(), 1);
+        let batches = loader.epoch(&ds(10), 0);
+        let firsts: Vec<f32> = (0..10)
+            .map(|i| batches[0].images.get(&[i, 0, 0, 0]))
+            .collect();
+        assert_ne!(firsts, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+        let mut sorted = firsts.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(sorted, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let loader = BatchLoader::new(10, true, AugmentConfig::none(), 1);
+        let d = ds(10);
+        let e0 = loader.epoch(&d, 0);
+        let e0b = loader.epoch(&d, 0);
+        let e1 = loader.epoch(&d, 1);
+        assert_eq!(e0[0].images, e0b[0].images, "same epoch must reproduce");
+        assert_ne!(e0[0].images, e1[0].images, "different epochs must differ");
+    }
+
+    #[test]
+    fn batch_shape() {
+        let loader = BatchLoader::eval(5);
+        let batches = loader.epoch(&ds(5), 0);
+        assert_eq!(batches[0].images.dims(), &[5, 1, 2, 2]);
+        assert_eq!(batches[0].labels, vec![0, 1, 2, 0, 1]);
+    }
+}

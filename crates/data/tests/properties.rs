@@ -1,0 +1,99 @@
+//! Property-based tests for the data substrate.
+
+use ndsnn_data::augment::{hflip, random_crop, AugmentConfig};
+use ndsnn_data::dataset::{Dataset, InMemoryDataset};
+use ndsnn_data::loader::BatchLoader;
+use ndsnn_data::synthetic::{generate, SyntheticConfig};
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_image() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 2usize..10, 2usize..10).prop_flat_map(|(c, h, w)| {
+        proptest::collection::vec(0.0f32..1.0, c * h * w)
+            .prop_map(move |d| Tensor::from_vec([c, h, w], d).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Horizontal flip is an involution and preserves the pixel multiset.
+    #[test]
+    fn hflip_involution(img in arb_image()) {
+        let f = hflip(&img);
+        prop_assert_eq!(hflip(&f), img.clone());
+        let mut a: Vec<f32> = img.as_slice().to_vec();
+        let mut b: Vec<f32> = f.as_slice().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Random crop preserves shape, and every non-zero output pixel value
+    /// exists in the input (crop only translates + zero-pads).
+    #[test]
+    fn crop_pixels_come_from_input(img in arb_image(), pad in 1usize..4, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = random_crop(&img, pad, &mut rng);
+        prop_assert_eq!(c.dims(), img.dims());
+        for &v in c.as_slice() {
+            if v != 0.0 {
+                prop_assert!(img.as_slice().contains(&v));
+            }
+        }
+    }
+
+    /// Augmentation keeps pixel values in the unit interval.
+    #[test]
+    fn augment_stays_in_unit_interval(img in arb_image(), seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = AugmentConfig { crop_padding: 2, flip_prob: 0.5, noise_std: 0.3 };
+        let a = cfg.apply(&img, &mut rng);
+        prop_assert!(a.min() >= 0.0 && a.max() <= 1.0);
+    }
+
+    /// The loader partitions the dataset exactly: every index appears once
+    /// per epoch, for any batch size.
+    #[test]
+    fn loader_partitions_dataset(n in 1usize..40, batch in 1usize..16, epoch in 0usize..4) {
+        let images: Vec<Tensor> = (0..n).map(|i| Tensor::full([1, 2, 2], i as f32)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let ds = InMemoryDataset::new(images, labels, 3);
+        let loader = BatchLoader::new(batch, true, AugmentConfig::none(), 5);
+        let batches = loader.epoch(&ds, epoch);
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| (0..b.len()).map(|i| b.images.get(&[i, 0, 0, 0])))
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        prop_assert_eq!(seen, expect);
+        prop_assert_eq!(loader.batches_per_epoch(&ds), batches.len());
+    }
+
+    /// Synthetic generation is deterministic per seed and always in range.
+    #[test]
+    fn synthetic_deterministic_and_bounded(seed in 0u64..100) {
+        let cfg = SyntheticConfig {
+            channels: 3,
+            image_size: 6,
+            num_classes: 3,
+            train_samples: 9,
+            test_samples: 3,
+            noise_std: 0.05,
+            max_shift: 1,
+            jitter: 0.5,
+            seed,
+        };
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        for i in 0..a.len() {
+            let (ia, la) = a.get(i);
+            let (ib, lb) = b.get(i);
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(ia.clone(), ib);
+            prop_assert!(ia.min() >= 0.0 && ia.max() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Confusion matrices and per-class metrics.
+//!
+//! The paper reports only top-1 accuracy; per-class views are invaluable
+//! when diagnosing *which* classes extreme sparsity sacrifices (a common
+//! failure mode of magnitude pruning), so the harness tracks them too.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// A `K × K` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        ConfusionMatrix {
+            num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Records a batch of (prediction, label) pairs.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ or any index is out of range.
+    pub fn update(&mut self, predictions: &[usize], labels: &[usize]) {
+        assert_eq!(predictions.len(), labels.len());
+        for (&p, &y) in predictions.iter().zip(labels) {
+            assert!(p < self.num_classes && y < self.num_classes);
+            self.counts[y * self.num_classes + p] += 1;
+        }
+    }
+
+    /// Count at `(true_class, predicted_class)`.
+    pub fn get(&self, true_class: usize, predicted: usize) -> u64 {
+        self.counts[true_class * self.num_classes + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|c| self.get(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall per class: `diag / row_sum` (0 for unseen classes).
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        (0..self.num_classes)
+            .map(|c| {
+                let row: u64 = (0..self.num_classes).map(|p| self.get(c, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.get(c, c) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Precision per class: `diag / column_sum` (0 for never-predicted
+    /// classes).
+    pub fn per_class_precision(&self) -> Vec<f64> {
+        (0..self.num_classes)
+            .map(|p| {
+                let col: u64 = (0..self.num_classes).map(|c| self.get(c, p)).sum();
+                if col == 0 {
+                    0.0
+                } else {
+                    self.get(p, p) as f64 / col as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Macro-averaged F1 score.
+    pub fn macro_f1(&self) -> f64 {
+        let recall = self.per_class_recall();
+        let precision = self.per_class_precision();
+        let f1s: Vec<f64> = recall
+            .iter()
+            .zip(&precision)
+            .map(|(&r, &p)| {
+                if r + p == 0.0 {
+                    0.0
+                } else {
+                    2.0 * r * p / (r + p)
+                }
+            })
+            .collect();
+        if f1s.is_empty() {
+            0.0
+        } else {
+            f1s.iter().sum::<f64>() / f1s.len() as f64
+        }
+    }
+
+    /// Classes sorted by recall, worst first — the "who gets sacrificed at
+    /// 99% sparsity" view.
+    pub fn worst_classes(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> =
+            self.per_class_recall().into_iter().enumerate().collect();
+        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Renders a per-class summary table.
+    pub fn render_summary(&self) -> String {
+        let mut table = TextTable::new(format!(
+            "Per-class metrics (accuracy {:.2}%, macro-F1 {:.3})",
+            self.accuracy() * 100.0,
+            self.macro_f1()
+        ))
+        .header(&["class", "recall", "precision", "support"]);
+        let recall = self.per_class_recall();
+        let precision = self.per_class_precision();
+        for c in 0..self.num_classes {
+            let support: u64 = (0..self.num_classes).map(|p| self.get(c, p)).sum();
+            table.row(vec![
+                format!("{c}"),
+                format!("{:.3}", recall[c]),
+                format!("{:.3}", precision[c]),
+                format!("{support}"),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(3);
+        // class 0: 3 correct; class 1: 1 correct 1 miss→2; class 2: all missed→0.
+        m.update(&[0, 0, 0, 1, 2, 0, 0], &[0, 0, 0, 1, 1, 2, 2]);
+        m
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = sample();
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.get(0, 0), 3);
+        assert_eq!(m.get(1, 2), 1);
+        assert_eq!(m.get(2, 0), 2);
+        assert!((m.accuracy() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let m = sample();
+        let r = m.per_class_recall();
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 0.5);
+        assert_eq!(r[2], 0.0);
+        let p = m.per_class_precision();
+        assert!((p[0] - 3.0 / 5.0).abs() < 1e-12); // 3 of 5 predicted-0 correct
+        assert_eq!(p[1], 1.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn worst_classes_sorted() {
+        let m = sample();
+        let w = m.worst_classes(2);
+        assert_eq!(w[0].0, 2);
+        assert_eq!(w[1].0, 1);
+    }
+
+    #[test]
+    fn macro_f1_bounds() {
+        let m = sample();
+        let f1 = m.macro_f1();
+        assert!(f1 > 0.0 && f1 < 1.0);
+        // A perfect classifier scores 1.
+        let mut perfect = ConfusionMatrix::new(2);
+        perfect.update(&[0, 1, 0], &[0, 1, 0]);
+        assert!((perfect.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+        assert_eq!(m.per_class_recall(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn render_contains_classes() {
+        let s = sample().render_summary();
+        assert!(s.contains("recall"));
+        assert!(s.contains("macro-F1"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.update(&[0], &[5]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The spike-rate-normalized training-cost model (paper §IV.C).
+//!
+//! In an SNN, computation happens only where a spike meets a live synapse, so
+//! the paper scores the *relative* per-epoch compute of a sparse method
+//! against dense training as
+//!
+//! `cost_i = (R_sᵢ × densityᵢ) / R_dᵢ`
+//!
+//! where `R_sᵢ` / `R_dᵢ` are the average spike rates of the sparse / dense
+//! model at epoch `i` and `densityᵢ = 1 − sparsityᵢ`. Total training cost is
+//! the sum over epochs; the headline numbers (e.g. "NDSNN VGG-16 costs 10.5%
+//! of dense") are ratios of these sums.
+
+use serde::{Deserialize, Serialize};
+
+/// One epoch's activity sample for a single training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochActivity {
+    /// Average spike rate of the model during the epoch (`R`).
+    pub spike_rate: f64,
+    /// Model sparsity during the epoch (`θ`); density is `1 − θ`.
+    pub sparsity: f64,
+}
+
+impl EpochActivity {
+    /// The epoch's unnormalized compute proxy `R × (1 − θ)`.
+    pub fn work(&self) -> f64 {
+        self.spike_rate * (1.0 - self.sparsity)
+    }
+}
+
+/// A full training run's activity trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    /// Method label (e.g. `"NDSNN"`).
+    pub label: String,
+    /// Per-epoch samples.
+    pub epochs: Vec<EpochActivity>,
+}
+
+impl ActivityTrace {
+    /// Creates an empty trace.
+    pub fn new(label: impl Into<String>) -> Self {
+        ActivityTrace {
+            label: label.into(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Appends one epoch.
+    pub fn push(&mut self, spike_rate: f64, sparsity: f64) {
+        self.epochs.push(EpochActivity {
+            spike_rate,
+            sparsity,
+        });
+    }
+
+    /// Total unnormalized work `Σᵢ Rᵢ·(1 − θᵢ)`.
+    pub fn total_work(&self) -> f64 {
+        self.epochs.iter().map(EpochActivity::work).sum()
+    }
+}
+
+/// Training cost of `run` relative to `dense`, per the paper's formula:
+/// `Σᵢ (R_sᵢ·densityᵢ) / Σᵢ R_dᵢ`.
+///
+/// Epochs are matched index-wise; if the traces have different lengths the
+/// shorter run's missing epochs contribute zero work (it simply trained
+/// less). Returns 0 when the dense trace has no activity.
+pub fn relative_training_cost(run: &ActivityTrace, dense: &ActivityTrace) -> f64 {
+    let denom: f64 = dense.epochs.iter().map(|e| e.spike_rate).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    run.total_work() / denom
+}
+
+/// Cost of `a` relative to `b` (e.g. NDSNN vs LTH), both normalized against
+/// the same dense trace — the paper's "NDSNN is 40.89% of LTH" numbers.
+pub fn cost_ratio(a: &ActivityTrace, b: &ActivityTrace) -> f64 {
+    let b_work = b.total_work();
+    if b_work <= 0.0 {
+        return 0.0;
+    }
+    a.total_work() / b_work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(label: &str, pairs: &[(f64, f64)]) -> ActivityTrace {
+        let mut t = ActivityTrace::new(label);
+        for &(r, s) in pairs {
+            t.push(r, s);
+        }
+        t
+    }
+
+    #[test]
+    fn dense_relative_to_itself_is_one() {
+        let d = trace("Dense", &[(0.2, 0.0), (0.25, 0.0), (0.3, 0.0)]);
+        assert!((relative_training_cost(&d, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_scales_cost_down() {
+        let d = trace("Dense", &[(0.2, 0.0); 4]);
+        let s = trace("NDSNN", &[(0.2, 0.9); 4]);
+        assert!((relative_training_cost(&s, &d) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_rate_scales_cost() {
+        let d = trace("Dense", &[(0.4, 0.0); 2]);
+        // Same sparsity, half the spike rate → half the cost.
+        let s = trace("X", &[(0.2, 0.0); 2]);
+        assert!((relative_training_cost(&s, &d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lth_style_trace_costs_more_than_ndsnn_style() {
+        // LTH: early rounds nearly dense; NDSNN: sparse from the start.
+        let dense = trace("Dense", &[(0.25, 0.0); 10]);
+        let mut lth = ActivityTrace::new("LTH");
+        for i in 0..10 {
+            // Sparsity ramps 0 → 0.9 across rounds.
+            lth.push(0.25, 0.9 * (i as f64 / 9.0));
+        }
+        let mut nd = ActivityTrace::new("NDSNN");
+        for i in 0..10 {
+            // Sparsity ramps 0.7 → 0.95.
+            nd.push(0.25, 0.7 + 0.25 * (i as f64 / 9.0));
+        }
+        let c_lth = relative_training_cost(&lth, &dense);
+        let c_nd = relative_training_cost(&nd, &dense);
+        assert!(c_nd < c_lth * 0.5, "NDSNN {c_nd} vs LTH {c_lth}");
+        let ratio = cost_ratio(&nd, &lth);
+        assert!((ratio - c_nd / c_lth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dense_trace_yields_zero() {
+        let e = ActivityTrace::new("Dense");
+        let s = trace("X", &[(0.5, 0.5)]);
+        assert_eq!(relative_training_cost(&s, &e), 0.0);
+        assert_eq!(cost_ratio(&s, &e), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_handled() {
+        let d = trace("Dense", &[(0.2, 0.0); 5]);
+        let s = trace("X", &[(0.2, 0.5); 2]);
+        let c = relative_training_cost(&s, &d);
+        // 2 epochs × 0.1 work / 5 × 0.2 = 0.2.
+        assert!((c - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sparse-aware FLOP accounting.
+//!
+//! The paper's Table III discussion mentions "training FLOPs"; this module
+//! provides the standard model: a layer with `N_active` weights costs
+//! `2·N_active·spatial_positions` multiply-accumulates per forward timestep,
+//! ~2× that for the backward pass, all scaled by the spike rate of its input
+//! (computation only fires on spikes).
+
+use serde::{Deserialize, Serialize};
+
+/// Compute description of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCompute {
+    /// Layer name.
+    pub name: String,
+    /// Total weights in the layer.
+    pub weights: usize,
+    /// Output spatial positions per sample (H·W for conv, 1 for linear) —
+    /// each active weight fires once per output position.
+    pub output_positions: usize,
+}
+
+impl LayerCompute {
+    /// Dense forward MACs per sample per timestep.
+    pub fn dense_macs(&self) -> u64 {
+        self.weights as u64 * self.output_positions as u64
+    }
+}
+
+/// FLOPs for one forward pass of a sample over `timesteps`, given per-layer
+/// densities and input spike rates (one entry per layer, matched by index).
+///
+/// `flops = Σ_l 2 · MACs_l · density_l · rate_l · T`.
+pub fn forward_flops(
+    layers: &[LayerCompute],
+    densities: &[f64],
+    spike_rates: &[f64],
+    timesteps: usize,
+) -> f64 {
+    layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let d = densities.get(i).copied().unwrap_or(1.0);
+            let r = spike_rates.get(i).copied().unwrap_or(1.0);
+            2.0 * l.dense_macs() as f64 * d * r * timesteps as f64
+        })
+        .sum()
+}
+
+/// Training FLOPs: forward + backward ≈ 3× forward (the standard 1:2
+/// fwd:bwd accounting used by RigL).
+pub fn training_flops(
+    layers: &[LayerCompute],
+    densities: &[f64],
+    spike_rates: &[f64],
+    timesteps: usize,
+) -> f64 {
+    3.0 * forward_flops(layers, densities, spike_rates, timesteps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layers() -> Vec<LayerCompute> {
+        vec![
+            LayerCompute {
+                name: "conv".into(),
+                weights: 1000,
+                output_positions: 64,
+            },
+            LayerCompute {
+                name: "fc".into(),
+                weights: 5000,
+                output_positions: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn dense_full_rate_baseline() {
+        let f = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 1);
+        assert_eq!(f, 2.0 * (1000.0 * 64.0 + 5000.0));
+    }
+
+    #[test]
+    fn density_scales_linearly() {
+        let full = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 1);
+        let tenth = forward_flops(&layers(), &[0.1, 0.1], &[1.0, 1.0], 1);
+        assert!((tenth / full - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_rate_scales_linearly() {
+        let full = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 1);
+        let sparse_spikes = forward_flops(&layers(), &[1.0, 1.0], &[0.2, 0.2], 1);
+        assert!((sparse_spikes / full - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timesteps_multiply() {
+        let t1 = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 1);
+        let t5 = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 5);
+        assert_eq!(t5, 5.0 * t1);
+    }
+
+    #[test]
+    fn training_is_3x_forward() {
+        let f = forward_flops(&layers(), &[0.5, 0.5], &[0.5, 0.5], 2);
+        let t = training_flops(&layers(), &[0.5, 0.5], &[0.5, 0.5], 2);
+        assert_eq!(t, 3.0 * f);
+    }
+
+    #[test]
+    fn missing_entries_default_dense() {
+        let f = forward_flops(&layers(), &[], &[], 1);
+        assert_eq!(f, 2.0 * (1000.0 * 64.0 + 5000.0));
+    }
+}

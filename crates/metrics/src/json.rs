@@ -1,0 +1,476 @@
+//! Minimal JSON serialization for experiment records.
+//!
+//! The workspace's dependency policy allows `serde` but no serde *format*
+//! crate, so this module implements a compact `serde::Serializer` that is
+//! sufficient for exporting run results and experiment records (structs,
+//! enums, sequences, maps, numbers, strings, options). It is not a general
+//! JSON library: there is no deserializer, and non-finite floats serialize
+//! as `null` (matching `serde_json`).
+
+use std::fmt::Write as _;
+
+use serde::ser::{self, Serialize};
+
+/// Serializes any `Serialize` value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut ser = Serializer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Error produced by JSON serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+struct Serializer {
+    out: String,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        let mut buf = [0u8; 4];
+        self.serialize_str(v.encode_utf8(&mut buf))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        escape_into(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+/// In-progress sequence/map/struct serialization state.
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn finish(self) -> Result<(), JsonError> {
+        self.ser.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.comma();
+        // JSON keys must be strings: serialize the key and require it
+        // rendered as a string.
+        let before = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[before..].starts_with('"') {
+            // Stringify non-string keys (numbers etc.).
+            let raw = self.ser.out.split_off(before);
+            escape_into(&mut self.ser.out, &raw);
+        }
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        escape_into(&mut self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        acc: f64,
+        epochs: Vec<u32>,
+        note: Option<String>,
+        nan: f64,
+    }
+
+    #[test]
+    fn serializes_struct() {
+        let d = Demo {
+            name: "NDSNN \"v1\"\n".into(),
+            acc: 91.84,
+            epochs: vec![1, 2, 3],
+            note: None,
+            nan: f64::NAN,
+        };
+        let s = to_string(&d).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"NDSNN \"v1\"\n","acc":91.84,"epochs":[1,2,3],"note":null,"nan":null}"#
+        );
+    }
+
+    #[derive(Serialize)]
+    enum Method {
+        Dense,
+        Ndsnn { initial: f64 },
+        Pair(u32, u32),
+    }
+
+    #[test]
+    fn serializes_enums() {
+        assert_eq!(to_string(&Method::Dense).unwrap(), r#""Dense""#);
+        assert_eq!(
+            to_string(&Method::Ndsnn { initial: 0.7 }).unwrap(),
+            r#"{"Ndsnn":{"initial":0.7}}"#
+        );
+        assert_eq!(to_string(&Method::Pair(1, 2)).unwrap(), r#"{"Pair":[1,2]}"#);
+    }
+
+    #[test]
+    fn serializes_maps_and_tuples() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(to_string(&m).unwrap(), r#"{"a":1,"b":2}"#);
+        assert_eq!(to_string(&(1, "x", true)).unwrap(), r#"[1,"x",true]"#);
+        let mut numkey = std::collections::BTreeMap::new();
+        numkey.insert(5u32, "v");
+        assert_eq!(to_string(&numkey).unwrap(), r#"{"5":"v"}"#);
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let s = to_string(&"\u{1}tab\t").unwrap();
+        assert_eq!(s, "\"\\u0001tab\\t\"");
+    }
+
+    #[test]
+    fn run_record_round_trip_shape() {
+        // The epoch record used by the trainer serializes cleanly.
+        let rec = crate::meters::EpochRecord {
+            epoch: 3,
+            train_loss: 1.5,
+            train_acc: 40.0,
+            test_acc: 38.5,
+            sparsity: 0.9,
+            spike_rate: 0.12,
+            lr: 0.05,
+        };
+        let s = to_string(&rec).unwrap();
+        assert!(s.contains("\"epoch\":3"));
+        assert!(s.contains("\"sparsity\":0.9"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Running meters for losses and accuracies.
+
+use serde::{Deserialize, Serialize};
+
+/// A running (count-weighted) average.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvgMeter {
+    sum: f64,
+    count: u64,
+}
+
+impl AvgMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` with weight `n` (e.g. a batch-mean loss over `n`
+    /// samples).
+    pub fn update(&mut self, value: f64, n: u64) {
+        self.sum += value * n as f64;
+        self.count += n;
+    }
+
+    /// The current average (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Clears the meter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Counts correct predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccuracyMeter {
+    correct: u64,
+    total: u64,
+}
+
+impl AccuracyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a batch result.
+    pub fn update(&mut self, correct: usize, total: usize) {
+        self.correct += correct as u64;
+        self.total += total as u64;
+    }
+
+    /// Accuracy in `[0, 1]` (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy as a percentage, the unit of the paper's tables.
+    pub fn percent(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+
+    /// Samples seen.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Clears the meter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Per-epoch training trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Training accuracy in percent.
+    pub train_acc: f64,
+    /// Test accuracy in percent.
+    pub test_acc: f64,
+    /// Model sparsity during this epoch.
+    pub sparsity: f64,
+    /// Average spike rate of the model during this epoch.
+    pub spike_rate: f64,
+    /// Learning rate in effect.
+    pub lr: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_meter_weighted() {
+        let mut m = AvgMeter::new();
+        m.update(1.0, 3);
+        m.update(5.0, 1);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 4);
+        m.reset();
+        assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_meter() {
+        let mut m = AccuracyMeter::new();
+        m.update(3, 4);
+        m.update(1, 4);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert!((m.percent() - 50.0).abs() < 1e-12);
+        assert_eq!(m.total(), 8);
+    }
+
+    #[test]
+    fn empty_meters_are_zero() {
+        assert_eq!(AvgMeter::new().mean(), 0.0);
+        assert_eq!(AccuracyMeter::new().accuracy(), 0.0);
+    }
+}

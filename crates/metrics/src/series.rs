@@ -1,0 +1,204 @@
+//! Line-series output: CSV and ASCII charts for regenerating the paper's
+//! figures (Fig. 1 sparsity curves, Fig. 4 bars, Fig. 5 cost bars) in a
+//! terminal.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Renders several series as CSV with a shared `x` column (rows are the
+/// union of x values; missing values are empty cells).
+pub fn to_csv(series: &[Series], x_name: &str) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let mut out = String::new();
+    out.push_str(x_name);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in series {
+            out.push(',');
+            if let Some((_, y)) = s.points.iter().find(|(px, _)| *px == x) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as a fixed-size ASCII line chart (one glyph per series).
+///
+/// Intended for terminal inspection of figure shapes, not publication.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(8);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: [{y0:.3}, {y1:.3}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: [{x0:.1}, {x1:.1}]   legend: "));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders labelled values as a horizontal ASCII bar chart (the terminal
+/// equivalent of the paper's Fig. 5 bars). Bars are scaled to the maximum
+/// value; `width` is the maximum bar length in characters.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let width = width.max(4);
+    if items.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let max = items
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let len = ((v.abs() / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {v:.4}\n",
+            "#".repeat(len.min(width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_union_of_x() {
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(1.0, 5.0);
+        b.push(2.0, 6.0);
+        let csv = to_csv(&[a, b], "epoch");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,a,b");
+        assert_eq!(lines.len(), 4); // header + x ∈ {0,1,2}
+        assert_eq!(lines[2], "1,2,5");
+        assert_eq!(lines[1], "0,1,");
+    }
+
+    #[test]
+    fn ascii_chart_contains_glyphs_and_legend() {
+        let mut s = Series::new("sparsity");
+        for i in 0..10 {
+            s.push(i as f64, (i * i) as f64);
+        }
+        let chart = ascii_chart(&[s], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("sparsity"));
+        assert!(chart.contains("x: [0.0, 9.0]"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        assert_eq!(ascii_chart(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let items = vec![
+            ("Dense".to_string(), 1.0),
+            ("LTH".to_string(), 0.5),
+            ("NDSNN".to_string(), 0.1),
+        ];
+        let chart = bar_chart(&items, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 2);
+        assert!(lines[2].contains("0.1000"));
+    }
+
+    #[test]
+    fn bar_chart_empty_and_zero() {
+        assert_eq!(bar_chart(&[], 10), "(no data)\n");
+        let chart = bar_chart(&[("z".to_string(), 0.0)], 10);
+        assert!(chart.contains("0.0000"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut s = Series::new("c");
+        s.push(0.0, 5.0);
+        s.push(1.0, 5.0);
+        let chart = ascii_chart(&[s], 20, 6);
+        assert!(chart.contains('*'));
+    }
+}

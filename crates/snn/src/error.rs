@@ -1,0 +1,45 @@
+//! Error type for the SNN substrate.
+
+use std::fmt;
+
+use ndsnn_tensor::TensorError;
+
+/// Errors raised while building or running spiking networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// An underlying tensor operation failed (shape/geometry problems).
+    Tensor(TensorError),
+    /// The network was used incorrectly, e.g. `backward` without a cached
+    /// forward pass, or backward in evaluation mode.
+    InvalidState(String),
+    /// A model configuration is unbuildable (zero channels, zero timesteps…).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SnnError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            SnnError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SnnError {
+    fn from(e: TensorError) -> Self {
+        SnnError::Tensor(e)
+    }
+}
+
+/// Convenience alias used across the SNN crate.
+pub type Result<T> = std::result::Result<T, SnnError>;

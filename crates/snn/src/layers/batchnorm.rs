@@ -1,0 +1,333 @@
+//! Batch normalization for spiking layers.
+//!
+//! Statistics are computed per timestep over the batch (and spatial dims for
+//! rank-4 inputs). This is the "step BN" convention; the paper's SpikingJelly
+//! stack defaults to the same per-invocation behaviour when layers are
+//! stepped one `t` at a time. Running statistics (exponential moving average)
+//! are used in evaluation mode.
+
+use ndsnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::{Result, SnnError};
+use crate::layers::Layer;
+use crate::param::{Param, ParamKind};
+
+/// Per-step cache needed by the backward pass.
+#[derive(Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+/// Batch normalization over the channel axis.
+///
+/// Accepts `(B, C, H, W)` (normalizing each channel over `B·H·W`) or `(B, C)`
+/// (normalizing each feature over `B`).
+#[derive(Debug)]
+pub struct BatchNorm {
+    name: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Vec<BnCache>,
+    training: bool,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer with γ=1, β=0 and `eps = 1e-5`.
+    ///
+    /// The unused RNG parameter keeps builder signatures uniform across
+    /// layers (γ initialization variants may use it).
+    pub fn new(name: impl Into<String>, channels: usize, _rng: &mut impl Rng) -> Result<Self> {
+        if channels == 0 {
+            return Err(SnnError::InvalidConfig("batchnorm with 0 channels".into()));
+        }
+        let name = name.into();
+        Ok(BatchNorm {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::ones([channels]),
+                ParamKind::Norm,
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                Tensor::zeros([channels]),
+                ParamKind::Norm,
+            ),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            cache: Vec::new(),
+            name,
+            training: true,
+        })
+    }
+
+    /// Channel count this layer normalizes over.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Decomposes the input dims into (groups-per-channel layout): returns
+    /// `(batch, spatial)` where the tensor is `(B, C, spatial…)`.
+    fn layout(&self, t: &Tensor) -> Result<(usize, usize)> {
+        let d = t.dims();
+        match d {
+            [b, c] if *c == self.channels => Ok((*b, 1)),
+            [b, c, h, w] if *c == self.channels => Ok((*b, h * w)),
+            _ => Err(SnnError::InvalidState(format!(
+                "{}: input dims {:?} incompatible with {} channels",
+                self.name, d, self.channels
+            ))),
+        }
+    }
+}
+
+// Channel loops index several parallel per-channel arrays; an index loop is
+// clearer than a zipped iterator chain here.
+#[allow(clippy::needless_range_loop)]
+impl Layer for BatchNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        let (b, spatial) = self.layout(input)?;
+        let c = self.channels;
+        let m = (b * spatial) as f32;
+        let id = input.as_slice();
+        let mut out = Tensor::zeros(input.shape().clone());
+        let mut xhat = Tensor::zeros(input.shape().clone());
+        let mut inv_stds = vec![0.0f32; c];
+        let gd = self.gamma.value.as_slice().to_vec();
+        let bd = self.beta.value.as_slice().to_vec();
+
+        for ch in 0..c {
+            // Gather statistics for channel `ch`.
+            let (mean, var) = if self.training {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for s in 0..b {
+                    let base = (s * c + ch) * spatial;
+                    for &v in &id[base..base + spatial] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / m as f64) as f32;
+                let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                let rm = &mut self.running_mean.as_mut_slice()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.as_mut_slice()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mean, var)
+            } else {
+                (
+                    self.running_mean.as_slice()[ch],
+                    self.running_var.as_slice()[ch],
+                )
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let (g, be) = (gd[ch], bd[ch]);
+            let od = out.as_mut_slice();
+            let xd = xhat.as_mut_slice();
+            for s in 0..b {
+                let base = (s * c + ch) * spatial;
+                for i in base..base + spatial {
+                    let xh = (id[i] - mean) * inv_std;
+                    xd[i] = xh;
+                    od[i] = g * xh + be;
+                }
+            }
+        }
+        if self.training {
+            debug_assert_eq!(step, self.cache.len(), "non-sequential forward");
+            self.cache.push(BnCache {
+                xhat,
+                inv_std: inv_stds,
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let cache = self.cache.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!(
+                "{} backward at step {step} without cached forward",
+                self.name
+            ))
+        })?;
+        let (b, spatial) = self.layout(grad_out)?;
+        let c = self.channels;
+        let m = (b * spatial) as f32;
+        let gy = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let mut gx = Tensor::zeros(grad_out.shape().clone());
+        let gamma = self.gamma.value.as_slice().to_vec();
+
+        for ch in 0..c {
+            let mut sum_gy = 0.0f64;
+            let mut sum_gy_xh = 0.0f64;
+            for s in 0..b {
+                let base = (s * c + ch) * spatial;
+                for i in base..base + spatial {
+                    sum_gy += gy[i] as f64;
+                    sum_gy_xh += (gy[i] * xh[i]) as f64;
+                }
+            }
+            self.beta.grad.as_mut_slice()[ch] += sum_gy as f32;
+            self.gamma.grad.as_mut_slice()[ch] += sum_gy_xh as f32;
+            let k = gamma[ch] * cache.inv_std[ch] / m;
+            let (sg, sgx) = (sum_gy as f32, sum_gy_xh as f32);
+            let gxd = gx.as_mut_slice();
+            for s in 0..b {
+                let base = (s * c + ch) * spatial;
+                for i in base..base + spatial {
+                    gxd[i] = k * (m * gy[i] - sg - xh[i] * sgx);
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn reset_state(&mut self) {
+        self.cache.clear();
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn for_each_buffer(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        let mean_name = format!("{}.running_mean", self.name);
+        f(&mean_name, &mut self.running_mean);
+        let var_name = format!("{}.running_var", self.name);
+        f(&var_name, &mut self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(20)
+    }
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let mut bn = BatchNorm::new("bn", 2, &mut rng()).unwrap();
+        let x = ndsnn_tensor::init::uniform([8, 2, 4, 4], -3.0, 5.0, &mut rng());
+        let y = bn.forward(&x, 0).unwrap();
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..8 {
+                for i in 0..16 {
+                    vals.push(y.as_slice()[(s * 2 + ch) * 16 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn rank2_supported() {
+        let mut bn = BatchNorm::new("bn", 3, &mut rng()).unwrap();
+        let x = ndsnn_tensor::init::uniform([16, 3], 0.0, 10.0, &mut rng());
+        let y = bn.forward(&x, 0).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        let col_mean: f32 = (0..16).map(|i| y.get(&[i, 1])).sum::<f32>() / 16.0;
+        assert!(col_mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new("bn", 1, &mut rng()).unwrap();
+        // Train on data with mean 4, building running stats.
+        let x = Tensor::full([32, 1, 2, 2], 4.0);
+        let noisy = x
+            .add(&ndsnn_tensor::init::normal(
+                [32, 1, 2, 2],
+                0.0,
+                1.0,
+                &mut rng(),
+            ))
+            .unwrap();
+        for _ in 0..60 {
+            bn.reset_state();
+            bn.forward(&noisy, 0).unwrap();
+        }
+        bn.set_training(false);
+        bn.reset_state();
+        // A constant-4 input should map near zero under running stats.
+        let y = bn.forward(&x, 0).unwrap();
+        assert!(y.mean().abs() < 0.3, "eval output mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm::new("bn", 2, &mut rng()).unwrap();
+        let x = ndsnn_tensor::init::uniform([4, 2, 2, 2], -1.0, 1.0, &mut rng());
+        // Loss: weighted sum so gradients are non-uniform.
+        let w = ndsnn_tensor::init::uniform(x.shape().clone(), -1.0, 1.0, &mut rng());
+        let y = bn.forward(&x, 0).unwrap();
+        let gy = w.clone();
+        let _ = y;
+        let gx = bn.backward(&gy, 0).unwrap();
+        let eps = 1e-2;
+        let loss = |inp: &Tensor| -> f32 {
+            let mut bn2 = BatchNorm::new("bn", 2, &mut rng()).unwrap();
+            bn2.forward(inp, 0).unwrap().mul(&w).unwrap().sum()
+        };
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let an = gx.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "idx {idx}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut bn = BatchNorm::new("bn", 1, &mut rng()).unwrap();
+        let x = ndsnn_tensor::init::uniform([4, 1, 2, 2], -1.0, 1.0, &mut rng());
+        bn.forward(&x, 0).unwrap();
+        let gy = Tensor::ones([4, 1, 2, 2]);
+        bn.backward(&gy, 0).unwrap();
+        let mut beta_grad = 0.0;
+        bn.for_each_param(&mut |p| {
+            if p.name.ends_with("beta") {
+                beta_grad = p.grad.as_slice()[0];
+            }
+        });
+        assert!((beta_grad - 16.0).abs() < 1e-4); // sum of ones
+    }
+
+    #[test]
+    fn wrong_channel_count_rejected() {
+        let mut bn = BatchNorm::new("bn", 3, &mut rng()).unwrap();
+        assert!(bn.forward(&Tensor::zeros([2, 4, 2, 2]), 0).is_err());
+    }
+}

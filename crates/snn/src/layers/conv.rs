@@ -1,0 +1,175 @@
+//! Spiking 2-D convolution layer.
+
+use ndsnn_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use ndsnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::{Result, SnnError};
+use crate::layers::Layer;
+use crate::param::{Param, ParamKind};
+
+/// A 2-D convolution applied independently at every timestep.
+///
+/// The weight is the primary sparsification target of the NDSNN drop-and-grow
+/// schedule; its shape `(F, C, KH, KW)` matches the memory-footprint analysis
+/// of paper §III.D (each of the `F` filters is one CSR row after reshaping).
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    geometry: Conv2dGeometry,
+    weight: Param,
+    bias: Option<Param>,
+    input_cache: Vec<Tensor>,
+    training: bool,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights.
+    pub fn new(
+        name: impl Into<String>,
+        geometry: Conv2dGeometry,
+        with_bias: bool,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if geometry.in_channels == 0 || geometry.out_channels == 0 || geometry.kernel_h == 0 {
+            return Err(SnnError::InvalidConfig(format!(
+                "conv geometry has zero extent: {geometry:?}"
+            )));
+        }
+        let name = name.into();
+        let weight = Param::new(
+            format!("{name}.weight"),
+            ndsnn_tensor::init::kaiming_uniform(geometry.weight_dims(), rng),
+            ParamKind::Weight,
+        );
+        let bias = with_bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros([geometry.out_channels]),
+                ParamKind::Bias,
+            )
+        });
+        Ok(Conv2d {
+            name,
+            geometry,
+            weight,
+            bias,
+            input_cache: Vec::new(),
+            training: true,
+        })
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geometry
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        let out = conv2d_forward(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            &self.geometry,
+        )?;
+        if self.training {
+            debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
+            self.input_cache.push(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let x = self.input_cache.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!(
+                "{} backward at step {step} without cached input",
+                self.name
+            ))
+        })?;
+        let grads = conv2d_backward(x, &self.weight.value, grad_out, &self.geometry)?;
+        self.weight.grad.add_assign(&grads.weight_grad)?;
+        if let Some(bias) = &mut self.bias {
+            bias.grad.add_assign(&grads.bias_grad)?;
+        }
+        Ok(grads.input_grad)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_cache.clear();
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            f(bias);
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerExt;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Conv2dGeometry::square(3, 8, 3, 1, 1);
+        let mut conv = Conv2d::new("c1", g, false, &mut rng).unwrap();
+        let x = ndsnn_tensor::init::uniform([2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, 0).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        let gx = conv.backward(&Tensor::ones(y.shape().clone()), 0).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        let mut total = 0;
+        conv.for_each_param(&mut |p| total += p.len());
+        assert_eq!(total, 8 * 3 * 3 * 3);
+        assert_eq!(conv.num_params(), total);
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_across_timesteps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Conv2dGeometry::square(1, 1, 1, 1, 0);
+        let mut conv = Conv2d::new("c", g, false, &mut rng).unwrap();
+        let x = Tensor::ones([1, 1, 2, 2]);
+        conv.forward(&x, 0).unwrap();
+        conv.forward(&x, 1).unwrap();
+        let gy = Tensor::ones([1, 1, 2, 2]);
+        conv.backward(&gy, 1).unwrap();
+        conv.backward(&gy, 0).unwrap();
+        let mut grad_sum = 0.0;
+        conv.for_each_param(&mut |p| grad_sum = p.grad.sum());
+        // 1×1 conv over 4 pixels, 2 timesteps → dW = 8.
+        assert!((grad_sum - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = Conv2dGeometry::square(1, 1, 1, 1, 0);
+        let mut conv = Conv2d::new("c", g, false, &mut rng).unwrap();
+        assert!(conv.backward(&Tensor::ones([1, 1, 1, 1]), 0).is_err());
+    }
+
+    #[test]
+    fn eval_mode_skips_cache() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Conv2dGeometry::square(1, 2, 3, 1, 1);
+        let mut conv = Conv2d::new("c", g, false, &mut rng).unwrap();
+        conv.set_training(false);
+        let x = Tensor::ones([1, 1, 4, 4]);
+        conv.forward(&x, 0).unwrap();
+        assert!(conv.backward(&Tensor::ones([1, 2, 4, 4]), 0).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Shape adapter between convolutional and fully-connected stages.
+
+use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SnnError};
+use crate::layers::Layer;
+
+/// Flattens `(B, C, H, W)` (or any rank ≥ 2) into `(B, C·H·W)` per timestep.
+#[derive(Debug)]
+pub struct Flatten {
+    name: String,
+    input_dims: Vec<Vec<usize>>,
+    training: bool,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            input_dims: Vec::new(),
+            training: true,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(SnnError::InvalidState(format!(
+                "{}: cannot flatten rank-{} tensor",
+                self.name,
+                input.rank()
+            )));
+        }
+        let b = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        if self.training {
+            debug_assert_eq!(step, self.input_dims.len());
+            self.input_dims.push(input.dims().to_vec());
+        }
+        Ok(input.reshape([b, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let dims = self.input_dims.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!("{} backward without forward", self.name))
+        })?;
+        Ok(grad_out.reshape(dims.as_slice())?)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_dims.clear();
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new("flat");
+        let x = Tensor::zeros([2, 3, 4, 4]);
+        let y = f.forward(&x, 0).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let gx = f.backward(&Tensor::ones([2, 48]), 0).unwrap();
+        assert_eq!(gx.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_rank1() {
+        let mut f = Flatten::new("flat");
+        assert!(f.forward(&Tensor::zeros([4]), 0).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Fully-connected layer.
+
+use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use ndsnn_tensor::ops::reduce::sum_axis0;
+use ndsnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::{Result, SnnError};
+use crate::layers::Layer;
+use crate::param::{Param, ParamKind};
+
+/// A linear (fully-connected) layer `y = x·Wᵀ + b` applied per timestep.
+///
+/// Weight shape is `(out_features, in_features)`, matching PyTorch, so the
+/// sparse-training engines treat each row as one output neuron's fan-in.
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    weight: Param,
+    bias: Option<Param>,
+    input_cache: Vec<Tensor>,
+    training: bool,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights and zero bias.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        with_bias: bool,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(SnnError::InvalidConfig(format!(
+                "linear features must be nonzero, got {in_features}x{out_features}"
+            )));
+        }
+        let name = name.into();
+        let weight = Param::new(
+            format!("{name}.weight"),
+            ndsnn_tensor::init::kaiming_uniform([out_features, in_features], rng),
+            ParamKind::Weight,
+        );
+        let bias = with_bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros([out_features]),
+                ParamKind::Bias,
+            )
+        });
+        Ok(Linear {
+            name,
+            weight,
+            bias,
+            input_cache: Vec::new(),
+            training: true,
+        })
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        // y(B×Out) = x(B×In) · Wᵀ(In×Out)
+        let mut out = matmul_a_bt(input, &self.weight.value)?;
+        if let Some(bias) = &self.bias {
+            let (b, k) = (out.dims()[0], out.dims()[1]);
+            let od = out.as_mut_slice();
+            for i in 0..b {
+                for (o, &bv) in od[i * k..(i + 1) * k].iter_mut().zip(bias.value.as_slice()) {
+                    *o += bv;
+                }
+            }
+        }
+        if self.training {
+            debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
+            self.input_cache.push(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let x = self.input_cache.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!(
+                "{} backward at step {step} without cached input",
+                self.name
+            ))
+        })?;
+        // dW(Out×In) += gyᵀ(Out×B) · x(B×In)
+        let dw = matmul_at_b(grad_out, x)?;
+        self.weight.grad.add_assign(&dw)?;
+        if let Some(bias) = &mut self.bias {
+            bias.grad.add_assign(&sum_axis0(grad_out)?)?;
+        }
+        // dx(B×In) = gy(B×Out) · W(Out×In)
+        Ok(matmul(grad_out, &self.weight.value)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_cache.clear();
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            f(bias);
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerExt;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new("fc", 3, 2, true, &mut rng).unwrap();
+        l.for_each_param(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                p.value = Tensor::from_vec([2, 3], vec![1., 0., -1., 2., 2., 2.]).unwrap();
+            } else {
+                p.value = Tensor::from_slice(&[0.5, -0.5]);
+            }
+        });
+        let x = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = l.forward(&x, 0).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 - 3.0 + 0.5, 12.0 - 0.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new("fc", 4, 3, true, &mut rng).unwrap();
+        let x = ndsnn_tensor::init::uniform([2, 4], -1.0, 1.0, &mut rng);
+        // Loss = sum(y), grad_out = ones.
+        let y = l.forward(&x, 0).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let gx = l.backward(&gy, 0).unwrap();
+        let eps = 1e-3;
+        // Weight gradient check.
+        let mut weights = Vec::new();
+        l.for_each_param(&mut |p| weights.push((p.name.clone(), p.value.clone(), p.grad.clone())));
+        for (name, value, grad) in &weights {
+            for idx in [0usize, value.len() / 2, value.len() - 1] {
+                let mut lp = Linear::new("fc", 4, 3, true, &mut StdRng::seed_from_u64(2)).unwrap();
+                let mut lm = Linear::new("fc", 4, 3, true, &mut StdRng::seed_from_u64(2)).unwrap();
+                lp.for_each_param(&mut |p| {
+                    if &p.name == name {
+                        p.value.as_mut_slice()[idx] += eps;
+                    }
+                });
+                lm.for_each_param(&mut |p| {
+                    if &p.name == name {
+                        p.value.as_mut_slice()[idx] -= eps;
+                    }
+                });
+                let fp = lp.forward(&x, 0).unwrap().sum();
+                let fm = lm.forward(&x, 0).unwrap().sum();
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.as_slice()[idx]).abs() < 1e-2,
+                    "{name}[{idx}]: fd={fd} an={}",
+                    grad.as_slice()[idx]
+                );
+            }
+        }
+        // Input gradient check.
+        for idx in [0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let mut l2 = Linear::new("fc", 4, 3, true, &mut StdRng::seed_from_u64(2)).unwrap();
+            let fp = l2.forward(&xp, 0).unwrap().sum();
+            l2.reset_state();
+            let fm = l2.forward(&xm, 0).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates_over_steps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new("fc", 2, 2, false, &mut rng).unwrap();
+        let x = Tensor::ones([1, 2]);
+        let gy = Tensor::ones([1, 2]);
+        l.forward(&x, 0).unwrap();
+        l.forward(&x, 1).unwrap();
+        l.backward(&gy, 1).unwrap();
+        l.backward(&gy, 0).unwrap();
+        let mut gsum = 0.0;
+        l.for_each_param(&mut |p| gsum += p.grad.sum());
+        assert!((gsum - 8.0).abs() < 1e-5); // each of 4 weights gets 1.0 per step
+        l.zero_grad();
+        let mut gsum2 = 0.0;
+        l.for_each_param(&mut |p| gsum2 += p.grad.sum());
+        assert_eq!(gsum2, 0.0);
+    }
+
+    #[test]
+    fn zero_features_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(Linear::new("fc", 0, 2, true, &mut rng).is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new("fc", 3, 4, true, &mut rng).unwrap();
+        assert_eq!(l.num_params(), 12 + 4);
+    }
+}

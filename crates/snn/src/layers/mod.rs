@@ -1,0 +1,123 @@
+//! Spiking network layers and the [`Layer`] trait.
+//!
+//! Layers process one timestep at a time: the network driver calls
+//! [`Layer::forward`] for `t = 0..T` (caching whatever the backward pass
+//! needs) and then [`Layer::backward`] for `t = T−1..0`, which implements
+//! Backpropagation Through Time (paper Eq. 2). Stateful layers (LIF) carry
+//! membrane potential across forward steps and the error signal
+//! `ε[t] = ∂L/∂v[t]` across backward steps.
+
+mod batchnorm;
+mod container;
+mod conv;
+mod flatten;
+mod lif;
+mod linear;
+mod plif;
+mod pool;
+mod residual;
+
+pub use batchnorm::BatchNorm;
+pub use container::Sequential;
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use lif::{LifConfig, LifLayer, ResetMode};
+pub use linear::Linear;
+pub use plif::{PlifConfig, PlifLayer};
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::BasicBlock;
+
+use ndsnn_tensor::Tensor;
+
+use crate::error::Result;
+use crate::param::Param;
+
+/// Spike activity counters for one layer (or an aggregate over layers).
+///
+/// `rate()` is the *average spike rate* `R` used by the paper's training-cost
+/// metric (§IV.C): spikes emitted divided by neuron-timestep opportunities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpikeStats {
+    /// Total spikes emitted.
+    pub spikes: u64,
+    /// Total neuron × timestep opportunities.
+    pub neuron_steps: u64,
+}
+
+impl SpikeStats {
+    /// Average spike rate in `[0, 1]`; 0 when no activity was recorded.
+    pub fn rate(&self) -> f64 {
+        if self.neuron_steps == 0 {
+            0.0
+        } else {
+            self.spikes as f64 / self.neuron_steps as f64
+        }
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: SpikeStats) {
+        self.spikes += other.spikes;
+        self.neuron_steps += other.neuron_steps;
+    }
+}
+
+/// A differentiable, possibly stateful network layer driven one timestep at a
+/// time.
+///
+/// # Contract
+/// - `forward(input, t)` must be called with consecutive `t = 0, 1, …` after
+///   a [`Layer::reset_state`].
+/// - `backward(grad, t)` must be called with the same `t` values in *reverse*
+///   order, after the full forward sweep, and only in training mode.
+/// - Parameter gradients accumulate across `backward` calls (Eq. 2c);
+///   [`LayerExt::zero_grad`] clears them.
+pub trait Layer: Send {
+    /// Diagnostic name (used for parameter naming and reports).
+    fn name(&self) -> &str;
+
+    /// Computes this layer's output for timestep `step`.
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor>;
+
+    /// Propagates `grad_out` (∂L/∂output at `step`) to ∂L/∂input, adding any
+    /// parameter gradients.
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor>;
+
+    /// Clears temporal state and cached activations (call before each batch).
+    fn reset_state(&mut self);
+
+    /// Visits every trainable parameter in a deterministic order.
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every non-trainable state buffer (e.g. batch-norm running
+    /// statistics) that checkpoints must persist, in a deterministic order.
+    fn for_each_buffer(&mut self, _f: &mut dyn FnMut(&str, &mut Tensor)) {}
+
+    /// Switches between training (cache for backward) and evaluation mode.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Spike counters accumulated since the last
+    /// [`Layer::reset_spike_stats`]. Non-spiking layers report zeros.
+    fn spike_stats(&self) -> SpikeStats {
+        SpikeStats::default()
+    }
+
+    /// Resets spike counters.
+    fn reset_spike_stats(&mut self) {}
+}
+
+/// Extension helpers available on every layer.
+pub trait LayerExt: Layer {
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalar parameters.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.len());
+        n
+    }
+}
+
+impl<L: Layer + ?Sized> LayerExt for L {}

@@ -1,0 +1,336 @@
+//! Parametric LIF: a LIF population with a *learnable* membrane decay.
+//!
+//! Following "Incorporating Learnable Membrane Time Constant to Enhance
+//! Learning of Spiking Neural Networks" (Fang et al., 2021 — the same group
+//! as the paper's surrogate reference [18]), the decay is parameterized as
+//! `α = σ(w)` with a single trainable scalar `w` per layer, so α stays in
+//! (0, 1) and its gradient is well-conditioned. BPTT additionally
+//! accumulates `∂L/∂w = σ'(w) · Σ_t ε[t]·v[t−1]`.
+//!
+//! This is an extension beyond the paper (which uses fixed-α LIF); it lets
+//! the reproduction explore whether learnable dynamics change the
+//! sparse-training picture.
+
+use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SnnError};
+use crate::layers::{Layer, SpikeStats};
+use crate::param::{Param, ParamKind};
+use crate::surrogate::Surrogate;
+
+/// Configuration of a parametric-LIF layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlifConfig {
+    /// Initial decay α₀ ∈ (0, 1); the trainable raw parameter starts at
+    /// `logit(α₀)`.
+    pub alpha_init: f32,
+    /// Firing threshold ϑ.
+    pub v_threshold: f32,
+    /// Surrogate gradient.
+    pub surrogate: Surrogate,
+}
+
+impl Default for PlifConfig {
+    fn default() -> Self {
+        PlifConfig {
+            alpha_init: 0.5,
+            v_threshold: 1.0,
+            surrogate: Surrogate::Atan,
+        }
+    }
+}
+
+impl PlifConfig {
+    fn validate(&self) -> Result<()> {
+        if !(0.0 < self.alpha_init && self.alpha_init < 1.0) {
+            return Err(SnnError::InvalidConfig(format!(
+                "PLIF alpha_init must be in (0,1), got {}",
+                self.alpha_init
+            )));
+        }
+        if self.v_threshold <= 0.0 {
+            return Err(SnnError::InvalidConfig(format!(
+                "PLIF threshold must be positive, got {}",
+                self.v_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A LIF layer with learnable decay (soft reset, detached reset path).
+#[derive(Debug)]
+pub struct PlifLayer {
+    name: String,
+    config: PlifConfig,
+    /// Raw decay parameter `w`; α = σ(w). Shape `[1]`.
+    raw_alpha: Param,
+    v: Option<Tensor>,
+    o_prev: Option<Tensor>,
+    /// Per-step cache: `v[t] − ϑ` (surrogate input).
+    x_cache: Vec<Tensor>,
+    /// Per-step cache: `v[t−1]` (for ∂v[t]/∂α).
+    v_prev_cache: Vec<Tensor>,
+    eps_next: Option<Tensor>,
+    training: bool,
+    stats: SpikeStats,
+}
+
+impl PlifLayer {
+    /// Creates a PLIF layer.
+    pub fn new(name: impl Into<String>, config: PlifConfig) -> Result<Self> {
+        config.validate()?;
+        let name = name.into();
+        let w0 = (config.alpha_init / (1.0 - config.alpha_init)).ln();
+        Ok(PlifLayer {
+            raw_alpha: Param::new(
+                format!("{name}.alpha"),
+                Tensor::from_slice(&[w0]),
+                ParamKind::Norm,
+            ),
+            name,
+            config,
+            v: None,
+            o_prev: None,
+            x_cache: Vec::new(),
+            v_prev_cache: Vec::new(),
+            eps_next: None,
+            training: true,
+            stats: SpikeStats::default(),
+        })
+    }
+
+    /// The current effective decay α = σ(w).
+    pub fn alpha(&self) -> f32 {
+        sigmoid(self.raw_alpha.value.as_slice()[0])
+    }
+}
+
+impl Layer for PlifLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        let alpha = self.alpha();
+        let thr = self.config.v_threshold;
+        let v_prev = self.v.take().unwrap_or_else(|| Tensor::zeros(input.dims()));
+        let o_prev = self
+            .o_prev
+            .take()
+            .unwrap_or_else(|| Tensor::zeros(input.dims()));
+        // v[t] = α·v[t−1] + I[t] − ϑ·o[t−1]
+        let mut v = v_prev.scale(alpha);
+        v.add_assign(input)?;
+        v.axpy(-thr, &o_prev)?;
+        let o = v.map(|x| if x - thr >= 0.0 { 1.0 } else { 0.0 });
+        self.stats.spikes += o.as_slice().iter().filter(|&&s| s != 0.0).count() as u64;
+        self.stats.neuron_steps += o.len() as u64;
+        if self.training {
+            debug_assert_eq!(step, self.x_cache.len(), "non-sequential PLIF forward");
+            self.x_cache.push(v.add_scalar(-thr));
+            self.v_prev_cache.push(v_prev);
+        }
+        self.v = Some(v);
+        self.o_prev = Some(o.clone());
+        Ok(o)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        if !self.training {
+            return Err(SnnError::InvalidState(
+                "PLIF backward called in evaluation mode".into(),
+            ));
+        }
+        let x = self.x_cache.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!(
+                "PLIF backward at step {step} without cached forward"
+            ))
+        })?;
+        let v_prev = &self.v_prev_cache[step];
+        let alpha = self.alpha();
+        let surrogate = self.config.surrogate;
+        // ε[t] = g[t]·φ(x[t]) + α·ε[t+1]   (detached reset path)
+        let mut eps = grad_out.zip(x, |g, xv| g * surrogate.grad(xv))?;
+        if let Some(eps_next) = &self.eps_next {
+            eps.axpy(alpha, eps_next)?;
+        }
+        // ∂L/∂w += σ'(w)·Σ ε[t]·v[t−1]
+        let dalpha = eps.dot(v_prev)?;
+        let dw = alpha * (1.0 - alpha) * dalpha;
+        self.raw_alpha.grad.as_mut_slice()[0] += dw;
+        self.eps_next = Some(eps.clone());
+        Ok(eps)
+    }
+
+    fn reset_state(&mut self) {
+        self.v = None;
+        self.o_prev = None;
+        self.x_cache.clear();
+        self.v_prev_cache.clear();
+        self.eps_next = None;
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.raw_alpha);
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn spike_stats(&self) -> SpikeStats {
+        self.stats
+    }
+
+    fn reset_spike_stats(&mut self) {
+        self.stats = SpikeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{LifConfig, LifLayer};
+
+    #[test]
+    fn config_validation() {
+        assert!(PlifConfig {
+            alpha_init: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PlifConfig {
+            alpha_init: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PlifConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn alpha_initialization_round_trips() {
+        for a in [0.2f32, 0.5, 0.9] {
+            let l = PlifLayer::new(
+                "p",
+                PlifConfig {
+                    alpha_init: a,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!((l.alpha() - a).abs() < 1e-5, "alpha {} vs {a}", l.alpha());
+        }
+    }
+
+    #[test]
+    fn matches_fixed_lif_when_alpha_equal() {
+        // Same α, same inputs → identical spike trains and input gradients.
+        let mut plif = PlifLayer::new("p", PlifConfig::default()).unwrap();
+        let mut lif = LifLayer::new("l", LifConfig::default()).unwrap();
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|t| Tensor::from_slice(&[0.7 + 0.1 * t as f32, 0.3]))
+            .collect();
+        for (t, input) in inputs.iter().enumerate() {
+            let a = plif.forward(input, t).unwrap();
+            let b = lif.forward(input, t).unwrap();
+            assert_eq!(a, b, "spike mismatch at t={t}");
+        }
+        for t in (0..4).rev() {
+            let g = Tensor::from_slice(&[1.0, -0.5]);
+            let ga = plif.backward(&g, t).unwrap();
+            let gb = lif.backward(&g, t).unwrap();
+            for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_gradient_matches_finite_difference() {
+        // Differentiable proxy loss: sum of ε-weighted... use sum of
+        // membrane-potential-free quantity: L = Σ_t <c, o~[t]> is
+        // non-differentiable, so check via the surrogate-defined gradient:
+        // perturb w and compare the *surrogate* loss Σ_t <g, spikes> — the
+        // analytic gradient is only defined through the surrogate, so
+        // finite-difference the smoothed membrane trajectory instead:
+        // L(w) = Σ_t <g[t], v[t](w)> with spikes frozen from the base run.
+        let cfg = PlifConfig::default();
+        let base = PlifLayer::new("p", cfg).unwrap();
+        let w0 = base.raw_alpha.value.as_slice()[0];
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|t| Tensor::from_slice(&[0.4 + 0.05 * t as f32]))
+            .collect();
+        // Frozen spike pattern from the base α.
+        let spikes: Vec<f32> = {
+            let mut l = PlifLayer::new("p", cfg).unwrap();
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(t, i)| l.forward(i, t).unwrap().as_slice()[0])
+                .collect()
+        };
+        // v-trajectory under raw parameter w with frozen resets.
+        let v_traj = |w: f32| -> Vec<f32> {
+            let a = sigmoid(w);
+            let mut v = 0.0f32;
+            let mut out = Vec::new();
+            for (t, i) in inputs.iter().enumerate() {
+                let o_prev = if t == 0 { 0.0 } else { spikes[t - 1] };
+                v = a * v + i.as_slice()[0] - cfg.v_threshold * o_prev;
+                out.push(v);
+            }
+            out
+        };
+        // L = Σ_t v[t] → dL/dv[t] = 1, so ε flows purely through the
+        // leak chain: ε[t] = 1·? No — our backward defines dL/dv via the
+        // surrogate of o. To isolate the α-path, use the identity that for
+        // THE SAME ε sequence, dL/dw = σ'(w)·Σ ε[t]·v[t−1]. Reconstruct ε by
+        // running backward with g[t] = 1 and compare against the
+        // finite-difference of Σ_t Φ(x[t]) where Φ' = surrogate — i.e. the
+        // smoothed spike count.
+        let smooth_loss = |w: f32| -> f64 {
+            // Φ(x) = (1/π)·atan(πx) + 1/2 is the antiderivative of the Atan
+            // surrogate; Σ_t Φ(v[t]−ϑ) is the smoothed spike count.
+            v_traj(w)
+                .iter()
+                .map(|&v| {
+                    ((std::f32::consts::PI * (v - cfg.v_threshold)).atan() / std::f32::consts::PI
+                        + 0.5) as f64
+                })
+                .sum()
+        };
+        let eps_fd = 1e-3f32;
+        let fd = (smooth_loss(w0 + eps_fd) - smooth_loss(w0 - eps_fd)) / (2.0 * eps_fd as f64);
+        // Analytic: forward + backward with g[t] = 1.
+        let mut l = PlifLayer::new("p", cfg).unwrap();
+        for (t, i) in inputs.iter().enumerate() {
+            l.forward(i, t).unwrap();
+        }
+        for t in (0..inputs.len()).rev() {
+            l.backward(&Tensor::from_slice(&[1.0]), t).unwrap();
+        }
+        let analytic = l.raw_alpha.grad.as_slice()[0] as f64;
+        assert!(
+            (fd - analytic).abs() < 0.05 * (1.0 + fd.abs()),
+            "fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn alpha_is_trainable_parameter() {
+        let mut l = PlifLayer::new("p", PlifConfig::default()).unwrap();
+        let mut names = Vec::new();
+        l.for_each_param(&mut |p| {
+            names.push(p.name.clone());
+            assert!(!p.is_sparsifiable(), "alpha must not be masked");
+        });
+        assert_eq!(names, vec!["p.alpha"]);
+    }
+}

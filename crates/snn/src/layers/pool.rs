@@ -1,0 +1,154 @@
+//! Pooling layers.
+
+use ndsnn_tensor::ops::pool::{
+    avg_pool2d_backward, avg_pool2d_forward, max_pool2d_backward, max_pool2d_forward,
+    Pool2dGeometry,
+};
+use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SnnError};
+use crate::layers::Layer;
+
+/// Non-overlapping average pooling applied per timestep.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    name: String,
+    geometry: Pool2dGeometry,
+    input_dims: Vec<Vec<usize>>,
+    training: bool,
+}
+
+impl AvgPool2d {
+    /// Creates a `k × k` average pool with stride `k`.
+    pub fn new(name: impl Into<String>, kernel: usize) -> Self {
+        AvgPool2d {
+            name: name.into(),
+            geometry: Pool2dGeometry::non_overlapping(kernel),
+            input_dims: Vec::new(),
+            training: true,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        let out = avg_pool2d_forward(input, &self.geometry)?;
+        if self.training {
+            debug_assert_eq!(step, self.input_dims.len());
+            self.input_dims.push(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let dims = self.input_dims.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!("{} backward without forward", self.name))
+        })?;
+        Ok(avg_pool2d_backward(dims, grad_out, &self.geometry)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.input_dims.clear();
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+/// Non-overlapping max pooling applied per timestep.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    geometry: Pool2dGeometry,
+    cache: Vec<(Vec<usize>, Vec<u32>)>,
+    training: bool,
+}
+
+impl MaxPool2d {
+    /// Creates a `k × k` max pool with stride `k`.
+    pub fn new(name: impl Into<String>, kernel: usize) -> Self {
+        MaxPool2d {
+            name: name.into(),
+            geometry: Pool2dGeometry::non_overlapping(kernel),
+            cache: Vec::new(),
+            training: true,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        let (out, argmax) = max_pool2d_forward(input, &self.geometry)?;
+        if self.training {
+            debug_assert_eq!(step, self.cache.len());
+            self.cache.push((input.dims().to_vec(), argmax));
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
+        let (dims, argmax) = self.cache.get(step).ok_or_else(|| {
+            SnnError::InvalidState(format!("{} backward without forward", self.name))
+        })?;
+        Ok(max_pool2d_backward(dims, grad_out, argmax, &self.geometry)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.cache.clear();
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_layer_round_trip() {
+        let mut p = AvgPool2d::new("pool", 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = p.forward(&x, 0).unwrap();
+        assert_eq!(y.as_slice(), &[2.5]);
+        let gx = p.backward(&Tensor::ones([1, 1, 1, 1]), 0).unwrap();
+        assert_eq!(gx.as_slice(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn max_pool_layer_routes_gradient() {
+        let mut p = MaxPool2d::new("pool", 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let y = p.forward(&x, 0).unwrap();
+        assert_eq!(y.as_slice(), &[9.0]);
+        let gx = p.backward(&Tensor::ones([1, 1, 1, 1]), 0).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn spiking_input_preserved_semantics() {
+        // Max pooling of a binary spike map stays binary; avg does not.
+        let mut p = MaxPool2d::new("pool", 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        let y = p.forward(&x, 0).unwrap();
+        assert_eq!(y.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut p = AvgPool2d::new("pool", 2);
+        assert!(p.backward(&Tensor::ones([1, 1, 1, 1]), 0).is_err());
+        let mut m = MaxPool2d::new("pool", 2);
+        assert!(m.backward(&Tensor::ones([1, 1, 1, 1]), 0).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The BPTT training driver for spiking networks.
+
+use ndsnn_tensor::ops::reduce::{count_correct, cross_entropy_with_grad};
+use ndsnn_tensor::Tensor;
+
+use crate::encoder::{Encoder, Encoding};
+use crate::error::{Result, SnnError};
+use crate::layers::{Layer, LayerExt, Sequential, SpikeStats};
+
+/// Statistics of one processed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Correct top-1 predictions.
+    pub correct: usize,
+    /// Batch size.
+    pub total: usize,
+}
+
+impl BatchStats {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// A spiking classifier: layer stack + timestep count + input encoder.
+///
+/// The readout follows the common SNN practice the paper inherits: the final
+/// layer produces logits at every timestep and the classification score is
+/// their mean over `T`. Training runs BPTT — forward caching for `t = 0..T`,
+/// then backward for `t = T−1..0` with the loss gradient divided equally
+/// across timesteps.
+pub struct SpikingNetwork {
+    /// The layer stack.
+    pub layers: Sequential,
+    timesteps: usize,
+    encoder: Encoder,
+}
+
+impl std::fmt::Debug for SpikingNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpikingNetwork")
+            .field("timesteps", &self.timesteps)
+            .field("layers", &self.layers)
+            .finish()
+    }
+}
+
+impl SpikingNetwork {
+    /// Creates a network. `timesteps` must be ≥ 1.
+    pub fn new(
+        layers: Sequential,
+        timesteps: usize,
+        encoding: Encoding,
+        seed: u64,
+    ) -> Result<Self> {
+        if timesteps == 0 {
+            return Err(SnnError::InvalidConfig("timesteps must be >= 1".into()));
+        }
+        Ok(SpikingNetwork {
+            layers,
+            timesteps,
+            encoder: Encoder::new(encoding, seed),
+        })
+    }
+
+    /// Number of simulation timesteps `T`.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Changes the simulation length (e.g. the paper's `T = 2` study, Fig. 4).
+    pub fn set_timesteps(&mut self, timesteps: usize) -> Result<()> {
+        if timesteps == 0 {
+            return Err(SnnError::InvalidConfig("timesteps must be >= 1".into()));
+        }
+        self.timesteps = timesteps;
+        Ok(())
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.layers.num_params()
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.layers.zero_grad();
+    }
+
+    /// Runs the forward pass, returning time-averaged logits `(B, K)`.
+    ///
+    /// Leaves per-step caches populated in training mode (required before
+    /// [`SpikingNetwork::backward_from_logits_grad`]).
+    pub fn forward(&mut self, images: &Tensor) -> Result<Tensor> {
+        self.layers.reset_state();
+        let mut acc: Option<Tensor> = None;
+        for t in 0..self.timesteps {
+            let x = self.encoder.encode(images, t);
+            let logits = self.layers.forward(&x, t)?;
+            match &mut acc {
+                Some(a) => a.add_assign(&logits)?,
+                None => acc = Some(logits),
+            }
+        }
+        let mut mean = acc.expect("timesteps >= 1");
+        mean.scale_in_place(1.0 / self.timesteps as f32);
+        Ok(mean)
+    }
+
+    /// Runs BPTT given ∂L/∂(mean logits).
+    pub fn backward_from_logits_grad(&mut self, grad_mean_logits: &Tensor) -> Result<()> {
+        let per_step = grad_mean_logits.scale(1.0 / self.timesteps as f32);
+        for t in (0..self.timesteps).rev() {
+            self.layers.backward(&per_step, t)?;
+        }
+        Ok(())
+    }
+
+    /// One full training step *without* the optimizer update: zero grads,
+    /// forward, loss, backward. Returns the batch statistics; gradients are
+    /// left in the parameters for the caller (optimizer / sparse engine).
+    pub fn train_batch(&mut self, images: &Tensor, labels: &[usize]) -> Result<BatchStats> {
+        self.layers.set_training(true);
+        self.zero_grad();
+        let logits = self.forward(images)?;
+        let (loss, grad) = cross_entropy_with_grad(&logits, labels)?;
+        let correct = count_correct(&logits, labels)?;
+        self.backward_from_logits_grad(&grad)?;
+        // Free cached activations immediately; gradients are already in params.
+        self.layers.reset_state();
+        Ok(BatchStats {
+            loss,
+            correct,
+            total: labels.len(),
+        })
+    }
+
+    /// Evaluates one batch (no caching, running BN statistics).
+    pub fn eval_batch(&mut self, images: &Tensor, labels: &[usize]) -> Result<BatchStats> {
+        self.layers.set_training(false);
+        let logits = self.forward(images)?;
+        let (loss, _) = cross_entropy_with_grad(&logits, labels)?;
+        let correct = count_correct(&logits, labels)?;
+        self.layers.reset_state();
+        self.layers.set_training(true);
+        Ok(BatchStats {
+            loss,
+            correct,
+            total: labels.len(),
+        })
+    }
+
+    /// Aggregate spike statistics since the last reset.
+    pub fn spike_stats(&self) -> SpikeStats {
+        self.layers.spike_stats()
+    }
+
+    /// Resets spike counters.
+    pub fn reset_spike_stats(&mut self) {
+        self.layers.reset_spike_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{LifConfig, LifLayer, Linear};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_net(seed: u64) -> SpikingNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = Sequential::new("net")
+            .with(Box::new(Linear::new("fc1", 4, 16, true, &mut rng).unwrap()))
+            .with(Box::new(
+                LifLayer::new("lif1", LifConfig::default()).unwrap(),
+            ))
+            .with(Box::new(Linear::new("fc2", 16, 3, true, &mut rng).unwrap()));
+        SpikingNetwork::new(layers, 4, Encoding::Direct, seed).unwrap()
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let mut net = tiny_net(60);
+        let x = ndsnn_tensor::init::uniform([5, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(0));
+        let logits = net.forward(&x).unwrap();
+        assert_eq!(logits.dims(), &[5, 3]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn train_batch_produces_gradients() {
+        let mut net = tiny_net(61);
+        let x = ndsnn_tensor::init::uniform([6, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let stats = net.train_batch(&x, &labels).unwrap();
+        assert!(stats.loss > 0.0);
+        assert_eq!(stats.total, 6);
+        let mut grad_norm = 0.0f32;
+        net.layers
+            .for_each_param(&mut |p| grad_norm += p.grad.sq_norm());
+        assert!(grad_norm > 0.0, "BPTT produced all-zero gradients");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        use crate::optim::{Sgd, SgdConfig};
+        let mut net = tiny_net(62);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = ndsnn_tensor::init::uniform([8, 4], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
+        let first = net.train_batch(&x, &labels).unwrap().loss;
+        let mut last = first;
+        for _ in 0..30 {
+            opt.step(&mut net.layers).unwrap();
+            last = net.train_batch(&x, &labels).unwrap().loss;
+        }
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn eval_batch_does_not_touch_grads() {
+        let mut net = tiny_net(63);
+        net.zero_grad();
+        let x = Tensor::ones([2, 4]);
+        net.eval_batch(&x, &[0, 1]).unwrap();
+        let mut grad_norm = 0.0f32;
+        net.layers
+            .for_each_param(&mut |p| grad_norm += p.grad.sq_norm());
+        assert_eq!(grad_norm, 0.0);
+    }
+
+    #[test]
+    fn zero_timesteps_rejected() {
+        let layers = Sequential::new("n");
+        assert!(SpikingNetwork::new(layers, 0, Encoding::Direct, 0).is_err());
+        let mut net = tiny_net(64);
+        assert!(net.set_timesteps(0).is_err());
+        net.set_timesteps(2).unwrap();
+        assert_eq!(net.timesteps(), 2);
+    }
+
+    #[test]
+    fn spike_stats_accumulate_and_reset() {
+        let mut net = tiny_net(65);
+        let x = Tensor::full([2, 4], 5.0);
+        net.eval_batch(&x, &[0, 0]).unwrap();
+        assert!(net.spike_stats().neuron_steps > 0);
+        net.reset_spike_stats();
+        assert_eq!(net.spike_stats().neuron_steps, 0);
+    }
+}

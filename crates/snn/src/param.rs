@@ -1,0 +1,97 @@
+//! Trainable parameters.
+
+use ndsnn_tensor::Tensor;
+
+/// Role of a parameter, used by the sparse-training engines to decide what is
+/// eligible for masking.
+///
+/// Following the paper (and the RigL/SET literature), only multi-dimensional
+/// *weights* are sparsified; biases and normalization affine parameters stay
+/// dense — they are a negligible fraction of the parameter count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Convolution or linear weight — eligible for sparsification.
+    Weight,
+    /// Bias vector — always dense.
+    Bias,
+    /// Normalization scale (γ) or shift (β) — always dense.
+    Norm,
+}
+
+/// A trainable tensor together with its accumulated gradient.
+///
+/// Gradients accumulate across BPTT timesteps (paper Eq. 2c sums over `t`);
+/// [`Param::zero_grad`] resets them between batches.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable identifier, e.g. `"features.conv3.weight"`.
+    pub name: String,
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient, always the same shape as `value`.
+    pub grad: Tensor,
+    /// Role of this parameter.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient buffer.
+    pub fn new(name: impl Into<String>, value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            kind,
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Whether the sparse-training engines may mask this parameter.
+    pub fn is_sparsifiable(&self) -> bool {
+        self.kind == ParamKind::Weight && self.value.rank() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones([2, 2]), ParamKind::Weight);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.grad.dims(), p.value.dims());
+        assert!(p.is_sparsifiable());
+    }
+
+    #[test]
+    fn bias_not_sparsifiable() {
+        let p = Param::new("b", Tensor::ones([8]), ParamKind::Bias);
+        assert!(!p.is_sparsifiable());
+        let n = Param::new("gamma", Tensor::ones([8, 8]), ParamKind::Norm);
+        assert!(!n.is_sparsifiable());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones([3]), ParamKind::Bias);
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Surrogate gradients for the Heaviside spike function.
+//!
+//! The LIF output `o[t] = u(v[t] − ϑ)` (paper Eq. 1b/1c) has a Dirac-delta
+//! derivative, so BPTT replaces it with a smooth pseudo-derivative φ. The
+//! paper (Eq. 3, following Fang et al. 2021) uses
+//! `∂u/∂x ≈ 1 / (1 + π² x²)`, which is the derivative of
+//! `(1/π)·arctan(πx) + 1/2` — the *arctangent surrogate*.
+
+use serde::{Deserialize, Serialize};
+
+/// Selects the pseudo-derivative used for the Heaviside step in the backward
+/// pass. The forward pass always emits binary spikes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Surrogate {
+    /// `φ(x) = 1 / (1 + π² x²)` — paper Eq. 3 (default).
+    #[default]
+    Atan,
+    /// `φ(x) = 1 / (1 + |α x|)²` — the fast-sigmoid / SuperSpike surrogate.
+    FastSigmoid {
+        /// Slope parameter (typically 1–10).
+        alpha: f32,
+    },
+    /// `φ(x) = 1[|x| < w/2] / w` — rectangular window (STBP).
+    Rectangle {
+        /// Window width.
+        width: f32,
+    },
+    /// `φ(x) = exp(−x²/(2σ²)) / (σ·√(2π))` — Gaussian window.
+    Gaussian {
+        /// Standard deviation.
+        sigma: f32,
+    },
+}
+
+impl Surrogate {
+    /// Pseudo-derivative φ(x) evaluated at `x = v − ϑ`.
+    #[inline]
+    pub fn grad(&self, x: f32) -> f32 {
+        match *self {
+            Surrogate::Atan => {
+                let px = std::f32::consts::PI * x;
+                1.0 / (1.0 + px * px)
+            }
+            Surrogate::FastSigmoid { alpha } => {
+                let d = 1.0 + (alpha * x).abs();
+                1.0 / (d * d)
+            }
+            Surrogate::Rectangle { width } => {
+                if x.abs() < width * 0.5 {
+                    1.0 / width
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::Gaussian { sigma } => {
+                let z = x / sigma;
+                (-0.5 * z * z).exp() / (sigma * (2.0 * std::f32::consts::PI).sqrt())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atan_matches_paper_formula() {
+        let s = Surrogate::Atan;
+        assert!((s.grad(0.0) - 1.0).abs() < 1e-6);
+        let x = 0.5f32;
+        let expect = 1.0 / (1.0 + std::f32::consts::PI.powi(2) * x * x);
+        assert!((s.grad(x) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_surrogates_peak_at_zero_and_are_symmetric() {
+        for s in [
+            Surrogate::Atan,
+            Surrogate::FastSigmoid { alpha: 2.0 },
+            Surrogate::Rectangle { width: 1.0 },
+            Surrogate::Gaussian { sigma: 0.5 },
+        ] {
+            assert!(s.grad(0.0) >= s.grad(0.7), "{s:?} not peaked at 0");
+            assert!(
+                (s.grad(0.3) - s.grad(-0.3)).abs() < 1e-6,
+                "{s:?} asymmetric"
+            );
+            assert!(s.grad(100.0) < 1e-2, "{s:?} does not vanish at infinity");
+        }
+    }
+
+    #[test]
+    fn atan_integrates_to_one() {
+        // ∫ 1/(1+π²x²) dx over ℝ = 1/π · π = 1.
+        let s = Surrogate::Atan;
+        let dx = 1e-3;
+        let integral: f64 = (-200_000..200_000)
+            .map(|i| s.grad(i as f32 * dx) as f64 * dx as f64)
+            .sum();
+        // Tail beyond ±200 is (2/π)·arctan'(…) ≈ 1e-3.
+        assert!((integral - 1.0).abs() < 5e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn rectangle_window() {
+        let s = Surrogate::Rectangle { width: 2.0 };
+        assert_eq!(s.grad(0.9), 0.5);
+        assert_eq!(s.grad(1.1), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Systematic finite-difference gradient checks for the differentiable
+//! layer chain (Conv → BN → pooling → Flatten → Linear), including
+//! multi-timestep gradient accumulation. The spiking (LIF) path is verified
+//! separately against unrolled references in the unit tests, since its
+//! "gradient" is surrogate-defined rather than the true derivative.
+
+use ndsnn_snn::layers::{
+    AvgPool2d, BatchNorm, Conv2d, Flatten, Layer, LayerExt, Linear, MaxPool2d, Sequential,
+};
+use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Builds the test network; a fresh copy per loss evaluation keeps BN batch
+/// statistics identical across perturbed runs.
+fn build(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("n")
+        .with(Box::new(
+            Conv2d::new("c1", Conv2dGeometry::square(2, 4, 3, 1, 1), true, &mut rng).unwrap(),
+        ))
+        .with(Box::new(BatchNorm::new("b1", 4, &mut rng).unwrap()))
+        .with(Box::new(MaxPool2d::new("p1", 2)))
+        .with(Box::new(
+            Conv2d::new("c2", Conv2dGeometry::square(4, 3, 3, 1, 1), false, &mut rng).unwrap(),
+        ))
+        .with(Box::new(AvgPool2d::new("p2", 2)))
+        .with(Box::new(Flatten::new("f")))
+        .with(Box::new(Linear::new("fc", 3 * 2 * 2, 3, true, &mut rng).unwrap()))
+}
+
+/// Weighted-sum loss of a `T`-step forward pass (same input each step).
+fn loss(net: &mut Sequential, x: &Tensor, w: &Tensor, t_steps: usize) -> f32 {
+    net.reset_state();
+    let mut total = 0.0;
+    for t in 0..t_steps {
+        let y = net.forward(x, t).unwrap();
+        total += y.mul(w).unwrap().sum();
+    }
+    total
+}
+
+/// Runs forward + backward over `T` steps, returning (param grads, input grad
+/// summed over steps).
+fn backprop(net: &mut Sequential, x: &Tensor, w: &Tensor, t_steps: usize) -> (Vec<Tensor>, Tensor) {
+    net.zero_grad();
+    net.reset_state();
+    for t in 0..t_steps {
+        net.forward(x, t).unwrap();
+    }
+    let mut gx_total = Tensor::zeros(x.dims());
+    for t in (0..t_steps).rev() {
+        let gx = net.backward(w, t).unwrap();
+        gx_total.add_assign(&gx).unwrap();
+    }
+    let mut grads = Vec::new();
+    net.for_each_param(&mut |p| grads.push(p.grad.clone()));
+    (grads, gx_total)
+}
+
+#[test]
+fn full_chain_gradients_match_finite_difference() {
+    let seed = 11;
+    let mut rng = StdRng::seed_from_u64(99);
+    let x = ndsnn_tensor::init::uniform([2, 2, 8, 8], -1.0, 1.0, &mut rng);
+    let t_steps = 2;
+    let mut probe = build(seed);
+    let y = {
+        probe.reset_state();
+        probe.forward(&x, 0).unwrap()
+    };
+    let w = ndsnn_tensor::init::uniform(y.shape().clone(), -1.0, 1.0, &mut rng);
+
+    let mut net = build(seed);
+    let (grads, gx) = backprop(&mut net, &x, &w, t_steps);
+
+    // Parameter gradients: perturb a handful of coordinates in every param.
+    let mut names = Vec::new();
+    net.for_each_param(&mut |p| names.push((p.name.clone(), p.len())));
+    let eps = 1e-2;
+    for (pi, (name, len)) in names.iter().enumerate() {
+        for &idx in &[0usize, len / 2, len - 1] {
+            let mut plus = build(seed);
+            plus.for_each_param(&mut |p| {
+                if &p.name == name {
+                    p.value.as_mut_slice()[idx] += eps;
+                }
+            });
+            let mut minus = build(seed);
+            minus.for_each_param(&mut |p| {
+                if &p.name == name {
+                    p.value.as_mut_slice()[idx] -= eps;
+                }
+            });
+            let fd = (loss(&mut plus, &x, &w, t_steps) - loss(&mut minus, &x, &w, t_steps))
+                / (2.0 * eps);
+            let an = grads[pi].as_slice()[idx];
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + fd.abs().max(an.abs())),
+                "{name}[{idx}]: fd = {fd}, analytic = {an}"
+            );
+        }
+    }
+
+    // Input gradient: spot-check coordinates.
+    for &idx in &[0usize, 31, 77, x.len() - 1] {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        let fd = (loss(&mut build(seed), &xp, &w, t_steps)
+            - loss(&mut build(seed), &xm, &w, t_steps))
+            / (2.0 * eps);
+        let an = gx.as_slice()[idx];
+        assert!(
+            (fd - an).abs() < 0.05 * (1.0 + fd.abs().max(an.abs())),
+            "input[{idx}]: fd = {fd}, analytic = {an}"
+        );
+    }
+}
+
+#[test]
+fn gradients_accumulate_linearly_over_timesteps() {
+    // For a stateless chain, running T identical steps must produce exactly
+    // T × the single-step parameter gradient.
+    let seed = 12;
+    let mut rng = StdRng::seed_from_u64(100);
+    let x = ndsnn_tensor::init::uniform([1, 2, 8, 8], -1.0, 1.0, &mut rng);
+    let mut probe = build(seed);
+    let y = {
+        probe.reset_state();
+        probe.forward(&x, 0).unwrap()
+    };
+    let w = Tensor::ones(y.shape().clone());
+
+    let mut net1 = build(seed);
+    let (g1, _) = backprop(&mut net1, &x, &w, 1);
+    let mut net3 = build(seed);
+    let (g3, _) = backprop(&mut net3, &x, &w, 3);
+    for (a, b) in g1.iter().zip(&g3) {
+        for (x1, x3) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (3.0 * x1 - x3).abs() < 1e-3 * (1.0 + x3.abs()),
+                "{x1} × 3 ≠ {x3}"
+            );
+        }
+    }
+}

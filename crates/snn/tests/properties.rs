@@ -1,0 +1,167 @@
+//! Property-based tests for the SNN substrate.
+
+use ndsnn_snn::encoder::{Encoder, Encoding};
+use ndsnn_snn::layers::{BatchNorm, Conv2d, Layer, LifConfig, LifLayer, Linear, Sequential};
+use ndsnn_snn::network::SpikingNetwork;
+use ndsnn_snn::optim::CosineSchedule;
+use ndsnn_snn::surrogate::Surrogate;
+use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LIF output is always binary regardless of input.
+    #[test]
+    fn lif_output_is_binary(
+        inputs in proptest::collection::vec(-5.0f32..5.0, 4..64),
+        alpha in 0.1f32..1.0,
+        threshold in 0.1f32..3.0,
+        steps in 1usize..6,
+    ) {
+        let cfg = LifConfig { alpha, v_threshold: threshold, ..Default::default() };
+        let mut lif = LifLayer::new("lif", cfg).unwrap();
+        let x = Tensor::from_slice(&inputs);
+        for t in 0..steps {
+            let o = lif.forward(&x, t).unwrap();
+            prop_assert!(o.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+        let stats = lif.spike_stats();
+        prop_assert_eq!(stats.neuron_steps as usize, inputs.len() * steps);
+        prop_assert!(stats.spikes <= stats.neuron_steps);
+    }
+
+    /// A neuron with strictly larger constant input never spikes later /
+    /// less often than one with smaller input (with soft reset both see the
+    /// same reset magnitude per spike, so cumulative spike count is
+    /// monotone in drive).
+    #[test]
+    fn lif_spike_count_monotone_in_drive(
+        base in 0.0f32..1.5,
+        extra in 0.01f32..1.5,
+        steps in 2usize..12,
+    ) {
+        let mk = || LifLayer::new("l", LifConfig::default()).unwrap();
+        let mut weak = mk();
+        let mut strong = mk();
+        let (mut weak_count, mut strong_count) = (0u64, 0u64);
+        for t in 0..steps {
+            let wo = weak.forward(&Tensor::from_slice(&[base]), t).unwrap();
+            let so = strong.forward(&Tensor::from_slice(&[base + extra]), t).unwrap();
+            weak_count += wo.as_slice()[0] as u64;
+            strong_count += so.as_slice()[0] as u64;
+        }
+        prop_assert!(strong_count >= weak_count, "{strong_count} < {weak_count}");
+    }
+
+    /// All surrogate gradients are non-negative, peaked at zero and even.
+    #[test]
+    fn surrogate_properties(x in -10.0f32..10.0, alpha in 0.5f32..5.0, width in 0.2f32..3.0) {
+        for s in [
+            Surrogate::Atan,
+            Surrogate::FastSigmoid { alpha },
+            Surrogate::Rectangle { width },
+            Surrogate::Gaussian { sigma: width },
+        ] {
+            let g = s.grad(x);
+            prop_assert!(g >= 0.0);
+            prop_assert!(g <= s.grad(0.0) + 1e-6);
+            prop_assert!((g - s.grad(-x)).abs() < 1e-5);
+        }
+    }
+
+    /// Cosine schedule stays within [min, max] and is monotone.
+    #[test]
+    fn cosine_schedule_bounds(max in 0.01f32..1.0, frac in 0.0f32..1.0, total in 1usize..1000) {
+        let min = max * frac;
+        let s = CosineSchedule::new(max, min, total);
+        let mut prev = f32::INFINITY;
+        for t in (0..=total).step_by((total / 20).max(1)) {
+            let v = s.at(t);
+            prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+            prop_assert!(v <= prev + 1e-6);
+            prev = v;
+        }
+    }
+
+    /// Poisson encoding produces binary tensors with mean matching pixels.
+    #[test]
+    fn poisson_encoding_rate(p in 0.0f32..1.0, seed in 0u64..500) {
+        let mut enc = Encoder::new(Encoding::Poisson, seed);
+        let img = Tensor::full([2048], p);
+        let mut mean = 0.0f32;
+        let steps = 8;
+        for t in 0..steps {
+            let s = enc.encode(&img, t);
+            prop_assert!(s.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            mean += s.mean();
+        }
+        mean /= steps as f32;
+        prop_assert!((mean - p).abs() < 0.05, "rate {mean} vs p {p}");
+    }
+
+    /// Gradients stay finite through a Conv-BN-LIF-Linear pipeline for any
+    /// bounded input, any seed.
+    #[test]
+    fn pipeline_gradients_finite(seed in 0u64..200, scale in 0.1f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::square(2, 4, 3, 1, 1);
+        let mut net = Sequential::new("n")
+            .with(Box::new(Conv2d::new("c", g, false, &mut rng).unwrap()))
+            .with(Box::new(BatchNorm::new("b", 4, &mut rng).unwrap()))
+            .with(Box::new(LifLayer::new("l", LifConfig::default()).unwrap()))
+            .with(Box::new(ndsnn_snn::layers::Flatten::new("f")))
+            .with(Box::new(Linear::new("fc", 4 * 36, 3, true, &mut rng).unwrap()));
+        let x = ndsnn_tensor::init::uniform([2, 2, 6, 6], 0.0, scale, &mut rng);
+        for t in 0..2 {
+            net.forward(&x, t).unwrap();
+        }
+        for t in (0..2).rev() {
+            let gy = ndsnn_tensor::init::uniform([2, 3], -1.0, 1.0, &mut rng);
+            let gx = net.backward(&gy, t).unwrap();
+            prop_assert!(gx.all_finite());
+        }
+        let mut all_finite = true;
+        net.for_each_param(&mut |p| all_finite &= p.grad.all_finite());
+        prop_assert!(all_finite);
+    }
+}
+
+/// Full network: training one batch never panics and always yields a finite
+/// loss across seeds (deterministic smoke-fuzz).
+#[test]
+fn train_batch_robust_across_seeds() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = Sequential::new("n")
+            .with(Box::new(Linear::new("fc1", 6, 12, true, &mut rng).unwrap()))
+            .with(Box::new(LifLayer::new("l", LifConfig::default()).unwrap()))
+            .with(Box::new(Linear::new("fc2", 12, 4, true, &mut rng).unwrap()));
+        let mut net = SpikingNetwork::new(layers, 3, Encoding::Direct, seed).unwrap();
+        let x = ndsnn_tensor::init::uniform([5, 6], 0.0, 1.0, &mut rng);
+        let stats = net.train_batch(&x, &[0, 1, 2, 3, 0]).unwrap();
+        assert!(stats.loss.is_finite());
+        assert!(stats.correct <= 5);
+    }
+}
+
+/// Eval mode must not mutate weights or gradients.
+#[test]
+fn eval_is_side_effect_free_on_params() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let layers = Sequential::new("n")
+        .with(Box::new(Linear::new("fc", 4, 4, true, &mut rng).unwrap()))
+        .with(Box::new(LifLayer::new("l", LifConfig::default()).unwrap()));
+    let mut net = SpikingNetwork::new(layers, 2, Encoding::Direct, 0).unwrap();
+    let mut before = Vec::new();
+    net.layers
+        .for_each_param(&mut |p| before.push(p.value.clone()));
+    let x = Tensor::ones([2, 4]);
+    net.eval_batch(&x, &[0, 1]).unwrap();
+    let mut after = Vec::new();
+    net.layers
+        .for_each_param(&mut |p| after.push(p.value.clone()));
+    assert_eq!(before, after);
+}

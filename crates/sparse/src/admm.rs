@@ -1,0 +1,348 @@
+//! ADMM pruning baseline (Deng et al., TNNLS 2021 — paper reference \[5\]).
+//!
+//! Alternating Direction Method of Multipliers pruning trains *dense*
+//! weights `W` under the constraint that a projected copy `Z` lies in the
+//! sparse set `S = { X : ||X||₀ ≤ (1−θ)·N }`, coupling them with a scaled
+//! dual `U`:
+//!
+//! - every step: the loss gradient is augmented with `ρ(W − Z + U)`,
+//! - every `projection_interval` steps: `Z ← Π_S(W + U)`, `U ← U + W − Z`,
+//! - at `retrain_start`: hard magnitude pruning to θ, then masked retraining.
+//!
+//! Training is dense until `retrain_start`, which is exactly the
+//! train-prune-retrain sparsity trajectory the paper's Fig. 1 shows (orange
+//! line) and the training-cost weakness NDSNN addresses.
+
+use std::collections::BTreeMap;
+
+use ndsnn_snn::layers::Layer;
+use ndsnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SparseEngine;
+use crate::error::{Result, SparseError};
+use crate::kernels::top_magnitude_mask;
+use crate::mask::MaskSet;
+
+/// ADMM pruning hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmmConfig {
+    /// Target sparsity θ (per layer).
+    pub target_sparsity: f64,
+    /// Penalty coefficient ρ.
+    pub rho: f32,
+    /// Steps between dual/projection updates.
+    pub projection_interval: usize,
+    /// Step at which ADMM ends and masked retraining begins.
+    pub retrain_start: usize,
+}
+
+impl AdmmConfig {
+    /// Validates and constructs.
+    pub fn new(target_sparsity: f64, retrain_start: usize) -> Result<Self> {
+        if !(0.0..1.0).contains(&target_sparsity) {
+            return Err(SparseError::InvalidConfig(format!(
+                "target_sparsity must be in [0,1), got {target_sparsity}"
+            )));
+        }
+        if retrain_start == 0 {
+            return Err(SparseError::InvalidConfig(
+                "retrain_start must be >= 1".into(),
+            ));
+        }
+        Ok(AdmmConfig {
+            target_sparsity,
+            rho: 1e-2,
+            projection_interval: 32,
+            retrain_start,
+        })
+    }
+}
+
+/// The ADMM pruning engine.
+pub struct AdmmEngine {
+    config: AdmmConfig,
+    z: BTreeMap<String, Tensor>,
+    u: BTreeMap<String, Tensor>,
+    masks: Option<MaskSet>,
+    initialized: bool,
+}
+
+impl std::fmt::Debug for AdmmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmmEngine")
+            .field("config", &self.config)
+            .field("retraining", &self.masks.is_some())
+            .finish()
+    }
+}
+
+impl AdmmEngine {
+    /// Creates an engine.
+    pub fn new(config: AdmmConfig) -> Self {
+        AdmmEngine {
+            config,
+            z: BTreeMap::new(),
+            u: BTreeMap::new(),
+            masks: None,
+            initialized: false,
+        }
+    }
+
+    /// Whether the engine has entered the masked-retraining phase.
+    pub fn is_retraining(&self) -> bool {
+        self.masks.is_some()
+    }
+
+    /// Projection Π_S: keep the `(1−θ)·N` largest-magnitude entries.
+    fn project(&self, t: &Tensor) -> Tensor {
+        let keep = ((t.len() as f64) * (1.0 - self.config.target_sparsity)).round() as usize;
+        let mask = top_magnitude_mask(t, keep);
+        let mut out = t.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            if m == 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    /// `‖W − Z‖²` summed over layers — the constraint residual, which should
+    /// shrink as ADMM converges.
+    pub fn constraint_residual(&self, model: &mut dyn Layer) -> f32 {
+        let z = &self.z;
+        let mut total = 0.0f32;
+        model.for_each_param(&mut |p| {
+            if let Some(zl) = z.get(&p.name) {
+                total += p
+                    .value
+                    .as_slice()
+                    .iter()
+                    .zip(zl.as_slice())
+                    .map(|(w, zv)| (w - zv) * (w - zv))
+                    .sum::<f32>();
+            }
+        });
+        total
+    }
+
+    fn hard_prune(&mut self, model: &mut dyn Layer) {
+        let mut masks = MaskSet::new();
+        let target = self.config.target_sparsity;
+        model.for_each_param(&mut |p| {
+            if !p.is_sparsifiable() {
+                return;
+            }
+            let keep = ((p.len() as f64) * (1.0 - target)).round() as usize;
+            let mask = top_magnitude_mask(&p.value, keep);
+            for (w, &m) in p.value.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                if m == 0.0 {
+                    *w = 0.0;
+                }
+            }
+            masks.insert(p.name.clone(), mask);
+        });
+        self.masks = Some(masks);
+    }
+}
+
+impl SparseEngine for AdmmEngine {
+    fn name(&self) -> &str {
+        "ADMM"
+    }
+
+    fn init(&mut self, model: &mut dyn Layer) -> Result<()> {
+        self.z.clear();
+        self.u.clear();
+        self.masks = None;
+        // Z := Π_S(W), U := 0.
+        let mut pending: Vec<(String, Tensor)> = Vec::new();
+        model.for_each_param(&mut |p| {
+            if p.is_sparsifiable() {
+                pending.push((p.name.clone(), p.value.clone()));
+            }
+        });
+        for (name, w) in pending {
+            let z = self.project(&w);
+            self.u.insert(name.clone(), Tensor::zeros(w.dims()));
+            self.z.insert(name, z);
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn before_optim(&mut self, step: usize, model: &mut dyn Layer) -> Result<()> {
+        if !self.initialized {
+            return Err(SparseError::InvalidState(
+                "AdmmEngine::before_optim before init".into(),
+            ));
+        }
+        if let Some(masks) = &self.masks {
+            masks.apply_to_grads(model);
+            return Ok(());
+        }
+        if step >= self.config.retrain_start {
+            self.hard_prune(model);
+            self.masks
+                .as_ref()
+                .expect("hard_prune sets masks")
+                .apply_to_grads(model);
+            return Ok(());
+        }
+        // Augmented-Lagrangian gradient: ∇ += ρ(W − Z + U).
+        let rho = self.config.rho;
+        let z = &self.z;
+        let u = &self.u;
+        model.for_each_param(&mut |p| {
+            let (Some(zl), Some(ul)) = (z.get(&p.name), u.get(&p.name)) else {
+                return;
+            };
+            let gd = p.grad.as_mut_slice();
+            let wd = p.value.as_slice();
+            for i in 0..gd.len() {
+                gd[i] += rho * (wd[i] - zl.as_slice()[i] + ul.as_slice()[i]);
+            }
+        });
+        // Periodic dual/projection update.
+        if step > 0 && step.is_multiple_of(self.config.projection_interval) {
+            let mut w_plus_u: Vec<(String, Tensor)> = Vec::new();
+            model.for_each_param(&mut |p| {
+                if let Some(ul) = u.get(&p.name) {
+                    let mut t = p.value.clone();
+                    let td = t.as_mut_slice();
+                    for (v, &uv) in td.iter_mut().zip(ul.as_slice()) {
+                        *v += uv;
+                    }
+                    w_plus_u.push((p.name.clone(), t));
+                }
+            });
+            for (name, wu) in w_plus_u {
+                let z_new = self.project(&wu);
+                // U += W + U − Z_new − U = (W+U) − Z_new  (U folded into wu).
+                let ul = self.u.get_mut(&name).expect("initialized");
+                for ((uv, &wuv), &zv) in ul
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(wu.as_slice())
+                    .zip(z_new.as_slice())
+                {
+                    *uv = wuv - zv;
+                }
+                self.z.insert(name, z_new);
+            }
+        }
+        Ok(())
+    }
+
+    fn after_optim(&mut self, _step: usize, model: &mut dyn Layer) -> Result<()> {
+        if let Some(masks) = &self.masks {
+            masks.apply_to_weights(model);
+        }
+        Ok(())
+    }
+
+    fn sparsity(&self) -> f64 {
+        match &self.masks {
+            Some(m) => m.overall_sparsity(),
+            None => 0.0, // dense ADMM phase
+        }
+    }
+
+    fn mask_set(&self) -> Option<&MaskSet> {
+        self.masks.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsnn_snn::layers::{Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(160);
+        Sequential::new("m").with(Box::new(
+            Linear::new("fc", 20, 20, false, &mut rng).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn dense_phase_reports_zero_sparsity() {
+        let mut m = model();
+        let mut e = AdmmEngine::new(AdmmConfig::new(0.75, 100).unwrap());
+        e.init(&mut m).unwrap();
+        assert_eq!(e.sparsity(), 0.0);
+        assert!(!e.is_retraining());
+        e.before_optim(1, &mut m).unwrap();
+        assert_eq!(e.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn regularization_pulls_toward_projection() {
+        let mut m = model();
+        let mut cfg = AdmmConfig::new(0.75, 1000).unwrap();
+        cfg.rho = 0.5;
+        cfg.projection_interval = 5;
+        let mut e = AdmmEngine::new(cfg);
+        e.init(&mut m).unwrap();
+        let r0 = e.constraint_residual(&mut m);
+        // Pure-ADMM gradient descent (no data loss): W should approach Z.
+        for step in 0..200 {
+            m.for_each_param(&mut |p| p.grad.fill(0.0));
+            e.before_optim(step, &mut m).unwrap();
+            m.for_each_param(&mut |p| {
+                let gd = p.grad.as_slice().to_vec();
+                for (w, g) in p.value.as_mut_slice().iter_mut().zip(gd) {
+                    *w -= 0.1 * g;
+                }
+            });
+            e.after_optim(step, &mut m).unwrap();
+        }
+        let r1 = e.constraint_residual(&mut m);
+        assert!(r1 < r0 * 0.1, "residual did not shrink: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn retrain_phase_prunes_to_target() {
+        let mut m = model();
+        let mut e = AdmmEngine::new(AdmmConfig::new(0.75, 3).unwrap());
+        e.init(&mut m).unwrap();
+        for step in 0..5 {
+            m.for_each_param(&mut |p| p.grad.fill(0.1));
+            e.before_optim(step, &mut m).unwrap();
+            e.after_optim(step, &mut m).unwrap();
+        }
+        assert!(e.is_retraining());
+        assert!((e.sparsity() - 0.75).abs() < 0.01, "got {}", e.sparsity());
+        // Weights and grads obey the mask.
+        let masks = e.mask_set().unwrap();
+        let mut violations = 0;
+        m.for_each_param(&mut |p| {
+            if let Some(mask) = masks.get(&p.name) {
+                for i in 0..p.len() {
+                    if mask.as_slice()[i] == 0.0 && p.value.as_slice()[i] != 0.0 {
+                        violations += 1;
+                    }
+                }
+            }
+        });
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AdmmConfig::new(1.0, 10).is_err());
+        assert!(AdmmConfig::new(0.5, 0).is_err());
+        let mut e = AdmmEngine::new(AdmmConfig::new(0.5, 10).unwrap());
+        let mut m = model();
+        assert!(e.before_optim(0, &mut m).is_err()); // before init
+    }
+
+    #[test]
+    fn projection_keeps_top_magnitudes() {
+        let e = AdmmEngine::new(AdmmConfig::new(0.5, 10).unwrap());
+        let t = Tensor::from_slice(&[0.1, -5.0, 0.2, 4.0]);
+        let z = e.project(&t);
+        assert_eq!(z.as_slice(), &[0.0, -5.0, 0.0, 4.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Compressed Sparse Row storage.
+//!
+//! The paper's memory-footprint analysis (§III.D) assumes CSR for sparse
+//! weights: reshaping a 4-D conv weight `(F, C, KH, KW)` to a 2-D matrix of
+//! `F` rows by `C·K²` columns, the index overhead is one column index per
+//! non-zero plus `F + 1` row pointers.
+
+use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SparseError};
+
+/// A CSR matrix over `f32` values with `u32` indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+    col_indices: Vec<u32>,
+    row_ptr: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Converts a dense rank-2 tensor to CSR, treating exact zeros as holes.
+    pub fn from_dense(t: &Tensor) -> Result<Self> {
+        if t.rank() != 2 {
+            return Err(SparseError::InvalidConfig(format!(
+                "CSR requires a rank-2 tensor, got rank {}",
+                t.rank()
+            )));
+        }
+        let (rows, cols) = (t.dims()[0], t.dims()[1]);
+        let mut values = Vec::new();
+        let mut col_indices = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        let d = t.as_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = d[r * cols + c];
+                if v != 0.0 {
+                    values.push(v);
+                    col_indices.push(c as u32);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            values,
+            col_indices,
+            row_ptr,
+        })
+    }
+
+    /// Converts a rank-4 conv weight `(F, C, KH, KW)` to CSR by reshaping to
+    /// `F × (C·KH·KW)` — the layout of paper §III.D.
+    pub fn from_conv_weight(t: &Tensor) -> Result<Self> {
+        if t.rank() != 4 {
+            return Err(SparseError::InvalidConfig(format!(
+                "conv weight must be rank 4, got rank {}",
+                t.rank()
+            )));
+        }
+        let f = t.dims()[0];
+        let rest: usize = t.dims()[1..].iter().product();
+        Self::from_dense(&t.reshape([f, rest])?)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Reconstructs the dense tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.rows, self.cols]);
+        let od = out.as_mut_slice();
+        for r in 0..self.rows {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for i in s..e {
+                od[r * self.cols + self.col_indices[i] as usize] = self.values[i];
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix × dense vector.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(SparseError::InvalidConfig(format!(
+                "spmv: vector length {} != cols {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for (r, yv) in y.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for i in s..e {
+                acc += self.values[i] * x[self.col_indices[i] as usize];
+            }
+            *yv = acc;
+        }
+        Ok(y)
+    }
+
+    /// Storage size in bits given weight precision `b_w` and index precision
+    /// `b_idx` (paper §III.D): `nnz·b_w + nnz·b_idx + (rows+1)·b_idx`.
+    pub fn storage_bits(&self, b_w: u32, b_idx: u32) -> u64 {
+        let nnz = self.nnz() as u64;
+        nnz * b_w as u64 + nnz * b_idx as u64 + (self.rows as u64 + 1) * b_idx as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            [3, 4],
+            vec![
+                1.0, 0.0, 2.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 3.0, 0.0, 4.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_dense() {
+        let t = sample();
+        let csr = CsrMatrix::from_dense(&t).unwrap();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.dims(), (3, 4));
+        assert_eq!(csr.to_dense(), t);
+    }
+
+    #[test]
+    fn empty_row_handled() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        assert_eq!(csr.row_ptr, vec![0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let t = sample();
+        let csr = CsrMatrix::from_dense(&t).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = csr.spmv(&x).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 22.0]);
+        assert!(csr.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn conv_weight_reshape() {
+        let mut w = Tensor::zeros([2, 3, 2, 2]);
+        w.as_mut_slice()[0] = 5.0;
+        w.as_mut_slice()[23] = -1.0;
+        let csr = CsrMatrix::from_conv_weight(&w).unwrap();
+        assert_eq!(csr.dims(), (2, 12));
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn storage_bits_formula() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        // 4 nnz × (32 + 16) + 4 ptrs × 16 = 192 + 64 = 256.
+        assert_eq!(csr.storage_bits(32, 16), 4 * 48 + 4 * 16);
+    }
+
+    #[test]
+    fn rank_checks() {
+        assert!(CsrMatrix::from_dense(&Tensor::zeros([4])).is_err());
+        assert!(CsrMatrix::from_conv_weight(&Tensor::zeros([2, 2])).is_err());
+    }
+
+    #[test]
+    fn fully_sparse_and_fully_dense() {
+        let z = Tensor::zeros([2, 2]);
+        let csr = CsrMatrix::from_dense(&z).unwrap();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.to_dense(), z);
+        let d = Tensor::ones([2, 2]);
+        assert_eq!(CsrMatrix::from_dense(&d).unwrap().nnz(), 4);
+    }
+}

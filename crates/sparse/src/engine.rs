@@ -1,0 +1,169 @@
+//! The sparse-training engine interface and shared plumbing.
+
+use ndsnn_snn::layers::Layer;
+use rand::Rng;
+
+use crate::distribution::{layer_densities, Distribution, LayerShape};
+use crate::error::Result;
+use crate::kernels::random_mask;
+use crate::mask::MaskSet;
+
+/// A sparse-training strategy plugged into the training loop.
+///
+/// The trainer drives every engine with the same protocol per iteration `t`:
+///
+/// 1. compute gradients (BPTT) — gradients are *dense* at this point,
+/// 2. [`SparseEngine::before_optim`]`(t)` — the engine may update masks using
+///    weights + dense gradients (drop-and-grow), add regularization gradients
+///    (ADMM), and must mask gradients so only active weights are updated,
+/// 3. optimizer step,
+/// 4. [`SparseEngine::after_optim`]`(t)` — the engine re-applies masks so
+///    momentum cannot leak value into dropped weights.
+pub trait SparseEngine: Send {
+    /// Short method name (matches the paper's table rows, e.g. `"NDSNN"`).
+    fn name(&self) -> &str;
+
+    /// Builds initial masks from the model and sparsifies the weights.
+    fn init(&mut self, model: &mut dyn Layer) -> Result<()>;
+
+    /// Hook between gradient computation and the optimizer step.
+    fn before_optim(&mut self, step: usize, model: &mut dyn Layer) -> Result<()>;
+
+    /// Hook after the optimizer step.
+    fn after_optim(&mut self, step: usize, model: &mut dyn Layer) -> Result<()>;
+
+    /// Current overall sparsity of the sparsifiable weights (0 for dense
+    /// training phases).
+    fn sparsity(&self) -> f64;
+
+    /// The engine's masks, when it maintains them.
+    fn mask_set(&self) -> Option<&MaskSet> {
+        None
+    }
+}
+
+/// Baseline engine: fully dense training (the paper's "Dense" rows).
+#[derive(Debug, Default)]
+pub struct DenseEngine;
+
+impl DenseEngine {
+    /// Creates the dense no-op engine.
+    pub fn new() -> Self {
+        DenseEngine
+    }
+}
+
+impl SparseEngine for DenseEngine {
+    fn name(&self) -> &str {
+        "Dense"
+    }
+
+    fn init(&mut self, _model: &mut dyn Layer) -> Result<()> {
+        Ok(())
+    }
+
+    fn before_optim(&mut self, _step: usize, _model: &mut dyn Layer) -> Result<()> {
+        Ok(())
+    }
+
+    fn after_optim(&mut self, _step: usize, _model: &mut dyn Layer) -> Result<()> {
+        Ok(())
+    }
+
+    fn sparsity(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Collects the shapes of all sparsifiable parameters in visit order.
+pub fn collect_layer_shapes(model: &mut dyn Layer) -> Vec<LayerShape> {
+    let mut shapes = Vec::new();
+    model.for_each_param(&mut |p| {
+        if p.is_sparsifiable() {
+            shapes.push(LayerShape {
+                name: p.name.clone(),
+                dims: p.value.dims().to_vec(),
+            });
+        }
+    });
+    shapes
+}
+
+/// Builds random initial masks at the given global sparsity, distributed
+/// across layers by `dist`, and applies them to the model's weights.
+pub fn init_random_masks(
+    model: &mut dyn Layer,
+    dist: Distribution,
+    sparsity: f64,
+    rng: &mut impl Rng,
+) -> Result<MaskSet> {
+    let shapes = collect_layer_shapes(model);
+    let densities = layer_densities(dist, &shapes, sparsity)?;
+    let mut set = MaskSet::new();
+    for (shape, density) in shapes.iter().zip(&densities) {
+        set.insert(shape.name.clone(), random_mask(&shape.dims, *density, rng));
+    }
+    set.apply_to_weights(model);
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsnn_snn::layers::{Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(100);
+        Sequential::new("m")
+            .with(Box::new(
+                Linear::new("fc1", 32, 64, true, &mut rng).unwrap(),
+            ))
+            .with(Box::new(
+                Linear::new("fc2", 64, 10, true, &mut rng).unwrap(),
+            ))
+    }
+
+    #[test]
+    fn dense_engine_is_noop() {
+        let mut m = model();
+        let mut e = DenseEngine::new();
+        e.init(&mut m).unwrap();
+        e.before_optim(0, &mut m).unwrap();
+        e.after_optim(0, &mut m).unwrap();
+        assert_eq!(e.sparsity(), 0.0);
+        assert!(e.mask_set().is_none());
+        let mut nz = 0;
+        m.for_each_param(&mut |p| nz += p.value.count_nonzero());
+        assert!(nz > 2000, "dense engine must not sparsify");
+    }
+
+    #[test]
+    fn collect_shapes_only_weights() {
+        let mut m = model();
+        let shapes = collect_layer_shapes(&mut m);
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[0].name, "fc1.weight");
+        assert_eq!(shapes[0].dims, vec![64, 32]);
+    }
+
+    #[test]
+    fn init_random_masks_hits_sparsity_and_zeroes_weights() {
+        let mut m = model();
+        let mut rng = StdRng::seed_from_u64(101);
+        let set = init_random_masks(&mut m, Distribution::Erk, 0.8, &mut rng).unwrap();
+        assert!((set.overall_sparsity() - 0.8).abs() < 0.02);
+        // Weights outside the mask are zero.
+        let mut violations = 0;
+        m.for_each_param(&mut |p| {
+            if let Some(mask) = set.get(&p.name) {
+                for (w, &mk) in p.value.as_slice().iter().zip(mask.as_slice()) {
+                    if mk == 0.0 && *w != 0.0 {
+                        violations += 1;
+                    }
+                }
+            }
+        });
+        assert_eq!(violations, 0);
+    }
+}

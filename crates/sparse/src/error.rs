@@ -1,0 +1,55 @@
+//! Error type for the sparse-training substrate.
+
+use std::fmt;
+
+use ndsnn_snn::SnnError;
+use ndsnn_tensor::TensorError;
+
+/// Errors raised by sparse-training engines and schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Snn(String),
+    /// A sparsity/schedule configuration is invalid.
+    InvalidConfig(String),
+    /// The engine was driven out of protocol (e.g. `before_optim` before
+    /// `init`).
+    InvalidState(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SparseError::Snn(e) => write!(f, "snn error: {e}"),
+            SparseError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            SparseError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SparseError {
+    fn from(e: TensorError) -> Self {
+        SparseError::Tensor(e)
+    }
+}
+
+impl From<SnnError> for SparseError {
+    fn from(e: SnnError) -> Self {
+        SparseError::Snn(e.to_string())
+    }
+}
+
+/// Convenience alias used across the sparse crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

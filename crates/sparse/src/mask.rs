@@ -1,0 +1,208 @@
+//! Binary weight masks and mask sets.
+
+use std::collections::BTreeMap;
+
+use ndsnn_snn::layers::Layer;
+use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SparseError};
+
+/// Applies `mask` to `value` in place (`value *= mask`), zeroing inactive
+/// weights. Debug-asserts matching shapes.
+pub fn apply_mask(value: &mut Tensor, mask: &Tensor) {
+    debug_assert_eq!(value.dims(), mask.dims());
+    for (v, &m) in value.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+        if m == 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// A named collection of binary masks, one per sparsifiable parameter.
+///
+/// The mask convention follows the paper: a mask is a tensor of the same
+/// shape as the weight where `1` marks an *active* (non-zero) connection and
+/// `0` a dropped one.
+#[derive(Debug, Clone, Default)]
+pub struct MaskSet {
+    masks: BTreeMap<String, Tensor>,
+}
+
+impl MaskSet {
+    /// Creates an empty mask set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of masked parameters.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the set holds no masks.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Inserts (or replaces) the mask for `name`.
+    pub fn insert(&mut self, name: impl Into<String>, mask: Tensor) {
+        self.masks.insert(name.into(), mask);
+    }
+
+    /// The mask for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.masks.get(name)
+    }
+
+    /// Mutable access to the mask for `name`.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        self.masks.get_mut(name)
+    }
+
+    /// Iterates `(name, mask)` in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.masks.iter()
+    }
+
+    /// Total number of mask entries (weights covered).
+    pub fn total_weights(&self) -> usize {
+        self.masks.values().map(|m| m.len()).sum()
+    }
+
+    /// Total active (mask = 1) entries.
+    pub fn total_active(&self) -> usize {
+        self.masks.values().map(|m| m.count_nonzero()).sum()
+    }
+
+    /// Overall sparsity over all masked parameters: `zeros / total`.
+    pub fn overall_sparsity(&self) -> f64 {
+        let total = self.total_weights();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.total_active() as f64 / total as f64
+        }
+    }
+
+    /// Per-parameter sparsity, sorted by name.
+    pub fn per_layer_sparsity(&self) -> Vec<(String, f64)> {
+        self.masks
+            .iter()
+            .map(|(n, m)| (n.clone(), m.sparsity()))
+            .collect()
+    }
+
+    /// Zeroes every masked-out weight in the model.
+    pub fn apply_to_weights(&self, model: &mut dyn Layer) {
+        model.for_each_param(&mut |p| {
+            if let Some(mask) = self.masks.get(&p.name) {
+                apply_mask(&mut p.value, mask);
+            }
+        });
+    }
+
+    /// Zeroes every masked-out *gradient* in the model, so the optimizer only
+    /// updates active weights (paper step ❷: "we only update the active
+    /// weights").
+    pub fn apply_to_grads(&self, model: &mut dyn Layer) {
+        model.for_each_param(&mut |p| {
+            if let Some(mask) = self.masks.get(&p.name) {
+                apply_mask(&mut p.grad, mask);
+            }
+        });
+    }
+
+    /// Validates that every mask matches its parameter's shape and is binary.
+    pub fn validate_against(&self, model: &mut dyn Layer) -> Result<()> {
+        let mut err: Option<SparseError> = None;
+        let masks = &self.masks;
+        model.for_each_param(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            if let Some(mask) = masks.get(&p.name) {
+                if mask.dims() != p.value.dims() {
+                    err = Some(SparseError::InvalidState(format!(
+                        "mask for {} has shape {:?}, weight has {:?}",
+                        p.name,
+                        mask.dims(),
+                        p.value.dims()
+                    )));
+                } else if !mask.as_slice().iter().all(|&m| m == 0.0 || m == 1.0) {
+                    err = Some(SparseError::InvalidState(format!(
+                        "mask for {} is not binary",
+                        p.name
+                    )));
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsnn_snn::layers::{Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn apply_mask_zeroes_inactive() {
+        let mut v = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let m = Tensor::from_slice(&[1.0, 0.0, 1.0, 0.0]);
+        apply_mask(&mut v, &m);
+        assert_eq!(v.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn overall_sparsity_weighted_by_size() {
+        let mut set = MaskSet::new();
+        set.insert("a", Tensor::zeros([10])); // fully sparse
+        set.insert("b", Tensor::ones([30])); // fully dense
+        assert!((set.overall_sparsity() - 0.25).abs() < 1e-12);
+        assert_eq!(set.total_weights(), 40);
+        assert_eq!(set.total_active(), 30);
+    }
+
+    #[test]
+    fn apply_to_model_weights_and_grads() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let mut net =
+            Sequential::new("n").with(Box::new(Linear::new("fc", 2, 2, false, &mut rng).unwrap()));
+        let mut set = MaskSet::new();
+        let mut mask = Tensor::ones([2, 2]);
+        mask.as_mut_slice()[0] = 0.0;
+        set.insert("fc.weight", mask);
+        net.for_each_param(&mut |p| {
+            p.value.fill(3.0);
+            p.grad.fill(7.0);
+        });
+        set.apply_to_weights(&mut net);
+        set.apply_to_grads(&mut net);
+        net.for_each_param(&mut |p| {
+            assert_eq!(p.value.as_slice()[0], 0.0);
+            assert_eq!(p.value.as_slice()[1], 3.0);
+            assert_eq!(p.grad.as_slice()[0], 0.0);
+            assert_eq!(p.grad.as_slice()[1], 7.0);
+        });
+    }
+
+    #[test]
+    fn validation_catches_shape_and_binary_errors() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut net =
+            Sequential::new("n").with(Box::new(Linear::new("fc", 2, 2, false, &mut rng).unwrap()));
+        let mut set = MaskSet::new();
+        set.insert("fc.weight", Tensor::ones([3, 3]));
+        assert!(set.validate_against(&mut net).is_err());
+        let mut set2 = MaskSet::new();
+        set2.insert("fc.weight", Tensor::full([2, 2], 0.5));
+        assert!(set2.validate_against(&mut net).is_err());
+        let mut set3 = MaskSet::new();
+        set3.insert("fc.weight", Tensor::ones([2, 2]));
+        assert!(set3.validate_against(&mut net).is_ok());
+    }
+}

@@ -1,0 +1,157 @@
+//! Training memory-footprint model (paper §III.D).
+//!
+//! For a model with `N` weights at sparsity θ trained over `t` timesteps,
+//! with weight precision `b_w` and index precision `b_idx`, the footprint of
+//! weights + gradients in CSR form is
+//!
+//! `(1 − θ)·((1 + t)·N·b_w + N·b_idx) + Σ_l (F_l + 1)·b_idx`
+//!
+//! and the paper approximates away the row-pointer term since
+//! `Σ F_l ≪ N`. This module provides both the exact and approximate models
+//! plus platform presets (FP32 training, Loihi 8-bit inference, HICANN
+//! 4-bit, FPGA mixed precision).
+
+use serde::{Deserialize, Serialize};
+
+/// Bit widths used in a footprint computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Bits per weight/gradient value.
+    pub weight_bits: u32,
+    /// Bits per sparse index.
+    pub index_bits: u32,
+}
+
+impl Precision {
+    /// FP32 training with 16-bit indices (the paper's training setting).
+    pub fn fp32_training() -> Self {
+        Precision {
+            weight_bits: 32,
+            index_bits: 16,
+        }
+    }
+
+    /// Intel Loihi inference: 8-bit weights (paper reference \[14\]).
+    pub fn loihi() -> Self {
+        Precision {
+            weight_bits: 8,
+            index_bits: 16,
+        }
+    }
+
+    /// HICANN mixed-signal: 4-bit weights (paper reference \[26\]).
+    pub fn hicann() -> Self {
+        Precision {
+            weight_bits: 4,
+            index_bits: 16,
+        }
+    }
+}
+
+/// Per-layer description needed for the exact model: each layer contributes
+/// `F_l + 1` row pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerFilters {
+    /// Number of filters (rows of the reshaped weight matrix).
+    pub filters: usize,
+}
+
+/// Exact training footprint in bits (weights + `t` timesteps of gradients +
+/// CSR indices).
+pub fn footprint_bits_exact(
+    total_weights: usize,
+    sparsity: f64,
+    timesteps: usize,
+    precision: Precision,
+    layers: &[LayerFilters],
+) -> f64 {
+    let n = total_weights as f64;
+    let density = 1.0 - sparsity;
+    let value_bits = density * (1.0 + timesteps as f64) * n * precision.weight_bits as f64;
+    let index_bits = density * n * precision.index_bits as f64;
+    let row_ptr_bits: f64 = layers
+        .iter()
+        .map(|l| (l.filters + 1) as f64 * precision.index_bits as f64)
+        .sum();
+    value_bits + index_bits + row_ptr_bits
+}
+
+/// The paper's approximation: `(1−θ)·((1+t)·N·b_w + N·b_idx)`.
+pub fn footprint_bits_approx(
+    total_weights: usize,
+    sparsity: f64,
+    timesteps: usize,
+    precision: Precision,
+) -> f64 {
+    let n = total_weights as f64;
+    (1.0 - sparsity)
+        * ((1.0 + timesteps as f64) * n * precision.weight_bits as f64
+            + n * precision.index_bits as f64)
+}
+
+/// Dense-model footprint for comparison: `(1+t)·N·b_w` (no indices needed).
+pub fn dense_footprint_bits(total_weights: usize, timesteps: usize, precision: Precision) -> f64 {
+    (1.0 + timesteps as f64) * total_weights as f64 * precision.weight_bits as f64
+}
+
+/// Ratio of sparse to dense footprint — the memory saving factor the paper's
+/// §III.D argument rests on.
+pub fn sparse_to_dense_ratio(sparsity: f64, timesteps: usize, precision: Precision) -> f64 {
+    footprint_bits_approx(1_000_000, sparsity, timesteps, precision)
+        / dense_footprint_bits(1_000_000, timesteps, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_close_to_exact_for_large_n() {
+        let layers = vec![LayerFilters { filters: 64 }; 16];
+        let exact = footprint_bits_exact(10_000_000, 0.9, 5, Precision::fp32_training(), &layers);
+        let approx = footprint_bits_approx(10_000_000, 0.9, 5, Precision::fp32_training());
+        let rel = (exact - approx) / exact;
+        assert!(rel > 0.0 && rel < 1e-3, "relative gap {rel}");
+    }
+
+    #[test]
+    fn higher_sparsity_lower_footprint() {
+        let p = Precision::fp32_training();
+        let f90 = footprint_bits_approx(1000, 0.90, 5, p);
+        let f99 = footprint_bits_approx(1000, 0.99, 5, p);
+        assert!(f99 < f90 * 0.2);
+    }
+
+    #[test]
+    fn more_timesteps_more_memory() {
+        let p = Precision::fp32_training();
+        let t2 = footprint_bits_approx(1000, 0.9, 2, p);
+        let t5 = footprint_bits_approx(1000, 0.9, 5, p);
+        assert!(t5 > t2);
+        // The value term is linear in (1+t); the index term is constant:
+        // ratio = (6·b_w + b_idx)/(3·b_w + b_idx) = 208/112.
+        assert!((t5 / t2 - 208.0 / 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_has_no_index_overhead() {
+        let p = Precision::fp32_training();
+        assert_eq!(dense_footprint_bits(100, 1, p), 2.0 * 100.0 * 32.0);
+    }
+
+    #[test]
+    fn ratio_crossover_with_index_overhead() {
+        // At θ=0 the sparse format costs MORE than dense (index overhead);
+        // at high θ it costs far less.
+        let p = Precision::fp32_training();
+        assert!(sparse_to_dense_ratio(0.0, 5, p) > 1.0);
+        assert!(sparse_to_dense_ratio(0.95, 5, p) < 0.06);
+    }
+
+    #[test]
+    fn platform_presets() {
+        assert_eq!(Precision::loihi().weight_bits, 8);
+        assert_eq!(Precision::hicann().weight_bits, 4);
+        assert_eq!(Precision::fp32_training().weight_bits, 32);
+    }
+}

@@ -1,0 +1,124 @@
+//! The NDSNN engine — the paper's primary contribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::Distribution;
+use crate::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use crate::error::Result;
+use crate::schedule::UpdateSchedule;
+
+/// NDSNN hyper-parameters (paper §III.C, Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NdsnnConfig {
+    /// Initial sparsity θᵢ — the paper explores {0.5 … 0.9} and recommends
+    /// {0.6, 0.7, 0.8} (Table III).
+    pub initial_sparsity: f64,
+    /// Final sparsity θ_f — the paper evaluates 0.90/0.95/0.98/0.99.
+    pub final_sparsity: f64,
+    /// Initial death ratio d₀.
+    pub death_initial: f64,
+    /// Minimum death ratio d_min.
+    pub death_min: f64,
+    /// Mask update timing (t₀, ΔT, T_end).
+    pub update: UpdateSchedule,
+    /// Layer-wise sparsity distribution (paper: ERK).
+    pub distribution: Distribution,
+    /// RNG seed for the initial topology.
+    pub seed: u64,
+}
+
+impl NdsnnConfig {
+    /// A reasonable default matching the paper's setup: θᵢ = 0.7 (unless the
+    /// caller overrides), cosine-annealed death ratio starting at 0.5.
+    pub fn new(initial_sparsity: f64, final_sparsity: f64, update: UpdateSchedule) -> Self {
+        NdsnnConfig {
+            initial_sparsity,
+            final_sparsity,
+            death_initial: 0.5,
+            death_min: 0.05,
+            update,
+            distribution: Distribution::Erk,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the NDSNN drop-and-grow engine: cubic decreasing-density schedule
+/// (Eq. 4), cosine-annealed death ratio (Eq. 5), magnitude dropping,
+/// gradient-magnitude growing, ERK layer distribution.
+pub fn ndsnn_engine(config: NdsnnConfig) -> Result<DynamicEngine> {
+    DynamicEngine::with_label(
+        "NDSNN",
+        DynamicConfig {
+            initial_sparsity: config.initial_sparsity,
+            final_sparsity: config.final_sparsity,
+            trajectory: SparsityTrajectory::CubicIncrease,
+            death_initial: config.death_initial,
+            death_min: config.death_min,
+            update: config.update,
+            growth: GrowthMode::Gradient,
+            distribution: config.distribution,
+            seed: config.seed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SparseEngine;
+    use ndsnn_snn::layers::{Layer, Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn builds_with_paper_hyperparameters() {
+        let update = UpdateSchedule::new(0, 100, 10_001).unwrap();
+        let e = ndsnn_engine(NdsnnConfig::new(0.7, 0.99, update)).unwrap();
+        assert_eq!(e.name(), "NDSNN");
+        assert_eq!(e.config().growth, GrowthMode::Gradient);
+        assert_eq!(e.config().trajectory, SparsityTrajectory::CubicIncrease);
+    }
+
+    #[test]
+    fn rejects_decreasing_sparsity() {
+        let update = UpdateSchedule::new(0, 100, 1001).unwrap();
+        assert!(ndsnn_engine(NdsnnConfig::new(0.99, 0.7, update)).is_err());
+    }
+
+    #[test]
+    fn end_to_end_reaches_target_on_mlp() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let mut m = Sequential::new("m")
+            .with(Box::new(
+                Linear::new("fc1", 30, 60, false, &mut rng).unwrap(),
+            ))
+            .with(Box::new(
+                Linear::new("fc2", 60, 10, false, &mut rng).unwrap(),
+            ));
+        let update = UpdateSchedule::new(0, 5, 51).unwrap();
+        let mut e = ndsnn_engine(NdsnnConfig::new(0.6, 0.95, update)).unwrap();
+        e.init(&mut m).unwrap();
+        for step in 0..=50 {
+            m.for_each_param(&mut |p| {
+                p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng)
+            });
+            e.before_optim(step, &mut m).unwrap();
+            e.after_optim(step, &mut m).unwrap();
+        }
+        assert!((e.sparsity() - 0.95).abs() < 0.02, "got {}", e.sparsity());
+        // The actual weight tensors are equally sparse.
+        let mut nonzero = 0usize;
+        let mut total = 0usize;
+        m.for_each_param(&mut |p| {
+            if p.is_sparsifiable() {
+                nonzero += p.value.count_nonzero();
+                total += p.len();
+            }
+        });
+        let weight_sparsity = 1.0 - nonzero as f64 / total as f64;
+        assert!(
+            weight_sparsity >= 0.93,
+            "weights not sparsified: {weight_sparsity}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! RigL baseline (Evci et al., ICML 2020) — paper reference \[25\].
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::Distribution;
+use crate::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use crate::error::Result;
+use crate::schedule::UpdateSchedule;
+
+/// RigL hyper-parameters: constant sparsity, magnitude drop, gradient growth,
+/// cosine-annealed update fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiglConfig {
+    /// Constant sparsity maintained throughout training.
+    pub sparsity: f64,
+    /// Initial update fraction α (RigL default 0.3), cosine-annealed to
+    /// `alpha_min` over the update horizon.
+    pub alpha: f64,
+    /// Annealing floor for the update fraction.
+    pub alpha_min: f64,
+    /// Mask update timing.
+    pub update: UpdateSchedule,
+    /// Layer-wise distribution (RigL default: ERK).
+    pub distribution: Distribution,
+    /// RNG seed for the initial topology.
+    pub seed: u64,
+}
+
+impl RiglConfig {
+    /// RigL with the literature-standard α = 0.3 annealed to 0.
+    pub fn new(sparsity: f64, update: UpdateSchedule) -> Self {
+        RiglConfig {
+            sparsity,
+            alpha: 0.3,
+            alpha_min: 0.0,
+            update,
+            distribution: Distribution::Erk,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the RigL-SNN baseline engine.
+pub fn rigl_engine(config: RiglConfig) -> Result<DynamicEngine> {
+    DynamicEngine::with_label(
+        "RigL",
+        DynamicConfig {
+            initial_sparsity: config.sparsity,
+            final_sparsity: config.sparsity,
+            trajectory: SparsityTrajectory::Constant,
+            death_initial: config.alpha,
+            death_min: config.alpha_min,
+            update: config.update,
+            growth: GrowthMode::Gradient,
+            distribution: config.distribution,
+            seed: config.seed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SparseEngine;
+    use ndsnn_snn::layers::{Layer, Linear, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gradient_growth_constant_sparsity() {
+        let update = UpdateSchedule::new(0, 10, 101).unwrap();
+        let e = rigl_engine(RiglConfig::new(0.95, update)).unwrap();
+        assert_eq!(e.name(), "RigL");
+        assert_eq!(e.config().growth, GrowthMode::Gradient);
+        assert_eq!(e.config().trajectory, SparsityTrajectory::Constant);
+    }
+
+    #[test]
+    fn grows_where_gradient_is_large() {
+        // Gradient concentrated on one inactive coordinate → RigL must grow it.
+        let mut rng = StdRng::seed_from_u64(140);
+        let mut m = Sequential::new("m").with(Box::new(
+            Linear::new("fc", 10, 10, false, &mut rng).unwrap(),
+        ));
+        let update = UpdateSchedule::new(0, 1, 11).unwrap();
+        let mut e = rigl_engine(RiglConfig::new(0.9, update)).unwrap();
+        e.init(&mut m).unwrap();
+        // Find an inactive coordinate, give it a huge gradient.
+        let mask = e.mask_set().unwrap().get("fc.weight").unwrap().clone();
+        let hot = mask
+            .as_slice()
+            .iter()
+            .position(|&v| v == 0.0)
+            .expect("some inactive weight");
+        m.for_each_param(&mut |p| {
+            p.grad.fill(1e-3);
+            p.grad.as_mut_slice()[hot] = 100.0;
+            // Give active weights magnitude so drops pick the smallest.
+            for (i, w) in p.value.as_mut_slice().iter_mut().enumerate() {
+                if mask.as_slice()[i] != 0.0 {
+                    *w = 1.0 + i as f32 * 0.01;
+                }
+            }
+        });
+        e.before_optim(1, &mut m).unwrap();
+        let new_mask = e.mask_set().unwrap().get("fc.weight").unwrap();
+        assert_eq!(
+            new_mask.as_slice()[hot],
+            1.0,
+            "RigL did not grow hottest gradient"
+        );
+    }
+
+    #[test]
+    fn death_ratio_anneals() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let mut m = Sequential::new("m").with(Box::new(
+            Linear::new("fc", 40, 40, false, &mut rng).unwrap(),
+        ));
+        let update = UpdateSchedule::new(0, 10, 101).unwrap();
+        let mut e = rigl_engine(RiglConfig::new(0.9, update)).unwrap();
+        e.init(&mut m).unwrap();
+        for step in 0..=100 {
+            m.for_each_param(&mut |p| {
+                p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng)
+            });
+            e.before_optim(step, &mut m).unwrap();
+            e.after_optim(step, &mut m).unwrap();
+        }
+        let h = e.history();
+        assert!(h.len() >= 2);
+        assert!(
+            h.last().unwrap().death_ratio < h[0].death_ratio,
+            "death ratio did not anneal: {h:?}"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Sparsity and death-ratio schedules (paper Eq. 4 and Eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SparseError};
+
+/// When mask updates happen: every `delta_t` iterations from `t0` until
+/// `t_end` (exclusive), matching Algorithm 1's
+/// `t mod ΔT == 0 and t < T_end` condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateSchedule {
+    /// First step eligible for a mask update.
+    pub t0: usize,
+    /// Update period ΔT in iterations.
+    pub delta_t: usize,
+    /// Last step (exclusive) at which updates occur; afterwards the mask is
+    /// frozen so training converges on the final topology.
+    pub t_end: usize,
+}
+
+impl UpdateSchedule {
+    /// Creates a schedule, validating `delta_t > 0` and `t_end > t0`.
+    pub fn new(t0: usize, delta_t: usize, t_end: usize) -> Result<Self> {
+        if delta_t == 0 {
+            return Err(SparseError::InvalidConfig("delta_t must be > 0".into()));
+        }
+        if t_end <= t0 {
+            return Err(SparseError::InvalidConfig(format!(
+                "t_end ({t_end}) must be > t0 ({t0})"
+            )));
+        }
+        Ok(UpdateSchedule { t0, delta_t, t_end })
+    }
+
+    /// Whether a mask update fires at iteration `t`.
+    ///
+    /// Step `t0` itself does not fire (the initial mask is the update at
+    /// round 0); the first firing update is `t0 + delta_t`.
+    pub fn fires_at(&self, t: usize) -> bool {
+        t > self.t0 && t < self.t_end && (t - self.t0).is_multiple_of(self.delta_t)
+    }
+
+    /// Total number of update rounds `n` over the horizon.
+    pub fn num_rounds(&self) -> usize {
+        (self.t_end - self.t0).saturating_sub(1) / self.delta_t
+    }
+
+    /// The round index `q ∈ [1, n]` of the update at iteration `t`.
+    pub fn round_of(&self, t: usize) -> usize {
+        (t.saturating_sub(self.t0)) / self.delta_t
+    }
+
+    /// Normalized progress `(t − t0)/(n·ΔT) ∈ [0, 1]` used by Eq. 4/5.
+    pub fn progress(&self, t: usize) -> f64 {
+        let horizon = (self.num_rounds() * self.delta_t).max(1);
+        ((t.saturating_sub(self.t0)) as f64 / horizon as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// The paper's cubic decreasing-density schedule (Eq. 4):
+///
+/// `θ_t = θ_f + (θ_i − θ_f)·(1 − (t − t0)/(nΔT))³`
+///
+/// Sparsity starts at θᵢ and rises to θ_f, so the live-weight count
+/// *decreases* over training — the neurogenesis-dynamics analogy that
+/// distinguishes NDSNN from constant-sparsity SET/RigL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsitySchedule {
+    /// Initial sparsity θᵢ.
+    pub initial: f64,
+    /// Final sparsity θ_f.
+    pub final_: f64,
+    /// Update timing.
+    pub update: UpdateSchedule,
+}
+
+impl SparsitySchedule {
+    /// Creates a schedule, validating `0 ≤ θᵢ ≤ θ_f < 1`.
+    pub fn new(initial: f64, final_: f64, update: UpdateSchedule) -> Result<Self> {
+        if !(0.0..1.0).contains(&initial) || !(0.0..1.0).contains(&final_) {
+            return Err(SparseError::InvalidConfig(format!(
+                "sparsities must be in [0,1): initial={initial}, final={final_}"
+            )));
+        }
+        if initial > final_ {
+            return Err(SparseError::InvalidConfig(format!(
+                "NDSNN requires initial sparsity <= final sparsity ({initial} > {final_})"
+            )));
+        }
+        Ok(SparsitySchedule {
+            initial,
+            final_,
+            update,
+        })
+    }
+
+    /// Sparsity θ_t at iteration `t` (Eq. 4).
+    pub fn at(&self, t: usize) -> f64 {
+        let p = self.update.progress(t);
+        self.final_ + (self.initial - self.final_) * (1.0 - p).powi(3)
+    }
+}
+
+/// The cosine-annealed death (drop) ratio (Eq. 5):
+///
+/// `d_t = d_min + ½(d₀ − d_min)(1 + cos(π·t/(nΔT)))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeathSchedule {
+    /// Initial death ratio d₀ (fraction of active weights dropped per round).
+    pub initial: f64,
+    /// Minimum death ratio d_min.
+    pub min: f64,
+    /// Update timing (shares the NDSNN update schedule).
+    pub update: UpdateSchedule,
+}
+
+impl DeathSchedule {
+    /// Creates a schedule, validating `0 ≤ d_min ≤ d₀ ≤ 1`.
+    pub fn new(initial: f64, min: f64, update: UpdateSchedule) -> Result<Self> {
+        if !(0.0..=1.0).contains(&initial) || !(0.0..=1.0).contains(&min) || min > initial {
+            return Err(SparseError::InvalidConfig(format!(
+                "death ratios must satisfy 0 <= min <= initial <= 1 (initial={initial}, min={min})"
+            )));
+        }
+        Ok(DeathSchedule {
+            initial,
+            min,
+            update,
+        })
+    }
+
+    /// Death ratio d_t at iteration `t` (Eq. 5).
+    pub fn at(&self, t: usize) -> f64 {
+        let p = self.update.progress(t);
+        self.min + 0.5 * (self.initial - self.min) * (1.0 + (std::f64::consts::PI * p).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd() -> UpdateSchedule {
+        UpdateSchedule::new(0, 100, 1001).unwrap()
+    }
+
+    #[test]
+    fn update_schedule_fires_on_period() {
+        let u = upd();
+        assert!(!u.fires_at(0));
+        assert!(u.fires_at(100));
+        assert!(!u.fires_at(150));
+        assert!(u.fires_at(1000));
+        assert!(!u.fires_at(1001));
+        assert!(!u.fires_at(1100));
+        assert_eq!(u.num_rounds(), 10);
+    }
+
+    #[test]
+    fn update_schedule_with_offset() {
+        let u = UpdateSchedule::new(50, 100, 451).unwrap();
+        assert!(!u.fires_at(50));
+        assert!(u.fires_at(150));
+        assert!(u.fires_at(450));
+        assert_eq!(u.num_rounds(), 4);
+        assert_eq!(u.round_of(150), 1);
+        assert_eq!(u.round_of(450), 4);
+    }
+
+    #[test]
+    fn invalid_update_schedules() {
+        assert!(UpdateSchedule::new(0, 0, 10).is_err());
+        assert!(UpdateSchedule::new(10, 5, 10).is_err());
+    }
+
+    #[test]
+    fn sparsity_cubic_interpolation() {
+        let s = SparsitySchedule::new(0.8, 0.95, upd()).unwrap();
+        assert!((s.at(0) - 0.8).abs() < 1e-12);
+        assert!((s.at(1000) - 0.95).abs() < 1e-12);
+        // Midpoint: θ_f + (θ_i−θ_f)(0.5)³ = 0.95 − 0.15·0.125.
+        assert!((s.at(500) - (0.95 - 0.15 * 0.125)).abs() < 1e-9);
+        // Monotone non-decreasing.
+        let mut prev = 0.0;
+        for t in (0..=1000).step_by(100) {
+            let v = s.at(t);
+            assert!(v >= prev - 1e-12, "sparsity decreased at t={t}");
+            prev = v;
+        }
+        // Clamped past horizon.
+        assert!((s.at(5000) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_rejects_decreasing_density_violation() {
+        assert!(SparsitySchedule::new(0.95, 0.8, upd()).is_err());
+        assert!(SparsitySchedule::new(-0.1, 0.5, upd()).is_err());
+        assert!(SparsitySchedule::new(0.5, 1.0, upd()).is_err());
+    }
+
+    #[test]
+    fn death_cosine_annealing() {
+        let d = DeathSchedule::new(0.5, 0.05, upd()).unwrap();
+        assert!((d.at(0) - 0.5).abs() < 1e-12);
+        assert!((d.at(1000) - 0.05).abs() < 1e-12);
+        // Midpoint is the arithmetic mean.
+        assert!((d.at(500) - 0.275).abs() < 1e-9);
+        // Monotone non-increasing.
+        let mut prev = 1.0;
+        for t in (0..=1000).step_by(50) {
+            let v = d.at(t);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn death_validation() {
+        assert!(DeathSchedule::new(0.05, 0.5, upd()).is_err());
+        assert!(DeathSchedule::new(1.5, 0.0, upd()).is_err());
+    }
+
+    #[test]
+    fn constant_schedule_when_equal() {
+        let s = SparsitySchedule::new(0.9, 0.9, upd()).unwrap();
+        for t in (0..1000).step_by(100) {
+            assert!((s.at(t) - 0.9).abs() < 1e-12);
+        }
+    }
+}

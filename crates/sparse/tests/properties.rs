@@ -1,0 +1,219 @@
+//! Property-based tests for the sparse-training substrate.
+
+use ndsnn_snn::layers::{Layer, Linear, Sequential};
+use ndsnn_sparse::distribution::{layer_densities, Distribution, LayerShape};
+use ndsnn_sparse::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::kernels::{drop_by_magnitude, grow_by_gradient, random_mask};
+use ndsnn_sparse::lth::LthConfig;
+use ndsnn_sparse::schedule::{DeathSchedule, SparsitySchedule, UpdateSchedule};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_shapes() -> impl Strategy<Value = Vec<LayerShape>> {
+    proptest::collection::vec(
+        (
+            1usize..64,
+            1usize..64,
+            prop_oneof![Just(1usize), Just(3), Just(5)],
+        ),
+        1..6,
+    )
+    .prop_map(|dims| {
+        dims.into_iter()
+            .enumerate()
+            .map(|(i, (o, c, k))| LayerShape {
+                name: format!("l{i}"),
+                dims: if k == 1 { vec![o, c] } else { vec![o, c, k, k] },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ERK always produces densities in [0,1] whose weighted mean matches
+    /// the requested global density.
+    #[test]
+    fn erk_feasible_for_any_shapes(shapes in arb_shapes(), sparsity in 0.0f64..0.999) {
+        let d = layer_densities(Distribution::Erk, &shapes, sparsity).unwrap();
+        prop_assert_eq!(d.len(), shapes.len());
+        prop_assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let total: f64 = shapes.iter().map(|s| s.num_weights() as f64).sum();
+        let nonzero: f64 = d.iter().zip(&shapes).map(|(di, s)| di * s.num_weights() as f64).sum();
+        let got = 1.0 - nonzero / total;
+        // Exact when no layer is pinned dense; when layers are pinned the
+        // remaining budget redistributes exactly as well.
+        prop_assert!((got - sparsity).abs() < 1e-6, "target {sparsity} got {got}");
+    }
+
+    /// Eq. 4 stays within [θᵢ, θ_f] and is monotone non-decreasing.
+    #[test]
+    fn sparsity_schedule_bounded_monotone(
+        initial in 0.0f64..0.95,
+        delta in 0.0f64..0.04,
+        t_end in 10usize..2000,
+    ) {
+        let final_ = (initial + delta).min(0.99);
+        let update = UpdateSchedule::new(0, 1, t_end).unwrap();
+        let s = SparsitySchedule::new(initial, final_, update).unwrap();
+        let mut prev = -1.0;
+        for t in (0..=t_end).step_by((t_end / 50).max(1)) {
+            let v = s.at(t);
+            prop_assert!(v >= initial - 1e-9 && v <= final_ + 1e-9);
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Eq. 5 stays within [d_min, d₀] and is monotone non-increasing.
+    #[test]
+    fn death_schedule_bounded(
+        d0 in 0.0f64..1.0,
+        frac in 0.0f64..1.0,
+        t_end in 10usize..2000,
+    ) {
+        let dmin = d0 * frac;
+        let update = UpdateSchedule::new(0, 1, t_end).unwrap();
+        let d = DeathSchedule::new(d0, dmin, update).unwrap();
+        let mut prev = f64::INFINITY;
+        for t in (0..=t_end).step_by((t_end / 50).max(1)) {
+            let v = d.at(t);
+            prop_assert!(v >= dmin - 1e-9 && v <= d0 + 1e-9);
+            prop_assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Drop then grow preserves mask binariness and hits exact counts.
+    #[test]
+    fn drop_grow_exact_counts(
+        n in 10usize..400,
+        density in 0.05f64..0.95,
+        drop_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = ndsnn_tensor::init::uniform([n], -1.0, 1.0, &mut rng);
+        let mut m = random_mask(&[n], density, &mut rng);
+        w.mul_assign(&m).unwrap();
+        let active = m.count_nonzero();
+        let to_drop = ((active as f64) * drop_frac) as usize;
+        let dropped = drop_by_magnitude(&mut w, &mut m, to_drop);
+        prop_assert_eq!(dropped, to_drop.min(active));
+        prop_assert_eq!(m.count_nonzero(), active - dropped);
+        let g = ndsnn_tensor::init::uniform([n], -1.0, 1.0, &mut rng);
+        let inactive = n - m.count_nonzero();
+        let to_grow = inactive / 2;
+        let grown = grow_by_gradient(&g, &mut w, &mut m, to_grow);
+        prop_assert_eq!(grown, to_grow);
+        prop_assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        // Weights at inactive positions are zero.
+        for (wv, mv) in w.as_slice().iter().zip(m.as_slice()) {
+            if *mv == 0.0 {
+                prop_assert_eq!(*wv, 0.0);
+            }
+        }
+    }
+
+    /// LTH geometric schedule: strictly increasing, exact endpoints.
+    #[test]
+    fn lth_schedule_properties(final_sparsity in 0.01f64..0.999, rounds in 1usize..20) {
+        let cfg = LthConfig::new(final_sparsity, rounds).unwrap();
+        prop_assert_eq!(cfg.sparsity_after_round(0), 0.0);
+        prop_assert!((cfg.sparsity_after_round(rounds) - final_sparsity).abs() < 1e-12);
+        for r in 1..=rounds {
+            prop_assert!(cfg.sparsity_after_round(r) > cfg.sparsity_after_round(r - 1));
+        }
+    }
+
+    /// A full dynamic engine never violates its sparsity envelope across a
+    /// randomized run (model size, ΔT, seeds).
+    #[test]
+    fn dynamic_engine_envelope(
+        hidden in 8usize..48,
+        delta_t in 1usize..8,
+        seed in 0u64..200,
+        cubic in proptest::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new("m")
+            .with(Box::new(Linear::new("fc1", 24, hidden, false, &mut rng).unwrap()))
+            .with(Box::new(Linear::new("fc2", hidden, 8, false, &mut rng).unwrap()));
+        let (init, fin, traj) = if cubic {
+            (0.5, 0.9, SparsityTrajectory::CubicIncrease)
+        } else {
+            (0.8, 0.8, SparsityTrajectory::Constant)
+        };
+        let steps = 40;
+        let update = UpdateSchedule::new(0, delta_t, steps).unwrap();
+        let mut e = DynamicEngine::with_label("t", DynamicConfig {
+            initial_sparsity: init,
+            final_sparsity: fin,
+            trajectory: traj,
+            death_initial: 0.4,
+            death_min: 0.05,
+            update,
+            growth: GrowthMode::Gradient,
+            distribution: Distribution::Erk,
+            seed,
+        }).unwrap();
+        e.init(&mut m).unwrap();
+        for step in 0..steps {
+            m.for_each_param(&mut |p| {
+                p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng);
+            });
+            e.before_optim(step, &mut m).unwrap();
+            e.after_optim(step, &mut m).unwrap();
+            let s = e.sparsity();
+            prop_assert!(
+                s >= init - 0.1 && s <= fin + 0.1,
+                "sparsity {s} escaped envelope [{init}, {fin}] at step {step}"
+            );
+        }
+        // Masks remain valid.
+        e.mask_set().unwrap().clone().validate_against(&mut m).unwrap();
+    }
+}
+
+/// The decreasing-live-weights invariant — the paper's core claim about the
+/// mask trajectory — holds for every update round of an NDSNN engine.
+#[test]
+fn ndsnn_live_weights_never_increase() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut m = Sequential::new("m").with(Box::new(
+        Linear::new("fc1", 64, 64, false, &mut rng).unwrap(),
+    ));
+    let update = UpdateSchedule::new(0, 2, 61).unwrap();
+    let mut e = DynamicEngine::with_label(
+        "NDSNN",
+        DynamicConfig {
+            initial_sparsity: 0.5,
+            final_sparsity: 0.95,
+            trajectory: SparsityTrajectory::CubicIncrease,
+            death_initial: 0.5,
+            death_min: 0.05,
+            update,
+            growth: GrowthMode::Gradient,
+            distribution: Distribution::Erk,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    e.init(&mut m).unwrap();
+    let mut live = e.mask_set().unwrap().total_active();
+    for step in 0..61 {
+        m.for_each_param(&mut |p| {
+            p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -1.0, 1.0, &mut rng);
+        });
+        e.before_optim(step, &mut m).unwrap();
+        e.after_optim(step, &mut m).unwrap();
+        let now = e.mask_set().unwrap().total_active();
+        assert!(
+            now <= live,
+            "live weights increased: {live} -> {now} at step {step}"
+        );
+        live = now;
+    }
+}

@@ -1,0 +1,45 @@
+//! # ndsnn-tensor
+//!
+//! Dense `f32` tensor substrate for the NDSNN (Neurogenesis Dynamics-inspired
+//! Spiking Neural Network training acceleration, DAC 2023) reproduction.
+//!
+//! The paper's reference implementation runs on PyTorch tensors; this crate
+//! provides the equivalent primitives in pure Rust:
+//!
+//! - [`Tensor`]: contiguous row-major `f32` storage with elementwise ops,
+//!   reductions and (de)serialization,
+//! - [`ops::matmul`]: cache-blocked matrix products (plain and transposed
+//!   variants used by backprop),
+//! - [`ops::conv`]: im2col-based 2-D convolution with full backward passes,
+//! - [`ops::pool`]: average/max/global pooling with backward passes,
+//! - [`ops::reduce`]: softmax, cross-entropy (with gradient), accuracy,
+//! - [`ops::topk`]: bounded-heap partial selection used by the drop-and-grow
+//!   sparse training schedules,
+//! - [`init`]: seeded Kaiming/Xavier/uniform/normal initializers,
+//! - [`parallel`]: scoped-thread sample parallelism (honors `NDSNN_THREADS`).
+//!
+//! Everything is deterministic given an RNG seed, which the experiment
+//! harness relies on for reproducibility.
+//!
+//! ## Example
+//! ```
+//! use ndsnn_tensor::{Tensor, ops::matmul::matmul};
+//! let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+//! let b = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+//! let c = matmul(&a, &b).unwrap();
+//! assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod init;
+pub mod ops;
+pub mod parallel;
+pub mod serialize;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

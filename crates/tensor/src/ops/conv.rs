@@ -1,0 +1,478 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! Layouts follow the deep-learning convention used by the paper's PyTorch
+//! stack: activations are `(B, C, H, W)`, weights are `(F, C, KH, KW)` where
+//! `F` is the number of filters (output channels). The forward pass lowers
+//! each sample to an im2col matrix and multiplies by the flattened weight;
+//! the two backward passes reuse the same lowering.
+
+use crate::error::{Result, TensorError};
+use crate::ops::matmul::matmul_into;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride along height and width.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Square-kernel convenience constructor.
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dGeometry {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        if self.kernel_h > eff_h || self.kernel_w > eff_w || self.stride == 0 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} stride {} does not fit padded input {}x{}",
+                self.kernel_h, self.kernel_w, self.stride, eff_h, eff_w
+            )));
+        }
+        Ok((
+            (eff_h - self.kernel_h) / self.stride + 1,
+            (eff_w - self.kernel_w) / self.stride + 1,
+        ))
+    }
+
+    /// Rows of the im2col matrix (`C·KH·KW`).
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Weight tensor shape `(F, C, KH, KW)`.
+    pub fn weight_dims(&self) -> [usize; 4] {
+        [
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        ]
+    }
+}
+
+/// Lowers one `(C, H, W)` sample (given as a flat slice) into an im2col
+/// buffer of shape `(C·KH·KW, OH·OW)` stored row-major in `col`.
+pub fn im2col(
+    input: &[f32],
+    g: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+) {
+    debug_assert_eq!(input.len(), g.in_channels * h * w);
+    debug_assert_eq!(col.len(), g.col_rows() * oh * ow);
+    let ow_total = oh * ow;
+    for c in 0..g.in_channels {
+        let chan = &input[c * h * w..(c + 1) * h * w];
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let row_idx = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                let out_row = &mut col[row_idx * ow_total..(row_idx + 1) * ow_total];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.padding as isize;
+                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let src_row = &chan[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, v) in dst.iter_mut().enumerate() {
+                        let ix = (ox * g.stride + kw) as isize - g.padding as isize;
+                        *v = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters an im2col-shaped gradient back onto a `(C, H, W)` input gradient
+/// (accumulating where receptive fields overlap).
+pub fn col2im(
+    col: &[f32],
+    g: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    input_grad: &mut [f32],
+) {
+    debug_assert_eq!(input_grad.len(), g.in_channels * h * w);
+    debug_assert_eq!(col.len(), g.col_rows() * oh * ow);
+    let ow_total = oh * ow;
+    for c in 0..g.in_channels {
+        let chan = &mut input_grad[c * h * w..(c + 1) * h * w];
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let row_idx = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                let src_row = &col[row_idx * ow_total..(row_idx + 1) * ow_total];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut chan[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.padding as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += src_row[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_input(input: &Tensor, g: &Conv2dGeometry) -> Result<(usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let d = input.dims();
+    if d[1] != g.in_channels {
+        return Err(TensorError::InvalidGeometry(format!(
+            "input has {} channels, geometry expects {}",
+            d[1], g.in_channels
+        )));
+    }
+    Ok((d[0], d[2], d[3]))
+}
+
+/// Forward convolution: `(B, C, H, W) -> (B, F, OH, OW)`.
+///
+/// `bias`, when provided, must have length `F` and is added per output
+/// channel.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: &Conv2dGeometry,
+) -> Result<Tensor> {
+    let (b, h, w) = check_input(input, g)?;
+    if weight.dims() != g.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.dims().to_vec(),
+            rhs: g.weight_dims().to_vec(),
+        });
+    }
+    let (oh, ow) = g.output_hw(h, w)?;
+    let (cr, spatial) = (g.col_rows(), oh * ow);
+    let mut out = Tensor::zeros([b, g.out_channels, oh, ow]);
+    let in_stride = g.in_channels * h * w;
+    let out_stride = g.out_channels * spatial;
+    // Samples write disjoint output slices, so they parallelize across
+    // cores (inline on single-core hosts; see `crate::parallel`).
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let chunks: Vec<(usize, &mut [f32])> = out
+        .as_mut_slice()
+        .chunks_mut(out_stride.max(1))
+        .enumerate()
+        .collect();
+    crate::parallel::parallel_for_chunks(chunks, |s, out_chunk| {
+        let mut col = vec![0.0f32; cr * spatial];
+        im2col(
+            &in_data[s * in_stride..(s + 1) * in_stride],
+            g,
+            h,
+            w,
+            oh,
+            ow,
+            &mut col,
+        );
+        matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial);
+    });
+    if let Some(bias) = bias {
+        if bias.len() != g.out_channels {
+            return Err(TensorError::LengthMismatch {
+                expected: g.out_channels,
+                actual: bias.len(),
+            });
+        }
+        let od = out.as_mut_slice();
+        for s in 0..b {
+            for f in 0..g.out_channels {
+                let bv = bias.as_slice()[f];
+                let base = s * out_stride + f * spatial;
+                od[base..base + spatial].iter_mut().for_each(|v| *v += bv);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of a convolution.
+#[derive(Debug)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, shaped like the input.
+    pub input_grad: Tensor,
+    /// Gradient with respect to the weight, shaped like the weight.
+    /// This is the *accumulated* gradient over the batch.
+    pub weight_grad: Tensor,
+    /// Gradient with respect to the bias (length `F`).
+    pub bias_grad: Tensor,
+}
+
+/// Backward convolution. `grad_out` is `(B, F, OH, OW)`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Conv2dGrads> {
+    let (b, h, w) = check_input(input, g)?;
+    let (oh, ow) = g.output_hw(h, w)?;
+    if grad_out.dims() != [b, g.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![b, g.out_channels, oh, ow],
+        });
+    }
+    let (cr, spatial) = (g.col_rows(), oh * ow);
+    let mut input_grad = Tensor::zeros(input.shape().clone());
+    let mut weight_grad = Tensor::zeros(weight.shape().clone());
+    let mut bias_grad = Tensor::zeros([g.out_channels]);
+    let mut col = vec![0.0f32; cr * spatial];
+    let mut col_grad = vec![0.0f32; cr * spatial];
+    let in_stride = g.in_channels * h * w;
+    let out_stride = g.out_channels * spatial;
+
+    // Transposed weight (cr × F) computed once; reused for every sample's
+    // input-gradient product.
+    let wt = weight.reshape([g.out_channels, cr])?.transpose2d()?;
+
+    for s in 0..b {
+        let gy = &grad_out.as_slice()[s * out_stride..(s + 1) * out_stride];
+        im2col(
+            &input.as_slice()[s * in_stride..(s + 1) * in_stride],
+            g,
+            h,
+            w,
+            oh,
+            ow,
+            &mut col,
+        );
+        // dW += gy (F × spatial) · colᵀ (spatial × cr)
+        {
+            let wg = weight_grad.as_mut_slice();
+            for f in 0..g.out_channels {
+                let gyrow = &gy[f * spatial..(f + 1) * spatial];
+                let wrow = &mut wg[f * cr..(f + 1) * cr];
+                for (r, wv) in wrow.iter_mut().enumerate() {
+                    let crow = &col[r * spatial..(r + 1) * spatial];
+                    let mut acc = 0.0f32;
+                    for (gv, cv) in gyrow.iter().zip(crow) {
+                        acc += gv * cv;
+                    }
+                    *wv += acc;
+                }
+            }
+        }
+        // dBias
+        {
+            let bg = bias_grad.as_mut_slice();
+            for f in 0..g.out_channels {
+                bg[f] += gy[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
+            }
+        }
+        // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with col2im.
+        col_grad.iter_mut().for_each(|v| *v = 0.0);
+        matmul_into(
+            wt.as_slice(),
+            gy,
+            &mut col_grad,
+            cr,
+            g.out_channels,
+            spatial,
+        );
+        col2im(
+            &col_grad,
+            g,
+            h,
+            w,
+            oh,
+            ow,
+            &mut input_grad.as_mut_slice()[s * in_stride..(s + 1) * in_stride],
+        );
+    }
+    Ok(Conv2dGrads {
+        input_grad,
+        weight_grad,
+        bias_grad,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn naive_conv(input: &Tensor, weight: &Tensor, g: &Conv2dGeometry) -> Tensor {
+        let (b, h, w) = (input.dims()[0], input.dims()[2], input.dims()[3]);
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let mut out = Tensor::zeros([b, g.out_channels, oh, ow]);
+        for s in 0..b {
+            for f in 0..g.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for c in 0..g.in_channels {
+                            for kh in 0..g.kernel_h {
+                                for kw in 0..g.kernel_w {
+                                    let iy = (oy * g.stride + kh) as isize - g.padding as isize;
+                                    let ix = (ox * g.stride + kw) as isize - g.padding as isize;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                                    {
+                                        acc += input.get(&[s, c, iy as usize, ix as usize])
+                                            * weight.get(&[f, c, kh, kw]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[s, f, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Conv2dGeometry::square(3, 5, 3, 1, 1);
+        let input = crate::init::uniform([2, 3, 7, 6], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let got = conv2d_forward(&input, &weight, None, &g).unwrap();
+        let want = naive_conv(&input, &weight, &g);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_strided() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = Conv2dGeometry::square(2, 4, 3, 2, 1);
+        let input = crate::init::uniform([1, 2, 8, 8], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let got = conv2d_forward(&input, &weight, None, &g).unwrap();
+        assert_eq!(got.dims(), &[1, 4, 4, 4]);
+        let want = naive_conv(&input, &weight, &g);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bias_broadcasts_per_channel() {
+        let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let weight = Tensor::from_vec(g.weight_dims(), vec![1.0, -1.0]).unwrap();
+        let bias = Tensor::from_slice(&[10.0, 20.0]);
+        let out = conv2d_forward(&input, &weight, Some(&bias), &g).unwrap();
+        assert_eq!(out.get(&[0, 0, 0, 0]), 11.0);
+        assert_eq!(out.get(&[0, 1, 1, 1]), 19.0);
+    }
+
+    /// Finite-difference check of both weight and input gradients.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = Conv2dGeometry::square(2, 3, 3, 1, 1);
+        let input = crate::init::uniform([2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform(g.weight_dims(), -0.5, 0.5, &mut rng);
+        // Loss = sum(conv(input, weight)), so grad_out = ones.
+        let (oh, ow) = g.output_hw(5, 5).unwrap();
+        let grad_out = Tensor::ones([2, 3, oh, ow]);
+        let grads = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+
+        let eps = 1e-3;
+        let loss =
+            |wt: &Tensor, inp: &Tensor| -> f32 { conv2d_forward(inp, wt, None, &g).unwrap().sum() };
+        // Spot-check several weight coordinates.
+        for &idx in &[0usize, 7, 20, weight.len() - 1] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&wp, &input) - loss(&wm, &input)) / (2.0 * eps);
+            let an = grads.weight_grad.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "weight[{idx}]: fd={fd} an={an}");
+        }
+        // Spot-check several input coordinates.
+        for &idx in &[0usize, 13, 49, input.len() - 1] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&weight, &ip) - loss(&weight, &im)) / (2.0 * eps);
+            let an = grads.input_grad.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "input[{idx}]: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the two lowerings must be
+        // adjoint linear maps for backprop to be correct.
+        let mut rng = StdRng::seed_from_u64(45);
+        let g = Conv2dGeometry::square(2, 1, 3, 2, 1);
+        let (h, w) = (6, 5);
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let x = crate::init::uniform([2 * h * w], -1.0, 1.0, &mut rng);
+        let y = crate::init::uniform([g.col_rows() * oh * ow], -1.0, 1.0, &mut rng);
+        let mut cx = vec![0.0; g.col_rows() * oh * ow];
+        im2col(x.as_slice(), &g, h, w, oh, ow, &mut cx);
+        let lhs: f32 = cx.iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let mut xty = vec![0.0; 2 * h * w];
+        col2im(y.as_slice(), &g, h, w, oh, ow, &mut xty);
+        let rhs: f32 = xty.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let g = Conv2dGeometry::square(1, 1, 9, 1, 0);
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let weight = Tensor::zeros(g.weight_dims());
+        assert!(conv2d_forward(&input, &weight, None, &g).is_err());
+    }
+}

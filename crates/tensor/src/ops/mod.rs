@@ -1,0 +1,7 @@
+//! Numeric kernels: matmul, convolution, pooling, reductions, selection.
+
+pub mod conv;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+pub mod topk;

@@ -1,0 +1,263 @@
+//! 2-D pooling operators (average and max) with backward passes.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dGeometry {
+    /// Window edge (square windows).
+    pub kernel: usize,
+    /// Stride (usually equal to `kernel` for non-overlapping pooling).
+    pub stride: usize,
+}
+
+impl Pool2dGeometry {
+    /// Non-overlapping `k × k` pooling.
+    pub fn non_overlapping(kernel: usize) -> Self {
+        Pool2dGeometry {
+            kernel,
+            stride: kernel,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.kernel == 0 || self.stride == 0 || self.kernel > h || self.kernel > w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "pool kernel {} stride {} does not fit input {}x{}",
+                self.kernel, self.stride, h, w
+            )));
+        }
+        Ok((
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ))
+    }
+}
+
+fn check4(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.rank(),
+        });
+    }
+    let d = t.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Average pooling forward: `(B, C, H, W) -> (B, C, OH, OW)`.
+pub fn avg_pool2d_forward(input: &Tensor, g: &Pool2dGeometry) -> Result<Tensor> {
+    let (b, c, h, w) = check4(input)?;
+    let (oh, ow) = g.output_hw(h, w)?;
+    let mut out = Tensor::zeros([b, c, oh, ow]);
+    let inv = 1.0 / (g.kernel * g.kernel) as f32;
+    let id = input.as_slice();
+    let od = out.as_mut_slice();
+    for bc in 0..b * c {
+        let src = &id[bc * h * w..(bc + 1) * h * w];
+        let dst = &mut od[bc * oh * ow..(bc + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..g.kernel {
+                    let row = (oy * g.stride + ky) * w + ox * g.stride;
+                    acc += src[row..row + g.kernel].iter().sum::<f32>();
+                }
+                dst[oy * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling backward: distributes each output gradient uniformly over
+/// its window.
+pub fn avg_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    g: &Pool2dGeometry,
+) -> Result<Tensor> {
+    let (b, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = g.output_hw(h, w)?;
+    if grad_out.dims() != [b, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![b, c, oh, ow],
+        });
+    }
+    let mut gi = Tensor::zeros([b, c, h, w]);
+    let inv = 1.0 / (g.kernel * g.kernel) as f32;
+    let gd = grad_out.as_slice();
+    let gid = gi.as_mut_slice();
+    for bc in 0..b * c {
+        let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
+        let dst = &mut gid[bc * h * w..(bc + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = src[oy * ow + ox] * inv;
+                for ky in 0..g.kernel {
+                    let row = (oy * g.stride + ky) * w + ox * g.stride;
+                    dst[row..row + g.kernel].iter_mut().for_each(|v| *v += gv);
+                }
+            }
+        }
+    }
+    Ok(gi)
+}
+
+/// Max pooling forward; also returns the flat argmax indices (within each
+/// `(b, c)` plane) needed by the backward pass.
+pub fn max_pool2d_forward(input: &Tensor, g: &Pool2dGeometry) -> Result<(Tensor, Vec<u32>)> {
+    let (b, c, h, w) = check4(input)?;
+    let (oh, ow) = g.output_hw(h, w)?;
+    let mut out = Tensor::zeros([b, c, oh, ow]);
+    let mut arg = vec![0u32; b * c * oh * ow];
+    let id = input.as_slice();
+    let od = out.as_mut_slice();
+    for bc in 0..b * c {
+        let src = &id[bc * h * w..(bc + 1) * h * w];
+        let dst = &mut od[bc * oh * ow..(bc + 1) * oh * ow];
+        let adst = &mut arg[bc * oh * ow..(bc + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                for ky in 0..g.kernel {
+                    for kx in 0..g.kernel {
+                        let idx = (oy * g.stride + ky) * w + ox * g.stride + kx;
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx as u32;
+                        }
+                    }
+                }
+                dst[oy * ow + ox] = best;
+                adst[oy * ow + ox] = best_idx;
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Max pooling backward: routes each gradient to the stored argmax position.
+pub fn max_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    argmax: &[u32],
+    g: &Pool2dGeometry,
+) -> Result<Tensor> {
+    let (b, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = g.output_hw(h, w)?;
+    if grad_out.dims() != [b, c, oh, ow] || argmax.len() != b * c * oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![b, c, oh, ow],
+        });
+    }
+    let mut gi = Tensor::zeros([b, c, h, w]);
+    let gd = grad_out.as_slice();
+    let gid = gi.as_mut_slice();
+    for bc in 0..b * c {
+        let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
+        let asrc = &argmax[bc * oh * ow..(bc + 1) * oh * ow];
+        let dst = &mut gid[bc * h * w..(bc + 1) * h * w];
+        for (gv, &ai) in src.iter().zip(asrc) {
+            dst[ai as usize] += gv;
+        }
+    }
+    Ok(gi)
+}
+
+/// Global average pooling: `(B, C, H, W) -> (B, C)`.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (b, c, h, w) = check4(input)?;
+    let mut out = Tensor::zeros([b, c]);
+    let inv = 1.0 / (h * w) as f32;
+    let id = input.as_slice();
+    let od = out.as_mut_slice();
+    for bc in 0..b * c {
+        od[bc] = id[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+    }
+    Ok(out)
+}
+
+/// Backward of global average pooling.
+pub fn global_avg_pool_backward(input_dims: &[usize], grad_out: &Tensor) -> Result<Tensor> {
+    let (b, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [b, c] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![b, c],
+        });
+    }
+    let mut gi = Tensor::zeros([b, c, h, w]);
+    let inv = 1.0 / (h * w) as f32;
+    let gd = grad_out.as_slice();
+    let gid = gi.as_mut_slice();
+    for bc in 0..b * c {
+        let gv = gd[bc] * inv;
+        gid[bc * h * w..(bc + 1) * h * w]
+            .iter_mut()
+            .for_each(|v| *v = gv);
+    }
+    Ok(gi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let input = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|x| x as f32).collect()).unwrap();
+        let g = Pool2dGeometry::non_overlapping(2);
+        let out = avg_pool2d_forward(&input, &g).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes() {
+        let g = Pool2dGeometry::non_overlapping(2);
+        let grad_out = Tensor::from_vec([1, 1, 2, 2], vec![4.0, 8.0, 12.0, 16.0]).unwrap();
+        let gi = avg_pool2d_backward(&[1, 1, 4, 4], &grad_out, &g).unwrap();
+        assert_eq!(gi.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(gi.get(&[0, 0, 0, 2]), 2.0);
+        assert_eq!(gi.get(&[0, 0, 3, 3]), 4.0);
+        // Total gradient is conserved.
+        assert_eq!(gi.sum(), grad_out.sum());
+    }
+
+    #[test]
+    fn max_pool_forward_and_routing() {
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 7.0]).unwrap();
+        let g = Pool2dGeometry::non_overlapping(2);
+        let (out, arg) = max_pool2d_forward(&input, &g).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, 8.0]);
+        let grad_out = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let gi = max_pool2d_backward(&[1, 1, 2, 4], &grad_out, &arg, &g).unwrap();
+        assert_eq!(gi.get(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(gi.get(&[0, 0, 1, 2]), 2.0);
+        assert_eq!(gi.sum(), 3.0);
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let input =
+            Tensor::from_vec([1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]).unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.as_slice(), &[2.5, 10.0]);
+        let gi = global_avg_pool_backward(&[1, 2, 2, 2], &out).unwrap();
+        assert_eq!(gi.get(&[0, 0, 0, 0]), 2.5 / 4.0);
+        assert_eq!(gi.get(&[0, 1, 1, 1]), 2.5);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        let input = Tensor::zeros([1, 1, 2, 2]);
+        assert!(avg_pool2d_forward(&input, &Pool2dGeometry::non_overlapping(3)).is_err());
+    }
+}

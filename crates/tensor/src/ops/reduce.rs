@@ -1,0 +1,188 @@
+//! Reductions and classification heads: softmax, cross-entropy, argmax.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn check_logits(logits: &Tensor) -> Result<(usize, usize)> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    Ok((logits.dims()[0], logits.dims()[1]))
+}
+
+/// Row-wise softmax of a `(B, K)` logit matrix (numerically stabilized).
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    let (b, k) = check_logits(logits)?;
+    let mut out = Tensor::zeros([b, k]);
+    let ld = logits.as_slice();
+    let od = out.as_mut_slice();
+    for i in 0..b {
+        let row = &ld[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = &mut od[i * k..(i + 1) * k];
+        let mut z = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(row) {
+            *o = (x - m).exp();
+            z += *o;
+        }
+        let inv = 1.0 / z;
+        orow.iter_mut().for_each(|o| *o *= inv);
+    }
+    Ok(out)
+}
+
+/// Mean cross-entropy loss of `(B, K)` logits against integer labels, plus the
+/// gradient with respect to the logits (`(softmax - onehot) / B`).
+pub fn cross_entropy_with_grad(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let (b, k) = check_logits(logits)?;
+    if labels.len() != b {
+        return Err(TensorError::LengthMismatch {
+            expected: b,
+            actual: labels.len(),
+        });
+    }
+    for &y in labels {
+        if y >= k {
+            return Err(TensorError::AxisOutOfBounds { axis: y, rank: k });
+        }
+    }
+    let mut grad = softmax(logits)?;
+    let gd = grad.as_mut_slice();
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / b as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let p = gd[i * k + y].max(1e-12);
+        loss -= (p as f64).ln();
+        gd[i * k + y] -= 1.0;
+    }
+    for g in gd.iter_mut() {
+        *g *= inv_b;
+    }
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+/// Row-wise argmax of a `(B, K)` matrix: the predicted class per sample.
+pub fn argmax_rows(scores: &Tensor) -> Result<Vec<usize>> {
+    let (b, k) = check_logits(scores)?;
+    let sd = scores.as_slice();
+    Ok((0..b)
+        .map(|i| {
+            let row = &sd[i * k..(i + 1) * k];
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect())
+}
+
+/// Number of samples whose argmax prediction equals the label.
+pub fn count_correct(scores: &Tensor, labels: &[usize]) -> Result<usize> {
+    let preds = argmax_rows(scores)?;
+    if preds.len() != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: preds.len(),
+            actual: labels.len(),
+        });
+    }
+    Ok(preds.iter().zip(labels).filter(|(p, y)| p == y).count())
+}
+
+/// Sum over axis 0 of a rank-2 tensor: `(B, K) -> (K)`.
+pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    let (b, k) = check_logits(t)?;
+    let mut out = Tensor::zeros([k]);
+    let td = t.as_slice();
+    let od = out.as_mut_slice();
+    for i in 0..b {
+        for (o, &v) in od.iter_mut().zip(&td[i * k..(i + 1) * k]) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotonic in logits.
+        assert!(p.get(&[0, 2]) > p.get(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let logits = Tensor::from_vec([1, 2], vec![1000.0, 1000.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        assert!((p.get(&[0, 0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros([4, 10]);
+        let (loss, grad) = cross_entropy_with_grad(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per row.
+        for i in 0..4 {
+            let s: f32 = grad.as_slice()[i * 10..(i + 1) * 10].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = cross_entropy_with_grad(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = cross_entropy_with_grad(&lp, &labels).unwrap();
+            let (fm, _) = cross_entropy_with_grad(&lm, &labels).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: fd={fd} an={}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros([1, 3]);
+        assert!(cross_entropy_with_grad(&logits, &[5]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counting() {
+        let scores = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        assert_eq!(count_correct(&scores, &[0, 1, 1]).unwrap(), 2);
+        assert_eq!(argmax_rows(&scores).unwrap(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn sum_axis0_matches_manual() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 10., 20., 30.]).unwrap();
+        assert_eq!(sum_axis0(&t).unwrap().as_slice(), &[11., 22., 33.]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Partial selection (top-k) utilities.
+//!
+//! The drop-and-grow schedules of the sparse-training engines repeatedly need
+//! "the k smallest-magnitude active weights" and "the k largest-magnitude
+//! gradients at inactive positions". Both reduce to selecting k indices by a
+//! float key, implemented here with a bounded binary heap: O(n log k) time,
+//! O(k) space, no full sort of multi-million-element weight tensors.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A float key that orders like `f32` but is `Ord` (NaN sorts last for
+/// `largest` selection and first for `smallest`, i.e. NaN is never selected).
+#[derive(PartialEq)]
+struct Key(f32);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Returns the indices of the `k` largest keys among `candidates`.
+///
+/// `key(i)` supplies the sort key for candidate index `i`. Ties are broken
+/// arbitrarily (heap order). If fewer than `k` candidates exist, all are
+/// returned. NaN keys are never selected ahead of finite keys.
+pub fn top_k_indices_by(
+    candidates: impl Iterator<Item = usize>,
+    k: usize,
+    key: impl Fn(usize) -> f32,
+) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the best k so far (Reverse ordering via negated comparison).
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Key, usize)>> = BinaryHeap::with_capacity(k + 1);
+    for i in candidates {
+        let ki = key(i);
+        let ki = if ki.is_nan() { f32::NEG_INFINITY } else { ki };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse((Key(ki), i)));
+        } else if let Some(std::cmp::Reverse((Key(worst), _))) = heap.peek() {
+            if ki > *worst {
+                heap.pop();
+                heap.push(std::cmp::Reverse((Key(ki), i)));
+            }
+        }
+    }
+    heap.into_iter()
+        .map(|std::cmp::Reverse((_, i))| i)
+        .collect()
+}
+
+/// Returns the indices of the `k` smallest keys among `candidates`.
+pub fn bottom_k_indices_by(
+    candidates: impl Iterator<Item = usize>,
+    k: usize,
+    key: impl Fn(usize) -> f32,
+) -> Vec<usize> {
+    top_k_indices_by(candidates, k, |i| {
+        let v = key(i);
+        if v.is_nan() {
+            f32::NEG_INFINITY
+        } else {
+            -v
+        }
+    })
+}
+
+/// Indices of the `k` largest values in `values`.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    top_k_indices_by(0..values.len(), k, |i| values[i])
+}
+
+/// Indices of the `k` smallest values in `values`.
+pub fn bottom_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    bottom_k_indices_by(0..values.len(), k, |i| values[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_basic() {
+        let v = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0];
+        let mut got = top_k_indices(&v, 3);
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn bottom_k_basic() {
+        let v = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let mut got = bottom_k_indices(&v, 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let v = [1.0, 2.0];
+        let mut got = top_k_indices(&v, 10);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn filtered_candidates() {
+        // Only even indices are candidates.
+        let v = [10.0, 99.0, 5.0, 99.0, 7.0, 99.0];
+        let mut got = top_k_indices_by((0..v.len()).filter(|i| i % 2 == 0), 2, |i| v[i]);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 4]);
+    }
+
+    #[test]
+    fn nan_never_selected_over_finite() {
+        let v = [f32::NAN, 1.0, 2.0, f32::NAN];
+        let mut got = top_k_indices(&v, 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        let mut got = bottom_k_indices(&v, 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn negative_values() {
+        let v = [-5.0, -1.0, -3.0];
+        assert_eq!(top_k_indices(&v, 1), vec![1]);
+        assert_eq!(bottom_k_indices(&v, 1), vec![0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Compact binary tensor encoding on top of [`bytes`].
+//!
+//! Checkpointing sparse-training runs (LTH in particular rewinds to saved
+//! initial weights) needs a fast, dependency-light binary format. The layout
+//! is: magic `b"NDT1"`, rank (u32 LE), dims (u64 LE each), then raw f32 LE
+//! data.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"NDT1";
+
+/// Encodes a tensor into a byte buffer.
+pub fn encode(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 + t.rank() * 8 + t.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a tensor previously produced by [`encode`].
+pub fn decode(mut buf: impl Buf) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Corrupt("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 16 {
+        return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Corrupt("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let shape = Shape::new(dims);
+    let n = shape.num_elements();
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Corrupt(format!(
+            "truncated data: need {} bytes, have {}",
+            n * 4,
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, -2.5, 0.0, 3.25, f32::MIN, f32::MAX]).unwrap();
+        let bytes = encode(&t);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn round_trip_scalar() {
+        let t = Tensor::scalar(7.5);
+        assert_eq!(decode(encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"XXXX");
+        b.put_u32_le(0);
+        assert!(matches!(decode(b.freeze()), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Tensor::ones([10]);
+        let full = encode(&t);
+        let cut = full.slice(0..full.len() - 4);
+        assert!(matches!(decode(cut), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(decode(Bytes::new()).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Shape and stride arithmetic for row-major dense tensors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension extents. Rank 0 (scalar) is
+/// permitted and has one element. Strides are always the contiguous row-major
+/// strides derived from the dimensions; this crate does not implement strided
+/// views, which keeps every kernel cache-friendly and easy to verify.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank()`; use [`Shape::try_dim`] for a fallible
+    /// variant.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Extent of dimension `axis`, or an error if out of bounds.
+    pub fn try_dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfBounds {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Contiguous row-major strides for this shape.
+    ///
+    /// The stride of the last dimension is 1. Zero-extent dimensions are
+    /// allowed and yield zero-element tensors.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (flat) offset of a multi-dimensional index.
+    ///
+    /// Debug-asserts that the index is in bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.0.len()).rev() {
+            debug_assert!(index[axis] < self.0[axis], "index out of bounds");
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        off
+    }
+
+    /// Checks element-count compatibility for a reshape into `to`.
+    pub fn check_reshape(&self, to: &Shape) -> Result<()> {
+        if self.num_elements() != to.num_elements() {
+            return Err(TensorError::InvalidReshape {
+                from: self.0.clone(),
+                to: to.0.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.num_elements(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_manual() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn try_dim_out_of_bounds() {
+        let s = Shape::from([2, 3]);
+        assert!(matches!(
+            s.try_dim(2),
+            Err(TensorError::AxisOutOfBounds { axis: 2, rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn reshape_check() {
+        let a = Shape::from([2, 6]);
+        assert!(a.check_reshape(&Shape::from([3, 4])).is_ok());
+        assert!(a.check_reshape(&Shape::from([5])).is_err());
+    }
+
+    #[test]
+    fn zero_extent_dimension() {
+        let s = Shape::from([0, 4]);
+        assert_eq!(s.num_elements(), 0);
+        assert_eq!(s.strides(), vec![4, 1]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the tensor substrate.
+
+use ndsnn_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use ndsnn_tensor::ops::reduce::{cross_entropy_with_grad, softmax};
+use ndsnn_tensor::ops::topk::{bottom_k_indices, top_k_indices};
+use ndsnn_tensor::{serialize, Tensor};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| x)
+}
+
+fn tensor_1d(max_len: usize) -> impl Strategy<Value = Tensor> {
+    vec(finite_f32(), 1..=max_len).prop_map(|d| Tensor::from_slice(&d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_round_trips(t in tensor_1d(256)) {
+        let back = serialize::decode(serialize::encode(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn add_commutes(d in vec((finite_f32(), finite_f32()), 1..128)) {
+        let a = Tensor::from_slice(&d.iter().map(|p| p.0).collect::<Vec<_>>());
+        let b = Tensor::from_slice(&d.iter().map(|p| p.1).collect::<Vec<_>>());
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(d in vec((finite_f32(), finite_f32()), 1..64), s in -10.0f32..10.0) {
+        let a = Tensor::from_slice(&d.iter().map(|p| p.0).collect::<Vec<_>>());
+        let b = Tensor::from_slice(&d.iter().map(|p| p.1).collect::<Vec<_>>());
+        let lhs = a.add(&b).unwrap().scale(s);
+        let rhs = a.scale(s).add(&b.scale(s)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn sparsity_in_unit_interval(t in tensor_1d(128)) {
+        let s = t.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(t.count_nonzero() + (t.len() as f64 * s).round() as usize, t.len());
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in 1usize..8, k in 1usize..8, data in vec(finite_f32(), 64)) {
+        let a = Tensor::from_vec([m, k], data[..m*k].to_vec()).unwrap();
+        let mut eye = Tensor::zeros([k, k]);
+        for i in 0..k { eye.set(&[i, i], 1.0); }
+        let prod = matmul(&a, &eye).unwrap();
+        prop_assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        data in vec(finite_f32(), 72),
+    ) {
+        prop_assume!(data.len() >= m*k + k*n);
+        let a = Tensor::from_vec([m, k], data[..m*k].to_vec()).unwrap();
+        let b = Tensor::from_vec([k, n], data[m*k..m*k+k*n].to_vec()).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        let c2 = matmul_at_b(&a.transpose2d().unwrap(), &b).unwrap();
+        let c3 = matmul_a_bt(&a, &b.transpose2d().unwrap()).unwrap();
+        for ((x, y), z) in c.as_slice().iter().zip(c2.as_slice()).zip(c3.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()), "{} vs {}", x, y);
+            prop_assert!((x - z).abs() <= 1e-2 * (1.0 + x.abs()), "{} vs {}", x, z);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(b in 1usize..5, k in 1usize..8, data in vec(-20.0f32..20.0, 40)) {
+        prop_assume!(data.len() >= b * k);
+        let logits = Tensor::from_vec([b, k], data[..b*k].to_vec()).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..b {
+            let row = &p.as_slice()[i*k..(i+1)*k];
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(b in 1usize..5, k in 2usize..8, data in vec(-5.0f32..5.0, 40), seed in 0usize..1000) {
+        prop_assume!(data.len() >= b * k);
+        let logits = Tensor::from_vec([b, k], data[..b*k].to_vec()).unwrap();
+        let labels: Vec<usize> = (0..b).map(|i| (seed + i) % k).collect();
+        let (loss, grad) = cross_entropy_with_grad(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.all_finite());
+        // Each row of the gradient sums to ~0 (softmax minus one-hot).
+        for i in 0..b {
+            let s: f32 = grad.as_slice()[i*k..(i+1)*k].iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn topk_selects_extremes(data in vec(finite_f32(), 2..100), k in 1usize..20) {
+        let k = k.min(data.len());
+        let top = top_k_indices(&data, k);
+        prop_assert_eq!(top.len(), k);
+        let bottom = bottom_k_indices(&data, k);
+        // Every selected top value >= every unselected value.
+        let min_top = top.iter().map(|&i| data[i]).fold(f32::INFINITY, f32::min);
+        let max_bot = bottom.iter().map(|&i| data[i]).fold(f32::NEG_INFINITY, f32::max);
+        for (i, &v) in data.iter().enumerate() {
+            if !top.contains(&i) {
+                prop_assert!(v <= min_top + 1e-6);
+            }
+            if !bottom.contains(&i) {
+                prop_assert!(v >= max_bot - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::square(2, 3, 3, 1, 1);
+        let x = ndsnn_tensor::init::uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = ndsnn_tensor::init::uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let fxy = conv2d_forward(&x.add(&y).unwrap(), &w, None, &g).unwrap();
+        let fx = conv2d_forward(&x, &w, None, &g).unwrap();
+        let fy = conv2d_forward(&y, &w, None, &g).unwrap();
+        let sum = fx.add(&fy).unwrap();
+        for (a, b) in fxy.as_slice().iter().zip(sum.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn conv_gradient_is_adjoint(seed in 0u64..500) {
+        // <conv(x), gy> == <x, conv_backward_input(gy)> for linear conv.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::square(2, 2, 3, 2, 1);
+        let x = ndsnn_tensor::init::uniform([2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let y = conv2d_forward(&x, &w, None, &g).unwrap();
+        let gy = ndsnn_tensor::init::uniform(y.shape().clone(), -1.0, 1.0, &mut rng);
+        let grads = conv2d_backward(&x, &w, &gy, &g).unwrap();
+        let lhs = y.dot(&gy).unwrap();
+        let rhs = x.dot(&grads.input_grad).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+}

@@ -1,0 +1,70 @@
+//! Edge-deployment memory budgeting: how sparse must VGG-16/ResNet-19 be to
+//! fit a neuromorphic memory budget? Uses the §III.D footprint model plus a
+//! real CSR measurement, across the platform precisions the paper cites
+//! (FP32 training, Loihi 8-bit, HICANN 4-bit).
+//!
+//! ```sh
+//! cargo run --release --example edge_memory_budget
+//! ```
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::experiments::memory::measure_sparse_model;
+use ndsnn::profile::Profile;
+use ndsnn::trainer::count_params;
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+use ndsnn_sparse::memory::{footprint_bits_approx, Precision};
+
+fn main() {
+    // Paper-scale parameter counts.
+    let mut table = TextTable::new("Paper-scale model sizes").header(&["model", "params"]);
+    let mut params = Vec::new();
+    for arch in [Architecture::Vgg16, Architecture::Resnet19] {
+        let cfg = Profile::Paper.run_config(arch, DatasetKind::Cifar10, MethodSpec::Dense);
+        let n = count_params(&cfg).expect("count");
+        table.row(vec![arch.label().into(), format!("{n}")]);
+        params.push((arch, n));
+    }
+    println!("{}", table.render());
+
+    // Inference footprint at various sparsities and precisions.
+    let mut table = TextTable::new("Inference weight storage (MB, CSR)").header(&[
+        "model",
+        "precision",
+        "dense",
+        "θ=0.90",
+        "θ=0.95",
+        "θ=0.99",
+    ]);
+    for (arch, n) in &params {
+        for (label, p) in [
+            ("FP32", Precision::fp32_training()),
+            ("Loihi 8b", Precision::loihi()),
+            ("HICANN 4b", Precision::hicann()),
+        ] {
+            let mb = |s: f64| footprint_bits_approx(*n, s, 0, p) / 8e6;
+            let dense_mb = *n as f64 * p.weight_bits as f64 / 8e6;
+            table.row(vec![
+                arch.label().into(),
+                label.into(),
+                format!("{dense_mb:.1}"),
+                format!("{:.1}", mb(0.90)),
+                format!("{:.1}", mb(0.95)),
+                format!("{:.1}", mb(0.99)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // Validate the model against an actual CSR-encoded sparse network.
+    println!("validating against a real ERK-sparsified VGG-16 (small profile)...");
+    let m = measure_sparse_model(Profile::Small, 0.95).expect("measurement");
+    println!(
+        "  weights: {} | nnz: {} | CSR: {:.2} Mbit | model prediction: {:.2} Mbit | dense: {:.2} Mbit",
+        m.total_weights,
+        m.nnz,
+        m.csr_bits as f64 / 1e6,
+        m.model_bits / 1e6,
+        m.dense_bits as f64 / 1e6,
+    );
+}

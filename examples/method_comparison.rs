@@ -1,0 +1,76 @@
+//! Head-to-head comparison of all five training methods (Dense, LTH, SET,
+//! RigL, NDSNN) on one model/dataset — a single column of the paper's
+//! Table I plus the Fig. 5 cost metric.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison [sparsity]
+//! ```
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, run_with_data};
+use ndsnn_metrics::cost::relative_training_cost;
+use ndsnn_metrics::table::TextTable;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let sparsity: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.95);
+    let profile = Profile::Small;
+    let arch = Architecture::Vgg16;
+    let dataset = DatasetKind::Cifar10;
+
+    let methods = [
+        MethodSpec::Dense,
+        MethodSpec::Lth {
+            final_sparsity: sparsity,
+            rounds: 3,
+        },
+        MethodSpec::Set { sparsity },
+        MethodSpec::Rigl { sparsity },
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.7f64.min(sparsity),
+            final_sparsity: sparsity,
+        },
+    ];
+
+    let probe = profile.run_config(arch, dataset, MethodSpec::Dense);
+    let (train, test) = build_datasets(&probe);
+
+    let mut results = Vec::new();
+    for method in methods {
+        let cfg = profile.run_config(arch, dataset, method);
+        eprintln!("training {}", cfg.describe());
+        let r = run_with_data(&cfg, &train, &test).expect("run");
+        results.push(r);
+    }
+
+    let dense_activity = results[0].activity.clone();
+    let mut table = TextTable::new(format!(
+        "{} / {} @ target sparsity {:.0}%",
+        arch.label(),
+        dataset.label(),
+        sparsity * 100.0
+    ))
+    .header(&[
+        "method",
+        "best acc %",
+        "final sparsity",
+        "rel. training cost",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.2}", r.best_test_acc),
+            format!("{:.3}", r.final_sparsity),
+            format!(
+                "{:.4}",
+                relative_training_cost(&r.activity, &dense_activity)
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(cost = sum over epochs of spike-rate × density, normalized to dense; paper §IV.C)");
+}

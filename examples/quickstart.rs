@@ -1,0 +1,41 @@
+//! Quickstart: train one NDSNN sparse spiking VGG-16 on a synthetic
+//! CIFAR-10-shaped dataset and print the per-epoch trace.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer;
+use ndsnn_snn::models::Architecture;
+
+fn main() {
+    let cfg = Profile::Small.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.7,
+            final_sparsity: 0.95,
+        },
+    );
+    println!("running: {}", cfg.describe());
+    println!(
+        "(scaled profile: width ×{:.3}, {}×{} images, {} classes, {} epochs)",
+        cfg.width_mult, cfg.image_size, cfg.image_size, cfg.num_classes, cfg.epochs
+    );
+
+    let result = trainer::run(&cfg).expect("training failed");
+
+    println!("\nepoch  loss    train%  test%   sparsity  spike-rate  lr");
+    for e in &result.epochs {
+        println!(
+            "{:>5}  {:<6.3} {:<7.2} {:<7.2} {:<9.3} {:<11.4} {:.4}",
+            e.epoch, e.train_loss, e.train_acc, e.test_acc, e.sparsity, e.spike_rate, e.lr
+        );
+    }
+    println!(
+        "\nmodel: {} params | final weight sparsity: {:.3} | best test acc: {:.2}%",
+        result.num_params, result.final_sparsity, result.best_test_acc
+    );
+}

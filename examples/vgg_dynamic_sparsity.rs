@@ -1,0 +1,96 @@
+//! Watch the NDSNN drop-and-grow dynamics on a spiking VGG-16: per-round
+//! drop/grow counts, the decreasing live-weight count, and the per-layer ERK
+//! sparsity distribution.
+//!
+//! ```sh
+//! cargo run --release --example vgg_dynamic_sparsity
+//! ```
+
+use ndsnn_data::loader::BatchLoader;
+use ndsnn_data::synthetic::{generate, SyntheticConfig};
+use ndsnn_snn::encoder::Encoding;
+use ndsnn_snn::layers::LifConfig;
+use ndsnn_snn::models::{vgg16, ModelConfig};
+use ndsnn_snn::network::SpikingNetwork;
+use ndsnn_snn::optim::{Sgd, SgdConfig};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
+use ndsnn_sparse::schedule::UpdateSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small VGG-16 (1/16 width) on 8×8 synthetic CIFAR-10-like data.
+    let model_cfg = ModelConfig {
+        in_channels: 3,
+        image_size: 8,
+        num_classes: 10,
+        width_mult: 1.0 / 16.0,
+        lif: LifConfig::default(),
+        neuron: Default::default(),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let layers = vgg16(&model_cfg, &mut rng).expect("model builds");
+    let mut net = SpikingNetwork::new(layers, 2, Encoding::Direct, 1).expect("network");
+    println!(
+        "VGG-16 (width 1/16): {} trainable parameters",
+        net.num_params()
+    );
+
+    let (train, _) = generate(&SyntheticConfig::cifar10_like(256, 64).with_image_size(8));
+    let loader = BatchLoader::new(32, true, Default::default(), 9);
+
+    // NDSNN: θ 0.6 → 0.95 with a mask update every 4 batches.
+    let steps_per_epoch = loader.batches_per_epoch(&train);
+    let epochs = 5;
+    let horizon = steps_per_epoch * epochs * 3 / 4;
+    let update = UpdateSchedule::new(0, 4, horizon.max(5)).expect("schedule");
+    let mut engine = ndsnn_engine(NdsnnConfig::new(0.6, 0.95, update)).expect("engine");
+    engine.init(&mut net.layers).expect("init");
+
+    println!("\nper-layer ERK sparsity at initialization:");
+    for (name, sparsity) in engine.mask_set().expect("masks").per_layer_sparsity() {
+        println!("  {name:<28} {sparsity:.3}");
+    }
+
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.08,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+    });
+    let mut step = 0usize;
+    for epoch in 0..epochs {
+        for batch in loader.epoch(&train, epoch) {
+            net.train_batch(&batch.images, &batch.labels)
+                .expect("train");
+            engine.before_optim(step, &mut net.layers).expect("engine");
+            opt.step(&mut net.layers).expect("sgd");
+            engine.after_optim(step, &mut net.layers).expect("engine");
+            step += 1;
+        }
+        println!(
+            "epoch {epoch}: overall sparsity {:.4} ({} live weights)",
+            engine.sparsity(),
+            engine.mask_set().expect("masks").total_active()
+        );
+    }
+
+    println!("\ndrop-and-grow history (neuron death vs birth per round):");
+    for ev in engine.history() {
+        println!(
+            "  step {:>4}: death ratio {:.3} | dropped {:>6} | grown {:>6} | sparsity {:.4}",
+            ev.step, ev.death_ratio, ev.dropped, ev.grown, ev.sparsity
+        );
+    }
+    println!(
+        "\nITOP exploration rate: {:.3} (fraction of weight positions ever activated;\n         instantaneous density is only {:.3})",
+        engine.exploration_rate(),
+        1.0 - engine.sparsity()
+    );
+    let total_dropped: usize = engine.history().iter().map(|e| e.dropped).sum();
+    let total_grown: usize = engine.history().iter().map(|e| e.grown).sum();
+    println!(
+        "\ntotal dropped {total_dropped}, total grown {total_grown} — the gap is the \
+         neurogenesis-style decline in live connections"
+    );
+}

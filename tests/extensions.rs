@@ -1,0 +1,170 @@
+//! Integration tests for the beyond-the-paper extensions: checkpointing
+//! through the full training pipeline, structured pruning, PLIF models,
+//! confusion-matrix evaluation and the ITOP exploration metric.
+
+use ndsnn::checkpoint;
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, build_engine, build_network};
+use ndsnn_data::loader::BatchLoader;
+use ndsnn_metrics::confusion::ConfusionMatrix;
+use ndsnn_snn::layers::Layer;
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::optim::Sgd;
+use ndsnn_sparse::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::schedule::UpdateSchedule;
+use ndsnn_tensor::ops::reduce::argmax_rows;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ndsnn-ext-test-{}-{name}", std::process::id()))
+}
+
+/// Train a sparse model, checkpoint weights + masks, reload into a fresh
+/// network, and verify the reloaded model produces identical predictions.
+#[test]
+fn checkpoint_preserves_trained_sparse_model_exactly() {
+    let cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Rigl { sparsity: 0.8 },
+    );
+    let (train, test) = build_datasets(&cfg);
+    let loader = BatchLoader::eval(cfg.batch_size);
+
+    let mut net = build_network(&cfg).unwrap();
+    let mut engine = build_engine(&cfg, 32).unwrap();
+    engine.init(&mut net.layers).unwrap();
+    let mut opt = Sgd::new(cfg.sgd);
+    let mut step = 0;
+    for epoch in 0..2 {
+        for batch in loader.epoch(&train, epoch) {
+            net.train_batch(&batch.images, &batch.labels).unwrap();
+            engine.before_optim(step, &mut net.layers).unwrap();
+            opt.step(&mut net.layers).unwrap();
+            engine.after_optim(step, &mut net.layers).unwrap();
+            step += 1;
+        }
+    }
+    let model_path = tmp("model");
+    let mask_path = tmp("masks");
+    checkpoint::save_model(&mut net.layers, &model_path).unwrap();
+    checkpoint::save_masks(engine.mask_set().unwrap(), &mask_path).unwrap();
+
+    let mut reloaded = build_network(&cfg).unwrap();
+    checkpoint::load_model(&mut reloaded.layers, &model_path).unwrap();
+    let masks = checkpoint::load_masks(&mask_path).unwrap();
+    masks.apply_to_weights(&mut reloaded.layers);
+
+    // Identical logits on the test set (eval mode, deterministic).
+    net.layers.set_training(false);
+    reloaded.layers.set_training(false);
+    let batch = &loader.epoch(&test, 0)[0];
+    let a = net.forward(&batch.images).unwrap();
+    let b = reloaded.forward(&batch.images).unwrap();
+    assert_eq!(a, b, "reloaded model diverges from the original");
+
+    std::fs::remove_file(model_path).ok();
+    std::fs::remove_file(mask_path).ok();
+}
+
+/// The trained-model weight sparsity survives a checkpoint round trip.
+#[test]
+fn mask_checkpoint_preserves_sparsity() {
+    let cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.5,
+            final_sparsity: 0.85,
+        },
+    );
+    let mut net = build_network(&cfg).unwrap();
+    let mut engine = build_engine(&cfg, 16).unwrap();
+    engine.init(&mut net.layers).unwrap();
+    let path = tmp("sparsity-masks");
+    checkpoint::save_masks(engine.mask_set().unwrap(), &path).unwrap();
+    let loaded = checkpoint::load_masks(&path).unwrap();
+    assert!(
+        (loaded.overall_sparsity() - engine.sparsity()).abs() < 1e-12,
+        "sparsity changed across checkpoint"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// Confusion-matrix evaluation of a trained smoke model: totals add up and
+/// the matrix agrees with the accuracy meter.
+#[test]
+fn confusion_matrix_agrees_with_accuracy() {
+    let cfg = Profile::Smoke.run_config(
+        Architecture::Lenet5,
+        DatasetKind::Cifar10,
+        MethodSpec::Dense,
+    );
+    let mut cfg = cfg;
+    cfg.image_size = 16;
+    let (_, test) = build_datasets(&cfg);
+    let mut net = build_network(&cfg).unwrap();
+    net.layers.set_training(false);
+    let loader = BatchLoader::eval(cfg.batch_size);
+    let mut confusion = ConfusionMatrix::new(cfg.num_classes);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for batch in loader.epoch(&test, 0) {
+        let logits = net.forward(&batch.images).unwrap();
+        let preds = argmax_rows(&logits).unwrap();
+        for (p, y) in preds.iter().zip(&batch.labels) {
+            correct += usize::from(p == y);
+            total += 1;
+        }
+        confusion.update(&preds, &batch.labels);
+    }
+    assert_eq!(confusion.total() as usize, total);
+    assert!((confusion.accuracy() - correct as f64 / total as f64).abs() < 1e-12);
+}
+
+/// ITOP through the public engine API: exploration strictly exceeds the
+/// instantaneous density after enough drop-and-grow rounds.
+#[test]
+fn exploration_exceeds_density_on_real_model() {
+    use ndsnn_sparse::distribution::Distribution;
+    let cfg =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    let (train, _) = build_datasets(&cfg);
+    let mut net = build_network(&cfg).unwrap();
+    let update = UpdateSchedule::new(0, 1, 25).unwrap();
+    let mut engine = DynamicEngine::with_label(
+        "RigL",
+        DynamicConfig {
+            initial_sparsity: 0.8,
+            final_sparsity: 0.8,
+            trajectory: SparsityTrajectory::Constant,
+            death_initial: 0.3,
+            death_min: 0.1,
+            update,
+            growth: GrowthMode::Gradient,
+            distribution: Distribution::Erk,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    engine.init(&mut net.layers).unwrap();
+    let loader = BatchLoader::eval(cfg.batch_size);
+    let mut opt = Sgd::new(cfg.sgd);
+    let mut step = 0;
+    for epoch in 0..6 {
+        for batch in loader.epoch(&train, epoch) {
+            net.train_batch(&batch.images, &batch.labels).unwrap();
+            engine.before_optim(step, &mut net.layers).unwrap();
+            opt.step(&mut net.layers).unwrap();
+            engine.after_optim(step, &mut net.layers).unwrap();
+            step += 1;
+        }
+    }
+    let density = 1.0 - engine.sparsity();
+    let explored = engine.exploration_rate();
+    assert!(
+        explored > density + 0.02,
+        "no in-time overparameterization: density {density}, explored {explored}"
+    );
+}

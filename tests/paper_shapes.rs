@@ -1,0 +1,105 @@
+//! Shape-level checks against the paper's qualitative claims, at smoke
+//! scale: sparsity trajectories (Fig. 1), cost ordering (Fig. 5), memory
+//! model behaviour (§III.D), and the decreasing live-weight invariant.
+
+use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::experiments::fig1::{sparsity_trajectories, Fig1Config};
+use ndsnn::experiments::memory::footprint_sweep;
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, run_with_data};
+use ndsnn_metrics::cost::relative_training_cost;
+use ndsnn_snn::models::Architecture;
+
+/// Fig. 1's central visual claim: during the grey early-training window,
+/// NDSNN is far sparser than both train-prune-retrain and LTH.
+#[test]
+fn fig1_grey_area_claim() {
+    let series = sparsity_trajectories(&Fig1Config::default()).unwrap();
+    let half = |s: &ndsnn_metrics::series::Series| {
+        let n = s.points.len() / 2;
+        s.points[..n].iter().map(|p| p.1).sum::<f64>() / n as f64
+    };
+    let (tpr, lth, nd) = (&series[0], &series[1], &series[2]);
+    assert!(half(nd) > 0.8);
+    assert!(half(tpr) < 0.2);
+    assert!(half(lth) < half(nd));
+}
+
+/// The §IV.C cost claim at smoke scale: NDSNN trains cheaper than both LTH
+/// and Dense on the same data, and the sparse-training invariant holds:
+/// NDSNN's live-weight count never increases.
+#[test]
+fn cost_ordering_and_monotone_sparsity() {
+    let probe =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    let (train, test) = build_datasets(&probe);
+
+    let dense = run_with_data(&probe, &train, &test).unwrap();
+    let lth_cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Lth {
+            final_sparsity: 0.9,
+            rounds: 1,
+        },
+    );
+    let lth = run_with_data(&lth_cfg, &train, &test).unwrap();
+    let nd_cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.6,
+            final_sparsity: 0.9,
+        },
+    );
+    let nd = run_with_data(&nd_cfg, &train, &test).unwrap();
+
+    let c_lth = relative_training_cost(&lth.activity, &dense.activity);
+    let c_nd = relative_training_cost(&nd.activity, &dense.activity);
+    assert!(c_nd < c_lth, "NDSNN {c_nd} should undercut LTH {c_lth}");
+    assert!(c_nd < 1.0, "NDSNN should undercut dense");
+
+    // Monotone non-decreasing sparsity for NDSNN (neurogenesis analogy).
+    for w in nd.epochs.windows(2) {
+        assert!(
+            w[1].sparsity >= w[0].sparsity - 1e-9,
+            "NDSNN sparsity decreased between epochs"
+        );
+    }
+}
+
+/// §III.D: memory decreases with sparsity and increases with timesteps; the
+/// paper's "higher sparsity ⇒ lower memory" conclusion.
+#[test]
+fn memory_model_shape() {
+    let rows = footprint_sweep(33_000_000, &[0.90, 0.95, 0.98, 0.99], &[5]);
+    for w in rows.windows(2) {
+        assert!(w[1].model_bits < w[0].model_bits);
+    }
+    // At θ=0.99 and t=5 the footprint is ~1.3% of dense.
+    let last = rows.last().unwrap();
+    assert!(last.vs_dense < 0.02, "vs_dense {}", last.vs_dense);
+}
+
+/// Table I structure: the NDSNN column exists for every dataset/arch cell we
+/// query at smoke scale, and accuracies are valid percentages.
+#[test]
+fn table1_smoke_cell_is_valid() {
+    use ndsnn::experiments::table1::run_table1;
+    let result = run_table1(
+        Profile::Smoke,
+        &[Architecture::Vgg16],
+        &[DatasetKind::Cifar10],
+        &[0.9],
+    )
+    .unwrap();
+    for cell in &result.cells {
+        assert!(
+            (0.0..=100.0).contains(&cell.accuracy),
+            "bad accuracy {}",
+            cell.accuracy
+        );
+    }
+    assert!(result.get("NDSNN", "VGG-16", "CIFAR-10", 0.9).is_some());
+    assert!(result.get("Dense", "VGG-16", "CIFAR-10", 0.0).is_some());
+}
