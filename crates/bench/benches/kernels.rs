@@ -6,8 +6,13 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use ndsnn_snn::layers::{Layer, LifConfig, LifLayer};
 use ndsnn_sparse::csr::CsrMatrix;
 use ndsnn_sparse::kernels::{drop_by_magnitude, grow_by_gradient, random_mask};
-use ndsnn_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
-use ndsnn_tensor::ops::matmul::matmul;
+use ndsnn_tensor::ops::conv::{
+    conv2d_backward, conv2d_backward_exec, conv2d_forward, conv2d_forward_exec, Conv2dGeometry,
+};
+use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt};
+use ndsnn_tensor::ops::spmm::{sp_gy_w, sp_xwt, RowPattern};
+use ndsnn_tensor::parallel::run_serial;
+use ndsnn_tensor::scratch::ScratchPool;
 use ndsnn_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -125,12 +130,143 @@ fn bench_csr_conversion(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_exec_engine(c: &mut Criterion) {
+    // The execution-engine dispatch the trainer uses: dense blocked GEMM vs
+    // the row-sparse pattern kernels on the same masked weight, at the two
+    // sparsity levels the paper's Table I studies.
+    let mut group = c.benchmark_group("exec_engine");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (batch, inf, outf) = (64usize, 256usize, 256usize);
+    let x = ndsnn_tensor::init::uniform([batch, inf], -1.0, 1.0, &mut rng);
+    let gy = ndsnn_tensor::init::uniform([batch, outf], -1.0, 1.0, &mut rng);
+    for sparsity in [0.9f64, 0.99] {
+        let mut w = ndsnn_tensor::init::uniform([outf, inf], -1.0, 1.0, &mut rng);
+        let mask = random_mask(&[outf, inf], 1.0 - sparsity, &mut rng);
+        w.mul_assign(&mask).unwrap();
+        let pat = RowPattern::from_mask(outf, inf, mask.as_slice());
+        let tag = format!("{sparsity:.2}");
+        group.bench_with_input(
+            BenchmarkId::new("linear_fwd_dense", &tag),
+            &sparsity,
+            |b, _| b.iter(|| matmul_a_bt(black_box(&x), black_box(&w)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_fwd_sparse", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; batch * outf];
+                    sp_xwt(&pat, w.as_slice(), black_box(x.as_slice()), &mut y, batch);
+                    black_box(y)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_dx_sparse", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    let mut dx = vec![0.0f32; batch * inf];
+                    sp_gy_w(&pat, w.as_slice(), black_box(gy.as_slice()), &mut dx, batch);
+                    black_box(dx)
+                })
+            },
+        );
+
+        // Conv-as-GEMM dispatch on a mid-size layer.
+        let g = Conv2dGeometry::square(32, 32, 3, 1, 1);
+        let input = ndsnn_tensor::init::uniform([4, 32, 12, 12], 0.0, 1.0, &mut rng);
+        let mut cw = ndsnn_tensor::init::uniform(g.weight_dims(), -0.2, 0.2, &mut rng);
+        let cmask = random_mask(&g.weight_dims(), 1.0 - sparsity, &mut rng);
+        cw.mul_assign(&cmask).unwrap();
+        let cpat = RowPattern::from_mask(g.out_channels, g.col_rows(), cmask.as_slice());
+        let pool = ScratchPool::new();
+        group.bench_with_input(
+            BenchmarkId::new("conv_fwd_dense", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, None).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conv_fwd_sparse", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, Some(&cpat))
+                        .unwrap()
+                })
+            },
+        );
+        let out = conv2d_forward(&input, &cw, None, &g).unwrap();
+        let cgy = Tensor::ones(out.shape().clone());
+        group.bench_with_input(
+            BenchmarkId::new("conv_bwd_dense", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, None).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conv_bwd_sparse", &tag),
+            &sparsity,
+            |b, _| {
+                b.iter(|| {
+                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, Some(&cpat))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threading(c: &mut Criterion) {
+    // 1-thread vs N-thread dispatch of the same kernels (results are
+    // bit-identical; see the thread-identity property tests).
+    let mut group = c.benchmark_group("threads");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let a = ndsnn_tensor::init::uniform([256, 256], -1.0, 1.0, &mut rng);
+    let b2 = ndsnn_tensor::init::uniform([256, 256], -1.0, 1.0, &mut rng);
+    group.bench_function("matmul_256_serial", |b| {
+        b.iter(|| run_serial(|| matmul(black_box(&a), black_box(&b2)).unwrap()))
+    });
+    group.bench_function("matmul_256_threaded", |b| {
+        b.iter(|| matmul(black_box(&a), black_box(&b2)).unwrap())
+    });
+
+    let g = Conv2dGeometry::square(16, 16, 3, 1, 1);
+    let input = ndsnn_tensor::init::uniform([8, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let weight = ndsnn_tensor::init::uniform(g.weight_dims(), -0.2, 0.2, &mut rng);
+    let out = conv2d_forward(&input, &weight, None, &g).unwrap();
+    let gy = Tensor::ones(out.shape().clone());
+    group.bench_function("conv_bwd_serial", |b| {
+        b.iter(|| run_serial(|| conv2d_backward(black_box(&input), &weight, &gy, &g).unwrap()))
+    });
+    group.bench_function("conv_bwd_threaded", |b| {
+        b.iter(|| conv2d_backward(black_box(&input), &weight, &gy, &g).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lif,
     bench_conv,
     bench_sparse_matmul,
     bench_drop_grow,
-    bench_csr_conversion
+    bench_csr_conversion,
+    bench_exec_engine,
+    bench_threading
 );
 criterion_main!(benches);

@@ -3,11 +3,16 @@
 //! unit of the paper's training-cost argument.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use ndsnn::config::{DatasetKind, MethodSpec};
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
 use ndsnn::profile::Profile;
 use ndsnn::trainer::{build_datasets, build_engine, build_network};
 use ndsnn_snn::models::Architecture;
 use ndsnn_snn::optim::Sgd;
+use ndsnn_sparse::distribution::Distribution;
+use ndsnn_sparse::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use ndsnn_sparse::engine::SparseEngine;
+use ndsnn_sparse::schedule::UpdateSchedule;
+use ndsnn_tensor::parallel::run_serial;
 
 fn bench_train_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_iteration");
@@ -73,5 +78,98 @@ fn bench_timesteps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train_iteration, bench_timesteps);
+/// A VGG-16 configuration heavy enough for the execution engine to matter:
+/// wider than smoke (width 1/4) so the conv GEMMs dominate the step time.
+fn exec_cfg() -> RunConfig {
+    let mut cfg =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    cfg.width_mult = 0.25;
+    cfg.batch_size = 16;
+    cfg
+}
+
+/// A constant-sparsity engine whose masks sit at `sparsity` from step 0, with
+/// the sparse-dispatch threshold forced on or off — isolates the execution
+/// engine from the sparsity schedule.
+fn pinned_engine(sparsity: f64, sparse_exec: bool) -> DynamicEngine {
+    let mut engine = DynamicEngine::with_label(
+        "bench",
+        DynamicConfig {
+            initial_sparsity: sparsity,
+            final_sparsity: sparsity,
+            trajectory: SparsityTrajectory::Constant,
+            death_initial: 0.3,
+            death_min: 0.1,
+            update: UpdateSchedule::new(0, 1_000_000, 2_000_000).unwrap(),
+            growth: GrowthMode::Gradient,
+            distribution: Distribution::Erk,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    engine.set_density_threshold(if sparse_exec { 1.5 } else { -1.0 });
+    engine
+}
+
+fn bench_execution_engine(c: &mut Criterion) {
+    // The tentpole measurement: one full training iteration through the
+    // dense serial path (the seed's only path), the threaded dense path, and
+    // the threaded row-sparse path at 90% / 99% weight sparsity.
+    let mut group = c.benchmark_group("train_step_exec");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    let cfg = exec_cfg();
+    let (train, _) = build_datasets(&cfg);
+    let loader = ndsnn_data::loader::BatchLoader::eval(cfg.batch_size);
+    let batch = loader.epoch(&train, 0).remove(0);
+
+    let step_once = |net: &mut ndsnn_snn::network::SpikingNetwork,
+                     engine: &mut DynamicEngine,
+                     opt: &mut Sgd,
+                     step: &mut usize| {
+        let stats = net.train_batch(&batch.images, &batch.labels).unwrap();
+        engine.before_optim(*step, &mut net.layers).unwrap();
+        opt.step(&mut net.layers).unwrap();
+        engine.after_optim(*step, &mut net.layers).unwrap();
+        *step += 1;
+        stats.loss
+    };
+
+    for (label, sparsity, sparse_exec, serial) in [
+        ("dense_serial", 0.0f64, false, true),
+        ("dense_threaded", 0.0, false, false),
+        ("sparse90_dense_exec", 0.9, false, false),
+        ("sparse90_sparse_exec", 0.9, true, false),
+        ("sparse99_sparse_exec", 0.99, true, false),
+    ] {
+        group.bench_with_input(BenchmarkId::new("vgg16_w4", label), &label, |b, _| {
+            let mut net = build_network(&cfg).unwrap();
+            let mut engine = pinned_engine(sparsity.max(0.01), sparse_exec);
+            if sparsity == 0.0 {
+                // A ~dense mask: the engine machinery runs but prunes ~1%.
+                engine.set_density_threshold(-1.0);
+            }
+            engine.init(&mut net.layers).unwrap();
+            let mut opt = Sgd::new(cfg.sgd);
+            let mut step = 0usize;
+            b.iter(|| {
+                let loss = if serial {
+                    run_serial(|| step_once(&mut net, &mut engine, &mut opt, &mut step))
+                } else {
+                    step_once(&mut net, &mut engine, &mut opt, &mut step)
+                };
+                black_box(loss)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_train_iteration,
+    bench_timesteps,
+    bench_execution_engine
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn main() {
     let mut bars = Vec::new();
     for g in &groups {
         bars.push((format!("{}/{} LTH", g.arch, g.dataset), g.lth_vs_dense()));
-        bars.push((format!("{}/{} NDSNN", g.arch, g.dataset), g.ndsnn_vs_dense()));
+        bars.push((
+            format!("{}/{} NDSNN", g.arch, g.dataset),
+            g.ndsnn_vs_dense(),
+        ));
     }
     println!("{}", ndsnn_metrics::series::bar_chart(&bars, 50));
     println!(

@@ -14,6 +14,45 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{DatasetKind, MethodSpec, RunConfig};
 
+/// Accumulated wall-clock time per training-loop phase, in nanoseconds.
+///
+/// Populated by [`crate::trainer::run_with_data`]: `forward`/`backward` are
+/// measured inside `SpikingNetwork::train_batch_instrumented`; `pack` is the
+/// sparse engine's `before_optim` (mask maintenance plus execution-plan
+/// repacking after drop-and-grow rounds); `optim` is the optimizer step plus
+/// `after_optim` weight re-masking. Dividing by `batches` gives per-batch
+/// means for the bench comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Time in the BPTT forward pass.
+    pub forward_ns: u64,
+    /// Time in the BPTT backward pass (includes loss/gradient computation).
+    pub backward_ns: u64,
+    /// Time in `SparseEngine::before_optim` — mask updates and sparse-plan
+    /// packing.
+    pub pack_ns: u64,
+    /// Time in the optimizer step and `SparseEngine::after_optim`.
+    pub optim_ns: u64,
+    /// Number of training batches these totals cover.
+    pub batches: u64,
+}
+
+impl PhaseTimings {
+    /// Total measured time across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.forward_ns + self.backward_ns + self.pack_ns + self.optim_ns
+    }
+
+    /// Mean time per batch across all phases, in nanoseconds.
+    pub fn mean_batch_ns(&self) -> u64 {
+        if self.batches == 0 {
+            0
+        } else {
+            self.total_ns() / self.batches
+        }
+    }
+}
+
 /// Scale preset for experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Profile {

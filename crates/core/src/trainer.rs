@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{DatasetKind, MethodSpec, RunConfig};
 use crate::error::{NdsnnError, Result};
+use crate::profile::PhaseTimings;
 
 /// Outcome of one training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +48,8 @@ pub struct RunResult {
     /// Average spike rate per spiking layer over the final training epoch —
     /// the per-layer view of the §IV.C activity analysis.
     pub layer_spike_rates: Vec<(String, f64)>,
+    /// Accumulated per-phase wall-clock timings over all training batches.
+    pub timings: PhaseTimings,
 }
 
 impl RunResult {
@@ -206,6 +209,7 @@ pub fn run_with_data(
     let mut final_test = 0.0f64;
     let mut step = 0usize;
     let mut layer_rates: Vec<(String, f64)> = Vec::new();
+    let mut timings = PhaseTimings::default();
 
     for epoch in 0..cfg.epochs {
         let seg_epoch = epoch % epochs_per_segment;
@@ -225,8 +229,8 @@ pub fn run_with_data(
         let mut loss_meter = AvgMeter::new();
         let mut acc_meter = AccuracyMeter::new();
         for batch in loader.epoch(train, epoch) {
-            let stats = net
-                .train_batch(&batch.images, &batch.labels)
+            let (stats, forward_ns, backward_ns) = net
+                .train_batch_instrumented(&batch.images, &batch.labels)
                 .map_err(|e| NdsnnError::Snn(e.to_string()))?;
             if !stats.loss.is_finite() {
                 return Err(NdsnnError::InvalidConfig(format!(
@@ -235,9 +239,16 @@ pub fn run_with_data(
                     cfg.describe()
                 )));
             }
+            let t0 = std::time::Instant::now();
             engine.as_engine().before_optim(step, &mut net.layers)?;
+            let t1 = std::time::Instant::now();
             opt.step(&mut net.layers)?;
             engine.as_engine().after_optim(step, &mut net.layers)?;
+            timings.forward_ns += forward_ns;
+            timings.backward_ns += backward_ns;
+            timings.pack_ns += (t1 - t0).as_nanos() as u64;
+            timings.optim_ns += t1.elapsed().as_nanos() as u64;
+            timings.batches += 1;
             loss_meter.update(stats.loss as f64, stats.total as u64);
             acc_meter.update(stats.correct, stats.total);
             step += 1;
@@ -300,6 +311,7 @@ pub fn run_with_data(
         num_params,
         final_sparsity,
         layer_spike_rates: layer_rates,
+        timings,
     })
 }
 
@@ -369,6 +381,14 @@ mod tests {
         assert!(result.final_test_acc >= 0.0);
         assert!(result.num_params > 0);
         assert!(result.epochs.iter().all(|e| e.train_loss.is_finite()));
+        // Phase timings cover every training batch.
+        assert_eq!(
+            result.timings.batches as usize,
+            result.epochs.len() * (cfg.train_samples / cfg.batch_size)
+        );
+        assert!(result.timings.forward_ns > 0);
+        assert!(result.timings.backward_ns > 0);
+        assert!(result.timings.mean_batch_ns() > 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Spiking 2-D convolution layer.
 
-use ndsnn_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use ndsnn_tensor::ops::conv::{conv2d_backward_exec, conv2d_forward_exec, Conv2dGeometry};
+use ndsnn_tensor::scratch::ScratchPool;
 use ndsnn_tensor::Tensor;
 use rand::Rng;
 
@@ -21,6 +22,9 @@ pub struct Conv2d {
     bias: Option<Param>,
     input_cache: Vec<Tensor>,
     training: bool,
+    /// im2col/col2im workspaces, allocated once and reused across every
+    /// timestep and epoch this layer runs.
+    scratch: ScratchPool,
 }
 
 impl Conv2d {
@@ -56,6 +60,7 @@ impl Conv2d {
             bias,
             input_cache: Vec::new(),
             training: true,
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -71,11 +76,13 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        let out = conv2d_forward(
+        let out = conv2d_forward_exec(
             input,
             &self.weight.value,
             self.bias.as_ref().map(|b| &b.value),
             &self.geometry,
+            &self.scratch,
+            self.weight.exec_pattern()?,
         )?;
         if self.training {
             debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
@@ -91,7 +98,14 @@ impl Layer for Conv2d {
                 self.name
             ))
         })?;
-        let grads = conv2d_backward(x, &self.weight.value, grad_out, &self.geometry)?;
+        let grads = conv2d_backward_exec(
+            x,
+            &self.weight.value,
+            grad_out,
+            &self.geometry,
+            &self.scratch,
+            self.weight.exec_pattern()?,
+        )?;
         self.weight.grad.add_assign(&grads.weight_grad)?;
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&grads.bias_grad)?;

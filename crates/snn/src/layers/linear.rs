@@ -2,6 +2,7 @@
 
 use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
 use ndsnn_tensor::ops::reduce::sum_axis0;
+use ndsnn_tensor::ops::spmm::{sp_gy_w, sp_xwt};
 use ndsnn_tensor::Tensor;
 use rand::Rng;
 
@@ -75,8 +76,31 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        // y(B×Out) = x(B×In) · Wᵀ(In×Out)
-        let mut out = matmul_a_bt(input, &self.weight.value)?;
+        // y(B×Out) = x(B×In) · Wᵀ(In×Out); row-sparse when a plan is installed.
+        let mut out = match self.weight.exec_pattern()? {
+            Some(pat) => {
+                if input.rank() != 2 || input.dims()[1] != pat.cols() {
+                    return Err(SnnError::InvalidState(format!(
+                        "{}: input {:?} incompatible with {}x{} weight",
+                        self.name,
+                        input.dims(),
+                        pat.rows(),
+                        pat.cols()
+                    )));
+                }
+                let b = input.dims()[0];
+                let mut y = Tensor::zeros([b, pat.rows()]);
+                sp_xwt(
+                    pat,
+                    self.weight.value.as_slice(),
+                    input.as_slice(),
+                    y.as_mut_slice(),
+                    b,
+                );
+                y
+            }
+            None => matmul_a_bt(input, &self.weight.value)?,
+        };
         if let Some(bias) = &self.bias {
             let (b, k) = (out.dims()[0], out.dims()[1]);
             let od = out.as_mut_slice();
@@ -100,14 +124,29 @@ impl Layer for Linear {
                 self.name
             ))
         })?;
-        // dW(Out×In) += gyᵀ(Out×B) · x(B×In)
+        // dW(Out×In) += gyᵀ(Out×B) · x(B×In) — always dense, so drop/grow
+        // decisions that read gradients are unchanged by the sparse dispatch.
         let dw = matmul_at_b(grad_out, x)?;
         self.weight.grad.add_assign(&dw)?;
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&sum_axis0(grad_out)?)?;
         }
-        // dx(B×In) = gy(B×Out) · W(Out×In)
-        Ok(matmul(grad_out, &self.weight.value)?)
+        // dx(B×In) = gy(B×Out) · W(Out×In); row-sparse when a plan is installed.
+        match self.weight.exec_pattern()? {
+            Some(pat) => {
+                let b = grad_out.dims()[0];
+                let mut dx = Tensor::zeros([b, pat.cols()]);
+                sp_gy_w(
+                    pat,
+                    self.weight.value.as_slice(),
+                    grad_out.as_slice(),
+                    dx.as_mut_slice(),
+                    b,
+                );
+                Ok(dx)
+            }
+            None => Ok(matmul(grad_out, &self.weight.value)?),
+        }
     }
 
     fn reset_state(&mut self) {

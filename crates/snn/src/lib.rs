@@ -52,4 +52,4 @@ mod param;
 pub mod surrogate;
 
 pub use error::{Result, SnnError};
-pub use param::{Param, ParamKind};
+pub use param::{ExecPlan, Param, ParamKind};

@@ -1,6 +1,21 @@
 //! Trainable parameters.
 
+use ndsnn_tensor::ops::spmm::RowPattern;
 use ndsnn_tensor::Tensor;
+
+use crate::error::{Result, SnnError};
+
+/// How a layer should execute the products involving one weight.
+///
+/// The plan holds an *index-only* sparsity pattern of the weight viewed as a
+/// 2-D matrix (rows = output features / filters). Values are always gathered
+/// from the dense [`Param::value`] at use time, so the plan stays valid
+/// across optimizer steps and only needs rebuilding when the mask changes.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    /// Active positions of the 2-D weight view.
+    pub pattern: RowPattern,
+}
 
 /// Role of a parameter, used by the sparse-training engines to decide what is
 /// eligible for masking.
@@ -32,6 +47,10 @@ pub struct Param {
     pub grad: Tensor,
     /// Role of this parameter.
     pub kind: ParamKind,
+    /// Sparse execution plan, installed by the sparse-training engines when
+    /// this weight's density drops below the configured threshold. `None`
+    /// means dense execution.
+    pub plan: Option<ExecPlan>,
 }
 
 impl Param {
@@ -43,7 +62,32 @@ impl Param {
             value,
             grad,
             kind,
+            plan: None,
         }
+    }
+
+    /// The installed sparse pattern, validated against the 2-D view of the
+    /// weight (`dims[0] × rest`). Layers call this at every dispatch point so
+    /// a stale plan fails loudly instead of misindexing.
+    pub fn exec_pattern(&self) -> Result<Option<&RowPattern>> {
+        let Some(plan) = &self.plan else {
+            return Ok(None);
+        };
+        let rows = *self.value.dims().first().unwrap_or(&0);
+        let cols = if rows == 0 {
+            0
+        } else {
+            self.value.len() / rows
+        };
+        if plan.pattern.rows() != rows || plan.pattern.cols() != cols {
+            return Err(SnnError::InvalidState(format!(
+                "{}: exec plan {}x{} does not match weight viewed as {rows}x{cols}",
+                self.name,
+                plan.pattern.rows(),
+                plan.pattern.cols()
+            )));
+        }
+        Ok(Some(&plan.pattern))
     }
 
     /// Clears the accumulated gradient.
@@ -85,6 +129,27 @@ mod tests {
         assert!(!p.is_sparsifiable());
         let n = Param::new("gamma", Tensor::ones([8, 8]), ParamKind::Norm);
         assert!(!n.is_sparsifiable());
+    }
+
+    #[test]
+    fn exec_pattern_validates_shape() {
+        let mut p = Param::new("w", Tensor::ones([2, 3]), ParamKind::Weight);
+        assert!(p.exec_pattern().unwrap().is_none());
+        p.plan = Some(ExecPlan {
+            pattern: RowPattern::from_mask(2, 3, &[1., 0., 1., 0., 1., 0.]),
+        });
+        assert_eq!(p.exec_pattern().unwrap().unwrap().nnz(), 3);
+        // Conv-style weight: rows = filters, cols = flattened rest.
+        let mut c = Param::new("cw", Tensor::ones([2, 1, 2, 2]), ParamKind::Weight);
+        c.plan = Some(ExecPlan {
+            pattern: RowPattern::from_mask(2, 4, &[1.0; 8]),
+        });
+        assert!(c.exec_pattern().is_ok());
+        // Mismatched plan fails loudly.
+        c.plan = Some(ExecPlan {
+            pattern: RowPattern::from_mask(2, 3, &[1.0; 6]),
+        });
+        assert!(c.exec_pattern().is_err());
     }
 
     #[test]

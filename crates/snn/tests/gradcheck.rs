@@ -26,7 +26,9 @@ fn build(seed: u64) -> Sequential {
         ))
         .with(Box::new(AvgPool2d::new("p2", 2)))
         .with(Box::new(Flatten::new("f")))
-        .with(Box::new(Linear::new("fc", 3 * 2 * 2, 3, true, &mut rng).unwrap()))
+        .with(Box::new(
+            Linear::new("fc", 3 * 2 * 2, 3, true, &mut rng).unwrap(),
+        ))
 }
 
 /// Weighted-sum loss of a `T`-step forward pass (same input each step).

@@ -22,7 +22,10 @@ use ndsnn_snn::layers::Layer;
 use crate::distribution::{layer_densities, Distribution};
 use crate::engine::{collect_layer_shapes, SparseEngine};
 use crate::error::{Result, SparseError};
-use crate::kernels::{drop_by_magnitude, grow_by_gradient, grow_random, random_mask};
+use crate::kernels::{
+    density_threshold_from_env, drop_by_magnitude, grow_by_gradient, grow_random,
+    install_exec_plans, random_mask,
+};
 use crate::mask::MaskSet;
 use crate::schedule::{DeathSchedule, UpdateSchedule};
 
@@ -155,6 +158,10 @@ pub struct DynamicEngine {
     rng: StdRng,
     history: Vec<UpdateEvent>,
     initialized: bool,
+    /// Weight density below which a layer's products dispatch through the
+    /// row-sparse execution engine. Read from `NDSNN_DENSITY_THRESHOLD` at
+    /// construction; override with [`DynamicEngine::set_density_threshold`].
+    density_threshold: f64,
 }
 
 impl std::fmt::Debug for DynamicEngine {
@@ -182,7 +189,20 @@ impl DynamicEngine {
             rng: StdRng::seed_from_u64(config.seed),
             history: Vec::new(),
             initialized: false,
+            density_threshold: density_threshold_from_env(),
         })
+    }
+
+    /// Overrides the density threshold below which masked layers execute
+    /// through the row-sparse kernels. Negative forces dense everywhere;
+    /// `>= 1.0` forces the sparse path for every masked layer.
+    pub fn set_density_threshold(&mut self, threshold: f64) {
+        self.density_threshold = threshold;
+    }
+
+    /// The current sparse-dispatch density threshold.
+    pub fn density_threshold(&self) -> f64 {
+        self.density_threshold
     }
 
     /// The engine configuration.
@@ -329,6 +349,7 @@ impl SparseEngine for DynamicEngine {
             );
         }
         self.masks.apply_to_weights(model);
+        install_exec_plans(model, &self.masks, self.density_threshold);
         self.explored = MaskSet::new();
         self.absorb_exploration();
         self.history.clear();
@@ -345,6 +366,9 @@ impl SparseEngine for DynamicEngine {
         if self.config.update.fires_at(step) {
             self.update_masks(step, model)?;
             self.absorb_exploration();
+            // Masks changed: this is the only point (besides init) where the
+            // execution plans go stale, so repack lazily here.
+            install_exec_plans(model, &self.masks, self.density_threshold);
         }
         // Only active weights receive updates (Algorithm 1 step ❷).
         self.masks.apply_to_grads(model);
@@ -627,6 +651,55 @@ mod tests {
         // Instantaneous density is unchanged (constant trajectory) even
         // though the explored union has grown.
         assert!((1.0 - e.sparsity() - density).abs() < 0.02);
+    }
+
+    #[test]
+    fn exec_plans_track_mask_updates() {
+        let mut m = model();
+        let mut e = DynamicEngine::with_label(
+            "RigL",
+            cfg(SparsityTrajectory::Constant, GrowthMode::Gradient),
+        )
+        .unwrap();
+        e.set_density_threshold(0.25);
+        e.init(&mut m).unwrap();
+        // 90% sparse → 10% dense → every masked layer gets a plan whose
+        // pattern mirrors its mask exactly.
+        let masks = e.mask_set().unwrap().clone();
+        let mut planned = 0;
+        m.for_each_param(&mut |p| {
+            if let Some(pat) = p.exec_pattern().unwrap() {
+                planned += 1;
+                assert_eq!(pat.nnz(), masks.get(&p.name).unwrap().count_nonzero());
+            }
+        });
+        assert_eq!(planned, 2);
+
+        // Drive through an update round; the plans must follow the rewiring.
+        fill_grads(&mut m, 321);
+        e.before_optim(10, &mut m).unwrap();
+        assert_eq!(e.history().len(), 1, "step 10 should rewire");
+        let masks = e.mask_set().unwrap().clone();
+        m.for_each_param(&mut |p| {
+            if let Some(pat) = p.exec_pattern().unwrap() {
+                let mask = masks.get(&p.name).unwrap();
+                assert_eq!(pat.nnz(), mask.count_nonzero());
+                // Spot-check the pattern indexes exactly the active positions.
+                let md = mask.as_slice();
+                let cols = pat.cols();
+                for r in 0..pat.rows() {
+                    for &c in pat.row(r) {
+                        assert_ne!(md[r * cols + c as usize], 0.0);
+                    }
+                }
+            }
+        });
+
+        // A negative threshold clears every plan on the next rewiring.
+        e.set_density_threshold(-1.0);
+        fill_grads(&mut m, 322);
+        e.before_optim(20, &mut m).unwrap();
+        m.for_each_param(&mut |p| assert!(p.plan.is_none()));
     }
 
     #[test]

@@ -7,10 +7,68 @@
 //! gradient-magnitude inactive positions ("neuron birth"). SET grows
 //! uniformly at random instead.
 
+use ndsnn_snn::layers::Layer;
+use ndsnn_snn::ExecPlan;
+use ndsnn_tensor::ops::spmm::RowPattern;
 use ndsnn_tensor::ops::topk::{bottom_k_indices_by, top_k_indices_by};
 use ndsnn_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+use crate::mask::MaskSet;
+
+/// Default weight density below which the execution engine dispatches a
+/// masked layer through the row-sparse kernels instead of dense GEMM.
+///
+/// Row-sparse gather costs an index load per active element, so it only pays
+/// off once most of the dense work would be wasted multiplies; ~25% density
+/// is where the two paths break even on the blocked kernels.
+pub const DEFAULT_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Reads the `NDSNN_DENSITY_THRESHOLD` override, falling back to
+/// [`DEFAULT_DENSITY_THRESHOLD`] when unset or unparseable. Set it to a
+/// negative value to force dense execution everywhere, or to `1.0` (or more)
+/// to force the sparse path for every masked layer.
+pub fn density_threshold_from_env() -> f64 {
+    std::env::var("NDSNN_DENSITY_THRESHOLD")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite())
+        .unwrap_or(DEFAULT_DENSITY_THRESHOLD)
+}
+
+/// Installs (or clears) sparse execution plans on the model's sparsifiable
+/// weights: a layer whose mask density is strictly below `threshold` gets an
+/// index-only [`RowPattern`] of its mask; everything else runs dense.
+///
+/// Called once after mask initialization and again after every drop-and-grow
+/// round — the pattern is index-only, so it stays valid across optimizer
+/// steps in between. Returns the number of plans installed.
+pub fn install_exec_plans(model: &mut dyn Layer, masks: &MaskSet, threshold: f64) -> usize {
+    let mut installed = 0usize;
+    model.for_each_param(&mut |param| {
+        if !param.is_sparsifiable() {
+            return;
+        }
+        let plan = masks.get(&param.name).and_then(|mask| {
+            let n = mask.len();
+            if n == 0 {
+                return None;
+            }
+            let density = mask.count_nonzero() as f64 / n as f64;
+            if density >= threshold {
+                return None;
+            }
+            let rows = param.value.dims()[0];
+            Some(ExecPlan {
+                pattern: RowPattern::from_mask(rows, n / rows.max(1), mask.as_slice()),
+            })
+        });
+        installed += plan.is_some() as usize;
+        param.plan = plan;
+    });
+    installed
+}
 
 /// Creates a random binary mask of `shape` with exactly
 /// `round(density · n)` ones.
@@ -197,6 +255,47 @@ mod tests {
         let w = Tensor::from_slice(&[0.5, -3.0, 0.1, 2.0]);
         let m = top_magnitude_mask(&w, 2);
         assert_eq!(m.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn install_exec_plans_respects_threshold() {
+        use ndsnn_snn::layers::{Linear, Sequential};
+        let mut rng = StdRng::seed_from_u64(95);
+        let mut m = Sequential::new("m")
+            .with(Box::new(
+                Linear::new("fc1", 20, 10, false, &mut rng).unwrap(),
+            ))
+            .with(Box::new(
+                Linear::new("fc2", 10, 10, false, &mut rng).unwrap(),
+            ));
+        let mut masks = MaskSet::new();
+        masks.insert("fc1.weight", random_mask(&[10, 20], 0.1, &mut rng));
+        masks.insert("fc2.weight", random_mask(&[10, 10], 0.9, &mut rng));
+        masks.apply_to_weights(&mut m);
+
+        // Only the 10%-dense layer crosses the 25% threshold.
+        assert_eq!(install_exec_plans(&mut m, &masks, 0.25), 1);
+        m.for_each_param(&mut |p| match p.name.as_str() {
+            "fc1.weight" => {
+                let pat = p.exec_pattern().unwrap().expect("fc1 should be sparse");
+                assert_eq!(pat.nnz(), masks.get("fc1.weight").unwrap().count_nonzero());
+            }
+            "fc2.weight" => assert!(p.plan.is_none()),
+            _ => {}
+        });
+
+        // A negative threshold forces dense everywhere and clears old plans.
+        assert_eq!(install_exec_plans(&mut m, &masks, -1.0), 0);
+        m.for_each_param(&mut |p| assert!(p.plan.is_none()));
+
+        // Threshold above 1.0 forces the sparse path for every masked layer.
+        assert_eq!(install_exec_plans(&mut m, &masks, 1.5), 2);
+    }
+
+    #[test]
+    fn density_threshold_default() {
+        // The env var is unset in the test environment.
+        assert_eq!(density_threshold_from_env(), DEFAULT_DENSITY_THRESHOLD);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod error;
 pub mod init;
 pub mod ops;
 pub mod parallel;
+pub mod scratch;
 pub mod serialize;
 mod shape;
 mod tensor;

@@ -8,7 +8,16 @@
 
 use crate::error::{Result, TensorError};
 use crate::ops::matmul::matmul_into;
+use crate::ops::spmm::{sp_mm, sp_mm_t, RowPattern};
+use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
+
+/// Upper bound on the number of sample blocks the backward pass splits a
+/// batch into. The partition depends only on the batch size — never on the
+/// thread count — so block-partial gradients reduce in a fixed order and the
+/// result is bit-identical for any `NDSNN_THREADS` setting. The bound also
+/// caps transient memory: at most this many partial `dW` buffers are alive.
+const BWD_MAX_BLOCKS: usize = 8;
 
 /// Static geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +167,18 @@ pub fn col2im(
     }
 }
 
+fn check_pattern(pattern: Option<&RowPattern>, g: &Conv2dGeometry, cr: usize) -> Result<()> {
+    if let Some(pat) = pattern {
+        if pat.rows() != g.out_channels || pat.cols() != cr {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![pat.rows(), pat.cols()],
+                rhs: vec![g.out_channels, cr],
+            });
+        }
+    }
+    Ok(())
+}
+
 fn check_input(input: &Tensor, g: &Conv2dGeometry) -> Result<(usize, usize, usize)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -178,12 +199,42 @@ fn check_input(input: &Tensor, g: &Conv2dGeometry) -> Result<(usize, usize, usiz
 /// Forward convolution: `(B, C, H, W) -> (B, F, OH, OW)`.
 ///
 /// `bias`, when provided, must have length `F` and is added per output
-/// channel.
+/// channel. Allocates its im2col workspaces per call; layers that run every
+/// timestep should hold a [`ScratchPool`] and use
+/// [`conv2d_forward_pooled`] instead.
 pub fn conv2d_forward(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     g: &Conv2dGeometry,
+) -> Result<Tensor> {
+    conv2d_forward_pooled(input, weight, bias, g, &ScratchPool::new())
+}
+
+/// [`conv2d_forward`] with caller-owned scratch: im2col buffers come from
+/// `pool` and return to it, so a layer reuses the same allocations across
+/// all timesteps and epochs.
+pub fn conv2d_forward_pooled(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: &Conv2dGeometry,
+    pool: &ScratchPool,
+) -> Result<Tensor> {
+    conv2d_forward_exec(input, weight, bias, g, pool, None)
+}
+
+/// [`conv2d_forward_pooled`] with an optional sparsity pattern for the
+/// weight viewed as `F × (C·KH·KW)`. With a pattern, the per-sample GEMM
+/// runs row-sparse ([`sp_mm`]) over the active positions only; the dense
+/// weight stays the source of truth for values.
+pub fn conv2d_forward_exec(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: &Conv2dGeometry,
+    pool: &ScratchPool,
+    pattern: Option<&RowPattern>,
 ) -> Result<Tensor> {
     let (b, h, w) = check_input(input, g)?;
     if weight.dims() != g.weight_dims() {
@@ -194,6 +245,7 @@ pub fn conv2d_forward(
     }
     let (oh, ow) = g.output_hw(h, w)?;
     let (cr, spatial) = (g.col_rows(), oh * ow);
+    check_pattern(pattern, g, cr)?;
     let mut out = Tensor::zeros([b, g.out_channels, oh, ow]);
     let in_stride = g.in_channels * h * w;
     let out_stride = g.out_channels * spatial;
@@ -207,7 +259,9 @@ pub fn conv2d_forward(
         .enumerate()
         .collect();
     crate::parallel::parallel_for_chunks(chunks, |s, out_chunk| {
-        let mut col = vec![0.0f32; cr * spatial];
+        // im2col writes every element (padding included), so stale pooled
+        // contents are fine.
+        let mut col = pool.take(cr * spatial);
         im2col(
             &in_data[s * in_stride..(s + 1) * in_stride],
             g,
@@ -217,7 +271,11 @@ pub fn conv2d_forward(
             ow,
             &mut col,
         );
-        matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial);
+        match pattern {
+            Some(pat) => sp_mm(pat, w_data, &col, out_chunk, spatial),
+            None => matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial),
+        }
+        pool.give(col);
     });
     if let Some(bias) = bias {
         if bias.len() != g.out_channels {
@@ -251,11 +309,50 @@ pub struct Conv2dGrads {
 }
 
 /// Backward convolution. `grad_out` is `(B, F, OH, OW)`.
+///
+/// Allocates its workspaces per call; layers should hold a [`ScratchPool`]
+/// and use [`conv2d_backward_pooled`] on the BPTT hot path.
 pub fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
     g: &Conv2dGeometry,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_pooled(input, weight, grad_out, g, &ScratchPool::new())
+}
+
+/// [`conv2d_backward`] with caller-owned scratch and sample-block
+/// parallelism.
+///
+/// The batch is split into at most [`BWD_MAX_BLOCKS`] contiguous sample
+/// blocks. Each worker owns a block: it writes the block's `input_grad`
+/// slice directly (disjoint by construction) and accumulates `dW`/`dBias`
+/// into block-private partials, which are then reduced in ascending block
+/// order. Because the partition depends only on the batch size, the
+/// floating-point reduction order — and therefore the result — is identical
+/// for any thread count.
+pub fn conv2d_backward_pooled(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    g: &Conv2dGeometry,
+    pool: &ScratchPool,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_exec(input, weight, grad_out, g, pool, None)
+}
+
+/// [`conv2d_backward_pooled`] with an optional sparsity pattern for the
+/// weight viewed as `F × (C·KH·KW)`. With a pattern, the input-gradient
+/// product `Wᵀ·gy` runs row-sparse ([`sp_mm_t`]); `dW` and `dBias` are always
+/// computed dense — they do not involve `W`, so drop/grow decisions that read
+/// gradients are unchanged by the sparse dispatch.
+pub fn conv2d_backward_exec(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    g: &Conv2dGeometry,
+    pool: &ScratchPool,
+    pattern: Option<&RowPattern>,
 ) -> Result<Conv2dGrads> {
     let (b, h, w) = check_input(input, g)?;
     let (oh, ow) = g.output_hw(h, w)?;
@@ -266,32 +363,63 @@ pub fn conv2d_backward(
         });
     }
     let (cr, spatial) = (g.col_rows(), oh * ow);
+    check_pattern(pattern, g, cr)?;
     let mut input_grad = Tensor::zeros(input.shape().clone());
     let mut weight_grad = Tensor::zeros(weight.shape().clone());
     let mut bias_grad = Tensor::zeros([g.out_channels]);
-    let mut col = vec![0.0f32; cr * spatial];
-    let mut col_grad = vec![0.0f32; cr * spatial];
     let in_stride = g.in_channels * h * w;
     let out_stride = g.out_channels * spatial;
+    let wlen = g.out_channels * cr;
 
     // Transposed weight (cr × F) computed once; reused for every sample's
-    // input-gradient product.
-    let wt = weight.reshape([g.out_channels, cr])?.transpose2d()?;
+    // input-gradient product. The sparse path reads the row-major weight
+    // directly instead, so skip the transpose there.
+    let wt = match pattern {
+        None => Some(weight.reshape([g.out_channels, cr])?.transpose2d()?),
+        Some(_) => None,
+    };
+    let wt_data = wt.as_ref().map(|t| t.as_slice());
+    let w_data = weight.as_slice();
+    let in_data = input.as_slice();
+    let gy_data = grad_out.as_slice();
 
-    for s in 0..b {
-        let gy = &grad_out.as_slice()[s * out_stride..(s + 1) * out_stride];
-        im2col(
-            &input.as_slice()[s * in_stride..(s + 1) * in_stride],
-            g,
-            h,
-            w,
-            oh,
-            ow,
-            &mut col,
-        );
-        // dW += gy (F × spatial) · colᵀ (spatial × cr)
-        {
-            let wg = weight_grad.as_mut_slice();
+    if b == 0 {
+        return Ok(Conv2dGrads {
+            input_grad,
+            weight_grad,
+            bias_grad,
+        });
+    }
+    let block = b.div_ceil(BWD_MAX_BLOCKS).max(1);
+    let nblocks = b.div_ceil(block);
+    // One (dW, dBias) partial per block, filled by the workers and reduced
+    // below in block order.
+    let mut partials: Vec<Option<(Vec<f32>, Vec<f32>)>> = (0..nblocks).map(|_| None).collect();
+    let chunks: Vec<(usize, (&mut [f32], &mut Option<(Vec<f32>, Vec<f32>)>))> = input_grad
+        .as_mut_slice()
+        .chunks_mut(block * in_stride)
+        .zip(partials.iter_mut())
+        .enumerate()
+        .collect();
+    crate::parallel::parallel_for_chunks(chunks, |bi, (ig_chunk, slot)| {
+        let s0 = bi * block;
+        let samples = ig_chunk.len() / in_stride.max(1);
+        let mut col = pool.take(cr * spatial);
+        let mut col_grad = pool.take(cr * spatial);
+        let mut wg = pool.take_zeroed(wlen);
+        let mut bg = vec![0.0f32; g.out_channels];
+        for s in 0..samples {
+            let gy = &gy_data[(s0 + s) * out_stride..(s0 + s + 1) * out_stride];
+            im2col(
+                &in_data[(s0 + s) * in_stride..(s0 + s + 1) * in_stride],
+                g,
+                h,
+                w,
+                oh,
+                ow,
+                &mut col,
+            );
+            // dW += gy (F × spatial) · colᵀ (spatial × cr)
             for f in 0..g.out_channels {
                 let gyrow = &gy[f * spatial..(f + 1) * spatial];
                 let wrow = &mut wg[f * cr..(f + 1) * cr];
@@ -304,33 +432,49 @@ pub fn conv2d_backward(
                     *wv += acc;
                 }
             }
-        }
-        // dBias
-        {
-            let bg = bias_grad.as_mut_slice();
+            // dBias
             for f in 0..g.out_channels {
                 bg[f] += gy[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
             }
+            // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with col2im.
+            col_grad.fill(0.0);
+            match pattern {
+                Some(pat) => sp_mm_t(pat, w_data, gy, &mut col_grad, spatial),
+                None => matmul_into(
+                    wt_data.expect("dense path computed wt"),
+                    gy,
+                    &mut col_grad,
+                    cr,
+                    g.out_channels,
+                    spatial,
+                ),
+            }
+            col2im(
+                &col_grad,
+                g,
+                h,
+                w,
+                oh,
+                ow,
+                &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
+            );
         }
-        // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with col2im.
-        col_grad.iter_mut().for_each(|v| *v = 0.0);
-        matmul_into(
-            wt.as_slice(),
-            gy,
-            &mut col_grad,
-            cr,
-            g.out_channels,
-            spatial,
-        );
-        col2im(
-            &col_grad,
-            g,
-            h,
-            w,
-            oh,
-            ow,
-            &mut input_grad.as_mut_slice()[s * in_stride..(s + 1) * in_stride],
-        );
+        pool.give(col);
+        pool.give(col_grad);
+        *slot = Some((wg, bg));
+    });
+
+    let wg_total = weight_grad.as_mut_slice();
+    let bg_total = bias_grad.as_mut_slice();
+    for slot in partials {
+        let (wg, bg) = slot.expect("every block produced a partial");
+        for (t, v) in wg_total.iter_mut().zip(&wg) {
+            *t += v;
+        }
+        for (t, v) in bg_total.iter_mut().zip(&bg) {
+            *t += v;
+        }
+        pool.give(wg);
     }
     Ok(Conv2dGrads {
         input_grad,
@@ -466,6 +610,91 @@ mod tests {
         col2im(y.as_slice(), &g, h, w, oh, ow, &mut xty);
         let rhs: f32 = xty.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// The pooled entry points must equal the plain ones bit-for-bit (same
+    /// kernels, only the workspace source differs) and actually recycle
+    /// buffers across calls.
+    #[test]
+    fn pooled_conv_bit_identical_and_reuses_scratch() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = Conv2dGeometry::square(3, 4, 3, 1, 1);
+        let input = crate::init::uniform([6, 3, 9, 9], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform(g.weight_dims(), -0.5, 0.5, &mut rng);
+        let bias = crate::init::uniform([4], -0.1, 0.1, &mut rng);
+        let (oh, ow) = g.output_hw(9, 9).unwrap();
+        let grad_out = crate::init::uniform([6, 4, oh, ow], -1.0, 1.0, &mut rng);
+
+        let pool = ScratchPool::new();
+        for _ in 0..3 {
+            let out = conv2d_forward_pooled(&input, &weight, Some(&bias), &g, &pool).unwrap();
+            let plain = conv2d_forward(&input, &weight, Some(&bias), &g).unwrap();
+            assert_eq!(out.as_slice(), plain.as_slice());
+
+            let grads = conv2d_backward_pooled(&input, &weight, &grad_out, &g, &pool).unwrap();
+            let plain = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+            assert_eq!(grads.input_grad.as_slice(), plain.input_grad.as_slice());
+            assert_eq!(grads.weight_grad.as_slice(), plain.weight_grad.as_slice());
+            assert_eq!(grads.bias_grad.as_slice(), plain.bias_grad.as_slice());
+        }
+        // All taken buffers were returned; subsequent calls reuse them.
+        assert!(pool.idle_buffers() > 0);
+        let retained = pool.retained_capacity();
+        let _ = conv2d_backward_pooled(&input, &weight, &grad_out, &g, &pool).unwrap();
+        assert_eq!(
+            pool.retained_capacity(),
+            retained,
+            "steady-state backward must not grow the pool"
+        );
+    }
+
+    /// The sparse dispatch must reproduce the dense result on a masked
+    /// weight: forward and input-grad within f32 tolerance (different
+    /// accumulation order), dW/dBias bit-identical (never dispatched sparse).
+    #[test]
+    fn exec_with_pattern_matches_dense_on_masked_weight() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let g = Conv2dGeometry::square(3, 6, 3, 1, 1);
+        let input = crate::init::uniform([3, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let mut weight = crate::init::uniform(g.weight_dims(), -0.5, 0.5, &mut rng);
+        // Keep ~30% of the weight; the rest is masked to exact zero.
+        let mut mask = vec![0.0f32; weight.len()];
+        for (i, m) in mask.iter_mut().enumerate() {
+            if i % 10 < 3 {
+                *m = 1.0;
+            }
+        }
+        for (wv, m) in weight.as_mut_slice().iter_mut().zip(&mask) {
+            *wv *= m;
+        }
+        let pat = RowPattern::from_mask(g.out_channels, g.col_rows(), &mask);
+        let pool = ScratchPool::new();
+        let (oh, ow) = g.output_hw(8, 8).unwrap();
+        let grad_out = crate::init::uniform([3, 6, oh, ow], -1.0, 1.0, &mut rng);
+
+        let dense = conv2d_forward(&input, &weight, None, &g).unwrap();
+        let sparse = conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&pat)).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+
+        let dg = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+        let sg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&pat)).unwrap();
+        for (a, b) in sg
+            .input_grad
+            .as_slice()
+            .iter()
+            .zip(dg.input_grad.as_slice())
+        {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert_eq!(sg.weight_grad.as_slice(), dg.weight_grad.as_slice());
+        assert_eq!(sg.bias_grad.as_slice(), dg.bias_grad.as_slice());
+
+        // A pattern whose shape disagrees with the geometry is rejected.
+        let bad = RowPattern::from_mask(1, 2, &[1.0, 0.0]);
+        assert!(conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&bad)).is_err());
+        assert!(conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&bad)).is_err());
     }
 
     #[test]

@@ -3,13 +3,24 @@
 //! One cache-blocked kernel serves all three products needed by
 //! backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`); the transposed variants avoid
 //! materializing transposed copies on the hot path.
+//!
+//! All three kernels thread over disjoint output-row ranges when the product
+//! is large enough (see [`crate::parallel::worker_threads`]). Each worker
+//! runs the identical per-row loop the serial path runs, so the per-element
+//! accumulation order never depends on the thread count and results are
+//! bit-identical for any `NDSNN_THREADS` setting.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::{parallel_for_chunks, worker_threads};
 use crate::tensor::Tensor;
 
 /// Cache block edge (elements). 64×64 f32 blocks ≈ 16 KiB, comfortably inside
 /// L1 on any target this crate runs on.
 const BLOCK: usize = 64;
+
+/// Minimum multiply-add count (`m·k·n`) before a product is worth threading;
+/// below this the spawn/join overhead of scoped threads dominates.
+const PAR_MIN_MACS: usize = 1 << 17;
 
 fn check2d(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -19,6 +30,32 @@ fn check2d(t: &Tensor) -> Result<(usize, usize)> {
         });
     }
     Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Splits `c` (an `m×n` output) into per-worker row ranges and runs
+/// `body(row0, rows, c_rows)` on each, threading only when the product has
+/// enough work (`macs = m·k·n`) and more than one worker is available.
+///
+/// `body` must compute rows `row0..row0+rows` of the output exactly as the
+/// serial kernel would — the partition carries no state, so any row split
+/// yields bit-identical results.
+pub(crate) fn for_output_row_ranges<F>(c: &mut [f32], m: usize, n: usize, macs: usize, body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    let workers = worker_threads(m);
+    if workers <= 1 || macs < PAR_MIN_MACS {
+        body(0, m, c);
+        return;
+    }
+    let rows_per = m.div_ceil(workers);
+    let chunks: Vec<(usize, &mut [f32])> = c.chunks_mut(rows_per * n).enumerate().collect();
+    parallel_for_chunks(chunks, |ci, c_rows| {
+        body(ci * rows_per, c_rows.len() / n, c_rows);
+    });
 }
 
 /// `C = A(m×k) · B(k×n)`.
@@ -47,23 +84,41 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    // C[i,j] = sum_p A[p,i] * B[p,j]: iterate p outermost so both inner reads
-    // are sequential; accumulate rank-1 updates.
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
+        at_b_rows(ad, bd, c_rows, i0, rows, m, k, n);
+    });
+    Ok(c)
+}
+
+/// Rows `i0..i0+rows` of `C(m×n) = Aᵀ·B` with `A` `k×m`, `B` `k×n`.
+///
+/// `C[i,j] = Σ_p A[p,i]·B[p,j]`: iterate p outermost so both inner reads are
+/// sequential; accumulate rank-1 updates. The zero-skip on `A[p,i]` matters
+/// on the BPTT hot path, where `A` is a (mostly zero) spike matrix.
+fn at_b_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
+        let arow = &a[p * m + i0..p * m + i0 + rows];
+        let brow = &b[p * n..(p + 1) * n];
         for (i, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
-            let crow = &mut cd[i * n..(i + 1) * n];
+            let crow = &mut c_rows[i * n..(i + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += av * bv;
             }
         }
     }
-    Ok(c)
 }
 
 /// `C(m×n) = A(m×k) · Bᵀ` where `B` is `n×k`.
@@ -77,12 +132,20 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
+        a_bt_rows(ad, bd, c_rows, i0, rows, k, n);
+    });
+    Ok(c)
+}
+
+/// Rows `i0..i0+rows` of `C(m×n) = A·Bᵀ` with `A` `m×k`, `B` `n×k`.
+fn a_bt_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
+        let crow = &mut c_rows[i * n..(i + 1) * n];
         for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (av, bv) in arow.iter().zip(brow) {
                 acc += av * bv;
@@ -90,26 +153,42 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             *cv += acc;
         }
     }
-    Ok(c)
 }
 
 /// Cache-blocked `C += A·B` on raw row-major slices.
 ///
 /// `a` is `m×k`, `b` is `k×n`, `c` is `m×n`. Exposed for the convolution
-/// kernels which drive it with im2col buffers.
+/// kernels which drive it with im2col buffers. Threads over output rows for
+/// large products; called from inside an already-parallel region it runs
+/// inline (the nested-parallelism guard in [`crate::parallel`]).
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    for_output_row_ranges(c, m, n, m * k * n, |i0, rows, c_rows| {
+        blocked_rows(a, b, c_rows, i0, rows, k, n);
+    });
+}
+
+/// Cache-blocked accumulation of rows `i0..i0+rows` of `C += A·B`.
+fn blocked_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     let mut jb = 0;
     while jb < n {
         let jend = (jb + BLOCK).min(n);
         let mut pb = 0;
         while pb < k {
             let pend = (pb + BLOCK).min(k);
-            for i in 0..m {
-                let arow = &a[i * k..(i + 1) * k];
-                let crow = &mut c[i * n + jb..i * n + jend];
+            for i in 0..rows {
+                let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
+                let crow = &mut c_rows[i * n + jb..i * n + jend];
                 for p in pb..pend {
                     let av = arow[p];
                     if av == 0.0 {
@@ -206,6 +285,103 @@ mod tests {
         assert!(approx_eq(&matmul_a_bt(&a2, &c).unwrap(), &want2, 1e-4));
     }
 
+    /// Direct naive references for the transposed kernels — the existing test
+    /// above routes through `matmul`, which would hide a shared bug.
+    #[test]
+    fn transposed_variants_match_naive_triple_loop() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        // Include exact zeros so the `av == 0.0` skip branch is exercised.
+        let mut a = crate::init::uniform([33, 47], -1.0, 1.0, &mut rng);
+        for v in a.as_mut_slice().iter_mut().step_by(3) {
+            *v = 0.0;
+        }
+        let b = crate::init::uniform([33, 21], -1.0, 1.0, &mut rng);
+        let got = matmul_at_b(&a, &b).unwrap();
+        let (k, m) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut want = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(&[p, i]) * b.get(&[p, j]);
+                }
+                want.set(&[i, j], s);
+            }
+        }
+        assert!(approx_eq(&got, &want, 1e-4));
+
+        let a2 = crate::init::uniform([17, 29], -1.0, 1.0, &mut rng);
+        let b2 = crate::init::uniform([23, 29], -1.0, 1.0, &mut rng);
+        let got2 = matmul_a_bt(&a2, &b2).unwrap();
+        let (m2, k2) = (a2.dims()[0], a2.dims()[1]);
+        let n2 = b2.dims()[0];
+        let mut want2 = Tensor::zeros([m2, n2]);
+        for i in 0..m2 {
+            for j in 0..n2 {
+                let mut s = 0.0;
+                for p in 0..k2 {
+                    s += a2.get(&[i, p]) * b2.get(&[j, p]);
+                }
+                want2.set(&[i, j], s);
+            }
+        }
+        assert!(approx_eq(&got2, &want2, 1e-4));
+    }
+
+    /// Products big enough to actually thread must equal the serial result
+    /// bit-for-bit (disjoint output rows, identical accumulation order).
+    #[test]
+    fn threaded_products_bit_identical_to_serial() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(14);
+        // 96·80·96 ≈ 737k MACs — clears PAR_MIN_MACS.
+        let a = crate::init::uniform([96, 80], -1.0, 1.0, &mut rng);
+        let b = crate::init::uniform([80, 96], -1.0, 1.0, &mut rng);
+        let at = a.transpose2d().unwrap(); // 80×96
+        let bt = b.transpose2d().unwrap(); // 96×80
+
+        // Serial references computed with threading structurally disabled by
+        // running the row-range bodies over the full range.
+        let mut c_ref = Tensor::zeros([96, 96]);
+        blocked_rows(
+            a.as_slice(),
+            b.as_slice(),
+            c_ref.as_mut_slice(),
+            0,
+            96,
+            80,
+            96,
+        );
+        assert_eq!(matmul(&a, &b).unwrap().as_slice(), c_ref.as_slice());
+
+        let mut atb_ref = Tensor::zeros([96, 96]);
+        at_b_rows(
+            at.as_slice(),
+            b.as_slice(),
+            atb_ref.as_mut_slice(),
+            0,
+            96,
+            96,
+            80,
+            96,
+        );
+        assert_eq!(matmul_at_b(&at, &b).unwrap().as_slice(), atb_ref.as_slice());
+
+        let mut abt_ref = Tensor::zeros([96, 96]);
+        a_bt_rows(
+            a.as_slice(),
+            bt.as_slice(),
+            abt_ref.as_mut_slice(),
+            0,
+            96,
+            80,
+            96,
+        );
+        assert_eq!(matmul_a_bt(&a, &bt).unwrap().as_slice(), abt_ref.as_slice());
+    }
+
     #[test]
     fn dim_mismatch_rejected() {
         let a = Tensor::zeros([2, 3]);
@@ -217,6 +393,16 @@ mod tests {
                 rhs_rows: 4
             })
         ));
+    }
+
+    #[test]
+    fn degenerate_dims_ok() {
+        let a = Tensor::zeros([0, 5]);
+        let b = Tensor::zeros([5, 4]);
+        assert_eq!(matmul(&a, &b).unwrap().dims(), &[0, 4]);
+        let c = Tensor::zeros([3, 0]);
+        let d = Tensor::zeros([0, 2]);
+        assert_eq!(matmul(&c, &d).unwrap().dims(), &[3, 2]);
     }
 
     #[test]

@@ -4,4 +4,5 @@ pub mod conv;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;
+pub mod spmm;
 pub mod topk;

@@ -6,13 +6,44 @@
 //! inline — results are bit-identical either way because samples never share
 //! output memory.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set inside [`parallel_for_chunks`] worker threads so nested kernels
+    /// (a matmul called from a sample-parallel convolution worker) run
+    /// inline instead of oversubscribing the machine with threads-in-threads.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already a [`parallel_for_chunks`] worker.
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(|flag| flag.get())
+}
+
+/// Runs `f` with all parallel kernels forced inline on the current thread —
+/// the same execution as `NDSNN_THREADS=1`, but scoped and race-free (no
+/// process-global environment mutation). Used by the bit-identity tests that
+/// compare threaded against single-threaded kernel results.
+pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_WORKER.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
 
 /// Number of worker threads to use for sample-parallel kernels.
 ///
 /// Defaults to the available parallelism, clamped to the job count; honors
 /// the `NDSNN_THREADS` environment variable (0 or 1 disables threading).
+/// Inside an already-parallel region this is always 1 (nested kernels run
+/// inline on their worker's core).
 pub fn worker_threads(jobs: usize) -> usize {
+    if in_parallel_worker() {
+        return 1;
+    }
     let hw = std::env::var("NDSNN_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
@@ -49,20 +80,22 @@ where
     let f = &f;
     let jobs = &jobs;
     let next = &next;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(move |_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= jobs.len() {
-                    break;
-                }
-                if let Some((i, chunk)) = jobs[idx].lock().expect("job mutex").take() {
-                    f(i, chunk);
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= jobs.len() {
+                        break;
+                    }
+                    if let Some((i, chunk)) = jobs[idx].lock().expect("job mutex").take() {
+                        f(i, chunk);
+                    }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

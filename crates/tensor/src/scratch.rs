@@ -1,0 +1,134 @@
+//! Grow-once scratch buffer pool for kernel workspaces.
+//!
+//! The convolution kernels need im2col/col2im workspaces whose size depends
+//! only on the layer geometry. Allocating them per call costs an
+//! `alloc + memset` on the BPTT hot path for every sample × timestep × epoch.
+//! A [`ScratchPool`] owned by the layer amortizes that: buffers are taken,
+//! used, and returned, and each buffer grows at most once per distinct
+//! geometry it serves (capacity is retained across uses).
+//!
+//! The pool is `Sync` (a mutex guards the free list) so sample-parallel
+//! workers can take distinct buffers concurrently; a buffer is only ever
+//! owned by one worker at a time.
+
+use std::sync::Mutex;
+
+/// A pool of reusable `Vec<f32>` workspaces.
+///
+/// `take` hands out a buffer with *unspecified contents* (retained elements
+/// keep stale values); use [`ScratchPool::take_zeroed`] when the kernel reads
+/// before writing. Buffers not returned via [`ScratchPool::give`] are simply
+/// dropped — the pool never leaks, it just re-allocates next time.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer of exactly `len` elements with unspecified contents.
+    ///
+    /// Prefers a pooled buffer whose capacity already covers `len` (no
+    /// allocation); otherwise grows a pooled buffer or allocates fresh.
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        let mut free = self.free.lock().expect("scratch pool mutex");
+        if let Some(pos) = free.iter().position(|b| b.capacity() >= len) {
+            let mut buf = free.swap_remove(pos);
+            buf.resize(len, 0.0);
+            return buf;
+        }
+        if let Some(mut buf) = free.pop() {
+            drop(free);
+            buf.resize(len, 0.0);
+            return buf;
+        }
+        drop(free);
+        vec![0.0; len]
+    }
+
+    /// Takes a buffer of exactly `len` elements, all zero.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.lock().expect("scratch pool mutex").push(buf);
+    }
+
+    /// Number of buffers currently idle in the pool.
+    pub fn idle_buffers(&self) -> usize {
+        self.free.lock().expect("scratch pool mutex").len()
+    }
+
+    /// Total f32 capacity retained across idle buffers.
+    pub fn retained_capacity(&self) -> usize {
+        self.free
+            .lock()
+            .expect("scratch pool mutex")
+            .iter()
+            .map(|b| b.capacity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_reuses_capacity() {
+        let pool = ScratchPool::new();
+        let buf = pool.take(128);
+        assert_eq!(buf.len(), 128);
+        let ptr = buf.as_ptr();
+        pool.give(buf);
+        assert_eq!(pool.idle_buffers(), 1);
+        // Same or smaller request reuses the same allocation.
+        let again = pool.take(64);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.len(), 64);
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn grows_at_most_once_per_geometry_change() {
+        let pool = ScratchPool::new();
+        pool.give(pool.take(16));
+        // A larger request grows the pooled buffer in place of allocating
+        // a second one; the pool keeps a single buffer afterwards.
+        pool.give(pool.take(1024));
+        assert_eq!(pool.idle_buffers(), 1);
+        assert!(pool.retained_capacity() >= 1024);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let pool = ScratchPool::new();
+        let mut buf = pool.take(8);
+        buf.fill(3.5);
+        pool.give(buf);
+        let clean = pool.take_zeroed(8);
+        assert!(clean.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn concurrent_takes_get_distinct_buffers() {
+        let pool = ScratchPool::new();
+        let a = pool.take(32);
+        let b = pool.take(32);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        pool.give(a);
+        pool.give(b);
+        assert_eq!(pool.idle_buffers(), 2);
+    }
+}

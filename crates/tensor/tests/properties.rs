@@ -142,6 +142,62 @@ proptest! {
         }
     }
 
+    /// Threaded matmuls must be bit-identical to `NDSNN_THREADS=1` on random
+    /// shapes: workers own disjoint output-row ranges and run the same
+    /// per-row loop, so the accumulation order never depends on the thread
+    /// count. Shapes range past the parallel threshold (`m·k·n ≥ 2¹⁷`) so
+    /// both the inline and the threaded dispatch are exercised.
+    #[test]
+    fn threaded_matmuls_bit_identical_to_serial(
+        m in 1usize..80, k in 1usize..80, n in 1usize..80, seed in 0u64..1000,
+    ) {
+        use ndsnn_tensor::parallel::run_serial;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ndsnn_tensor::init::uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = ndsnn_tensor::init::uniform([k, n], -1.0, 1.0, &mut rng);
+        let at = a.transpose2d().unwrap();
+        let bt = b.transpose2d().unwrap();
+
+        let threaded = matmul(&a, &b).unwrap();
+        let serial = run_serial(|| matmul(&a, &b)).unwrap();
+        prop_assert_eq!(threaded.as_slice(), serial.as_slice());
+
+        let threaded = matmul_at_b(&at, &b).unwrap();
+        let serial = run_serial(|| matmul_at_b(&at, &b)).unwrap();
+        prop_assert_eq!(threaded.as_slice(), serial.as_slice());
+
+        let threaded = matmul_a_bt(&a, &bt).unwrap();
+        let serial = run_serial(|| matmul_a_bt(&a, &bt)).unwrap();
+        prop_assert_eq!(threaded.as_slice(), serial.as_slice());
+    }
+
+    /// Same bit-identity guarantee for the sample-parallel convolution:
+    /// forward workers write disjoint outputs; backward blocks are fixed by
+    /// the batch size and reduce in block order regardless of threads.
+    #[test]
+    fn threaded_conv_bit_identical_to_serial(
+        b in 1usize..12, cin in 1usize..4, f in 1usize..5, seed in 0u64..500,
+    ) {
+        use ndsnn_tensor::parallel::run_serial;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::square(cin, f, 3, 1, 1);
+        let x = ndsnn_tensor::init::uniform([b, cin, 7, 7], -1.0, 1.0, &mut rng);
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+
+        let fwd = conv2d_forward(&x, &w, None, &g).unwrap();
+        let fwd_serial = run_serial(|| conv2d_forward(&x, &w, None, &g)).unwrap();
+        prop_assert_eq!(fwd.as_slice(), fwd_serial.as_slice());
+
+        let gy = ndsnn_tensor::init::uniform(fwd.shape().clone(), -1.0, 1.0, &mut rng);
+        let bwd = conv2d_backward(&x, &w, &gy, &g).unwrap();
+        let bwd_serial = run_serial(|| conv2d_backward(&x, &w, &gy, &g)).unwrap();
+        prop_assert_eq!(bwd.input_grad.as_slice(), bwd_serial.input_grad.as_slice());
+        prop_assert_eq!(bwd.weight_grad.as_slice(), bwd_serial.weight_grad.as_slice());
+        prop_assert_eq!(bwd.bias_grad.as_slice(), bwd_serial.bias_grad.as_slice());
+    }
+
     #[test]
     fn conv_gradient_is_adjoint(seed in 0u64..500) {
         // <conv(x), gy> == <x, conv_backward_input(gy)> for linear conv.

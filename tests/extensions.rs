@@ -123,6 +123,103 @@ fn confusion_matrix_agrees_with_accuracy() {
     assert!((confusion.accuracy() - correct as f64 / total as f64).abs() < 1e-12);
 }
 
+/// The row-sparse execution engine must be a pure execution-strategy change:
+/// training with every masked layer forced through the sparse kernels
+/// produces the same loss trajectory (within f32 tolerance) as forced-dense
+/// execution, with *identical* drop/grow decisions, mask updates, and final
+/// live-weight counts. `dW` is always computed densely, so the drop-and-grow
+/// inputs match bit-for-bit; only `W·x` / `Wᵀ·gy` accumulation order differs.
+#[test]
+fn sparse_dispatch_matches_dense_trajectory() {
+    use ndsnn_sparse::distribution::Distribution;
+    let cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.7,
+            final_sparsity: 0.9,
+        },
+    );
+    let (train, _) = build_datasets(&cfg);
+    let config = DynamicConfig {
+        initial_sparsity: 0.7,
+        final_sparsity: 0.9,
+        trajectory: SparsityTrajectory::CubicIncrease,
+        death_initial: 0.3,
+        death_min: 0.1,
+        update: UpdateSchedule::new(0, 2, 8).unwrap(),
+        growth: GrowthMode::Gradient,
+        distribution: Distribution::Erk,
+        seed: 3,
+    };
+
+    // Returns (per-batch losses, update history, per-layer masks, live
+    // weights per layer, number of layers that ran through the sparse path).
+    type Trace = (
+        Vec<f32>,
+        Vec<(usize, usize, usize)>,
+        Vec<(String, Vec<f32>)>,
+        Vec<(String, usize)>,
+        usize,
+    );
+    let run = |threshold: f64| -> Trace {
+        let mut net = build_network(&cfg).unwrap();
+        let mut engine = DynamicEngine::with_label("NDSNN", config).unwrap();
+        engine.set_density_threshold(threshold);
+        engine.init(&mut net.layers).unwrap();
+        let loader = BatchLoader::eval(cfg.batch_size);
+        let mut opt = Sgd::new(cfg.sgd);
+        let mut losses = Vec::new();
+        let mut planned = 0usize;
+        let mut step = 0;
+        for epoch in 0..3 {
+            for batch in loader.epoch(&train, epoch) {
+                let stats = net.train_batch(&batch.images, &batch.labels).unwrap();
+                losses.push(stats.loss);
+                engine.before_optim(step, &mut net.layers).unwrap();
+                opt.step(&mut net.layers).unwrap();
+                engine.after_optim(step, &mut net.layers).unwrap();
+                step += 1;
+            }
+        }
+        let mut live = Vec::new();
+        net.layers.for_each_param(&mut |p| {
+            if p.is_sparsifiable() {
+                planned += usize::from(p.plan.is_some());
+                live.push((p.name.clone(), p.value.count_nonzero()));
+            }
+        });
+        let history = engine
+            .history()
+            .iter()
+            .map(|e| (e.step, e.dropped, e.grown))
+            .collect();
+        let masks = engine
+            .mask_set()
+            .unwrap()
+            .iter()
+            .map(|(n, m)| (n.clone(), m.as_slice().to_vec()))
+            .collect();
+        (losses, history, masks, live, planned)
+    };
+
+    let (dense_losses, dense_hist, dense_masks, dense_live, dense_planned) = run(-1.0);
+    let (sp_losses, sp_hist, sp_masks, sp_live, sp_planned) = run(1.5);
+    assert_eq!(dense_planned, 0, "negative threshold must stay dense");
+    assert!(sp_planned > 0, "sparse run installed no exec plans");
+
+    assert_eq!(dense_losses.len(), sp_losses.len());
+    for (i, (a, b)) in dense_losses.iter().zip(&sp_losses).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-3 * (1.0 + a.abs()),
+            "loss diverged at batch {i}: dense {a} vs sparse {b}"
+        );
+    }
+    assert_eq!(dense_hist, sp_hist, "drop/grow decisions diverged");
+    assert_eq!(dense_masks, sp_masks, "mask topologies diverged");
+    assert_eq!(dense_live, sp_live, "final live-weight counts diverged");
+}
+
 /// ITOP through the public engine API: exploration strictly exceeds the
 /// instantaneous density after enough drop-and-grow rounds.
 #[test]

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! A timing-only benchmark harness implementing the API surface
+//! `ndsnn-bench` uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `warm_up_time`/`measurement_time`/`sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! `Bencher::iter`. No statistical regression analysis, plots, or HTML
+//! reports — each benchmark warms up, takes `sample_size` timed samples,
+//! and prints the median/mean ns per iteration.
+//!
+//! For machine-readable output (used by the `results/` perf records in this
+//! repository), set `NDSNN_BENCH_JSON=/path/to/file` and every benchmark
+//! appends one JSON line: `{"id":…,"median_ns":…,"mean_ns":…,"min_ns":…,
+//! "samples":…,"iters_per_sample":…}`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; holds nothing but exists for API parity.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// API-parity no-op (the real crate reads CLI filters here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total time budget split across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.report);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.report);
+        self
+    }
+
+    /// Ends the group (API parity; reporting happens per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, report: Option<Report>) {
+        let Some(r) = report else {
+            eprintln!(
+                "bench {}/{id}: no measurement (b.iter never called)",
+                self.name
+            );
+            return;
+        };
+        let full_id = format!("{}/{id}", self.name);
+        println!(
+            "bench {full_id}: median {:.1} ns/iter, mean {:.1} ns/iter ({} samples x {} iters)",
+            r.median_ns, r.mean_ns, r.samples, r.iters_per_sample
+        );
+        if let Ok(path) = std::env::var("NDSNN_BENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"id\":\"{full_id}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                    r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample
+                );
+                let written = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut file| file.write_all(line.as_bytes()));
+                if let Err(e) = written {
+                    eprintln!("bench {full_id}: could not append to {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+struct Report {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Warms up, then measures `f` over `sample_size` samples; the closure's
+    /// return value is passed through [`black_box`] so the work is not
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also yields a per-iteration estimate for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        let per_sample = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / est_ns.max(1.0)) as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        self.report = Some(Report {
+            median_ns,
+            mean_ns,
+            min_ns: per_iter_ns[0],
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

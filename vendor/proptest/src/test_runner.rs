@@ -1,0 +1,125 @@
+//! Case execution: config, seeding, and the run loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`cases` subset).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; kept for parity since every heavy
+        // test in the workspace sets its own (smaller) count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Non-panicking failure channel for a single case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The sampled input did not meet a `prop_assume!` precondition; the
+    /// case is resampled and not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A precondition rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic 64-bit seed from a test's module path (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` accepted cases pass, panicking on the
+/// first failure. Rejections are retried with fresh samples up to a cap so a
+/// wrong `prop_assume!` cannot loop forever.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let max_rejects = (config.cases as u64).saturating_mul(200).max(10_000);
+    let mut accepted = 0u32;
+    let mut rejects = 0u64;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(msg)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest {name}: gave up after {rejects} rejected cases (last: {msg})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case {accepted} failed\n{msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("a::b"), seed_for("a::b"));
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    #[test]
+    fn run_counts_accepted_only() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("even"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 19, "10 accepted + 9 interleaved rejects");
+    }
+
+    #[test]
+    #[should_panic(expected = "case 3 failed")]
+    fn failure_panics_with_case_index() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            calls += 1;
+            if calls == 4 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde` (1.x API subset).
+//!
+//! The workspace serializes experiment records through its own JSON
+//! `Serializer` (`ndsnn-metrics::json`) and derives `Serialize`/`Deserialize`
+//! on plain config/record types — no format crate, no deserialization at
+//! runtime. This vendored crate provides exactly that contract:
+//!
+//! - the [`ser`] module: `Serialize`, `Serializer`, the seven compound
+//!   traits, and `Error` — signature-compatible with real serde for the
+//!   methods this workspace implements and calls;
+//! - `Serialize` impls for the primitive/std types that appear in derived
+//!   structs (integers, floats, `bool`, `char`, strings, slices, `Vec`,
+//!   `Option`, tuples, arrays, `BTreeMap`, `HashMap`);
+//! - a marker [`de::Deserialize`] trait so `#[derive(Deserialize)]` and
+//!   `use serde::Deserialize` compile (nothing in the workspace ever calls
+//!   a deserializer);
+//! - re-exported derive macros from the companion `serde_derive` stub.
+
+pub mod ser;
+
+pub mod de {
+    //! Deserialization marker.
+    //!
+    //! No format crate exists in this workspace, so deserialization is never
+    //! invoked; the trait exists only so `#[derive(Deserialize)]` and trait
+    //! imports compile.
+
+    /// Marker trait standing in for `serde::de::Deserialize`.
+    pub trait Deserialize<'de>: Sized {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,363 @@
+//! Serialization traits (`serde::ser` subset) and primitive impls.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Error type contract for serializers.
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can drive a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format backend.
+///
+/// Method-for-method the subset of `serde::Serializer` that the workspace's
+/// JSON exporter implements; there are no `i128`/`u128` or `collect_*`
+/// methods because nothing here uses them.
+pub trait Serializer: Sized {
+    /// Success value returned when serialization completes.
+    type Ok;
+    /// Error type for this serializer.
+    type Error: Error;
+    /// Sequence sub-serializer.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple sub-serializer.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct sub-serializer.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant sub-serializer.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Map sub-serializer.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant sub-serializer.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the payload of `Option::Some`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct (`struct Unit;`).
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct (`struct N(T);`).
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a one-field tuple enum variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins a multi-field tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// In-progress sequence.
+pub trait SerializeSeq {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple.
+pub trait SerializeTuple {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple struct.
+pub trait SerializeTupleStruct {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the tuple struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple enum variant.
+pub trait SerializeTupleVariant {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress map.
+pub trait SerializeMap {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one key.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the value paired with the previous key.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress struct.
+pub trait SerializeStruct {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Closes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress struct enum variant.
+pub trait SerializeStructVariant {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Closes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_impl {
+    ($($ty:ty => $method:ident as $cast:ty,)*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $cast)
+            }
+        }
+    )*};
+}
+
+primitive_impl! {
+    bool => serialize_bool as bool,
+    i8 => serialize_i8 as i8,
+    i16 => serialize_i16 as i16,
+    i32 => serialize_i32 as i32,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u8 as u8,
+    u16 => serialize_u16 as u16,
+    u32 => serialize_u32 as u32,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f32 as f32,
+    f64 => serialize_f64 as f64,
+    char => serialize_char as char,
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident . $idx:tt),+) with $len:expr,)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A.0) with 1,
+    (A.0, B.1) with 2,
+    (A.0, B.1, C.2) with 3,
+    (A.0, B.1, C.2, D.3) with 4,
+    (A.0, B.1, C.2, D.3, E.4) with 5,
+    (A.0, B.1, C.2, D.3, E.4, F.5) with 6,
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes that actually occur in the NDSNN workspace: non-generic structs
+//! (named-field, tuple, unit) and non-generic enums (unit, struct, and tuple
+//! variants) with no `#[serde(...)]` attributes. Parsing is done directly on
+//! the `proc_macro` token stream and code generation by string assembly, so
+//! the crate has zero dependencies — a requirement, since this build
+//! environment cannot reach crates.io for `syn`/`quote`.
+//!
+//! Unsupported shapes (generics, discriminants, serde attributes) panic with
+//! a clear message at expansion time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (field order preserved, externally-tagged
+/// enum representation — matching real serde's defaults).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    match &item.shape {
+        Shape::UnitStruct => {
+            let _ = write!(body, "serializer.serialize_unit_struct(\"{}\")", item.name);
+        }
+        Shape::NewtypeStruct => {
+            let _ = write!(
+                body,
+                "serializer.serialize_newtype_struct(\"{}\", &self.0)",
+                item.name
+            );
+        }
+        Shape::TupleStruct(n) => {
+            let _ = write!(
+                body,
+                "let mut state = ::serde::Serializer::serialize_tuple_struct(serializer, \"{}\", {n}usize)?;",
+                item.name
+            );
+            for i in 0..*n {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+        }
+        Shape::NamedStruct(fields) => {
+            let _ = write!(
+                body,
+                "let mut state = ::serde::Serializer::serialize_struct(serializer, \"{}\", {}usize)?;",
+                item.name,
+                fields.len()
+            );
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for (idx, v) in variants.iter().enumerate() {
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            body,
+                            "{0}::{1} => serializer.serialize_unit_variant(\"{0}\", {2}u32, \"{1}\"),",
+                            item.name, v.name, idx
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{0}::{1}(__f0) => serializer.serialize_newtype_variant(\"{0}\", {2}u32, \"{1}\", __f0),",
+                            item.name, v.name, idx
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{0}::{1}({3}) => {{ let mut state = ::serde::Serializer::serialize_tuple_variant(serializer, \"{0}\", {2}u32, \"{1}\", {4}usize)?;",
+                            item.name,
+                            v.name,
+                            idx,
+                            binds.join(", "),
+                            n
+                        );
+                        for b in &binds {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(state) }");
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = write!(
+                            body,
+                            "{0}::{1} {{ {3} }} => {{ let mut state = ::serde::Serializer::serialize_struct_variant(serializer, \"{0}\", {2}u32, \"{1}\", {4}usize)?;",
+                            item.name,
+                            v.name,
+                            idx,
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{f}\", {f})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(state) }");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "#[automatically_derived] impl ::serde::Serialize for {} {{ \
+           fn serialize<__S: ::serde::Serializer>(&self, serializer: __S) \
+               -> ::core::result::Result<__S::Ok, __S::Error> {{ {body} }} \
+         }}",
+        item.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace's marker `serde::de::Deserialize` trait.
+///
+/// Nothing in the workspace ever drives a deserializer (there is no format
+/// crate), so the derived impl is intentionally empty.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::de::Deserialize<'de> for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing of the derive input item.
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type `{name}` is not supported by the vendored serde_derive");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_top_level(g.stream()).len();
+                if n == 1 {
+                    Shape::NewtypeStruct
+                } else {
+                    Shape::TupleStruct(n)
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Skips `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility prefix, returning the next index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` must be followed by a bracket group: consume both.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token stream on commas that are outside any `<...>` nesting.
+/// Parens/brackets/braces are atomic groups in the token tree, so only angle
+/// brackets need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from a named-field body (`a: T, b: U, ...`).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses enum variants (`A`, `B { x: T }`, `C(T, U)`).
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected variant name, found {other:?}"),
+            };
+            let fields = match chunk.get(i + 1) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("derive: explicit discriminant on variant `{name}` is not supported")
+                }
+                other => panic!("derive: unsupported variant body after `{name}`: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
