@@ -6,10 +6,18 @@
 //! run_single [--profile smoke|small|paper] [--arch vgg16|resnet19|lenet5]
 //!            [--dataset cifar10|cifar100|tiny] [--method dense|ndsnn|set|rigl|lth|admm]
 //!            [--sparsity <f64>] [--initial <f64>] [--timesteps <n>] [--seed <n>]
+//!            [--checkpoint-dir <path>] [--checkpoint-every <n>] [--resume]
 //! ```
+//!
+//! With `--checkpoint-dir` the run goes through the crash-safe path
+//! (`trainer::run_recoverable`): a full-state generation is written every
+//! `--checkpoint-every` optimizer steps and `--resume` continues
+//! bit-identically from the newest valid one. The fault policy comes from
+//! `NDSNN_FAULT_POLICY` (abort|skip|rollback).
 
 use ndsnn::config::{DatasetKind, MethodSpec};
 use ndsnn::profile::Profile;
+use ndsnn::recovery::RecoveryOptions;
 use ndsnn::trainer;
 use ndsnn_snn::models::Architecture;
 
@@ -71,6 +79,19 @@ fn main() {
     }
     cfg.image_size = cfg.image_size.max(trainer::min_image_size(arch));
     eprintln!("running {}", cfg.describe());
-    let result = trainer::run(&cfg).expect("run failed");
+    let result = match get("--checkpoint-dir") {
+        Some(dir) => {
+            if let Some(n) = get("--checkpoint-every").and_then(|s| s.parse().ok()) {
+                cfg.checkpoint_every = n;
+            }
+            let mut recovery = RecoveryOptions::with_dir(dir);
+            if args.iter().any(|a| a == "--resume") {
+                recovery = recovery.resuming();
+            }
+            let (train, test) = trainer::build_datasets(&cfg);
+            trainer::run_recoverable(&cfg, &train, &test, &recovery).expect("run failed")
+        }
+        None => trainer::run(&cfg).expect("run failed"),
+    };
     println!("{}", result.to_json());
 }

@@ -1,21 +1,40 @@
-//! Model and mask checkpointing.
+//! Model, mask and full-run-state checkpointing.
 //!
 //! LTH-style workflows need to save initial weights and resume runs; edge
-//! deployment needs to ship a trained sparse model. This module provides a
-//! compact binary container over the tensor codec of `ndsnn-tensor`:
+//! deployment needs to ship a trained sparse model; crash-safe training
+//! needs to persist the *entire* run state. Two binary containers over the
+//! tensor codec of `ndsnn-tensor` cover all three:
+//!
+//! **NDCKPT1** — name→tensor, no integrity protection (legacy weight/mask
+//! files):
 //!
 //! ```text
 //! magic "NDCKPT1\0" | u32 entry count | entries…
 //! entry: u32 name_len | name bytes | u64 payload_len | tensor codec bytes
 //! ```
 //!
-//! Entries are parameter tensors keyed by `Param::name`; mask sets use the
-//! same container with mask names. Loading matches entries to the model's
-//! parameters by name and validates shapes.
+//! **NDCKPT2** — name→bytes with a per-entry CRC32, the substrate of the
+//! crash-safe full-run-state checkpoints written by
+//! [`crate::trainer::run_recoverable`] (payloads are tensor-codec bytes for
+//! tensors and the little-endian scalar packing of [`crate::recovery`] for
+//! everything else):
+//!
+//! ```text
+//! magic "NDCKPT2\0" | u32 entry count | entries…
+//! entry: u32 name_len | name bytes | u64 payload_len | payload bytes
+//!        | u32 crc32(name bytes ‖ payload bytes)
+//! ```
+//!
+//! Both decoders treat the input as hostile: truncation, duplicate names,
+//! oversized lengths and (for NDCKPT2) checksum mismatches are errors, never
+//! panics. On-disk, NDCKPT2 files are written atomically — temp file, fsync,
+//! rename, directory fsync — and kept in numbered generations so a torn or
+//! corrupted newest checkpoint falls back to the previous good one (see
+//! [`write_generation`] / [`load_latest_valid`]).
 
 use std::collections::BTreeMap;
 use std::io::{Read as _, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, BytesMut};
 use ndsnn_snn::layers::Layer;
@@ -25,9 +44,28 @@ use ndsnn_tensor::{serialize as tcodec, Tensor};
 use crate::error::{NdsnnError, Result};
 
 const MAGIC: &[u8; 8] = b"NDCKPT1\0";
+const MAGIC2: &[u8; 8] = b"NDCKPT2\0";
+
+/// Longest accepted entry name in either container format.
+const MAX_NAME_LEN: usize = 4096;
 
 fn io_err(e: std::io::Error) -> NdsnnError {
-    NdsnnError::InvalidConfig(format!("checkpoint io error: {e}"))
+    NdsnnError::Io(format!("checkpoint io error: {e}"))
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bitwise implementation.
+/// Checkpoint payloads are a few MB at most, so table-free is fast enough
+/// and keeps the codec dependency-light.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// Encodes a name→tensor map into the container format.
@@ -63,8 +101,14 @@ pub fn decode_entries(mut data: &[u8]) -> Result<BTreeMap<String, Tensor>> {
             return Err(corrupt("truncated entry header"));
         }
         let name_len = data.get_u32_le() as usize;
-        if data.remaining() < name_len || name_len > 4096 {
+        // Check plausibility before availability: a corrupted length in the
+        // u32 range would otherwise report "truncated" for data that was
+        // never valid to begin with.
+        if name_len > MAX_NAME_LEN {
             return Err(corrupt("bad name length"));
+        }
+        if data.remaining() < name_len {
+            return Err(corrupt("truncated name"));
         }
         let mut name_bytes = vec![0u8; name_len];
         data.copy_to_slice(&mut name_bytes);
@@ -79,9 +123,195 @@ pub fn decode_entries(mut data: &[u8]) -> Result<BTreeMap<String, Tensor>> {
         let tensor = tcodec::decode(&data[..payload_len])
             .map_err(|e| corrupt(&format!("tensor {name}: {e}")))?;
         data.advance(payload_len);
+        if out.contains_key(&name) {
+            // A later entry silently shadowing an earlier one would make the
+            // loaded state depend on encoder quirks; refuse instead.
+            return Err(corrupt(&format!("duplicate entry {name}")));
+        }
         out.insert(name, tensor);
     }
     Ok(out)
+}
+
+/// Encodes a name→bytes map into the checksummed NDCKPT2 container.
+pub fn encode_blobs(entries: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC2);
+    buf.put_u32_le(entries.len() as u32);
+    for (name, payload) in entries {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(payload);
+        let mut crc_input = Vec::with_capacity(name.len() + payload.len());
+        crc_input.extend_from_slice(name.as_bytes());
+        crc_input.extend_from_slice(payload);
+        buf.put_u32_le(crc32(&crc_input));
+    }
+    buf.to_vec()
+}
+
+/// Decodes a container produced by [`encode_blobs`], verifying every
+/// entry's CRC32. Any corruption — truncation, bit flips, duplicate names —
+/// yields an `Err`; this function never panics on malformed input.
+pub fn decode_blobs(mut data: &[u8]) -> Result<BTreeMap<String, Vec<u8>>> {
+    let corrupt = |msg: &str| NdsnnError::InvalidConfig(format!("corrupt checkpoint: {msg}"));
+    if data.len() < MAGIC2.len() + 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC2 {
+        return Err(corrupt("bad magic"));
+    }
+    let count = data.get_u32_le() as usize;
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(corrupt("truncated entry header"));
+        }
+        let name_len = data.get_u32_le() as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(corrupt("bad name length"));
+        }
+        if data.remaining() < name_len {
+            return Err(corrupt("truncated name"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        data.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| corrupt("non-utf8 name"))?;
+        if data.remaining() < 8 {
+            return Err(corrupt("truncated payload length"));
+        }
+        let payload_len = data.get_u64_le() as usize;
+        if data.remaining() < payload_len + 4 {
+            return Err(corrupt("truncated payload"));
+        }
+        let payload = data[..payload_len].to_vec();
+        data.advance(payload_len);
+        let stored_crc = data.get_u32_le();
+        let mut crc_input = Vec::with_capacity(name.len() + payload.len());
+        crc_input.extend_from_slice(name.as_bytes());
+        crc_input.extend_from_slice(&payload);
+        if crc32(&crc_input) != stored_crc {
+            return Err(corrupt(&format!("checksum mismatch for entry {name}")));
+        }
+        if out.contains_key(&name) {
+            return Err(corrupt(&format!("duplicate entry {name}")));
+        }
+        out.insert(name, payload);
+    }
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes after last entry"));
+    }
+    Ok(out)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, then fsync the directory so the rename
+/// itself is durable. A crash at any point leaves either the old file or
+/// the new one — never a torn mixture.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(io_err(e));
+    }
+    // Directory fsync is best-effort: not all platforms/filesystems allow
+    // opening a directory for sync, and the rename is already atomic.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+/// Name of the generation file for checkpoint step `step`.
+fn generation_file(step: usize) -> String {
+    format!("ndckpt-{step:012}.ckpt")
+}
+
+/// Lists checkpoint generations in `dir`, sorted by ascending step. Files
+/// not matching the `ndckpt-<step>.ckpt` pattern are ignored.
+pub fn list_generations(dir: &Path) -> Result<Vec<(usize, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(step) = name
+            .strip_prefix("ndckpt-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        out.push((step, entry.path()));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes one checkpoint generation atomically and prunes old generations,
+/// keeping the newest `keep` (at least 2, so a bad newest file always has a
+/// fallback). Returns the path written.
+pub fn write_generation(
+    dir: &Path,
+    step: usize,
+    entries: &BTreeMap<String, Vec<u8>>,
+    keep: usize,
+) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let path = dir.join(generation_file(step));
+    write_atomic(&path, &encode_blobs(entries))?;
+    let keep = keep.max(2);
+    let generations = list_generations(dir)?;
+    if generations.len() > keep {
+        for (_, old) in &generations[..generations.len() - keep] {
+            std::fs::remove_file(old).ok();
+        }
+    }
+    Ok(path)
+}
+
+/// Loads the newest checkpoint generation in `dir` that passes validation.
+///
+/// Generations are tried newest-first; any that fail to read or decode
+/// (torn write, bit corruption, checksum mismatch) are skipped and reported
+/// in the second tuple element so callers can surface the degradation.
+/// Returns `Ok(None)` when no valid generation exists (including when `dir`
+/// does not exist).
+#[allow(clippy::type_complexity)]
+pub fn load_latest_valid(
+    dir: &Path,
+) -> Result<(Option<(usize, BTreeMap<String, Vec<u8>>)>, Vec<PathBuf>)> {
+    let mut skipped = Vec::new();
+    for (step, path) in list_generations(dir)?.into_iter().rev() {
+        let decoded = std::fs::read(&path)
+            .map_err(io_err)
+            .and_then(|data| decode_blobs(&data));
+        match decoded {
+            Ok(entries) => return Ok((Some((step, entries)), skipped)),
+            Err(_) => skipped.push(path),
+        }
+    }
+    Ok((None, skipped))
 }
 
 /// Extracts all trainable parameters *and* state buffers (batch-norm
@@ -116,6 +346,16 @@ pub fn load_model(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
         .read_to_end(&mut data)
         .map_err(io_err)?;
     let entries = decode_entries(&data)?;
+    restore_params_from_map(model, &entries)
+}
+
+/// Installs a name→tensor map (as produced by [`snapshot_params`]) back into
+/// a model: every parameter and state buffer must be present with a matching
+/// shape; extra map entries are ignored.
+pub fn restore_params_from_map(
+    model: &mut dyn Layer,
+    entries: &BTreeMap<String, Tensor>,
+) -> Result<()> {
     let mut error: Option<NdsnnError> = None;
     model.for_each_param(&mut |p| {
         if error.is_some() {
@@ -327,5 +567,144 @@ mod tests {
         let entries = BTreeMap::new();
         let decoded = decode_entries(&encode_entries(&entries)).unwrap();
         assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        // Hand-craft a container with the same name twice; the decoder must
+        // refuse rather than let the second entry shadow the first.
+        let one = encode_entries(&BTreeMap::from([("w".to_string(), Tensor::ones([2]))]));
+        let entry = &one[MAGIC.len() + 4..];
+        let mut doubled = Vec::new();
+        doubled.extend_from_slice(MAGIC);
+        doubled.extend_from_slice(&2u32.to_le_bytes());
+        doubled.extend_from_slice(entry);
+        doubled.extend_from_slice(entry);
+        let err = decode_entries(&doubled).unwrap_err();
+        assert!(err.to_string().contains("duplicate entry"), "{err}");
+    }
+
+    #[test]
+    fn oversized_name_rejected_before_truncation_check() {
+        // name_len far beyond the cap but also beyond the remaining bytes:
+        // the plausibility check must win over the availability check.
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&1u32.to_le_bytes());
+        data.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = decode_entries(&data).unwrap_err();
+        assert!(err.to_string().contains("bad name length"), "{err}");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn blob_map() -> BTreeMap<String, Vec<u8>> {
+        BTreeMap::from([
+            ("a".to_string(), vec![1u8, 2, 3]),
+            ("b/c".to_string(), Vec::new()),
+            ("t".to_string(), tcodec::encode(&Tensor::ones([3])).to_vec()),
+        ])
+    }
+
+    #[test]
+    fn blobs_round_trip() {
+        let entries = blob_map();
+        let decoded = decode_blobs(&encode_blobs(&entries)).unwrap();
+        assert_eq!(decoded, entries);
+        assert!(decode_blobs(&encode_blobs(&BTreeMap::new()))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn blob_bit_flip_detected() {
+        let encoded = encode_blobs(&blob_map());
+        // Flip one bit at every byte position; every variant must fail
+        // cleanly (CRC, magic, or structural check — never a panic or a
+        // silently different map).
+        let original = decode_blobs(&encoded).unwrap();
+        for i in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[i] ^= 0x10;
+            if let Ok(decoded) = decode_blobs(&bad) {
+                // A flip inside a length field can occasionally re-frame to
+                // a still-checksummed prefix; it must never equal the
+                // original content while claiming success.
+                assert_ne!(decoded, original, "undetected corruption at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blob_duplicate_rejected() {
+        let one = encode_blobs(&BTreeMap::from([("x".to_string(), vec![9u8; 4])]));
+        let entry = &one[MAGIC2.len() + 4..];
+        let mut doubled = Vec::new();
+        doubled.extend_from_slice(MAGIC2);
+        doubled.extend_from_slice(&2u32.to_le_bytes());
+        doubled.extend_from_slice(entry);
+        doubled.extend_from_slice(entry);
+        let err = decode_blobs(&doubled).unwrap_err();
+        assert!(err.to_string().contains("duplicate entry"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = tmp("atomicdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        write_atomic(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        write_atomic(&path, b"world").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"world");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_prune_and_fall_back() {
+        let dir = tmp("gendir");
+        std::fs::remove_dir_all(&dir).ok();
+        let entries = blob_map();
+        for step in [10usize, 20, 30, 40] {
+            write_generation(&dir, step, &entries, 2).unwrap();
+        }
+        let gens = list_generations(&dir).unwrap();
+        assert_eq!(
+            gens.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![30, 40],
+            "pruning must keep the newest two"
+        );
+        // Corrupt the newest generation; loading falls back to step 30.
+        let newest = &gens[1].1;
+        let mut data = std::fs::read(newest).unwrap();
+        let n = data.len();
+        data[n - 3] ^= 0xFF;
+        std::fs::write(newest, &data).unwrap();
+        let (loaded, skipped) = load_latest_valid(&dir).unwrap();
+        let (step, decoded) = loaded.unwrap();
+        assert_eq!(step, 30);
+        assert_eq!(decoded, entries);
+        assert_eq!(skipped, vec![newest.clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_valid_missing_dir_is_none() {
+        let dir = tmp("nosuchdir");
+        std::fs::remove_dir_all(&dir).ok();
+        let (loaded, skipped) = load_latest_valid(&dir).unwrap();
+        assert!(loaded.is_none());
+        assert!(skipped.is_empty());
     }
 }

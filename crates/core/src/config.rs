@@ -154,6 +154,11 @@ pub struct RunConfig {
     pub update_horizon: f64,
     /// Spiking neuron family (paper: fixed-decay LIF).
     pub neuron: NeuronKind,
+    /// Write a full-state checkpoint every this many optimizer steps
+    /// (0 disables periodic checkpointing). Takes effect only when a
+    /// checkpoint directory is supplied via
+    /// [`crate::recovery::RecoveryOptions`].
+    pub checkpoint_every: usize,
 }
 
 impl RunConfig {

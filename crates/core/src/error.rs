@@ -13,6 +13,14 @@ pub enum NdsnnError {
     Tensor(String),
     /// A run configuration is invalid.
     InvalidConfig(String),
+    /// A filesystem operation (checkpoint read/write) failed.
+    Io(String),
+    /// Training produced a non-finite or diverging value and the configured
+    /// fault policy is [`crate::recovery::FaultPolicy::Abort`].
+    NumericFault(String),
+    /// A fault deliberately injected by a test harness
+    /// [`crate::recovery::FaultPlan`] (e.g. a scheduled kill).
+    Injected(String),
 }
 
 impl fmt::Display for NdsnnError {
@@ -22,7 +30,16 @@ impl fmt::Display for NdsnnError {
             NdsnnError::Sparse(m) => write!(f, "sparse: {m}"),
             NdsnnError::Tensor(m) => write!(f, "tensor: {m}"),
             NdsnnError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            NdsnnError::Io(m) => write!(f, "io: {m}"),
+            NdsnnError::NumericFault(m) => write!(f, "numeric fault: {m}"),
+            NdsnnError::Injected(m) => write!(f, "injected fault: {m}"),
         }
+    }
+}
+
+impl From<std::io::Error> for NdsnnError {
+    fn from(e: std::io::Error) -> Self {
+        NdsnnError::Io(e.to_string())
     }
 }
 

@@ -25,8 +25,13 @@
 //!
 //! - [`config`]: run configuration ([`config::RunConfig`], [`config::MethodSpec`]),
 //! - [`checkpoint`]: binary save/load of model weights and sparse masks,
+//!   plus the crash-safe NDCKPT2 container (per-entry CRC32, atomic writes,
+//!   generation fallback),
+//! - [`recovery`]: full-run-state snapshots, numeric health policies and the
+//!   fault-injection harness ([`recovery::RecoveryOptions`]),
 //! - [`profile`]: smoke/small/paper scale presets,
-//! - [`trainer`]: the full training loop ([`trainer::run`]),
+//! - [`trainer`]: the full training loop ([`trainer::run`],
+//!   [`trainer::run_recoverable`]),
 //! - [`experiments`]: one driver per paper table/figure.
 //!
 //! ## Quickstart
@@ -53,6 +58,7 @@ pub mod config;
 mod error;
 pub mod experiments;
 pub mod profile;
+pub mod recovery;
 pub mod trainer;
 
 pub use error::{NdsnnError, Result};

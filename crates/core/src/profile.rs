@@ -160,6 +160,7 @@ impl Profile {
             delta_t: 8,
             update_horizon: 0.75,
             neuron: Default::default(),
+            checkpoint_every: 0,
         }
     }
 }

@@ -1,0 +1,939 @@
+//! Crash-safe training: fault policies, numeric health monitoring, fault
+//! injection, and the full-run-state snapshot codec (DESIGN.md §8).
+//!
+//! A [`RunSnapshot`] captures *everything* the training loop mutates —
+//! parameters and batch-norm buffers, SGD velocity, the sparse engine's
+//! masks/RNG/history, the input-encoder RNG, loop cursors, meters, traces and
+//! the numeric-health state — so a run killed at any optimizer step resumes
+//! **bit-identically** from the latest checkpoint generation, at any
+//! `NDSNN_THREADS` setting (the parallel kernels are bit-stable).
+//!
+//! Snapshots are serialized into the NDCKPT2 container
+//! ([`crate::checkpoint::encode_blobs`]): every entry carries its own CRC32,
+//! files are written atomically (temp + fsync + rename), and the last-good
+//! generation is kept so a torn or corrupted newest file falls back instead
+//! of failing the resume.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use bytes::{Buf, BufMut, BytesMut};
+use ndsnn_metrics::cost::ActivityTrace;
+use ndsnn_metrics::meters::{AccuracyMeter, AvgMeter, EpochRecord};
+use ndsnn_snn::layers::SpikeStats;
+use ndsnn_sparse::dynamic::UpdateEvent;
+use ndsnn_sparse::engine::EngineSnapshot;
+use ndsnn_sparse::mask::MaskSet;
+use ndsnn_tensor::{serialize as ndt, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NdsnnError, Result};
+use crate::profile::PhaseTimings;
+
+/// What the trainer does when the numeric health monitor trips
+/// (non-finite loss/gradients/weights or a diverging loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPolicy {
+    /// Stop the run with [`NdsnnError::NumericFault`].
+    Abort,
+    /// Drop the offending batch (no optimizer or engine update, no meter
+    /// contribution) and continue; the step counter still advances so the
+    /// drop-and-grow schedule stays aligned.
+    SkipBatch,
+    /// Reload the last good checkpoint generation, halve the learning rate
+    /// (`HealthConfig::lr_dampen`), and continue from there. Degrades to
+    /// [`FaultPolicy::SkipBatch`] when no checkpoint is available, and to
+    /// [`FaultPolicy::Abort`] after `HealthConfig::max_rollbacks` reloads.
+    RollbackAndDampen,
+}
+
+impl FaultPolicy {
+    /// Parses a policy name (`abort` / `skip` / `rollback`,
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "abort" => Some(FaultPolicy::Abort),
+            "skip" | "skipbatch" | "skip_batch" => Some(FaultPolicy::SkipBatch),
+            "rollback" | "rollbackanddampen" | "rollback_and_dampen" => {
+                Some(FaultPolicy::RollbackAndDampen)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads `NDSNN_FAULT_POLICY` from the environment; unset or
+    /// unrecognized values default to [`FaultPolicy::Abort`].
+    pub fn from_env() -> Self {
+        std::env::var("NDSNN_FAULT_POLICY")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or(FaultPolicy::Abort)
+    }
+}
+
+/// Numeric health monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Reaction to a detected fault.
+    pub policy: FaultPolicy,
+    /// Scan gradients for non-finite values every batch.
+    pub check_grads: bool,
+    /// Scan weights for non-finite values after every optimizer step.
+    pub check_weights: bool,
+    /// Loss-divergence window length (0 disables divergence detection).
+    pub divergence_window: usize,
+    /// A loss exceeding `divergence_factor ×` the window mean counts as
+    /// divergence.
+    pub divergence_factor: f64,
+    /// Learning-rate multiplier applied on each rollback.
+    pub lr_dampen: f32,
+    /// Rollbacks allowed before escalating to abort.
+    pub max_rollbacks: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            policy: FaultPolicy::from_env(),
+            check_grads: true,
+            check_weights: true,
+            divergence_window: 25,
+            divergence_factor: 50.0,
+            lr_dampen: 0.5,
+            max_rollbacks: 8,
+        }
+    }
+}
+
+/// What kind of numeric/injected fault was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The batch loss was NaN or infinite.
+    NonFiniteLoss,
+    /// A gradient contained NaN or infinite values.
+    NonFiniteGrad,
+    /// A weight contained NaN or infinite values after the optimizer step.
+    NonFiniteWeight,
+    /// The loss exceeded `divergence_factor ×` its recent window mean.
+    LossDivergence,
+    /// A checkpoint generation failed validation and was skipped.
+    CorruptCheckpoint,
+    /// A [`FaultPlan`] scheduled kill fired.
+    InjectedKill,
+}
+
+impl FaultKind {
+    fn code(self) -> u8 {
+        match self {
+            FaultKind::NonFiniteLoss => 0,
+            FaultKind::NonFiniteGrad => 1,
+            FaultKind::NonFiniteWeight => 2,
+            FaultKind::LossDivergence => 3,
+            FaultKind::CorruptCheckpoint => 4,
+            FaultKind::InjectedKill => 5,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self> {
+        Ok(match c {
+            0 => FaultKind::NonFiniteLoss,
+            1 => FaultKind::NonFiniteGrad,
+            2 => FaultKind::NonFiniteWeight,
+            3 => FaultKind::LossDivergence,
+            4 => FaultKind::CorruptCheckpoint,
+            5 => FaultKind::InjectedKill,
+            _ => return Err(corrupt(format!("unknown fault kind {c}"))),
+        })
+    }
+}
+
+/// How the trainer reacted to a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The run was stopped.
+    Aborted,
+    /// The batch was skipped.
+    SkippedBatch,
+    /// The run rolled back to a checkpoint with a dampened learning rate.
+    RolledBack,
+    /// The fault was noted without changing the run (e.g. a corrupt
+    /// generation skipped during resume).
+    Noted,
+}
+
+impl FaultAction {
+    fn code(self) -> u8 {
+        match self {
+            FaultAction::Aborted => 0,
+            FaultAction::SkippedBatch => 1,
+            FaultAction::RolledBack => 2,
+            FaultAction::Noted => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self> {
+        Ok(match c {
+            0 => FaultAction::Aborted,
+            1 => FaultAction::SkippedBatch,
+            2 => FaultAction::RolledBack,
+            3 => FaultAction::Noted,
+            _ => return Err(corrupt(format!("unknown fault action {c}"))),
+        })
+    }
+}
+
+/// One fault observation, recorded in [`crate::trainer::RunResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Optimizer step at which the fault was observed.
+    pub step: usize,
+    /// Epoch at which the fault was observed.
+    pub epoch: usize,
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// Reaction taken.
+    pub action: FaultAction,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+/// Deterministic fault-injection schedule for tests: kills the run, poisons
+/// losses/gradients, or inflates losses at chosen optimizer steps.
+///
+/// Steps are the *post-increment* step counter: `kill_at_step: Some(6)` kills
+/// the run right after the 6th optimizer step completes (and after any
+/// checkpoint due at step 6 is written). Each injection fires at most once
+/// per [`crate::trainer::run_recoverable`] call, so a rollback replaying the
+/// same step does not re-trigger it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Return [`NdsnnError::Injected`] after completing this step.
+    pub kill_at_step: Option<usize>,
+    /// Overwrite the batch loss with NaN at these steps.
+    pub nan_loss_at_steps: Vec<usize>,
+    /// Poison the first sparsifiable gradient with NaN at these steps.
+    pub nan_grad_at_steps: Vec<usize>,
+    /// Multiply the observed loss by a factor at these steps (drives the
+    /// divergence detector without breaking finiteness).
+    pub inflate_loss_at_steps: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// True when no injection is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kill_at_step.is_none()
+            && self.nan_loss_at_steps.is_empty()
+            && self.nan_grad_at_steps.is_empty()
+            && self.inflate_loss_at_steps.is_empty()
+    }
+}
+
+/// Crash-safety options for [`crate::trainer::run_recoverable`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Checkpoint directory. `None` disables checkpointing and resume.
+    pub dir: Option<PathBuf>,
+    /// Resume from the latest valid generation in `dir` if one exists.
+    pub resume: bool,
+    /// Checkpoint generations kept on disk (clamped to ≥ 2 so a last-good
+    /// file always survives a torn newest write).
+    pub keep_generations: usize,
+    /// Numeric health monitor settings.
+    pub health: HealthConfig,
+    /// Test-only fault injections.
+    pub fault_plan: FaultPlan,
+}
+
+impl RecoveryOptions {
+    /// Options with checkpointing into `dir` (resume off, default health).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        RecoveryOptions {
+            dir: Some(dir.into()),
+            keep_generations: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Enables resume-from-latest-generation.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Sets the fault policy.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.health.policy = policy;
+        self
+    }
+}
+
+/// Everything needed to resume a training run bit-identically.
+#[derive(Debug, Clone)]
+pub struct RunSnapshot {
+    /// JSON fingerprint of the [`crate::config::RunConfig`] that produced
+    /// this snapshot; resume refuses a mismatching config.
+    pub fingerprint: String,
+    /// Completed optimizer steps.
+    pub step: usize,
+    /// Epoch the run was in.
+    pub epoch: usize,
+    /// Index of the next batch to process within `epoch`.
+    pub next_batch: usize,
+    /// Learning rate in effect.
+    pub lr: f32,
+    /// Cumulative rollback damping factor applied on top of the LR schedule.
+    pub lr_scale: f32,
+    /// Best test accuracy so far, percent.
+    pub best_test: f64,
+    /// Most recent test accuracy, percent.
+    pub final_test: f64,
+    /// Input-encoder RNG state.
+    pub encoder_rng: [u64; 4],
+    /// Parameters and state buffers, by name.
+    pub params: BTreeMap<String, Tensor>,
+    /// SGD momentum buffers in parameter visit order.
+    pub velocity: Vec<Tensor>,
+    /// Sparse-engine internals (masks, explored set, RNG, history).
+    pub engine: EngineSnapshot,
+    /// Per-epoch records completed so far.
+    pub records: Vec<EpochRecord>,
+    /// Activity trace completed so far.
+    pub activity: ActivityTrace,
+    /// Partial-epoch loss meter.
+    pub loss_meter: AvgMeter,
+    /// Partial-epoch accuracy meter.
+    pub acc_meter: AccuracyMeter,
+    /// Per-layer spike counters accumulated before the checkpoint (fresh
+    /// layer counters restart at zero; these offsets are merged at epoch
+    /// end).
+    pub spike_offsets: Vec<(String, SpikeStats)>,
+    /// Recent accepted losses for the divergence detector.
+    pub loss_window: Vec<f64>,
+    /// Accumulated phase timings.
+    pub timings: PhaseTimings,
+    /// Faults observed so far.
+    pub faults: Vec<FaultEvent>,
+}
+
+fn corrupt(msg: impl std::fmt::Display) -> NdsnnError {
+    NdsnnError::InvalidConfig(format!("corrupt checkpoint state: {msg}"))
+}
+
+/// Little-endian scalar writer for checkpoint blobs. `f64`/`f32` go through
+/// `to_bits` so round-trips are bit-exact.
+#[derive(Debug, Default)]
+pub struct BlobWriter {
+    buf: BytesMut,
+}
+
+impl BlobWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends an `f64` by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    /// Appends an `f32` by bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends an RNG state (four `u64` words).
+    pub fn put_rng(&mut self, s: [u64; 4]) {
+        for w in s {
+            self.put_u64(w);
+        }
+    }
+
+    /// Appends an NDT1-encoded tensor.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.buf.put_slice(&ndt::encode(t));
+    }
+
+    /// Finishes the blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Checked reader matching [`BlobWriter`]; every accessor fails (never
+/// panics) on truncated input.
+#[derive(Debug)]
+pub struct BlobReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> BlobReader<'a> {
+    /// Wraps a blob.
+    pub fn new(data: &'a [u8]) -> Self {
+        BlobReader { data }
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.data.remaining() < n {
+            Err(corrupt("truncated blob"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.data.get_u64_le())
+    }
+
+    /// Reads a `usize`, rejecting values beyond the platform range.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("length {v} out of range")))
+    }
+
+    /// Reads a byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.data.get_u8())
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads an `f32` by bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        self.need(4)?;
+        Ok(f32::from_bits(self.data.get_u32_le()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_usize()?;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.data.copy_to_slice(&mut bytes);
+        String::from_utf8(bytes).map_err(|_| corrupt("non-UTF-8 string"))
+    }
+
+    /// Reads an RNG state (four `u64` words).
+    pub fn get_rng(&mut self) -> Result<[u64; 4]> {
+        Ok([
+            self.get_u64()?,
+            self.get_u64()?,
+            self.get_u64()?,
+            self.get_u64()?,
+        ])
+    }
+
+    /// Reads an NDT1-encoded tensor.
+    pub fn get_tensor(&mut self) -> Result<Tensor> {
+        ndt::decode(&mut self.data).map_err(|e| corrupt(format!("bad tensor: {e}")))
+    }
+
+    /// Fails unless the blob was fully consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.data.has_remaining() {
+            Err(corrupt("trailing bytes in blob"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a count that prefixes `count` items of at least `min_item_bytes`
+    /// each, rejecting counts the blob cannot possibly hold (prevents huge
+    /// allocations from corrupt headers).
+    pub fn get_count(&mut self, min_item_bytes: usize) -> Result<usize> {
+        let count = self.get_usize()?;
+        if count.saturating_mul(min_item_bytes.max(1)) > self.data.remaining() {
+            return Err(corrupt(format!("implausible count {count}")));
+        }
+        Ok(count)
+    }
+}
+
+fn encode_mask_set(w: &mut BlobWriter, set: &MaskSet) {
+    w.put_usize(set.len());
+    for (name, mask) in set.iter() {
+        w.put_str(name);
+        w.put_tensor(mask);
+    }
+}
+
+fn decode_mask_set(r: &mut BlobReader<'_>) -> Result<MaskSet> {
+    let count = r.get_count(8)?;
+    let mut set = MaskSet::new();
+    for _ in 0..count {
+        let name = r.get_str()?;
+        let mask = r.get_tensor()?;
+        set.insert(name, mask);
+    }
+    Ok(set)
+}
+
+fn encode_faults(w: &mut BlobWriter, faults: &[FaultEvent]) {
+    w.put_usize(faults.len());
+    for f in faults {
+        w.put_usize(f.step);
+        w.put_usize(f.epoch);
+        w.put_u8(f.kind.code());
+        w.put_u8(f.action.code());
+        w.put_str(&f.detail);
+    }
+}
+
+fn decode_faults(r: &mut BlobReader<'_>) -> Result<Vec<FaultEvent>> {
+    let count = r.get_count(26)?;
+    let mut faults = Vec::with_capacity(count);
+    for _ in 0..count {
+        faults.push(FaultEvent {
+            step: r.get_usize()?,
+            epoch: r.get_usize()?,
+            kind: FaultKind::from_code(r.get_u8()?)?,
+            action: FaultAction::from_code(r.get_u8()?)?,
+            detail: r.get_str()?,
+        });
+    }
+    Ok(faults)
+}
+
+/// Serializes a [`RunSnapshot`] into NDCKPT2 blob entries.
+pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
+    let mut entries = BTreeMap::new();
+
+    let mut meta = BlobWriter::new();
+    meta.put_u64(1); // snapshot format version
+    meta.put_str(&snap.fingerprint);
+    meta.put_usize(snap.step);
+    meta.put_usize(snap.epoch);
+    meta.put_usize(snap.next_batch);
+    meta.put_f32(snap.lr);
+    meta.put_f32(snap.lr_scale);
+    meta.put_f64(snap.best_test);
+    meta.put_f64(snap.final_test);
+    meta.put_rng(snap.encoder_rng);
+    entries.insert("meta".to_string(), meta.finish());
+
+    for (name, t) in &snap.params {
+        let mut w = BlobWriter::new();
+        w.put_tensor(t);
+        entries.insert(format!("model/{name}"), w.finish());
+    }
+
+    let mut vel = BlobWriter::new();
+    vel.put_usize(snap.velocity.len());
+    for t in &snap.velocity {
+        vel.put_tensor(t);
+    }
+    entries.insert("opt/velocity".to_string(), vel.finish());
+
+    let mut eng = BlobWriter::new();
+    eng.put_rng(snap.engine.rng_state);
+    eng.put_usize(snap.engine.history.len());
+    for ev in &snap.engine.history {
+        eng.put_usize(ev.step);
+        eng.put_f64(ev.death_ratio);
+        eng.put_usize(ev.dropped);
+        eng.put_usize(ev.grown);
+        eng.put_f64(ev.sparsity);
+    }
+    encode_mask_set(&mut eng, &snap.engine.masks);
+    encode_mask_set(&mut eng, &snap.engine.explored);
+    entries.insert("engine".to_string(), eng.finish());
+
+    let mut tr = BlobWriter::new();
+    tr.put_usize(snap.records.len());
+    for rec in &snap.records {
+        tr.put_usize(rec.epoch);
+        tr.put_f64(rec.train_loss);
+        tr.put_f64(rec.train_acc);
+        tr.put_f64(rec.test_acc);
+        tr.put_f64(rec.sparsity);
+        tr.put_f64(rec.spike_rate);
+        tr.put_f64(rec.lr);
+    }
+    tr.put_str(&snap.activity.label);
+    tr.put_usize(snap.activity.epochs.len());
+    for e in &snap.activity.epochs {
+        tr.put_f64(e.spike_rate);
+        tr.put_f64(e.sparsity);
+    }
+    let (sum, count) = snap.loss_meter.state();
+    tr.put_f64(sum);
+    tr.put_u64(count);
+    let (correct, total) = snap.acc_meter.state();
+    tr.put_u64(correct);
+    tr.put_u64(total);
+    tr.put_usize(snap.spike_offsets.len());
+    for (name, s) in &snap.spike_offsets {
+        tr.put_str(name);
+        tr.put_u64(s.spikes);
+        tr.put_u64(s.neuron_steps);
+    }
+    tr.put_usize(snap.loss_window.len());
+    for v in &snap.loss_window {
+        tr.put_f64(*v);
+    }
+    tr.put_u64(snap.timings.forward_ns);
+    tr.put_u64(snap.timings.backward_ns);
+    tr.put_u64(snap.timings.pack_ns);
+    tr.put_u64(snap.timings.optim_ns);
+    tr.put_u64(snap.timings.batches);
+    encode_faults(&mut tr, &snap.faults);
+    entries.insert("trace".to_string(), tr.finish());
+
+    entries
+}
+
+/// Reconstructs a [`RunSnapshot`] from NDCKPT2 blob entries.
+pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapshot> {
+    let blob = |name: &str| -> Result<&Vec<u8>> {
+        entries
+            .get(name)
+            .ok_or_else(|| corrupt(format!("missing entry {name}")))
+    };
+
+    let mut meta = BlobReader::new(blob("meta")?);
+    let version = meta.get_u64()?;
+    if version != 1 {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let fingerprint = meta.get_str()?;
+    let step = meta.get_usize()?;
+    let epoch = meta.get_usize()?;
+    let next_batch = meta.get_usize()?;
+    let lr = meta.get_f32()?;
+    let lr_scale = meta.get_f32()?;
+    let best_test = meta.get_f64()?;
+    let final_test = meta.get_f64()?;
+    let encoder_rng = meta.get_rng()?;
+    meta.finish()?;
+
+    let mut params = BTreeMap::new();
+    for (name, data) in entries {
+        if let Some(param_name) = name.strip_prefix("model/") {
+            let mut r = BlobReader::new(data);
+            let t = r.get_tensor()?;
+            r.finish()?;
+            params.insert(param_name.to_string(), t);
+        }
+    }
+
+    let mut vel = BlobReader::new(blob("opt/velocity")?);
+    let vcount = vel.get_count(8)?;
+    let mut velocity = Vec::with_capacity(vcount);
+    for _ in 0..vcount {
+        velocity.push(vel.get_tensor()?);
+    }
+    vel.finish()?;
+
+    let mut eng = BlobReader::new(blob("engine")?);
+    let rng_state = eng.get_rng()?;
+    let hcount = eng.get_count(40)?;
+    let mut history = Vec::with_capacity(hcount);
+    for _ in 0..hcount {
+        history.push(UpdateEvent {
+            step: eng.get_usize()?,
+            death_ratio: eng.get_f64()?,
+            dropped: eng.get_usize()?,
+            grown: eng.get_usize()?,
+            sparsity: eng.get_f64()?,
+        });
+    }
+    let masks = decode_mask_set(&mut eng)?;
+    let explored = decode_mask_set(&mut eng)?;
+    eng.finish()?;
+    let engine = EngineSnapshot {
+        masks,
+        explored,
+        rng_state,
+        history,
+    };
+
+    let mut tr = BlobReader::new(blob("trace")?);
+    let rcount = tr.get_count(56)?;
+    let mut records = Vec::with_capacity(rcount);
+    for _ in 0..rcount {
+        records.push(EpochRecord {
+            epoch: tr.get_usize()?,
+            train_loss: tr.get_f64()?,
+            train_acc: tr.get_f64()?,
+            test_acc: tr.get_f64()?,
+            sparsity: tr.get_f64()?,
+            spike_rate: tr.get_f64()?,
+            lr: tr.get_f64()?,
+        });
+    }
+    let label = tr.get_str()?;
+    let mut activity = ActivityTrace::new(label);
+    let acount = tr.get_count(16)?;
+    for _ in 0..acount {
+        let spike_rate = tr.get_f64()?;
+        let sparsity = tr.get_f64()?;
+        activity.push(spike_rate, sparsity);
+    }
+    let loss_meter = AvgMeter::from_state(tr.get_f64()?, tr.get_u64()?);
+    let acc_meter = AccuracyMeter::from_state(tr.get_u64()?, tr.get_u64()?);
+    let scount = tr.get_count(24)?;
+    let mut spike_offsets = Vec::with_capacity(scount);
+    for _ in 0..scount {
+        let name = tr.get_str()?;
+        let spikes = tr.get_u64()?;
+        let neuron_steps = tr.get_u64()?;
+        spike_offsets.push((
+            name,
+            SpikeStats {
+                spikes,
+                neuron_steps,
+            },
+        ));
+    }
+    let wcount = tr.get_count(8)?;
+    let mut loss_window = Vec::with_capacity(wcount);
+    for _ in 0..wcount {
+        loss_window.push(tr.get_f64()?);
+    }
+    let timings = PhaseTimings {
+        forward_ns: tr.get_u64()?,
+        backward_ns: tr.get_u64()?,
+        pack_ns: tr.get_u64()?,
+        optim_ns: tr.get_u64()?,
+        batches: tr.get_u64()?,
+    };
+    let faults = decode_faults(&mut tr)?;
+    tr.finish()?;
+
+    Ok(RunSnapshot {
+        fingerprint,
+        step,
+        epoch,
+        next_batch,
+        lr,
+        lr_scale,
+        best_test,
+        final_test,
+        encoder_rng,
+        params,
+        velocity,
+        engine,
+        records,
+        activity,
+        loss_meter,
+        acc_meter,
+        spike_offsets,
+        loss_window,
+        timings,
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> RunSnapshot {
+        let mut params = BTreeMap::new();
+        params.insert("fc1.weight".to_string(), Tensor::full([2, 3], 0.25));
+        params.insert("bn1.running_mean".to_string(), Tensor::ones([3]));
+        let mut masks = MaskSet::new();
+        masks.insert("fc1.weight", Tensor::ones([2, 3]));
+        let mut explored = MaskSet::new();
+        explored.insert("fc1.weight", Tensor::ones([2, 3]));
+        let mut activity = ActivityTrace::new("NDSNN");
+        activity.push(0.125, 0.5);
+        RunSnapshot {
+            fingerprint: "{\"cfg\":1}".to_string(),
+            step: 42,
+            epoch: 3,
+            next_batch: 7,
+            lr: 0.05,
+            lr_scale: 0.5,
+            best_test: 61.25,
+            final_test: 60.0,
+            encoder_rng: [1, 2, 3, 4],
+            params,
+            velocity: vec![Tensor::full([2, 3], -0.125)],
+            engine: EngineSnapshot {
+                masks,
+                explored,
+                rng_state: [9, 8, 7, 6],
+                history: vec![UpdateEvent {
+                    step: 10,
+                    death_ratio: 0.3,
+                    dropped: 5,
+                    grown: 5,
+                    sparsity: 0.5,
+                }],
+            },
+            records: vec![EpochRecord {
+                epoch: 0,
+                train_loss: 2.5,
+                train_acc: 10.0,
+                test_acc: 12.0,
+                sparsity: 0.5,
+                spike_rate: 0.125,
+                lr: 0.1,
+            }],
+            activity,
+            loss_meter: AvgMeter::from_state(12.5, 96),
+            acc_meter: AccuracyMeter::from_state(33, 96),
+            spike_offsets: vec![(
+                "lif1".to_string(),
+                SpikeStats {
+                    spikes: 1000,
+                    neuron_steps: 8000,
+                },
+            )],
+            loss_window: vec![2.5, 2.25],
+            timings: PhaseTimings {
+                forward_ns: 1,
+                backward_ns: 2,
+                pack_ns: 3,
+                optim_ns: 4,
+                batches: 5,
+            },
+            faults: vec![FaultEvent {
+                step: 6,
+                epoch: 0,
+                kind: FaultKind::NonFiniteLoss,
+                action: FaultAction::SkippedBatch,
+                detail: "loss = NaN".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let entries = encode_snapshot(&snap);
+        let back = decode_snapshot(&entries).unwrap();
+        assert_eq!(back.fingerprint, snap.fingerprint);
+        assert_eq!(back.step, snap.step);
+        assert_eq!(back.epoch, snap.epoch);
+        assert_eq!(back.next_batch, snap.next_batch);
+        assert_eq!(back.lr.to_bits(), snap.lr.to_bits());
+        assert_eq!(back.lr_scale.to_bits(), snap.lr_scale.to_bits());
+        assert_eq!(back.encoder_rng, snap.encoder_rng);
+        assert_eq!(back.params.len(), snap.params.len());
+        for (name, t) in &snap.params {
+            assert_eq!(back.params[name].as_slice(), t.as_slice(), "{name}");
+        }
+        assert_eq!(back.velocity.len(), 1);
+        assert_eq!(back.velocity[0].as_slice(), snap.velocity[0].as_slice());
+        assert_eq!(back.engine.rng_state, snap.engine.rng_state);
+        assert_eq!(back.engine.history, snap.engine.history);
+        assert_eq!(back.engine.masks.len(), 1);
+        assert_eq!(back.records, snap.records);
+        assert_eq!(back.activity, snap.activity);
+        assert_eq!(back.loss_meter.state(), snap.loss_meter.state());
+        assert_eq!(back.acc_meter.state(), snap.acc_meter.state());
+        assert_eq!(back.spike_offsets, snap.spike_offsets);
+        assert_eq!(back.loss_window, snap.loss_window);
+        assert_eq!(back.timings, snap.timings);
+        assert_eq!(back.faults, snap.faults);
+    }
+
+    #[test]
+    fn snapshot_survives_container_round_trip() {
+        let snap = sample_snapshot();
+        let bytes = crate::checkpoint::encode_blobs(&encode_snapshot(&snap));
+        let entries = crate::checkpoint::decode_blobs(&bytes).unwrap();
+        let back = decode_snapshot(&entries).unwrap();
+        assert_eq!(back.step, snap.step);
+        assert_eq!(back.faults, snap.faults);
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let snap = sample_snapshot();
+        let mut entries = encode_snapshot(&snap);
+        entries.remove("engine");
+        let err = decode_snapshot(&entries).unwrap_err();
+        assert!(err.to_string().contains("missing entry engine"), "{err}");
+    }
+
+    #[test]
+    fn truncated_blob_is_an_error_not_a_panic() {
+        let snap = sample_snapshot();
+        let entries = encode_snapshot(&snap);
+        for name in ["meta", "engine", "trace", "opt/velocity"] {
+            let full = &entries[name];
+            for cut in 0..full.len() {
+                let mut broken = entries.clone();
+                broken.insert(name.to_string(), full[..cut].to_vec());
+                assert!(
+                    decode_snapshot(&broken).is_err(),
+                    "truncating {name} at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_counts_rejected() {
+        let mut w = BlobWriter::new();
+        w.put_usize(usize::MAX / 2);
+        let blob = w.finish();
+        let mut r = BlobReader::new(&blob);
+        assert!(r.get_count(8).is_err());
+    }
+
+    #[test]
+    fn fault_policy_parsing() {
+        assert_eq!(FaultPolicy::parse("abort"), Some(FaultPolicy::Abort));
+        assert_eq!(FaultPolicy::parse("SKIP"), Some(FaultPolicy::SkipBatch));
+        assert_eq!(
+            FaultPolicy::parse("rollback"),
+            Some(FaultPolicy::RollbackAndDampen)
+        );
+        assert_eq!(FaultPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fault_codes_round_trip() {
+        for kind in [
+            FaultKind::NonFiniteLoss,
+            FaultKind::NonFiniteGrad,
+            FaultKind::NonFiniteWeight,
+            FaultKind::LossDivergence,
+            FaultKind::CorruptCheckpoint,
+            FaultKind::InjectedKill,
+        ] {
+            assert_eq!(FaultKind::from_code(kind.code()).unwrap(), kind);
+        }
+        for action in [
+            FaultAction::Aborted,
+            FaultAction::SkippedBatch,
+            FaultAction::RolledBack,
+            FaultAction::Noted,
+        ] {
+            assert_eq!(FaultAction::from_code(action.code()).unwrap(), action);
+        }
+        assert!(FaultKind::from_code(99).is_err());
+        assert!(FaultAction::from_code(99).is_err());
+    }
+}

@@ -1,4 +1,12 @@
 //! The training loop binding network, sparse engine, data and metrics.
+//!
+//! Crash safety (DESIGN.md §8): [`run_recoverable`] adds periodic full-state
+//! NDCKPT2 checkpoints, bit-identical resume, a numeric health monitor with
+//! configurable fault policies, and a deterministic fault-injection harness
+//! for tests. [`run`] / [`run_with_data`] are the same loop with default
+//! [`RecoveryOptions`] (no checkpoint directory, abort-on-fault).
+
+use std::collections::BTreeSet;
 
 use ndsnn_data::augment::AugmentConfig;
 use ndsnn_data::dataset::InMemoryDataset;
@@ -6,11 +14,12 @@ use ndsnn_data::loader::BatchLoader;
 use ndsnn_data::synthetic::{generate, SyntheticConfig};
 use ndsnn_metrics::cost::ActivityTrace;
 use ndsnn_metrics::meters::{AccuracyMeter, AvgMeter, EpochRecord};
-use ndsnn_snn::layers::Layer;
+use ndsnn_snn::layers::{Layer, SpikeStats};
 use ndsnn_snn::models::{Architecture, ModelConfig};
 use ndsnn_snn::network::SpikingNetwork;
 use ndsnn_snn::optim::{CosineSchedule, Sgd};
 use ndsnn_sparse::admm::{AdmmConfig, AdmmEngine};
+use ndsnn_sparse::dynamic::UpdateEvent;
 use ndsnn_sparse::engine::{DenseEngine, SparseEngine};
 use ndsnn_sparse::lth::{LthConfig, LthController};
 use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
@@ -22,9 +31,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint;
 use crate::config::{DatasetKind, MethodSpec, RunConfig};
 use crate::error::{NdsnnError, Result};
 use crate::profile::PhaseTimings;
+use crate::recovery::{
+    decode_snapshot, encode_snapshot, FaultAction, FaultEvent, FaultKind, FaultPolicy,
+    RecoveryOptions, RunSnapshot,
+};
 
 /// Outcome of one training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +64,19 @@ pub struct RunResult {
     pub layer_spike_rates: Vec<(String, f64)>,
     /// Accumulated per-phase wall-clock timings over all training batches.
     pub timings: PhaseTimings,
+    /// Drop-and-grow mask-update history (empty for methods without one).
+    pub mask_history: Vec<UpdateEvent>,
+    /// FNV-1a digest of the final mask topology (0 when the method keeps no
+    /// masks) — lets tests assert two runs ended on the exact same topology.
+    pub mask_digest: u64,
+    /// Live (nonzero) sparsifiable weights at the end of training.
+    pub final_live_weights: usize,
+    /// Numeric/injected faults observed during the run and how each was
+    /// handled.
+    pub faults: Vec<FaultEvent>,
+    /// Optimizer step the run resumed from, when it was resumed or rolled
+    /// back from a checkpoint.
+    pub resumed_from_step: Option<usize>,
 }
 
 impl RunResult {
@@ -164,9 +191,204 @@ pub fn run_with_data(
     train: &InMemoryDataset,
     test: &InMemoryDataset,
 ) -> Result<RunResult> {
+    run_recoverable(cfg, train, test, &RecoveryOptions::default())
+}
+
+/// [`run_with_data`] with crash safety: periodic full-state NDCKPT2
+/// checkpoints every [`RunConfig::checkpoint_every`] optimizer steps,
+/// resume-from-checkpoint (bit-identical at any `NDSNN_THREADS`), the
+/// numeric health monitor, and deterministic fault injection for tests.
+pub fn run_recoverable(
+    cfg: &RunConfig,
+    train: &InMemoryDataset,
+    test: &InMemoryDataset,
+    recovery: &RecoveryOptions,
+) -> Result<RunResult> {
     if cfg.epochs == 0 {
         return Err(NdsnnError::InvalidConfig("epochs must be >= 1".into()));
     }
+    let fingerprint = ndsnn_metrics::json::to_string(cfg)
+        .map_err(|e| NdsnnError::InvalidConfig(format!("config not serializable: {e}")))?;
+
+    // Resume: load the newest valid generation; corrupt ones are skipped and
+    // surfaced as fault events rather than failing the run.
+    let mut carried: Vec<FaultEvent> = Vec::new();
+    let mut resume_snapshot: Option<RunSnapshot> = None;
+    if recovery.resume {
+        let dir = recovery.dir.as_ref().ok_or_else(|| {
+            NdsnnError::InvalidConfig("resume requested without a checkpoint directory".into())
+        })?;
+        let (loaded, skipped) = checkpoint::load_latest_valid(dir)?;
+        for path in skipped {
+            carried.push(FaultEvent {
+                step: 0,
+                epoch: 0,
+                kind: FaultKind::CorruptCheckpoint,
+                action: FaultAction::Noted,
+                detail: format!("skipped invalid generation {}", path.display()),
+            });
+        }
+        if let Some((_, entries)) = loaded {
+            let snap = decode_snapshot(&entries)?;
+            check_fingerprint(&snap, &fingerprint)?;
+            resume_snapshot = Some(snap);
+        }
+    }
+
+    // Injections fire at most once per call even when rollback replays the
+    // same step, so a deterministic fault cannot loop forever.
+    let mut fired: BTreeSet<(u8, usize)> = BTreeSet::new();
+    let mut rollbacks = 0usize;
+    loop {
+        let attempt = run_attempt(
+            cfg,
+            train,
+            test,
+            recovery,
+            &fingerprint,
+            resume_snapshot.take(),
+            std::mem::take(&mut carried),
+            &mut fired,
+        );
+        match attempt {
+            Ok(result) => return Ok(result),
+            Err(AttemptFail::Hard(e)) => return Err(e),
+            Err(AttemptFail::Rollback(mut faults)) => {
+                rollbacks += 1;
+                if rollbacks > recovery.health.max_rollbacks {
+                    return Err(NdsnnError::NumericFault(format!(
+                        "run rolled back {rollbacks} times (limit {}); aborting",
+                        recovery.health.max_rollbacks
+                    )));
+                }
+                let dir = recovery.dir.as_ref().ok_or_else(|| {
+                    NdsnnError::NumericFault(
+                        "rollback requested without a checkpoint directory".into(),
+                    )
+                })?;
+                let (loaded, skipped) = checkpoint::load_latest_valid(dir)?;
+                for path in skipped {
+                    faults.push(FaultEvent {
+                        step: 0,
+                        epoch: 0,
+                        kind: FaultKind::CorruptCheckpoint,
+                        action: FaultAction::Noted,
+                        detail: format!("skipped invalid generation {}", path.display()),
+                    });
+                }
+                let (_, entries) = loaded.ok_or_else(|| {
+                    NdsnnError::NumericFault(
+                        "rollback requested but no valid checkpoint generation exists".into(),
+                    )
+                })?;
+                let mut snap = decode_snapshot(&entries)?;
+                check_fingerprint(&snap, &fingerprint)?;
+                snap.lr *= recovery.health.lr_dampen;
+                snap.lr_scale *= recovery.health.lr_dampen;
+                // The attempt's fault list is a superset of the on-disk one.
+                snap.faults = faults;
+                resume_snapshot = Some(snap);
+            }
+        }
+    }
+}
+
+/// Why one training attempt stopped: a hard error to surface, or a fault the
+/// outer loop should answer with a checkpoint rollback.
+enum AttemptFail {
+    Hard(NdsnnError),
+    Rollback(Vec<FaultEvent>),
+}
+
+impl<E: Into<NdsnnError>> From<E> for AttemptFail {
+    fn from(e: E) -> Self {
+        AttemptFail::Hard(e.into())
+    }
+}
+
+fn check_fingerprint(snap: &RunSnapshot, fingerprint: &str) -> Result<()> {
+    if snap.fingerprint != fingerprint {
+        return Err(NdsnnError::InvalidConfig(
+            "checkpoint was written by a different run configuration".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Picks the reaction actually taken for a fault: rollback needs a
+/// checkpoint to return to, and a non-finite weight cannot be healed by
+/// skipping the batch (the damage is already in the parameters).
+fn effective_policy(kind: FaultKind, policy: FaultPolicy, have_ckpt: bool) -> FaultPolicy {
+    let fallback = match kind {
+        FaultKind::NonFiniteWeight => FaultPolicy::Abort,
+        _ => FaultPolicy::SkipBatch,
+    };
+    match policy {
+        FaultPolicy::Abort => FaultPolicy::Abort,
+        FaultPolicy::RollbackAndDampen if have_ckpt => FaultPolicy::RollbackAndDampen,
+        FaultPolicy::RollbackAndDampen | FaultPolicy::SkipBatch => fallback,
+    }
+}
+
+/// Name of the first parameter whose gradient (`grads`) or value contains a
+/// non-finite element, if any.
+fn first_nonfinite(model: &mut dyn Layer, grads: bool) -> Option<String> {
+    let mut bad = None;
+    model.for_each_param(&mut |p| {
+        if bad.is_none() {
+            let t = if grads { &p.grad } else { &p.value };
+            if !t.all_finite() {
+                bad = Some(p.name.clone());
+            }
+        }
+    });
+    bad
+}
+
+/// Fault-injection helper: writes NaN into the first sparsifiable gradient.
+fn poison_first_grad(model: &mut dyn Layer) {
+    let mut done = false;
+    model.for_each_param(&mut |p| {
+        if !done && p.is_sparsifiable() {
+            if let Some(v) = p.grad.as_mut_slice().first_mut() {
+                *v = f32::NAN;
+                done = true;
+            }
+        }
+    });
+}
+
+/// Live per-layer spike counters merged with checkpointed offsets (layer
+/// counters restart at zero after a resume; the offsets carry the counts
+/// accumulated before the checkpoint).
+fn merged_layer_stats(
+    net: &SpikingNetwork,
+    offsets: &[(String, SpikeStats)],
+) -> Vec<(String, SpikeStats)> {
+    let mut per = net.layers.spike_stats_per_layer();
+    for (name, off) in offsets {
+        match per.iter_mut().find(|(n, _)| n == name) {
+            Some((_, s)) => s.merge(*off),
+            None => per.push((name.clone(), *off)),
+        }
+    }
+    per
+}
+
+/// One training attempt: runs from the given snapshot (or from scratch) to
+/// completion, a hard error, or a rollback request.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    cfg: &RunConfig,
+    train: &InMemoryDataset,
+    test: &InMemoryDataset,
+    recovery: &RecoveryOptions,
+    fingerprint: &str,
+    resume: Option<RunSnapshot>,
+    carried: Vec<FaultEvent>,
+    fired: &mut BTreeSet<(u8, usize)>,
+) -> std::result::Result<RunResult, AttemptFail> {
+    let health = recovery.health;
     let mut net = build_network(cfg)?;
     let num_params = net.num_params();
     let loader = BatchLoader::new(
@@ -189,7 +411,14 @@ pub fn run_with_data(
         } => EngineKind::Lth(LthController::new(LthConfig::new(final_sparsity, rounds)?)),
         _ => EngineKind::Generic(build_engine(cfg, total_steps)?),
     };
-    engine.as_engine().init(&mut net.layers)?;
+
+    let ckpt_enabled = cfg.checkpoint_every > 0 && recovery.dir.is_some();
+    if ckpt_enabled && engine.as_engine().export_snapshot().is_none() {
+        return Err(AttemptFail::Hard(NdsnnError::InvalidConfig(format!(
+            "method {} does not support full-state checkpointing",
+            cfg.method.label()
+        ))));
+    }
 
     // LTH trains in segments: `rounds` prune-rewind rounds then a final
     // segment at the target sparsity.
@@ -210,35 +439,164 @@ pub fn run_with_data(
     let mut step = 0usize;
     let mut layer_rates: Vec<(String, f64)> = Vec::new();
     let mut timings = PhaseTimings::default();
+    let mut loss_meter = AvgMeter::new();
+    let mut acc_meter = AccuracyMeter::new();
+    let mut spike_offsets: Vec<(String, SpikeStats)> = Vec::new();
+    let mut loss_window: Vec<f64> = Vec::new();
+    let mut faults: Vec<FaultEvent> = Vec::new();
+    let mut lr_scale = 1.0f32;
+    let mut start_epoch = 0usize;
+    let mut next_batch = 0usize;
+    let mut last_ckpt_step: Option<usize> = None;
+    let resumed_from_step = resume.as_ref().map(|s| s.step);
 
-    for epoch in 0..cfg.epochs {
+    match resume {
+        Some(snap) => {
+            checkpoint::restore_params_from_map(&mut net.layers, &snap.params)?;
+            engine
+                .as_engine()
+                .restore_snapshot(snap.engine, &mut net.layers)
+                .map_err(NdsnnError::from)?;
+            opt.set_velocity(snap.velocity);
+            opt.set_lr(snap.lr);
+            net.set_encoder_rng_state(snap.encoder_rng);
+            step = snap.step;
+            start_epoch = snap.epoch;
+            next_batch = snap.next_batch;
+            records = snap.records;
+            activity = snap.activity;
+            loss_meter = snap.loss_meter;
+            acc_meter = snap.acc_meter;
+            spike_offsets = snap.spike_offsets;
+            loss_window = snap.loss_window;
+            timings = snap.timings;
+            best_test = snap.best_test;
+            final_test = snap.final_test;
+            lr_scale = snap.lr_scale;
+            faults = snap.faults;
+            last_ckpt_step = Some(snap.step);
+        }
+        None => engine.as_engine().init(&mut net.layers)?,
+    }
+    faults.extend(carried);
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
         let seg_epoch = epoch % epochs_per_segment;
-        // Segment boundary: advance LTH round (prune + rewind), restart
-        // optimizer state and LR schedule.
-        if epoch > 0 && seg_epoch == 0 && lth_rounds > 0 {
-            if let Some(lth) = engine.as_lth() {
-                if lth.round() < lth_rounds {
-                    lth.advance_round(&mut net.layers)?;
-                    opt = Sgd::new(cfg.sgd);
+        // Epoch-start resets run only when the epoch begins fresh — a
+        // mid-epoch resume keeps the restored meters/LR and skips into the
+        // batch stream instead.
+        if next_batch == 0 {
+            // Segment boundary: advance LTH round (prune + rewind), restart
+            // optimizer state and LR schedule.
+            if epoch > 0 && seg_epoch == 0 && lth_rounds > 0 {
+                if let Some(lth) = engine.as_lth() {
+                    if lth.round() < lth_rounds {
+                        lth.advance_round(&mut net.layers)?;
+                        opt = Sgd::new(cfg.sgd);
+                    }
                 }
             }
+            opt.set_lr(lr_schedule.at(seg_epoch) * lr_scale);
+            net.reset_spike_stats();
+            loss_meter.reset();
+            acc_meter.reset();
+            spike_offsets.clear();
         }
-        opt.set_lr(lr_schedule.at(seg_epoch));
-
-        net.reset_spike_stats();
-        let mut loss_meter = AvgMeter::new();
-        let mut acc_meter = AccuracyMeter::new();
-        for batch in loader.epoch(train, epoch) {
-            let (stats, forward_ns, backward_ns) = net
+        for (bi, batch) in loader.epoch(train, epoch).into_iter().enumerate() {
+            if bi < next_batch {
+                continue;
+            }
+            let (mut stats, forward_ns, backward_ns) = net
                 .train_batch_instrumented(&batch.images, &batch.labels)
                 .map_err(|e| NdsnnError::Snn(e.to_string()))?;
-            if !stats.loss.is_finite() {
-                return Err(NdsnnError::InvalidConfig(format!(
-                    "training diverged (loss = {}) at epoch {epoch}: {}",
-                    stats.loss,
-                    cfg.describe()
-                )));
+            // `this_step` is the post-increment counter: the checkpoint id
+            // and the step named by the fault plan.
+            let this_step = step + 1;
+
+            // --- fault injection (test harness) ---
+            let plan = &recovery.fault_plan;
+            if plan.nan_loss_at_steps.contains(&this_step) && fired.insert((0, this_step)) {
+                stats.loss = f32::NAN;
             }
+            if plan.nan_grad_at_steps.contains(&this_step) && fired.insert((1, this_step)) {
+                poison_first_grad(&mut net.layers);
+            }
+            if let Some(&(_, factor)) = plan
+                .inflate_loss_at_steps
+                .iter()
+                .find(|&&(s, _)| s == this_step)
+            {
+                if fired.insert((2, this_step)) {
+                    stats.loss *= factor as f32;
+                }
+            }
+
+            // --- numeric health: pre-update checks ---
+            let mut fault: Option<(FaultKind, String)> = None;
+            if !stats.loss.is_finite() {
+                fault = Some((
+                    FaultKind::NonFiniteLoss,
+                    format!("loss = {} ({})", stats.loss, cfg.describe()),
+                ));
+            }
+            if fault.is_none()
+                && health.divergence_window > 0
+                && loss_window.len() >= health.divergence_window
+            {
+                let mean = loss_window.iter().sum::<f64>() / loss_window.len() as f64;
+                if mean > 0.0 && f64::from(stats.loss) > health.divergence_factor * mean {
+                    fault = Some((
+                        FaultKind::LossDivergence,
+                        format!(
+                            "loss {} exceeds {} x recent mean {mean:.4}",
+                            stats.loss, health.divergence_factor
+                        ),
+                    ));
+                }
+            }
+            if fault.is_none() && health.check_grads {
+                if let Some(name) = first_nonfinite(&mut net.layers, true) {
+                    fault = Some((
+                        FaultKind::NonFiniteGrad,
+                        format!("non-finite gradient in {name}"),
+                    ));
+                }
+            }
+
+            if let Some((kind, detail)) = fault {
+                match effective_policy(kind, health.policy, last_ckpt_step.is_some()) {
+                    FaultPolicy::Abort => {
+                        return Err(AttemptFail::Hard(NdsnnError::NumericFault(format!(
+                            "{detail} at step {this_step} (epoch {epoch})"
+                        ))));
+                    }
+                    FaultPolicy::RollbackAndDampen => {
+                        faults.push(FaultEvent {
+                            step: this_step,
+                            epoch,
+                            kind,
+                            action: FaultAction::RolledBack,
+                            detail,
+                        });
+                        return Err(AttemptFail::Rollback(faults));
+                    }
+                    FaultPolicy::SkipBatch => {
+                        faults.push(FaultEvent {
+                            step: this_step,
+                            epoch,
+                            kind,
+                            action: FaultAction::SkippedBatch,
+                            detail,
+                        });
+                        // The step counter still advances so the drop-and-grow
+                        // schedule stays aligned with the uninterrupted run.
+                        step = this_step;
+                        continue;
+                    }
+                }
+            }
+
             let t0 = std::time::Instant::now();
             engine.as_engine().before_optim(step, &mut net.layers)?;
             let t1 = std::time::Instant::now();
@@ -251,13 +609,93 @@ pub fn run_with_data(
             timings.batches += 1;
             loss_meter.update(stats.loss as f64, stats.total as u64);
             acc_meter.update(stats.correct, stats.total);
-            step += 1;
+            if health.divergence_window > 0 {
+                loss_window.push(f64::from(stats.loss));
+                if loss_window.len() > health.divergence_window {
+                    let excess = loss_window.len() - health.divergence_window;
+                    loss_window.drain(..excess);
+                }
+            }
+            step = this_step;
+
+            // --- numeric health: post-update weight check ---
+            if health.check_weights {
+                if let Some(name) = first_nonfinite(&mut net.layers, false) {
+                    let kind = FaultKind::NonFiniteWeight;
+                    let detail = format!("non-finite weight in {name} after optimizer step");
+                    match effective_policy(kind, health.policy, last_ckpt_step.is_some()) {
+                        FaultPolicy::RollbackAndDampen => {
+                            faults.push(FaultEvent {
+                                step: this_step,
+                                epoch,
+                                kind,
+                                action: FaultAction::RolledBack,
+                                detail,
+                            });
+                            return Err(AttemptFail::Rollback(faults));
+                        }
+                        _ => {
+                            return Err(AttemptFail::Hard(NdsnnError::NumericFault(format!(
+                                "{detail} at step {this_step} (epoch {epoch})"
+                            ))));
+                        }
+                    }
+                }
+            }
+
+            // --- periodic checkpoint ---
+            if ckpt_enabled && this_step.is_multiple_of(cfg.checkpoint_every) {
+                let dir = recovery.dir.as_ref().expect("ckpt_enabled implies dir");
+                let engine_snap = engine.as_engine().export_snapshot().ok_or_else(|| {
+                    NdsnnError::InvalidConfig("engine lost checkpoint support mid-run".into())
+                })?;
+                let snap = RunSnapshot {
+                    fingerprint: fingerprint.to_string(),
+                    step: this_step,
+                    epoch,
+                    next_batch: bi + 1,
+                    lr: opt.lr(),
+                    lr_scale,
+                    best_test,
+                    final_test,
+                    encoder_rng: net.encoder_rng_state(),
+                    params: checkpoint::snapshot_params(&mut net.layers),
+                    velocity: opt.velocity().to_vec(),
+                    engine: engine_snap,
+                    records: records.clone(),
+                    activity: activity.clone(),
+                    loss_meter,
+                    acc_meter,
+                    spike_offsets: merged_layer_stats(&net, &spike_offsets),
+                    loss_window: loss_window.clone(),
+                    timings,
+                    faults: faults.clone(),
+                };
+                checkpoint::write_generation(
+                    dir,
+                    this_step,
+                    &encode_snapshot(&snap),
+                    recovery.keep_generations,
+                )?;
+                last_ckpt_step = Some(this_step);
+            }
+
+            // --- scheduled kill (fault-injection harness) ---
+            if plan.kill_at_step == Some(this_step) && fired.insert((3, this_step)) {
+                return Err(AttemptFail::Hard(NdsnnError::Injected(format!(
+                    "scheduled kill after step {this_step}"
+                ))));
+            }
         }
-        let train_rate = net.spike_stats().rate();
+        next_batch = 0;
+
+        let mut agg = net.spike_stats();
+        for (_, off) in &spike_offsets {
+            agg.merge(*off);
+        }
+        let train_rate = agg.rate();
         if epoch + 1 == cfg.epochs {
-            layer_rates = net
-                .layers
-                .spike_stats_per_layer()
+            layer_rates = merged_layer_stats(&net, &spike_offsets)
                 .into_iter()
                 .map(|(name, s)| (name, s.rate()))
                 .collect();
@@ -284,6 +722,7 @@ pub fn run_with_data(
             spike_rate: train_rate,
             lr: opt.lr() as f64,
         });
+        epoch += 1;
     }
 
     // Measure the weights' actual sparsity (not just the mask's claim).
@@ -301,6 +740,13 @@ pub fn run_with_data(
         1.0 - nonzero as f64 / total as f64
     };
 
+    let mask_digest = engine
+        .as_engine()
+        .mask_set()
+        .map(|m| m.digest())
+        .unwrap_or(0);
+    let mask_history = engine.as_engine().history().to_vec();
+
     Ok(RunResult {
         config: *cfg,
         label: activity.label.clone(),
@@ -312,6 +758,11 @@ pub fn run_with_data(
         final_sparsity,
         layer_spike_rates: layer_rates,
         timings,
+        mask_history,
+        mask_digest,
+        final_live_weights: nonzero,
+        faults,
+        resumed_from_step,
     })
 }
 

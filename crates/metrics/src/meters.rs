@@ -40,6 +40,16 @@ impl AvgMeter {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Raw `(sum, count)` state — for bit-exact checkpointing.
+    pub fn state(&self) -> (f64, u64) {
+        (self.sum, self.count)
+    }
+
+    /// Rebuilds a meter from [`AvgMeter::state`] output.
+    pub fn from_state(sum: f64, count: u64) -> Self {
+        AvgMeter { sum, count }
+    }
 }
 
 /// Counts correct predictions.
@@ -83,6 +93,16 @@ impl AccuracyMeter {
     /// Clears the meter.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Raw `(correct, total)` state — for bit-exact checkpointing.
+    pub fn state(&self) -> (u64, u64) {
+        (self.correct, self.total)
+    }
+
+    /// Rebuilds a meter from [`AccuracyMeter::state`] output.
+    pub fn from_state(correct: u64, total: u64) -> Self {
+        AccuracyMeter { correct, total }
     }
 }
 

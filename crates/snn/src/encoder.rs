@@ -38,6 +38,20 @@ impl Encoder {
         self.encoding
     }
 
+    /// Exports the encoder's RNG state. Only stochastic encodings (Poisson)
+    /// consume the stream, but exporting is cheap and unconditional so
+    /// checkpoints stay encoding-agnostic.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores an RNG state exported by [`Encoder::rng_state`], so a
+    /// resumed run draws the exact spike trains the interrupted run would
+    /// have drawn.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Produces the network input for one timestep.
     pub fn encode(&mut self, images: &Tensor, _step: usize) -> Tensor {
         match self.encoding {

@@ -75,6 +75,16 @@ impl SpikingNetwork {
         self.timesteps
     }
 
+    /// Exports the input encoder's RNG state for checkpointing.
+    pub fn encoder_rng_state(&self) -> [u64; 4] {
+        self.encoder.rng_state()
+    }
+
+    /// Restores the input encoder's RNG state from a checkpoint.
+    pub fn set_encoder_rng_state(&mut self, state: [u64; 4]) {
+        self.encoder.set_rng_state(state);
+    }
+
     /// Changes the simulation length (e.g. the paper's `T = 2` study, Fig. 4).
     pub fn set_timesteps(&mut self, timesteps: usize) -> Result<()> {
         if timesteps == 0 {

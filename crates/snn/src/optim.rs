@@ -59,6 +59,21 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum (velocity) buffers in parameter visit order. Empty
+    /// until the first [`Sgd::step`]. Exposed for full-run-state
+    /// checkpointing: resuming without velocity silently changes the
+    /// trajectory of every subsequent update.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the velocity buffers (crash-safe resume). The buffers must
+    /// be in the same parameter visit order they were exported in; shape
+    /// checks happen lazily on the next [`Sgd::step`].
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update step to every parameter of `model`.
     ///
     /// `v ← μ·v + (g + λ·w)`, `w ← w − η·v`.
@@ -190,6 +205,21 @@ impl Adam {
     /// Overrides the learning rate (used by schedulers).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Exports `(step_count, first moments, second moments)` for full-state
+    /// checkpointing (the moment buffers are in parameter visit order).
+    pub fn state(&self) -> (u64, &[Tensor], &[Tensor]) {
+        (self.step_count, &self.m, &self.v)
+    }
+
+    /// Restores state exported by [`Adam::state`]. The bias-correction
+    /// terms depend on `step_count`, so resuming without it would rescale
+    /// every subsequent update.
+    pub fn set_state(&mut self, step_count: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        self.step_count = step_count;
+        self.m = m;
+        self.v = v;
     }
 
     /// Applies one update step to every parameter of `model`.

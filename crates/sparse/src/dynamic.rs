@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use ndsnn_snn::layers::Layer;
 
 use crate::distribution::{layer_densities, Distribution};
-use crate::engine::{collect_layer_shapes, SparseEngine};
+use crate::engine::{collect_layer_shapes, EngineSnapshot, SparseEngine};
 use crate::error::{Result, SparseError};
 use crate::kernels::{
     density_threshold_from_env, drop_by_magnitude, grow_by_gradient, grow_random,
@@ -131,7 +131,7 @@ impl LayerState {
 }
 
 /// Record of one mask-update round, for logging and tests.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UpdateEvent {
     /// Iteration at which the update fired.
     pub step: usize,
@@ -230,6 +230,34 @@ impl DynamicEngine {
         }
     }
 
+    /// Rebuilds the per-layer sparsity bookkeeping from the model's shapes.
+    /// Deterministic given (model, config), so init and checkpoint resume
+    /// share it.
+    fn rebuild_layer_states(&mut self, model: &mut dyn Layer) -> Result<()> {
+        let shapes = collect_layer_shapes(model);
+        let init_densities = layer_densities(
+            self.config.distribution,
+            &shapes,
+            self.config.initial_sparsity,
+        )?;
+        let final_densities = layer_densities(
+            self.config.distribution,
+            &shapes,
+            self.config.final_sparsity,
+        )?;
+        self.layers = shapes
+            .iter()
+            .zip(init_densities.iter().zip(&final_densities))
+            .map(|(s, (di, df))| LayerState {
+                name: s.name.clone(),
+                num_weights: s.num_weights(),
+                initial_sparsity: 1.0 - di,
+                final_sparsity: 1.0 - df,
+            })
+            .collect();
+        Ok(())
+    }
+
     /// Folds the current masks into the explored-position union.
     fn absorb_exploration(&mut self) {
         for (name, mask) in self.masks.iter() {
@@ -320,27 +348,13 @@ impl SparseEngine for DynamicEngine {
     }
 
     fn init(&mut self, model: &mut dyn Layer) -> Result<()> {
+        self.rebuild_layer_states(model)?;
         let shapes = collect_layer_shapes(model);
         let init_densities = layer_densities(
             self.config.distribution,
             &shapes,
             self.config.initial_sparsity,
         )?;
-        let final_densities = layer_densities(
-            self.config.distribution,
-            &shapes,
-            self.config.final_sparsity,
-        )?;
-        self.layers = shapes
-            .iter()
-            .zip(init_densities.iter().zip(&final_densities))
-            .map(|(s, (di, df))| LayerState {
-                name: s.name.clone(),
-                num_weights: s.num_weights(),
-                initial_sparsity: 1.0 - di,
-                final_sparsity: 1.0 - df,
-            })
-            .collect();
         self.masks = MaskSet::new();
         for (shape, density) in shapes.iter().zip(&init_densities) {
             self.masks.insert(
@@ -386,6 +400,46 @@ impl SparseEngine for DynamicEngine {
 
     fn mask_set(&self) -> Option<&MaskSet> {
         Some(&self.masks)
+    }
+
+    fn history(&self) -> &[UpdateEvent] {
+        &self.history
+    }
+
+    fn export_snapshot(&self) -> Option<EngineSnapshot> {
+        Some(EngineSnapshot {
+            masks: self.masks.clone(),
+            explored: self.explored.clone(),
+            rng_state: self.rng.state(),
+            history: self.history.clone(),
+        })
+    }
+
+    fn restore_snapshot(&mut self, snapshot: EngineSnapshot, model: &mut dyn Layer) -> Result<()> {
+        self.rebuild_layer_states(model)?;
+        // Every tracked layer must come back with a shape-matching mask;
+        // anything else means the checkpoint belongs to a different model.
+        for state in &self.layers {
+            let mask = snapshot.masks.get(&state.name).ok_or_else(|| {
+                SparseError::InvalidState(format!("snapshot has no mask for {}", state.name))
+            })?;
+            if mask.len() != state.num_weights {
+                return Err(SparseError::InvalidState(format!(
+                    "snapshot mask for {} has {} entries, layer has {}",
+                    state.name,
+                    mask.len(),
+                    state.num_weights
+                )));
+            }
+        }
+        self.masks = snapshot.masks;
+        self.explored = snapshot.explored;
+        self.rng = StdRng::from_state(snapshot.rng_state);
+        self.history = snapshot.history;
+        self.masks.apply_to_weights(model);
+        install_exec_plans(model, &self.masks, self.density_threshold);
+        self.initialized = true;
+        Ok(())
     }
 }
 

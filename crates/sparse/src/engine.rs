@@ -4,9 +4,30 @@ use ndsnn_snn::layers::Layer;
 use rand::Rng;
 
 use crate::distribution::{layer_densities, Distribution, LayerShape};
-use crate::error::Result;
+use crate::dynamic::UpdateEvent;
+use crate::error::{Result, SparseError};
 use crate::kernels::random_mask;
 use crate::mask::MaskSet;
+
+/// A full snapshot of an engine's mutable internals, sufficient to resume a
+/// run bit-identically after a crash: the current masks, the explored-position
+/// union, the engine RNG stream position, and the drop-and-grow history.
+///
+/// Engines without internal state (dense) export an empty snapshot; engines
+/// whose state cannot yet be captured (LTH, ADMM, structured) return `None`
+/// from [`SparseEngine::export_snapshot`] so callers can refuse to write
+/// checkpoints that would silently resume wrong.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSnapshot {
+    /// Current binary masks, keyed by parameter name.
+    pub masks: MaskSet,
+    /// Union of every position ever active (ITOP coverage).
+    pub explored: MaskSet,
+    /// The engine RNG state (`rand::rngs::StdRng` words).
+    pub rng_state: [u64; 4],
+    /// Mask-update history since init.
+    pub history: Vec<UpdateEvent>,
+}
 
 /// A sparse-training strategy plugged into the training loop.
 ///
@@ -40,6 +61,31 @@ pub trait SparseEngine: Send {
     fn mask_set(&self) -> Option<&MaskSet> {
         None
     }
+
+    /// Drop-and-grow history, when the engine records one.
+    fn history(&self) -> &[UpdateEvent] {
+        &[]
+    }
+
+    /// Exports the engine's mutable internals for crash-safe checkpointing,
+    /// or `None` when the engine does not support exact resume yet.
+    fn export_snapshot(&self) -> Option<EngineSnapshot> {
+        None
+    }
+
+    /// Restores internals exported by [`SparseEngine::export_snapshot`],
+    /// leaving the engine exactly as it was at export time (including any
+    /// derived execution plans installed into `model`).
+    fn restore_snapshot(
+        &mut self,
+        _snapshot: EngineSnapshot,
+        _model: &mut dyn Layer,
+    ) -> Result<()> {
+        Err(SparseError::InvalidState(format!(
+            "engine {} does not support checkpoint resume",
+            self.name()
+        )))
+    }
 }
 
 /// Baseline engine: fully dense training (the paper's "Dense" rows).
@@ -72,6 +118,18 @@ impl SparseEngine for DenseEngine {
 
     fn sparsity(&self) -> f64 {
         0.0
+    }
+
+    fn export_snapshot(&self) -> Option<EngineSnapshot> {
+        Some(EngineSnapshot::default())
+    }
+
+    fn restore_snapshot(
+        &mut self,
+        _snapshot: EngineSnapshot,
+        _model: &mut dyn Layer,
+    ) -> Result<()> {
+        Ok(())
     }
 }
 

@@ -84,6 +84,32 @@ impl MaskSet {
         }
     }
 
+    /// FNV-1a digest over every `(name, mask bits)` pair in sorted order —
+    /// a cheap fingerprint for asserting two runs converged to the exact
+    /// same topology (e.g. crash-resume identity tests). Empty sets hash
+    /// to the FNV offset basis, reported as 0 by convention upstream.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for (name, mask) in &self.masks {
+            for &b in name.as_bytes() {
+                mix(b);
+            }
+            mix(0);
+            for &v in mask.as_slice() {
+                for b in v.to_bits().to_le_bytes() {
+                    mix(b);
+                }
+            }
+        }
+        h
+    }
+
     /// Per-parameter sparsity, sorted by name.
     pub fn per_layer_sparsity(&self) -> Vec<(String, f64)> {
         self.masks

@@ -46,10 +46,20 @@ pub fn decode(mut buf: impl Buf) -> Result<Tensor> {
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
-        dims.push(buf.get_u64_le() as usize);
+        let d = buf.get_u64_le();
+        dims.push(
+            usize::try_from(d)
+                .map_err(|_| TensorError::Corrupt(format!("dimension {d} out of range")))?,
+        );
     }
+    // Checked element count: corrupt headers can hold dims whose product
+    // overflows, and `remaining < n * 4` must not panic on them either.
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .and_then(|n| n.checked_mul(4).map(|_| n))
+        .ok_or_else(|| TensorError::Corrupt(format!("implausible dims {dims:?}")))?;
     let shape = Shape::new(dims);
-    let n = shape.num_elements();
     if buf.remaining() < n * 4 {
         return Err(TensorError::Corrupt(format!(
             "truncated data: need {} bytes, have {}",
@@ -80,6 +90,18 @@ mod tests {
     fn round_trip_scalar() {
         let t = Tensor::scalar(7.5);
         assert_eq!(decode(encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_overflowing_dims_without_panicking() {
+        // Header claiming dims whose product overflows usize: must be a
+        // clean Err (found by the checkpoint container fuzz tests).
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u32_le(2);
+        b.put_u64_le(u64::MAX / 2);
+        b.put_u64_le(u64::MAX / 2);
+        assert!(decode(b.freeze()).is_err());
     }
 
     #[test]

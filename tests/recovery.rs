@@ -1,0 +1,429 @@
+//! Crash-safety integration tests: kill-and-resume bit-identity, corrupt
+//! checkpoint fallback, numeric-fault policies and the fault-injection
+//! harness (DESIGN.md §8).
+//!
+//! The resume-identity tests are run in CI under `NDSNN_THREADS=1` and
+//! `NDSNN_THREADS=4`: PR 1's bit-stable parallel kernels make the resumed
+//! trajectory exactly reproducible at any thread count.
+
+use std::path::PathBuf;
+
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn::recovery::{FaultAction, FaultKind, FaultPlan, FaultPolicy, RecoveryOptions};
+use ndsnn::trainer::{build_datasets, run_recoverable, run_with_data, RunResult};
+use ndsnn::NdsnnError;
+use ndsnn_data::dataset::InMemoryDataset;
+use ndsnn_snn::models::Architecture;
+
+fn smoke_ndsnn() -> RunConfig {
+    Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Ndsnn {
+            initial_sparsity: 0.5,
+            final_sparsity: 0.9,
+        },
+    )
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ndsnn-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn data(cfg: &RunConfig) -> (InMemoryDataset, InMemoryDataset) {
+    build_datasets(cfg)
+}
+
+/// Asserts the paper-relevant outcome of two runs is exactly equal: per-epoch
+/// losses/accuracies (bit-for-bit), final topology digest, drop-and-grow
+/// history and live-weight counts.
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.epochs.len(), b.epochs.len(), "epoch counts differ");
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(
+            ea.train_loss.to_bits(),
+            eb.train_loss.to_bits(),
+            "train loss diverged at epoch {}",
+            ea.epoch
+        );
+        assert_eq!(ea.train_acc.to_bits(), eb.train_acc.to_bits());
+        assert_eq!(ea.test_acc.to_bits(), eb.test_acc.to_bits());
+        assert_eq!(ea.sparsity.to_bits(), eb.sparsity.to_bits());
+        assert_eq!(ea.spike_rate.to_bits(), eb.spike_rate.to_bits());
+    }
+    assert_eq!(a.mask_history, b.mask_history, "drop/grow histories differ");
+    assert_eq!(a.mask_digest, b.mask_digest, "mask topologies differ");
+    assert_eq!(
+        a.final_live_weights, b.final_live_weights,
+        "live-weight counts differ"
+    );
+    assert_eq!(a.final_test_acc.to_bits(), b.final_test_acc.to_bits());
+    assert_eq!(a.final_sparsity.to_bits(), b.final_sparsity.to_bits());
+    assert_eq!(a.timings.batches, b.timings.batches);
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    // Smoke scale: 3 batches/epoch x 2 epochs = 6 optimizer steps.
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    let dir = tmp_dir("kill-resume");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    // Kill mid-epoch-1 (step 4 = epoch 1, batch 0), right after the step-4
+    // generation is written.
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+    assert!(
+        matches!(err, NdsnnError::Injected(_)),
+        "expected injected kill, got {err}"
+    );
+
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from_step, Some(4));
+    assert_identical(&baseline, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_falls_back_past_corrupt_newest_generation() {
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    let dir = tmp_dir("corrupt-fallback");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+
+    // Flip one payload byte in the newest generation (step 4); resume must
+    // fall back to the step-2 generation and still reproduce the baseline.
+    let gens = ndsnn::checkpoint::list_generations(&dir).unwrap();
+    let (newest_step, newest) = gens.last().unwrap().clone();
+    assert_eq!(newest_step, 4);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from_step, Some(2));
+    assert!(
+        resumed
+            .faults
+            .iter()
+            .any(|f| f.kind == FaultKind::CorruptCheckpoint && f.action == FaultAction::Noted),
+        "corrupt generation must be surfaced as a fault event"
+    );
+    assert_identical(&baseline, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nan_loss_aborts_under_abort_policy() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let mut recovery = RecoveryOptions::default().with_policy(FaultPolicy::Abort);
+    recovery.fault_plan = FaultPlan {
+        nan_loss_at_steps: vec![2],
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &recovery).unwrap_err();
+    assert!(
+        matches!(err, NdsnnError::NumericFault(_)),
+        "expected NumericFault, got {err}"
+    );
+}
+
+#[test]
+fn nan_loss_skipped_under_skip_policy() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let mut recovery = RecoveryOptions::default().with_policy(FaultPolicy::SkipBatch);
+    recovery.fault_plan = FaultPlan {
+        nan_loss_at_steps: vec![2],
+        ..Default::default()
+    };
+    let result = run_recoverable(&cfg, &train, &test, &recovery).unwrap();
+    assert_eq!(result.epochs.len(), cfg.epochs);
+    assert!(result.epochs.iter().all(|e| e.train_loss.is_finite()));
+    let event = result
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::NonFiniteLoss)
+        .expect("NaN loss must be recorded");
+    assert_eq!(event.action, FaultAction::SkippedBatch);
+    assert_eq!(event.step, 2);
+}
+
+#[test]
+fn nan_grad_skipped_under_skip_policy() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let mut recovery = RecoveryOptions::default().with_policy(FaultPolicy::SkipBatch);
+    recovery.fault_plan = FaultPlan {
+        nan_grad_at_steps: vec![3],
+        ..Default::default()
+    };
+    let result = run_recoverable(&cfg, &train, &test, &recovery).unwrap();
+    assert!(result
+        .faults
+        .iter()
+        .any(|f| f.kind == FaultKind::NonFiniteGrad && f.action == FaultAction::SkippedBatch));
+    // The skipped batch must not have polluted the weights.
+    assert!(result.epochs.iter().all(|e| e.train_loss.is_finite()));
+}
+
+#[test]
+fn rollback_policy_reloads_checkpoint_and_dampens_lr() {
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    let dir = tmp_dir("rollback");
+    let mut recovery = RecoveryOptions::with_dir(&dir).with_policy(FaultPolicy::RollbackAndDampen);
+    recovery.fault_plan = FaultPlan {
+        nan_loss_at_steps: vec![3],
+        ..Default::default()
+    };
+    let result = run_recoverable(&cfg, &train, &test, &recovery).unwrap();
+    assert_eq!(result.epochs.len(), cfg.epochs);
+    let event = result
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::NonFiniteLoss)
+        .expect("fault must be recorded");
+    assert_eq!(event.action, FaultAction::RolledBack);
+    assert_eq!(result.resumed_from_step, Some(2));
+    // The final epoch's LR is the schedule value damped by 0.5.
+    let expected = baseline.epochs.last().unwrap().lr * 0.5;
+    let actual = result.epochs.last().unwrap().lr;
+    assert!(
+        (actual - expected).abs() < 1e-9,
+        "expected damped lr {expected}, got {actual}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rollback_without_checkpoint_degrades_to_skip() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let mut recovery = RecoveryOptions::default().with_policy(FaultPolicy::RollbackAndDampen);
+    recovery.fault_plan = FaultPlan {
+        nan_loss_at_steps: vec![1],
+        ..Default::default()
+    };
+    // No checkpoint directory: the policy degrades to skip-batch instead of
+    // failing the run.
+    let result = run_recoverable(&cfg, &train, &test, &recovery).unwrap();
+    assert!(result
+        .faults
+        .iter()
+        .any(|f| f.kind == FaultKind::NonFiniteLoss && f.action == FaultAction::SkippedBatch));
+}
+
+#[test]
+fn divergence_detector_trips_on_inflated_loss() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let mut recovery = RecoveryOptions::default().with_policy(FaultPolicy::SkipBatch);
+    recovery.health.divergence_window = 2;
+    recovery.health.divergence_factor = 4.0;
+    recovery.fault_plan = FaultPlan {
+        inflate_loss_at_steps: vec![(4, 1000.0)],
+        ..Default::default()
+    };
+    let result = run_recoverable(&cfg, &train, &test, &recovery).unwrap();
+    let event = result
+        .faults
+        .iter()
+        .find(|f| f.kind == FaultKind::LossDivergence)
+        .expect("divergence must be detected");
+    assert_eq!(event.action, FaultAction::SkippedBatch);
+    assert_eq!(event.step, 4);
+    // The inflated loss must not contaminate the recorded epoch means.
+    assert!(result.epochs.iter().all(|e| e.train_loss < 100.0));
+}
+
+#[test]
+fn checkpointing_refused_for_unsupported_method() {
+    let mut cfg = Profile::Smoke.run_config(
+        Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Lth {
+            final_sparsity: 0.8,
+            rounds: 1,
+        },
+    );
+    cfg.checkpoint_every = 1;
+    let (train, test) = data(&cfg);
+    let dir = tmp_dir("lth-refused");
+    let err = run_recoverable(&cfg, &train, &test, &RecoveryOptions::with_dir(&dir)).unwrap_err();
+    assert!(
+        matches!(err, NdsnnError::InvalidConfig(ref m) if m.contains("checkpoint")),
+        "expected checkpointing refusal, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_config() {
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+    let dir = tmp_dir("fingerprint");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+
+    let mut other = cfg;
+    other.seed ^= 1;
+    let (train2, test2) = data(&other);
+    let err = run_recoverable(
+        &other,
+        &train2,
+        &test2,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, NdsnnError::InvalidConfig(ref m) if m.contains("configuration")),
+        "expected fingerprint mismatch, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_directory_rejected() {
+    let cfg = smoke_ndsnn();
+    let (train, test) = data(&cfg);
+    let recovery = RecoveryOptions {
+        resume: true,
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &recovery).unwrap_err();
+    assert!(matches!(err, NdsnnError::InvalidConfig(_)));
+}
+
+#[test]
+fn dense_run_checkpoints_and_resumes() {
+    // Dense engines export an empty snapshot; the full loop state still
+    // round-trips.
+    let mut cfg =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    cfg.checkpoint_every = 3;
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    let dir = tmp_dir("dense");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(3),
+        ..Default::default()
+    };
+    run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from_step, Some(3));
+    assert_identical(&baseline, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Container fuzzing (satellite): decoders must return Err or a valid value
+// for arbitrary truncations and byte flips — never panic.
+// ---------------------------------------------------------------------------
+
+mod container_fuzz {
+    use std::collections::BTreeMap;
+
+    use ndsnn::checkpoint::{decode_blobs, decode_entries, encode_blobs, encode_entries};
+    use ndsnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn sample_tensor_container() -> Vec<u8> {
+        let mut entries = BTreeMap::new();
+        entries.insert("fc1.weight".to_string(), Tensor::full([4, 3], 0.5));
+        entries.insert("fc2.weight".to_string(), Tensor::ones([2, 2]));
+        encode_entries(&entries)
+    }
+
+    fn sample_blob_container() -> Vec<u8> {
+        let mut entries = BTreeMap::new();
+        entries.insert("meta".to_string(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        entries.insert("trace".to_string(), (0u8..64).collect());
+        encode_blobs(&entries)
+    }
+
+    #[test]
+    fn truncation_at_every_offset_never_panics() {
+        let tensors = sample_tensor_container();
+        for cut in 0..tensors.len() {
+            // Err expected everywhere except cut == len (not in range), but
+            // the only hard requirement is "no panic".
+            assert!(decode_entries(&tensors[..cut]).is_err() || cut == tensors.len());
+        }
+        let blobs = sample_blob_container();
+        for cut in 0..blobs.len() {
+            assert!(decode_blobs(&blobs[..cut]).is_err() || cut == blobs.len());
+        }
+    }
+
+    #[test]
+    fn random_byte_flips_err_or_valid_never_panic() {
+        let originals = [sample_tensor_container(), sample_blob_container()];
+        let mut rng = StdRng::seed_from_u64(0xF422);
+        for (which, original) in originals.iter().enumerate() {
+            for _ in 0..400 {
+                let mut mutated = original.clone();
+                let flips = 1 + (rng.next_u64() as usize) % 4;
+                for _ in 0..flips {
+                    let pos = (rng.next_u64() as usize) % mutated.len();
+                    let bit = 1u8 << (rng.next_u64() % 8);
+                    mutated[pos] ^= bit;
+                }
+                if which == 0 {
+                    // Err or a decodable map — either is fine; panics are not.
+                    let _ = decode_entries(&mutated);
+                } else {
+                    let _ = decode_blobs(&mutated);
+                }
+            }
+        }
+    }
+}

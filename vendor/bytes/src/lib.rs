@@ -87,6 +87,23 @@ impl Buf for &[u8] {
     }
 }
 
+// Forwarding impl matching `bytes` 1.x: lets callers hand out `&mut b`
+// without giving up the cursor (e.g. decoding several tensors in sequence
+// from one buffer).
+impl<T: Buf + ?Sized> Buf for &mut T {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt);
+    }
+}
+
 /// Write sink for bytes.
 pub trait BufMut {
     /// Appends raw bytes.

@@ -195,6 +195,23 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Exports the full generator state (four 64-bit words). Together
+        /// with [`StdRng::from_state`] this lets checkpointing code freeze
+        /// and resume a random stream mid-sequence; the real `rand` crate
+        /// offers the same capability through `serde` on its rng types.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state exported by [`StdRng::state`].
+        /// The restored stream continues exactly where the exported one
+        /// stopped.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -324,6 +341,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
