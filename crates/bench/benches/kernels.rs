@@ -78,13 +78,26 @@ fn bench_sparse_matmul(c: &mut Criterion) {
             &sparsity,
             |b, _| b.iter(|| matmul(black_box(&x), black_box(&w)).unwrap()),
         );
-        // CSR path for comparison.
-        let csr = CsrMatrix::from_dense(&w.transpose2d().unwrap()).unwrap();
+        // Production sparse path for comparison: the index-only RowPattern
+        // and `sp_xwt`, exactly what the training engine dispatches.
+        let wt = w.transpose2d().unwrap();
+        let pat = ndsnn_tensor::ops::spmm::RowPattern::from_mask(256, 256, wt.as_slice());
         let xv: Vec<f32> = x.as_slice()[..256].to_vec();
         group.bench_with_input(
-            BenchmarkId::new("csr_spmv", format!("{sparsity:.2}")),
+            BenchmarkId::new("row_pattern_spmv", format!("{sparsity:.2}")),
             &sparsity,
-            |b, _| b.iter(|| csr.spmv(black_box(&xv)).unwrap()),
+            |b, _| {
+                let mut y = vec![0.0f32; 256];
+                b.iter(|| {
+                    ndsnn_tensor::ops::spmm::sp_xwt(
+                        black_box(&pat),
+                        black_box(wt.as_slice()),
+                        black_box(&xv),
+                        &mut y,
+                        1,
+                    )
+                })
+            },
         );
     }
     group.finish();
@@ -189,7 +202,8 @@ fn bench_exec_engine(c: &mut Criterion) {
             &sparsity,
             |b, _| {
                 b.iter(|| {
-                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, None).unwrap()
+                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, None, false)
+                        .unwrap()
                 })
             },
         );
@@ -198,7 +212,7 @@ fn bench_exec_engine(c: &mut Criterion) {
             &sparsity,
             |b, _| {
                 b.iter(|| {
-                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, Some(&cpat))
+                    conv2d_forward_exec(black_box(&input), &cw, None, &g, &pool, Some(&cpat), false)
                         .unwrap()
                 })
             },
@@ -210,7 +224,8 @@ fn bench_exec_engine(c: &mut Criterion) {
             &sparsity,
             |b, _| {
                 b.iter(|| {
-                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, None).unwrap()
+                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, None, false)
+                        .unwrap()
                 })
             },
         );
@@ -219,8 +234,16 @@ fn bench_exec_engine(c: &mut Criterion) {
             &sparsity,
             |b, _| {
                 b.iter(|| {
-                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, Some(&cpat))
-                        .unwrap()
+                    conv2d_backward_exec(
+                        black_box(&input),
+                        &cw,
+                        &cgy,
+                        &g,
+                        &pool,
+                        Some(&cpat),
+                        false,
+                    )
+                    .unwrap()
                 })
             },
         );

@@ -1,0 +1,212 @@
+//! Benchmarks of the spike-sparsity-aware binary kernels (DESIGN.md §9):
+//! one full BPTT training iteration with the gather path disabled (the PR 1
+//! engine's behavior) versus enabled at its default density threshold, at
+//! dense and 90%-sparse weights.
+//!
+//! Beyond the per-variant timing lines the criterion shim emits, this bench
+//! appends one `spike_step/summary` JSON record with the measured speedups,
+//! the realized spike density of the workload, and the result of an explicit
+//! bit-identity check between the two dispatch modes — the acceptance
+//! evidence for the spike-kernel PR (`results/bench_spike_kernels.json`).
+
+use std::io::Write as _;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, build_network};
+use ndsnn_snn::layers::Layer;
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::optim::Sgd;
+use ndsnn_sparse::distribution::Distribution;
+use ndsnn_sparse::dynamic::{DynamicConfig, DynamicEngine, GrowthMode, SparsityTrajectory};
+use ndsnn_sparse::engine::{configure_spike_execution, SparseEngine};
+use ndsnn_sparse::schedule::UpdateSchedule;
+use ndsnn_tensor::ops::spike::DEFAULT_SPIKE_DENSITY_THRESHOLD;
+
+/// Same workload as `training_step.rs::exec_cfg`: VGG-16 at width 1/4,
+/// batch 16 — heavy enough that the conv GEMMs dominate the step time.
+fn exec_cfg() -> RunConfig {
+    let mut cfg =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    cfg.width_mult = 0.25;
+    cfg.batch_size = 16;
+    cfg
+}
+
+/// A constant-sparsity engine pinned at `sparsity`, with the *weight*-sparse
+/// dispatch forced on or off (`weight_exec`) — same isolation trick as the
+/// PR 1 bench, so the spike comparison composes with the weight plans.
+fn pinned_engine(sparsity: f64, weight_exec: bool) -> DynamicEngine {
+    let mut engine = DynamicEngine::with_label(
+        "bench",
+        DynamicConfig {
+            initial_sparsity: sparsity,
+            final_sparsity: sparsity,
+            trajectory: SparsityTrajectory::Constant,
+            death_initial: 0.3,
+            death_min: 0.1,
+            update: UpdateSchedule::new(0, 1_000_000, 2_000_000).unwrap(),
+            growth: GrowthMode::Gradient,
+            distribution: Distribution::Erk,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    engine.set_density_threshold(if weight_exec { 1.5 } else { -1.0 });
+    engine
+}
+
+/// `(label, weight_sparsity, weight_exec, spike_threshold)` — spike threshold
+/// `-1.0` forces the dense path (exactly the PR 1 engine), and the default
+/// threshold is the shipped spike-aware behavior.
+const VARIANTS: [(&str, f64, bool, f64); 4] = [
+    ("dense_w_spike_off", 0.0, false, -1.0),
+    (
+        "dense_w_spike_on",
+        0.0,
+        false,
+        DEFAULT_SPIKE_DENSITY_THRESHOLD,
+    ),
+    ("sparse90_spike_off", 0.9, true, -1.0),
+    (
+        "sparse90_spike_on",
+        0.9,
+        true,
+        DEFAULT_SPIKE_DENSITY_THRESHOLD,
+    ),
+];
+
+struct Rig {
+    net: ndsnn_snn::network::SpikingNetwork,
+    engine: DynamicEngine,
+    opt: Sgd,
+    step: usize,
+}
+
+fn build_rig(cfg: &RunConfig, sparsity: f64, weight_exec: bool, spike_threshold: f64) -> Rig {
+    let mut net = build_network(cfg).unwrap();
+    let mut engine = pinned_engine(sparsity.max(0.01), weight_exec);
+    if sparsity == 0.0 {
+        // A ~dense mask: the engine machinery runs but prunes ~1%.
+        engine.set_density_threshold(-1.0);
+    }
+    engine.init(&mut net.layers).unwrap();
+    configure_spike_execution(&mut net.layers, spike_threshold);
+    Rig {
+        net,
+        engine,
+        opt: Sgd::new(cfg.sgd),
+        step: 0,
+    }
+}
+
+fn step_once(rig: &mut Rig, batch: &ndsnn_data::loader::Batch) -> f32 {
+    let stats = rig.net.train_batch(&batch.images, &batch.labels).unwrap();
+    rig.engine
+        .before_optim(rig.step, &mut rig.net.layers)
+        .unwrap();
+    rig.opt.step(&mut rig.net.layers).unwrap();
+    rig.engine
+        .after_optim(rig.step, &mut rig.net.layers)
+        .unwrap();
+    rig.step += 1;
+    stats.loss
+}
+
+/// Pulls the `median_ns` of the last JSON line whose id matches, if the
+/// bench-JSON file is being written.
+fn median_from_json(path: &str, id: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"id\":\"{id}\"");
+    let line = text.lines().rev().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    rest.split(&[',', '}'][..]).next()?.trim().parse().ok()
+}
+
+fn bench_spike_step(c: &mut Criterion) {
+    let cfg = exec_cfg();
+    let (train, _) = build_datasets(&cfg);
+    let loader = ndsnn_data::loader::BatchLoader::eval(cfg.batch_size);
+    let batch = loader.epoch(&train, 0).remove(0);
+
+    // ---- Bit-identity check + realized-density measurement (untimed). ----
+    // At each weight sparsity, a few optimizer steps with the spike path off
+    // and on must follow bit-identical loss trajectories; the realized spike
+    // density of the workload is read off the exec counters.
+    let mut losses_bit_identical = true;
+    let mut realized_density = 0.0f64;
+    for &(_, sparsity, weight_exec, spike_threshold) in &VARIANTS {
+        if spike_threshold < 0.0 {
+            continue;
+        }
+        let mut off = build_rig(&cfg, sparsity, weight_exec, -1.0);
+        let mut on = build_rig(&cfg, sparsity, weight_exec, spike_threshold);
+        for _ in 0..3 {
+            let loss_off = step_once(&mut off, &batch);
+            let loss_on = step_once(&mut on, &batch);
+            if loss_off.to_bits() != loss_on.to_bits() {
+                losses_bit_identical = false;
+                eprintln!(
+                    "spike_kernels: loss diverged at sparsity {sparsity}: {loss_off} vs {loss_on}"
+                );
+            }
+        }
+        let exec = on.net.layers.spike_exec_stats();
+        if exec.elems > 0 {
+            realized_density = realized_density.max(exec.density());
+        }
+    }
+    println!(
+        "spike_kernels: losses_bit_identical={losses_bit_identical}, \
+         realized_density={realized_density:.4}"
+    );
+
+    // ---- Timed comparison. ----
+    let mut group = c.benchmark_group("spike_step");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for &(label, sparsity, weight_exec, spike_threshold) in &VARIANTS {
+        group.bench_with_input(BenchmarkId::new("vgg16_w4", label), &label, |b, _| {
+            let mut rig = build_rig(&cfg, sparsity, weight_exec, spike_threshold);
+            b.iter(|| black_box(step_once(&mut rig, &batch)));
+        });
+    }
+    group.finish();
+
+    // ---- Summary record for results/. ----
+    let Ok(path) = std::env::var("NDSNN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let median = |label: &str| median_from_json(&path, &format!("spike_step/vgg16_w4/{label}"));
+    let speedup = |off: &str, on: &str| -> f64 {
+        match (median(off), median(on)) {
+            (Some(a), Some(b)) if b > 0.0 => a / b,
+            _ => 0.0,
+        }
+    };
+    let dense_w_speedup = speedup("dense_w_spike_off", "dense_w_spike_on");
+    let sparse90_speedup = speedup("sparse90_spike_off", "sparse90_spike_on");
+    let line = format!(
+        "{{\"id\":\"spike_step/summary\",\"dense_w_speedup\":{dense_w_speedup:.3},\
+         \"sparse90_speedup\":{sparse90_speedup:.3},\
+         \"realized_density\":{realized_density:.4},\
+         \"losses_bit_identical\":{losses_bit_identical}}}\n"
+    );
+    print!("spike_kernels summary: {line}");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("spike_kernels: could not append summary to {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_spike_step);
+criterion_main!(benches);

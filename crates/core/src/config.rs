@@ -159,6 +159,12 @@ pub struct RunConfig {
     /// checkpoint directory is supplied via
     /// [`crate::recovery::RecoveryOptions`].
     pub checkpoint_every: usize,
+    /// Spike-density threshold for the activation-sparsity-aware kernels: a
+    /// timestep whose realized spike density falls strictly below it runs
+    /// the multiply-free gather path (bit-identical to dense). `None` defers
+    /// to `NDSNN_SPIKE_DENSITY_THRESHOLD` (default 0.25); negative forces
+    /// dense execution, `>= 1.0` forces the gather path.
+    pub spike_density_threshold: Option<f64>,
 }
 
 impl RunConfig {

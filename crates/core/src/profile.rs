@@ -35,6 +35,19 @@ pub struct PhaseTimings {
     pub optim_ns: u64,
     /// Number of training batches these totals cover.
     pub batches: u64,
+    /// Time inside the spike-gather kernel dispatches. A *subset* of
+    /// `forward_ns`/`backward_ns` (the gathers run inside BPTT), so it is
+    /// not added to [`PhaseTimings::total_ns`].
+    pub spike_gather_ns: u64,
+    /// Consumer-layer timestep dispatches routed through the gather kernels.
+    pub spike_gather_steps: u64,
+    /// Consumer-layer timestep dispatches that saw a usable spike batch but
+    /// ran dense (density at/above the threshold, or a weight plan won).
+    pub spike_dense_steps: u64,
+    /// Fired entries across all spike batches consumer layers received.
+    pub spike_nnz: u64,
+    /// Total entries (fired + silent) across those batches.
+    pub spike_elems: u64,
 }
 
 impl PhaseTimings {
@@ -45,10 +58,16 @@ impl PhaseTimings {
 
     /// Mean time per batch across all phases, in nanoseconds.
     pub fn mean_batch_ns(&self) -> u64 {
-        if self.batches == 0 {
-            0
+        self.total_ns().checked_div(self.batches).unwrap_or(0)
+    }
+
+    /// Realized spike density over every batch the consumer layers received
+    /// during training, in `[0, 1]` (0 when no batch was ever seen).
+    pub fn realized_spike_density(&self) -> f64 {
+        if self.spike_elems == 0 {
+            0.0
         } else {
-            self.total_ns() / self.batches
+            self.spike_nnz as f64 / self.spike_elems as f64
         }
     }
 }
@@ -161,6 +180,7 @@ impl Profile {
             update_horizon: 0.75,
             neuron: Default::default(),
             checkpoint_every: 0,
+            spike_density_threshold: None,
         }
     }
 }

@@ -603,6 +603,11 @@ pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
     tr.put_u64(snap.timings.pack_ns);
     tr.put_u64(snap.timings.optim_ns);
     tr.put_u64(snap.timings.batches);
+    tr.put_u64(snap.timings.spike_gather_ns);
+    tr.put_u64(snap.timings.spike_gather_steps);
+    tr.put_u64(snap.timings.spike_dense_steps);
+    tr.put_u64(snap.timings.spike_nnz);
+    tr.put_u64(snap.timings.spike_elems);
     encode_faults(&mut tr, &snap.faults);
     entries.insert("trace".to_string(), tr.finish());
 
@@ -723,6 +728,11 @@ pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapsho
         pack_ns: tr.get_u64()?,
         optim_ns: tr.get_u64()?,
         batches: tr.get_u64()?,
+        spike_gather_ns: tr.get_u64()?,
+        spike_gather_steps: tr.get_u64()?,
+        spike_dense_steps: tr.get_u64()?,
+        spike_nnz: tr.get_u64()?,
+        spike_elems: tr.get_u64()?,
     };
     let faults = decode_faults(&mut tr)?;
     tr.finish()?;
@@ -815,6 +825,11 @@ mod tests {
                 pack_ns: 3,
                 optim_ns: 4,
                 batches: 5,
+                spike_gather_ns: 6,
+                spike_gather_steps: 7,
+                spike_dense_steps: 8,
+                spike_nnz: 9,
+                spike_elems: 10,
             },
             faults: vec![FaultEvent {
                 step: 6,

@@ -12,21 +12,25 @@ use ndsnn_data::augment::AugmentConfig;
 use ndsnn_data::dataset::InMemoryDataset;
 use ndsnn_data::loader::BatchLoader;
 use ndsnn_data::synthetic::{generate, SyntheticConfig};
-use ndsnn_metrics::cost::ActivityTrace;
+use ndsnn_metrics::cost::{
+    training_flops_report, ActivityTrace, TrainingFlops, ASSUMED_SPIKE_RATE,
+};
+use ndsnn_metrics::flops::LayerCompute;
 use ndsnn_metrics::meters::{AccuracyMeter, AvgMeter, EpochRecord};
-use ndsnn_snn::layers::{Layer, SpikeStats};
+use ndsnn_snn::layers::{ComputeSite, Layer, SpikeStats};
 use ndsnn_snn::models::{Architecture, ModelConfig};
 use ndsnn_snn::network::SpikingNetwork;
 use ndsnn_snn::optim::{CosineSchedule, Sgd};
 use ndsnn_sparse::admm::{AdmmConfig, AdmmEngine};
 use ndsnn_sparse::dynamic::UpdateEvent;
-use ndsnn_sparse::engine::{DenseEngine, SparseEngine};
+use ndsnn_sparse::engine::{configure_spike_execution, DenseEngine, SparseEngine};
 use ndsnn_sparse::lth::{LthConfig, LthController};
 use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
 use ndsnn_sparse::rigl::{rigl_engine, RiglConfig};
 use ndsnn_sparse::schedule::UpdateSchedule;
 use ndsnn_sparse::set::{set_engine, SetConfig};
 use ndsnn_sparse::structured::{StructuredConfig, StructuredEngine};
+use ndsnn_tensor::ops::spike::spike_density_threshold_from_env;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -62,6 +66,10 @@ pub struct RunResult {
     /// Average spike rate per spiking layer over the final training epoch —
     /// the per-layer view of the §IV.C activity analysis.
     pub layer_spike_rates: Vec<(String, f64)>,
+    /// Per-sample training FLOPs, reported at both the assumed constant
+    /// spike rate and the measured (realized) per-layer rates of the final
+    /// epoch (paper Eq. 6–7).
+    pub flops: TrainingFlops,
     /// Accumulated per-phase wall-clock timings over all training batches.
     pub timings: PhaseTimings,
     /// Drop-and-grow mask-update history (empty for methods without one).
@@ -390,6 +398,11 @@ fn run_attempt(
 ) -> std::result::Result<RunResult, AttemptFail> {
     let health = recovery.health;
     let mut net = build_network(cfg)?;
+    configure_spike_execution(
+        &mut net.layers,
+        cfg.spike_density_threshold
+            .unwrap_or_else(spike_density_threshold_from_env),
+    );
     let num_params = net.num_params();
     let loader = BatchLoader::new(
         cfg.batch_size,
@@ -510,6 +523,15 @@ fn run_attempt(
             let (mut stats, forward_ns, backward_ns) = net
                 .train_batch_instrumented(&batch.images, &batch.labels)
                 .map_err(|e| NdsnnError::Snn(e.to_string()))?;
+            // Drain the spike-execution counters every batch (they survive
+            // in `timings`, which checkpoints carry across resumes).
+            let spike_exec = net.layers.spike_exec_stats();
+            net.layers.reset_spike_exec_stats();
+            timings.spike_gather_ns += spike_exec.kernel_ns;
+            timings.spike_gather_steps += spike_exec.gather_steps;
+            timings.spike_dense_steps += spike_exec.dense_steps;
+            timings.spike_nnz += spike_exec.nnz;
+            timings.spike_elems += spike_exec.elems;
             // `this_step` is the post-increment counter: the checkpoint id
             // and the step named by the fault plan.
             let this_step = step + 1;
@@ -711,6 +733,9 @@ fn run_attempt(
                 .map_err(|e| NdsnnError::Snn(e.to_string()))?;
             test_meter.update(stats.correct, stats.total);
         }
+        // Evaluation runs the same spike path; keep its counters out of the
+        // training-phase totals.
+        net.layers.reset_spike_exec_stats();
         final_test = test_meter.percent();
         best_test = best_test.max(final_test);
         records.push(EpochRecord {
@@ -725,13 +750,17 @@ fn run_attempt(
         epoch += 1;
     }
 
-    // Measure the weights' actual sparsity (not just the mask's claim).
+    // Measure the weights' actual sparsity (not just the mask's claim),
+    // recording the per-layer densities for the FLOPs report.
     let mut nonzero = 0usize;
     let mut total = 0usize;
+    let mut weight_density: Vec<(String, f64)> = Vec::new();
     net.layers.for_each_param(&mut |p| {
         if p.is_sparsifiable() {
-            nonzero += p.value.count_nonzero();
+            let nz = p.value.count_nonzero();
+            nonzero += nz;
             total += p.len();
+            weight_density.push((p.name.clone(), nz as f64 / p.len().max(1) as f64));
         }
     });
     let final_sparsity = if total == 0 {
@@ -739,6 +768,48 @@ fn run_attempt(
     } else {
         1.0 - nonzero as f64 / total as f64
     };
+
+    // Training-FLOPs report (satellite of §IV.C): walk the network's compute
+    // sites in forward order, pairing each conv/linear with the measured rate
+    // of the nearest preceding spike emitter — the first consumer sees the
+    // analog (direct-encoded) input at the assumed rate. Emitters inside
+    // composite blocks fall back to the block's aggregate rate.
+    let mut sites = Vec::new();
+    net.layers.collect_compute(&mut sites);
+    let mut flop_layers = Vec::new();
+    let mut flop_densities = Vec::new();
+    let mut flop_rates = Vec::new();
+    let mut current_rate = ASSUMED_SPIKE_RATE;
+    for site in sites {
+        match site {
+            ComputeSite::Emitter { name } => {
+                current_rate = layer_rates
+                    .iter()
+                    .find(|(n, _)| *n == name || name.starts_with(&format!("{n}.")))
+                    .map(|(_, r)| *r)
+                    .unwrap_or(ASSUMED_SPIKE_RATE);
+            }
+            ComputeSite::Consumer {
+                name,
+                weights,
+                output_positions,
+            } => {
+                let d = weight_density
+                    .iter()
+                    .find(|(n, _)| *n == format!("{name}.weight"))
+                    .map(|(_, d)| *d)
+                    .unwrap_or(1.0);
+                flop_layers.push(LayerCompute {
+                    name,
+                    weights,
+                    output_positions,
+                });
+                flop_densities.push(d);
+                flop_rates.push(current_rate);
+            }
+        }
+    }
+    let flops = training_flops_report(&flop_layers, &flop_densities, &flop_rates, cfg.timesteps);
 
     let mask_digest = engine
         .as_engine()
@@ -757,6 +828,7 @@ fn run_attempt(
         num_params,
         final_sparsity,
         layer_spike_rates: layer_rates,
+        flops,
         timings,
         mask_history,
         mask_digest,
@@ -898,6 +970,58 @@ mod tests {
         let mut cfg = smoke(MethodSpec::Dense);
         cfg.epochs = 0;
         assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn flops_report_uses_realized_rates() {
+        let cfg = smoke(MethodSpec::Dense);
+        let result = run(&cfg).unwrap();
+        assert!(result.flops.assumed > 0.0);
+        assert!(result.flops.realized > 0.0);
+        // Spiking layers fire well below the assumed constant, so the
+        // realized estimate must come in under the assumed one.
+        assert!(
+            result.flops.realized < result.flops.assumed,
+            "realized {} vs assumed {}",
+            result.flops.realized,
+            result.flops.assumed
+        );
+        assert!((0.0..=1.0).contains(&result.flops.realized_rate));
+        // Consumers saw spike batches during training.
+        assert!(result.timings.spike_elems > 0);
+        assert!(result.timings.realized_spike_density() > 0.0);
+        // Both estimates land in the archived JSON.
+        let json = result.to_json();
+        assert!(json.contains("\"assumed\""));
+        assert!(json.contains("\"realized\""));
+    }
+
+    #[test]
+    fn spike_density_threshold_config_switches_dispatch_bit_identically() {
+        let mut gather_cfg = smoke(MethodSpec::Dense);
+        gather_cfg.spike_density_threshold = Some(1.5);
+        let gather = run(&gather_cfg).unwrap();
+        assert!(
+            gather.timings.spike_gather_steps > 0,
+            "forced-gather run never used the spike kernels: {:?}",
+            gather.timings
+        );
+
+        let mut dense_cfg = smoke(MethodSpec::Dense);
+        dense_cfg.spike_density_threshold = Some(-1.0);
+        let dense = run(&dense_cfg).unwrap();
+        assert_eq!(dense.timings.spike_gather_steps, 0);
+        assert!(dense.timings.spike_dense_steps > 0);
+
+        // The gather kernels are exact: both runs follow the same numeric
+        // trajectory bit for bit (the config field is execution-only, so it
+        // is excluded from the loss comparison, not from the JSON).
+        assert_eq!(gather.epochs.len(), dense.epochs.len());
+        for (g, d) in gather.epochs.iter().zip(&dense.epochs) {
+            assert_eq!(g.train_loss, d.train_loss, "loss diverged");
+            assert_eq!(g.train_acc, d.train_acc);
+            assert_eq!(g.test_acc, d.test_acc);
+        }
     }
 
     #[test]

@@ -13,6 +13,54 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::flops::{training_flops, LayerCompute};
+
+/// Input spike rate assumed for a layer whose activity was not measured:
+/// every input fires every timestep. This is the ANN-equivalent upper bound
+/// the paper's FLOP savings are quoted against, and the constant the repo
+/// reported before realized rates were wired in.
+pub const ASSUMED_SPIKE_RATE: f64 = 1.0;
+
+/// Per-sample training-FLOPs estimate reported two ways: at the
+/// [`ASSUMED_SPIKE_RATE`] constant, and at the measured (realized) per-layer
+/// input spike rates — the paper's Eq. 6–7 distinction between nominal and
+/// activity-scaled compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingFlops {
+    /// Training FLOPs per sample with every layer at the assumed rate.
+    pub assumed: f64,
+    /// Training FLOPs per sample at the measured per-layer input rates.
+    pub realized: f64,
+    /// MAC-and-density-weighted mean realized input rate (`realized /
+    /// assumed`, scaled back to a rate) — the effective `R` of Eq. 6.
+    pub realized_rate: f64,
+}
+
+/// Builds a [`TrainingFlops`] report from per-layer compute descriptors,
+/// weight densities and measured input spike rates (all index-matched;
+/// missing rate entries fall back to [`ASSUMED_SPIKE_RATE`], missing
+/// densities to dense).
+pub fn training_flops_report(
+    layers: &[LayerCompute],
+    densities: &[f64],
+    realized_rates: &[f64],
+    timesteps: usize,
+) -> TrainingFlops {
+    let assumed_rates = vec![ASSUMED_SPIKE_RATE; layers.len()];
+    let assumed = training_flops(layers, densities, &assumed_rates, timesteps);
+    let realized = training_flops(layers, densities, realized_rates, timesteps);
+    let realized_rate = if assumed > 0.0 {
+        realized / assumed * ASSUMED_SPIKE_RATE
+    } else {
+        ASSUMED_SPIKE_RATE
+    };
+    TrainingFlops {
+        assumed,
+        realized,
+        realized_rate,
+    }
+}
+
 /// One epoch's activity sample for a single training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochActivity {
@@ -145,6 +193,38 @@ mod tests {
         let s = trace("X", &[(0.5, 0.5)]);
         assert_eq!(relative_training_cost(&s, &e), 0.0);
         assert_eq!(cost_ratio(&s, &e), 0.0);
+    }
+
+    #[test]
+    fn flops_report_scales_with_realized_rates() {
+        let layers = vec![
+            LayerCompute {
+                name: "conv".into(),
+                weights: 1000,
+                output_positions: 64,
+            },
+            LayerCompute {
+                name: "fc".into(),
+                weights: 5000,
+                output_positions: 1,
+            },
+        ];
+        let r = training_flops_report(&layers, &[1.0, 1.0], &[0.25, 0.25], 2);
+        assert!(r.assumed > 0.0);
+        assert!((r.realized / r.assumed - 0.25).abs() < 1e-12);
+        assert!((r.realized_rate - 0.25).abs() < 1e-12);
+        // Weight density scales both estimates, leaving the rate unchanged.
+        let d = training_flops_report(&layers, &[0.1, 0.1], &[0.25, 0.25], 2);
+        assert!((d.assumed / r.assumed - 0.1).abs() < 1e-12);
+        assert!((d.realized_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_report_empty_defaults_to_assumed_rate() {
+        let r = training_flops_report(&[], &[], &[], 1);
+        assert_eq!(r.assumed, 0.0);
+        assert_eq!(r.realized, 0.0);
+        assert_eq!(r.realized_rate, ASSUMED_SPIKE_RATE);
     }
 
     #[test]

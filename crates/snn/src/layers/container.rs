@@ -1,9 +1,10 @@
 //! Layer composition.
 
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::Result;
-use crate::layers::{Layer, SpikeStats};
+use crate::layers::{ComputeSite, Layer, SpikeExecStats, SpikeStats};
 use crate::param::Param;
 
 /// A chain of layers executed in order per timestep.
@@ -66,6 +67,16 @@ impl Sequential {
             .filter(|(_, s)| s.neuron_steps > 0)
             .collect()
     }
+
+    /// Per-layer spike-execution statistics (name, stats) for children that
+    /// saw at least one spike batch.
+    pub fn spike_exec_stats_per_layer(&self) -> Vec<(String, SpikeExecStats)> {
+        self.layers
+            .iter()
+            .map(|l| (l.name().to_string(), l.spike_exec_stats()))
+            .filter(|(_, s)| s.elems > 0 || s.gather_steps > 0)
+            .collect()
+    }
 }
 
 impl Layer for Sequential {
@@ -74,11 +85,26 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        // Thread spike metadata between children even on the plain entry
+        // point: emitters hand fired-index batches straight to consumers, so
+        // the whole network benefits without the driver changing.
+        Ok(self.forward_spikes(input, None, step)?.0)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
         let mut x = input.clone();
+        let mut sb = spikes;
         for layer in &mut self.layers {
-            x = layer.forward(&x, step)?;
+            let (y, next) = layer.forward_spikes(&x, sb, step)?;
+            x = y;
+            sb = next;
         }
-        Ok(x)
+        Ok((x, sb))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -124,6 +150,32 @@ impl Layer for Sequential {
     fn reset_spike_stats(&mut self) {
         for layer in &mut self.layers {
             layer.reset_spike_stats();
+        }
+    }
+
+    fn set_spike_density_threshold(&mut self, threshold: f64) {
+        for layer in &mut self.layers {
+            layer.set_spike_density_threshold(threshold);
+        }
+    }
+
+    fn spike_exec_stats(&self) -> SpikeExecStats {
+        let mut total = SpikeExecStats::default();
+        for layer in &self.layers {
+            total.merge(layer.spike_exec_stats());
+        }
+        total
+    }
+
+    fn reset_spike_exec_stats(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_spike_exec_stats();
+        }
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        for layer in &self.layers {
+            layer.collect_compute(out);
         }
     }
 }

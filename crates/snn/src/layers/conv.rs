@@ -1,12 +1,14 @@
 //! Spiking 2-D convolution layer.
 
 use ndsnn_tensor::ops::conv::{conv2d_backward_exec, conv2d_forward_exec, Conv2dGeometry};
+use ndsnn_tensor::ops::spike::{spike_density_threshold_from_env, SpikeBatch};
 use ndsnn_tensor::scratch::ScratchPool;
 use ndsnn_tensor::Tensor;
 use rand::Rng;
+use std::time::Instant;
 
 use crate::error::{Result, SnnError};
-use crate::layers::Layer;
+use crate::layers::{ComputeSite, Layer, SpikeExecStats};
 use crate::param::{Param, ParamKind};
 
 /// A 2-D convolution applied independently at every timestep.
@@ -21,6 +23,15 @@ pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
     input_cache: Vec<Tensor>,
+    /// Per-step record of whether the spike-gather dispatch was chosen, so
+    /// the backward `dW` pass takes the matching multiply-free path.
+    spike_gather_cache: Vec<bool>,
+    spike_threshold: f64,
+    exec: SpikeExecStats,
+    /// Output spatial positions per sample (`H_out·W_out`) from the last
+    /// forward pass — geometry alone cannot supply it because the output
+    /// size depends on the input size. Feeds [`Layer::collect_compute`].
+    out_positions: usize,
     training: bool,
     /// im2col/col2im workspaces, allocated once and reused across every
     /// timestep and epoch this layer runs.
@@ -59,6 +70,10 @@ impl Conv2d {
             weight,
             bias,
             input_cache: Vec::new(),
+            spike_gather_cache: Vec::new(),
+            spike_threshold: spike_density_threshold_from_env(),
+            exec: SpikeExecStats::default(),
+            out_positions: 0,
             training: true,
             scratch: ScratchPool::new(),
         })
@@ -68,6 +83,57 @@ impl Conv2d {
     pub fn geometry(&self) -> &Conv2dGeometry {
         &self.geometry
     }
+
+    /// Shared forward body: [`Layer::forward`] passes `spikes = None`. The
+    /// conv gathers rebuild fired indices from the im2col buffer, so the
+    /// batch itself is only consulted for binarity certification, density and
+    /// stats.
+    fn forward_impl(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<&SpikeBatch>,
+        step: usize,
+    ) -> Result<Tensor> {
+        let usable = spikes.is_some_and(|sb| {
+            input.rank() == 4
+                && sb.rows() == input.dims()[0]
+                && sb.rows() * sb.cols() == input.len()
+        });
+        let mut gather = false;
+        if let Some(sb) = spikes.filter(|_| usable) {
+            self.exec.nnz += sb.nnz() as u64;
+            self.exec.elems += (sb.rows() * sb.cols()) as u64;
+            gather = sb.density() < self.spike_threshold;
+        }
+        // An installed weight plan takes priority inside the exec kernel (at
+        // the engine's target weight sparsity sp_mm touches fewer terms than
+        // a spike gather at threshold density).
+        let t0 = Instant::now();
+        let pattern = self.weight.exec_pattern()?;
+        let routed_gather = gather && pattern.is_none();
+        let out = conv2d_forward_exec(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            &self.geometry,
+            &self.scratch,
+            pattern,
+            gather,
+        )?;
+        if routed_gather {
+            self.exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+            self.exec.gather_steps += 1;
+        } else if usable {
+            self.exec.dense_steps += 1;
+        }
+        self.out_positions = out.dims()[2] * out.dims()[3];
+        if self.training {
+            debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
+            self.input_cache.push(input.clone());
+            self.spike_gather_cache.push(gather);
+        }
+        Ok(out)
+    }
 }
 
 impl Layer for Conv2d {
@@ -76,19 +142,17 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        let out = conv2d_forward_exec(
-            input,
-            &self.weight.value,
-            self.bias.as_ref().map(|b| &b.value),
-            &self.geometry,
-            &self.scratch,
-            self.weight.exec_pattern()?,
-        )?;
-        if self.training {
-            debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
-            self.input_cache.push(input.clone());
-        }
-        Ok(out)
+        self.forward_impl(input, None, step)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // Consumes the incoming batch; the conv output is not binary.
+        Ok((self.forward_impl(input, spikes.as_ref(), step)?, None))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -98,6 +162,10 @@ impl Layer for Conv2d {
                 self.name
             ))
         })?;
+        // The dW gather composes with an installed weight plan (dW stays
+        // dense-valued either way), so replay the forward's spike decision.
+        let gather = self.spike_gather_cache.get(step).copied().unwrap_or(false);
+        let t0 = Instant::now();
         let grads = conv2d_backward_exec(
             x,
             &self.weight.value,
@@ -105,7 +173,12 @@ impl Layer for Conv2d {
             &self.geometry,
             &self.scratch,
             self.weight.exec_pattern()?,
+            gather,
         )?;
+        if gather {
+            self.exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+            self.exec.gather_steps += 1;
+        }
         self.weight.grad.add_assign(&grads.weight_grad)?;
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&grads.bias_grad)?;
@@ -115,6 +188,7 @@ impl Layer for Conv2d {
 
     fn reset_state(&mut self) {
         self.input_cache.clear();
+        self.spike_gather_cache.clear();
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -126,6 +200,26 @@ impl Layer for Conv2d {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn set_spike_density_threshold(&mut self, threshold: f64) {
+        self.spike_threshold = threshold;
+    }
+
+    fn spike_exec_stats(&self) -> SpikeExecStats {
+        self.exec
+    }
+
+    fn reset_spike_exec_stats(&mut self) {
+        self.exec = SpikeExecStats::default();
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        out.push(ComputeSite::Consumer {
+            name: self.name.clone(),
+            weights: self.weight.value.len(),
+            output_positions: self.out_positions,
+        });
     }
 }
 

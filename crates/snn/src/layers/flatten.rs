@@ -1,5 +1,6 @@
 //! Shape adapter between convolutional and fully-connected stages.
 
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::{Result, SnnError};
@@ -44,6 +45,17 @@ impl Layer for Flatten {
             self.input_dims.push(input.dims().to_vec());
         }
         Ok(input.reshape([b, rest])?)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // A spike batch is already `[batch, flattened features]`, the exact
+        // view this layer produces — pass it through untouched.
+        Ok((self.forward(input, step)?, spikes))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {

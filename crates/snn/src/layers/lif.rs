@@ -1,10 +1,11 @@
 //! The Leaky Integrate-and-Fire spiking activation layer.
 
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SnnError};
-use crate::layers::{Layer, SpikeStats};
+use crate::layers::{ComputeSite, Layer, SpikeStats};
 use crate::surrogate::Surrogate;
 
 /// How the membrane potential resets after a spike.
@@ -114,14 +115,17 @@ impl LifLayer {
     pub fn config(&self) -> &LifConfig {
         &self.config
     }
-}
 
-impl Layer for LifLayer {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+    /// The fused membrane-update/fire/cache pass shared by [`Layer::forward`]
+    /// and [`Layer::forward_spikes`]. When `fired` is provided, the flat
+    /// indices of spiking neurons are pushed in ascending order (the loop is a
+    /// single ascending scan), ready for [`SpikeBatch::from_flat_indices`].
+    fn step_core(
+        &mut self,
+        input: &Tensor,
+        step: usize,
+        mut fired: Option<&mut Vec<u32>>,
+    ) -> Result<Tensor> {
         let cfg = self.config;
         let thr = cfg.v_threshold;
         // Single fused pass over the population: membrane update (soft:
@@ -163,9 +167,14 @@ impl Layer for LifLayer {
                     ResetMode::Hard => cfg.alpha * vd[i] * (1.0 - op) + id[i],
                 };
                 vd[i] = nv;
-                let fired = nv - thr >= 0.0;
-                od[i] = f32::from(fired);
-                spikes += u64::from(fired);
+                let f = nv - thr >= 0.0;
+                od[i] = f32::from(f);
+                spikes += u64::from(f);
+                if f {
+                    if let Some(idx) = fired.as_deref_mut() {
+                        idx.push(i as u32);
+                    }
+                }
                 if let Some(xs) = xd.as_deref_mut() {
                     xs[i] = nv - thr;
                 }
@@ -180,6 +189,38 @@ impl Layer for LifLayer {
         self.v = Some(v);
         self.o_prev = Some(o.clone());
         Ok(o)
+    }
+}
+
+impl Layer for LifLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        self.step_core(input, step, None)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        _spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // Emit this layer's output spike batch. The batch is laid out
+        // [batch, features]: the leading input dim is the sample axis and
+        // everything behind it flattens into the feature axis, which is
+        // exactly how downstream Linear/Conv consumers index the data.
+        let dims = input.dims();
+        if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
+            return Ok((self.step_core(input, step, None)?, None));
+        }
+        let rows = dims[0];
+        let cols = input.len() / rows;
+        let mut fired = Vec::new();
+        let o = self.step_core(input, step, Some(&mut fired))?;
+        let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
+        Ok((o, Some(batch)))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -269,6 +310,12 @@ impl Layer for LifLayer {
 
     fn reset_spike_stats(&mut self) {
         self.stats = SpikeStats::default();
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        out.push(ComputeSite::Emitter {
+            name: self.name.clone(),
+        });
     }
 }
 

@@ -2,12 +2,16 @@
 
 use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
 use ndsnn_tensor::ops::reduce::sum_axis0;
+use ndsnn_tensor::ops::spike::{
+    gather_at_b, gather_xwt, spike_density_threshold_from_env, SpikeBatch,
+};
 use ndsnn_tensor::ops::spmm::{sp_gy_w, sp_xwt};
 use ndsnn_tensor::Tensor;
 use rand::Rng;
+use std::time::Instant;
 
 use crate::error::{Result, SnnError};
-use crate::layers::Layer;
+use crate::layers::{ComputeSite, Layer, SpikeExecStats};
 use crate::param::{Param, ParamKind};
 
 /// A linear (fully-connected) layer `y = x·Wᵀ + b` applied per timestep.
@@ -20,6 +24,11 @@ pub struct Linear {
     weight: Param,
     bias: Option<Param>,
     input_cache: Vec<Tensor>,
+    /// Per-step spike batches received via [`Layer::forward_spikes`]; lets the
+    /// backward pass gather `dW` over fired columns of the cached input.
+    spike_cache: Vec<Option<SpikeBatch>>,
+    spike_threshold: f64,
+    exec: SpikeExecStats,
     training: bool,
 }
 
@@ -55,6 +64,9 @@ impl Linear {
             weight,
             bias,
             input_cache: Vec::new(),
+            spike_cache: Vec::new(),
+            spike_threshold: spike_density_threshold_from_env(),
+            exec: SpikeExecStats::default(),
             training: true,
         })
     }
@@ -68,15 +80,34 @@ impl Linear {
     pub fn in_features(&self) -> usize {
         self.weight.value.dims()[1]
     }
-}
 
-impl Layer for Linear {
-    fn name(&self) -> &str {
-        &self.name
+    /// True when `spikes` describes exactly this step's `input` tensor, so the
+    /// gather kernels may substitute for the dense matmuls.
+    fn spikes_usable(&self, input: &Tensor, spikes: Option<&SpikeBatch>) -> bool {
+        spikes.is_some_and(|sb| {
+            input.rank() == 2
+                && sb.rows() == input.dims()[0]
+                && sb.cols() == input.dims()[1]
+                && sb.cols() == self.in_features()
+        })
     }
 
-    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        // y(B×Out) = x(B×In) · Wᵀ(In×Out); row-sparse when a plan is installed.
+    /// Shared forward body: [`Layer::forward`] passes `spikes = None`.
+    fn forward_impl(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<Tensor> {
+        let usable = self.spikes_usable(input, spikes.as_ref());
+        if let Some(sb) = spikes.as_ref().filter(|_| usable) {
+            self.exec.nnz += sb.nnz() as u64;
+            self.exec.elems += (sb.rows() * sb.cols()) as u64;
+        }
+        // y(B×Out) = x(B×In) · Wᵀ(In×Out); row-sparse when a plan is
+        // installed (weight sparsity beats spike sparsity at the engine's
+        // operating points, so the plan wins), spike-gather when the batch is
+        // sparse enough, dense otherwise.
         let mut out = match self.weight.exec_pattern()? {
             Some(pat) => {
                 if input.rank() != 2 || input.dims()[1] != pat.cols() {
@@ -87,6 +118,9 @@ impl Layer for Linear {
                         pat.rows(),
                         pat.cols()
                     )));
+                }
+                if usable {
+                    self.exec.dense_steps += 1;
                 }
                 let b = input.dims()[0];
                 let mut y = Tensor::zeros([b, pat.rows()]);
@@ -99,7 +133,31 @@ impl Layer for Linear {
                 );
                 y
             }
-            None => matmul_a_bt(input, &self.weight.value)?,
+            None => match spikes
+                .as_ref()
+                .filter(|sb| usable && sb.density() < self.spike_threshold)
+            {
+                Some(sb) => {
+                    let t0 = Instant::now();
+                    let b = input.dims()[0];
+                    let mut y = Tensor::zeros([b, self.out_features()]);
+                    gather_xwt(
+                        sb,
+                        self.weight.value.as_slice(),
+                        y.as_mut_slice(),
+                        self.out_features(),
+                    );
+                    self.exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+                    self.exec.gather_steps += 1;
+                    y
+                }
+                None => {
+                    if usable {
+                        self.exec.dense_steps += 1;
+                    }
+                    matmul_a_bt(input, &self.weight.value)?
+                }
+            },
         };
         if let Some(bias) = &self.bias {
             let (b, k) = (out.dims()[0], out.dims()[1]);
@@ -113,8 +171,31 @@ impl Layer for Linear {
         if self.training {
             debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
             self.input_cache.push(input.clone());
+            // Cached even when the forward used the weight plan: the dW
+            // gather is independent of the forward dispatch.
+            self.spike_cache.push(spikes.filter(|_| usable));
         }
         Ok(out)
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
+        self.forward_impl(input, None, step)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // Consumes the incoming batch; the (real-valued) output is not binary.
+        Ok((self.forward_impl(input, spikes, step)?, None))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -124,9 +205,27 @@ impl Layer for Linear {
                 self.name
             ))
         })?;
-        // dW(Out×In) += gyᵀ(Out×B) · x(B×In) — always dense, so drop/grow
-        // decisions that read gradients are unchanged by the sparse dispatch.
-        let dw = matmul_at_b(grad_out, x)?;
+        // dW(Out×In) += gyᵀ(Out×B) · x(B×In) — always dense-valued, so
+        // drop/grow decisions that read gradients are unchanged by either
+        // sparse dispatch. When this step's input arrived as a sparse spike
+        // batch, only fired columns of x can contribute: gather them.
+        let sb = self
+            .spike_cache
+            .get(step)
+            .and_then(|o| o.as_ref())
+            .filter(|sb| sb.density() < self.spike_threshold);
+        let dw = match sb {
+            Some(sb) => {
+                let t0 = Instant::now();
+                let out = self.out_features();
+                let mut dw = Tensor::zeros([out, self.in_features()]);
+                gather_at_b(grad_out.as_slice(), sb, dw.as_mut_slice(), out);
+                self.exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+                self.exec.gather_steps += 1;
+                dw
+            }
+            None => matmul_at_b(grad_out, x)?,
+        };
         self.weight.grad.add_assign(&dw)?;
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&sum_axis0(grad_out)?)?;
@@ -151,6 +250,7 @@ impl Layer for Linear {
 
     fn reset_state(&mut self) {
         self.input_cache.clear();
+        self.spike_cache.clear();
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -162,6 +262,26 @@ impl Layer for Linear {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn set_spike_density_threshold(&mut self, threshold: f64) {
+        self.spike_threshold = threshold;
+    }
+
+    fn spike_exec_stats(&self) -> SpikeExecStats {
+        self.exec
+    }
+
+    fn reset_spike_exec_stats(&mut self) {
+        self.exec = SpikeExecStats::default();
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        out.push(ComputeSite::Consumer {
+            name: self.name.clone(),
+            weights: self.weight.value.len(),
+            output_positions: 1,
+        });
     }
 }
 

@@ -27,6 +27,7 @@ pub use plif::{PlifConfig, PlifLayer};
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use residual::BasicBlock;
 
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::Result;
@@ -61,6 +62,75 @@ impl SpikeStats {
     }
 }
 
+/// Spike-execution counters for a consumer layer (or an aggregate): how the
+/// spike-sparsity-aware kernels actually dispatched, and what activation
+/// density they saw. All fields are totals since the last
+/// [`Layer::reset_spike_exec_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpikeExecStats {
+    /// Wall-clock nanoseconds spent inside spike-gather kernel dispatches.
+    pub kernel_ns: u64,
+    /// Timestep dispatches routed through the gather kernels.
+    pub gather_steps: u64,
+    /// Timestep dispatches that fell back to dense (or weight-sparse)
+    /// execution despite a usable spike batch.
+    pub dense_steps: u64,
+    /// Fired entries across all spike batches this layer received.
+    pub nnz: u64,
+    /// Total entries (fired + silent) across those batches.
+    pub elems: u64,
+}
+
+impl SpikeExecStats {
+    /// Realized spike density over every batch seen, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.elems == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.elems as f64
+        }
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: SpikeExecStats) {
+        self.kernel_ns += other.kernel_ns;
+        self.gather_steps += other.gather_steps;
+        self.dense_steps += other.dense_steps;
+        self.nnz += other.nnz;
+        self.elems += other.elems;
+    }
+}
+
+/// One node of a network's compute walk, emitted by
+/// [`Layer::collect_compute`] in forward order. Pairing each [`Consumer`]
+/// with the nearest preceding [`Emitter`] reconstructs which measured spike
+/// rate scales that layer's MACs — the realized-`R` FLOP accounting of the
+/// paper's Eq. 6–7.
+///
+/// [`Consumer`]: ComputeSite::Consumer
+/// [`Emitter`]: ComputeSite::Emitter
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComputeSite {
+    /// A conv/linear layer: its weight count and output positions per sample
+    /// (`H·W` for conv, 1 for linear). Its input rate is the rate of the
+    /// nearest preceding emitter, or the analog-input rate if there is none.
+    Consumer {
+        /// Layer name.
+        name: String,
+        /// Total weights.
+        weights: usize,
+        /// Output spatial positions per sample, from the last forward pass
+        /// (0 when the layer never ran).
+        output_positions: usize,
+    },
+    /// A spiking layer (LIF/PLIF) whose measured [`SpikeStats`] rate governs
+    /// every consumer up to the next emitter.
+    Emitter {
+        /// Layer name (matches the [`Layer::spike_stats`] per-layer key).
+        name: String,
+    },
+}
+
 /// A differentiable, possibly stateful network layer driven one timestep at a
 /// time.
 ///
@@ -77,6 +147,25 @@ pub trait Layer: Send {
 
     /// Computes this layer's output for timestep `step`.
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor>;
+
+    /// [`Layer::forward`] with spike metadata threaded between layers.
+    ///
+    /// `spikes`, when present, certifies that `input` is binary (`0.0`/`1.0`)
+    /// and carries its fired indices; consumers (`Linear`, `Conv2d`) may then
+    /// dispatch through the multiply-free gather kernels — bit-identical to
+    /// dense, see [`ndsnn_tensor::ops::spike`]. The returned batch describes
+    /// this layer's *output*: spike sources (LIF/PLIF) emit one, binarity
+    /// preservers (`Flatten`, `MaxPool2d`) forward one, everything else
+    /// returns `None` (the safe default — dense execution downstream).
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        let _ = spikes;
+        Ok((self.forward(input, step)?, None))
+    }
 
     /// Propagates `grad_out` (∂L/∂output at `step`) to ∂L/∂input, adding any
     /// parameter gradients.
@@ -103,6 +192,28 @@ pub trait Layer: Send {
 
     /// Resets spike counters.
     fn reset_spike_stats(&mut self) {}
+
+    /// Sets the spike-density threshold for consumer layers: a timestep
+    /// whose batch density is strictly below it dispatches through the
+    /// gather kernels, at or above it falls back to dense. Negative forces
+    /// dense everywhere; `>= 1.0` forces the gather path. Containers
+    /// recurse; non-consumers ignore it.
+    fn set_spike_density_threshold(&mut self, _threshold: f64) {}
+
+    /// Spike-execution counters accumulated since the last
+    /// [`Layer::reset_spike_exec_stats`]. Non-consumer layers report zeros.
+    fn spike_exec_stats(&self) -> SpikeExecStats {
+        SpikeExecStats::default()
+    }
+
+    /// Resets spike-execution counters.
+    fn reset_spike_exec_stats(&mut self) {}
+
+    /// Appends this layer's [`ComputeSite`]s in forward order. Layers with
+    /// negligible MACs (BN, pooling, flatten) contribute nothing; containers
+    /// recurse, ordering parallel branches so the nearest-preceding-emitter
+    /// pairing stays correct.
+    fn collect_compute(&self, _out: &mut Vec<ComputeSite>) {}
 }
 
 /// Extension helpers available on every layer.

@@ -11,10 +11,11 @@
 //! the reproduction explore whether learnable dynamics change the
 //! sparse-training picture.
 
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::{Result, SnnError};
-use crate::layers::{Layer, SpikeStats};
+use crate::layers::{ComputeSite, Layer, SpikeStats};
 use crate::param::{Param, ParamKind};
 use crate::surrogate::Surrogate;
 
@@ -140,6 +141,23 @@ impl Layer for PlifLayer {
         Ok(o)
     }
 
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        _spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // PLIF's forward is built from whole-tensor ops, so the spike batch
+        // is recovered with one extra scan of the (exactly binary) output.
+        let o = self.forward(input, step)?;
+        let dims = o.dims();
+        if dims.len() < 2 || dims[0] == 0 || o.is_empty() {
+            return Ok((o, None));
+        }
+        let batch = SpikeBatch::from_binary(dims[0], o.len() / dims[0], o.as_slice());
+        Ok((o, batch))
+    }
+
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
         if !self.training {
             return Err(SnnError::InvalidState(
@@ -189,6 +207,12 @@ impl Layer for PlifLayer {
 
     fn reset_spike_stats(&mut self) {
         self.stats = SpikeStats::default();
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        out.push(ComputeSite::Emitter {
+            name: self.name.clone(),
+        });
     }
 }
 

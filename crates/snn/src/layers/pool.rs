@@ -4,6 +4,7 @@ use ndsnn_tensor::ops::pool::{
     avg_pool2d_backward, avg_pool2d_forward, max_pool2d_backward, max_pool2d_forward,
     Pool2dGeometry,
 };
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::{Result, SnnError};
@@ -93,6 +94,25 @@ impl Layer for MaxPool2d {
             self.cache.push((input.dims().to_vec(), argmax));
         }
         Ok(out)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // Max pooling of a binary map is binary, so when the input carried a
+        // spike batch (certifying binarity) rebuild one over the pooled
+        // output — the downstream conv keeps its multiply-free dispatch.
+        let out = self.forward(input, step)?;
+        let batch = match spikes {
+            Some(_) if out.rank() >= 2 && out.dims()[0] > 0 && !out.is_empty() => {
+                SpikeBatch::from_binary(out.dims()[0], out.len() / out.dims()[0], out.as_slice())
+            }
+            _ => None,
+        };
+        Ok((out, batch))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {

@@ -1,11 +1,14 @@
 //! Residual basic block for spiking ResNets.
 
 use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::Result;
-use crate::layers::{BatchNorm, Conv2d, Layer, LifConfig, LifLayer, SpikeStats};
+use crate::layers::{
+    BatchNorm, ComputeSite, Conv2d, Layer, LifConfig, LifLayer, SpikeExecStats, SpikeStats,
+};
 use crate::param::Param;
 
 /// The spiking ResNet basic block used by ResNet-19:
@@ -99,20 +102,36 @@ impl Layer for BasicBlock {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        let a = self.conv1.forward(input, step)?;
+        Ok(self.forward_spikes(input, None, step)?.0)
+    }
+
+    fn forward_spikes(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // The block input feeds two consumers (conv1 and the downsample
+        // conv), so the incoming batch is cloned for the skip path. lif1's
+        // emission feeds conv2; lif_out's emission is the block output batch.
+        let skip_spikes = match &self.downsample {
+            Some(_) => spikes.clone(),
+            None => None,
+        };
+        let (a, _) = self.conv1.forward_spikes(input, spikes, step)?;
         let b = self.bn1.forward(&a, step)?;
-        let c = self.lif1.forward(&b, step)?;
-        let d = self.conv2.forward(&c, step)?;
+        let (c, c_spikes) = self.lif1.forward_spikes(&b, None, step)?;
+        let (d, _) = self.conv2.forward_spikes(&c, c_spikes, step)?;
         let mut e = self.bn2.forward(&d, step)?;
         let skip = match &mut self.downsample {
             Some((conv, bn)) => {
-                let s = conv.forward(input, step)?;
+                let (s, _) = conv.forward_spikes(input, skip_spikes, step)?;
                 bn.forward(&s, step)?
             }
             None => input.clone(),
         };
         e.add_assign(&skip)?;
-        self.lif_out.forward(&e, step)
+        self.lif_out.forward_spikes(&e, None, step)
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -189,6 +208,44 @@ impl Layer for BasicBlock {
     fn reset_spike_stats(&mut self) {
         self.lif1.reset_spike_stats();
         self.lif_out.reset_spike_stats();
+    }
+
+    fn set_spike_density_threshold(&mut self, threshold: f64) {
+        self.conv1.set_spike_density_threshold(threshold);
+        self.conv2.set_spike_density_threshold(threshold);
+        if let Some((conv, _)) = &mut self.downsample {
+            conv.set_spike_density_threshold(threshold);
+        }
+    }
+
+    fn spike_exec_stats(&self) -> SpikeExecStats {
+        let mut s = self.conv1.spike_exec_stats();
+        s.merge(self.conv2.spike_exec_stats());
+        if let Some((conv, _)) = &self.downsample {
+            s.merge(conv.spike_exec_stats());
+        }
+        s
+    }
+
+    fn reset_spike_exec_stats(&mut self) {
+        self.conv1.reset_spike_exec_stats();
+        self.conv2.reset_spike_exec_stats();
+        if let Some((conv, _)) = &mut self.downsample {
+            conv.reset_spike_exec_stats();
+        }
+    }
+
+    fn collect_compute(&self, out: &mut Vec<ComputeSite>) {
+        // conv1 and the downsample conv both read the *block input*, so both
+        // are listed before lif1 — the nearest-preceding-emitter pairing then
+        // assigns them the block's input rate, and conv2 gets lif1's rate.
+        self.conv1.collect_compute(out);
+        if let Some((conv, _)) = &self.downsample {
+            conv.collect_compute(out);
+        }
+        self.lif1.collect_compute(out);
+        self.conv2.collect_compute(out);
+        self.lif_out.collect_compute(out);
     }
 }
 

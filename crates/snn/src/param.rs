@@ -74,11 +74,7 @@ impl Param {
             return Ok(None);
         };
         let rows = *self.value.dims().first().unwrap_or(&0);
-        let cols = if rows == 0 {
-            0
-        } else {
-            self.value.len() / rows
-        };
+        let cols = self.value.len().checked_div(rows).unwrap_or(0);
         if plan.pattern.rows() != rows || plan.pattern.cols() != cols {
             return Err(SnnError::InvalidState(format!(
                 "{}: exec plan {}x{} does not match weight viewed as {rows}x{cols}",

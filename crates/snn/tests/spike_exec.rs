@@ -1,0 +1,220 @@
+//! End-to-end bit-identity of the spike-sparsity-aware execution path.
+//!
+//! The gather kernels are exact (see `ndsnn_tensor::ops::spike`), so forcing
+//! the spike path on (`threshold = 1.5`) and off (`threshold = -1.0`) must
+//! produce bit-identical outputs and parameter gradients — including at the
+//! density-threshold crossover, where some timesteps gather and others fall
+//! back to dense.
+
+use ndsnn_snn::layers::{
+    BasicBlock, BatchNorm, Conv2d, Flatten, Layer, LifConfig, LifLayer, Linear, MaxPool2d,
+    Sequential,
+};
+use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A VGG-style spiking stack: every conv/linear after the first sees binary
+/// spike inputs, MaxPool preserves binarity, Flatten passes the batch through.
+fn conv_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("net")
+        .with(Box::new(
+            Conv2d::new("c1", Conv2dGeometry::square(2, 4, 3, 1, 1), false, &mut rng).unwrap(),
+        ))
+        .with(Box::new(BatchNorm::new("bn1", 4, &mut rng).unwrap()))
+        .with(Box::new(
+            LifLayer::new("lif1", LifConfig::default()).unwrap(),
+        ))
+        .with(Box::new(MaxPool2d::new("pool1", 2)))
+        .with(Box::new(
+            Conv2d::new("c2", Conv2dGeometry::square(4, 4, 3, 1, 1), true, &mut rng).unwrap(),
+        ))
+        .with(Box::new(
+            LifLayer::new("lif2", LifConfig::default()).unwrap(),
+        ))
+        .with(Box::new(Flatten::new("flat")))
+        .with(Box::new(
+            Linear::new("fc", 4 * 4 * 4, 5, true, &mut rng).unwrap(),
+        ))
+}
+
+fn res_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("net")
+        .with(Box::new(
+            Conv2d::new(
+                "stem",
+                Conv2dGeometry::square(2, 4, 3, 1, 1),
+                false,
+                &mut rng,
+            )
+            .unwrap(),
+        ))
+        .with(Box::new(
+            LifLayer::new("lif0", LifConfig::default()).unwrap(),
+        ))
+        .with(Box::new(
+            BasicBlock::new("blk", 4, 8, 2, LifConfig::default(), &mut rng).unwrap(),
+        ))
+        .with(Box::new(Flatten::new("flat")))
+        .with(Box::new(
+            Linear::new("fc", 8 * 3 * 3, 3, true, &mut rng).unwrap(),
+        ))
+}
+
+/// Runs `t_steps` of forward + backward and returns (outputs, gradients).
+fn run_net(net: &mut Sequential, inputs: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>) {
+    net.reset_state();
+    let mut outs = Vec::new();
+    for (t, x) in inputs.iter().enumerate() {
+        outs.push(net.forward(x, t).unwrap());
+    }
+    for t in (0..inputs.len()).rev() {
+        let g = Tensor::ones(outs[t].shape().clone());
+        net.backward(&g, t).unwrap();
+    }
+    let mut grads = Vec::new();
+    net.for_each_param(&mut |p| grads.push(p.grad.clone()));
+    (outs, grads)
+}
+
+fn assert_bit_identical(a: (Vec<Tensor>, Vec<Tensor>), b: (Vec<Tensor>, Vec<Tensor>)) {
+    for (t, (x, y)) in a.0.iter().zip(&b.0).enumerate() {
+        assert_eq!(x.as_slice(), y.as_slice(), "output differs at step {t}");
+    }
+    assert_eq!(a.1.len(), b.1.len());
+    for (i, (x, y)) in a.1.iter().zip(&b.1).enumerate() {
+        assert_eq!(x.as_slice(), y.as_slice(), "gradient {i} differs");
+    }
+}
+
+#[test]
+fn conv_net_spike_path_bit_identical_to_dense() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let inputs: Vec<Tensor> = (0..3)
+        .map(|_| ndsnn_tensor::init::uniform([3, 2, 8, 8], -0.5, 1.5, &mut rng))
+        .collect();
+
+    let mut sparse = conv_net(7);
+    sparse.set_spike_density_threshold(1.5);
+    let got = run_net(&mut sparse, &inputs);
+    let exec = sparse.spike_exec_stats();
+    assert!(
+        exec.gather_steps > 0,
+        "spike path never dispatched: {exec:?}"
+    );
+    assert!(exec.elems > 0);
+
+    let mut dense = conv_net(7);
+    dense.set_spike_density_threshold(-1.0);
+    let want = run_net(&mut dense, &inputs);
+    let dexec = dense.spike_exec_stats();
+    assert_eq!(dexec.gather_steps, 0, "dense-forced net used gathers");
+    assert!(
+        dexec.dense_steps > 0,
+        "consumers never saw a batch: {dexec:?}"
+    );
+
+    assert_bit_identical(got, want);
+}
+
+#[test]
+fn residual_net_spike_path_bit_identical_to_dense() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let inputs: Vec<Tensor> = (0..2)
+        .map(|_| ndsnn_tensor::init::uniform([2, 2, 6, 6], -0.5, 1.5, &mut rng))
+        .collect();
+
+    let mut sparse = res_net(9);
+    sparse.set_spike_density_threshold(1.5);
+    let got = run_net(&mut sparse, &inputs);
+    assert!(sparse.spike_exec_stats().gather_steps > 0);
+
+    let mut dense = res_net(9);
+    dense.set_spike_density_threshold(-1.0);
+    let want = run_net(&mut dense, &inputs);
+
+    assert_bit_identical(got, want);
+}
+
+/// At a mid threshold the per-timestep density decides the dispatch, so a
+/// drive ramp crosses the fallback boundary mid-sequence — results must stay
+/// bit-identical to forced-dense execution on both sides of the crossover.
+#[test]
+fn density_threshold_crossover_is_bit_identical() {
+    let b = 4;
+    let feats = 64;
+    let t_steps = 4;
+    let mut rng = StdRng::seed_from_u64(21);
+    // Step t fires roughly t/4 of the population: densities ~0, ~0.25, ~0.5, ~0.75.
+    let inputs: Vec<Tensor> = (0..t_steps)
+        .map(|t| {
+            Tensor::from_vec(
+                [b, feats],
+                (0..b * feats)
+                    .map(|_| {
+                        if rng.gen::<f64>() < t as f64 / t_steps as f64 {
+                            5.0
+                        } else {
+                            -5.0
+                        }
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mk = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        Sequential::new("net")
+            .with(Box::new(
+                LifLayer::new("lif", LifConfig::default()).unwrap(),
+            ))
+            .with(Box::new(
+                Linear::new("fc", feats, 8, true, &mut rng).unwrap(),
+            ))
+    };
+
+    let mut mid = mk();
+    mid.set_spike_density_threshold(0.4);
+    let got = run_net(&mut mid, &inputs);
+    let exec = mid.spike_exec_stats();
+    assert!(
+        exec.gather_steps > 0 && exec.dense_steps > 0,
+        "expected a crossover (both dispatches), got {exec:?}"
+    );
+
+    let mut dense = mk();
+    dense.set_spike_density_threshold(-1.0);
+    let want = run_net(&mut dense, &inputs);
+
+    assert_bit_identical(got, want);
+}
+
+/// Realized density reported by the exec stats matches the emitters' spike
+/// rate: both count the same fired entries over the same opportunities.
+#[test]
+fn realized_density_matches_emitter_rate() {
+    let b = 3;
+    let feats = 32;
+    let mut rng = StdRng::seed_from_u64(33);
+    let inputs: Vec<Tensor> = (0..3)
+        .map(|_| ndsnn_tensor::init::uniform([b, feats], -1.0, 2.0, &mut rng))
+        .collect();
+    let mut net = Sequential::new("net")
+        .with(Box::new(
+            LifLayer::new("lif", LifConfig::default()).unwrap(),
+        ))
+        .with(Box::new(
+            Linear::new("fc", feats, 4, false, &mut rng).unwrap(),
+        ));
+    net.set_spike_density_threshold(1.5);
+    run_net(&mut net, &inputs);
+    let rate = net.spike_stats().rate();
+    let density = net.spike_exec_stats().density();
+    assert!(
+        (rate - density).abs() < 1e-12,
+        "emitter rate {rate} vs consumer density {density}"
+    );
+}

@@ -90,25 +90,15 @@ impl CsrMatrix {
         out
     }
 
-    /// Sparse matrix × dense vector.
-    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>> {
-        if x.len() != self.cols {
-            return Err(SparseError::InvalidConfig(format!(
-                "spmv: vector length {} != cols {}",
-                x.len(),
-                self.cols
-            )));
-        }
-        let mut y = vec![0.0f32; self.rows];
-        for (r, yv) in y.iter_mut().enumerate() {
-            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let mut acc = 0.0f32;
-            for i in s..e {
-                acc += self.values[i] * x[self.col_indices[i] as usize];
-            }
-            *yv = acc;
-        }
-        Ok(y)
+    /// Per-row ascending column indices of stored non-zeros.
+    ///
+    /// `CsrMatrix` is the *storage/footprint* model (paper §III.D);
+    /// [`ndsnn_tensor::ops::spmm::RowPattern`] is the index-only *execution*
+    /// layout the sparse matmul kernels consume. This accessor lets tests pin
+    /// the two representations to the same structure — execution arithmetic
+    /// lives exclusively in `ops::spmm`/`ops::spike`, not here.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.col_indices[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
     }
 
     /// Storage size in bits given weight precision `b_w` and index precision
@@ -150,14 +140,26 @@ mod tests {
         assert_eq!(csr.row_ptr, vec![0, 2, 2, 4]);
     }
 
+    /// Pins the storage model (CSR) to the execution layout (RowPattern):
+    /// identical non-zero structure from the same matrix, and the production
+    /// `sp_xwt` kernel over that pattern reproduces the dense product — so
+    /// footprint numbers reported from CSR describe exactly what executes.
     #[test]
-    fn spmv_matches_dense() {
+    fn structure_agrees_with_execution_row_pattern() {
+        use ndsnn_tensor::ops::spmm::{sp_xwt, RowPattern};
         let t = sample();
         let csr = CsrMatrix::from_dense(&t).unwrap();
+        let (rows, cols) = csr.dims();
+        let pat = RowPattern::from_mask(rows, cols, t.as_slice());
+        assert_eq!(csr.nnz(), pat.nnz());
+        for r in 0..rows {
+            assert_eq!(csr.row(r), pat.row(r), "row {r} structure differs");
+        }
+        // y = x·Wᵀ with batch 1 is the spmv this storage describes.
         let x = [1.0, 2.0, 3.0, 4.0];
-        let y = csr.spmv(&x).unwrap();
+        let mut y = vec![0.0f32; rows];
+        sp_xwt(&pat, t.as_slice(), &x, &mut y, 1);
         assert_eq!(y, vec![7.0, 0.0, 22.0]);
-        assert!(csr.spmv(&[1.0]).is_err());
     }
 
     #[test]

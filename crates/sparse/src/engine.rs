@@ -147,6 +147,18 @@ pub fn collect_layer_shapes(model: &mut dyn Layer) -> Vec<LayerShape> {
     shapes
 }
 
+/// Configures the model's spike-sparsity-aware execution: every consumer
+/// layer dispatches its forward/weight-gradient matmuls through the
+/// multiply-free gather kernels whenever a timestep's realized spike density
+/// falls below `threshold` (negative forces dense, `>= 1.0` forces gather).
+/// Complements the weight-side [`crate::kernels::install_exec_plans`]: weight
+/// plans gate on *parameter* sparsity once per update round, this gates on
+/// *activation* sparsity per timestep. Both dispatches are bit-identical to
+/// dense, so the setting never changes training results.
+pub fn configure_spike_execution(model: &mut dyn Layer, threshold: f64) {
+    model.set_spike_density_threshold(threshold);
+}
+
 /// Builds random initial masks at the given global sparsity, distributed
 /// across layers by `dist`, and applies them to the model's weights.
 pub fn init_random_masks(

@@ -8,6 +8,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::ops::matmul::matmul_into;
+use crate::ops::spike::{gather_conv_dw, gather_conv_fwd};
 use crate::ops::spmm::{sp_mm, sp_mm_t, RowPattern};
 use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
@@ -221,13 +222,19 @@ pub fn conv2d_forward_pooled(
     g: &Conv2dGeometry,
     pool: &ScratchPool,
 ) -> Result<Tensor> {
-    conv2d_forward_exec(input, weight, bias, g, pool, None)
+    conv2d_forward_exec(input, weight, bias, g, pool, None, false)
 }
 
 /// [`conv2d_forward_pooled`] with an optional sparsity pattern for the
-/// weight viewed as `F × (C·KH·KW)`. With a pattern, the per-sample GEMM
-/// runs row-sparse ([`sp_mm`]) over the active positions only; the dense
-/// weight stays the source of truth for values.
+/// weight viewed as `F × (C·KH·KW)`, and an optional spike-gather dispatch.
+///
+/// With a pattern, the per-sample GEMM runs row-sparse ([`sp_mm`]) over the
+/// active positions only; the dense weight stays the source of truth for
+/// values. With `spike_gather` (and no pattern), the input must be binary
+/// spikes and the GEMM runs multiply-free over fired im2col rows
+/// ([`gather_conv_fwd`]) — bit-identical to the dense kernel. A pattern wins
+/// over `spike_gather`: weight sparsity below the install threshold is
+/// sparser than any spike batch worth gathering.
 pub fn conv2d_forward_exec(
     input: &Tensor,
     weight: &Tensor,
@@ -235,6 +242,7 @@ pub fn conv2d_forward_exec(
     g: &Conv2dGeometry,
     pool: &ScratchPool,
     pattern: Option<&RowPattern>,
+    spike_gather: bool,
 ) -> Result<Tensor> {
     let (b, h, w) = check_input(input, g)?;
     if weight.dims() != g.weight_dims() {
@@ -273,6 +281,9 @@ pub fn conv2d_forward_exec(
         );
         match pattern {
             Some(pat) => sp_mm(pat, w_data, &col, out_chunk, spatial),
+            None if spike_gather => {
+                gather_conv_fwd(w_data, &col, out_chunk, g.out_channels, cr, spatial, pool)
+            }
             None => matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial),
         }
         pool.give(col);
@@ -338,14 +349,20 @@ pub fn conv2d_backward_pooled(
     g: &Conv2dGeometry,
     pool: &ScratchPool,
 ) -> Result<Conv2dGrads> {
-    conv2d_backward_exec(input, weight, grad_out, g, pool, None)
+    conv2d_backward_exec(input, weight, grad_out, g, pool, None, false)
 }
 
 /// [`conv2d_backward_pooled`] with an optional sparsity pattern for the
-/// weight viewed as `F × (C·KH·KW)`. With a pattern, the input-gradient
-/// product `Wᵀ·gy` runs row-sparse ([`sp_mm_t`]); `dW` and `dBias` are always
-/// computed dense — they do not involve `W`, so drop/grow decisions that read
-/// gradients are unchanged by the sparse dispatch.
+/// weight viewed as `F × (C·KH·KW)`, and an optional spike-gather dispatch
+/// for the weight gradient.
+///
+/// With a pattern, the input-gradient product `Wᵀ·gy` runs row-sparse
+/// ([`sp_mm_t`]). With `spike_gather`, the input must be binary spikes and
+/// `dW = gy · colᵀ` gathers only fired im2col positions
+/// ([`gather_conv_dw`]) — bit-identical to the dense loop, and composable
+/// with a pattern (`dW` values are always dense either way, so drop/grow
+/// decisions that read gradients are unchanged by either dispatch). `dBias`
+/// is always computed dense.
 pub fn conv2d_backward_exec(
     input: &Tensor,
     weight: &Tensor,
@@ -353,6 +370,7 @@ pub fn conv2d_backward_exec(
     g: &Conv2dGeometry,
     pool: &ScratchPool,
     pattern: Option<&RowPattern>,
+    spike_gather: bool,
 ) -> Result<Conv2dGrads> {
     let (b, h, w) = check_input(input, g)?;
     let (oh, ow) = g.output_hw(h, w)?;
@@ -394,8 +412,9 @@ pub fn conv2d_backward_exec(
     let nblocks = b.div_ceil(block);
     // One (dW, dBias) partial per block, filled by the workers and reduced
     // below in block order.
-    let mut partials: Vec<Option<(Vec<f32>, Vec<f32>)>> = (0..nblocks).map(|_| None).collect();
-    let chunks: Vec<(usize, (&mut [f32], &mut Option<(Vec<f32>, Vec<f32>)>))> = input_grad
+    type GradPartial = Option<(Vec<f32>, Vec<f32>)>;
+    let mut partials: Vec<GradPartial> = (0..nblocks).map(|_| None).collect();
+    let chunks: Vec<(usize, (&mut [f32], &mut GradPartial))> = input_grad
         .as_mut_slice()
         .chunks_mut(block * in_stride)
         .zip(partials.iter_mut())
@@ -420,16 +439,20 @@ pub fn conv2d_backward_exec(
                 &mut col,
             );
             // dW += gy (F × spatial) · colᵀ (spatial × cr)
-            for f in 0..g.out_channels {
-                let gyrow = &gy[f * spatial..(f + 1) * spatial];
-                let wrow = &mut wg[f * cr..(f + 1) * cr];
-                for (r, wv) in wrow.iter_mut().enumerate() {
-                    let crow = &col[r * spatial..(r + 1) * spatial];
-                    let mut acc = 0.0f32;
-                    for (gv, cv) in gyrow.iter().zip(crow) {
-                        acc += gv * cv;
+            if spike_gather {
+                gather_conv_dw(gy, &col, &mut wg, g.out_channels, cr, spatial, pool);
+            } else {
+                for f in 0..g.out_channels {
+                    let gyrow = &gy[f * spatial..(f + 1) * spatial];
+                    let wrow = &mut wg[f * cr..(f + 1) * cr];
+                    for (r, wv) in wrow.iter_mut().enumerate() {
+                        let crow = &col[r * spatial..(r + 1) * spatial];
+                        let mut acc = 0.0f32;
+                        for (gv, cv) in gyrow.iter().zip(crow) {
+                            acc += gv * cv;
+                        }
+                        *wv += acc;
                     }
-                    *wv += acc;
                 }
             }
             // dBias
@@ -673,13 +696,15 @@ mod tests {
         let grad_out = crate::init::uniform([3, 6, oh, ow], -1.0, 1.0, &mut rng);
 
         let dense = conv2d_forward(&input, &weight, None, &g).unwrap();
-        let sparse = conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&pat)).unwrap();
+        let sparse =
+            conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&pat), false).unwrap();
         for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
 
         let dg = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
-        let sg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&pat)).unwrap();
+        let sg =
+            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&pat), false).unwrap();
         for (a, b) in sg
             .input_grad
             .as_slice()
@@ -693,8 +718,42 @@ mod tests {
 
         // A pattern whose shape disagrees with the geometry is rejected.
         let bad = RowPattern::from_mask(1, 2, &[1.0, 0.0]);
-        assert!(conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&bad)).is_err());
-        assert!(conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&bad)).is_err());
+        assert!(conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&bad), false).is_err());
+        assert!(
+            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&bad), false).is_err()
+        );
+    }
+
+    /// The spike-gather dispatch must equal dense execution bit-for-bit on a
+    /// binary input — forward output and all three gradients.
+    #[test]
+    fn exec_with_spike_gather_bit_identical_on_binary_input() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(48);
+        let g = Conv2dGeometry::square(3, 6, 3, 1, 1);
+        let mut input = Tensor::zeros([4, 3, 8, 8]);
+        for v in input.as_mut_slice() {
+            if rng.gen_bool(0.2) {
+                *v = 1.0;
+            }
+        }
+        let weight = crate::init::uniform(g.weight_dims(), -0.5, 0.5, &mut rng);
+        let bias = crate::init::uniform([6], -0.1, 0.1, &mut rng);
+        let (oh, ow) = g.output_hw(8, 8).unwrap();
+        let grad_out = crate::init::uniform([4, 6, oh, ow], -1.0, 1.0, &mut rng);
+        let pool = ScratchPool::new();
+
+        let dense =
+            conv2d_forward_exec(&input, &weight, Some(&bias), &g, &pool, None, false).unwrap();
+        let spike =
+            conv2d_forward_exec(&input, &weight, Some(&bias), &g, &pool, None, true).unwrap();
+        assert_eq!(spike.as_slice(), dense.as_slice());
+
+        let dg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, false).unwrap();
+        let sg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, true).unwrap();
+        assert_eq!(sg.weight_grad.as_slice(), dg.weight_grad.as_slice());
+        assert_eq!(sg.input_grad.as_slice(), dg.input_grad.as_slice());
+        assert_eq!(sg.bias_grad.as_slice(), dg.bias_grad.as_slice());
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// `C[i,j] = Σ_p A[p,i]·B[p,j]`: iterate p outermost so both inner reads are
 /// sequential; accumulate rank-1 updates. The zero-skip on `A[p,i]` matters
 /// on the BPTT hot path, where `A` is a (mostly zero) spike matrix.
+#[allow(clippy::too_many_arguments)] // private mirror of the GEMM dims (m,k,n) + row range
 fn at_b_rows(
     a: &[f32],
     b: &[f32],
@@ -140,6 +141,13 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 }
 
 /// Rows `i0..i0+rows` of `C(m×n) = A·Bᵀ` with `A` `m×k`, `B` `n×k`.
+///
+/// The `A[i,p] == 0.0` skip serves the spiking forward pass, where `A` is a
+/// batch of binary spike rows. It cannot change the result: the accumulator
+/// starts at `+0.0` and `x + (±0.0) == x` for every reachable `x` (the sum of
+/// a `+0.0`-seeded chain is never `-0.0`), so dropped zero products are exact
+/// no-ops. This also makes the kernel run the same floating-point op sequence
+/// as the fired-index gather in [`crate::ops::spike`].
 fn a_bt_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
     for i in 0..rows {
         let arow = &a[(i0 + i) * k..(i0 + i + 1) * k];
@@ -147,7 +155,10 @@ fn a_bt_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, rows: usize, k
         for (j, cv) in crow.iter_mut().enumerate() {
             let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
-            for (av, bv) in arow.iter().zip(brow) {
+            for (&av, &bv) in arow.iter().zip(brow) {
+                if av == 0.0 {
+                    continue;
+                }
                 acc += av * bv;
             }
             *cv += acc;

@@ -4,5 +4,6 @@ pub mod conv;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;
+pub mod spike;
 pub mod spmm;
 pub mod topk;

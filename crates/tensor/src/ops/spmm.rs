@@ -133,6 +133,11 @@ pub fn sp_mm_t(pat: &RowPattern, w: &[f32], b: &[f32], out: &mut [f32], n: usize
 
 /// `y(batch × rows) += x(batch × cols) · Wᵀ` — the linear-layer forward with
 /// a pattern-sparse weight. Threads over batch samples (disjoint `y` rows).
+///
+/// The `x == 0.0` skip serves spiking inputs (mostly-zero activations riding
+/// on an already-sparse weight); it is exact for the same reason as the
+/// dense-kernel zero-skips (see [`crate::ops::spike`]): the accumulator is
+/// `+0.0`-seeded, so dropped `±0.0` terms cannot change it.
 pub fn sp_xwt(pat: &RowPattern, w: &[f32], x: &[f32], y: &mut [f32], batch: usize) {
     debug_assert_eq!(w.len(), pat.rows * pat.cols);
     debug_assert_eq!(x.len(), batch * pat.cols);
@@ -150,7 +155,11 @@ pub fn sp_xwt(pat: &RowPattern, w: &[f32], x: &[f32], y: &mut [f32], batch: usiz
                     let wrow = &w[r * pat.cols..(r + 1) * pat.cols];
                     let mut acc = 0.0f32;
                     for &ci in pat.row(r) {
-                        acc += wrow[ci as usize] * xrow[ci as usize];
+                        let xv = xrow[ci as usize];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        acc += wrow[ci as usize] * xv;
                     }
                     *yv += acc;
                 }

@@ -22,6 +22,7 @@ use std::sync::Mutex;
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     free: Mutex<Vec<Vec<f32>>>,
+    free_u32: Mutex<Vec<Vec<u32>>>,
 }
 
 impl ScratchPool {
@@ -63,6 +64,34 @@ impl ScratchPool {
             return;
         }
         self.free.lock().expect("scratch pool mutex").push(buf);
+    }
+
+    /// Takes an *empty* `u32` index buffer with retained capacity.
+    ///
+    /// The spike kernels build fired-index lists by pushing, so unlike the
+    /// f32 side the buffer comes back cleared (`len == 0`) rather than sized.
+    pub fn take_u32(&self) -> Vec<u32> {
+        let mut free = self.free_u32.lock().expect("scratch pool mutex");
+        match free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a `u32` index buffer to the pool for reuse.
+    pub fn give_u32(&self, buf: Vec<u32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free_u32.lock().expect("scratch pool mutex").push(buf);
+    }
+
+    /// Number of `u32` index buffers currently idle in the pool.
+    pub fn idle_u32_buffers(&self) -> usize {
+        self.free_u32.lock().expect("scratch pool mutex").len()
     }
 
     /// Number of buffers currently idle in the pool.
@@ -119,6 +148,23 @@ mod tests {
         pool.give(buf);
         let clean = pool.take_zeroed(8);
         assert!(clean.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn u32_pool_reuses_capacity_and_clears() {
+        let pool = ScratchPool::new();
+        let mut idx = pool.take_u32();
+        idx.extend(0..100u32);
+        let ptr = idx.as_ptr();
+        pool.give_u32(idx);
+        assert_eq!(pool.idle_u32_buffers(), 1);
+        let again = pool.take_u32();
+        assert_eq!(again.as_ptr(), ptr);
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 100);
+        // Empty never-grown buffers are not retained.
+        pool.give_u32(Vec::new());
+        assert_eq!(pool.idle_u32_buffers(), 0);
     }
 
     #[test]

@@ -214,3 +214,118 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The spike-gather forward must be bit-identical to the dense matmul on
+    /// binary activations at every density, including the degenerate all-zero
+    /// and all-one batches. (The CI matrix runs this under NDSNN_THREADS=1
+    /// and =4; the serial comparison below covers the split independently.)
+    #[test]
+    fn spike_gather_forward_bit_identical_to_dense(
+        b in 1usize..10,
+        cols in 1usize..96,
+        out in 1usize..48,
+        density_sel in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        use ndsnn_tensor::ops::spike::{gather_xwt, SpikeBatch};
+        use ndsnn_tensor::parallel::run_serial;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let density = [0.0, 0.05, 0.5, 1.0][density_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spikes = Tensor::from_vec(
+            [b, cols],
+            (0..b * cols)
+                .map(|_| f32::from(rng.gen::<f64>() < density))
+                .collect(),
+        )
+        .unwrap();
+        let w = ndsnn_tensor::init::uniform([out, cols], -1.0, 1.0, &mut rng);
+        let sb = SpikeBatch::from_binary(b, cols, spikes.as_slice()).unwrap();
+        prop_assert_eq!(sb.nnz(), spikes.count_nonzero());
+
+        let dense = matmul_a_bt(&spikes, &w).unwrap();
+        let mut y = vec![0.0f32; b * out];
+        gather_xwt(&sb, w.as_slice(), &mut y, out);
+        prop_assert_eq!(dense.as_slice(), &y[..]);
+
+        let mut y_serial = vec![0.0f32; b * out];
+        run_serial(|| gather_xwt(&sb, w.as_slice(), &mut y_serial, out));
+        prop_assert_eq!(&y_serial[..], &y[..]);
+    }
+
+    /// The spike-gather weight-gradient (`dW = gyᵀ·x` over fired columns of
+    /// x) must be bit-identical to the dense matmul at every density.
+    #[test]
+    fn spike_gather_weight_grad_bit_identical_to_dense(
+        b in 1usize..10,
+        cols in 1usize..96,
+        out in 1usize..48,
+        density_sel in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        use ndsnn_tensor::ops::spike::{gather_at_b, SpikeBatch};
+        use ndsnn_tensor::parallel::run_serial;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let density = [0.0, 0.05, 0.5, 1.0][density_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spikes = Tensor::from_vec(
+            [b, cols],
+            (0..b * cols)
+                .map(|_| f32::from(rng.gen::<f64>() < density))
+                .collect(),
+        )
+        .unwrap();
+        let gy = ndsnn_tensor::init::uniform([b, out], -1.0, 1.0, &mut rng);
+        let sb = SpikeBatch::from_binary(b, cols, spikes.as_slice()).unwrap();
+
+        let dense = matmul_at_b(&gy, &spikes).unwrap();
+        let mut dw = vec![0.0f32; out * cols];
+        gather_at_b(gy.as_slice(), &sb, &mut dw, out);
+        prop_assert_eq!(dense.as_slice(), &dw[..]);
+
+        let mut dw_serial = vec![0.0f32; out * cols];
+        run_serial(|| gather_at_b(gy.as_slice(), &sb, &mut dw_serial, out));
+        prop_assert_eq!(&dw_serial[..], &dw[..]);
+    }
+
+    /// The conv spike path (forward gather + dW gather) must be bit-identical
+    /// to the dense executor on binary inputs at every density.
+    #[test]
+    fn spike_gather_conv_bit_identical_to_dense(
+        b in 1usize..5,
+        cin in 1usize..4,
+        f in 1usize..5,
+        density_sel in 0usize..4,
+        seed in 0u64..300,
+    ) {
+        use ndsnn_tensor::ops::conv::{conv2d_backward_exec, conv2d_forward_exec};
+        use ndsnn_tensor::scratch::ScratchPool;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let density = [0.0, 0.05, 0.5, 1.0][density_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::square(cin, f, 3, 1, 1);
+        let x = Tensor::from_vec(
+            [b, cin, 6, 6],
+            (0..b * cin * 36)
+                .map(|_| f32::from(rng.gen::<f64>() < density))
+                .collect(),
+        )
+        .unwrap();
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let pool = ScratchPool::new();
+
+        let dense = conv2d_forward_exec(&x, &w, None, &g, &pool, None, false).unwrap();
+        let spike = conv2d_forward_exec(&x, &w, None, &g, &pool, None, true).unwrap();
+        prop_assert_eq!(dense.as_slice(), spike.as_slice());
+
+        let gy = ndsnn_tensor::init::uniform(dense.shape().clone(), -1.0, 1.0, &mut rng);
+        let bd = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, false).unwrap();
+        let bs = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, true).unwrap();
+        prop_assert_eq!(bd.weight_grad.as_slice(), bs.weight_grad.as_slice());
+        prop_assert_eq!(bd.bias_grad.as_slice(), bs.bias_grad.as_slice());
+        prop_assert_eq!(bd.input_grad.as_slice(), bs.input_grad.as_slice());
+    }
+}

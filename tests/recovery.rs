@@ -363,6 +363,51 @@ fn dense_run_checkpoints_and_resumes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn spike_sparse_path_resumes_bit_identically() {
+    // Force every consumer timestep through the spike-gather kernels (a
+    // threshold >= 1.0 always takes the gather path) and verify kill-and-
+    // resume still reproduces the uninterrupted trajectory bit for bit,
+    // including the spike execution counters carried in PhaseTimings.
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    cfg.spike_density_threshold = Some(1.5);
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+    assert!(
+        baseline.timings.spike_gather_steps > 0,
+        "forced-gather baseline never dispatched the spike kernels"
+    );
+
+    let dir = tmp_dir("spike-sparse-resume");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+    assert!(matches!(err, NdsnnError::Injected(_)));
+
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from_step, Some(4));
+    assert_identical(&baseline, &resumed);
+    // The spike counters live in the checkpointed PhaseTimings: the resumed
+    // run must account for exactly the batches the baseline saw.
+    assert_eq!(
+        baseline.timings.spike_gather_steps,
+        resumed.timings.spike_gather_steps
+    );
+    assert_eq!(baseline.timings.spike_nnz, resumed.timings.spike_nnz);
+    assert_eq!(baseline.timings.spike_elems, resumed.timings.spike_elems);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------------------
 // Container fuzzing (satellite): decoders must return Err or a valid value
 // for arbitrary truncations and byte flips — never panic.
