@@ -48,6 +48,19 @@ pub struct PhaseTimings {
     pub spike_nnz: u64,
     /// Total entries (fired + silent) across those batches.
     pub spike_elems: u64,
+    /// Time inside LIF/PLIF membrane updates and surrogate backward loops.
+    /// A subset of `forward_ns`/`backward_ns`, so not added to
+    /// [`PhaseTimings::total_ns`].
+    pub neuron_ns: u64,
+    /// Time inside BatchNorm forward/backward. Also a subset of
+    /// `forward_ns`/`backward_ns`.
+    pub norm_ns: u64,
+    /// Time in the optimizer's `step` alone (a subset of `optim_ns`, which
+    /// additionally covers `SparseEngine::after_optim`).
+    pub optim_step_ns: u64,
+    /// Time the sparse engine spent updating masks and rebuilding execution
+    /// plans at drop-and-grow rounds (a subset of `pack_ns`).
+    pub mask_update_ns: u64,
 }
 
 impl PhaseTimings {

@@ -526,7 +526,7 @@ pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
     let mut entries = BTreeMap::new();
 
     let mut meta = BlobWriter::new();
-    meta.put_u64(1); // snapshot format version
+    meta.put_u64(2); // snapshot format version (2: phase-timing counters)
     meta.put_str(&snap.fingerprint);
     meta.put_usize(snap.step);
     meta.put_usize(snap.epoch);
@@ -608,6 +608,10 @@ pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
     tr.put_u64(snap.timings.spike_dense_steps);
     tr.put_u64(snap.timings.spike_nnz);
     tr.put_u64(snap.timings.spike_elems);
+    tr.put_u64(snap.timings.neuron_ns);
+    tr.put_u64(snap.timings.norm_ns);
+    tr.put_u64(snap.timings.optim_step_ns);
+    tr.put_u64(snap.timings.mask_update_ns);
     encode_faults(&mut tr, &snap.faults);
     entries.insert("trace".to_string(), tr.finish());
 
@@ -624,7 +628,7 @@ pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapsho
 
     let mut meta = BlobReader::new(blob("meta")?);
     let version = meta.get_u64()?;
-    if version != 1 {
+    if version != 2 {
         return Err(corrupt(format!("unsupported snapshot version {version}")));
     }
     let fingerprint = meta.get_str()?;
@@ -733,6 +737,10 @@ pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapsho
         spike_dense_steps: tr.get_u64()?,
         spike_nnz: tr.get_u64()?,
         spike_elems: tr.get_u64()?,
+        neuron_ns: tr.get_u64()?,
+        norm_ns: tr.get_u64()?,
+        optim_step_ns: tr.get_u64()?,
+        mask_update_ns: tr.get_u64()?,
     };
     let faults = decode_faults(&mut tr)?;
     tr.finish()?;
@@ -830,6 +838,10 @@ mod tests {
                 spike_dense_steps: 8,
                 spike_nnz: 9,
                 spike_elems: 10,
+                neuron_ns: 11,
+                norm_ns: 12,
+                optim_step_ns: 13,
+                mask_update_ns: 14,
             },
             faults: vec![FaultEvent {
                 step: 6,

@@ -532,6 +532,10 @@ fn run_attempt(
             timings.spike_dense_steps += spike_exec.dense_steps;
             timings.spike_nnz += spike_exec.nnz;
             timings.spike_elems += spike_exec.elems;
+            let phase = net.layers.phase_ns();
+            net.layers.reset_phase_ns();
+            timings.neuron_ns += phase.neuron_ns;
+            timings.norm_ns += phase.norm_ns;
             // `this_step` is the post-increment counter: the checkpoint id
             // and the step named by the fault plan.
             let this_step = step + 1;
@@ -623,11 +627,14 @@ fn run_attempt(
             engine.as_engine().before_optim(step, &mut net.layers)?;
             let t1 = std::time::Instant::now();
             opt.step(&mut net.layers)?;
+            let t_mid = std::time::Instant::now();
             engine.as_engine().after_optim(step, &mut net.layers)?;
             timings.forward_ns += forward_ns;
             timings.backward_ns += backward_ns;
             timings.pack_ns += (t1 - t0).as_nanos() as u64;
             timings.optim_ns += t1.elapsed().as_nanos() as u64;
+            timings.optim_step_ns += (t_mid - t1).as_nanos() as u64;
+            timings.mask_update_ns += engine.as_engine().drain_update_ns();
             timings.batches += 1;
             loss_meter.update(stats.loss as f64, stats.total as u64);
             acc_meter.update(stats.correct, stats.total);

@@ -6,12 +6,19 @@
 //! stepped one `t` at a time. Running statistics (exponential moving average)
 //! are used in evaluation mode.
 
+use std::time::Instant;
+
+use ndsnn_tensor::parallel::{parallel_ranges, SharedSlice};
 use ndsnn_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::{Result, SnnError};
-use crate::layers::Layer;
+use crate::layers::{Layer, LayerPhaseNs};
 use crate::param::{Param, ParamKind};
+
+/// Minimum elements of per-channel work before the channel loop splits
+/// across the worker pool.
+const PAR_MIN_ELEMS: usize = 1 << 14;
 
 /// Per-step cache needed by the backward pass.
 #[derive(Debug)]
@@ -36,6 +43,7 @@ pub struct BatchNorm {
     running_var: Tensor,
     cache: Vec<BnCache>,
     training: bool,
+    phase: LayerPhaseNs,
 }
 
 impl BatchNorm {
@@ -67,6 +75,7 @@ impl BatchNorm {
             cache: Vec::new(),
             name,
             training: true,
+            phase: LayerPhaseNs::default(),
         })
     }
 
@@ -102,52 +111,71 @@ impl Layer for BatchNorm {
         let (b, spatial) = self.layout(input)?;
         let c = self.channels;
         let m = (b * spatial) as f32;
+        let t0 = Instant::now();
         let id = input.as_slice();
         let mut out = Tensor::zeros(input.shape().clone());
         let mut xhat = Tensor::zeros(input.shape().clone());
         let mut inv_stds = vec![0.0f32; c];
         let gd = self.gamma.value.as_slice().to_vec();
         let bd = self.beta.value.as_slice().to_vec();
-
-        for ch in 0..c {
-            // Gather statistics for channel `ch`.
-            let (mean, var) = if self.training {
-                let mut sum = 0.0f64;
-                let mut sq = 0.0f64;
-                for s in 0..b {
-                    let base = (s * c + ch) * spatial;
-                    for &v in &id[base..base + spatial] {
-                        sum += v as f64;
-                        sq += (v as f64) * (v as f64);
+        {
+            // Channel-parallel: each channel's statistics reduction stays a
+            // single serial f64 accumulation in sample order inside one task,
+            // and every write (out/xhat strided by channel, running stats and
+            // inv_std indexed by channel) touches indices owned by exactly
+            // one channel — so any channel partition is bit-identical to the
+            // serial loop.
+            let training = self.training;
+            let momentum = self.momentum;
+            let eps = self.eps;
+            let rm_s = SharedSlice::new(self.running_mean.as_mut_slice());
+            let rv_s = SharedSlice::new(self.running_var.as_mut_slice());
+            let out_s = SharedSlice::new(out.as_mut_slice());
+            let xh_s = SharedSlice::new(xhat.as_mut_slice());
+            let is_s = SharedSlice::new(&mut inv_stds);
+            let min_ch = (PAR_MIN_ELEMS / (b * spatial).max(1)).max(1);
+            parallel_ranges(c, min_ch, |_, range| {
+                for ch in range {
+                    // Gather statistics for channel `ch`.
+                    let (mean, var) = if training {
+                        let mut sum = 0.0f64;
+                        let mut sq = 0.0f64;
+                        for s in 0..b {
+                            let base = (s * c + ch) * spatial;
+                            for &v in &id[base..base + spatial] {
+                                sum += v as f64;
+                                sq += (v as f64) * (v as f64);
+                            }
+                        }
+                        let mean = (sum / m as f64) as f32;
+                        let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                        unsafe {
+                            let rm = rm_s.get_mut(ch);
+                            *rm = (1.0 - momentum) * *rm + momentum * mean;
+                            let rv = rv_s.get_mut(ch);
+                            *rv = (1.0 - momentum) * *rv + momentum * var;
+                        }
+                        (mean, var)
+                    } else {
+                        unsafe { (*rm_s.get_mut(ch), *rv_s.get_mut(ch)) }
+                    };
+                    let inv_std = 1.0 / (var + eps).sqrt();
+                    unsafe { *is_s.get_mut(ch) = inv_std };
+                    let (g, be) = (gd[ch], bd[ch]);
+                    for s in 0..b {
+                        let base = (s * c + ch) * spatial;
+                        for i in base..base + spatial {
+                            let xh = (id[i] - mean) * inv_std;
+                            unsafe {
+                                *xh_s.get_mut(i) = xh;
+                                *out_s.get_mut(i) = g * xh + be;
+                            }
+                        }
                     }
                 }
-                let mean = (sum / m as f64) as f32;
-                let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
-                let rm = &mut self.running_mean.as_mut_slice()[ch];
-                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
-                let rv = &mut self.running_var.as_mut_slice()[ch];
-                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
-                (mean, var)
-            } else {
-                (
-                    self.running_mean.as_slice()[ch],
-                    self.running_var.as_slice()[ch],
-                )
-            };
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
-            let (g, be) = (gd[ch], bd[ch]);
-            let od = out.as_mut_slice();
-            let xd = xhat.as_mut_slice();
-            for s in 0..b {
-                let base = (s * c + ch) * spatial;
-                for i in base..base + spatial {
-                    let xh = (id[i] - mean) * inv_std;
-                    xd[i] = xh;
-                    od[i] = g * xh + be;
-                }
-            }
+            });
         }
+        self.phase.norm_ns += t0.elapsed().as_nanos() as u64;
         if self.training {
             debug_assert_eq!(step, self.cache.len(), "non-sequential forward");
             self.cache.push(BnCache {
@@ -168,33 +196,46 @@ impl Layer for BatchNorm {
         let (b, spatial) = self.layout(grad_out)?;
         let c = self.channels;
         let m = (b * spatial) as f32;
+        let t0 = Instant::now();
         let gy = grad_out.as_slice();
         let xh = cache.xhat.as_slice();
         let mut gx = Tensor::zeros(grad_out.shape().clone());
         let gamma = self.gamma.value.as_slice().to_vec();
-
-        for ch in 0..c {
-            let mut sum_gy = 0.0f64;
-            let mut sum_gy_xh = 0.0f64;
-            for s in 0..b {
-                let base = (s * c + ch) * spatial;
-                for i in base..base + spatial {
-                    sum_gy += gy[i] as f64;
-                    sum_gy_xh += (gy[i] * xh[i]) as f64;
+        {
+            // Channel-parallel with the same ownership argument as forward:
+            // whole-channel f64 reductions, channel-indexed grad writes.
+            let inv_std = &cache.inv_std;
+            let bg_s = SharedSlice::new(self.beta.grad.as_mut_slice());
+            let gg_s = SharedSlice::new(self.gamma.grad.as_mut_slice());
+            let gx_s = SharedSlice::new(gx.as_mut_slice());
+            let min_ch = (PAR_MIN_ELEMS / (b * spatial).max(1)).max(1);
+            parallel_ranges(c, min_ch, |_, range| {
+                for ch in range {
+                    let mut sum_gy = 0.0f64;
+                    let mut sum_gy_xh = 0.0f64;
+                    for s in 0..b {
+                        let base = (s * c + ch) * spatial;
+                        for i in base..base + spatial {
+                            sum_gy += gy[i] as f64;
+                            sum_gy_xh += (gy[i] * xh[i]) as f64;
+                        }
+                    }
+                    unsafe {
+                        *bg_s.get_mut(ch) += sum_gy as f32;
+                        *gg_s.get_mut(ch) += sum_gy_xh as f32;
+                    }
+                    let k = gamma[ch] * inv_std[ch] / m;
+                    let (sg, sgx) = (sum_gy as f32, sum_gy_xh as f32);
+                    for s in 0..b {
+                        let base = (s * c + ch) * spatial;
+                        for i in base..base + spatial {
+                            unsafe { *gx_s.get_mut(i) = k * (m * gy[i] - sg - xh[i] * sgx) };
+                        }
+                    }
                 }
-            }
-            self.beta.grad.as_mut_slice()[ch] += sum_gy as f32;
-            self.gamma.grad.as_mut_slice()[ch] += sum_gy_xh as f32;
-            let k = gamma[ch] * cache.inv_std[ch] / m;
-            let (sg, sgx) = (sum_gy as f32, sum_gy_xh as f32);
-            let gxd = gx.as_mut_slice();
-            for s in 0..b {
-                let base = (s * c + ch) * spatial;
-                for i in base..base + spatial {
-                    gxd[i] = k * (m * gy[i] - sg - xh[i] * sgx);
-                }
-            }
+            });
         }
+        self.phase.norm_ns += t0.elapsed().as_nanos() as u64;
         Ok(gx)
     }
 
@@ -216,6 +257,14 @@ impl Layer for BatchNorm {
         f(&mean_name, &mut self.running_mean);
         let var_name = format!("{}.running_var", self.name);
         f(&var_name, &mut self.running_var);
+    }
+
+    fn phase_ns(&self) -> LayerPhaseNs {
+        self.phase
+    }
+
+    fn reset_phase_ns(&mut self) {
+        self.phase = LayerPhaseNs::default();
     }
 }
 

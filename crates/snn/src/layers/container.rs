@@ -4,7 +4,7 @@ use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
 use crate::error::Result;
-use crate::layers::{ComputeSite, Layer, SpikeExecStats, SpikeStats};
+use crate::layers::{ComputeSite, Layer, LayerPhaseNs, SpikeExecStats, SpikeStats};
 use crate::param::Param;
 
 /// A chain of layers executed in order per timestep.
@@ -170,6 +170,20 @@ impl Layer for Sequential {
     fn reset_spike_exec_stats(&mut self) {
         for layer in &mut self.layers {
             layer.reset_spike_exec_stats();
+        }
+    }
+
+    fn phase_ns(&self) -> LayerPhaseNs {
+        let mut total = LayerPhaseNs::default();
+        for layer in &self.layers {
+            total.merge(layer.phase_ns());
+        }
+        total
+    }
+
+    fn reset_phase_ns(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_phase_ns();
         }
     }
 

@@ -1,12 +1,30 @@
 //! The Leaky Integrate-and-Fire spiking activation layer.
 
+use std::time::Instant;
+
 use ndsnn_tensor::ops::spike::SpikeBatch;
+use ndsnn_tensor::parallel::{for_chunks_mut, parallel_for_chunks, worker_threads};
 use ndsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SnnError};
-use crate::layers::{ComputeSite, Layer, SpikeStats};
+use crate::layers::{ComputeSite, Layer, LayerPhaseNs, SpikeStats};
 use crate::surrogate::Surrogate;
+
+/// Minimum neurons per chunk before the fused membrane/backward loops split
+/// across the worker pool; below this the dispatch costs more than the math.
+pub(crate) const PAR_MIN_NEURONS: usize = 1 << 14;
+
+/// One chunk of the parallel membrane update: `(chunk_index, ((membrane
+/// slice, spike-output slice), (optional surrogate-input slice, per-chunk
+/// (spike count, fired list) slot)))`.
+type NeuronChunk<'a> = (
+    usize,
+    (
+        (&'a mut [f32], &'a mut [f32]),
+        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>)),
+    ),
+);
 
 /// How the membrane potential resets after a spike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -92,6 +110,7 @@ pub struct LifLayer {
     last_backward_step: Option<usize>,
     training: bool,
     stats: SpikeStats,
+    phase: LayerPhaseNs,
 }
 
 impl LifLayer {
@@ -108,6 +127,7 @@ impl LifLayer {
             last_backward_step: None,
             training: true,
             stats: SpikeStats::default(),
+            phase: LayerPhaseNs::default(),
         })
     }
 
@@ -124,7 +144,7 @@ impl LifLayer {
         &mut self,
         input: &Tensor,
         step: usize,
-        mut fired: Option<&mut Vec<u32>>,
+        fired: Option<&mut Vec<u32>>,
     ) -> Result<Tensor> {
         let cfg = self.config;
         let thr = cfg.v_threshold;
@@ -151,35 +171,66 @@ impl LifLayer {
             }
         };
         let o_prev = self.o_prev.take();
+        let t0 = Instant::now();
         let mut o = Tensor::zeros(input.dims());
         let mut x = self.training.then(|| Tensor::zeros(input.dims()));
-        let mut spikes = 0u64;
+        let spikes;
         {
             let vd = v.as_mut_slice();
             let od = o.as_mut_slice();
             let id = input.as_slice();
             let opd = o_prev.as_ref().map(|t| t.as_slice());
-            let mut xd = x.as_mut().map(|t| t.as_mut_slice());
-            for i in 0..id.len() {
-                let op = opd.map_or(0.0, |s| s[i]);
-                let nv = match cfg.reset {
-                    ResetMode::Soft => cfg.alpha * vd[i] + id[i] - thr * op,
-                    ResetMode::Hard => cfg.alpha * vd[i] * (1.0 - op) + id[i],
-                };
-                vd[i] = nv;
-                let f = nv - thr >= 0.0;
-                od[i] = f32::from(f);
-                spikes += u64::from(f);
-                if f {
-                    if let Some(idx) = fired.as_deref_mut() {
-                        idx.push(i as u32);
+            let xd = x.as_mut().map(|t| t.as_mut_slice());
+            let n = id.len();
+            let collect_fired = fired.is_some();
+            // Chunk-parallel over the population: every neuron is independent,
+            // so any chunking is bit-identical. Per-chunk spike counts and
+            // fired lists are concatenated in chunk order, preserving the
+            // ascending-index contract of `fired`.
+            let workers = worker_threads(n / PAR_MIN_NEURONS).max(1);
+            let per = n.div_ceil(workers).max(1);
+            let nchunks = n.div_ceil(per);
+            let mut parts: Vec<(u64, Vec<u32>)> =
+                (0..nchunks).map(|_| (0u64, Vec::new())).collect();
+            let xchunks: Vec<Option<&mut [f32]>> = match xd {
+                Some(xs) => xs.chunks_mut(per).map(Some).collect(),
+                None => (0..nchunks).map(|_| None).collect(),
+            };
+            let chunks: Vec<NeuronChunk> = vd
+                .chunks_mut(per)
+                .zip(od.chunks_mut(per))
+                .zip(xchunks.into_iter().zip(parts.iter_mut()))
+                .enumerate()
+                .collect();
+            parallel_for_chunks(chunks, |ci, ((vc, oc), (mut xc, part))| {
+                let start = ci * per;
+                for j in 0..vc.len() {
+                    let i = start + j;
+                    let op = opd.map_or(0.0, |s| s[i]);
+                    let nv = match cfg.reset {
+                        ResetMode::Soft => cfg.alpha * vc[j] + id[i] - thr * op,
+                        ResetMode::Hard => cfg.alpha * vc[j] * (1.0 - op) + id[i],
+                    };
+                    vc[j] = nv;
+                    let f = nv - thr >= 0.0;
+                    oc[j] = f32::from(f);
+                    part.0 += u64::from(f);
+                    if f && collect_fired {
+                        part.1.push(i as u32);
+                    }
+                    if let Some(xs) = xc.as_mut() {
+                        xs[j] = nv - thr;
                     }
                 }
-                if let Some(xs) = xd.as_deref_mut() {
-                    xs[i] = nv - thr;
+            });
+            spikes = parts.iter().map(|p| p.0).sum::<u64>();
+            if let Some(idx) = fired {
+                for (_, part) in parts {
+                    idx.extend(part);
                 }
             }
         }
+        self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
         self.stats.spikes += spikes;
         self.stats.neuron_steps += o.len() as u64;
         if let Some(x) = x {
@@ -238,54 +289,62 @@ impl Layer for LifLayer {
             debug_assert_eq!(step + 1, prev, "LIF backward steps must be descending");
         }
         let cfg = self.config;
-        let eps = match cfg.reset {
+        let t0 = Instant::now();
+        // Both reset modes reduce to an elementwise recurrence over neurons,
+        // so the whole backward step is one fused chunk-parallel pass with
+        // the same per-element operation order as the tensor-op formulation
+        // it replaces (clone → axpy → zip → axpy), hence bit-identical.
+        let gd = grad_out.as_slice();
+        let xd = x.as_slice();
+        let ed = self.eps_next.as_ref().map(|t| t.as_slice());
+        let mut eps = Tensor::zeros(grad_out.shape().clone());
+        match cfg.reset {
             ResetMode::Soft => {
-                // Total ∂L/∂o[t]: downstream grad, plus (optionally) the
-                // reset path from v[t+1] = … − ϑ·o[t].
-                let mut dldo = grad_out.clone();
-                if !cfg.detach_reset {
-                    if let Some(eps_next) = &self.eps_next {
-                        dldo.axpy(-cfg.v_threshold, eps_next)?;
+                // ε[t] = (∂L/∂o[t])·φ(x) + α·ε[t+1], where ∂L/∂o[t] is the
+                // downstream grad plus (optionally) the reset path from
+                // v[t+1] = … − ϑ·o[t].
+                for_chunks_mut(eps.as_mut_slice(), PAR_MIN_NEURONS, |start, chunk| {
+                    for (j, e) in chunk.iter_mut().enumerate() {
+                        let i = start + j;
+                        let mut dldo = gd[i];
+                        if !cfg.detach_reset {
+                            if let Some(ed) = ed {
+                                dldo += -cfg.v_threshold * ed[i];
+                            }
+                        }
+                        let mut v = dldo * cfg.surrogate.grad(xd[i]);
+                        if let Some(ed) = ed {
+                            v += cfg.alpha * ed[i];
+                        }
+                        *e = v;
                     }
-                }
-                // ε[t] = dL/do[t]·φ(x) + α·ε[t+1]
-                let mut eps = dldo.zip(x, |g, xv| g * cfg.surrogate.grad(xv))?;
-                if let Some(eps_next) = &self.eps_next {
-                    eps.axpy(cfg.alpha, eps_next)?;
-                }
-                eps
+                });
             }
             ResetMode::Hard => {
                 // v[t+1] = α·v[t]·(1 − o[t]) + I[t+1]:
                 //   ∂v[t+1]/∂v[t] = α·(1 − o[t]),  ∂v[t+1]/∂o[t] = −α·v[t].
                 // Both o[t] and v[t] are recoverable from x[t] = v[t] − ϑ.
-                let gd = grad_out.as_slice();
-                let xd = x.as_slice();
-                let mut out = Tensor::zeros(grad_out.shape().clone());
-                let od = out.as_mut_slice();
-                match &self.eps_next {
-                    Some(eps_next) => {
-                        let ed = eps_next.as_slice();
-                        for i in 0..od.len() {
-                            let xv = xd[i];
-                            let o = if xv >= 0.0 { 1.0f32 } else { 0.0 };
-                            let vt = xv + cfg.v_threshold;
-                            let mut dldo = gd[i];
-                            if !cfg.detach_reset {
-                                dldo -= ed[i] * cfg.alpha * vt;
+                for_chunks_mut(eps.as_mut_slice(), PAR_MIN_NEURONS, |start, chunk| {
+                    for (j, e) in chunk.iter_mut().enumerate() {
+                        let i = start + j;
+                        *e = match ed {
+                            Some(ed) => {
+                                let xv = xd[i];
+                                let o = if xv >= 0.0 { 1.0f32 } else { 0.0 };
+                                let vt = xv + cfg.v_threshold;
+                                let mut dldo = gd[i];
+                                if !cfg.detach_reset {
+                                    dldo -= ed[i] * cfg.alpha * vt;
+                                }
+                                dldo * cfg.surrogate.grad(xv) + ed[i] * cfg.alpha * (1.0 - o)
                             }
-                            od[i] = dldo * cfg.surrogate.grad(xv) + ed[i] * cfg.alpha * (1.0 - o);
-                        }
+                            None => gd[i] * cfg.surrogate.grad(xd[i]),
+                        };
                     }
-                    None => {
-                        for i in 0..od.len() {
-                            od[i] = gd[i] * cfg.surrogate.grad(xd[i]);
-                        }
-                    }
-                }
-                out
+                });
             }
-        };
+        }
+        self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
         self.eps_next = Some(eps.clone());
         self.last_backward_step = Some(step);
         // ∂L/∂I[t] = ε[t]
@@ -310,6 +369,14 @@ impl Layer for LifLayer {
 
     fn reset_spike_stats(&mut self) {
         self.stats = SpikeStats::default();
+    }
+
+    fn phase_ns(&self) -> LayerPhaseNs {
+        self.phase
+    }
+
+    fn reset_phase_ns(&mut self) {
+        self.phase = LayerPhaseNs::default();
     }
 
     fn collect_compute(&self, out: &mut Vec<ComputeSite>) {

@@ -101,6 +101,28 @@ impl SpikeExecStats {
     }
 }
 
+/// Wall-clock phase counters for the layer-internal kernels that are not
+/// separately visible to the trainer's coarse forward/backward split: the
+/// fused neuron updates (LIF/PLIF membrane + surrogate backward) and the
+/// normalization kernels. All values are totals since the last
+/// [`Layer::reset_phase_ns`]; containers report the sum over children.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerPhaseNs {
+    /// Nanoseconds inside LIF/PLIF membrane-update and surrogate-backward
+    /// kernels (forward and backward combined).
+    pub neuron_ns: u64,
+    /// Nanoseconds inside BatchNorm forward and backward kernels.
+    pub norm_ns: u64,
+}
+
+impl LayerPhaseNs {
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: LayerPhaseNs) {
+        self.neuron_ns += other.neuron_ns;
+        self.norm_ns += other.norm_ns;
+    }
+}
+
 /// One node of a network's compute walk, emitted by
 /// [`Layer::collect_compute`] in forward order. Pairing each [`Consumer`]
 /// with the nearest preceding [`Emitter`] reconstructs which measured spike
@@ -208,6 +230,16 @@ pub trait Layer: Send {
 
     /// Resets spike-execution counters.
     fn reset_spike_exec_stats(&mut self) {}
+
+    /// Layer-internal phase timings accumulated since the last
+    /// [`Layer::reset_phase_ns`]. Layers without instrumented kernels report
+    /// zeros; containers report the sum over children.
+    fn phase_ns(&self) -> LayerPhaseNs {
+        LayerPhaseNs::default()
+    }
+
+    /// Resets the layer-internal phase timings.
+    fn reset_phase_ns(&mut self) {}
 
     /// Appends this layer's [`ComputeSite`]s in forward order. Layers with
     /// negligible MACs (BN, pooling, flatten) contribute nothing; containers

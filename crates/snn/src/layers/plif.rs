@@ -11,13 +11,28 @@
 //! the reproduction explore whether learnable dynamics change the
 //! sparse-training picture.
 
+use std::time::Instant;
+
 use ndsnn_tensor::ops::spike::SpikeBatch;
+use ndsnn_tensor::parallel::{for_chunks_mut, parallel_for_chunks, worker_threads};
 use ndsnn_tensor::Tensor;
 
 use crate::error::{Result, SnnError};
-use crate::layers::{ComputeSite, Layer, SpikeStats};
+use crate::layers::lif::PAR_MIN_NEURONS;
+use crate::layers::{ComputeSite, Layer, LayerPhaseNs, SpikeStats};
 use crate::param::{Param, ParamKind};
 use crate::surrogate::Surrogate;
+
+/// One chunk of the parallel membrane update: `(chunk_index, ((membrane
+/// slice, spike-output slice), (optional surrogate-input slice, per-chunk
+/// (spike count, fired list) slot)))`.
+type NeuronChunk<'a> = (
+    usize,
+    (
+        (&'a mut [f32], &'a mut [f32]),
+        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>)),
+    ),
+);
 
 /// Configuration of a parametric-LIF layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +94,7 @@ pub struct PlifLayer {
     eps_next: Option<Tensor>,
     training: bool,
     stats: SpikeStats,
+    phase: LayerPhaseNs,
 }
 
 impl PlifLayer {
@@ -102,12 +118,109 @@ impl PlifLayer {
             eps_next: None,
             training: true,
             stats: SpikeStats::default(),
+            phase: LayerPhaseNs::default(),
         })
     }
 
     /// The current effective decay α = σ(w).
     pub fn alpha(&self) -> f32 {
         sigmoid(self.raw_alpha.value.as_slice()[0])
+    }
+
+    /// Fused membrane-update/fire/cache pass shared by [`Layer::forward`] and
+    /// [`Layer::forward_spikes`]. One chunk-parallel scan replaces the
+    /// scale/add/axpy/map tensor-op chain with the identical per-element
+    /// operation order (`α·v + I`, then `+ (−ϑ)·o_prev`), so results are
+    /// bit-identical to the original formulation at any thread count. When
+    /// `fired` is provided, flat spike indices are pushed ascending.
+    fn step_core(
+        &mut self,
+        input: &Tensor,
+        step: usize,
+        fired: Option<&mut Vec<u32>>,
+    ) -> Result<Tensor> {
+        let alpha = self.alpha();
+        let thr = self.config.v_threshold;
+        let v_prev = self.v.take().unwrap_or_else(|| Tensor::zeros(input.dims()));
+        if v_prev.dims() != input.dims() {
+            return Err(SnnError::InvalidState(format!(
+                "{}: input dims changed mid-sequence ({:?} vs {:?})",
+                self.name,
+                input.dims(),
+                v_prev.dims()
+            )));
+        }
+        let o_prev = self
+            .o_prev
+            .take()
+            .unwrap_or_else(|| Tensor::zeros(input.dims()));
+        let t0 = Instant::now();
+        let mut v = Tensor::zeros(input.dims());
+        let mut o = Tensor::zeros(input.dims());
+        let mut x = self.training.then(|| Tensor::zeros(input.dims()));
+        let spikes;
+        {
+            let id = input.as_slice();
+            let vp = v_prev.as_slice();
+            let opd = o_prev.as_slice();
+            let vd = v.as_mut_slice();
+            let od = o.as_mut_slice();
+            let xd = x.as_mut().map(|t| t.as_mut_slice());
+            let n = id.len();
+            let collect_fired = fired.is_some();
+            let workers = worker_threads(n / PAR_MIN_NEURONS).max(1);
+            let per = n.div_ceil(workers).max(1);
+            let nchunks = n.div_ceil(per);
+            let mut parts: Vec<(u64, Vec<u32>)> =
+                (0..nchunks).map(|_| (0u64, Vec::new())).collect();
+            let xchunks: Vec<Option<&mut [f32]>> = match xd {
+                Some(xs) => xs.chunks_mut(per).map(Some).collect(),
+                None => (0..nchunks).map(|_| None).collect(),
+            };
+            let chunks: Vec<NeuronChunk> = vd
+                .chunks_mut(per)
+                .zip(od.chunks_mut(per))
+                .zip(xchunks.into_iter().zip(parts.iter_mut()))
+                .enumerate()
+                .collect();
+            parallel_for_chunks(chunks, |ci, ((vc, oc), (mut xc, part))| {
+                let start = ci * per;
+                for j in 0..vc.len() {
+                    let i = start + j;
+                    // v[t] = α·v[t−1] + I[t] − ϑ·o[t−1]
+                    let mut nv = vp[i] * alpha;
+                    nv += id[i];
+                    nv += -thr * opd[i];
+                    vc[j] = nv;
+                    let f = nv - thr >= 0.0;
+                    oc[j] = f32::from(f);
+                    part.0 += u64::from(f);
+                    if f && collect_fired {
+                        part.1.push(i as u32);
+                    }
+                    if let Some(xs) = xc.as_mut() {
+                        xs[j] = nv + -thr;
+                    }
+                }
+            });
+            spikes = parts.iter().map(|p| p.0).sum::<u64>();
+            if let Some(idx) = fired {
+                for (_, part) in parts {
+                    idx.extend(part);
+                }
+            }
+        }
+        self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.spikes += spikes;
+        self.stats.neuron_steps += o.len() as u64;
+        if let Some(x) = x {
+            debug_assert_eq!(step, self.x_cache.len(), "non-sequential PLIF forward");
+            self.x_cache.push(x);
+            self.v_prev_cache.push(v_prev);
+        }
+        self.v = Some(v);
+        self.o_prev = Some(o.clone());
+        Ok(o)
     }
 }
 
@@ -117,28 +230,7 @@ impl Layer for PlifLayer {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        let alpha = self.alpha();
-        let thr = self.config.v_threshold;
-        let v_prev = self.v.take().unwrap_or_else(|| Tensor::zeros(input.dims()));
-        let o_prev = self
-            .o_prev
-            .take()
-            .unwrap_or_else(|| Tensor::zeros(input.dims()));
-        // v[t] = α·v[t−1] + I[t] − ϑ·o[t−1]
-        let mut v = v_prev.scale(alpha);
-        v.add_assign(input)?;
-        v.axpy(-thr, &o_prev)?;
-        let o = v.map(|x| if x - thr >= 0.0 { 1.0 } else { 0.0 });
-        self.stats.spikes += o.as_slice().iter().filter(|&&s| s != 0.0).count() as u64;
-        self.stats.neuron_steps += o.len() as u64;
-        if self.training {
-            debug_assert_eq!(step, self.x_cache.len(), "non-sequential PLIF forward");
-            self.x_cache.push(v.add_scalar(-thr));
-            self.v_prev_cache.push(v_prev);
-        }
-        self.v = Some(v);
-        self.o_prev = Some(o.clone());
-        Ok(o)
+        self.step_core(input, step, None)
     }
 
     fn forward_spikes(
@@ -147,15 +239,18 @@ impl Layer for PlifLayer {
         _spikes: Option<SpikeBatch>,
         step: usize,
     ) -> Result<(Tensor, Option<SpikeBatch>)> {
-        // PLIF's forward is built from whole-tensor ops, so the spike batch
-        // is recovered with one extra scan of the (exactly binary) output.
-        let o = self.forward(input, step)?;
-        let dims = o.dims();
-        if dims.len() < 2 || dims[0] == 0 || o.is_empty() {
-            return Ok((o, None));
+        // The fused pass emits the fired indices directly (ascending scan),
+        // so no rescan of the binary output is needed.
+        let dims = input.dims();
+        if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
+            return Ok((self.step_core(input, step, None)?, None));
         }
-        let batch = SpikeBatch::from_binary(dims[0], o.len() / dims[0], o.as_slice());
-        Ok((o, batch))
+        let rows = dims[0];
+        let cols = input.len() / rows;
+        let mut fired = Vec::new();
+        let o = self.step_core(input, step, Some(&mut fired))?;
+        let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
+        Ok((o, Some(batch)))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -172,15 +267,30 @@ impl Layer for PlifLayer {
         let v_prev = &self.v_prev_cache[step];
         let alpha = self.alpha();
         let surrogate = self.config.surrogate;
-        // ε[t] = g[t]·φ(x[t]) + α·ε[t+1]   (detached reset path)
-        let mut eps = grad_out.zip(x, |g, xv| g * surrogate.grad(xv))?;
-        if let Some(eps_next) = &self.eps_next {
-            eps.axpy(alpha, eps_next)?;
-        }
-        // ∂L/∂w += σ'(w)·Σ ε[t]·v[t−1]
+        let t0 = Instant::now();
+        // ε[t] = g[t]·φ(x[t]) + α·ε[t+1]   (detached reset path), fused and
+        // chunk-parallel with the exact per-element operation order of the
+        // zip + axpy chain it replaces.
+        let gd = grad_out.as_slice();
+        let xd = x.as_slice();
+        let ed = self.eps_next.as_ref().map(|t| t.as_slice());
+        let mut eps = Tensor::zeros(grad_out.shape().clone());
+        for_chunks_mut(eps.as_mut_slice(), PAR_MIN_NEURONS, |start, chunk| {
+            for (j, e) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                let mut v = gd[i] * surrogate.grad(xd[i]);
+                if let Some(ed) = ed {
+                    v += alpha * ed[i];
+                }
+                *e = v;
+            }
+        });
+        // ∂L/∂w += σ'(w)·Σ ε[t]·v[t−1] — the dot stays a single serial f64
+        // accumulation so its reduction order is independent of threading.
         let dalpha = eps.dot(v_prev)?;
         let dw = alpha * (1.0 - alpha) * dalpha;
         self.raw_alpha.grad.as_mut_slice()[0] += dw;
+        self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
         self.eps_next = Some(eps.clone());
         Ok(eps)
     }
@@ -207,6 +317,14 @@ impl Layer for PlifLayer {
 
     fn reset_spike_stats(&mut self) {
         self.stats = SpikeStats::default();
+    }
+
+    fn phase_ns(&self) -> LayerPhaseNs {
+        self.phase
+    }
+
+    fn reset_phase_ns(&mut self) {
+        self.phase = LayerPhaseNs::default();
     }
 
     fn collect_compute(&self, out: &mut Vec<ComputeSite>) {

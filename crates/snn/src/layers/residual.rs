@@ -7,7 +7,8 @@ use rand::Rng;
 
 use crate::error::Result;
 use crate::layers::{
-    BatchNorm, ComputeSite, Conv2d, Layer, LifConfig, LifLayer, SpikeExecStats, SpikeStats,
+    BatchNorm, ComputeSite, Conv2d, Layer, LayerPhaseNs, LifConfig, LifLayer, SpikeExecStats,
+    SpikeStats,
 };
 use crate::param::Param;
 
@@ -232,6 +233,27 @@ impl Layer for BasicBlock {
         self.conv2.reset_spike_exec_stats();
         if let Some((conv, _)) = &mut self.downsample {
             conv.reset_spike_exec_stats();
+        }
+    }
+
+    fn phase_ns(&self) -> LayerPhaseNs {
+        let mut p = self.bn1.phase_ns();
+        p.merge(self.bn2.phase_ns());
+        p.merge(self.lif1.phase_ns());
+        p.merge(self.lif_out.phase_ns());
+        if let Some((_, bn)) = &self.downsample {
+            p.merge(bn.phase_ns());
+        }
+        p
+    }
+
+    fn reset_phase_ns(&mut self) {
+        self.bn1.reset_phase_ns();
+        self.bn2.reset_phase_ns();
+        self.lif1.reset_phase_ns();
+        self.lif_out.reset_phase_ns();
+        if let Some((_, bn)) = &mut self.downsample {
+            bn.reset_phase_ns();
         }
     }
 

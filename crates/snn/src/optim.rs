@@ -1,10 +1,19 @@
 //! Optimizers and learning-rate schedules.
 
+use ndsnn_tensor::parallel::{parallel_for_chunks, worker_threads};
 use ndsnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SnnError};
 use crate::layers::Layer;
+
+/// Minimum parameter-tensor elements before the SGD update loop splits
+/// across the worker pool.
+const PAR_MIN_PARAMS: usize = 1 << 14;
+
+/// One chunk of the parallel SGD update: `(chunk_index, (velocity slice,
+/// weight slice))`.
+type SgdChunk<'a> = (usize, (&'a mut [f32], &'a mut [f32]));
 
 /// SGD hyper-parameters. Paper §IV.A: momentum 0.9, weight decay 5e-4,
 /// initial learning rate 0.3.
@@ -101,11 +110,24 @@ impl Sgd {
             let vd = v.as_mut_slice();
             let wd = p.value.as_mut_slice();
             let gd = p.grad.as_slice();
-            for i in 0..wd.len() {
-                let g = gd[i] + cfg.weight_decay * wd[i];
-                vd[i] = cfg.momentum * vd[i] + g;
-                wd[i] -= lr * vd[i];
-            }
+            // Elementwise over independent coordinates, so any chunking is
+            // bit-identical to the serial update.
+            let n = wd.len();
+            let workers = worker_threads(n / PAR_MIN_PARAMS).max(1);
+            let per = n.div_ceil(workers).max(1);
+            let chunks: Vec<SgdChunk> = vd
+                .chunks_mut(per)
+                .zip(wd.chunks_mut(per))
+                .enumerate()
+                .collect();
+            parallel_for_chunks(chunks, |ci, (vc, wc)| {
+                let start = ci * per;
+                for j in 0..vc.len() {
+                    let g = gd[start + j] + cfg.weight_decay * wc[j];
+                    vc[j] = cfg.momentum * vc[j] + g;
+                    wc[j] -= lr * vc[j];
+                }
+            });
             idx += 1;
         });
         match failure {

@@ -1,0 +1,182 @@
+//! Bit-identity property tests for the pooled parallel training kernels.
+//!
+//! Every kernel that dispatches through the persistent worker pool — the
+//! LIF/PLIF membrane updates and surrogate backward, BatchNorm forward and
+//! backward, and the SGD momentum update — must produce *exactly* (bit for
+//! bit) the result of the serial loop at any thread count. The tests compare
+//! [`run_serial`] against pooled execution under several
+//! [`set_thread_override`] values; sizes sit above the parallel gates so the
+//! pool path really engages.
+
+use ndsnn_snn::layers::{BatchNorm, Layer, LifConfig, LifLayer, Linear, PlifConfig, PlifLayer};
+use ndsnn_snn::optim::{Sgd, SgdConfig};
+use ndsnn_tensor::parallel::{run_serial, set_thread_override};
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Thread counts exercised against the serial reference. Values above the
+/// machine's core count are valid — the pool spawns exactly as many workers
+/// as it has tasks for, and identity must hold regardless.
+const THREADS: [usize; 3] = [2, 4, 7];
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: shape mismatch");
+    for (i, (x, y)) in a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit divergence at element {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Forward + backward through a freshly built LIF layer over `steps`
+/// timesteps, returning outputs and input gradients for comparison.
+fn lif_round_trip(seed: u64, n: usize, steps: usize) -> (Vec<Tensor>, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lif = LifLayer::new("lif", LifConfig::default()).unwrap();
+    lif.set_training(true);
+    let mut outs = Vec::new();
+    let mut grads = Vec::new();
+    for step in 0..steps {
+        let x = ndsnn_tensor::init::uniform([4, n / 4], -1.5, 2.0, &mut rng);
+        outs.push(lif.forward(&x, step).unwrap());
+    }
+    for step in (0..steps).rev() {
+        let g = ndsnn_tensor::init::uniform([4, n / 4], -1.0, 1.0, &mut rng);
+        grads.push(lif.backward(&g, step).unwrap());
+    }
+    (outs, grads)
+}
+
+fn plif_round_trip(seed: u64, n: usize, steps: usize) -> (Vec<Tensor>, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plif = PlifLayer::new("plif", PlifConfig::default()).unwrap();
+    plif.set_training(true);
+    let mut outs = Vec::new();
+    let mut grads = Vec::new();
+    for step in 0..steps {
+        let x = ndsnn_tensor::init::uniform([4, n / 4], -1.5, 2.0, &mut rng);
+        outs.push(plif.forward(&x, step).unwrap());
+    }
+    for step in (0..steps).rev() {
+        let g = ndsnn_tensor::init::uniform([4, n / 4], -1.0, 1.0, &mut rng);
+        grads.push(plif.backward(&g, step).unwrap());
+    }
+    (outs, grads)
+}
+
+/// BatchNorm forward + backward on a `(b, c, h, w)` batch large enough that
+/// the channel loop splits across workers.
+fn bn_round_trip(seed: u64, b: usize, c: usize, hw: usize) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bn = BatchNorm::new("bn", c, &mut rng).unwrap();
+    bn.set_training(true);
+    let x = ndsnn_tensor::init::uniform([b, c, hw, hw], -2.0, 3.0, &mut rng);
+    let y = bn.forward(&x, 0).unwrap();
+    let g = ndsnn_tensor::init::uniform([b, c, hw, hw], -1.0, 1.0, &mut rng);
+    let gx = bn.backward(&g, 0).unwrap();
+    (y, gx)
+}
+
+/// One SGD momentum step on a Linear layer with synthetic gradients; returns
+/// the updated weights.
+fn sgd_round_trip(seed: u64, dim: usize) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fc = Linear::new("fc", dim, dim, true, &mut rng).unwrap();
+    fc.for_each_param(&mut |p| {
+        p.grad = ndsnn_tensor::init::uniform(p.value.dims(), -0.5, 0.5, &mut rng);
+    });
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+    });
+    opt.step(&mut fc).unwrap();
+    opt.step(&mut fc).unwrap();
+    let mut out = Vec::new();
+    fc.for_each_param(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// LIF membrane update + surrogate backward: pooled == serial, bit for
+    /// bit, at every thread count. `n = 131072` clears the `PAR_MIN_NEURONS`
+    /// gate with several chunks.
+    #[test]
+    fn lif_pooled_matches_serial(seed in 0u64..1000) {
+        let n = 1 << 17;
+        let (outs_s, grads_s) = run_serial(|| lif_round_trip(seed, n, 2));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let (outs_p, grads_p) = lif_round_trip(seed, n, 2);
+            set_thread_override(None);
+            for (a, b) in outs_s.iter().zip(&outs_p) {
+                assert_bits_eq(a, b, &format!("lif forward @{t}"));
+            }
+            for (a, b) in grads_s.iter().zip(&grads_p) {
+                assert_bits_eq(a, b, &format!("lif backward @{t}"));
+            }
+        }
+    }
+
+    /// PLIF (learnable decay) fused step + backward: pooled == serial.
+    #[test]
+    fn plif_pooled_matches_serial(seed in 0u64..1000) {
+        let n = 1 << 17;
+        let (outs_s, grads_s) = run_serial(|| plif_round_trip(seed, n, 2));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let (outs_p, grads_p) = plif_round_trip(seed, n, 2);
+            set_thread_override(None);
+            for (a, b) in outs_s.iter().zip(&outs_p) {
+                assert_bits_eq(a, b, &format!("plif forward @{t}"));
+            }
+            for (a, b) in grads_s.iter().zip(&grads_p) {
+                assert_bits_eq(a, b, &format!("plif backward @{t}"));
+            }
+        }
+    }
+
+    /// BatchNorm training forward/backward with channel-parallel whole-channel
+    /// reductions: pooled == serial (each channel's f64 accumulation happens
+    /// inside one task, so the split cannot change summation order).
+    #[test]
+    fn batchnorm_pooled_matches_serial(seed in 0u64..1000) {
+        let (b, c, hw) = (2, 32, 32);
+        let (y_s, gx_s) = run_serial(|| bn_round_trip(seed, b, c, hw));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let (y_p, gx_p) = bn_round_trip(seed, b, c, hw);
+            set_thread_override(None);
+            assert_bits_eq(&y_s, &y_p, &format!("bn forward @{t}"));
+            assert_bits_eq(&gx_s, &gx_p, &format!("bn backward @{t}"));
+        }
+    }
+
+    /// SGD momentum/weight-decay update: pooled == serial. The velocity and
+    /// weight recurrences are elementwise, so chunking is order-free.
+    #[test]
+    fn sgd_pooled_matches_serial(seed in 0u64..1000) {
+        let dim = 384; // 384^2 = 147456 params per weight, above the gate
+        let ws_s = run_serial(|| sgd_round_trip(seed, dim));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let ws_p = sgd_round_trip(seed, dim);
+            set_thread_override(None);
+            for (a, b) in ws_s.iter().zip(&ws_p) {
+                assert_bits_eq(a, b, &format!("sgd weights @{t}"));
+            }
+        }
+    }
+}

@@ -162,6 +162,10 @@ pub struct DynamicEngine {
     /// row-sparse execution engine. Read from `NDSNN_DENSITY_THRESHOLD` at
     /// construction; override with [`DynamicEngine::set_density_threshold`].
     density_threshold: f64,
+    /// Nanoseconds spent in mask updates + exec-plan repacks since the last
+    /// [`SparseEngine::drain_update_ns`] call. Deliberately *not* part of
+    /// [`EngineSnapshot`]: it is a profiling counter, not training state.
+    update_ns: u64,
 }
 
 impl std::fmt::Debug for DynamicEngine {
@@ -190,6 +194,7 @@ impl DynamicEngine {
             history: Vec::new(),
             initialized: false,
             density_threshold: density_threshold_from_env(),
+            update_ns: 0,
         })
     }
 
@@ -378,11 +383,13 @@ impl SparseEngine for DynamicEngine {
             ));
         }
         if self.config.update.fires_at(step) {
+            let t0 = std::time::Instant::now();
             self.update_masks(step, model)?;
             self.absorb_exploration();
             // Masks changed: this is the only point (besides init) where the
             // execution plans go stale, so repack lazily here.
             install_exec_plans(model, &self.masks, self.density_threshold);
+            self.update_ns += t0.elapsed().as_nanos() as u64;
         }
         // Only active weights receive updates (Algorithm 1 step ❷).
         self.masks.apply_to_grads(model);
@@ -404,6 +411,10 @@ impl SparseEngine for DynamicEngine {
 
     fn history(&self) -> &[UpdateEvent] {
         &self.history
+    }
+
+    fn drain_update_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.update_ns)
     }
 
     fn export_snapshot(&self) -> Option<EngineSnapshot> {

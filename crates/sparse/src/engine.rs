@@ -67,6 +67,13 @@ pub trait SparseEngine: Send {
         &[]
     }
 
+    /// Drains the nanoseconds spent updating masks and rebuilding execution
+    /// plans since the last call (0 for engines without mask maintenance).
+    /// The trainer folds this into its `mask_update_ns` phase counter.
+    fn drain_update_ns(&mut self) -> u64 {
+        0
+    }
+
     /// Exports the engine's mutable internals for crash-safe checkpointing,
     /// or `None` when the engine does not support exact resume yet.
     fn export_snapshot(&self) -> Option<EngineSnapshot> {

@@ -10,7 +10,7 @@
 use ndsnn_snn::layers::Layer;
 use ndsnn_snn::ExecPlan;
 use ndsnn_tensor::ops::spmm::RowPattern;
-use ndsnn_tensor::ops::topk::{bottom_k_indices_by, top_k_indices_by};
+use ndsnn_tensor::ops::topk::{par_bottom_k_indices_where, par_top_k_indices_where};
 use ndsnn_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -92,8 +92,7 @@ pub fn drop_by_magnitude(weight: &mut Tensor, mask: &mut Tensor, count: usize) -
     debug_assert_eq!(weight.dims(), mask.dims());
     let md = mask.as_slice();
     let wd = weight.as_slice();
-    let active = (0..md.len()).filter(|&i| md[i] != 0.0);
-    let victims = bottom_k_indices_by(active, count, |i| wd[i].abs());
+    let victims = par_bottom_k_indices_where(md.len(), count, |i| md[i] != 0.0, |i| wd[i].abs());
     let dropped = victims.len();
     let md = mask.as_mut_slice();
     let wd = weight.as_mut_slice();
@@ -118,8 +117,7 @@ pub fn grow_by_gradient(
     debug_assert_eq!(weight.dims(), grad.dims());
     let md = mask.as_slice();
     let gd = grad.as_slice();
-    let inactive = (0..md.len()).filter(|&i| md[i] == 0.0);
-    let births = top_k_indices_by(inactive, count, |i| gd[i].abs());
+    let births = par_top_k_indices_where(md.len(), count, |i| md[i] == 0.0, |i| gd[i].abs());
     let grown = births.len();
     let md = mask.as_mut_slice();
     let wd = weight.as_mut_slice();
@@ -156,7 +154,7 @@ pub fn grow_random(
 /// one-shot magnitude pruning used by LTH rounds and ADMM projection.
 pub fn top_magnitude_mask(weight: &Tensor, keep: usize) -> Tensor {
     let wd = weight.as_slice();
-    let keepers = top_k_indices_by(0..wd.len(), keep, |i| wd[i].abs());
+    let keepers = par_top_k_indices_where(wd.len(), keep, |_| true, |i| wd[i].abs());
     let mut mask = Tensor::zeros(weight.dims());
     let md = mask.as_mut_slice();
     for i in keepers {

@@ -1,0 +1,91 @@
+//! Bit-identity property tests for the parallel drop-and-grow selection.
+//!
+//! `drop_by_magnitude` / `grow_by_gradient` / `top_magnitude_mask` route
+//! their candidate scans through `par_bottom_k_indices_where` /
+//! `par_top_k_indices_where`, which select per-chunk survivors and merge.
+//! The selection key is totally ordered (key, then lower index wins ties),
+//! so the merged result must equal the serial scan exactly — including on
+//! inputs engineered to be nothing but ties. These tests compare serial
+//! against pooled execution across thread counts above the machine's core
+//! count.
+
+use ndsnn_sparse::kernels::{drop_by_magnitude, grow_by_gradient, random_mask, top_magnitude_mask};
+use ndsnn_tensor::parallel::{run_serial, set_thread_override};
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+const THREADS: [usize; 3] = [2, 4, 7];
+
+/// Above `PAR_MIN_CANDIDATES` (1 << 15) so the chunked selection engages.
+const N: usize = 1 << 16;
+
+fn masked_pair(seed: u64, ties: bool) -> (Tensor, Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = random_mask(&[N], 0.5, &mut rng);
+    let weight = if ties {
+        // Heavy ties: magnitudes drawn from 4 discrete levels, so the winner
+        // set is decided almost entirely by the index tiebreak.
+        let levels = ndsnn_tensor::init::uniform([N], 0.0, 4.0, &mut rng);
+        Tensor::from_vec(
+            [N],
+            levels.as_slice().iter().map(|v| v.floor() * 0.25).collect(),
+        )
+        .unwrap()
+    } else {
+        ndsnn_tensor::init::uniform([N], -1.0, 1.0, &mut rng)
+    };
+    let grad = ndsnn_tensor::init::uniform([N], -1.0, 1.0, &mut rng);
+    // Weights outside the mask are zero, as the engine maintains them.
+    let mut w = weight;
+    for (wv, mv) in w.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+        if *mv == 0.0 {
+            *wv = 0.0;
+        }
+    }
+    (w, mask, grad)
+}
+
+fn drop_then_grow(seed: u64, ties: bool, count: usize) -> (Tensor, Tensor) {
+    let (mut w, mut m, g) = masked_pair(seed, ties);
+    let dropped = drop_by_magnitude(&mut w, &mut m, count);
+    let grown = grow_by_gradient(&g, &mut w, &mut m, dropped);
+    assert!(grown <= dropped);
+    (w, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A full drop-and-grow round selects the same positions pooled as
+    /// serial, for smooth and maximally-tied magnitude distributions alike.
+    #[test]
+    fn drop_grow_selection_identity(seed in 0u64..1000, ties in proptest::bool::ANY) {
+        let count = N / 20;
+        let (w_s, m_s) = run_serial(|| drop_then_grow(seed, ties, count));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let (w_p, m_p) = drop_then_grow(seed, ties, count);
+            set_thread_override(None);
+            prop_assert_eq!(m_s.as_slice(), m_p.as_slice());
+            for (a, b) in w_s.as_slice().iter().zip(w_p.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// One-shot magnitude pruning (LTH/ADMM projection) is identical pooled
+    /// vs serial.
+    #[test]
+    fn top_magnitude_mask_identity(seed in 0u64..1000, ties in proptest::bool::ANY) {
+        let (w, _, _) = masked_pair(seed, ties);
+        let keep = N / 3;
+        let m_s = run_serial(|| top_magnitude_mask(&w, keep));
+        for t in THREADS {
+            set_thread_override(Some(t));
+            let m_p = top_magnitude_mask(&w, keep);
+            set_thread_override(None);
+            prop_assert_eq!(m_s.as_slice(), m_p.as_slice());
+        }
+    }
+}

@@ -16,7 +16,8 @@
 //! - [`ops::topk`]: bounded-heap partial selection used by the drop-and-grow
 //!   sparse training schedules,
 //! - [`init`]: seeded Kaiming/Xavier/uniform/normal initializers,
-//! - [`parallel`]: scoped-thread sample parallelism (honors `NDSNN_THREADS`).
+//! - [`parallel`]: persistent worker-pool parallelism with deterministic
+//!   chunking (honors `NDSNN_THREADS`; bit-identical at any thread count).
 //!
 //! Everything is deterministic given an RNG seed, which the experiment
 //! harness relies on for reproducibility.

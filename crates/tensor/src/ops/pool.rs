@@ -1,7 +1,18 @@
 //! 2-D pooling operators (average and max) with backward passes.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::{parallel_ranges, SharedSlice};
 use crate::tensor::Tensor;
+
+/// Minimum elements of per-plane work before the `(b, c)` plane loops split
+/// across the worker pool. Planes are fully independent (disjoint input and
+/// output ranges), so any plane partition is bit-identical to the serial
+/// loop.
+const PAR_MIN_ELEMS: usize = 1 << 14;
+
+fn min_planes(plane_elems: usize) -> usize {
+    (PAR_MIN_ELEMS / plane_elems.max(1)).max(1)
+}
 
 /// Geometry of a 2-D pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,21 +65,23 @@ pub fn avg_pool2d_forward(input: &Tensor, g: &Pool2dGeometry) -> Result<Tensor> 
     let mut out = Tensor::zeros([b, c, oh, ow]);
     let inv = 1.0 / (g.kernel * g.kernel) as f32;
     let id = input.as_slice();
-    let od = out.as_mut_slice();
-    for bc in 0..b * c {
-        let src = &id[bc * h * w..(bc + 1) * h * w];
-        let dst = &mut od[bc * oh * ow..(bc + 1) * oh * ow];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ky in 0..g.kernel {
-                    let row = (oy * g.stride + ky) * w + ox * g.stride;
-                    acc += src[row..row + g.kernel].iter().sum::<f32>();
+    let od = SharedSlice::new(out.as_mut_slice());
+    parallel_ranges(b * c, min_planes(h * w), |_, planes| {
+        for bc in planes {
+            let src = &id[bc * h * w..(bc + 1) * h * w];
+            let dst_base = bc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..g.kernel {
+                        let row = (oy * g.stride + ky) * w + ox * g.stride;
+                        acc += src[row..row + g.kernel].iter().sum::<f32>();
+                    }
+                    unsafe { *od.get_mut(dst_base + oy * ow + ox) = acc * inv };
                 }
-                dst[oy * ow + ox] = acc * inv;
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -90,20 +103,24 @@ pub fn avg_pool2d_backward(
     let mut gi = Tensor::zeros([b, c, h, w]);
     let inv = 1.0 / (g.kernel * g.kernel) as f32;
     let gd = grad_out.as_slice();
-    let gid = gi.as_mut_slice();
-    for bc in 0..b * c {
-        let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
-        let dst = &mut gid[bc * h * w..(bc + 1) * h * w];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let gv = src[oy * ow + ox] * inv;
-                for ky in 0..g.kernel {
-                    let row = (oy * g.stride + ky) * w + ox * g.stride;
-                    dst[row..row + g.kernel].iter_mut().for_each(|v| *v += gv);
+    let gid = SharedSlice::new(gi.as_mut_slice());
+    parallel_ranges(b * c, min_planes(h * w), |_, planes| {
+        for bc in planes {
+            let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
+            let dst_base = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = src[oy * ow + ox] * inv;
+                    for ky in 0..g.kernel {
+                        let row = (oy * g.stride + ky) * w + ox * g.stride;
+                        for kx in 0..g.kernel {
+                            unsafe { *gid.get_mut(dst_base + row + kx) += gv };
+                        }
+                    }
                 }
             }
         }
-    }
+    });
     Ok(gi)
 }
 
@@ -115,29 +132,33 @@ pub fn max_pool2d_forward(input: &Tensor, g: &Pool2dGeometry) -> Result<(Tensor,
     let mut out = Tensor::zeros([b, c, oh, ow]);
     let mut arg = vec![0u32; b * c * oh * ow];
     let id = input.as_slice();
-    let od = out.as_mut_slice();
-    for bc in 0..b * c {
-        let src = &id[bc * h * w..(bc + 1) * h * w];
-        let dst = &mut od[bc * oh * ow..(bc + 1) * oh * ow];
-        let adst = &mut arg[bc * oh * ow..(bc + 1) * oh * ow];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_idx = 0u32;
-                for ky in 0..g.kernel {
-                    for kx in 0..g.kernel {
-                        let idx = (oy * g.stride + ky) * w + ox * g.stride + kx;
-                        if src[idx] > best {
-                            best = src[idx];
-                            best_idx = idx as u32;
+    let od = SharedSlice::new(out.as_mut_slice());
+    let ad = SharedSlice::new(&mut arg);
+    parallel_ranges(b * c, min_planes(h * w), |_, planes| {
+        for bc in planes {
+            let src = &id[bc * h * w..(bc + 1) * h * w];
+            let dst_base = bc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0u32;
+                    for ky in 0..g.kernel {
+                        for kx in 0..g.kernel {
+                            let idx = (oy * g.stride + ky) * w + ox * g.stride + kx;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx as u32;
+                            }
                         }
                     }
+                    unsafe {
+                        *od.get_mut(dst_base + oy * ow + ox) = best;
+                        *ad.get_mut(dst_base + oy * ow + ox) = best_idx;
+                    }
                 }
-                dst[oy * ow + ox] = best;
-                adst[oy * ow + ox] = best_idx;
             }
         }
-    }
+    });
     Ok((out, arg))
 }
 
@@ -158,15 +179,19 @@ pub fn max_pool2d_backward(
     }
     let mut gi = Tensor::zeros([b, c, h, w]);
     let gd = grad_out.as_slice();
-    let gid = gi.as_mut_slice();
-    for bc in 0..b * c {
-        let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
-        let asrc = &argmax[bc * oh * ow..(bc + 1) * oh * ow];
-        let dst = &mut gid[bc * h * w..(bc + 1) * h * w];
-        for (gv, &ai) in src.iter().zip(asrc) {
-            dst[ai as usize] += gv;
+    let gid = SharedSlice::new(gi.as_mut_slice());
+    // The scatter stays within each plane's `h·w` range (argmax indices are
+    // plane-relative), so plane-parallel tasks never alias.
+    parallel_ranges(b * c, min_planes(h * w), |_, planes| {
+        for bc in planes {
+            let src = &gd[bc * oh * ow..(bc + 1) * oh * ow];
+            let asrc = &argmax[bc * oh * ow..(bc + 1) * oh * ow];
+            let dst_base = bc * h * w;
+            for (gv, &ai) in src.iter().zip(asrc) {
+                unsafe { *gid.get_mut(dst_base + ai as usize) += gv };
+            }
         }
-    }
+    });
     Ok(gi)
 }
 

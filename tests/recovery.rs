@@ -408,6 +408,44 @@ fn spike_sparse_path_resumes_bit_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn pooled_resume_identity_across_thread_counts() {
+    // The baseline trains entirely single-threaded; the kill-and-resume run
+    // executes on the persistent pool with 4 workers. Bit-identity of the
+    // pooled kernels means the two trajectories — including the trajectory
+    // stitched across the checkpoint boundary — must match exactly.
+    use ndsnn_tensor::parallel::set_thread_override;
+
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+
+    set_thread_override(Some(1));
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    set_thread_override(Some(4));
+    let dir = tmp_dir("pooled-threads");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+    assert!(matches!(err, NdsnnError::Injected(_)));
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    set_thread_override(None);
+
+    assert_eq!(resumed.resumed_from_step, Some(4));
+    assert_identical(&baseline, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------------------
 // Container fuzzing (satellite): decoders must return Err or a valid value
 // for arbitrary truncations and byte flips — never panic.
