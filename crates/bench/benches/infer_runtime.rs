@@ -1,0 +1,237 @@
+//! Frozen-artifact inference throughput against the training-graph eval
+//! forward (DESIGN.md §11).
+//!
+//! Three variants run the same weights at ≥90% weight sparsity, batch 1:
+//!
+//! - `training_graph` — `build_network` + eval-mode `SpikingNetwork::forward`,
+//!   i.e. serving straight off a training checkpoint;
+//! - `frozen_dense` — the NDINF1 executor with BatchNorm folded but weights
+//!   kept dense (isolates the folding/graph-freezing win);
+//! - `frozen_csr` — the full compiled artifact: BN folded *and* masked
+//!   weights CSR-packed, so ~90% of the MACs are skipped outright.
+//!
+//! The box is single-core, so the `frozen_csr / training_graph` speedup in
+//! the summary record is pure work reduction, not parallelism. The summary
+//! appended to `NDSNN_BENCH_JSON` (`results/bench_infer.json`) also carries
+//! a bit-identity check of the logits — the speedup only counts because the
+//! answers are exactly the same.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::checkpoint::{restore_params_from_map, snapshot_params};
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::build_network;
+use ndsnn_infer::{compile, CompileOptions, Executor};
+use ndsnn_snn::layers::Layer;
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::network::SpikingNetwork;
+use ndsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Target weight sparsity — above the 90% floor the acceptance gate names.
+const SPARSITY: f64 = 0.93;
+
+/// VGG-16 at width 1/4 (channels 16…128) with a 16×16 input: wide enough
+/// that the conv/linear GEMMs dominate the forward — the regime serving
+/// cares about — while a single-sample forward stays in the low-millisecond
+/// range on one core.
+fn cfg() -> RunConfig {
+    let mut cfg =
+        Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    cfg.timesteps = 2;
+    cfg.width_mult = 0.25;
+    cfg.image_size = 16;
+    cfg
+}
+
+/// Freshly initialized parameters with ~[`SPARSITY`] of every weight zeroed
+/// by a deterministic modulo pattern (same scheme as the parity tests).
+fn sparse_params(cfg: &RunConfig) -> BTreeMap<String, Tensor> {
+    let mut net = build_network(cfg).expect("build network");
+    let mut params = snapshot_params(&mut net.layers);
+    let keep_every = (1.0 / (1.0 - SPARSITY)).round() as usize;
+    for (name, t) in params.iter_mut() {
+        if name.ends_with(".weight") {
+            for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+                if i % keep_every != 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+    params
+}
+
+fn eval_net(cfg: &RunConfig, params: &BTreeMap<String, Tensor>) -> SpikingNetwork {
+    let mut net = build_network(cfg).expect("build network");
+    restore_params_from_map(&mut net.layers, params).expect("restore params");
+    net.layers.set_training(false);
+    net
+}
+
+fn training_forward(net: &mut SpikingNetwork, images: &Tensor) -> f32 {
+    let logits = net.forward(images).expect("training forward");
+    net.layers.reset_state();
+    logits.as_slice()[0]
+}
+
+fn bench_infer_runtime(c: &mut Criterion) {
+    let cfg = cfg();
+    let params = sparse_params(&cfg);
+    let mut rng = StdRng::seed_from_u64(0x1FE2);
+    let images =
+        ndsnn_tensor::init::uniform([1, 3, cfg.image_size, cfg.image_size], 0.0, 1.0, &mut rng);
+
+    let mut net = eval_net(&cfg, &params);
+    let art_csr = compile(&cfg, &params, &CompileOptions::default()).expect("compile csr");
+    let csr_ops = art_csr
+        .ops
+        .iter()
+        .filter(|op| match op {
+            ndsnn_infer::Op::Conv2d { weight, .. } | ndsnn_infer::Op::Linear { weight, .. } => {
+                weight.is_sparse()
+            }
+            _ => false,
+        })
+        .count();
+    let min_density = art_csr
+        .manifest
+        .densities
+        .iter()
+        .map(|(_, d)| *d)
+        .fold(f64::INFINITY, f64::min);
+    let mut exec_csr = Executor::new(Arc::new(art_csr));
+    let art_dense = compile(
+        &cfg,
+        &params,
+        &CompileOptions {
+            density_threshold: -1.0,
+        },
+    )
+    .expect("compile dense");
+    let mut exec_dense = Executor::new(Arc::new(art_dense));
+
+    // ---- Bit-identity check (untimed): the speedup only counts because the
+    // frozen runtime returns the training graph's exact logits. ----
+    let expected = net.forward(&images).expect("training forward");
+    net.layers.reset_state();
+    let got = exec_csr.forward(&images).expect("frozen forward");
+    let logits_bit_identical = expected
+        .as_slice()
+        .iter()
+        .zip(got.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "infer_runtime: logits_bit_identical={logits_bit_identical} \
+         csr_ops={csr_ops} min_density={min_density:.4}"
+    );
+
+    // ---- Criterion medians for each variant. ----
+    let mut group = c.benchmark_group("infer_forward");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("vgg16_s93", "training_graph"), |b| {
+        b.iter(|| black_box(training_forward(&mut net, &images)))
+    });
+    group.bench_function(BenchmarkId::new("vgg16_s93", "frozen_dense"), |b| {
+        b.iter(|| black_box(exec_dense.forward(&images).expect("forward").as_slice()[0]))
+    });
+    group.bench_function(BenchmarkId::new("vgg16_s93", "frozen_csr"), |b| {
+        b.iter(|| black_box(exec_csr.forward(&images).expect("forward").as_slice()[0]))
+    });
+    group.finish();
+
+    // ---- Interleaved rounds for the summary ratio: every round times one
+    // forward of each variant back to back so all three sample the same
+    // machine-load noise, and per-variant medians compare like with like. ----
+    const ROUNDS: usize = 30;
+    let mut times: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..2 {
+        black_box(training_forward(&mut net, &images));
+        black_box(exec_dense.forward(&images).expect("forward"));
+        black_box(exec_csr.forward(&images).expect("forward"));
+    }
+    for _ in 0..ROUNDS {
+        let t0 = std::time::Instant::now();
+        black_box(training_forward(&mut net, &images));
+        times[0].push(t0.elapsed().as_nanos() as f64);
+        let t0 = std::time::Instant::now();
+        black_box(exec_dense.forward(&images).expect("forward").as_slice()[0]);
+        times[1].push(t0.elapsed().as_nanos() as f64);
+        let t0 = std::time::Instant::now();
+        black_box(exec_csr.forward(&images).expect("forward").as_slice()[0]);
+        times[2].push(t0.elapsed().as_nanos() as f64);
+    }
+    let median_of = |v: &[f64]| -> f64 {
+        let mut s = v.to_vec();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    let labels = ["training_graph", "frozen_dense", "frozen_csr"];
+    let mut medians = [0.0f64; 3];
+    let mut lines = String::new();
+    for (vi, label) in labels.iter().enumerate() {
+        let med = median_of(&times[vi]);
+        medians[vi] = med;
+        println!(
+            "bench infer_forward/vgg16_s93/{label}: median {med:.1} ns/forward \
+             ({ROUNDS} interleaved rounds)"
+        );
+        lines.push_str(&format!(
+            "{{\"id\":\"infer_forward/vgg16_s93/{label}\",\"median_ns\":{med:.1},\
+             \"rounds\":{ROUNDS}}}\n"
+        ));
+    }
+    // Per-op time attribution for the CSR runtime (where a regression would
+    // show up first: GEMM vs im2col vs neuron/affine epilogues).
+    exec_csr.reset_counters();
+    for _ in 0..10 {
+        black_box(exec_csr.forward(&images).expect("forward"));
+    }
+    let mut per_op = exec_csr.layer_ns();
+    per_op.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    let total: u64 = per_op.iter().map(|(_, ns)| ns).sum();
+    for (name, ns) in per_op.iter().take(8) {
+        println!(
+            "infer_runtime: csr op {name}: {:.1} us/forward ({:.1}%)",
+            *ns as f64 / 10.0 / 1_000.0,
+            100.0 * *ns as f64 / total.max(1) as f64
+        );
+    }
+
+    let csr_speedup = medians[0] / medians[2];
+    let dense_speedup = medians[0] / medians[1];
+    let line = format!(
+        "{{\"id\":\"infer_runtime/summary\",\"sparsity\":{SPARSITY},\
+         \"csr_ops\":{csr_ops},\"min_density\":{min_density:.4},\
+         \"csr_speedup_over_training\":{csr_speedup:.3},\
+         \"dense_fold_speedup_over_training\":{dense_speedup:.3},\
+         \"logits_bit_identical\":{logits_bit_identical}}}\n"
+    );
+    print!("infer_runtime summary: {line}");
+
+    let Ok(path) = std::env::var("NDSNN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let payload = format!("{lines}{line}");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(payload.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("infer_runtime: could not append summary to {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_infer_runtime);
+criterion_main!(benches);

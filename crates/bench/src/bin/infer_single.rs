@@ -1,0 +1,159 @@
+//! Serves a frozen NDINF1 inference artifact and prints a JSON report:
+//! per-request latency percentiles, batching behaviour and per-layer time.
+//!
+//! ```sh
+//! infer_single --artifact <path> [--requests <n>] [--clients <n>]
+//!              [--batch <n>] [--max-wait-us <n>] [--seed <n>]
+//! ```
+//!
+//! Requests carry deterministic synthetic images (seeded) and are submitted
+//! from `--clients` concurrent threads through the batched serving runtime
+//! (`ndsnn_infer::Server`); `--batch`/`--max-wait-us` override the
+//! `NDSNN_INFER_BATCH`/`NDSNN_INFER_MAX_WAIT_US` environment knobs. The
+//! per-layer breakdown comes from a separate single-batch `Executor` pass
+//! over the same artifact, so it reflects the op costs without queueing
+//! noise. Produce an artifact with `run_single --export <path>`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ndsnn_infer::{Artifact, BatchPolicy, Executor, Server};
+use ndsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LayerTime {
+    name: String,
+    ns: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    arch: String,
+    timesteps: usize,
+    num_classes: usize,
+    mask_digest: String,
+    densities: Vec<(String, f64)>,
+    requests: u64,
+    batches: u64,
+    max_batch_seen: u64,
+    latency_p50_us: u64,
+    latency_p95_us: u64,
+    latency_max_us: u64,
+    layer_ns: Vec<LayerTime>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let path = get("--artifact").unwrap_or_else(|| {
+        eprintln!("usage: infer_single --artifact <path> [--requests <n>] [--clients <n>]");
+        std::process::exit(2);
+    });
+    let requests: usize = get("--requests").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let clients: usize = get("--clients")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+    let mut policy = BatchPolicy::from_env();
+    if let Some(b) = get("--batch").and_then(|s| s.parse().ok()) {
+        policy.max_batch = b;
+    }
+    if let Some(us) = get("--max-wait-us").and_then(|s| s.parse().ok()) {
+        policy.max_wait = Duration::from_micros(us);
+    }
+
+    let artifact = Arc::new(Artifact::load(&path).expect("load artifact"));
+    let m = &artifact.manifest;
+    eprintln!(
+        "serving {} (T={}, {}x{}x{}, {} classes, {} weighted layers) batch={} max_wait={:?}",
+        m.arch,
+        m.timesteps,
+        m.in_channels,
+        m.image_size,
+        m.image_size,
+        m.num_classes,
+        m.densities.len(),
+        policy.max_batch,
+        policy.max_wait
+    );
+
+    // Deterministic synthetic request images.
+    let sample = artifact.sample_len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = ndsnn_tensor::init::uniform([requests.max(1), sample], 0.0, 1.0, &mut rng);
+    let images: Vec<Vec<f32>> = (0..requests)
+        .map(|i| pool.as_slice()[i * sample..(i + 1) * sample].to_vec())
+        .collect();
+
+    let server = Arc::new(Server::start(Arc::clone(&artifact), policy));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let server = Arc::clone(&server);
+        let mine: Vec<Vec<f32>> = images.iter().skip(c).step_by(clients).cloned().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(mine.len());
+            for img in &mine {
+                let reply = server.infer(img).expect("infer");
+                latencies.push(reply.latency.as_micros() as u64);
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    latencies.sort_unstable();
+    let stats = server.stats();
+    server.shutdown();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+
+    // Per-layer time from a clean single-batch executor pass.
+    let mut exec = Executor::new(Arc::clone(&artifact));
+    let batch = policy.max_batch.min(requests.max(1));
+    let mut flat = Vec::with_capacity(batch * sample);
+    for img in images.iter().take(batch) {
+        flat.extend_from_slice(img);
+    }
+    let tensor = Tensor::from_vec(vec![batch, m.in_channels, m.image_size, m.image_size], flat)
+        .expect("batch tensor");
+    exec.forward(&tensor).expect("executor forward");
+    let layer_ns = exec
+        .layer_ns()
+        .into_iter()
+        .map(|(name, ns)| LayerTime { name, ns })
+        .collect();
+
+    let report = Report {
+        arch: m.arch.clone(),
+        timesteps: m.timesteps,
+        num_classes: m.num_classes,
+        mask_digest: format!("{:016x}", m.mask_digest),
+        densities: m.densities.clone(),
+        requests: stats.requests,
+        batches: stats.batches,
+        max_batch_seen: stats.max_batch_seen,
+        latency_p50_us: pct(0.5),
+        latency_p95_us: pct(0.95),
+        latency_max_us: pct(1.0),
+        layer_ns,
+    };
+    println!(
+        "{}",
+        ndsnn_metrics::json::to_string(&report).expect("serialize report")
+    );
+}

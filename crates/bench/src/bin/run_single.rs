@@ -7,6 +7,7 @@
 //!            [--dataset cifar10|cifar100|tiny] [--method dense|ndsnn|set|rigl|lth|admm]
 //!            [--sparsity <f64>] [--initial <f64>] [--timesteps <n>] [--seed <n>]
 //!            [--checkpoint-dir <path>] [--checkpoint-every <n>] [--resume]
+//!            [--export <path>]
 //! ```
 //!
 //! With `--checkpoint-dir` the run goes through the crash-safe path
@@ -14,6 +15,12 @@
 //! `--checkpoint-every` optimizer steps and `--resume` continues
 //! bit-identically from the newest valid one. The fault policy comes from
 //! `NDSNN_FAULT_POLICY` (abort|skip|rollback).
+//!
+//! `--export <path>` compiles the trained model into a frozen NDINF1
+//! inference artifact after training (BatchNorm folded, masked weights
+//! CSR-packed; serve it with `infer_single`). Without `--checkpoint-dir`
+//! the run uses a temporary checkpoint directory so the final generation
+//! exists to compile from, then removes it.
 
 use ndsnn::config::{DatasetKind, MethodSpec};
 use ndsnn::profile::Profile;
@@ -79,10 +86,25 @@ fn main() {
     }
     cfg.image_size = cfg.image_size.max(trainer::min_image_size(arch));
     eprintln!("running {}", cfg.describe());
-    let result = match get("--checkpoint-dir") {
+    let export = get("--export");
+    // Exporting needs a checkpoint generation to compile from; without an
+    // explicit directory, use a temporary one for the duration of the run.
+    let temp_ckpt = if export.is_some() && get("--checkpoint-dir").is_none() {
+        Some(std::env::temp_dir().join(format!("ndsnn-export-{}", std::process::id())))
+    } else {
+        None
+    };
+    let ckpt_dir = get("--checkpoint-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| temp_ckpt.clone());
+    let result = match &ckpt_dir {
         Some(dir) => {
             if let Some(n) = get("--checkpoint-every").and_then(|s| s.parse().ok()) {
                 cfg.checkpoint_every = n;
+            }
+            if export.is_some() && cfg.checkpoint_every == 0 {
+                // Only the final-state generation is needed for export.
+                cfg.checkpoint_every = usize::MAX;
             }
             let mut recovery = RecoveryOptions::with_dir(dir);
             if args.iter().any(|a| a == "--resume") {
@@ -93,5 +115,25 @@ fn main() {
         }
         None => trainer::run(&cfg).expect("run failed"),
     };
+    if let Some(path) = export {
+        let dir = ckpt_dir.as_ref().expect("export implies checkpoint dir");
+        let art = ndsnn_infer::compile_from_checkpoint_dir(
+            &cfg,
+            dir,
+            &ndsnn_infer::CompileOptions::default(),
+        )
+        .expect("compile inference artifact");
+        art.save(&path).expect("write inference artifact");
+        eprintln!(
+            "exported {} ({} ops, {} weighted layers, mask digest {:016x})",
+            path,
+            art.ops.len(),
+            art.manifest.densities.len(),
+            art.manifest.mask_digest
+        );
+    }
+    if let Some(tmp) = temp_ckpt {
+        let _ = std::fs::remove_dir_all(tmp);
+    }
     println!("{}", result.to_json());
 }

@@ -156,6 +156,13 @@ pub fn encode_blobs(entries: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
 /// yields an `Err`; this function never panics on malformed input.
 pub fn decode_blobs(mut data: &[u8]) -> Result<BTreeMap<String, Vec<u8>>> {
     let corrupt = |msg: &str| NdsnnError::InvalidConfig(format!("corrupt checkpoint: {msg}"));
+    // An empty input is reported distinctly from a truncated one: "empty"
+    // usually means a file that was created but never written (or a wrong
+    // path), while "truncated header" means a torn write — operators react
+    // differently to the two.
+    if data.is_empty() {
+        return Err(corrupt("empty container"));
+    }
     if data.len() < MAGIC2.len() + 4 {
         return Err(corrupt("truncated header"));
     }

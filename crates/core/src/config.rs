@@ -181,6 +181,168 @@ impl RunConfig {
     }
 }
 
+/// Typed accessors for every `NDSNN_*` environment knob.
+///
+/// Each knob is parsed exactly once per call through the shared primitives
+/// in [`ndsnn_tensor::env`] — trim, parse, fall back to the documented
+/// default on unset/garbage — so no subsystem grows its own ad-hoc parser.
+/// The knob names are exported as constants so docs, tests and CLI help
+/// never drift from the strings the runtime actually reads.
+pub mod env {
+    use crate::recovery::FaultPolicy;
+
+    /// Worker-thread count for the parallel kernels (`0`/`1` disable
+    /// threading). Resolved *once* per process by the worker pool; see
+    /// [`ndsnn_tensor::parallel::worker_threads`].
+    pub const THREADS: &str = "NDSNN_THREADS";
+    /// Weight-density threshold below which masked layers dispatch through
+    /// the row-sparse kernels.
+    pub const DENSITY_THRESHOLD: &str = "NDSNN_DENSITY_THRESHOLD";
+    /// Spike-density threshold below which binary timesteps dispatch through
+    /// the gather kernels.
+    pub const SPIKE_DENSITY_THRESHOLD: &str = "NDSNN_SPIKE_DENSITY_THRESHOLD";
+    /// Numeric-fault reaction policy (`abort` / `skip` / `rollback`).
+    pub const FAULT_POLICY: &str = "NDSNN_FAULT_POLICY";
+    /// Maximum requests coalesced into one forward pass by the serving
+    /// runtime.
+    pub const INFER_BATCH: &str = "NDSNN_INFER_BATCH";
+    /// Microseconds the serving runtime waits for a batch to fill before
+    /// flushing a partial one.
+    pub const INFER_MAX_WAIT_US: &str = "NDSNN_INFER_MAX_WAIT_US";
+
+    /// Default for [`infer_batch`].
+    pub const DEFAULT_INFER_BATCH: usize = 8;
+    /// Default for [`infer_max_wait_us`].
+    pub const DEFAULT_INFER_MAX_WAIT_US: u64 = 500;
+
+    /// `NDSNN_THREADS`: the *requested* worker-thread count, `None` when
+    /// unset (the pool then uses the available parallelism). Note the pool
+    /// caches its resolution once per process; this accessor re-reads the
+    /// environment and is for reporting/config plumbing, not dispatch.
+    pub fn threads() -> Option<usize> {
+        ndsnn_tensor::env::parse_usize(THREADS)
+    }
+
+    /// `NDSNN_DENSITY_THRESHOLD`, default 0.25. Negative forces dense
+    /// execution; `>= 1.0` forces the row-sparse path.
+    pub fn density_threshold() -> f64 {
+        ndsnn_sparse::kernels::density_threshold_from_env()
+    }
+
+    /// `NDSNN_SPIKE_DENSITY_THRESHOLD`, default 0.25. Negative forces dense
+    /// execution; `>= 1.0` forces the gather path.
+    pub fn spike_density_threshold() -> f64 {
+        ndsnn_tensor::ops::spike::spike_density_threshold_from_env()
+    }
+
+    /// `NDSNN_FAULT_POLICY`, default [`FaultPolicy::Abort`].
+    pub fn fault_policy() -> FaultPolicy {
+        FaultPolicy::from_env()
+    }
+
+    /// `NDSNN_INFER_BATCH`, default [`DEFAULT_INFER_BATCH`], clamped to
+    /// at least 1 (a zero-sized batch would stall the queue forever).
+    pub fn infer_batch() -> usize {
+        ndsnn_tensor::env::parse_usize(INFER_BATCH)
+            .unwrap_or(DEFAULT_INFER_BATCH)
+            .max(1)
+    }
+
+    /// `NDSNN_INFER_MAX_WAIT_US`, default [`DEFAULT_INFER_MAX_WAIT_US`].
+    /// Zero is allowed: flush every request immediately (latency-optimal,
+    /// throughput-pessimal).
+    pub fn infer_max_wait_us() -> u64 {
+        ndsnn_tensor::env::parse_u64(INFER_MAX_WAIT_US).unwrap_or(DEFAULT_INFER_MAX_WAIT_US)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        // One test per knob. Each touches only its own variable, so the
+        // parallel test threads never contend on a shared name; every test
+        // restores the environment before returning.
+
+        #[test]
+        fn threads_knob() {
+            std::env::set_var(THREADS, " 3 ");
+            assert_eq!(threads(), Some(3));
+            std::env::set_var(THREADS, "many");
+            assert_eq!(threads(), None);
+            std::env::remove_var(THREADS);
+            assert_eq!(threads(), None);
+        }
+
+        #[test]
+        fn density_threshold_knob() {
+            std::env::set_var(DENSITY_THRESHOLD, "0.5");
+            assert_eq!(density_threshold(), 0.5);
+            std::env::set_var(DENSITY_THRESHOLD, "NaN");
+            assert_eq!(
+                density_threshold(),
+                ndsnn_sparse::kernels::DEFAULT_DENSITY_THRESHOLD
+            );
+            std::env::remove_var(DENSITY_THRESHOLD);
+            assert_eq!(
+                density_threshold(),
+                ndsnn_sparse::kernels::DEFAULT_DENSITY_THRESHOLD
+            );
+        }
+
+        #[test]
+        fn spike_density_threshold_knob() {
+            std::env::set_var(SPIKE_DENSITY_THRESHOLD, "-1");
+            assert_eq!(spike_density_threshold(), -1.0);
+            std::env::set_var(SPIKE_DENSITY_THRESHOLD, "garbage");
+            assert_eq!(
+                spike_density_threshold(),
+                ndsnn_tensor::ops::spike::DEFAULT_SPIKE_DENSITY_THRESHOLD
+            );
+            std::env::remove_var(SPIKE_DENSITY_THRESHOLD);
+            assert_eq!(
+                spike_density_threshold(),
+                ndsnn_tensor::ops::spike::DEFAULT_SPIKE_DENSITY_THRESHOLD
+            );
+        }
+
+        #[test]
+        fn fault_policy_knob() {
+            std::env::set_var(FAULT_POLICY, "rollback");
+            assert_eq!(fault_policy(), FaultPolicy::RollbackAndDampen);
+            std::env::set_var(FAULT_POLICY, "SKIP");
+            assert_eq!(fault_policy(), FaultPolicy::SkipBatch);
+            std::env::set_var(FAULT_POLICY, "whatever");
+            assert_eq!(fault_policy(), FaultPolicy::Abort);
+            std::env::remove_var(FAULT_POLICY);
+            assert_eq!(fault_policy(), FaultPolicy::Abort);
+        }
+
+        #[test]
+        fn infer_batch_knob() {
+            std::env::set_var(INFER_BATCH, "32");
+            assert_eq!(infer_batch(), 32);
+            std::env::set_var(INFER_BATCH, "0");
+            assert_eq!(infer_batch(), 1, "zero batch must clamp to 1");
+            std::env::set_var(INFER_BATCH, "-4");
+            assert_eq!(infer_batch(), DEFAULT_INFER_BATCH);
+            std::env::remove_var(INFER_BATCH);
+            assert_eq!(infer_batch(), DEFAULT_INFER_BATCH);
+        }
+
+        #[test]
+        fn infer_max_wait_knob() {
+            std::env::set_var(INFER_MAX_WAIT_US, "1000");
+            assert_eq!(infer_max_wait_us(), 1000);
+            std::env::set_var(INFER_MAX_WAIT_US, "0");
+            assert_eq!(infer_max_wait_us(), 0, "zero wait is a valid policy");
+            std::env::set_var(INFER_MAX_WAIT_US, "1.5");
+            assert_eq!(infer_max_wait_us(), DEFAULT_INFER_MAX_WAIT_US);
+            std::env::remove_var(INFER_MAX_WAIT_US);
+            assert_eq!(infer_max_wait_us(), DEFAULT_INFER_MAX_WAIT_US);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

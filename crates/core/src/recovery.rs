@@ -64,8 +64,7 @@ impl FaultPolicy {
     /// Reads `NDSNN_FAULT_POLICY` from the environment; unset or
     /// unrecognized values default to [`FaultPolicy::Abort`].
     pub fn from_env() -> Self {
-        std::env::var("NDSNN_FAULT_POLICY")
-            .ok()
+        ndsnn_tensor::env::raw("NDSNN_FAULT_POLICY")
             .and_then(|v| Self::parse(&v))
             .unwrap_or(FaultPolicy::Abort)
     }
@@ -347,6 +346,11 @@ impl BlobWriter {
         self.buf.put_u8(v);
     }
 
+    /// Appends a `u32` (CSR indices in inference artifacts).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
     /// Appends an `f64` by bit pattern.
     pub fn put_f64(&mut self, v: f64) {
         self.buf.put_u64_le(v.to_bits());
@@ -418,6 +422,12 @@ impl<'a> BlobReader<'a> {
     pub fn get_u8(&mut self) -> Result<u8> {
         self.need(1)?;
         Ok(self.data.get_u8())
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.data.get_u32_le())
     }
 
     /// Reads an `f64` by bit pattern.

@@ -757,6 +757,44 @@ fn run_attempt(
         epoch += 1;
     }
 
+    // Final checkpoint: persist the fully-trained state even when the run
+    // length is not a multiple of `checkpoint_every`, so exporters (e.g. the
+    // inference compiler) always find a generation matching the last step.
+    if ckpt_enabled && last_ckpt_step != Some(step) {
+        let dir = recovery.dir.as_ref().expect("ckpt_enabled implies dir");
+        let engine_snap = engine.as_engine().export_snapshot().ok_or_else(|| {
+            NdsnnError::InvalidConfig("engine lost checkpoint support mid-run".into())
+        })?;
+        let snap = RunSnapshot {
+            fingerprint: fingerprint.to_string(),
+            step,
+            epoch: cfg.epochs,
+            next_batch: 0,
+            lr: opt.lr(),
+            lr_scale,
+            best_test,
+            final_test,
+            encoder_rng: net.encoder_rng_state(),
+            params: checkpoint::snapshot_params(&mut net.layers),
+            velocity: opt.velocity().to_vec(),
+            engine: engine_snap,
+            records: records.clone(),
+            activity: activity.clone(),
+            loss_meter,
+            acc_meter,
+            spike_offsets: merged_layer_stats(&net, &spike_offsets),
+            loss_window: loss_window.clone(),
+            timings,
+            faults: faults.clone(),
+        };
+        checkpoint::write_generation(
+            dir,
+            step,
+            &encode_snapshot(&snap),
+            recovery.keep_generations,
+        )?;
+    }
+
     // Measure the weights' actual sparsity (not just the mask's claim),
     // recording the per-layer densities for the FLOPs report.
     let mut nonzero = 0usize;

@@ -1,0 +1,57 @@
+//! Error type for the inference subsystem.
+
+/// Errors produced by the inference compiler, executor and server.
+#[derive(Debug)]
+pub enum InferError {
+    /// The model or configuration cannot be compiled into an artifact.
+    Unsupported(String),
+    /// An artifact failed to decode or validate.
+    InvalidArtifact(String),
+    /// A forward pass failed (shape mismatch, kernel error).
+    Exec(String),
+    /// Filesystem failure while reading or writing an artifact.
+    Io(String),
+    /// The serving runtime has shut down and cannot accept requests.
+    Closed,
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Unsupported(m) => write!(f, "unsupported model: {m}"),
+            InferError::InvalidArtifact(m) => write!(f, "invalid artifact: {m}"),
+            InferError::Exec(m) => write!(f, "inference failed: {m}"),
+            InferError::Io(m) => write!(f, "artifact io error: {m}"),
+            InferError::Closed => write!(f, "inference server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, InferError>;
+
+impl From<ndsnn::NdsnnError> for InferError {
+    fn from(e: ndsnn::NdsnnError) -> Self {
+        InferError::Exec(e.to_string())
+    }
+}
+
+impl From<ndsnn_tensor::TensorError> for InferError {
+    fn from(e: ndsnn_tensor::TensorError) -> Self {
+        InferError::Exec(e.to_string())
+    }
+}
+
+impl From<ndsnn_sparse::SparseError> for InferError {
+    fn from(e: ndsnn_sparse::SparseError) -> Self {
+        InferError::Exec(e.to_string())
+    }
+}
+
+impl From<ndsnn_snn::SnnError> for InferError {
+    fn from(e: ndsnn_snn::SnnError) -> Self {
+        InferError::Exec(e.to_string())
+    }
+}

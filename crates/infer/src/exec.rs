@@ -1,0 +1,643 @@
+//! Forward-only executor for frozen NDINF1 artifacts.
+//!
+//! [`Executor`] walks the frozen op list once per timestep and averages the
+//! logits, mirroring `ndsnn_snn::network::SpikingNetwork::forward` in
+//! eval mode **operation for operation**: the same kernels (or serial loops
+//! with identical accumulation order) run over the same values, so the
+//! logits are bit-identical to the training graph at any `NDSNN_THREADS`
+//! setting. The only state that survives a timestep is the per-LIF membrane
+//! potential and previous-spike buffer, both preallocated once and reset at
+//! the start of every [`Executor::forward`] call — no gradients, no
+//! activation caches, no optimizer plumbing.
+//!
+//! Per-op wall-clock counters accumulate across calls and are exposed via
+//! [`Executor::layer_ns`]; a [`Op::Residual`] entry reports time inclusive
+//! of its children.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ndsnn_sparse::csr::{csr_mm, csr_mm_packed, csr_xwt, CsrMatrix};
+use ndsnn_tensor::ops::conv::{conv2d_forward_pooled, im2col, im2col_packed, Conv2dGeometry};
+use ndsnn_tensor::ops::matmul::matmul_a_bt;
+use ndsnn_tensor::ops::pool::{
+    avg_pool2d_forward, global_avg_pool, max_pool2d_forward, Pool2dGeometry,
+};
+use ndsnn_tensor::parallel::parallel_for_chunks;
+use ndsnn_tensor::scratch::ScratchPool;
+use ndsnn_tensor::Tensor;
+
+use crate::artifact::{Artifact, Op, WeightStore};
+use crate::error::{InferError, Result};
+
+/// Membrane state of one frozen LIF layer.
+///
+/// `None` means "not yet stepped since reset" — the first timestep seeds the
+/// membrane with zeros and the previous-spike term with `0.0`, exactly like
+/// the training layer after `reset_state`.
+#[derive(Debug, Default)]
+struct LifState {
+    v: Option<Vec<f32>>,
+    o_prev: Option<Vec<f32>>,
+}
+
+impl LifState {
+    fn reset(&mut self) {
+        self.v = None;
+        self.o_prev = None;
+    }
+}
+
+/// Input density below which the CSR conv switches to the packed-sparse
+/// path ([`im2col_packed`] + [`csr_mm_packed`]). Purely a dispatch heuristic
+/// (both paths are bit-identical): above it, packing the non-zeros costs
+/// more than the dense im2col work it avoids.
+const GATHER_DENSITY_CUTOFF: f64 = 0.5;
+
+fn exec_err(msg: impl std::fmt::Display) -> InferError {
+    InferError::Exec(msg.to_string())
+}
+
+/// Whether an op carries (or contains) membrane state. Everything else is a
+/// pure function of its input, so a leading run of stateless ops produces
+/// the same output every timestep under `Direct` encoding.
+fn is_stateful(op: &Op) -> bool {
+    matches!(op, Op::Lif { .. } | Op::Residual { .. })
+}
+
+fn collect_names(ops: &[Op], names: &mut Vec<String>, lif_count: &mut usize) {
+    for op in ops {
+        names.push(op.name().to_string());
+        match op {
+            Op::Lif { .. } => *lif_count += 1,
+            Op::Residual {
+                main,
+                shortcut,
+                lif_out,
+                ..
+            } => {
+                collect_names(main, names, lif_count);
+                collect_names(shortcut, names, lif_count);
+                collect_names(std::slice::from_ref(lif_out), names, lif_count);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A reusable forward-only engine over one frozen artifact.
+///
+/// Construction preallocates one membrane-state slot per LIF layer and a
+/// scratch pool for im2col workspaces; a `forward` call allocates only the
+/// activation tensors themselves. The executor is intentionally `!Sync` in
+/// use (forward takes `&mut self`): one executor serves one thread, and the
+/// serving runtime owns exactly one.
+pub struct Executor {
+    art: Arc<Artifact>,
+    states: Vec<LifState>,
+    ns: Vec<u64>,
+    names: Vec<String>,
+    pool: ScratchPool,
+    state_cursor: usize,
+    op_cursor: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("arch", &self.art.manifest.arch)
+            .field("ops", &self.names.len())
+            .field("lif_layers", &self.states.len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Builds an executor over `artifact`, preallocating all per-layer state.
+    pub fn new(artifact: Arc<Artifact>) -> Executor {
+        let mut names = Vec::new();
+        let mut lif_count = 0;
+        collect_names(&artifact.ops, &mut names, &mut lif_count);
+        let ns = vec![0u64; names.len()];
+        let states = (0..lif_count).map(|_| LifState::default()).collect();
+        Executor {
+            art: artifact,
+            states,
+            ns,
+            names,
+            pool: ScratchPool::new(),
+            state_cursor: 0,
+            op_cursor: 0,
+        }
+    }
+
+    /// The artifact this executor runs.
+    pub fn artifact(&self) -> &Arc<Artifact> {
+        &self.art
+    }
+
+    /// Runs a full multi-timestep forward over a `(B, C, H, W)` batch and
+    /// returns the timestep-averaged `(B, num_classes)` logits.
+    ///
+    /// Bit-identical to `SpikingNetwork::forward` in eval mode on the same
+    /// weights: per timestep the raw images feed the graph (`Direct`
+    /// encoding), the first timestep's logits seed the accumulator and later
+    /// ones `add_assign` in order, then the sum is scaled by `1/T`.
+    pub fn forward(&mut self, images: &Tensor) -> Result<Tensor> {
+        let m = &self.art.manifest;
+        let d = images.dims().to_vec();
+        if images.rank() != 4
+            || d[1] != m.in_channels
+            || d[2] != m.image_size
+            || d[3] != m.image_size
+        {
+            return Err(exec_err(format!(
+                "input {:?} does not match artifact geometry ({}, {}, {})",
+                d, m.in_channels, m.image_size, m.image_size
+            )));
+        }
+        for st in &mut self.states {
+            st.reset();
+        }
+        let art = Arc::clone(&self.art);
+        let timesteps = art.manifest.timesteps;
+        // With Direct encoding every timestep replays the same input, so the
+        // leading stateless ops (typically the first conv + its affine)
+        // produce identical tensors each step: compute them once and reuse.
+        let prefix = art.ops.iter().take_while(|op| !is_stateful(op)).count();
+        let mut prefix_out: Option<Tensor> = None;
+        let mut acc: Option<Tensor> = None;
+        for t in 0..timesteps {
+            self.state_cursor = 0;
+            self.op_cursor = 0;
+            let mut x = match (t, &prefix_out) {
+                (1.., Some(cached)) => {
+                    self.op_cursor = prefix;
+                    cached.clone()
+                }
+                _ => {
+                    let mut x = images.clone();
+                    for op in &art.ops[..prefix] {
+                        x = self.run_op(op, x)?;
+                    }
+                    if prefix > 0 && timesteps > 1 {
+                        prefix_out = Some(x.clone());
+                    }
+                    x
+                }
+            };
+            for op in &art.ops[prefix..] {
+                x = self.run_op(op, x)?;
+            }
+            match &mut acc {
+                Some(a) => a.add_assign(&x)?,
+                None => acc = Some(x),
+            }
+        }
+        let mut mean = acc.ok_or_else(|| exec_err("artifact has zero timesteps"))?;
+        mean.scale_in_place(1.0 / timesteps as f32);
+        Ok(mean)
+    }
+
+    /// Per-op `(name, accumulated_nanoseconds)` counters in forward order
+    /// (Residual entries include their children).
+    pub fn layer_ns(&self) -> Vec<(String, u64)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.ns.iter().copied())
+            .collect()
+    }
+
+    /// Zeroes the per-op time counters.
+    pub fn reset_counters(&mut self) {
+        self.ns.iter_mut().for_each(|v| *v = 0);
+    }
+
+    fn run_op(&mut self, op: &Op, x: Tensor) -> Result<Tensor> {
+        let idx = self.op_cursor;
+        self.op_cursor += 1;
+        let start = Instant::now();
+        let out = match op {
+            Op::Linear {
+                name,
+                out_features,
+                in_features,
+                weight,
+                bias,
+            } => self.run_linear(name, *out_features, *in_features, weight, bias.as_ref(), x)?,
+            Op::Conv2d {
+                name,
+                geometry,
+                weight,
+                bias,
+            } => match weight {
+                WeightStore::Dense(w) => {
+                    conv2d_forward_pooled(&x, w, bias.as_ref(), geometry, &self.pool)
+                        .map_err(|e| exec_err(format!("{name}: {e}")))?
+                }
+                WeightStore::Csr(m) => self.run_conv_csr(name, m, bias.as_ref(), geometry, &x)?,
+            },
+            Op::Affine {
+                name,
+                mean,
+                inv_std,
+                gamma,
+                beta,
+            } => run_affine(name, mean, inv_std, gamma, beta, &x)?,
+            Op::Lif {
+                name,
+                alpha,
+                v_threshold,
+                hard_reset,
+            } => {
+                let cursor = self.state_cursor;
+                self.state_cursor += 1;
+                let state = self
+                    .states
+                    .get_mut(cursor)
+                    .ok_or_else(|| exec_err(format!("{name}: LIF state cursor out of range")))?;
+                run_lif(name, *alpha, *v_threshold, *hard_reset, state, &x)?
+            }
+            Op::AvgPool2d { name, kernel } => {
+                avg_pool2d_forward(&x, &Pool2dGeometry::non_overlapping(*kernel))
+                    .map_err(|e| exec_err(format!("{name}: {e}")))?
+            }
+            Op::MaxPool2d { name, kernel } => {
+                max_pool2d_forward(&x, &Pool2dGeometry::non_overlapping(*kernel))
+                    .map_err(|e| exec_err(format!("{name}: {e}")))?
+                    .0
+            }
+            Op::Flatten { name } => {
+                if x.rank() < 2 {
+                    return Err(exec_err(format!("{name}: input rank < 2")));
+                }
+                let b = x.dims()[0];
+                let rest = x.len() / b.max(1);
+                x.reshape([b, rest])
+                    .map_err(|e| exec_err(format!("{name}: {e}")))?
+            }
+            Op::GlobalAvgPool { name } => {
+                global_avg_pool(&x).map_err(|e| exec_err(format!("{name}: {e}")))?
+            }
+            Op::Residual {
+                main,
+                shortcut,
+                lif_out,
+                ..
+            } => {
+                let input = x;
+                let mut y = input.clone();
+                for child in main {
+                    y = self.run_op(child, y)?;
+                }
+                let skip = if shortcut.is_empty() {
+                    input
+                } else {
+                    let mut s = input;
+                    for child in shortcut {
+                        s = self.run_op(child, s)?;
+                    }
+                    s
+                };
+                y.add_assign(&skip)?;
+                self.run_op(lif_out, y)?
+            }
+        };
+        self.ns[idx] += start.elapsed().as_nanos() as u64;
+        Ok(out)
+    }
+
+    fn run_linear(
+        &self,
+        name: &str,
+        out_features: usize,
+        in_features: usize,
+        weight: &WeightStore,
+        bias: Option<&Tensor>,
+        x: Tensor,
+    ) -> Result<Tensor> {
+        if x.rank() != 2 || x.dims()[1] != in_features {
+            return Err(exec_err(format!(
+                "{name}: input {:?} does not match in_features {in_features}",
+                x.dims()
+            )));
+        }
+        let b = x.dims()[0];
+        let mut y = match weight {
+            WeightStore::Dense(w) => {
+                matmul_a_bt(&x, w).map_err(|e| exec_err(format!("{name}: {e}")))?
+            }
+            WeightStore::Csr(m) => {
+                // Same zero-seeded accumulate the training graph's exec plan
+                // uses; csr_xwt is bit-identical to matmul_a_bt per row.
+                let mut y = Tensor::zeros([b, out_features]);
+                csr_xwt(m, x.as_slice(), y.as_mut_slice(), b);
+                y
+            }
+        };
+        if let Some(bias) = bias {
+            let k = out_features;
+            let od = y.as_mut_slice();
+            for i in 0..b {
+                for (o, &bv) in od[i * k..(i + 1) * k].iter_mut().zip(bias.as_slice()) {
+                    *o += bv;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// CSR convolution: the same sample-parallel im2col structure as the
+    /// dense kernel (`conv2d_forward_exec`), with the inner product done by
+    /// `csr_mm` over packed filter rows. Accumulation order per output
+    /// element matches the dense loop, so results are bit-identical.
+    fn run_conv_csr(
+        &self,
+        name: &str,
+        w: &CsrMatrix,
+        bias: Option<&Tensor>,
+        g: &Conv2dGeometry,
+        input: &Tensor,
+    ) -> Result<Tensor> {
+        if input.rank() != 4 || input.dims()[1] != g.in_channels {
+            return Err(exec_err(format!(
+                "{name}: input {:?} does not match conv geometry",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (b, h, iw) = (d[0], d[2], d[3]);
+        let (oh, ow) = g
+            .output_hw(h, iw)
+            .map_err(|e| exec_err(format!("{name}: {e}")))?;
+        let spatial = oh * ow;
+        let filters = g.out_channels;
+        let cr = g.col_rows();
+        if w.dims() != (filters, cr) {
+            return Err(exec_err(format!(
+                "{name}: CSR weight {:?} does not match geometry ({filters}, {cr})",
+                w.dims()
+            )));
+        }
+        let mut out = Tensor::zeros([b, filters, oh, ow]);
+        let in_data = input.as_slice();
+        let in_stride = g.in_channels * h * iw;
+        let out_stride = filters * spatial;
+        let pool = &self.pool;
+        let chunks: Vec<_> = out
+            .as_mut_slice()
+            .chunks_mut(out_stride.max(1))
+            .enumerate()
+            .collect();
+        parallel_for_chunks(chunks, |s, out_chunk| {
+            let sample = &in_data[s * in_stride..(s + 1) * in_stride];
+            // Spiking inputs are mostly zeros: pack the non-zero pixels
+            // directly (never materializing the dense im2col buffer) and run
+            // the doubly-sparse kernel over them, on top of the CSR weight
+            // holes. A sample that fired nothing contributes nothing — the
+            // output chunk stays `+0.0`-seeded exactly as the dense kernel
+            // would leave it, bias lands below. Dense inputs (the first conv
+            // sees raw images) keep the im2col + streaming kernel. The
+            // choice is a pure dispatch heuristic: all paths bit-identical.
+            let nonzero = sample.iter().filter(|v| **v != 0.0).count();
+            if nonzero == 0 {
+                return;
+            }
+            if (nonzero as f64) < GATHER_DENSITY_CUTOFF * sample.len() as f64 {
+                let mut ptr = pool.take_u32();
+                let mut pos = pool.take_u32();
+                let mut vals = pool.take(0);
+                im2col_packed(
+                    sample, g, h, iw, oh, ow, &mut ptr, &mut pos, &mut vals, pool,
+                );
+                csr_mm_packed(w, &ptr, &pos, &vals, out_chunk, spatial);
+                pool.give_u32(ptr);
+                pool.give_u32(pos);
+                pool.give(vals);
+            } else {
+                let mut col = pool.take(cr * spatial);
+                im2col(sample, g, h, iw, oh, ow, &mut col);
+                csr_mm(w, &col, out_chunk, spatial);
+                pool.give(col);
+            }
+        });
+        if let Some(bias) = bias {
+            let od = out.as_mut_slice();
+            for s in 0..b {
+                for (f, &bv) in bias.as_slice().iter().enumerate() {
+                    let base = s * out_stride + f * spatial;
+                    od[base..base + spatial].iter_mut().for_each(|v| *v += bv);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Frozen BatchNorm epilogue: per channel `out = γ·(x − μ)·inv_std + β`,
+/// the exact f32 expression of the training layer's eval forward (the
+/// compiler only precomputes `inv_std`, which eval derives from the same
+/// `1/√(var+ε)` — no value folding, so no rounding differences).
+fn run_affine(
+    name: &str,
+    mean: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    x: &Tensor,
+) -> Result<Tensor> {
+    let d = x.dims();
+    let (b, c, spatial) = match x.rank() {
+        2 => (d[0], d[1], 1),
+        4 => (d[0], d[1], d[2] * d[3]),
+        r => return Err(exec_err(format!("{name}: unsupported input rank {r}"))),
+    };
+    if c != mean.len() || c != inv_std.len() || c != gamma.len() || c != beta.len() {
+        return Err(exec_err(format!(
+            "{name}: channel count {c} does not match affine parameters"
+        )));
+    }
+    let mut out = Tensor::zeros(x.dims());
+    let id = x.as_slice();
+    let od = out.as_mut_slice();
+    for s in 0..b {
+        for ch in 0..c {
+            let base = (s * c + ch) * spatial;
+            let (m, is, g, be) = (mean[ch], inv_std[ch], gamma[ch], beta[ch]);
+            for i in base..base + spatial {
+                let xh = (id[i] - m) * is;
+                od[i] = g * xh + be;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One LIF timestep with the training layer's exact update:
+/// soft reset `v ← α·v + I − ϑ·o_prev`, hard reset
+/// `v ← α·v·(1 − o_prev) + I`, spike `o = 1[v − ϑ ≥ 0]`. Elementwise, so
+/// the serial loop is bit-identical to the training layer's chunked one.
+fn run_lif(
+    name: &str,
+    alpha: f32,
+    v_threshold: f32,
+    hard_reset: bool,
+    state: &mut LifState,
+    x: &Tensor,
+) -> Result<Tensor> {
+    let n = x.len();
+    let mut v = state.v.take().unwrap_or_else(|| vec![0.0f32; n]);
+    if v.len() != n {
+        return Err(exec_err(format!(
+            "{name}: input size changed mid-sequence ({} -> {n})",
+            v.len()
+        )));
+    }
+    let o_prev = state.o_prev.take();
+    let id = x.as_slice();
+    let mut o = vec![0.0f32; n];
+    for i in 0..n {
+        let op = o_prev.as_ref().map_or(0.0, |s| s[i]);
+        let nv = if hard_reset {
+            alpha * v[i] * (1.0 - op) + id[i]
+        } else {
+            alpha * v[i] + id[i] - v_threshold * op
+        };
+        v[i] = nv;
+        o[i] = f32::from(nv - v_threshold >= 0.0);
+    }
+    state.v = Some(v);
+    state.o_prev = Some(o.clone());
+    Tensor::from_vec(x.dims().to_vec(), o).map_err(|e| exec_err(format!("{name}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Manifest;
+
+    fn manifest(timesteps: usize, in_channels: usize, image_size: usize) -> Manifest {
+        Manifest {
+            arch: "test".to_string(),
+            timesteps,
+            in_channels,
+            image_size,
+            num_classes: 2,
+            mask_digest: 0,
+            config_json: "{}".to_string(),
+            densities: vec![],
+        }
+    }
+
+    #[test]
+    fn csr_and_dense_linear_agree_bitwise() {
+        let w = Tensor::from_vec(
+            [3, 4],
+            vec![
+                1.5, 0.0, -2.0, 0.25, 0.0, 0.0, 3.0, 0.0, 0.5, -0.5, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let bias = Tensor::from_slice(&[0.1, -0.2, 0.3]);
+        let make = |store: WeightStore| Artifact {
+            manifest: manifest(1, 1, 2),
+            ops: vec![
+                Op::Flatten {
+                    name: "f".to_string(),
+                },
+                Op::Linear {
+                    name: "fc".to_string(),
+                    out_features: 3,
+                    in_features: 4,
+                    weight: store,
+                    bias: Some(bias.clone()),
+                },
+            ],
+        };
+        let x = Tensor::from_vec(
+            [2, 1, 2, 2],
+            vec![0.5, -1.0, 2.0, 0.25, 1.0, 0.0, -0.5, 4.0],
+        )
+        .unwrap();
+        let mut dense = Executor::new(Arc::new(make(WeightStore::Dense(w.clone()))));
+        let mut csr = Executor::new(Arc::new(make(WeightStore::Csr(
+            CsrMatrix::from_dense(&w).unwrap(),
+        ))));
+        let a = dense.forward(&x).unwrap();
+        let b = csr.forward(&x).unwrap();
+        assert_eq!(a.dims(), [2, 3]);
+        for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn lif_soft_reset_matches_hand_computation() {
+        // alpha 0.5, threshold 1.0, T = 3, constant input 0.8:
+        // t0: v = 0.8, no spike. t1: v = 0.4 + 0.8 = 1.2, spike.
+        // t2: v = 0.5*1.2 + 0.8 - 1.0 = 0.4, no spike.
+        // Mean spike output = (0 + 1 + 0) / 3.
+        let art = Artifact {
+            manifest: manifest(3, 1, 1),
+            ops: vec![
+                Op::Flatten {
+                    name: "f".to_string(),
+                },
+                Op::Lif {
+                    name: "lif".to_string(),
+                    alpha: 0.5,
+                    v_threshold: 1.0,
+                    hard_reset: false,
+                },
+            ],
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let x = Tensor::from_vec([1, 1, 1, 1], vec![0.8]).unwrap();
+        let y = ex.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 / 3.0]);
+        // State resets between calls: a second forward is identical.
+        let y2 = ex.forward(&x).unwrap();
+        assert_eq!(y2.as_slice(), &[1.0 / 3.0]);
+    }
+
+    #[test]
+    fn counters_accumulate_per_op() {
+        let art = Artifact {
+            manifest: manifest(2, 1, 2),
+            ops: vec![
+                Op::Flatten {
+                    name: "f".to_string(),
+                },
+                Op::Lif {
+                    name: "lif".to_string(),
+                    alpha: 0.5,
+                    v_threshold: 1.0,
+                    hard_reset: false,
+                },
+            ],
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        ex.forward(&x).unwrap();
+        let ns = ex.layer_ns();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].0, "f");
+        assert_eq!(ns[1].0, "lif");
+        ex.reset_counters();
+        assert!(ex.layer_ns().iter().all(|(_, n)| *n == 0));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_an_error() {
+        let art = Artifact {
+            manifest: manifest(1, 3, 8),
+            ops: vec![Op::Flatten {
+                name: "f".to_string(),
+            }],
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let x = Tensor::zeros([1, 1, 8, 8]);
+        assert!(ex.forward(&x).is_err());
+    }
+}

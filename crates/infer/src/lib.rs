@@ -1,0 +1,38 @@
+//! Frozen-model sparse inference for the NDSNN reproduction.
+//!
+//! Training produces checkpoints full of state that serving never needs:
+//! optimizer velocity, growth/prune bookkeeping, activation caches, RNG
+//! streams. This crate closes the train→serve gap in three pieces:
+//!
+//! - [`compile`] — rebuilds the trained network from its
+//!   [`ndsnn::config::RunConfig`] + parameter snapshot, folds BatchNorm
+//!   into frozen per-channel affine epilogues, packs masked weights into
+//!   CSR ([`ndsnn_sparse::csr`]) below a density threshold, and emits a
+//!   checksummed **NDINF1** [`artifact::Artifact`];
+//! - [`exec`] — a forward-only [`exec::Executor`] that replays the frozen
+//!   graph **bit-identically** to the training graph's eval forward (same
+//!   kernels or loops with identical accumulation order), with preallocated
+//!   membrane state and per-op latency counters;
+//! - [`serve`] — a batched serving runtime ([`serve::Server`]): one
+//!   dispatcher thread owns the executor, coalesces concurrent requests
+//!   under a max-batch/max-wait [`serve::BatchPolicy`] and reports
+//!   per-request latency. Batching never changes any request's bits.
+//!
+//! The bit-identity claim is load-bearing: it makes the artifact a drop-in
+//! replacement for training-graph evaluation (accuracy numbers carry over
+//! exactly) and is pinned by the `parity` integration tests across
+//! `NDSNN_THREADS` settings.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod serve;
+
+pub use artifact::{Artifact, Manifest, Op, WeightStore};
+pub use compile::{compile, compile_from_checkpoint_dir, compile_snapshot, lower, CompileOptions};
+pub use error::{InferError, Result};
+pub use exec::Executor;
+pub use serve::{BatchPolicy, InferReply, ServeStats, Server};

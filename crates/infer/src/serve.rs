@@ -1,0 +1,414 @@
+//! Batched serving runtime over a frozen artifact.
+//!
+//! [`Server::start`] spawns one dispatcher thread that owns the
+//! [`Executor`]. Callers submit single images from any number of threads
+//! via [`Server::infer`]; the dispatcher coalesces queued requests into one
+//! forward pass under a [`BatchPolicy`] — flush when `max_batch` requests
+//! are waiting, or when the oldest has waited `max_wait` — and replies with
+//! per-request logits, argmax and queue-to-reply latency.
+//!
+//! Batching is *bitwise-neutral*: every frozen op treats batch samples
+//! independently (the BatchNorm epilogue uses frozen statistics, never
+//! batch statistics), so a request's logits do not depend on which
+//! requests happened to share its batch. The `batching_is_bitwise_neutral`
+//! test pins this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ndsnn_tensor::Tensor;
+
+use crate::artifact::Artifact;
+use crate::error::{InferError, Result};
+use crate::exec::Executor;
+
+/// When and how the dispatcher flushes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests coalesced into one forward pass (≥ 1).
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait before a partial batch
+    /// flushes. Zero flushes immediately (single-request batches unless
+    /// requests are already queued).
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// Reads the policy from `NDSNN_INFER_BATCH` /
+    /// `NDSNN_INFER_MAX_WAIT_US` (defaults 8 and 500 µs).
+    pub fn from_env() -> Self {
+        BatchPolicy {
+            max_batch: ndsnn::config::env::infer_batch(),
+            max_wait: Duration::from_micros(ndsnn::config::env::infer_max_wait_us()),
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: ndsnn::config::env::DEFAULT_INFER_BATCH,
+            max_wait: Duration::from_micros(ndsnn::config::env::DEFAULT_INFER_MAX_WAIT_US),
+        }
+    }
+}
+
+/// The outcome of one served request.
+#[derive(Debug, Clone)]
+pub struct InferReply {
+    /// Timestep-averaged logits, one per class.
+    pub logits: Vec<f32>,
+    /// Index of the largest logit (first on ties).
+    pub argmax: usize,
+    /// Submission-to-reply wall-clock latency.
+    pub latency: Duration,
+    /// How many requests shared this request's forward pass.
+    pub batch_size: usize,
+}
+
+/// Aggregate serving counters (monotonic since start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch_seen: u64,
+}
+
+struct Request {
+    image: Vec<f32>,
+    enqueued: Instant,
+    resp: SyncSender<Result<InferReply>>,
+}
+
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+/// A running inference server: one dispatcher thread, one executor.
+///
+/// `Server` is `Sync`; clones of the internal sender let any thread submit.
+/// Dropping the server (or calling [`Server::shutdown`]) closes the queue,
+/// drains in-flight requests and joins the dispatcher.
+pub struct Server {
+    tx: Mutex<Option<Sender<Request>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    counters: Arc<Counters>,
+    sample_len: usize,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Server")
+            .field("requests", &s.requests)
+            .field("batches", &s.batches)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts the dispatcher over `artifact` with the given batching policy.
+    pub fn start(artifact: Arc<Artifact>, policy: BatchPolicy) -> Server {
+        let sample_len = artifact.sample_len();
+        let num_classes = artifact.manifest.num_classes;
+        let counters = Arc::new(Counters {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<Request>();
+        let exec = Executor::new(Arc::clone(&artifact));
+        let dispatcher_counters = Arc::clone(&counters);
+        let policy = BatchPolicy {
+            max_batch: policy.max_batch.max(1),
+            max_wait: policy.max_wait,
+        };
+        let handle = std::thread::Builder::new()
+            .name("ndsnn-infer-dispatch".to_string())
+            .spawn(move || dispatch_loop(exec, rx, policy, &dispatcher_counters))
+            .expect("spawn inference dispatcher");
+        Server {
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+            counters,
+            sample_len,
+            num_classes,
+        }
+    }
+
+    /// Submits one flat `C·H·W` image and blocks until its reply.
+    pub fn infer(&self, image: &[f32]) -> Result<InferReply> {
+        if image.len() != self.sample_len {
+            return Err(InferError::Exec(format!(
+                "image length {} does not match artifact sample length {}",
+                image.len(),
+                self.sample_len
+            )));
+        }
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        {
+            let guard = self.tx.lock().expect("server sender mutex");
+            let tx = guard.as_ref().ok_or(InferError::Closed)?;
+            tx.send(Request {
+                image: image.to_vec(),
+                enqueued: Instant::now(),
+                resp: rtx,
+            })
+            .map_err(|_| InferError::Closed)?;
+        }
+        rrx.recv().map_err(|_| InferError::Closed)?
+    }
+
+    /// Number of logits each reply carries.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Current aggregate counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue, drains in-flight requests and joins the
+    /// dispatcher. Idempotent; subsequent [`Server::infer`] calls return
+    /// [`InferError::Closed`].
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("server sender mutex").take());
+        if let Some(handle) = self.handle.lock().expect("server handle mutex").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(
+    mut exec: Executor,
+    rx: Receiver<Request>,
+    policy: BatchPolicy,
+    counters: &Counters,
+) {
+    loop {
+        // Block for the first request of the next batch.
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return, // queue closed and drained
+        };
+        let mut batch = vec![first];
+        // Fill up to max_batch, but never hold the oldest request past
+        // max_wait.
+        let deadline = batch[0].enqueued + policy.max_wait;
+        while batch.len() < policy.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_batch(&mut exec, batch, counters);
+    }
+}
+
+fn run_batch(exec: &mut Executor, batch: Vec<Request>, counters: &Counters) {
+    let n = batch.len();
+    let m = &exec.artifact().manifest;
+    let (c, hw, k) = (m.in_channels, m.image_size, m.num_classes);
+    let mut flat = Vec::with_capacity(n * c * hw * hw);
+    for req in &batch {
+        flat.extend_from_slice(&req.image);
+    }
+    let result = Tensor::from_vec(vec![n, c, hw, hw], flat)
+        .map_err(InferError::from)
+        .and_then(|images| exec.forward(&images));
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters.requests.fetch_add(n as u64, Ordering::Relaxed);
+    counters
+        .max_batch_seen
+        .fetch_max(n as u64, Ordering::Relaxed);
+    match result {
+        Ok(logits) => {
+            let data = logits.as_slice();
+            for (i, req) in batch.into_iter().enumerate() {
+                let row = data[i * k..(i + 1) * k].to_vec();
+                let argmax = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map_or(0, |(j, _)| j);
+                let _ = req.resp.send(Ok(InferReply {
+                    argmax,
+                    latency: req.enqueued.elapsed(),
+                    batch_size: n,
+                    logits: row,
+                }));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for req in batch {
+                let _ = req.resp.send(Err(InferError::Exec(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Manifest, Op, WeightStore};
+
+    /// 1×2×2 input, flatten, linear to 2 classes.
+    fn toy_artifact() -> Arc<Artifact> {
+        let w = Tensor::from_vec([2, 4], vec![1.0, -1.0, 0.5, 0.0, -0.5, 2.0, 0.0, 1.0]).unwrap();
+        Arc::new(Artifact {
+            manifest: Manifest {
+                arch: "toy".to_string(),
+                timesteps: 2,
+                in_channels: 1,
+                image_size: 2,
+                num_classes: 2,
+                mask_digest: 0,
+                config_json: "{}".to_string(),
+                densities: vec![],
+            },
+            ops: vec![
+                Op::Flatten {
+                    name: "f".to_string(),
+                },
+                Op::Lif {
+                    name: "lif".to_string(),
+                    alpha: 0.5,
+                    v_threshold: 0.5,
+                    hard_reset: false,
+                },
+                Op::Linear {
+                    name: "fc".to_string(),
+                    out_features: 2,
+                    in_features: 4,
+                    weight: WeightStore::Dense(w),
+                    bias: Some(Tensor::from_slice(&[0.25, -0.25])),
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn serves_single_requests() {
+        let server = Server::start(
+            toy_artifact(),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_micros(0),
+            },
+        );
+        let reply = server.infer(&[1.0, 0.0, 0.5, 0.25]).unwrap();
+        assert_eq!(reply.logits.len(), 2);
+        assert!(reply.argmax < 2);
+        assert!(reply.batch_size >= 1);
+        let stats = server.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        server.shutdown();
+        assert!(matches!(
+            server.infer(&[0.0; 4]).unwrap_err(),
+            InferError::Closed
+        ));
+    }
+
+    #[test]
+    fn wrong_sample_length_is_rejected() {
+        let server = Server::start(toy_artifact(), BatchPolicy::default());
+        assert!(server.infer(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn batching_is_bitwise_neutral() {
+        // The same image answered alone and inside a coalesced batch must
+        // produce identical bits.
+        let art = toy_artifact();
+        let image = [0.75, -0.5, 1.0, 0.25];
+        let solo = {
+            let server = Server::start(
+                Arc::clone(&art),
+                BatchPolicy {
+                    max_batch: 1,
+                    max_wait: Duration::from_micros(0),
+                },
+            );
+            server.infer(&image).unwrap()
+        };
+        let batched = {
+            let server = Server::start(
+                Arc::clone(&art),
+                BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(50),
+                },
+            );
+            let server = Arc::new(server);
+            let mut handles = Vec::new();
+            for i in 0..6 {
+                let s = Arc::clone(&server);
+                let img = if i == 0 {
+                    image.to_vec()
+                } else {
+                    vec![i as f32 * 0.1; 4]
+                };
+                handles.push(std::thread::spawn(move || s.infer(&img).unwrap()));
+            }
+            let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(
+                server.stats().max_batch_seen >= 2,
+                "expected at least one coalesced batch, stats {:?}",
+                server.stats()
+            );
+            replies.into_iter().next().unwrap()
+        };
+        assert_eq!(solo.logits.len(), batched.logits.len());
+        for (a, b) in solo.logits.iter().zip(&batched.logits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn max_batch_caps_coalescing() {
+        let server = Arc::new(Server::start(
+            toy_artifact(),
+            BatchPolicy {
+                max_batch: 2,
+                max_wait: Duration::from_millis(50),
+            },
+        ));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || s.infer(&[0.5; 4]).unwrap()));
+        }
+        for h in handles {
+            let reply = h.join().unwrap();
+            assert!(reply.batch_size <= 2, "batch {} > cap", reply.batch_size);
+        }
+        assert_eq!(server.stats().requests, 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! BatchNorm-folding property tests.
+//!
+//! The compiler lowers BatchNorm into a frozen per-channel affine epilogue
+//! that stores the running statistics and a precomputed
+//! `inv_std = 1/√(var+ε)`. These tests pin the load-bearing claim: for
+//! randomized weights, inputs and running statistics — **including exact
+//! zero-variance channels** — the folded Conv+BN and Linear+BN pairs
+//! produce logits bit-identical (`to_bits`) to the unfolded eval-mode
+//! layers. No tolerance: if folding ever introduces a different rounding
+//! (e.g. by collapsing to `a·x + b` form), these tests fail.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ndsnn::checkpoint::{restore_params_from_map, snapshot_params};
+use ndsnn_infer::{lower, Artifact, CompileOptions, Executor, Manifest};
+use ndsnn_snn::layers::{BatchNorm, Conv2d, Flatten, Layer, Linear, Sequential};
+use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Running variance including the zero-variance edge case (then
+/// `inv_std = 1/√ε`, which the affine epilogue must reproduce exactly).
+fn arb_var() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), 0.0f32..4.0]
+}
+
+fn overwrite(params: &mut BTreeMap<String, Tensor>, key: &str, values: &[f32]) {
+    let t = params
+        .get_mut(key)
+        .unwrap_or_else(|| panic!("missing {key}"));
+    assert_eq!(t.len(), values.len(), "{key} length");
+    t.as_mut_slice().copy_from_slice(values);
+}
+
+/// Freezes `stack` with the real compiler lowering and runs one eval
+/// forward through both graphs, returning (expected_bits, got_bits).
+fn fold_and_compare(
+    stack: &mut Sequential,
+    images: &Tensor,
+    in_channels: usize,
+    image_size: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    stack.set_training(false);
+    stack.reset_state();
+    let expected = stack.forward(images, 0).expect("training forward");
+
+    let ops = lower(
+        &stack.describe(),
+        &CompileOptions {
+            density_threshold: -1.0, // keep dense: folding is what's under test
+        },
+    )
+    .expect("lower");
+    let art = Artifact {
+        manifest: Manifest {
+            arch: "bn-fold".to_string(),
+            timesteps: 1,
+            in_channels,
+            image_size,
+            num_classes: expected.len() / images.dims()[0],
+            mask_digest: 0,
+            config_json: "{}".to_string(),
+            densities: vec![],
+        },
+        ops,
+    };
+    let mut exec = Executor::new(Arc::new(art));
+    let got = exec.forward(images).expect("frozen forward");
+    assert_eq!(expected.dims(), got.dims());
+    (
+        expected.as_slice().iter().map(|v| v.to_bits()).collect(),
+        got.as_slice().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conv2d + BatchNorm2d: folded equals unfolded, bit for bit, for
+    /// randomized weights, inputs, affine pairs and running statistics.
+    #[test]
+    fn conv_bn_folds_bitwise(
+        seed in 0u64..1_000,
+        gamma in proptest::collection::vec(-2.0f32..2.0, 3),
+        beta in proptest::collection::vec(-1.0f32..1.0, 3),
+        mean in proptest::collection::vec(-1.0f32..1.0, 3),
+        var in proptest::collection::vec(arb_var(), 3),
+        pixels in proptest::collection::vec(-2.0f32..2.0, 2 * 2 * 4 * 4),
+    ) {
+        let g = Conv2dGeometry::square(2, 3, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stack = Sequential::new("m")
+            .with(Box::new(Conv2d::new("conv", g, false, &mut rng).unwrap()))
+            .with(Box::new(BatchNorm::new("bn", 3, &mut rng).unwrap()));
+        let mut params = snapshot_params(&mut stack);
+        overwrite(&mut params, "bn.gamma", &gamma);
+        overwrite(&mut params, "bn.beta", &beta);
+        overwrite(&mut params, "bn.running_mean", &mean);
+        overwrite(&mut params, "bn.running_var", &var);
+        restore_params_from_map(&mut stack, &params).unwrap();
+
+        let images = Tensor::from_vec(vec![2, 2, 4, 4], pixels).unwrap();
+        let (expected, got) = fold_and_compare(&mut stack, &images, 2, 4);
+        prop_assert_eq!(expected, got);
+    }
+
+    /// Linear + BatchNorm1d: folded equals unfolded, bit for bit.
+    #[test]
+    fn linear_bn_folds_bitwise(
+        seed in 0u64..1_000,
+        gamma in proptest::collection::vec(-2.0f32..2.0, 5),
+        beta in proptest::collection::vec(-1.0f32..1.0, 5),
+        mean in proptest::collection::vec(-1.0f32..1.0, 5),
+        var in proptest::collection::vec(arb_var(), 5),
+        // One (3, 2, 2) sample, flattened to the fc layer's 4 inputs ×3.
+        pixels in proptest::collection::vec(-2.0f32..2.0, 3 * 2 * 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stack = Sequential::new("m")
+            .with(Box::new(Flatten::new("flat")))
+            .with(Box::new(Linear::new("fc", 4, 5, true, &mut rng).unwrap()))
+            .with(Box::new(BatchNorm::new("bn", 5, &mut rng).unwrap()));
+        let mut params = snapshot_params(&mut stack);
+        overwrite(&mut params, "bn.gamma", &gamma);
+        overwrite(&mut params, "bn.beta", &beta);
+        overwrite(&mut params, "bn.running_mean", &mean);
+        overwrite(&mut params, "bn.running_var", &var);
+        restore_params_from_map(&mut stack, &params).unwrap();
+
+        let images = Tensor::from_vec(vec![3, 1, 2, 2], pixels).unwrap();
+        let (expected, got) = fold_and_compare(&mut stack, &images, 1, 2);
+        prop_assert_eq!(expected, got);
+    }
+}
+
+/// Deterministic pin of the zero-variance channel: γ=1, β=0, μ=0, σ²=0
+/// makes the epilogue multiply by exactly `1/√ε` — compare against the
+/// unfolded layer on a fixed input.
+#[test]
+fn all_zero_variance_channels_fold_bitwise() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+    let mut stack = Sequential::new("m")
+        .with(Box::new(Conv2d::new("conv", g, false, &mut rng).unwrap()))
+        .with(Box::new(BatchNorm::new("bn", 2, &mut rng).unwrap()));
+    let mut params = snapshot_params(&mut stack);
+    overwrite(&mut params, "bn.running_var", &[0.0, 0.0]);
+    overwrite(&mut params, "bn.running_mean", &[0.25, -0.5]);
+    restore_params_from_map(&mut stack, &params).unwrap();
+    let images = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.5, -1.0, 2.0, 0.0]).unwrap();
+    let (expected, got) = fold_and_compare(&mut stack, &images, 1, 2);
+    assert_eq!(expected, got);
+    assert!(got.iter().all(|b| f32::from_bits(*b).is_finite()));
+}

@@ -1,0 +1,237 @@
+//! Structural self-description of a layer stack, for model freezing.
+//!
+//! [`crate::layers::Layer::describe`] lets an inference compiler walk a
+//! trained network without knowing which builder produced it: every layer
+//! reports its kind, its evaluation-mode parameters (cloned — the live
+//! network is not consumed) and, for containers, its children in forward
+//! order. The variants carry exactly what is needed to replay the layer's
+//! *evaluation* forward pass bit-for-bit; training-only state (caches,
+//! gradients, exec plans) is deliberately absent.
+
+use ndsnn_tensor::ops::conv::Conv2dGeometry;
+use ndsnn_tensor::Tensor;
+
+use crate::layers::LifConfig;
+
+/// One node of a network's structural description, in forward order.
+#[derive(Debug, Clone)]
+pub enum LayerDesc {
+    /// `y = x·Wᵀ (+ b)` per timestep. Weight is `(out, in)`.
+    Linear {
+        /// Layer name (parameter names derive from it).
+        name: String,
+        /// Dense weight `(out_features, in_features)`, masked entries exact zero.
+        weight: Tensor,
+        /// Optional bias of length `out_features`.
+        bias: Option<Tensor>,
+    },
+    /// 2-D convolution. Weight is `(F, C, KH, KW)`.
+    Conv2d {
+        /// Layer name.
+        name: String,
+        /// Static geometry (channels, kernel, stride, padding).
+        geometry: Conv2dGeometry,
+        /// Dense weight `(F, C, KH, KW)`, masked entries exact zero.
+        weight: Tensor,
+        /// Optional bias of length `F`.
+        bias: Option<Tensor>,
+    },
+    /// Batch normalization in *evaluation* form: running statistics plus the
+    /// affine pair, applied per channel as
+    /// `out = gamma·((x − mean)·inv_std) + beta` with
+    /// `inv_std = 1/sqrt(var + eps)`.
+    BatchNorm {
+        /// Layer name.
+        name: String,
+        /// Scale γ, length `C`.
+        gamma: Tensor,
+        /// Shift β, length `C`.
+        beta: Tensor,
+        /// Running mean, length `C`.
+        running_mean: Tensor,
+        /// Running variance, length `C`.
+        running_var: Tensor,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// A LIF spiking activation. PLIF layers also describe themselves with
+    /// this variant, freezing their learned decay `α = σ(w)` into
+    /// `config.alpha`: the PLIF evaluation recurrence
+    /// `v[t] = v[t−1]·α + I[t] + (−ϑ)·o[t−1]` is bit-identical to the LIF
+    /// soft-reset form `α·v[t−1] + I[t] − ϑ·o[t−1]` (f32 multiplication
+    /// commutes exactly and `x − y ≡ x + (−y)`).
+    Lif {
+        /// Layer name.
+        name: String,
+        /// Neuron configuration, decay frozen for PLIF.
+        config: LifConfig,
+    },
+    /// Non-overlapping average pooling.
+    AvgPool2d {
+        /// Layer name.
+        name: String,
+        /// Pooling kernel edge (stride equals kernel).
+        kernel: usize,
+    },
+    /// Non-overlapping max pooling.
+    MaxPool2d {
+        /// Layer name.
+        name: String,
+        /// Pooling kernel edge (stride equals kernel).
+        kernel: usize,
+    },
+    /// `(B, C, H, W) → (B, C·H·W)`.
+    Flatten {
+        /// Layer name.
+        name: String,
+    },
+    /// `(B, C, H, W) → (B, C)` global average pooling.
+    GlobalAvgPool {
+        /// Layer name.
+        name: String,
+    },
+    /// An ordered chain of children.
+    Sequential {
+        /// Container name.
+        name: String,
+        /// Children in forward order.
+        children: Vec<LayerDesc>,
+    },
+    /// The spiking ResNet basic block: `main = conv1→bn1→lif1→conv2→bn2`,
+    /// `skip = downsample (conv+bn) or identity`, then `main += skip`
+    /// followed by `lif_out`.
+    Residual {
+        /// Block name.
+        name: String,
+        /// Main path: conv1, bn1, lif1, conv2, bn2 (in that order).
+        main: Vec<LayerDesc>,
+        /// Projection shortcut `[conv, bn]`, or empty for identity.
+        shortcut: Vec<LayerDesc>,
+        /// Output spiking activation applied to the sum.
+        lif_out: Box<LayerDesc>,
+    },
+    /// A layer that does not support freezing. Compilers must reject
+    /// networks containing one rather than silently mis-executing it.
+    Opaque {
+        /// Layer name.
+        name: String,
+    },
+}
+
+impl LayerDesc {
+    /// The described layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerDesc::Linear { name, .. }
+            | LayerDesc::Conv2d { name, .. }
+            | LayerDesc::BatchNorm { name, .. }
+            | LayerDesc::Lif { name, .. }
+            | LayerDesc::AvgPool2d { name, .. }
+            | LayerDesc::MaxPool2d { name, .. }
+            | LayerDesc::Flatten { name }
+            | LayerDesc::GlobalAvgPool { name }
+            | LayerDesc::Sequential { name, .. }
+            | LayerDesc::Residual { name, .. }
+            | LayerDesc::Opaque { name } => name,
+        }
+    }
+
+    /// Depth-first search for an [`LayerDesc::Opaque`] node; returns its name.
+    /// Compilers call this to fail fast with a useful message.
+    pub fn find_opaque(&self) -> Option<&str> {
+        match self {
+            LayerDesc::Opaque { name } => Some(name),
+            LayerDesc::Sequential { children, .. } => children.iter().find_map(|c| c.find_opaque()),
+            LayerDesc::Residual {
+                main,
+                shortcut,
+                lif_out,
+                ..
+            } => main
+                .iter()
+                .chain(shortcut.iter())
+                .find_map(|c| c.find_opaque())
+                .or_else(|| lif_out.find_opaque()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, LifLayer, Linear, PlifConfig, PlifLayer, Sequential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sequential_describes_children_in_order() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let net = Sequential::new("net")
+            .with(Box::new(Linear::new("fc1", 4, 8, true, &mut rng).unwrap()))
+            .with(Box::new(
+                LifLayer::new("lif1", LifConfig::default()).unwrap(),
+            ))
+            .with(Box::new(Linear::new("fc2", 8, 2, false, &mut rng).unwrap()));
+        let desc = net.describe();
+        let LayerDesc::Sequential { name, children } = desc else {
+            panic!("expected Sequential desc");
+        };
+        assert_eq!(name, "net");
+        let names: Vec<_> = children.iter().map(|c| c.name().to_string()).collect();
+        assert_eq!(names, ["fc1", "lif1", "fc2"]);
+        let LayerDesc::Linear { weight, bias, .. } = &children[0] else {
+            panic!("expected Linear desc");
+        };
+        assert_eq!(weight.dims(), &[8, 4]);
+        assert!(bias.is_some());
+        let LayerDesc::Linear { bias, .. } = &children[2] else {
+            panic!("expected Linear desc");
+        };
+        assert!(bias.is_none());
+    }
+
+    #[test]
+    fn plif_freezes_learned_decay_as_lif() {
+        let plif = PlifLayer::new(
+            "p",
+            PlifConfig {
+                alpha_init: 0.25,
+                ..PlifConfig::default()
+            },
+        )
+        .unwrap();
+        let LayerDesc::Lif { config, .. } = plif.describe() else {
+            panic!("expected Lif desc for PLIF");
+        };
+        assert!((config.alpha - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn find_opaque_reports_unfreezable_layers() {
+        struct Mystery;
+        impl Layer for Mystery {
+            fn name(&self) -> &str {
+                "mystery"
+            }
+            fn forward(
+                &mut self,
+                input: &ndsnn_tensor::Tensor,
+                _step: usize,
+            ) -> crate::error::Result<ndsnn_tensor::Tensor> {
+                Ok(input.clone())
+            }
+            fn backward(
+                &mut self,
+                grad: &ndsnn_tensor::Tensor,
+                _step: usize,
+            ) -> crate::error::Result<ndsnn_tensor::Tensor> {
+                Ok(grad.clone())
+            }
+            fn reset_state(&mut self) {}
+        }
+        let net = Sequential::new("net").with(Box::new(Mystery));
+        assert_eq!(net.describe().find_opaque(), Some("mystery"));
+        let empty = Sequential::new("net");
+        assert_eq!(empty.describe().find_opaque(), None);
+    }
+}

@@ -266,6 +266,17 @@ impl Layer for BatchNorm {
     fn reset_phase_ns(&mut self) {
         self.phase = LayerPhaseNs::default();
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::BatchNorm {
+            name: self.name.clone(),
+            gamma: self.gamma.value.clone(),
+            beta: self.beta.value.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            eps: self.eps,
+        }
+    }
 }
 
 #[cfg(test)]

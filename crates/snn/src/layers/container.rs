@@ -192,6 +192,13 @@ impl Layer for Sequential {
             layer.collect_compute(out);
         }
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Sequential {
+            name: self.name.clone(),
+            children: self.layers.iter().map(|l| l.describe()).collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,15 @@ impl Layer for Conv2d {
             output_positions: self.out_positions,
         });
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Conv2d {
+            name: self.name.clone(),
+            geometry: self.geometry,
+            weight: self.weight.value.clone(),
+            bias: self.bias.as_ref().map(|b| b.value.clone()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,12 @@ impl Layer for Flatten {
     fn set_training(&mut self, training: bool) {
         self.training = training;
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Flatten {
+            name: self.name.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

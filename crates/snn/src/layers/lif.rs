@@ -384,6 +384,13 @@ impl Layer for LifLayer {
             name: self.name.clone(),
         });
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Lif {
+            name: self.name.clone(),
+            config: self.config,
+        }
+    }
 }
 
 #[cfg(test)]

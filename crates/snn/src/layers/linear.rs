@@ -283,6 +283,14 @@ impl Layer for Linear {
             output_positions: 1,
         });
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Linear {
+            name: self.name.clone(),
+            weight: self.weight.value.clone(),
+            bias: self.bias.as_ref().map(|b| b.value.clone()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -246,6 +246,17 @@ pub trait Layer: Send {
     /// recurse, ordering parallel branches so the nearest-preceding-emitter
     /// pairing stays correct.
     fn collect_compute(&self, _out: &mut Vec<ComputeSite>) {}
+
+    /// Structural self-description for model freezing (see
+    /// [`crate::describe::LayerDesc`]). The default reports the layer as
+    /// [`Opaque`](crate::describe::LayerDesc::Opaque), which makes inference
+    /// compilers reject the network loudly instead of mis-executing a layer
+    /// they cannot replay.
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Opaque {
+            name: self.name().to_string(),
+        }
+    }
 }
 
 /// Extension helpers available on every layer.

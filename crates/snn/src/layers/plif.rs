@@ -332,6 +332,23 @@ impl Layer for PlifLayer {
             name: self.name.clone(),
         });
     }
+
+    /// Freezes the learned decay `α = σ(w)` into a fixed-LIF description.
+    /// Bit-exact: the PLIF evaluation recurrence differs from the LIF
+    /// soft-reset form only by multiplication operand order and `x − y`
+    /// versus `x + (−y)`, both exact identities in IEEE-754.
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Lif {
+            name: self.name.clone(),
+            config: crate::layers::LifConfig {
+                alpha: self.alpha(),
+                v_threshold: self.config.v_threshold,
+                surrogate: self.config.surrogate,
+                detach_reset: true,
+                reset: crate::layers::ResetMode::Soft,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

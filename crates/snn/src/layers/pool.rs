@@ -59,6 +59,13 @@ impl Layer for AvgPool2d {
     fn set_training(&mut self, training: bool) {
         self.training = training;
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::AvgPool2d {
+            name: self.name.clone(),
+            kernel: self.geometry.kernel,
+        }
+    }
 }
 
 /// Non-overlapping max pooling applied per timestep.
@@ -128,6 +135,13 @@ impl Layer for MaxPool2d {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::MaxPool2d {
+            name: self.name.clone(),
+            kernel: self.geometry.kernel,
+        }
     }
 }
 

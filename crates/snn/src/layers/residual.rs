@@ -269,6 +269,24 @@ impl Layer for BasicBlock {
         self.conv2.collect_compute(out);
         self.lif_out.collect_compute(out);
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::Residual {
+            name: self.name.clone(),
+            main: vec![
+                self.conv1.describe(),
+                self.bn1.describe(),
+                self.lif1.describe(),
+                self.conv2.describe(),
+                self.bn2.describe(),
+            ],
+            shortcut: match &self.downsample {
+                Some((conv, bn)) => vec![conv.describe(), bn.describe()],
+                None => Vec::new(),
+            },
+            lif_out: Box::new(self.lif_out.describe()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod describe;
 pub mod encoder;
 mod error;
 pub mod layers;

@@ -352,6 +352,12 @@ impl crate::layers::Layer for GlobalAvgPool {
     fn set_training(&mut self, training: bool) {
         self.training = training;
     }
+
+    fn describe(&self) -> crate::describe::LayerDesc {
+        crate::describe::LayerDesc::GlobalAvgPool {
+            name: self.name.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

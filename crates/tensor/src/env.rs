@@ -1,0 +1,80 @@
+//! Shared parsing primitives for the `NDSNN_*` environment knobs.
+//!
+//! Every runtime knob in the workspace follows the same contract: trim the
+//! value, parse it, and fall back to the documented default when the
+//! variable is unset, empty or unparseable — garbage must never crash a run.
+//! The typed knob surface lives in `ndsnn::config::env` (the core crate);
+//! these primitives exist one layer down so the kernels in this crate and in
+//! `ndsnn-sparse` can share the exact same parse behaviour without a
+//! dependency cycle.
+
+/// Reads and trims an environment variable, treating empty values as unset.
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
+/// Parses a `usize` knob; unset or unparseable values yield `None`.
+pub fn parse_usize(name: &str) -> Option<usize> {
+    raw(name).and_then(|v| v.parse::<usize>().ok())
+}
+
+/// Parses a `u64` knob; unset or unparseable values yield `None`.
+pub fn parse_u64(name: &str) -> Option<u64> {
+    raw(name).and_then(|v| v.parse::<u64>().ok())
+}
+
+/// Parses a finite `f64` knob; unset, unparseable or non-finite values
+/// yield `None` (a NaN threshold would poison every density comparison).
+pub fn parse_f64(name: &str) -> Option<f64> {
+    raw(name)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a distinct variable name so the process-global
+    // environment is never contended across parallel test threads.
+
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(parse_usize("NDSNN_TEST_ENV_UNSET"), None);
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_UNSET"), None);
+        assert_eq!(parse_u64("NDSNN_TEST_ENV_UNSET"), None);
+    }
+
+    #[test]
+    fn whitespace_and_garbage_fall_back() {
+        std::env::set_var("NDSNN_TEST_ENV_GARBAGE", "  not-a-number ");
+        assert_eq!(parse_usize("NDSNN_TEST_ENV_GARBAGE"), None);
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_GARBAGE"), None);
+        std::env::set_var("NDSNN_TEST_ENV_GARBAGE", "   ");
+        assert_eq!(raw("NDSNN_TEST_ENV_GARBAGE"), None);
+        std::env::remove_var("NDSNN_TEST_ENV_GARBAGE");
+    }
+
+    #[test]
+    fn trimmed_values_parse() {
+        std::env::set_var("NDSNN_TEST_ENV_TRIM", " 42 ");
+        assert_eq!(parse_usize("NDSNN_TEST_ENV_TRIM"), Some(42));
+        assert_eq!(parse_u64("NDSNN_TEST_ENV_TRIM"), Some(42));
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_TRIM"), Some(42.0));
+        std::env::remove_var("NDSNN_TEST_ENV_TRIM");
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        std::env::set_var("NDSNN_TEST_ENV_NAN", "NaN");
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_NAN"), None);
+        std::env::set_var("NDSNN_TEST_ENV_NAN", "inf");
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_NAN"), None);
+        std::env::set_var("NDSNN_TEST_ENV_NAN", "-0.5");
+        assert_eq!(parse_f64("NDSNN_TEST_ENV_NAN"), Some(-0.5));
+        std::env::remove_var("NDSNN_TEST_ENV_NAN");
+    }
+}

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
 mod error;
 pub mod init;
 pub mod ops;

@@ -130,6 +130,120 @@ pub fn im2col(
     }
 }
 
+/// Packed-sparse [`im2col`]: emits only the non-zero entries of the im2col
+/// matrix, built directly from the input's non-zero pixels without ever
+/// materializing the dense `(C·KH·KW, OH·OW)` buffer.
+///
+/// On return, row `r`'s entries span `pos[ptr[r]..ptr[r+1]]` (output
+/// positions `oy·OW + ox`, ascending within each row) and
+/// `vals[ptr[r]..ptr[r+1]]` (the pixel values), with `ptr` holding
+/// `col_rows + 1` offsets. The three vectors are cleared and refilled; pass
+/// pooled buffers to amortize the allocations. Exactly the entries a
+/// row-wise compression of [`im2col`]'s output would produce, at cost
+/// `O(nnz(input) · KH·KW)` instead of `O(C·KH·KW · OH·OW)` — the payoff for
+/// spiking activations that are mostly zeros.
+#[allow(clippy::too_many_arguments)] // im2col's signature + the three packed output vectors
+pub fn im2col_packed(
+    input: &[f32],
+    g: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    ptr: &mut Vec<u32>,
+    pos: &mut Vec<u32>,
+    vals: &mut Vec<f32>,
+    pool: &ScratchPool,
+) {
+    debug_assert_eq!(input.len(), g.in_channels * h * w);
+    let cr = g.col_rows();
+    ptr.clear();
+    ptr.resize(cr + 1, 0);
+    // A pixel (c, iy, ix) lands in col row r = (c·KH + kh)·KW + kw at output
+    // position (oy, ox) iff oy·stride + kh − pad == iy (and likewise for x).
+    // Both passes visit pixels in row-major order, so positions within a row
+    // come out ascending, exactly like compressing im2col's rows.
+    fn each_entry<F: FnMut(usize, u32)>(
+        g: &Conv2dGeometry,
+        oh: usize,
+        ow: usize,
+        c: usize,
+        iy: usize,
+        ix: usize,
+        f: &mut F,
+    ) {
+        for kh in 0..g.kernel_h {
+            let oy_num = iy + g.padding;
+            if oy_num < kh {
+                break;
+            }
+            let oy_s = oy_num - kh;
+            if !oy_s.is_multiple_of(g.stride) {
+                continue;
+            }
+            let oy = oy_s / g.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kw in 0..g.kernel_w {
+                let ox_num = ix + g.padding;
+                if ox_num < kw {
+                    break;
+                }
+                let ox_s = ox_num - kw;
+                if !ox_s.is_multiple_of(g.stride) {
+                    continue;
+                }
+                let ox = ox_s / g.stride;
+                if ox >= ow {
+                    continue;
+                }
+                f(
+                    (c * g.kernel_h + kh) * g.kernel_w + kw,
+                    (oy * ow + ox) as u32,
+                );
+            }
+        }
+    }
+    for c in 0..g.in_channels {
+        let chan = &input[c * h * w..(c + 1) * h * w];
+        for iy in 0..h {
+            for ix in 0..w {
+                if chan[iy * w + ix] != 0.0 {
+                    each_entry(g, oh, ow, c, iy, ix, &mut |r, _| ptr[r + 1] += 1);
+                }
+            }
+        }
+    }
+    for r in 0..cr {
+        ptr[r + 1] += ptr[r];
+    }
+    let total = ptr[cr] as usize;
+    pos.clear();
+    pos.resize(total, 0);
+    vals.clear();
+    vals.resize(total, 0.0);
+    let mut cursor = pool.take_u32();
+    cursor.extend_from_slice(&ptr[..cr]);
+    for c in 0..g.in_channels {
+        let chan = &input[c * h * w..(c + 1) * h * w];
+        for iy in 0..h {
+            for ix in 0..w {
+                let v = chan[iy * w + ix];
+                if v != 0.0 {
+                    each_entry(g, oh, ow, c, iy, ix, &mut |r, p| {
+                        let k = cursor[r] as usize;
+                        pos[k] = p;
+                        vals[k] = v;
+                        cursor[r] += 1;
+                    });
+                }
+            }
+        }
+    }
+    pool.give_u32(cursor);
+}
+
 /// Scatters an im2col-shaped gradient back onto a `(C, H, W)` input gradient
 /// (accumulating where receptive fields overlap).
 pub fn col2im(
@@ -539,6 +653,71 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn im2col_packed_matches_compressed_im2col() {
+        let mut rng = StdRng::seed_from_u64(0x51);
+        let geoms = [
+            Conv2dGeometry::square(3, 4, 3, 1, 1),
+            Conv2dGeometry::square(2, 4, 3, 2, 1),
+            Conv2dGeometry::square(1, 2, 1, 1, 0),
+            Conv2dGeometry {
+                in_channels: 2,
+                out_channels: 3,
+                kernel_h: 3,
+                kernel_w: 2,
+                stride: 2,
+                padding: 2,
+            },
+        ];
+        let pool = ScratchPool::new();
+        for g in geoms {
+            let (h, w) = (7, 6);
+            let (oh, ow) = g.output_hw(h, w).unwrap();
+            for density in [0.0, 0.3, 1.0] {
+                let mut input = crate::init::uniform([1, g.in_channels, h, w], -1.0, 1.0, &mut rng);
+                for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+                    if (i % 10) as f64 >= density * 10.0 {
+                        *v = 0.0;
+                    }
+                }
+                let mut col = vec![0.0; g.col_rows() * oh * ow];
+                im2col(input.as_slice(), &g, h, w, oh, ow, &mut col);
+                let (mut ptr, mut pos, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+                im2col_packed(
+                    input.as_slice(),
+                    &g,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    &mut ptr,
+                    &mut pos,
+                    &mut vals,
+                    &pool,
+                );
+                assert_eq!(ptr.len(), g.col_rows() + 1);
+                let (mut eptr, mut epos, mut evals) = (vec![0u32], Vec::new(), Vec::new());
+                for row in col.chunks_exact(oh * ow) {
+                    for (p, &v) in row.iter().enumerate() {
+                        if v != 0.0 {
+                            epos.push(p as u32);
+                            evals.push(v);
+                        }
+                    }
+                    eptr.push(epos.len() as u32);
+                }
+                assert_eq!(ptr, eptr, "geometry {g:?} density {density}");
+                assert_eq!(pos, epos, "geometry {g:?} density {density}");
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&vals),
+                    bits(&evals),
+                    "geometry {g:?} density {density}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,12 @@ fn check2d(t: &Tensor) -> Result<(usize, usize)> {
 /// `body` must compute rows `row0..row0+rows` of the output exactly as the
 /// serial kernel would — the partition carries no state, so any row split
 /// yields bit-identical results.
-pub(crate) fn for_output_row_ranges<F>(c: &mut [f32], m: usize, n: usize, macs: usize, body: F)
+///
+/// Public so out-of-crate sparse kernels (the CSR inference spmv in
+/// `ndsnn-sparse`) thread over the *same* row partition as the dense and
+/// pattern-sparse kernels here, keeping the whole dispatch family
+/// bit-identical at every thread count.
+pub fn for_output_row_ranges<F>(c: &mut [f32], m: usize, n: usize, macs: usize, body: F)
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {

@@ -53,10 +53,7 @@ pub const DEFAULT_SPIKE_DENSITY_THRESHOLD: f64 = 0.25;
 /// negative value to force dense execution everywhere, or to `1.0` (or more)
 /// to force the gather path for every binary timestep.
 pub fn spike_density_threshold_from_env() -> f64 {
-    std::env::var("NDSNN_SPIKE_DENSITY_THRESHOLD")
-        .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .filter(|t| t.is_finite())
+    crate::env::parse_f64("NDSNN_SPIKE_DENSITY_THRESHOLD")
         .unwrap_or(DEFAULT_SPIKE_DENSITY_THRESHOLD)
 }
 

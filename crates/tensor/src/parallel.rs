@@ -67,9 +67,7 @@ pub fn set_thread_override(threads: Option<usize>) {
 fn configured_threads() -> usize {
     static CONFIGURED: OnceLock<usize> = OnceLock::new();
     *CONFIGURED.get_or_init(|| {
-        std::env::var("NDSNN_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
+        crate::env::parse_usize("NDSNN_THREADS")
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())

@@ -510,3 +510,83 @@ mod container_fuzz {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// NDCKPT2 container edge cases (property tests)
+// ---------------------------------------------------------------------------
+
+mod blob_properties {
+    use std::collections::BTreeMap;
+
+    use ndsnn::checkpoint::{decode_blobs, encode_blobs};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Longest name the container accepts (`MAX_NAME_LEN` in
+    /// `core::checkpoint`).
+    const MAX_NAME_LEN: usize = 4096;
+
+    #[test]
+    fn empty_input_distinct_from_truncated() {
+        let empty = decode_blobs(&[]).unwrap_err().to_string();
+        assert!(empty.contains("empty container"), "{empty}");
+        let torn = decode_blobs(b"NDCK").unwrap_err().to_string();
+        assert!(torn.contains("truncated header"), "{torn}");
+        assert_ne!(empty, torn, "the two failure modes must be tellable apart");
+    }
+
+    #[test]
+    fn max_length_name_round_trips() {
+        let name = "n".repeat(MAX_NAME_LEN);
+        let entries = BTreeMap::from([(name.clone(), vec![7u8; 9])]);
+        let decoded = decode_blobs(&encode_blobs(&entries)).unwrap();
+        assert_eq!(decoded, entries);
+        // One byte past the cap must be rejected, not silently accepted.
+        let over = BTreeMap::from([("n".repeat(MAX_NAME_LEN + 1), Vec::new())]);
+        let err = decode_blobs(&encode_blobs(&over)).unwrap_err();
+        assert!(err.to_string().contains("bad name length"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Zero-entry containers round-trip regardless of what bytes follow
+        /// a hypothetical payload: an empty map encodes to exactly the
+        /// 12-byte header and decodes back to an empty map.
+        #[test]
+        fn zero_entry_container_round_trips(_x in 0u8..255) {
+            let entries: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+            let encoded = encode_blobs(&entries);
+            prop_assert_eq!(encoded.len(), 12);
+            prop_assert!(decode_blobs(&encoded).unwrap().is_empty());
+        }
+
+        /// Arbitrary name lengths up to the cap (including the boundary when
+        /// proptest shrinks toward it) and arbitrary payloads round-trip.
+        #[test]
+        fn long_names_round_trip(
+            len in 1usize..=MAX_NAME_LEN,
+            payload in vec(0u8..=255, 0..64),
+        ) {
+            let name = "x".repeat(len);
+            let entries = BTreeMap::from([(name, payload)]);
+            let decoded = decode_blobs(&encode_blobs(&entries)).unwrap();
+            prop_assert_eq!(decoded, entries);
+        }
+
+        /// Every strict prefix of a valid container fails cleanly — and a
+        /// prefix shorter than the header reports "truncated header" while
+        /// only the zero-length prefix reports "empty container".
+        #[test]
+        fn truncation_always_detected(cut in 0usize..12) {
+            let entries = BTreeMap::from([("k".to_string(), vec![1u8, 2, 3])]);
+            let encoded = encode_blobs(&entries);
+            let err = decode_blobs(&encoded[..cut]).unwrap_err().to_string();
+            if cut == 0 {
+                prop_assert!(err.contains("empty container"), "{}", err);
+            } else {
+                prop_assert!(err.contains("truncated header"), "{}", err);
+            }
+        }
+    }
+}
