@@ -1,0 +1,279 @@
+//! Paired A/B benchmarks of the cache-blocked tiled kernel core (DESIGN.md
+//! §12) against the retired pre-tile row kernels (`pretile` modules), across
+//! matmul sizes {64, 256, 1024} and Small-VGG conv shapes, at 1 and 4
+//! worker threads.
+//!
+//! Beyond the per-variant timing lines, the bench appends one
+//! `tile_kernels/summary` JSON record (`results/bench_tile_kernels.json`)
+//! with the tiled-over-pretile speedups, the threaded-over-serial ratio for
+//! the 256³ matmul (the PR 2 `threads/matmul_256` regression: the min-work
+//! heuristic must keep it at parity or better), and explicit bit-identity
+//! checks — kernels vs pretile, and training losses across thread counts.
+
+use std::io::Write as _;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::{build_datasets, build_network};
+use ndsnn_snn::models::Architecture;
+use ndsnn_snn::optim::Sgd;
+use ndsnn_tensor::ops::conv::{
+    conv2d_backward_pooled, conv2d_forward_pooled, pretile as conv_pretile, Conv2dGeometry,
+};
+use ndsnn_tensor::ops::matmul::{matmul, pretile as mm_pretile};
+use ndsnn_tensor::parallel::set_thread_override;
+use ndsnn_tensor::scratch::ScratchPool;
+use ndsnn_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+const MATMUL_SIZES: [usize; 3] = [64, 256, 1024];
+
+/// Small-VGG conv shapes (width 1/4 on 32×32 inputs): the first conv off the
+/// image, an early in-grid block, and a late narrow-spatial block.
+/// `(label, cin, cout, hw, batch)` — all 3×3, stride 1, pad 1.
+const CONV_SHAPES: [(&str, usize, usize, usize, usize); 3] = [
+    ("conv3x16_32", 3, 16, 32, 8),
+    ("conv16x32_16", 16, 32, 16, 8),
+    ("conv64x64_4", 64, 64, 4, 8),
+];
+
+fn rand_tensor(dims: impl Into<ndsnn_tensor::Shape>, rng: &mut StdRng) -> Tensor {
+    ndsnn_tensor::init::uniform(dims, -1.0, 1.0, rng)
+}
+
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A few SGD steps on the Smoke VGG workload; returns the loss trajectory.
+fn loss_trajectory(cfg: &RunConfig, batch: &ndsnn_data::loader::Batch) -> Vec<u32> {
+    let mut net = build_network(cfg).unwrap();
+    let mut opt = Sgd::new(cfg.sgd);
+    (0..3)
+        .map(|_| {
+            let stats = net.train_batch(&batch.images, &batch.labels).unwrap();
+            opt.step(&mut net.layers).unwrap();
+            stats.loss.to_bits()
+        })
+        .collect()
+}
+
+fn median_from_json(path: &str, id: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"id\":\"{id}\"");
+    let line = text.lines().rev().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    rest.split(&[',', '}'][..]).next()?.trim().parse().ok()
+}
+
+fn bench_tile_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // ---- Bit-identity checks (untimed): tiled vs pretile at 1 and 4
+    // threads, for every benched shape. ----
+    let mut kernels_bit_identical = true;
+    let pool = ScratchPool::new();
+    for &threads in &[1usize, 4] {
+        set_thread_override(Some(threads));
+        for &size in &MATMUL_SIZES {
+            if size > 256 {
+                continue; // identity at 1024 adds seconds, not coverage
+            }
+            let a = rand_tensor([size, size], &mut rng);
+            let b = rand_tensor([size, size], &mut rng);
+            let tiled = matmul(&a, &b).unwrap();
+            let pre = mm_pretile::matmul(&a, &b).unwrap();
+            if !bits_eq(&tiled, &pre) {
+                kernels_bit_identical = false;
+                eprintln!("tile_kernels: matmul_{size} diverged at {threads} threads");
+            }
+        }
+        for &(label, cin, cout, hw, batch) in &CONV_SHAPES {
+            let g = Conv2dGeometry::square(cin, cout, 3, 1, 1);
+            let x = rand_tensor([batch, cin, hw, hw], &mut rng);
+            let w = rand_tensor(g.weight_dims(), &mut rng);
+            let fwd = conv2d_forward_pooled(&x, &w, None, &g, &pool).unwrap();
+            let fwd_pre = conv_pretile::conv2d_forward(&x, &w, None, &g, &pool).unwrap();
+            let gy = rand_tensor(fwd.shape().clone(), &mut rng);
+            let bwd = conv2d_backward_pooled(&x, &w, &gy, &g, &pool).unwrap();
+            let bwd_pre = conv_pretile::conv2d_backward(&x, &w, &gy, &g, &pool).unwrap();
+            if !bits_eq(&fwd, &fwd_pre)
+                || !bits_eq(&bwd.weight_grad, &bwd_pre.weight_grad)
+                || !bits_eq(&bwd.input_grad, &bwd_pre.input_grad)
+            {
+                kernels_bit_identical = false;
+                eprintln!("tile_kernels: {label} diverged at {threads} threads");
+            }
+        }
+    }
+
+    // ---- Training losses across thread counts (untimed). ----
+    let cfg = {
+        let mut cfg =
+            Profile::Smoke.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+        cfg.width_mult = 0.25;
+        cfg.batch_size = 8;
+        cfg
+    };
+    let (train, _) = build_datasets(&cfg);
+    let batch = ndsnn_data::loader::BatchLoader::eval(cfg.batch_size)
+        .epoch(&train, 0)
+        .remove(0);
+    set_thread_override(Some(1));
+    let losses_t1 = loss_trajectory(&cfg, &batch);
+    set_thread_override(Some(4));
+    let losses_t4 = loss_trajectory(&cfg, &batch);
+    set_thread_override(None);
+    let losses_bit_identical = losses_t1 == losses_t4;
+    if !losses_bit_identical {
+        eprintln!("tile_kernels: training losses diverged between 1 and 4 threads");
+    }
+    println!(
+        "tile_kernels: kernels_bit_identical={kernels_bit_identical}, \
+         losses_bit_identical={losses_bit_identical}"
+    );
+
+    // ---- Timed matmul comparison. ----
+    let mut group = c.benchmark_group("tile_matmul");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        set_thread_override(Some(threads));
+        for &size in &MATMUL_SIZES {
+            let a = rand_tensor([size, size], &mut rng);
+            let b = rand_tensor([size, size], &mut rng);
+            for (variant, tiled) in [("tiled", true), ("pretile", false)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("t{threads}_{size}"), variant),
+                    &variant,
+                    |bench, _| {
+                        bench.iter(|| {
+                            black_box(if tiled {
+                                matmul(&a, &b).unwrap()
+                            } else {
+                                mm_pretile::matmul(&a, &b).unwrap()
+                            })
+                        })
+                    },
+                );
+            }
+        }
+    }
+    set_thread_override(None);
+    group.finish();
+
+    // ---- Timed conv fwd+bwd comparison. ----
+    let mut group = c.benchmark_group("tile_conv");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        set_thread_override(Some(threads));
+        for &(label, cin, cout, hw, batch) in &CONV_SHAPES {
+            let g = Conv2dGeometry::square(cin, cout, 3, 1, 1);
+            let x = rand_tensor([batch, cin, hw, hw], &mut rng);
+            let w = rand_tensor(g.weight_dims(), &mut rng);
+            let gy = {
+                let fwd = conv2d_forward_pooled(&x, &w, None, &g, &pool).unwrap();
+                rand_tensor(fwd.shape().clone(), &mut rng)
+            };
+            for (variant, tiled) in [("tiled", true), ("pretile", false)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("t{threads}_{label}"), variant),
+                    &variant,
+                    |bench, _| {
+                        bench.iter(|| {
+                            if tiled {
+                                let fwd = conv2d_forward_pooled(&x, &w, None, &g, &pool).unwrap();
+                                let bwd = conv2d_backward_pooled(&x, &w, &gy, &g, &pool).unwrap();
+                                black_box((fwd, bwd));
+                            } else {
+                                let fwd =
+                                    conv_pretile::conv2d_forward(&x, &w, None, &g, &pool).unwrap();
+                                let bwd =
+                                    conv_pretile::conv2d_backward(&x, &w, &gy, &g, &pool).unwrap();
+                                black_box((fwd, bwd));
+                            }
+                        })
+                    },
+                );
+            }
+        }
+    }
+    set_thread_override(None);
+    group.finish();
+
+    // ---- Summary record for results/. ----
+    let Ok(path) = std::env::var("NDSNN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let speedup = |group: &str, key: &str| -> f64 {
+        let pre = median_from_json(&path, &format!("{group}/{key}/pretile"));
+        let tile = median_from_json(&path, &format!("{group}/{key}/tiled"));
+        match (pre, tile) {
+            (Some(p), Some(t)) if t > 0.0 => p / t,
+            _ => 0.0,
+        }
+    };
+    let mm_speedups: Vec<String> = MATMUL_SIZES
+        .iter()
+        .map(|s| {
+            format!(
+                "\"matmul{s}_t1\":{:.3},\"matmul{s}_t4\":{:.3}",
+                speedup("tile_matmul", &format!("t1_{s}")),
+                speedup("tile_matmul", &format!("t4_{s}"))
+            )
+        })
+        .collect();
+    let conv_speedups: Vec<f64> = CONV_SHAPES
+        .iter()
+        .map(|&(label, ..)| speedup("tile_conv", &format!("t1_{label}")))
+        .collect();
+    let conv_fields: Vec<String> = CONV_SHAPES
+        .iter()
+        .zip(&conv_speedups)
+        .map(|(&(label, ..), s)| format!("\"{label}_fwd_bwd\":{s:.3}"))
+        .collect();
+    let conv_min = conv_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    // PR 2 regression check: with the min-work heuristic, dispatching the
+    // 256³ matmul at NDSNN_THREADS=4 must no longer lose to serial (it used
+    // to cost 35%). Ratio = serial_median / threaded_median; fixed when the
+    // threaded run is at parity or better (0.9 allows measurement noise).
+    let t1 = median_from_json(&path, "tile_matmul/t1_256/tiled");
+    let t4 = median_from_json(&path, "tile_matmul/t4_256/tiled");
+    let matmul256_threaded_over_serial = match (t1, t4) {
+        (Some(s), Some(t)) if t > 0.0 => s / t,
+        _ => 0.0,
+    };
+    let regression_fixed = matmul256_threaded_over_serial >= 0.9;
+    let line = format!(
+        "{{\"id\":\"tile_kernels/summary\",{},{},\
+         \"conv_fwd_bwd_min_speedup\":{conv_min:.3},\
+         \"matmul256_threaded_over_serial\":{matmul256_threaded_over_serial:.3},\
+         \"regression_fixed\":{regression_fixed},\
+         \"kernels_bit_identical\":{kernels_bit_identical},\
+         \"losses_bit_identical\":{losses_bit_identical}}}\n",
+        mm_speedups.join(","),
+        conv_fields.join(","),
+    );
+    print!("tile_kernels summary: {line}");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("tile_kernels: could not append summary to {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_tile_kernels);
+criterion_main!(benches);

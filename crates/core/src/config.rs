@@ -209,7 +209,13 @@ pub mod env {
     /// Microseconds the serving runtime waits for a batch to fill before
     /// flushing a partial one.
     pub const INFER_MAX_WAIT_US: &str = "NDSNN_INFER_MAX_WAIT_US";
+    /// Minimum multiply-adds per parallel tile task in the tiled GEMM/conv
+    /// core; problems below it run serially (thread wakeup used to cost a
+    /// 256³ matmul 35%). Resolved once per process.
+    pub const MIN_TILE_WORK: &str = "NDSNN_MIN_TILE_WORK";
 
+    /// Default for [`min_tile_work`] (`2^25` multiply-adds).
+    pub const DEFAULT_MIN_TILE_WORK: usize = ndsnn_tensor::ops::tile::DEFAULT_MIN_TILE_WORK;
     /// Default for [`infer_batch`].
     pub const DEFAULT_INFER_BATCH: usize = 8;
     /// Default for [`infer_max_wait_us`].
@@ -253,6 +259,14 @@ pub mod env {
     /// throughput-pessimal).
     pub fn infer_max_wait_us() -> u64 {
         ndsnn_tensor::env::parse_u64(INFER_MAX_WAIT_US).unwrap_or(DEFAULT_INFER_MAX_WAIT_US)
+    }
+
+    /// `NDSNN_MIN_TILE_WORK`, default [`DEFAULT_MIN_TILE_WORK`]. `0` forces
+    /// tile-parallel dispatch for every problem size. Like `NDSNN_THREADS`
+    /// the tiled core resolves it once per process, so this accessor reports
+    /// the *effective* value (including any test override), not a re-read.
+    pub fn min_tile_work() -> usize {
+        ndsnn_tensor::ops::tile::min_tile_work()
     }
 
     #[cfg(test)]
@@ -327,6 +341,20 @@ pub mod env {
             assert_eq!(infer_batch(), DEFAULT_INFER_BATCH);
             std::env::remove_var(INFER_BATCH);
             assert_eq!(infer_batch(), DEFAULT_INFER_BATCH);
+        }
+
+        #[test]
+        fn min_tile_work_knob() {
+            use ndsnn_tensor::ops::tile::set_min_tile_work_override;
+            // The env read is cached once per process (like NDSNN_THREADS),
+            // so exercise the accessor through the test override rather than
+            // racing other tests on the cached resolution.
+            set_min_tile_work_override(Some(7));
+            assert_eq!(min_tile_work(), 7);
+            set_min_tile_work_override(Some(0));
+            assert_eq!(min_tile_work(), 0, "zero forces tile-parallel dispatch");
+            set_min_tile_work_override(None);
+            assert_eq!(min_tile_work(), DEFAULT_MIN_TILE_WORK);
         }
 
         #[test]

@@ -50,10 +50,15 @@ pub struct PhaseTimings {
     pub spike_elems: u64,
     /// Time inside LIF/PLIF membrane updates and surrogate backward loops.
     /// A subset of `forward_ns`/`backward_ns`, so not added to
-    /// [`PhaseTimings::total_ns`].
+    /// [`PhaseTimings::total_ns`]. Counts only the *standalone* neuron
+    /// kernels: when a tiled conv/linear kernel absorbs a threshold compare
+    /// as a fused epilogue, that work is the kernel's and lands in the
+    /// kernel's time, never here.
     pub neuron_ns: u64,
     /// Time inside BatchNorm forward/backward. Also a subset of
-    /// `forward_ns`/`backward_ns`.
+    /// `forward_ns`/`backward_ns`. Like [`PhaseTimings::neuron_ns`], counts
+    /// only the standalone normalization kernels — affine epilogues fused
+    /// into a tiled kernel are attributed to that kernel's counter.
     pub norm_ns: u64,
     /// Time in the optimizer's `step` alone (a subset of `optim_ns`, which
     /// additionally covers `SparseEngine::after_optim`).
@@ -201,6 +206,30 @@ impl Profile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn subset_counters_stay_out_of_totals() {
+        // neuron_ns / norm_ns / spike_gather_ns are subsets of the coarse
+        // forward/backward phases (and fused-epilogue time belongs to the
+        // kernel counters, never to norm_ns/neuron_ns), so totals must be
+        // exactly the four phase counters — adding a subset counter into
+        // total_ns would double-count it.
+        let t = PhaseTimings {
+            forward_ns: 100,
+            backward_ns: 200,
+            pack_ns: 30,
+            optim_ns: 40,
+            batches: 2,
+            spike_gather_ns: 1 << 40,
+            neuron_ns: 1 << 41,
+            norm_ns: 1 << 42,
+            optim_step_ns: 1 << 43,
+            mask_update_ns: 1 << 44,
+            ..PhaseTimings::default()
+        };
+        assert_eq!(t.total_ns(), 370);
+        assert_eq!(t.mean_batch_ns(), 185);
+    }
 
     #[test]
     fn parse_round_trips() {

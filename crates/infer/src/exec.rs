@@ -18,11 +18,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ndsnn_sparse::csr::{csr_mm, csr_mm_packed, csr_xwt, CsrMatrix};
-use ndsnn_tensor::ops::conv::{conv2d_forward_pooled, im2col, im2col_packed, Conv2dGeometry};
+use ndsnn_tensor::ops::conv::{
+    conv2d_forward_pooled, conv2d_forward_with_epilogue, im2col, im2col_packed, Conv2dGeometry,
+};
 use ndsnn_tensor::ops::matmul::matmul_a_bt;
 use ndsnn_tensor::ops::pool::{
     avg_pool2d_forward, global_avg_pool, max_pool2d_forward, Pool2dGeometry,
 };
+use ndsnn_tensor::ops::tile::{AffineLifRow, AffineRow, NoEpilogue, TileEpilogue};
 use ndsnn_tensor::parallel::parallel_for_chunks;
 use ndsnn_tensor::scratch::ScratchPool;
 use ndsnn_tensor::Tensor;
@@ -65,6 +68,102 @@ fn is_stateful(op: &Op) -> bool {
     matches!(op, Op::Lif { .. } | Op::Residual { .. })
 }
 
+/// One top-level execution step: either a single op, or a frozen conv block
+/// fused into one kernel pass.
+///
+/// Fusion never changes a value: the affine (and conv bias) ride the tiled
+/// conv as a per-tile epilogue applied after each output element's full
+/// accumulation — exactly where the standalone `Affine` op ran — and the LIF
+/// threshold joins only at `timesteps == 1`, where the membrane update from
+/// reset state collapses to a pure compare (`v = 0`, `o_prev = 0`, so the
+/// new membrane is the input for both reset modes and only the spike
+/// survives the call). Multi-timestep LIFs keep their membrane and stay
+/// unfused.
+#[derive(Debug, Clone, Copy)]
+enum TopStep {
+    /// Run `ops[i]` as-is.
+    Run(usize),
+    /// `ops[conv]` (Conv2d) + `ops[affine]` (Affine) + optionally
+    /// `ops[lif]` (Lif, single-timestep only) as one fused kernel pass.
+    FusedConv {
+        conv: usize,
+        affine: usize,
+        lif: Option<usize>,
+    },
+}
+
+/// Number of per-op counter slots `op` occupies (Residual entries carry
+/// their children).
+fn op_name_count(op: &Op) -> usize {
+    match op {
+        Op::Residual {
+            main,
+            shortcut,
+            lif_out,
+            ..
+        } => {
+            1 + main.iter().map(op_name_count).sum::<usize>()
+                + shortcut.iter().map(op_name_count).sum::<usize>()
+                + op_name_count(lif_out)
+        }
+        _ => 1,
+    }
+}
+
+/// Builds the fused step plan over the top-level op list, plus each op's
+/// global counter index. Conv2d + Affine fuse whenever the affine's channel
+/// vectors match the conv's output channels; a directly following Lif joins
+/// only when `timesteps == 1`.
+fn build_steps(ops: &[Op], timesteps: usize) -> (Vec<TopStep>, Vec<usize>) {
+    let mut global_idx = Vec::with_capacity(ops.len());
+    let mut g = 0;
+    for op in ops {
+        global_idx.push(g);
+        g += op_name_count(op);
+    }
+    let mut steps = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if let Op::Conv2d { geometry, .. } = &ops[i] {
+            if let Some(Op::Affine {
+                mean,
+                inv_std,
+                gamma,
+                beta,
+                ..
+            }) = ops.get(i + 1)
+            {
+                let f = geometry.out_channels;
+                if mean.len() == f && inv_std.len() == f && gamma.len() == f && beta.len() == f {
+                    let lif = match ops.get(i + 2) {
+                        Some(Op::Lif { .. }) if timesteps == 1 => Some(i + 2),
+                        _ => None,
+                    };
+                    steps.push(TopStep::FusedConv {
+                        conv: i,
+                        affine: i + 1,
+                        lif,
+                    });
+                    i += 2 + usize::from(lif.is_some());
+                    continue;
+                }
+            }
+        }
+        steps.push(TopStep::Run(i));
+        i += 1;
+    }
+    (steps, global_idx)
+}
+
+/// Whether a step carries membrane state (fused conv blocks are stateful
+/// only when they absorbed a LIF).
+fn step_stateful(step: &TopStep, ops: &[Op]) -> bool {
+    match step {
+        TopStep::Run(i) => is_stateful(&ops[*i]),
+        TopStep::FusedConv { lif, .. } => lif.is_some(),
+    }
+}
+
 fn collect_names(ops: &[Op], names: &mut Vec<String>, lif_count: &mut usize) {
     for op in ops {
         names.push(op.name().to_string());
@@ -100,6 +199,11 @@ pub struct Executor {
     pool: ScratchPool,
     state_cursor: usize,
     op_cursor: usize,
+    /// Fused top-level execution plan (see [`TopStep`]).
+    steps: Vec<TopStep>,
+    /// Global counter index of each top-level op (Residual children occupy
+    /// the slots after their parent).
+    global_idx: Vec<usize>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -120,6 +224,7 @@ impl Executor {
         collect_names(&artifact.ops, &mut names, &mut lif_count);
         let ns = vec![0u64; names.len()];
         let states = (0..lif_count).map(|_| LifState::default()).collect();
+        let (steps, global_idx) = build_steps(&artifact.ops, artifact.manifest.timesteps);
         Executor {
             art: artifact,
             states,
@@ -128,6 +233,8 @@ impl Executor {
             pool: ScratchPool::new(),
             state_cursor: 0,
             op_cursor: 0,
+            steps,
+            global_idx,
         }
     }
 
@@ -162,23 +269,23 @@ impl Executor {
         let art = Arc::clone(&self.art);
         let timesteps = art.manifest.timesteps;
         // With Direct encoding every timestep replays the same input, so the
-        // leading stateless ops (typically the first conv + its affine)
+        // leading stateless steps (typically the first fused conv block)
         // produce identical tensors each step: compute them once and reuse.
-        let prefix = art.ops.iter().take_while(|op| !is_stateful(op)).count();
+        let prefix = self
+            .steps
+            .iter()
+            .take_while(|s| !step_stateful(s, &art.ops))
+            .count();
         let mut prefix_out: Option<Tensor> = None;
         let mut acc: Option<Tensor> = None;
         for t in 0..timesteps {
             self.state_cursor = 0;
-            self.op_cursor = 0;
             let mut x = match (t, &prefix_out) {
-                (1.., Some(cached)) => {
-                    self.op_cursor = prefix;
-                    cached.clone()
-                }
+                (1.., Some(cached)) => cached.clone(),
                 _ => {
                     let mut x = images.clone();
-                    for op in &art.ops[..prefix] {
-                        x = self.run_op(op, x)?;
+                    for si in 0..prefix {
+                        x = self.run_step(&art, si, x)?;
                     }
                     if prefix > 0 && timesteps > 1 {
                         prefix_out = Some(x.clone());
@@ -186,8 +293,8 @@ impl Executor {
                     x
                 }
             };
-            for op in &art.ops[prefix..] {
-                x = self.run_op(op, x)?;
+            for si in prefix..self.steps.len() {
+                x = self.run_step(&art, si, x)?;
             }
             match &mut acc {
                 Some(a) => a.add_assign(&x)?,
@@ -214,6 +321,87 @@ impl Executor {
         self.ns.iter_mut().for_each(|v| *v = 0);
     }
 
+    /// Executes one top-level plan step. `Run` steps delegate to `run_op`
+    /// with the cursor pointed at the op's counter slot; `FusedConv` steps
+    /// run the convolution with the affine (and threshold, at T==1) folded
+    /// into the tile epilogue. Fused wall time is charged entirely to the
+    /// conv's counter — the affine/LIF counters stay zero, matching the
+    /// training profiler's rule that epilogue work belongs to the kernel.
+    fn run_step(&mut self, art: &Artifact, si: usize, x: Tensor) -> Result<Tensor> {
+        match self.steps[si] {
+            TopStep::Run(i) => {
+                self.op_cursor = self.global_idx[i];
+                self.run_op(&art.ops[i], x)
+            }
+            TopStep::FusedConv { conv, affine, lif } => {
+                let idx = self.global_idx[conv];
+                let start = Instant::now();
+                let (name, geometry, weight, conv_bias) = match &art.ops[conv] {
+                    Op::Conv2d {
+                        name,
+                        geometry,
+                        weight,
+                        bias,
+                    } => (name, geometry, weight, bias),
+                    _ => unreachable!("build_steps only fuses Conv2d"),
+                };
+                let (mean, inv_std, gamma, beta) = match &art.ops[affine] {
+                    Op::Affine {
+                        mean,
+                        inv_std,
+                        gamma,
+                        beta,
+                        ..
+                    } => (mean, inv_std, gamma, beta),
+                    _ => unreachable!("build_steps only fuses Affine"),
+                };
+                let affine_epi = AffineRow {
+                    bias: conv_bias.as_ref().map(|b| b.as_slice()),
+                    mean: mean.as_slice(),
+                    inv_std: inv_std.as_slice(),
+                    gamma: gamma.as_slice(),
+                    beta: beta.as_slice(),
+                };
+                let out = match lif {
+                    Some(li) => {
+                        let v_threshold = match &art.ops[li] {
+                            Op::Lif { v_threshold, .. } => *v_threshold,
+                            _ => unreachable!("build_steps only fuses Lif"),
+                        };
+                        let epi = AffineLifRow {
+                            affine: affine_epi,
+                            v_threshold,
+                        };
+                        self.fused_conv(name, weight, geometry, &x, &epi)?
+                    }
+                    None => self.fused_conv(name, weight, geometry, &x, &affine_epi)?,
+                };
+                if lif.is_some() {
+                    // The fused threshold consumed the LIF's slot for this
+                    // timestep; its (unused, reset) state stays aligned.
+                    self.state_cursor += 1;
+                }
+                self.ns[idx] += start.elapsed().as_nanos() as u64;
+                Ok(out)
+            }
+        }
+    }
+
+    fn fused_conv<E: TileEpilogue>(
+        &self,
+        name: &str,
+        weight: &WeightStore,
+        g: &Conv2dGeometry,
+        x: &Tensor,
+        epi: &E,
+    ) -> Result<Tensor> {
+        match weight {
+            WeightStore::Dense(w) => conv2d_forward_with_epilogue(x, w, g, epi, &self.pool)
+                .map_err(|e| exec_err(format!("{name}: {e}"))),
+            WeightStore::Csr(m) => self.run_conv_csr(name, m, None, g, x, epi),
+        }
+    }
+
     fn run_op(&mut self, op: &Op, x: Tensor) -> Result<Tensor> {
         let idx = self.op_cursor;
         self.op_cursor += 1;
@@ -236,7 +424,9 @@ impl Executor {
                     conv2d_forward_pooled(&x, w, bias.as_ref(), geometry, &self.pool)
                         .map_err(|e| exec_err(format!("{name}: {e}")))?
                 }
-                WeightStore::Csr(m) => self.run_conv_csr(name, m, bias.as_ref(), geometry, &x)?,
+                WeightStore::Csr(m) => {
+                    self.run_conv_csr(name, m, bias.as_ref(), geometry, &x, &NoEpilogue)?
+                }
             },
             Op::Affine {
                 name,
@@ -352,13 +542,19 @@ impl Executor {
     /// dense kernel (`conv2d_forward_exec`), with the inner product done by
     /// `csr_mm` over packed filter rows. Accumulation order per output
     /// element matches the dense loop, so results are bit-identical.
-    fn run_conv_csr(
+    ///
+    /// `epi` runs per output-channel row after the kernel — including on
+    /// samples that fired nothing, whose chunk is still `+0.0`-seeded (the
+    /// epilogue transform of zero is not generally zero). Unfused callers
+    /// pass `NoEpilogue` and keep the separate bias pass below.
+    fn run_conv_csr<E: TileEpilogue>(
         &self,
         name: &str,
         w: &CsrMatrix,
         bias: Option<&Tensor>,
         g: &Conv2dGeometry,
         input: &Tensor,
+        epi: &E,
     ) -> Result<Tensor> {
         if input.rank() != 4 || input.dims()[1] != g.in_channels {
             return Err(exec_err(format!(
@@ -401,25 +597,29 @@ impl Executor {
             // sees raw images) keep the im2col + streaming kernel. The
             // choice is a pure dispatch heuristic: all paths bit-identical.
             let nonzero = sample.iter().filter(|v| **v != 0.0).count();
-            if nonzero == 0 {
-                return;
+            if nonzero > 0 {
+                if (nonzero as f64) < GATHER_DENSITY_CUTOFF * sample.len() as f64 {
+                    let mut ptr = pool.take_u32();
+                    let mut pos = pool.take_u32();
+                    let mut vals = pool.take(0);
+                    im2col_packed(
+                        sample, g, h, iw, oh, ow, &mut ptr, &mut pos, &mut vals, pool,
+                    );
+                    csr_mm_packed(w, &ptr, &pos, &vals, out_chunk, spatial);
+                    pool.give_u32(ptr);
+                    pool.give_u32(pos);
+                    pool.give(vals);
+                } else {
+                    let mut col = pool.take(cr * spatial);
+                    im2col(sample, g, h, iw, oh, ow, &mut col);
+                    csr_mm(w, &col, out_chunk, spatial);
+                    pool.give(col);
+                }
             }
-            if (nonzero as f64) < GATHER_DENSITY_CUTOFF * sample.len() as f64 {
-                let mut ptr = pool.take_u32();
-                let mut pos = pool.take_u32();
-                let mut vals = pool.take(0);
-                im2col_packed(
-                    sample, g, h, iw, oh, ow, &mut ptr, &mut pos, &mut vals, pool,
-                );
-                csr_mm_packed(w, &ptr, &pos, &vals, out_chunk, spatial);
-                pool.give_u32(ptr);
-                pool.give_u32(pos);
-                pool.give(vals);
-            } else {
-                let mut col = pool.take(cr * spatial);
-                im2col(sample, g, h, iw, oh, ow, &mut col);
-                csr_mm(w, &col, out_chunk, spatial);
-                pool.give(col);
+            if !epi.is_noop() {
+                for f in 0..filters {
+                    epi.apply(f, 0, &mut out_chunk[f * spatial..(f + 1) * spatial]);
+                }
             }
         });
         if let Some(bias) = bias {
@@ -626,6 +826,186 @@ mod tests {
         assert_eq!(ns[1].0, "lif");
         ex.reset_counters();
         assert!(ex.layer_ns().iter().all(|(_, n)| *n == 0));
+    }
+
+    /// Deterministic pseudo-random fill (no external RNG dep).
+    fn fill(len: usize, seed: u32, sparse: bool) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                let v = ((s >> 8) as f32 / (1 << 24) as f32) - 0.5;
+                if sparse && !s.is_multiple_of(3) {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// Small conv block: 2 -> 3 channels, 3x3 kernel, pad 1 over 5x5 input.
+    fn conv_block_ops(store: WeightStore, bias: &Tensor, timest_lif: bool) -> Vec<Op> {
+        let mut ops = vec![
+            Op::Conv2d {
+                name: "conv".to_string(),
+                geometry: Conv2dGeometry::square(2, 3, 3, 1, 1),
+                weight: store,
+                bias: Some(bias.clone()),
+            },
+            Op::Affine {
+                name: "bn".to_string(),
+                mean: vec![0.1, -0.2, 0.05],
+                inv_std: vec![1.1, 0.9, 1.3],
+                gamma: vec![0.8, 1.2, -0.7],
+                beta: vec![0.01, -0.02, 0.03],
+            },
+        ];
+        if timest_lif {
+            ops.push(Op::Lif {
+                name: "lif".to_string(),
+                alpha: 0.5,
+                v_threshold: 0.2,
+                hard_reset: true,
+            });
+        }
+        ops
+    }
+
+    /// Unfused reference: conv (+bias) through a single-op executor, then
+    /// the standalone affine / LIF functions — the exact pre-fusion path.
+    fn unfused_reference(
+        store: WeightStore,
+        bias: &Tensor,
+        x: &Tensor,
+        timesteps: usize,
+        with_lif: bool,
+    ) -> Tensor {
+        let conv_art = Artifact {
+            manifest: manifest(1, 2, 5),
+            ops: vec![Op::Conv2d {
+                name: "conv".to_string(),
+                geometry: Conv2dGeometry::square(2, 3, 3, 1, 1),
+                weight: store,
+                bias: Some(bias.clone()),
+            }],
+        };
+        let mut conv_ex = Executor::new(Arc::new(conv_art));
+        let mut state = LifState::default();
+        let mut acc: Option<Tensor> = None;
+        for _ in 0..timesteps {
+            let y = conv_ex.forward(x).unwrap();
+            let y = run_affine(
+                "bn",
+                &[0.1, -0.2, 0.05],
+                &[1.1, 0.9, 1.3],
+                &[0.8, 1.2, -0.7],
+                &[0.01, -0.02, 0.03],
+                &y,
+            )
+            .unwrap();
+            let y = if with_lif {
+                run_lif("lif", 0.5, 0.2, true, &mut state, &y).unwrap()
+            } else {
+                y
+            };
+            match &mut acc {
+                Some(a) => a.add_assign(&y).unwrap(),
+                None => acc = Some(y),
+            }
+        }
+        let mut mean = acc.unwrap();
+        mean.scale_in_place(1.0 / timesteps as f32);
+        mean
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_dense_conv_block_bit_identical_to_unfused() {
+        let w = Tensor::from_vec([3, 2, 3, 3], fill(54, 7, false)).unwrap();
+        let bias = Tensor::from_slice(&[0.3, -0.1, 0.05]);
+        // Batch of 2; second sample all zeros to cover the epilogue-on-zero
+        // path (the affine of 0 is not 0).
+        let mut xd = fill(2 * 2 * 5 * 5, 11, false);
+        xd[50..].iter_mut().for_each(|v| *v = 0.0);
+        let x = Tensor::from_vec([2, 2, 5, 5], xd).unwrap();
+        for (timesteps, with_lif) in [(1, true), (1, false), (3, false), (3, true)] {
+            let art = Artifact {
+                manifest: manifest(timesteps, 2, 5),
+                ops: conv_block_ops(WeightStore::Dense(w.clone()), &bias, with_lif),
+            };
+            let mut ex = Executor::new(Arc::new(art));
+            // Conv + affine always fuse; the LIF joins only at T == 1.
+            let fused_lif = with_lif && timesteps == 1;
+            assert!(matches!(
+                ex.steps[0],
+                TopStep::FusedConv { lif, .. } if lif.is_some() == fused_lif
+            ));
+            let got = ex.forward(&x).unwrap();
+            let want = unfused_reference(
+                WeightStore::Dense(w.clone()),
+                &bias,
+                &x,
+                timesteps,
+                with_lif,
+            );
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn fused_csr_conv_block_bit_identical_to_unfused() {
+        let wd = Tensor::from_vec([3, 18], fill(54, 7, true)).unwrap();
+        let w = CsrMatrix::from_dense(&wd).unwrap();
+        let bias = Tensor::from_slice(&[0.3, -0.1, 0.05]);
+        // Sample 0 sparse (packed kernel), sample 1 all-zero (kernel skipped,
+        // epilogue still applies), sample 2 dense (streaming kernel).
+        let mut xd = fill(3 * 2 * 5 * 5, 11, true);
+        xd[50..100].iter_mut().for_each(|v| *v = 0.0);
+        xd[100..].iter_mut().enumerate().for_each(|(i, v)| {
+            *v = 0.25 + i as f32 * 0.01;
+        });
+        let x = Tensor::from_vec([3, 2, 5, 5], xd).unwrap();
+        for (timesteps, with_lif) in [(1, true), (3, false)] {
+            let art = Artifact {
+                manifest: manifest(timesteps, 2, 5),
+                ops: conv_block_ops(WeightStore::Csr(w.clone()), &bias, with_lif),
+            };
+            let mut ex = Executor::new(Arc::new(art));
+            let got = ex.forward(&x).unwrap();
+            let want =
+                unfused_reference(WeightStore::Csr(w.clone()), &bias, &x, timesteps, with_lif);
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn fused_block_charges_conv_counter_only() {
+        let w = Tensor::from_vec([3, 2, 3, 3], fill(54, 7, false)).unwrap();
+        let bias = Tensor::from_slice(&[0.3, -0.1, 0.05]);
+        let art = Artifact {
+            manifest: manifest(1, 2, 5),
+            ops: conv_block_ops(WeightStore::Dense(w.clone()), &bias, true),
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let x = Tensor::from_vec([2, 2, 5, 5], fill(100, 3, false)).unwrap();
+        ex.forward(&x).unwrap();
+        let ns = ex.layer_ns();
+        assert_eq!(
+            ns.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["conv", "bn", "lif"]
+        );
+        // All fused work lands on the conv counter; the absorbed affine and
+        // LIF counters must stay untouched (disjoint attribution).
+        assert!(ns[0].1 > 0, "conv counter empty");
+        assert_eq!(ns[1].1, 0, "affine counter must stay zero when fused");
+        assert_eq!(ns[2].1, 0, "lif counter must stay zero when fused");
     }
 
     #[test]

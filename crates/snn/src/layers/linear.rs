@@ -1,11 +1,12 @@
 //! Fully-connected layer.
 
-use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt_epilogue, matmul_at_b};
 use ndsnn_tensor::ops::reduce::sum_axis0;
 use ndsnn_tensor::ops::spike::{
     gather_at_b, gather_xwt, spike_density_threshold_from_env, SpikeBatch,
 };
 use ndsnn_tensor::ops::spmm::{sp_gy_w, sp_xwt};
+use ndsnn_tensor::ops::tile::{BiasCol, NoEpilogue};
 use ndsnn_tensor::Tensor;
 use rand::Rng;
 use std::time::Instant;
@@ -108,6 +109,7 @@ impl Linear {
         // installed (weight sparsity beats spike sparsity at the engine's
         // operating points, so the plan wins), spike-gather when the batch is
         // sparse enough, dense otherwise.
+        let mut bias_fused = false;
         let mut out = match self.weight.exec_pattern()? {
             Some(pat) => {
                 if input.rank() != 2 || input.dims()[1] != pat.cols() {
@@ -152,14 +154,28 @@ impl Linear {
                     y
                 }
                 None => {
+                    // Dense path: the bias rides the GEMM as a fused
+                    // per-tile epilogue (columns are output features), one
+                    // pass over the output instead of two. Identical values:
+                    // the add still happens after each element's full k
+                    // accumulation.
                     if usable {
                         self.exec.dense_steps += 1;
                     }
-                    matmul_a_bt(input, &self.weight.value)?
+                    let y = match &self.bias {
+                        Some(bias) => matmul_a_bt_epilogue(
+                            input,
+                            &self.weight.value,
+                            &BiasCol(bias.value.as_slice()),
+                        )?,
+                        None => matmul_a_bt_epilogue(input, &self.weight.value, &NoEpilogue)?,
+                    };
+                    bias_fused = self.bias.is_some();
+                    y
                 }
             },
         };
-        if let Some(bias) = &self.bias {
+        if let Some(bias) = self.bias.as_ref().filter(|_| !bias_fused) {
             let (b, k) = (out.dims()[0], out.dims()[1]);
             let od = out.as_mut_slice();
             for i in 0..b {

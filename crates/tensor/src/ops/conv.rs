@@ -1,15 +1,25 @@
-//! 2-D convolution via im2col/col2im.
+//! 2-D convolution as implicit GEMM over tiles.
 //!
 //! Layouts follow the deep-learning convention used by the paper's PyTorch
 //! stack: activations are `(B, C, H, W)`, weights are `(F, C, KH, KW)` where
-//! `F` is the number of filters (output channels). The forward pass lowers
-//! each sample to an im2col matrix and multiplies by the flattened weight;
-//! the two backward passes reuse the same lowering.
+//! `F` is the number of filters (output channels). The dense forward and
+//! backward passes are *implicit GEMM*: the tiled core
+//! ([`crate::ops::tile`]) packs its right-hand panels straight out of the
+//! input sample through an [`Im2colLayout`], so no dense col buffer is ever
+//! materialized — forward is `W · im2col(x)`, the weight gradient is
+//! `gy · im2col(x)ᵀ`, and the col gradient is `Wᵀ · gy` read through a
+//! transposed weight *layout* instead of a transposed copy. The sparse
+//! ([`sp_mm`]) and spike-gather ([`gather_conv_fwd`]) dispatch paths still
+//! lower explicitly (their kernels walk compressed structures, not tiles)
+//! and stay bit-identical to the dense core.
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::matmul_into;
+use crate::ops::layout::Im2colLayout;
 use crate::ops::spike::{gather_conv_dw, gather_conv_fwd};
 use crate::ops::spmm::{sp_mm, sp_mm_t, RowPattern};
+use crate::ops::tile::{
+    conv_fwd_tiled, gemm_tiled, BiasRow, NoEpilogue, PanelA, PanelB, TileEpilogue,
+};
 use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
 
@@ -358,6 +368,25 @@ pub fn conv2d_forward_exec(
     pattern: Option<&RowPattern>,
     spike_gather: bool,
 ) -> Result<Tensor> {
+    if let Some(bias) = bias {
+        if bias.len() != g.out_channels {
+            return Err(TensorError::LengthMismatch {
+                expected: g.out_channels,
+                actual: bias.len(),
+            });
+        }
+    }
+    if pattern.is_none() && !spike_gather {
+        // Dense dispatch: implicit GEMM with the bias fused into the tile
+        // epilogue (identical to the old separate pass — the add still
+        // happens after the full k accumulation of each element).
+        return match bias {
+            Some(bias) => {
+                conv2d_forward_with_epilogue(input, weight, g, &BiasRow(bias.as_slice()), pool)
+            }
+            None => conv2d_forward_with_epilogue(input, weight, g, &NoEpilogue, pool),
+        };
+    }
     let (b, h, w) = check_input(input, g)?;
     if weight.dims() != g.weight_dims() {
         return Err(TensorError::ShapeMismatch {
@@ -395,20 +424,11 @@ pub fn conv2d_forward_exec(
         );
         match pattern {
             Some(pat) => sp_mm(pat, w_data, &col, out_chunk, spatial),
-            None if spike_gather => {
-                gather_conv_fwd(w_data, &col, out_chunk, g.out_channels, cr, spatial, pool)
-            }
-            None => matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial),
+            None => gather_conv_fwd(w_data, &col, out_chunk, g.out_channels, cr, spatial, pool),
         }
         pool.give(col);
     });
     if let Some(bias) = bias {
-        if bias.len() != g.out_channels {
-            return Err(TensorError::LengthMismatch {
-                expected: g.out_channels,
-                actual: bias.len(),
-            });
-        }
         let od = out.as_mut_slice();
         for s in 0..b {
             for f in 0..g.out_channels {
@@ -418,6 +438,44 @@ pub fn conv2d_forward_exec(
             }
         }
     }
+    Ok(out)
+}
+
+/// Dense implicit-GEMM forward with an arbitrary fused per-tile epilogue.
+///
+/// `out[s] = epi(W · im2col(x[s]))`; the epilogue's `row` argument is the
+/// output channel. The inference executor fuses its frozen-BatchNorm affine
+/// (and, single-timestep, the LIF threshold) here so a frozen conv block is
+/// one pass over the output instead of three.
+pub fn conv2d_forward_with_epilogue<E: TileEpilogue>(
+    input: &Tensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+    epi: &E,
+    pool: &ScratchPool,
+) -> Result<Tensor> {
+    let (b, h, w) = check_input(input, g)?;
+    if weight.dims() != g.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.dims().to_vec(),
+            rhs: g.weight_dims().to_vec(),
+        });
+    }
+    let (oh, ow) = g.output_hw(h, w)?;
+    let spatial = oh * ow;
+    let mut out = Tensor::zeros([b, g.out_channels, oh, ow]);
+    let layout = Im2colLayout::new(g, h, w, oh, ow);
+    conv_fwd_tiled(
+        weight.as_slice(),
+        input.as_slice(),
+        &layout,
+        b,
+        g.in_channels * h * w,
+        out.as_mut_slice(),
+        g.out_channels * spatial,
+        epi,
+        pool,
+    );
     Ok(out)
 }
 
@@ -503,14 +561,7 @@ pub fn conv2d_backward_exec(
     let out_stride = g.out_channels * spatial;
     let wlen = g.out_channels * cr;
 
-    // Transposed weight (cr × F) computed once; reused for every sample's
-    // input-gradient product. The sparse path reads the row-major weight
-    // directly instead, so skip the transpose there.
-    let wt = match pattern {
-        None => Some(weight.reshape([g.out_channels, cr])?.transpose2d()?),
-        Some(_) => None,
-    };
-    let wt_data = wt.as_ref().map(|t| t.as_slice());
+    let layout = Im2colLayout::new(g, h, w, oh, ow);
     let w_data = weight.as_slice();
     let in_data = input.as_slice();
     let gy_data = grad_out.as_slice();
@@ -537,53 +588,60 @@ pub fn conv2d_backward_exec(
     crate::parallel::parallel_for_chunks(chunks, |bi, (ig_chunk, slot)| {
         let s0 = bi * block;
         let samples = ig_chunk.len() / in_stride.max(1);
-        let mut col = pool.take(cr * spatial);
+        // Only the spike-gather dW kernel walks an explicit col buffer; the
+        // dense path packs its panels straight from the input sample.
+        let mut col = spike_gather.then(|| pool.take(cr * spatial));
         let mut col_grad = pool.take(cr * spatial);
         let mut wg = pool.take_zeroed(wlen);
+        // Per-sample dW staging: the tiled GEMM computes the sample's full
+        // contribution from zero, then it folds into the running `wg` with
+        // one add per element — the exact `wv += acc` chain of the pre-tile
+        // per-(f,r) dot loop, so block partials stay bit-identical.
+        let mut wg_sample = pool.take(wlen);
         let mut bg = vec![0.0f32; g.out_channels];
         for s in 0..samples {
+            let sample = &in_data[(s0 + s) * in_stride..(s0 + s + 1) * in_stride];
             let gy = &gy_data[(s0 + s) * out_stride..(s0 + s + 1) * out_stride];
-            im2col(
-                &in_data[(s0 + s) * in_stride..(s0 + s + 1) * in_stride],
-                g,
-                h,
-                w,
-                oh,
-                ow,
-                &mut col,
-            );
-            // dW += gy (F × spatial) · colᵀ (spatial × cr)
+            // dW += gy (F × spatial) · im2col(x)ᵀ (spatial × cr)
             if spike_gather {
-                gather_conv_dw(gy, &col, &mut wg, g.out_channels, cr, spatial, pool);
+                let col = col.as_mut().expect("spike_gather takes a col buffer");
+                im2col(sample, g, h, w, oh, ow, col);
+                gather_conv_dw(gy, col, &mut wg, g.out_channels, cr, spatial, pool);
             } else {
-                for f in 0..g.out_channels {
-                    let gyrow = &gy[f * spatial..(f + 1) * spatial];
-                    let wrow = &mut wg[f * cr..(f + 1) * cr];
-                    for (r, wv) in wrow.iter_mut().enumerate() {
-                        let crow = &col[r * spatial..(r + 1) * spatial];
-                        let mut acc = 0.0f32;
-                        for (gv, cv) in gyrow.iter().zip(crow) {
-                            acc += gv * cv;
-                        }
-                        *wv += acc;
-                    }
+                wg_sample.fill(0.0);
+                gemm_tiled(
+                    PanelA::Rows(gy),
+                    PanelB::Im2colT(&layout, sample),
+                    &mut wg_sample,
+                    g.out_channels,
+                    spatial,
+                    cr,
+                    &NoEpilogue,
+                    pool,
+                );
+                for (wv, &sv) in wg.iter_mut().zip(wg_sample.iter()) {
+                    *wv += sv;
                 }
             }
             // dBias
             for f in 0..g.out_channels {
                 bg[f] += gy[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
             }
-            // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with col2im.
+            // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with
+            // col2im. The dense product reads the row-major weight through a
+            // transposed panel layout — no `wt` copy.
             col_grad.fill(0.0);
             match pattern {
                 Some(pat) => sp_mm_t(pat, w_data, gy, &mut col_grad, spatial),
-                None => matmul_into(
-                    wt_data.expect("dense path computed wt"),
-                    gy,
+                None => gemm_tiled(
+                    PanelA::Cols(w_data),
+                    PanelB::Rows(gy),
                     &mut col_grad,
                     cr,
                     g.out_channels,
                     spatial,
+                    &NoEpilogue,
+                    pool,
                 ),
             }
             col2im(
@@ -596,8 +654,11 @@ pub fn conv2d_backward_exec(
                 &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
             );
         }
-        pool.give(col);
+        if let Some(col) = col {
+            pool.give(col);
+        }
         pool.give(col_grad);
+        pool.give(wg_sample);
         *slot = Some((wg, bg));
     });
 
@@ -618,6 +679,188 @@ pub fn conv2d_backward_exec(
         weight_grad,
         bias_grad,
     })
+}
+
+/// The pre-tile dense convolution kernels, kept verbatim as the A/B
+/// reference for the `tile_kernels` bench and the bit-identity property
+/// tests: explicit per-sample im2col, row-range-threaded GEMM, separate bias
+/// pass, materialized transposed weight and per-(f,r) dot loops in backward.
+pub mod pretile {
+    use super::*;
+    use crate::ops::matmul::pretile::matmul_into;
+
+    /// Pre-tile dense forward: per-sample im2col + GEMM + bias pass.
+    pub fn conv2d_forward(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        g: &Conv2dGeometry,
+        pool: &ScratchPool,
+    ) -> Result<Tensor> {
+        let (b, h, w) = check_input(input, g)?;
+        if weight.dims() != g.weight_dims() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: weight.dims().to_vec(),
+                rhs: g.weight_dims().to_vec(),
+            });
+        }
+        let (oh, ow) = g.output_hw(h, w)?;
+        let (cr, spatial) = (g.col_rows(), oh * ow);
+        let mut out = Tensor::zeros([b, g.out_channels, oh, ow]);
+        let in_stride = g.in_channels * h * w;
+        let out_stride = g.out_channels * spatial;
+        let in_data = input.as_slice();
+        let w_data = weight.as_slice();
+        let chunks: Vec<(usize, &mut [f32])> = out
+            .as_mut_slice()
+            .chunks_mut(out_stride.max(1))
+            .enumerate()
+            .collect();
+        crate::parallel::parallel_for_chunks(chunks, |s, out_chunk| {
+            let mut col = pool.take(cr * spatial);
+            im2col(
+                &in_data[s * in_stride..(s + 1) * in_stride],
+                g,
+                h,
+                w,
+                oh,
+                ow,
+                &mut col,
+            );
+            matmul_into(w_data, &col, out_chunk, g.out_channels, cr, spatial);
+            pool.give(col);
+        });
+        if let Some(bias) = bias {
+            if bias.len() != g.out_channels {
+                return Err(TensorError::LengthMismatch {
+                    expected: g.out_channels,
+                    actual: bias.len(),
+                });
+            }
+            let od = out.as_mut_slice();
+            for s in 0..b {
+                for f in 0..g.out_channels {
+                    let bv = bias.as_slice()[f];
+                    let base = s * out_stride + f * spatial;
+                    od[base..base + spatial].iter_mut().for_each(|v| *v += bv);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pre-tile dense backward: explicit im2col, scalar per-(f,r) dW dots,
+    /// materialized `Wᵀ` for the col gradient.
+    pub fn conv2d_backward(
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        g: &Conv2dGeometry,
+        pool: &ScratchPool,
+    ) -> Result<Conv2dGrads> {
+        let (b, h, w) = check_input(input, g)?;
+        let (oh, ow) = g.output_hw(h, w)?;
+        if grad_out.dims() != [b, g.out_channels, oh, ow] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![b, g.out_channels, oh, ow],
+            });
+        }
+        let (cr, spatial) = (g.col_rows(), oh * ow);
+        let mut input_grad = Tensor::zeros(input.shape().clone());
+        let mut weight_grad = Tensor::zeros(weight.shape().clone());
+        let mut bias_grad = Tensor::zeros([g.out_channels]);
+        let in_stride = g.in_channels * h * w;
+        let out_stride = g.out_channels * spatial;
+        let wlen = g.out_channels * cr;
+        let wt = weight.reshape([g.out_channels, cr])?.transpose2d()?;
+        let wt_data = wt.as_slice();
+        let in_data = input.as_slice();
+        let gy_data = grad_out.as_slice();
+        if b == 0 {
+            return Ok(Conv2dGrads {
+                input_grad,
+                weight_grad,
+                bias_grad,
+            });
+        }
+        let block = b.div_ceil(BWD_MAX_BLOCKS).max(1);
+        let nblocks = b.div_ceil(block);
+        type GradPartial = Option<(Vec<f32>, Vec<f32>)>;
+        let mut partials: Vec<GradPartial> = (0..nblocks).map(|_| None).collect();
+        let chunks: Vec<(usize, (&mut [f32], &mut GradPartial))> = input_grad
+            .as_mut_slice()
+            .chunks_mut(block * in_stride)
+            .zip(partials.iter_mut())
+            .enumerate()
+            .collect();
+        crate::parallel::parallel_for_chunks(chunks, |bi, (ig_chunk, slot)| {
+            let s0 = bi * block;
+            let samples = ig_chunk.len() / in_stride.max(1);
+            let mut col = pool.take(cr * spatial);
+            let mut col_grad = pool.take(cr * spatial);
+            let mut wg = pool.take_zeroed(wlen);
+            let mut bg = vec![0.0f32; g.out_channels];
+            for s in 0..samples {
+                let gy = &gy_data[(s0 + s) * out_stride..(s0 + s + 1) * out_stride];
+                im2col(
+                    &in_data[(s0 + s) * in_stride..(s0 + s + 1) * in_stride],
+                    g,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    &mut col,
+                );
+                for f in 0..g.out_channels {
+                    let gyrow = &gy[f * spatial..(f + 1) * spatial];
+                    let wrow = &mut wg[f * cr..(f + 1) * cr];
+                    for (r, wv) in wrow.iter_mut().enumerate() {
+                        let crow = &col[r * spatial..(r + 1) * spatial];
+                        let mut acc = 0.0f32;
+                        for (gv, cv) in gyrow.iter().zip(crow) {
+                            acc += gv * cv;
+                        }
+                        *wv += acc;
+                    }
+                }
+                for f in 0..g.out_channels {
+                    bg[f] += gy[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
+                }
+                col_grad.fill(0.0);
+                matmul_into(wt_data, gy, &mut col_grad, cr, g.out_channels, spatial);
+                col2im(
+                    &col_grad,
+                    g,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
+                );
+            }
+            pool.give(col);
+            pool.give(col_grad);
+            *slot = Some((wg, bg));
+        });
+        let wg_total = weight_grad.as_mut_slice();
+        let bg_total = bias_grad.as_mut_slice();
+        for slot in partials {
+            let (wg, bg) = slot.expect("every block produced a partial");
+            for (t, v) in wg_total.iter_mut().zip(&wg) {
+                *t += v;
+            }
+            for (t, v) in bg_total.iter_mut().zip(&bg) {
+                *t += v;
+            }
+            pool.give(wg);
+        }
+        Ok(Conv2dGrads {
+            input_grad,
+            weight_grad,
+            bias_grad,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,234 @@
+//! Layout objects: index maps from GEMM tile coordinates into tensors.
+//!
+//! The tiled kernel core ([`crate::ops::tile`]) never materializes an
+//! im2col buffer. Instead, a [`Im2colLayout`] maps a logical im2col
+//! coordinate `(k, n)` — col row and output position — straight into the
+//! `(C, H, W)` input sample the packing routines gather from, turning
+//! convolution into *implicit GEMM* over tiles. The row/position
+//! decompositions run on every packed element, so they use
+//! [`FastDivmod`]-style strength-reduced division (a multiply and a shift)
+//! instead of hardware `div`, with a `debug_assertions` cross-check against
+//! plain `/` and `%`.
+
+use crate::ops::conv::Conv2dGeometry;
+
+/// Division by a runtime-constant divisor via multiply-and-shift.
+///
+/// Granlund–Montgomery round-up scheme: for `d > 1` pick
+/// `ℓ = ceil(log2 d)`, `magic = ceil(2^(32+ℓ) / d)`; then
+/// `n / d == (n · magic) >> (32 + ℓ)` exactly for every `n < 2^32`
+/// (the rounding error `e = magic·d − 2^(32+ℓ)` satisfies `e < d ≤ 2^ℓ`,
+/// so the quotient's floor is untouched). The product is formed in 128-bit
+/// arithmetic, which x86-64 lowers to a single widening multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDivmod {
+    divisor: u32,
+    magic: u64,
+    shift: u32,
+}
+
+impl FastDivmod {
+    /// Precomputes the magic constants for `divisor` (must be non-zero).
+    pub fn new(divisor: u32) -> FastDivmod {
+        assert!(divisor > 0, "FastDivmod divisor must be non-zero");
+        if divisor == 1 {
+            return FastDivmod {
+                divisor: 1,
+                magic: 1,
+                shift: 0,
+            };
+        }
+        let l = 32 - (divisor - 1).leading_zeros(); // ceil(log2 divisor)
+        let shift = 32 + l;
+        let magic = (1u128 << shift).div_ceil(divisor as u128) as u64;
+        FastDivmod {
+            divisor,
+            magic,
+            shift,
+        }
+    }
+
+    /// The divisor this instance was built for.
+    pub fn divisor(&self) -> u32 {
+        self.divisor
+    }
+
+    /// `n / divisor` without a hardware divide.
+    #[inline]
+    pub fn div(&self, n: u32) -> u32 {
+        let q = ((n as u128 * self.magic as u128) >> self.shift) as u32;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            q,
+            n / self.divisor,
+            "FastDivmod::div({n}) disagrees with plain division by {}",
+            self.divisor
+        );
+        q
+    }
+
+    /// `(n / divisor, n % divisor)` from one strength-reduced divide.
+    #[inline]
+    pub fn divmod(&self, n: u32) -> (u32, u32) {
+        let q = self.div(n);
+        let r = n - q * self.divisor;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            r,
+            n % self.divisor,
+            "FastDivmod::divmod({n}) remainder disagrees with plain % {}",
+            self.divisor
+        );
+        (q, r)
+    }
+}
+
+/// Maps logical im2col coordinates into one `(C, H, W)` input sample.
+///
+/// The im2col matrix of a sample has shape `(C·KH·KW) × (OH·OW)`; element
+/// `(r, j)` is input pixel `(c, oy·stride + kh − pad, ox·stride + kw − pad)`
+/// where `r = (c·KH + kh)·KW + kw` and `j = oy·OW + ox` (zero outside the
+/// padded bounds). [`Im2colLayout::decompose_row`] and
+/// [`Im2colLayout::decompose_pos`] invert those flattenings with
+/// [`FastDivmod`]; [`Im2colLayout::value`] performs the final
+/// strength-reduced gather. The same object serves the transposed view
+/// (`colᵀ`, used by the implicit weight-gradient GEMM) — transposition only
+/// swaps which axis each decomposition is applied to.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colLayout {
+    stride: usize,
+    padding: usize,
+    h: usize,
+    w: usize,
+    rows: usize,
+    cols: usize,
+    chan_stride: usize,
+    div_kw: FastDivmod,
+    div_kh: FastDivmod,
+    div_ow: FastDivmod,
+}
+
+impl Im2colLayout {
+    /// Builds the layout for geometry `g` over an `h × w` input with
+    /// `oh × ow` output positions.
+    pub fn new(g: &Conv2dGeometry, h: usize, w: usize, oh: usize, ow: usize) -> Im2colLayout {
+        Im2colLayout {
+            stride: g.stride,
+            padding: g.padding,
+            h,
+            w,
+            rows: g.col_rows(),
+            cols: oh * ow,
+            chan_stride: h * w,
+            div_kw: FastDivmod::new(g.kernel_w as u32),
+            div_kh: FastDivmod::new(g.kernel_h as u32),
+            div_ow: FastDivmod::new(ow as u32),
+        }
+    }
+
+    /// Logical im2col row count `C·KH·KW`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical im2col column count `OH·OW`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Splits col row `r` into `(channel, kh, kw)`.
+    #[inline]
+    pub fn decompose_row(&self, r: usize) -> (usize, usize, usize) {
+        debug_assert!(r < self.rows);
+        let (t, kw) = self.div_kw.divmod(r as u32);
+        let (c, kh) = self.div_kh.divmod(t);
+        (c as usize, kh as usize, kw as usize)
+    }
+
+    /// Splits output position `j` into `(oy, ox)`.
+    #[inline]
+    pub fn decompose_pos(&self, j: usize) -> (usize, usize) {
+        debug_assert!(j < self.cols);
+        let (oy, ox) = self.div_ow.divmod(j as u32);
+        (oy as usize, ox as usize)
+    }
+
+    /// The im2col value at decomposed coordinates: input pixel
+    /// `(c, oy·stride + kh − pad, ox·stride + kw − pad)`, or `0.0` when the
+    /// receptive-field tap lands in the zero padding.
+    #[inline]
+    pub fn value(
+        &self,
+        sample: &[f32],
+        c: usize,
+        kh: usize,
+        kw: usize,
+        oy: usize,
+        ox: usize,
+    ) -> f32 {
+        let iy = (oy * self.stride + kh) as isize - self.padding as isize;
+        let ix = (ox * self.stride + kw) as isize - self.padding as isize;
+        if iy < 0 || ix < 0 || iy >= self.h as isize || ix >= self.w as isize {
+            0.0
+        } else {
+            sample[c * self.chan_stride + iy as usize * self.w + ix as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::im2col;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fast_divmod_matches_plain_division() {
+        for d in [1u32, 2, 3, 5, 7, 9, 16, 25, 100, 255, 1023, 65_537] {
+            let fd = FastDivmod::new(d);
+            for n in (0u32..4096).chain([u32::MAX, u32::MAX - 1, 1 << 31, (1 << 31) + 3]) {
+                assert_eq!(fd.div(n), n / d, "div {n}/{d}");
+                assert_eq!(fd.divmod(n), (n / d, n % d), "divmod {n}/{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_reproduces_dense_im2col() {
+        let mut rng = StdRng::seed_from_u64(0x1a);
+        let geoms = [
+            Conv2dGeometry::square(3, 4, 3, 1, 1),
+            Conv2dGeometry::square(2, 4, 3, 2, 1),
+            Conv2dGeometry::square(1, 2, 1, 1, 0),
+            Conv2dGeometry {
+                in_channels: 2,
+                out_channels: 3,
+                kernel_h: 3,
+                kernel_w: 2,
+                stride: 2,
+                padding: 2,
+            },
+        ];
+        for g in geoms {
+            let (h, w) = (7, 6);
+            let (oh, ow) = g.output_hw(h, w).unwrap();
+            let sample = crate::init::uniform([g.in_channels * h * w], -1.0, 1.0, &mut rng);
+            let mut col = vec![0.0f32; g.col_rows() * oh * ow];
+            im2col(sample.as_slice(), &g, h, w, oh, ow, &mut col);
+            let layout = Im2colLayout::new(&g, h, w, oh, ow);
+            assert_eq!(layout.rows(), g.col_rows());
+            assert_eq!(layout.cols(), oh * ow);
+            for r in 0..layout.rows() {
+                let (c, kh, kw) = layout.decompose_row(r);
+                assert_eq!(r, (c * g.kernel_h + kh) * g.kernel_w + kw);
+                for j in 0..layout.cols() {
+                    let (oy, ox) = layout.decompose_pos(j);
+                    assert_eq!(j, oy * ow + ox);
+                    let got = layout.value(sample.as_slice(), c, kh, kw, oy, ox);
+                    let want = col[r * oh * ow + j];
+                    assert_eq!(got.to_bits(), want.to_bits(), "({r},{j}) in {g:?}");
+                }
+            }
+        }
+    }
+}

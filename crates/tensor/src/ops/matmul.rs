@@ -1,16 +1,20 @@
 //! Matrix multiplication kernels.
 //!
-//! One cache-blocked kernel serves all three products needed by
-//! backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`); the transposed variants avoid
-//! materializing transposed copies on the hot path.
+//! All three products needed by backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`)
+//! route through the tiled micro-kernel core in [`crate::ops::tile`]: the
+//! transposed variants are just [`tile::PanelA`]/[`tile::PanelB`] layout
+//! choices, so no transposed copy is ever materialized. Parallel dispatch is
+//! over output *tiles* (not rows), gated by the minimum-work heuristic
+//! (`NDSNN_MIN_TILE_WORK`) so small products stay serial.
 //!
-//! All three kernels thread over disjoint output-row ranges when the product
-//! is large enough (see [`crate::parallel::worker_threads`]). Each worker
-//! runs the identical per-row loop the serial path runs, so the per-element
-//! accumulation order never depends on the thread count and results are
-//! bit-identical for any `NDSNN_THREADS` setting.
+//! Every per-element accumulation is an ascending-k chain regardless of the
+//! thread count or tile partition, and it is the *same* chain the pre-tile
+//! row-loop kernels ran (their zero-product skips were exact no-ops on a
+//! `+0.0`-seeded chain), so results are bit-identical across `NDSNN_THREADS`
+//! and vs the [`pretile`] reference kernels — asserted by the tests below.
 
 use crate::error::{Result, TensorError};
+use crate::ops::tile::{self, gemm_tiled, NoEpilogue, PanelA, PanelB, TileEpilogue};
 use crate::parallel::{parallel_for_chunks, worker_threads};
 use crate::tensor::Tensor;
 
@@ -89,10 +93,16 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut c = Tensor::zeros([m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
-        at_b_rows(ad, bd, c_rows, i0, rows, m, k, n);
-    });
+    gemm_tiled(
+        PanelA::Cols(a.as_slice()),
+        PanelB::Rows(b.as_slice()),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        &NoEpilogue,
+        tile::tile_scratch(),
+    );
     Ok(c)
 }
 
@@ -129,6 +139,13 @@ fn at_b_rows(
 
 /// `C(m×n) = A(m×k) · Bᵀ` where `B` is `n×k`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_a_bt_epilogue(a, b, &NoEpilogue)
+}
+
+/// `C(m×n) = A(m×k) · Bᵀ` (`B` is `n×k`) with a fused per-tile epilogue —
+/// the linear layers fuse their bias add here ([`tile::BiasCol`], columns
+/// are output features) instead of a second pass over the output.
+pub fn matmul_a_bt_epilogue<E: TileEpilogue>(a: &Tensor, b: &Tensor, epi: &E) -> Result<Tensor> {
     let (m, k) = check2d(a)?;
     let (n, kb) = check2d(b)?;
     if k != kb {
@@ -138,10 +155,16 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut c = Tensor::zeros([m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
-        a_bt_rows(ad, bd, c_rows, i0, rows, k, n);
-    });
+    gemm_tiled(
+        PanelA::Rows(a.as_slice()),
+        PanelB::Cols(b.as_slice()),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        epi,
+        tile::tile_scratch(),
+    );
     Ok(c)
 }
 
@@ -171,19 +194,27 @@ fn a_bt_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, rows: usize, k
     }
 }
 
-/// Cache-blocked `C += A·B` on raw row-major slices.
+/// Tiled `C += A·B` on raw row-major slices.
 ///
-/// `a` is `m×k`, `b` is `k×n`, `c` is `m×n`. Exposed for the convolution
-/// kernels which drive it with im2col buffers. Threads over output rows for
-/// large products; called from inside an already-parallel region it runs
-/// inline (the nested-parallelism guard in [`crate::parallel`]).
+/// `a` is `m×k`, `b` is `k×n`, `c` is `m×n`. Exposed for kernels that drive
+/// GEMM over raw workspaces (the sparse engine's dense fallbacks, col
+/// buffers). Dispatches over tiles for large products; called from inside an
+/// already-parallel region it runs inline (the nested-parallelism guard in
+/// [`crate::parallel`]).
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for_output_row_ranges(c, m, n, m * k * n, |i0, rows, c_rows| {
-        blocked_rows(a, b, c_rows, i0, rows, k, n);
-    });
+    gemm_tiled(
+        PanelA::Rows(a),
+        PanelB::Rows(b),
+        c,
+        m,
+        k,
+        n,
+        &NoEpilogue,
+        tile::tile_scratch(),
+    );
 }
 
 /// Cache-blocked accumulation of rows `i0..i0+rows` of `C += A·B`.
@@ -219,6 +250,73 @@ fn blocked_rows(
             pb = pend;
         }
         jb = jend;
+    }
+}
+
+/// The pre-tile row-loop kernels, kept verbatim as the A/B reference for the
+/// `tile_kernels` bench and the bit-identity property tests. These are the
+/// exact drivers the engine shipped with before the tiled core: row-range
+/// threading via [`for_output_row_ranges`], cache-blocked or rank-1 inner
+/// loops with zero-product skips.
+pub mod pretile {
+    use super::*;
+
+    /// Pre-tile `C = A(m×k) · B(k×n)`.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = check2d(a)?;
+        let (kb, n) = check2d(b)?;
+        if k != kb {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: kb,
+            });
+        }
+        let mut c = Tensor::zeros([m, n]);
+        matmul_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+        Ok(c)
+    }
+
+    /// Pre-tile `C += A·B` over raw slices (row-range threaded).
+    pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for_output_row_ranges(c, m, n, m * k * n, |i0, rows, c_rows| {
+            blocked_rows(a, b, c_rows, i0, rows, k, n);
+        });
+    }
+
+    /// Pre-tile `C(m×n) = Aᵀ·B` with `A` `k×m`, `B` `k×n`.
+    pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (k, m) = check2d(a)?;
+        let (kb, n) = check2d(b)?;
+        if k != kb {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: m,
+                rhs_rows: kb,
+            });
+        }
+        let mut c = Tensor::zeros([m, n]);
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
+            at_b_rows(ad, bd, c_rows, i0, rows, m, k, n);
+        });
+        Ok(c)
+    }
+
+    /// Pre-tile `C(m×n) = A·Bᵀ` with `A` `m×k`, `B` `n×k`.
+    pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = check2d(a)?;
+        let (n, kb) = check2d(b)?;
+        if k != kb {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: kb,
+            });
+        }
+        let mut c = Tensor::zeros([m, n]);
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        for_output_row_ranges(c.as_mut_slice(), m, n, m * k * n, |i0, rows, c_rows| {
+            a_bt_rows(ad, bd, c_rows, i0, rows, k, n);
+        });
+        Ok(c)
     }
 }
 

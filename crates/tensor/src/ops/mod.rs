@@ -1,9 +1,11 @@
 //! Numeric kernels: matmul, convolution, pooling, reductions, selection.
 
 pub mod conv;
+pub mod layout;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;
 pub mod spike;
 pub mod spmm;
+pub mod tile;
 pub mod topk;

@@ -1,0 +1,215 @@
+//! Property tests pinning the tiled kernel core's bit-identity contract.
+//!
+//! The tiled GEMM/conv core promises the *same f32 accumulation chain* as a
+//! naive `+0.0`-seeded ascending-k loop, for every shape (including ragged
+//! edges that exercise panel zero-padding), every thread count, and with or
+//! without a fused epilogue. These tests check `to_bits()` equality — not an
+//! epsilon — against both a naive reference and the retired pre-tile row
+//! kernels (`pretile` modules), across forced tile-parallel dispatch.
+
+use std::sync::Mutex;
+
+use ndsnn_tensor::ops::conv::{
+    conv2d_backward, conv2d_forward, conv2d_forward_with_epilogue, pretile as conv_pretile,
+    Conv2dGeometry,
+};
+use ndsnn_tensor::ops::matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_epilogue, matmul_at_b, pretile as mm_pretile,
+};
+use ndsnn_tensor::ops::tile::{set_min_tile_work_override, BiasCol, BiasRow};
+use ndsnn_tensor::parallel::set_thread_override;
+use ndsnn_tensor::scratch::ScratchPool;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The thread/min-work overrides are process globals; property tests run on
+/// multiple test threads, so every test that flips them holds this lock.
+static OVERRIDES: Mutex<()> = Mutex::new(());
+
+/// RAII reset so a failing case does not leak forced-parallel dispatch into
+/// other tests.
+struct ForceTiling;
+
+impl ForceTiling {
+    fn new(threads: usize) -> ForceTiling {
+        set_thread_override(Some(threads));
+        set_min_tile_work_override(Some(0));
+        ForceTiling
+    }
+}
+
+impl Drop for ForceTiling {
+    fn drop(&mut self) {
+        set_thread_override(None);
+        set_min_tile_work_override(None);
+    }
+}
+
+/// The contract's reference: `+0.0`-seeded, ascending-k serial chain.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn assert_bits(label: &str, got: &[f32], want: &[f32]) -> std::result::Result<(), TestCaseError> {
+    prop_assert!(got.len() == want.len(), "{}: length mismatch", label);
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            x.to_bits() == y.to_bits(),
+            "{}: bit divergence at {} ({} vs {})",
+            label,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three tiled matmul entry points must be bit-identical to the
+    /// naive chain AND the pre-tile row kernels on arbitrary (odd) shapes,
+    /// serial and under forced tile-parallel dispatch.
+    #[test]
+    fn tiled_matmul_bit_identical_to_naive_and_pretile(
+        m in 1usize..90, k in 1usize..70, n in 1usize..90, seed in 0u64..1000,
+    ) {
+        let _guard = OVERRIDES.lock().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ndsnn_tensor::init::uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = ndsnn_tensor::init::uniform([k, n], -1.0, 1.0, &mut rng);
+        let at = a.transpose2d().unwrap();
+        let bt = b.transpose2d().unwrap();
+        let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+
+        for threads in [1usize, 2, 4] {
+            let _force = ForceTiling::new(threads);
+            let c = matmul(&a, &b).unwrap();
+            assert_bits("matmul vs naive", c.as_slice(), &naive)?;
+            assert_bits(
+                "matmul vs pretile",
+                c.as_slice(),
+                mm_pretile::matmul(&a, &b).unwrap().as_slice(),
+            )?;
+            assert_bits(
+                "matmul_at_b vs pretile",
+                matmul_at_b(&at, &b).unwrap().as_slice(),
+                mm_pretile::matmul_at_b(&at, &b).unwrap().as_slice(),
+            )?;
+            assert_bits(
+                "matmul_a_bt vs pretile",
+                matmul_a_bt(&a, &bt).unwrap().as_slice(),
+                mm_pretile::matmul_a_bt(&a, &bt).unwrap().as_slice(),
+            )?;
+        }
+    }
+
+    /// Implicit-GEMM conv forward and backward must be bit-identical to the
+    /// pre-tile explicit-im2col kernels on odd geometries, serial and under
+    /// forced tile-parallel dispatch.
+    #[test]
+    fn tiled_conv_fwd_bwd_bit_identical_to_pretile(
+        b in 1usize..5, cin in 1usize..4, f in 1usize..6,
+        hw in 5usize..10, stride in 1usize..3, padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let _guard = OVERRIDES.lock().unwrap();
+        let g = Conv2dGeometry::square(cin, f, 3, stride, padding);
+        prop_assume!(g.output_hw(hw, hw).is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = ndsnn_tensor::init::uniform([b, cin, hw, hw], -1.0, 1.0, &mut rng);
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let bias = ndsnn_tensor::init::uniform([f], -1.0, 1.0, &mut rng);
+        let pool = ScratchPool::new();
+
+        let want_fwd = conv_pretile::conv2d_forward(&x, &w, Some(&bias), &g, &pool).unwrap();
+        let gy = ndsnn_tensor::init::uniform(want_fwd.shape().clone(), -1.0, 1.0, &mut rng);
+        let want_bwd = conv_pretile::conv2d_backward(&x, &w, &gy, &g, &pool).unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let _force = ForceTiling::new(threads);
+            let fwd = conv2d_forward(&x, &w, Some(&bias), &g).unwrap();
+            assert_bits("conv fwd", fwd.as_slice(), want_fwd.as_slice())?;
+            let bwd = conv2d_backward(&x, &w, &gy, &g).unwrap();
+            assert_bits("conv dW", bwd.weight_grad.as_slice(), want_bwd.weight_grad.as_slice())?;
+            assert_bits("conv dX", bwd.input_grad.as_slice(), want_bwd.input_grad.as_slice())?;
+            assert_bits("conv db", bwd.bias_grad.as_slice(), want_bwd.bias_grad.as_slice())?;
+        }
+    }
+
+    /// A fused epilogue must produce exactly the bits of the unfused
+    /// kernel-then-post-pass sequence: the epilogue runs after each output
+    /// element's full k-accumulation, precisely where the post pass ran.
+    #[test]
+    fn fused_epilogues_bit_identical_to_unfused(
+        m in 1usize..40, k in 1usize..50, n in 1usize..40, seed in 0u64..1000,
+    ) {
+        let _guard = OVERRIDES.lock().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ndsnn_tensor::init::uniform([m, k], -1.0, 1.0, &mut rng);
+        let bt = ndsnn_tensor::init::uniform([n, k], -1.0, 1.0, &mut rng);
+        let bias = ndsnn_tensor::init::uniform([n], -1.0, 1.0, &mut rng);
+
+        let g = Conv2dGeometry::square(2, 3, 3, 1, 1);
+        let x = ndsnn_tensor::init::uniform([2, 2, 7, 7], -1.0, 1.0, &mut rng);
+        let w = ndsnn_tensor::init::uniform(g.weight_dims(), -1.0, 1.0, &mut rng);
+        let cbias = ndsnn_tensor::init::uniform([3], -1.0, 1.0, &mut rng);
+        let pool = ScratchPool::new();
+
+        for threads in [1usize, 2, 4] {
+            let _force = ForceTiling::new(threads);
+
+            // Linear: fused per-column bias vs unfused matmul + bias pass.
+            let fused = matmul_a_bt_epilogue(&a, &bt, &BiasCol(bias.as_slice())).unwrap();
+            let mut unfused = matmul_a_bt(&a, &bt).unwrap();
+            for row in unfused.as_mut_slice().chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias.as_slice()) {
+                    *o += bv;
+                }
+            }
+            assert_bits("BiasCol", fused.as_slice(), unfused.as_slice())?;
+
+            // Conv: fused per-channel bias vs unfused conv + bias pass.
+            let fused = conv2d_forward_with_epilogue(
+                &x, &w, &g, &BiasRow(cbias.as_slice()), &pool,
+            ).unwrap();
+            let unfused = conv2d_forward(&x, &w, Some(&cbias), &g).unwrap();
+            assert_bits("BiasRow", fused.as_slice(), unfused.as_slice())?;
+        }
+    }
+}
+
+/// A deliberately ragged shape (every dimension coprime to the 8/64/256
+/// block sizes) under forced parallelism — the canonical regression shape
+/// for panel-edge zero padding.
+#[test]
+fn ragged_shape_under_forced_parallelism() {
+    let _guard = OVERRIDES.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (m, k, n) = (131, 259, 67);
+    let a = ndsnn_tensor::init::uniform([m, k], -1.0, 1.0, &mut rng);
+    let b = ndsnn_tensor::init::uniform([k, n], -1.0, 1.0, &mut rng);
+    let naive = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+    for threads in [1usize, 2, 4] {
+        let _force = ForceTiling::new(threads);
+        let c = matmul(&a, &b).unwrap();
+        assert!(
+            c.as_slice()
+                .iter()
+                .zip(&naive)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "threads={threads} diverged from the naive chain"
+        );
+    }
+}

@@ -99,6 +99,50 @@ fn kill_and_resume_is_bit_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Kill/resume bit-identity with the tiled kernel core forced into its
+/// tile-parallel dispatch (min-work heuristic zeroed, 4 workers): the tile
+/// partition never changes what any tile computes, so the resumed trajectory
+/// must still replay the baseline bit for bit. The baseline itself runs with
+/// the default (mostly serial at smoke scale) dispatch, making this a
+/// cross-dispatch identity check, not just a replay check.
+#[test]
+fn kill_and_resume_is_bit_identical_on_tiled_path() {
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+
+    ndsnn_tensor::ops::tile::set_min_tile_work_override(Some(0));
+    ndsnn_tensor::parallel::set_thread_override(Some(4));
+    let outcome = std::panic::catch_unwind(|| {
+        let dir = tmp_dir("kill-resume-tiled");
+        let mut interrupted = RecoveryOptions::with_dir(&dir);
+        interrupted.fault_plan = FaultPlan {
+            kill_at_step: Some(4),
+            ..Default::default()
+        };
+        let err = run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+        assert!(
+            matches!(err, NdsnnError::Injected(_)),
+            "expected injected kill, got {err}"
+        );
+        let resumed = run_recoverable(
+            &cfg,
+            &train,
+            &test,
+            &RecoveryOptions::with_dir(&dir).resuming(),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from_step, Some(4));
+        std::fs::remove_dir_all(&dir).ok();
+        resumed
+    });
+    ndsnn_tensor::parallel::set_thread_override(None);
+    ndsnn_tensor::ops::tile::set_min_tile_work_override(None);
+    let resumed = outcome.unwrap();
+    assert_identical(&baseline, &resumed);
+}
+
 #[test]
 fn resume_falls_back_past_corrupt_newest_generation() {
     let mut cfg = smoke_ndsnn();
