@@ -3,21 +3,26 @@
 //!
 //! ```sh
 //! infer_single --artifact <path> [--requests <n>] [--clients <n>]
-//!              [--batch <n>] [--max-wait-us <n>] [--seed <n>]
+//!              [--batch <n>] [--max-wait-us <n>] [--deadline-ms <n>]
+//!              [--seed <n>]
 //! ```
 //!
 //! Requests carry deterministic synthetic images (seeded) and are submitted
-//! from `--clients` concurrent threads through the batched serving runtime
+//! from `--clients` concurrent threads through the serving control plane
 //! (`ndsnn_infer::Server`); `--batch`/`--max-wait-us` override the
-//! `NDSNN_INFER_BATCH`/`NDSNN_INFER_MAX_WAIT_US` environment knobs. The
-//! per-layer breakdown comes from a separate single-batch `Executor` pass
-//! over the same artifact, so it reflects the op costs without queueing
-//! noise. Produce an artifact with `run_single --export <path>`.
+//! `NDSNN_INFER_BATCH`/`NDSNN_INFER_MAX_WAIT_US` environment knobs, and the
+//! queue/shed/drain knobs (`NDSNN_INFER_QUEUE_CAP`,
+//! `NDSNN_INFER_SHED_POLICY`, `NDSNN_INFER_DRAIN_MS`) are honored from the
+//! environment. `--deadline-ms` gives every request a deadline budget;
+//! expired or shed requests are counted in the report rather than served.
+//! The per-layer breakdown comes from a separate single-batch `Executor`
+//! pass over the same artifact, so it reflects the op costs without
+//! queueing noise. Produce an artifact with `run_single --export <path>`.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use ndsnn_infer::{Artifact, BatchPolicy, Executor, Server};
+use ndsnn_infer::{Artifact, BatchPolicy, Executor, InferError, ServeOptions, Server};
 use ndsnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +44,11 @@ struct Report {
     requests: u64,
     batches: u64,
     max_batch_seen: u64,
+    shed: u64,
+    deadline_expired: u64,
+    restarts: u64,
+    faulted: u64,
+    bad_inputs: u64,
     latency_p50_us: u64,
     latency_p95_us: u64,
     latency_max_us: u64,
@@ -69,6 +79,14 @@ fn main() {
     if let Some(us) = get("--max-wait-us").and_then(|s| s.parse().ok()) {
         policy.max_wait = Duration::from_micros(us);
     }
+    let deadline: Option<Duration> = get("--deadline-ms")
+        .and_then(|s| s.parse().ok())
+        .map(Duration::from_millis);
+    let mut opts = ServeOptions::from_env();
+    opts.policy = policy;
+    if deadline.is_some() {
+        opts.default_deadline = deadline;
+    }
 
     let artifact = Arc::new(Artifact::load(&path).expect("load artifact"));
     let m = &artifact.manifest;
@@ -93,7 +111,7 @@ fn main() {
         .map(|i| pool.as_slice()[i * sample..(i + 1) * sample].to_vec())
         .collect();
 
-    let server = Arc::new(Server::start(Arc::clone(&artifact), policy));
+    let server = Arc::new(Server::start_with(Arc::clone(&artifact), opts));
     let mut handles = Vec::new();
     for c in 0..clients {
         let server = Arc::clone(&server);
@@ -101,8 +119,18 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut latencies = Vec::with_capacity(mine.len());
             for img in &mine {
-                let reply = server.infer(img).expect("infer");
-                latencies.push(reply.latency.as_micros() as u64);
+                match server.infer(img) {
+                    Ok(reply) => latencies.push(reply.latency.as_micros() as u64),
+                    // Typed control-plane outcomes are expected under
+                    // deadline/overload pressure and show up in the
+                    // report's counters.
+                    Err(
+                        InferError::DeadlineExceeded
+                        | InferError::Overloaded
+                        | InferError::ExecutorFault(_),
+                    ) => {}
+                    Err(e) => panic!("infer failed: {e}"),
+                }
             }
             latencies
         }));
@@ -147,6 +175,11 @@ fn main() {
         requests: stats.requests,
         batches: stats.batches,
         max_batch_seen: stats.max_batch_seen,
+        shed: stats.shed,
+        deadline_expired: stats.deadline_expired,
+        restarts: stats.restarts,
+        faulted: stats.faulted,
+        bad_inputs: stats.bad_inputs,
         latency_p50_us: pct(0.5),
         latency_p95_us: pct(0.95),
         latency_max_us: pct(1.0),

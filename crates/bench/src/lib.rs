@@ -9,6 +9,8 @@
 
 use ndsnn::profile::Profile;
 
+pub mod traffic;
+
 /// Parsed common CLI options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {

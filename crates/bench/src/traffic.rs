@@ -1,0 +1,154 @@
+//! Deterministic open-loop traffic schedules for serving benchmarks.
+//!
+//! The serving SLO harness replays *open-loop* load: arrival times are
+//! fixed up front from a seeded Poisson process (optionally with bursts)
+//! and requests are issued at their scheduled instants regardless of how
+//! the server is coping. Latency is then measured from the *scheduled*
+//! arrival, not from the send, so a stalled server cannot hide queueing
+//! delay by slowing the generator down (the coordinated-omission trap of
+//! closed-loop load tests).
+
+use std::time::Duration;
+
+/// SplitMix64 step — the same tiny seedable generator the serving fault
+/// plan uses, so a whole chaos scenario is reproducible from two seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `(0, 1]` — open at zero so `ln` is always finite.
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// A seeded Poisson arrival process with periodic burst windows.
+///
+/// Arrivals are exponentially spaced at `rate_rps`; within a burst window
+/// (the first `burst_len` of every `burst_every` arrivals, when both are
+/// nonzero) the instantaneous rate is multiplied by `burst_mult`,
+/// producing the heavy-tailed clumping real traffic shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonBurst {
+    /// Seed for the arrival stream; same seed ⇒ same schedule.
+    pub seed: u64,
+    /// Base arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Burst period in arrivals; 0 disables bursts.
+    pub burst_every: usize,
+    /// Arrivals per burst window.
+    pub burst_len: usize,
+    /// Rate multiplier inside a burst window.
+    pub burst_mult: f64,
+}
+
+impl PoissonBurst {
+    /// A plain Poisson process without bursts.
+    pub fn steady(seed: u64, rate_rps: f64) -> Self {
+        PoissonBurst {
+            seed,
+            rate_rps,
+            burst_every: 0,
+            burst_len: 0,
+            burst_mult: 1.0,
+        }
+    }
+
+    /// The first `n` scheduled arrival offsets (monotonically
+    /// non-decreasing, measured from the start of the replay).
+    pub fn arrivals(&self, n: usize) -> Vec<Duration> {
+        let mut state = self.seed;
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let in_burst = self.burst_every > 0
+                && self.burst_len > 0
+                && (i % self.burst_every) < self.burst_len;
+            let rate = if in_burst {
+                self.rate_rps * self.burst_mult
+            } else {
+                self.rate_rps
+            };
+            t += -unit_open(&mut state).ln() / rate.max(1e-9);
+            out.push(Duration::from_secs_f64(t));
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile (`q` in `[0, 100]`) of `samples`; 0.0 when
+/// empty. Copies and sorts internally — fine at benchmark sample counts.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_monotonic() {
+        let spec = PoissonBurst::steady(0xA11CE, 500.0);
+        let a = spec.arrivals(256);
+        let b = spec.arrivals(256);
+        assert_eq!(a, b);
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals went backwards"
+        );
+        let other = PoissonBurst::steady(0xB0B, 500.0).arrivals(256);
+        assert_ne!(a, other, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn mean_rate_tracks_the_spec() {
+        let rate = 1000.0;
+        let n = 4096;
+        let arrivals = PoissonBurst::steady(7, rate).arrivals(n);
+        let total = arrivals.last().unwrap().as_secs_f64();
+        let observed = n as f64 / total;
+        let ratio = observed / rate;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "observed {observed:.1} rps for spec {rate} rps"
+        );
+    }
+
+    #[test]
+    fn bursts_compress_the_schedule() {
+        let steady = PoissonBurst::steady(9, 200.0).arrivals(1000);
+        let bursty = PoissonBurst {
+            seed: 9,
+            rate_rps: 200.0,
+            burst_every: 10,
+            burst_len: 5,
+            burst_mult: 10.0,
+        }
+        .arrivals(1000);
+        assert!(
+            bursty.last().unwrap() < steady.last().unwrap(),
+            "burst windows must raise the instantaneous rate"
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 99.9), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.5], 99.0), 3.5);
+    }
+}

@@ -236,11 +236,42 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
         std::fs::remove_file(&tmp).ok();
         return Err(io_err(e));
     }
-    // Directory fsync is best-effort: not all platforms/filesystems allow
-    // opening a directory for sync, and the rename is already atomic.
-    if let Ok(d) = std::fs::File::open(&dir) {
-        d.sync_all().ok();
+    // The rename is atomic but not durable until the directory entry is
+    // flushed: a power loss here could resurrect the old file (or, for a
+    // fresh checkpoint, drop it entirely). Sync the directory and treat
+    // failure as a real durability error.
+    sync_dir(&dir)
+}
+
+/// Fsyncs a directory so metadata changes inside it (renames, new entries)
+/// survive power loss. Filesystems that cannot sync an open directory
+/// handle report `Unsupported`/`InvalidInput`; those are tolerated — the
+/// platform offers nothing stronger — while every other failure
+/// propagates.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<()> {
+    fn tolerable(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::Unsupported | std::io::ErrorKind::InvalidInput
+        )
     }
+    let d = match std::fs::File::open(dir) {
+        Ok(d) => d,
+        Err(e) if tolerable(&e) => return Ok(()),
+        Err(e) => return Err(io_err(e)),
+    };
+    match d.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e) if tolerable(&e) => Ok(()),
+        Err(e) => Err(io_err(e)),
+    }
+}
+
+/// Directories cannot be opened for syncing on this platform; the rename
+/// itself is still atomic.
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<()> {
     Ok(())
 }
 
@@ -285,6 +316,12 @@ pub fn write_generation(
     keep: usize,
 ) -> Result<PathBuf> {
     std::fs::create_dir_all(dir).map_err(io_err)?;
+    // If the checkpoint directory itself was just created, its entry in
+    // the parent must also survive power loss or the whole generation
+    // vanishes with it.
+    if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+        sync_dir(parent)?;
+    }
     let path = dir.join(generation_file(step));
     write_atomic(&path, &encode_blobs(entries))?;
     let keep = keep.max(2);
@@ -676,6 +713,37 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sync_dir_propagates_real_failures() {
+        let dir = tmp("syncdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(sync_dir(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+        let err = sync_dir(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("io"),
+            "missing dir must not be silently tolerated: {err}"
+        );
+    }
+
+    #[test]
+    fn write_generation_into_fresh_nested_dir_is_durable() {
+        let root = tmp("freshgen");
+        std::fs::remove_dir_all(&root).ok();
+        // Nested path exercises the parent-directory sync after mkdir.
+        let dir = root.join("ckpts");
+        let entries = BTreeMap::from([("p".to_string(), vec![1u8, 2, 3])]);
+        let path = write_generation(&dir, 7, &entries, 2).unwrap();
+        assert!(path.exists());
+        let (latest, skipped) = load_latest_valid(&dir).unwrap();
+        assert!(skipped.is_empty());
+        let (step, loaded) = latest.expect("generation present");
+        assert_eq!(step, 7);
+        assert_eq!(loaded.get("p").unwrap(), &vec![1u8, 2, 3]);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

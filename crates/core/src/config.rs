@@ -209,6 +209,20 @@ pub mod env {
     /// Microseconds the serving runtime waits for a batch to fill before
     /// flushing a partial one.
     pub const INFER_MAX_WAIT_US: &str = "NDSNN_INFER_MAX_WAIT_US";
+    /// Admission-queue capacity of the serving runtime: requests beyond it
+    /// are shed instead of queueing without bound.
+    pub const INFER_QUEUE_CAP: &str = "NDSNN_INFER_QUEUE_CAP";
+    /// Load-shed policy when the admission queue is full: `reject-new`
+    /// (refuse the arriving request) or `drop-oldest` (evict the
+    /// longest-queued request in its favor). Parsed by the serving runtime.
+    pub const INFER_SHED_POLICY: &str = "NDSNN_INFER_SHED_POLICY";
+    /// Default per-request deadline in microseconds; a request still queued
+    /// when its deadline passes is answered `DeadlineExceeded` without
+    /// burning a forward pass. `0` disables the default deadline.
+    pub const INFER_DEADLINE_US: &str = "NDSNN_INFER_DEADLINE_US";
+    /// Milliseconds a server shutdown waits for queued requests to drain
+    /// before failing the remainder and joining the dispatcher.
+    pub const INFER_DRAIN_MS: &str = "NDSNN_INFER_DRAIN_MS";
     /// Minimum multiply-adds per parallel tile task in the tiled GEMM/conv
     /// core; problems below it run serially (thread wakeup used to cost a
     /// 256³ matmul 35%). Resolved once per process.
@@ -220,6 +234,12 @@ pub mod env {
     pub const DEFAULT_INFER_BATCH: usize = 8;
     /// Default for [`infer_max_wait_us`].
     pub const DEFAULT_INFER_MAX_WAIT_US: u64 = 500;
+    /// Default for [`infer_queue_cap`].
+    pub const DEFAULT_INFER_QUEUE_CAP: usize = 256;
+    /// Default for [`infer_deadline_us`] (`0`: no default deadline).
+    pub const DEFAULT_INFER_DEADLINE_US: u64 = 0;
+    /// Default for [`infer_drain_ms`].
+    pub const DEFAULT_INFER_DRAIN_MS: u64 = 2000;
 
     /// `NDSNN_THREADS`: the *requested* worker-thread count, `None` when
     /// unset (the pool then uses the available parallelism). Note the pool
@@ -259,6 +279,36 @@ pub mod env {
     /// throughput-pessimal).
     pub fn infer_max_wait_us() -> u64 {
         ndsnn_tensor::env::parse_u64(INFER_MAX_WAIT_US).unwrap_or(DEFAULT_INFER_MAX_WAIT_US)
+    }
+
+    /// `NDSNN_INFER_QUEUE_CAP`, default [`DEFAULT_INFER_QUEUE_CAP`], clamped
+    /// to at least 1 (a zero-capacity queue could never admit anything).
+    pub fn infer_queue_cap() -> usize {
+        ndsnn_tensor::env::parse_usize(INFER_QUEUE_CAP)
+            .unwrap_or(DEFAULT_INFER_QUEUE_CAP)
+            .max(1)
+    }
+
+    /// `NDSNN_INFER_SHED_POLICY`: the raw (trimmed) policy string, `None`
+    /// when unset. The serving runtime owns the `reject-new` / `drop-oldest`
+    /// vocabulary and falls back to `reject-new` on anything it does not
+    /// recognize.
+    pub fn infer_shed_policy_raw() -> Option<String> {
+        ndsnn_tensor::env::raw(INFER_SHED_POLICY).map(|s| s.trim().to_string())
+    }
+
+    /// `NDSNN_INFER_DEADLINE_US`, default [`DEFAULT_INFER_DEADLINE_US`].
+    /// `0` means "no default deadline"; per-call overrides in the serving
+    /// API take precedence either way.
+    pub fn infer_deadline_us() -> u64 {
+        ndsnn_tensor::env::parse_u64(INFER_DEADLINE_US).unwrap_or(DEFAULT_INFER_DEADLINE_US)
+    }
+
+    /// `NDSNN_INFER_DRAIN_MS`, default [`DEFAULT_INFER_DRAIN_MS`]. Zero is
+    /// allowed: shutdown fails all still-queued requests immediately (the
+    /// in-flight batch always completes).
+    pub fn infer_drain_ms() -> u64 {
+        ndsnn_tensor::env::parse_u64(INFER_DRAIN_MS).unwrap_or(DEFAULT_INFER_DRAIN_MS)
     }
 
     /// `NDSNN_MIN_TILE_WORK`, default [`DEFAULT_MIN_TILE_WORK`]. `0` forces
@@ -355,6 +405,46 @@ pub mod env {
             assert_eq!(min_tile_work(), 0, "zero forces tile-parallel dispatch");
             set_min_tile_work_override(None);
             assert_eq!(min_tile_work(), DEFAULT_MIN_TILE_WORK);
+        }
+
+        #[test]
+        fn infer_queue_cap_knob() {
+            std::env::set_var(INFER_QUEUE_CAP, "64");
+            assert_eq!(infer_queue_cap(), 64);
+            std::env::set_var(INFER_QUEUE_CAP, "0");
+            assert_eq!(infer_queue_cap(), 1, "zero capacity must clamp to 1");
+            std::env::set_var(INFER_QUEUE_CAP, "unbounded");
+            assert_eq!(infer_queue_cap(), DEFAULT_INFER_QUEUE_CAP);
+            std::env::remove_var(INFER_QUEUE_CAP);
+            assert_eq!(infer_queue_cap(), DEFAULT_INFER_QUEUE_CAP);
+        }
+
+        #[test]
+        fn infer_shed_policy_knob() {
+            std::env::set_var(INFER_SHED_POLICY, " drop-oldest ");
+            assert_eq!(infer_shed_policy_raw().as_deref(), Some("drop-oldest"));
+            std::env::remove_var(INFER_SHED_POLICY);
+            assert_eq!(infer_shed_policy_raw(), None);
+        }
+
+        #[test]
+        fn infer_deadline_knob() {
+            std::env::set_var(INFER_DEADLINE_US, "2500");
+            assert_eq!(infer_deadline_us(), 2500);
+            std::env::set_var(INFER_DEADLINE_US, "forever");
+            assert_eq!(infer_deadline_us(), DEFAULT_INFER_DEADLINE_US);
+            std::env::remove_var(INFER_DEADLINE_US);
+            assert_eq!(infer_deadline_us(), DEFAULT_INFER_DEADLINE_US);
+        }
+
+        #[test]
+        fn infer_drain_knob() {
+            std::env::set_var(INFER_DRAIN_MS, "100");
+            assert_eq!(infer_drain_ms(), 100);
+            std::env::set_var(INFER_DRAIN_MS, "0");
+            assert_eq!(infer_drain_ms(), 0, "zero drain is a valid policy");
+            std::env::remove_var(INFER_DRAIN_MS);
+            assert_eq!(infer_drain_ms(), DEFAULT_INFER_DRAIN_MS);
         }
 
         #[test]

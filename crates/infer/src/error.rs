@@ -1,6 +1,12 @@
 //! Error type for the inference subsystem.
 
 /// Errors produced by the inference compiler, executor and server.
+///
+/// The serving control plane replies with *typed* outcomes so clients can
+/// tell policy decisions (shed, expired) apart from faults (executor panic)
+/// and from their own mistakes (malformed input) — every request submitted
+/// to a [`crate::serve::Server`] receives exactly one of these or a
+/// successful reply, never a hang.
 #[derive(Debug)]
 pub enum InferError {
     /// The model or configuration cannot be compiled into an artifact.
@@ -13,6 +19,21 @@ pub enum InferError {
     Io(String),
     /// The serving runtime has shut down and cannot accept requests.
     Closed,
+    /// The admission queue is full and the shed policy dropped this request
+    /// (either at admission under `reject-new`, or while queued under
+    /// `drop-oldest`). The server is healthy; retry with backoff.
+    Overloaded,
+    /// The request's deadline expired before a forward pass ran for it —
+    /// either already expired at admission or while waiting in the queue.
+    /// Expired requests never burn executor time.
+    DeadlineExceeded,
+    /// The executor panicked while this request's batch was in flight. Only
+    /// the in-flight batch is failed; the server rebuilds the executor from
+    /// the frozen artifact and keeps serving.
+    ExecutorFault(String),
+    /// The submitted input was rejected at admission: wrong length, or
+    /// non-finite (NaN/Inf) pixel values that would poison the logits.
+    BadInput(String),
 }
 
 impl std::fmt::Display for InferError {
@@ -23,6 +44,10 @@ impl std::fmt::Display for InferError {
             InferError::Exec(m) => write!(f, "inference failed: {m}"),
             InferError::Io(m) => write!(f, "artifact io error: {m}"),
             InferError::Closed => write!(f, "inference server is shut down"),
+            InferError::Overloaded => write!(f, "inference server overloaded: request shed"),
+            InferError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            InferError::ExecutorFault(m) => write!(f, "executor fault: {m}"),
+            InferError::BadInput(m) => write!(f, "bad input: {m}"),
         }
     }
 }

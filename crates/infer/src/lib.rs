@@ -13,10 +13,16 @@
 //!   graph **bit-identically** to the training graph's eval forward (same
 //!   kernels or loops with identical accumulation order), with preallocated
 //!   membrane state and per-op latency counters;
-//! - [`serve`] — a batched serving runtime ([`serve::Server`]): one
-//!   dispatcher thread owns the executor, coalesces concurrent requests
-//!   under a max-batch/max-wait [`serve::BatchPolicy`] and reports
-//!   per-request latency. Batching never changes any request's bits.
+//! - [`serve`] — a supervised serving control plane ([`serve::Server`]):
+//!   one dispatcher thread owns the executor, coalesces concurrent
+//!   requests under a max-batch/max-wait [`serve::BatchPolicy`], and wraps
+//!   the hot path in a fault-tolerant admission layer — bounded queue with
+//!   [`serve::ShedPolicy`] load shedding, per-request deadlines, NaN/Inf
+//!   input rejection, `catch_unwind` executor supervision with automatic
+//!   rebuild from the frozen artifact, and bounded drain on shutdown.
+//!   Every admitted request gets exactly one typed reply; batching and
+//!   executor restarts never change any request's bits. A seeded
+//!   [`serve::ServeFaultPlan`] drives deterministic chaos tests.
 //!
 //! The bit-identity claim is load-bearing: it makes the artifact a drop-in
 //! replacement for training-graph evaluation (accuracy numbers carry over
@@ -35,4 +41,7 @@ pub use artifact::{Artifact, Manifest, Op, WeightStore};
 pub use compile::{compile, compile_from_checkpoint_dir, compile_snapshot, lower, CompileOptions};
 pub use error::{InferError, Result};
 pub use exec::Executor;
-pub use serve::{BatchPolicy, InferReply, ServeStats, Server};
+pub use serve::{
+    BatchPolicy, HealthState, InferReply, ServeFaultPlan, ServeOptions, ServeStats, Server,
+    ShedPolicy,
+};

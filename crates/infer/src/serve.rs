@@ -1,21 +1,63 @@
-//! Batched serving runtime over a frozen artifact.
+//! Supervised serving control plane over a frozen artifact.
 //!
-//! [`Server::start`] spawns one dispatcher thread that owns the
-//! [`Executor`]. Callers submit single images from any number of threads
-//! via [`Server::infer`]; the dispatcher coalesces queued requests into one
-//! forward pass under a [`BatchPolicy`] — flush when `max_batch` requests
-//! are waiting, or when the oldest has waited `max_wait` — and replies with
-//! per-request logits, argmax and queue-to-reply latency.
+//! [`Server::start_with`] spawns one supervised dispatcher thread that owns
+//! the [`Executor`]. Callers submit single images from any number of
+//! threads via [`Server::infer`] (or [`Server::infer_with_deadline`]); the
+//! dispatcher coalesces queued requests into one forward pass under a
+//! [`BatchPolicy`] — flush when `max_batch` requests are waiting, or when
+//! the oldest has waited `max_wait` — and replies with per-request logits,
+//! argmax and queue-to-reply latency.
+//!
+//! Unlike a plain channel-fed worker, the control plane bounds every
+//! resource and types every failure:
+//!
+//! - **Bounded admission.** The queue holds at most
+//!   [`ServeOptions::queue_cap`] requests. When full, the configured
+//!   [`ShedPolicy`] either rejects the newcomer or sheds the oldest queued
+//!   request; shed requests get [`InferError::Overloaded`] immediately
+//!   instead of queueing forever.
+//! - **Deadlines.** A request may carry an absolute deadline (server-wide
+//!   default via `NDSNN_INFER_DEADLINE_US`, per-call override). Expired
+//!   requests are answered [`InferError::DeadlineExceeded`] at admission,
+//!   while queued, and once more right before batch assembly — they never
+//!   burn a forward pass.
+//! - **Supervision.** The forward pass runs under `catch_unwind`. A panic
+//!   fails only the in-flight batch (each waiter gets
+//!   [`InferError::ExecutorFault`]); the supervisor rebuilds the
+//!   [`Executor`] from the shared `Arc<Artifact>` and keeps serving. The
+//!   artifact itself is immutable, so a rebuilt executor replays the exact
+//!   same bits. [`Server::health`] reports `Healthy` / `Degraded` /
+//!   `Draining`.
+//! - **Input hygiene.** Wrong-length and non-finite (NaN/Inf) images are
+//!   rejected at admission with [`InferError::BadInput`] before they can
+//!   poison logits.
+//! - **Bounded drain.** Shutdown closes admission, lets the dispatcher
+//!   drain the queue for up to [`ServeOptions::drain_timeout`], then fails
+//!   whatever is still queued with [`InferError::Closed`]. The in-flight
+//!   batch always completes.
+//!
+//! Every admitted request receives **exactly one** reply — success,
+//! `Overloaded`, `DeadlineExceeded`, `ExecutorFault` or `Closed` — never a
+//! hang: the reply sender travels with the request, and any path that
+//! drops a request drops its sender, which the waiting client observes as
+//! `Closed`.
 //!
 //! Batching is *bitwise-neutral*: every frozen op treats batch samples
 //! independently (the BatchNorm epilogue uses frozen statistics, never
 //! batch statistics), so a request's logits do not depend on which
-//! requests happened to share its batch. The `batching_is_bitwise_neutral`
-//! test pins this.
+//! requests happened to share its batch, nor on how many times the
+//! executor was rebuilt. The `batching_is_bitwise_neutral` and
+//! `panic_restarts_and_recovers` tests pin this.
+//!
+//! For deterministic chaos testing, a seeded [`ServeFaultPlan`] (mirroring
+//! `ndsnn::recovery::FaultPlan` on the training side) injects executor
+//! panics and artificial slow batches at chosen global batch indices.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,6 +98,172 @@ impl Default for BatchPolicy {
     }
 }
 
+/// What to do with a request arriving at a full admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the arriving request with [`InferError::Overloaded`]; queued
+    /// requests keep their place. Favors requests already admitted.
+    #[default]
+    RejectNew,
+    /// Shed the oldest queued request (it gets [`InferError::Overloaded`])
+    /// and admit the newcomer. Favors fresh requests, which under heavy
+    /// overload are the ones whose deadlines are still live.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Parses a policy name: `reject-new`/`reject` or
+    /// `drop-oldest`/`oldest`, case-insensitive. `None` on anything else.
+    pub fn parse(s: &str) -> Option<ShedPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reject-new" | "reject" => Some(ShedPolicy::RejectNew),
+            "drop-oldest" | "oldest" => Some(ShedPolicy::DropOldest),
+            _ => None,
+        }
+    }
+
+    /// Reads `NDSNN_INFER_SHED_POLICY`; unrecognized or unset falls back
+    /// to [`ShedPolicy::RejectNew`].
+    pub fn from_env() -> ShedPolicy {
+        ndsnn::config::env::infer_shed_policy_raw()
+            .and_then(|s| ShedPolicy::parse(&s))
+            .unwrap_or_default()
+    }
+}
+
+/// Deterministic fault injection for the serving path, mirroring the
+/// training-side `ndsnn::recovery::FaultPlan`.
+///
+/// Batch indices are *global* (monotonic across executor restarts), so a
+/// plan replays identically run-to-run: the dispatcher assigns every
+/// assembled batch the next index whether or not earlier batches faulted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    /// Global batch indices at which the executor panics (after the batch
+    /// is assembled, before its forward pass). Waiters of that batch get
+    /// [`InferError::ExecutorFault`]; the supervisor rebuilds and
+    /// continues.
+    pub panic_at_batches: Vec<u64>,
+    /// `(batch index, extra latency)` pairs: the dispatcher sleeps before
+    /// running that batch, simulating a stalled kernel or noisy neighbor.
+    pub slow_batches: Vec<(u64, Duration)>,
+}
+
+impl ServeFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at_batches.is_empty() && self.slow_batches.is_empty()
+    }
+
+    /// Builds a reproducible plan from `seed`: `panics` panic indices and
+    /// `slow` slow-batch indices drawn (SplitMix64) from `[0, horizon)`,
+    /// each slow batch stalling for `slow_for`. The same seed always
+    /// yields the same plan.
+    pub fn seeded(seed: u64, horizon: u64, panics: usize, slow: usize, slow_for: Duration) -> Self {
+        let horizon = horizon.max(1);
+        let mut state = seed;
+        let mut draw = || splitmix64(&mut state) % horizon;
+        let mut panic_at_batches: Vec<u64> = (0..panics).map(|_| draw()).collect();
+        panic_at_batches.sort_unstable();
+        panic_at_batches.dedup();
+        let mut slow_at: Vec<u64> = (0..slow).map(|_| draw()).collect();
+        slow_at.sort_unstable();
+        slow_at.dedup();
+        ServeFaultPlan {
+            panic_at_batches,
+            slow_batches: slow_at.into_iter().map(|b| (b, slow_for)).collect(),
+        }
+    }
+
+    fn panics_at(&self, seq: u64) -> bool {
+        self.panic_at_batches.contains(&seq)
+    }
+
+    fn slow_at(&self, seq: u64) -> Option<Duration> {
+        self.slow_batches
+            .iter()
+            .find(|(b, _)| *b == seq)
+            .map(|(_, d)| *d)
+    }
+}
+
+/// SplitMix64 step — tiny, seedable, and good enough for fault placement.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything [`Server::start_with`] needs beyond the artifact.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Batch assembly policy.
+    pub policy: BatchPolicy,
+    /// Admission queue capacity (≥ 1). Requests beyond this are shed.
+    pub queue_cap: usize,
+    /// What to shed when the queue is full.
+    pub shed: ShedPolicy,
+    /// Deadline applied to requests submitted via [`Server::infer`];
+    /// `None` means requests wait indefinitely unless the caller passes
+    /// one to [`Server::infer_with_deadline`].
+    pub default_deadline: Option<Duration>,
+    /// How long [`Server::shutdown`] lets the dispatcher drain the queue
+    /// before failing still-queued requests with [`InferError::Closed`].
+    pub drain_timeout: Duration,
+    /// Deterministic fault injection; empty in production.
+    pub fault_plan: ServeFaultPlan,
+}
+
+impl ServeOptions {
+    /// Reads every knob from the environment: `NDSNN_INFER_BATCH`,
+    /// `NDSNN_INFER_MAX_WAIT_US`, `NDSNN_INFER_QUEUE_CAP`,
+    /// `NDSNN_INFER_SHED_POLICY`, `NDSNN_INFER_DEADLINE_US` (0 = none),
+    /// `NDSNN_INFER_DRAIN_MS`. The fault plan is never read from the
+    /// environment — chaos is opt-in through code.
+    pub fn from_env() -> Self {
+        let deadline_us = ndsnn::config::env::infer_deadline_us();
+        ServeOptions {
+            policy: BatchPolicy::from_env(),
+            queue_cap: ndsnn::config::env::infer_queue_cap(),
+            shed: ShedPolicy::from_env(),
+            default_deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+            drain_timeout: Duration::from_millis(ndsnn::config::env::infer_drain_ms()),
+            fault_plan: ServeFaultPlan::default(),
+        }
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            policy: BatchPolicy::default(),
+            queue_cap: ndsnn::config::env::DEFAULT_INFER_QUEUE_CAP,
+            shed: ShedPolicy::RejectNew,
+            default_deadline: None,
+            drain_timeout: Duration::from_millis(ndsnn::config::env::DEFAULT_INFER_DRAIN_MS),
+            fault_plan: ServeFaultPlan::default(),
+        }
+    }
+}
+
+/// Coarse server health derived from the supervision counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving; no executor restart has occurred.
+    Healthy,
+    /// Serving, but the executor has been rebuilt after `restarts`
+    /// panic(s). Logits are unaffected (the artifact is frozen); the state
+    /// exists so operators notice crash loops.
+    Degraded {
+        /// Number of executor rebuilds since start.
+        restarts: u64,
+    },
+    /// Shutdown has begun: admission is closed, queued work is draining.
+    Draining,
+}
+
 /// The outcome of one served request.
 #[derive(Debug, Clone)]
 pub struct InferReply {
@@ -72,37 +280,97 @@ pub struct InferReply {
 /// Aggregate serving counters (monotonic since start).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests answered.
+    /// Requests answered successfully.
     pub requests: u64,
-    /// Forward passes executed.
+    /// Forward passes executed (including ones that faulted).
     pub batches: u64,
     /// Largest batch coalesced so far.
     pub max_batch_seen: u64,
+    /// Requests shed by the overload policy.
+    pub shed: u64,
+    /// Requests answered `DeadlineExceeded` without a forward pass.
+    pub deadline_expired: u64,
+    /// Executor rebuilds after a panic.
+    pub restarts: u64,
+    /// Requests rejected at admission for malformed content.
+    pub bad_inputs: u64,
+    /// Requests failed with `ExecutorFault` (their batch panicked).
+    pub faulted: u64,
 }
 
 struct Request {
     image: Vec<f32>,
     enqueued: Instant,
+    deadline: Option<Instant>,
     resp: SyncSender<Result<InferReply>>,
 }
 
+impl Request {
+    /// Consumes the request, delivering its one reply. A receiver that
+    /// gave up is ignored — the send result is irrelevant by then.
+    fn reply(self, r: Result<InferReply>) {
+        let _ = self.resp.send(r);
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+#[derive(Default)]
 struct Counters {
     requests: AtomicU64,
     batches: AtomicU64,
     max_batch_seen: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    restarts: AtomicU64,
+    bad_inputs: AtomicU64,
+    faulted: AtomicU64,
 }
 
-/// A running inference server: one dispatcher thread, one executor.
+struct QueueState {
+    queue: VecDeque<Request>,
+    /// False once shutdown begins; admission then returns `Closed`.
+    open: bool,
+    /// False once the dispatcher has exited its supervision loop.
+    dispatcher_live: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signaled when a request is queued or admission closes.
+    not_empty: Condvar,
+    /// Signaled when the dispatcher exits (drain complete).
+    idle: Condvar,
+    counters: Counters,
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poisoning: a panic elsewhere must
+    /// not wedge admission or drain (the state itself is just a VecDeque
+    /// plus flags — always coherent between operations).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A running inference server: one supervised dispatcher thread, one
+/// executor (rebuilt from the frozen artifact after a panic).
 ///
-/// `Server` is `Sync`; clones of the internal sender let any thread submit.
-/// Dropping the server (or calling [`Server::shutdown`]) closes the queue,
-/// drains in-flight requests and joins the dispatcher.
+/// `Server` is `Sync`; any number of threads may call [`Server::infer`]
+/// concurrently. Dropping the server (or calling [`Server::shutdown`])
+/// closes admission, drains within the configured timeout and joins the
+/// dispatcher.
 pub struct Server {
-    tx: Mutex<Option<Sender<Request>>>,
+    shared: Arc<Shared>,
     handle: Mutex<Option<JoinHandle<()>>>,
-    counters: Arc<Counters>,
     sample_len: usize,
     num_classes: usize,
+    queue_cap: usize,
+    shed: ShedPolicy,
+    default_deadline: Option<Duration>,
+    drain_timeout: Duration,
 }
 
 impl std::fmt::Debug for Server {
@@ -111,61 +379,132 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("requests", &s.requests)
             .field("batches", &s.batches)
+            .field("restarts", &s.restarts)
+            .field("health", &self.health())
             .finish()
     }
 }
 
 impl Server {
-    /// Starts the dispatcher over `artifact` with the given batching policy.
+    /// Starts the dispatcher over `artifact` with the given batching
+    /// policy and default control-plane settings (queue capacity 256,
+    /// reject-new shedding, no deadline).
     pub fn start(artifact: Arc<Artifact>, policy: BatchPolicy) -> Server {
+        Server::start_with(
+            artifact,
+            ServeOptions {
+                policy,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Starts the dispatcher with full control-plane options.
+    pub fn start_with(artifact: Arc<Artifact>, opts: ServeOptions) -> Server {
         let sample_len = artifact.sample_len();
         let num_classes = artifact.manifest.num_classes;
-        let counters = Arc::new(Counters {
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch_seen: AtomicU64::new(0),
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+                dispatcher_live: true,
+            }),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+            counters: Counters::default(),
         });
-        let (tx, rx) = mpsc::channel::<Request>();
-        let exec = Executor::new(Arc::clone(&artifact));
-        let dispatcher_counters = Arc::clone(&counters);
         let policy = BatchPolicy {
-            max_batch: policy.max_batch.max(1),
-            max_wait: policy.max_wait,
+            max_batch: opts.policy.max_batch.max(1),
+            max_wait: opts.policy.max_wait,
         };
+        let plan = opts.fault_plan.clone();
+        let dispatcher_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("ndsnn-infer-dispatch".to_string())
-            .spawn(move || dispatch_loop(exec, rx, policy, &dispatcher_counters))
+            .spawn(move || supervise(artifact, dispatcher_shared, policy, plan))
             .expect("spawn inference dispatcher");
         Server {
-            tx: Mutex::new(Some(tx)),
+            shared,
             handle: Mutex::new(Some(handle)),
-            counters,
             sample_len,
             num_classes,
+            queue_cap: opts.queue_cap.max(1),
+            shed: opts.shed,
+            default_deadline: opts.default_deadline,
+            drain_timeout: opts.drain_timeout,
         }
     }
 
-    /// Submits one flat `C·H·W` image and blocks until its reply.
+    /// Submits one flat `C·H·W` image under the server's default deadline
+    /// and blocks until its reply.
     pub fn infer(&self, image: &[f32]) -> Result<InferReply> {
+        self.infer_with_deadline(image, self.default_deadline)
+    }
+
+    /// Submits one image with an explicit deadline budget (overriding the
+    /// server default; `None` waits indefinitely) and blocks until its
+    /// reply. The deadline clock starts now: a request that cannot reach a
+    /// forward pass within `deadline` is answered
+    /// [`InferError::DeadlineExceeded`] instead.
+    pub fn infer_with_deadline(
+        &self,
+        image: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<InferReply> {
+        let counters = &self.shared.counters;
         if image.len() != self.sample_len {
-            return Err(InferError::Exec(format!(
+            counters.bad_inputs.fetch_add(1, Ordering::Relaxed);
+            return Err(InferError::BadInput(format!(
                 "image length {} does not match artifact sample length {}",
                 image.len(),
                 self.sample_len
             )));
         }
+        if let Some(i) = image.iter().position(|v| !v.is_finite()) {
+            counters.bad_inputs.fetch_add(1, Ordering::Relaxed);
+            return Err(InferError::BadInput(format!(
+                "non-finite pixel {} at index {i}",
+                image[i]
+            )));
+        }
+        let now = Instant::now();
+        let absolute = deadline.map(|d| now + d);
+        if absolute.is_some_and(|a| a <= now) {
+            counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            return Err(InferError::DeadlineExceeded);
+        }
         let (rtx, rrx) = mpsc::sync_channel(1);
         {
-            let guard = self.tx.lock().expect("server sender mutex");
-            let tx = guard.as_ref().ok_or(InferError::Closed)?;
-            tx.send(Request {
+            let mut st = self.shared.lock_state();
+            if !st.open || !st.dispatcher_live {
+                return Err(InferError::Closed);
+            }
+            if st.queue.len() >= self.queue_cap {
+                match self.shed {
+                    ShedPolicy::RejectNew => {
+                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(InferError::Overloaded);
+                    }
+                    ShedPolicy::DropOldest => {
+                        if let Some(victim) = st.queue.pop_front() {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            victim.reply(Err(InferError::Overloaded));
+                        }
+                    }
+                }
+            }
+            st.queue.push_back(Request {
                 image: image.to_vec(),
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline: absolute,
                 resp: rtx,
-            })
-            .map_err(|_| InferError::Closed)?;
+            });
+            self.shared.not_empty.notify_one();
         }
-        rrx.recv().map_err(|_| InferError::Closed)?
+        // Any path that drops the request (drain timeout, dispatcher
+        // plumbing bug) drops `rtx`, surfacing here as a recv error — a
+        // client can never hang.
+        rrx.recv().unwrap_or(Err(InferError::Closed))
     }
 
     /// Number of logits each reply carries.
@@ -175,18 +514,65 @@ impl Server {
 
     /// Current aggregate counters.
     pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
         ServeStats {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            max_batch_seen: c.max_batch_seen.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
+            bad_inputs: c.bad_inputs.load(Ordering::Relaxed),
+            faulted: c.faulted.load(Ordering::Relaxed),
         }
     }
 
-    /// Closes the queue, drains in-flight requests and joins the
-    /// dispatcher. Idempotent; subsequent [`Server::infer`] calls return
-    /// [`InferError::Closed`].
+    /// Coarse health: `Draining` once shutdown begins, `Degraded` after
+    /// any executor rebuild, `Healthy` otherwise.
+    pub fn health(&self) -> HealthState {
+        let open = self.shared.lock_state().open;
+        if !open {
+            return HealthState::Draining;
+        }
+        match self.shared.counters.restarts.load(Ordering::Relaxed) {
+            0 => HealthState::Healthy,
+            restarts => HealthState::Degraded { restarts },
+        }
+    }
+
+    /// Closes admission, drains within the configured drain timeout and
+    /// joins the dispatcher. Idempotent; subsequent [`Server::infer`]
+    /// calls return [`InferError::Closed`].
     pub fn shutdown(&self) {
-        drop(self.tx.lock().expect("server sender mutex").take());
+        self.shutdown_within(self.drain_timeout);
+    }
+
+    /// [`Server::shutdown`] with an explicit drain budget. Queued requests
+    /// still unanswered when the budget expires are failed with
+    /// [`InferError::Closed`]; the in-flight batch always completes.
+    pub fn shutdown_within(&self, timeout: Duration) {
+        let drain_deadline = Instant::now() + timeout;
+        {
+            let mut st = self.shared.lock_state();
+            st.open = false;
+            self.shared.not_empty.notify_all();
+            while st.dispatcher_live {
+                let now = Instant::now();
+                if now >= drain_deadline {
+                    for req in st.queue.drain(..) {
+                        req.reply(Err(InferError::Closed));
+                    }
+                    self.shared.not_empty.notify_all();
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .idle
+                    .wait_timeout(st, drain_deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        }
         if let Some(handle) = self.handle.lock().expect("server handle mutex").take() {
             let _ = handle.join();
         }
@@ -199,38 +585,153 @@ impl Drop for Server {
     }
 }
 
-fn dispatch_loop(
-    mut exec: Executor,
-    rx: Receiver<Request>,
+/// Why the inner dispatch loop returned to the supervisor.
+enum LoopExit {
+    /// Admission closed and the queue is empty — clean shutdown.
+    Drained,
+    /// The in-flight batch panicked (its waiters already got
+    /// `ExecutorFault`); the executor must be rebuilt.
+    Fault,
+}
+
+/// Supervision loop: owns the executor lifecycle. A faulted (or, as a
+/// backstop, panicked) dispatch loop costs one restart counter tick and a
+/// fresh `Executor` from the immutable artifact — never the server.
+fn supervise(
+    artifact: Arc<Artifact>,
+    shared: Arc<Shared>,
     policy: BatchPolicy,
-    counters: &Counters,
+    plan: ServeFaultPlan,
 ) {
+    // Global batch sequence: survives restarts so `ServeFaultPlan` indices
+    // stay meaningful (and deterministic) across rebuilds.
+    let mut batch_seq: u64 = 0;
     loop {
-        // Block for the first request of the next batch.
-        let first = match rx.recv() {
-            Ok(r) => r,
-            Err(_) => return, // queue closed and drained
-        };
-        let mut batch = vec![first];
-        // Fill up to max_batch, but never hold the oldest request past
-        // max_wait.
-        let deadline = batch[0].enqueued + policy.max_wait;
-        while batch.len() < policy.max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(r) => batch.push(r),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+        let mut exec = Executor::new(Arc::clone(&artifact));
+        let exit = catch_unwind(AssertUnwindSafe(|| {
+            dispatch_loop(&mut exec, &shared, policy, &plan, &mut batch_seq)
+        }));
+        match exit {
+            Ok(LoopExit::Drained) => break,
+            Ok(LoopExit::Fault) | Err(_) => {
+                shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
             }
         }
-        run_batch(&mut exec, batch, counters);
+    }
+    let mut st = shared.lock_state();
+    st.dispatcher_live = false;
+    shared.idle.notify_all();
+}
+
+fn dispatch_loop(
+    exec: &mut Executor,
+    shared: &Shared,
+    policy: BatchPolicy,
+    plan: &ServeFaultPlan,
+    batch_seq: &mut u64,
+) -> LoopExit {
+    loop {
+        // Phase 1: block for the first live request of the next batch,
+        // answering any expired ones on the way.
+        let first = {
+            let mut st = shared.lock_state();
+            loop {
+                expire_queued(&mut st, shared);
+                if let Some(req) = st.queue.pop_front() {
+                    break req;
+                }
+                if !st.open {
+                    return LoopExit::Drained;
+                }
+                st = shared.not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        // Phase 2: fill up to max_batch, but never hold the oldest request
+        // past max_wait.
+        let mut batch = vec![first];
+        let flush_at = batch[0].enqueued + policy.max_wait;
+        while batch.len() < policy.max_batch {
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            let mut st = shared.lock_state();
+            expire_queued(&mut st, shared);
+            if let Some(req) = st.queue.pop_front() {
+                drop(st);
+                batch.push(req);
+                continue;
+            }
+            if !st.open {
+                break; // no further arrivals possible; flush what we have
+            }
+            let (guard, timed_out) = shared
+                .not_empty
+                .wait_timeout(st, flush_at - now)
+                .unwrap_or_else(|p| p.into_inner());
+            drop(guard);
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        // Phase 3: final deadline re-check right before committing a
+        // forward pass — the queue wait may have consumed a budget.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for req in batch {
+            if req.expired(now) {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                req.reply(Err(InferError::DeadlineExceeded));
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        // Phase 4: fault injection, then the forward pass.
+        let seq = *batch_seq;
+        *batch_seq += 1;
+        if let Some(stall) = plan.slow_at(seq) {
+            std::thread::sleep(stall);
+        }
+        if let Err(()) = run_batch(exec, live, shared, plan.panics_at(seq), seq) {
+            return LoopExit::Fault;
+        }
     }
 }
 
-fn run_batch(exec: &mut Executor, batch: Vec<Request>, counters: &Counters) {
+/// Replies `DeadlineExceeded` to every expired request in the queue.
+fn expire_queued(st: &mut QueueState, shared: &Shared) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < st.queue.len() {
+        if st.queue[i].expired(now) {
+            let req = st.queue.remove(i).expect("index in bounds");
+            shared
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            req.reply(Err(InferError::DeadlineExceeded));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Runs one batch. `Err(())` means the forward pass panicked: every waiter
+/// already received `ExecutorFault`, and the caller must hand control back
+/// to the supervisor so the executor is rebuilt.
+fn run_batch(
+    exec: &mut Executor,
+    batch: Vec<Request>,
+    shared: &Shared,
+    inject_panic: bool,
+    seq: u64,
+) -> std::result::Result<(), ()> {
     let n = batch.len();
     let m = &exec.artifact().manifest;
     let (c, hw, k) = (m.in_channels, m.image_size, m.num_classes);
@@ -238,16 +739,22 @@ fn run_batch(exec: &mut Executor, batch: Vec<Request>, counters: &Counters) {
     for req in &batch {
         flat.extend_from_slice(&req.image);
     }
-    let result = Tensor::from_vec(vec![n, c, hw, hw], flat)
-        .map_err(InferError::from)
-        .and_then(|images| exec.forward(&images));
+    let counters = &shared.counters;
     counters.batches.fetch_add(1, Ordering::Relaxed);
-    counters.requests.fetch_add(n as u64, Ordering::Relaxed);
     counters
         .max_batch_seen
         .fetch_max(n as u64, Ordering::Relaxed);
-    match result {
-        Ok(logits) => {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected executor fault at batch {seq}");
+        }
+        Tensor::from_vec(vec![n, c, hw, hw], flat)
+            .map_err(InferError::from)
+            .and_then(|images| exec.forward(&images))
+    }));
+    match outcome {
+        Ok(Ok(logits)) => {
+            counters.requests.fetch_add(n as u64, Ordering::Relaxed);
             let data = logits.as_slice();
             for (i, req) in batch.into_iter().enumerate() {
                 let row = data[i * k..(i + 1) * k].to_vec();
@@ -256,20 +763,41 @@ fn run_batch(exec: &mut Executor, batch: Vec<Request>, counters: &Counters) {
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .map_or(0, |(j, _)| j);
-                let _ = req.resp.send(Ok(InferReply {
+                let latency = req.enqueued.elapsed();
+                req.reply(Ok(InferReply {
                     argmax,
-                    latency: req.enqueued.elapsed(),
+                    latency,
                     batch_size: n,
                     logits: row,
                 }));
             }
+            Ok(())
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             let msg = e.to_string();
             for req in batch {
-                let _ = req.resp.send(Err(InferError::Exec(msg.clone())));
+                req.reply(Err(InferError::Exec(msg.clone())));
             }
+            Ok(())
         }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            counters.faulted.fetch_add(n as u64, Ordering::Relaxed);
+            for req in batch {
+                req.reply(Err(InferError::ExecutorFault(msg.clone())));
+            }
+            Err(())
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "executor panicked".to_string()
     }
 }
 
@@ -313,6 +841,25 @@ mod tests {
         })
     }
 
+    /// Options with a tiny queue and a fault plan that stalls batch 0, so
+    /// tests can deterministically pile requests up behind an in-flight
+    /// batch.
+    fn stall_first_batch(queue_cap: usize, shed: ShedPolicy) -> ServeOptions {
+        ServeOptions {
+            policy: BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_micros(0),
+            },
+            queue_cap,
+            shed,
+            fault_plan: ServeFaultPlan {
+                panic_at_batches: vec![],
+                slow_batches: vec![(0, Duration::from_millis(300))],
+            },
+            ..ServeOptions::default()
+        }
+    }
+
     #[test]
     fn serves_single_requests() {
         let server = Server::start(
@@ -322,6 +869,7 @@ mod tests {
                 max_wait: Duration::from_micros(0),
             },
         );
+        assert_eq!(server.health(), HealthState::Healthy);
         let reply = server.infer(&[1.0, 0.0, 0.5, 0.25]).unwrap();
         assert_eq!(reply.logits.len(), 2);
         assert!(reply.argmax < 2);
@@ -329,7 +877,9 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.batches, 1);
+        assert_eq!(stats.restarts, 0);
         server.shutdown();
+        assert_eq!(server.health(), HealthState::Draining);
         assert!(matches!(
             server.infer(&[0.0; 4]).unwrap_err(),
             InferError::Closed
@@ -339,7 +889,27 @@ mod tests {
     #[test]
     fn wrong_sample_length_is_rejected() {
         let server = Server::start(toy_artifact(), BatchPolicy::default());
-        assert!(server.infer(&[0.0; 3]).is_err());
+        assert!(matches!(
+            server.infer(&[0.0; 3]).unwrap_err(),
+            InferError::BadInput(_)
+        ));
+        assert_eq!(server.stats().bad_inputs, 1);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        let server = Server::start(toy_artifact(), BatchPolicy::default());
+        assert!(matches!(
+            server.infer(&[0.0, f32::NAN, 0.0, 0.0]).unwrap_err(),
+            InferError::BadInput(_)
+        ));
+        assert!(matches!(
+            server.infer(&[f32::INFINITY, 0.0, 0.0, 0.0]).unwrap_err(),
+            InferError::BadInput(_)
+        ));
+        assert_eq!(server.stats().bad_inputs, 2);
+        // A finite image still serves fine afterwards.
+        assert!(server.infer(&[0.5; 4]).is_ok());
     }
 
     #[test]
@@ -410,5 +980,169 @@ mod tests {
             assert!(reply.batch_size <= 2, "batch {} > cap", reply.batch_size);
         }
         assert_eq!(server.stats().requests, 4);
+    }
+
+    #[test]
+    fn shed_policy_parses() {
+        assert_eq!(ShedPolicy::parse("reject-new"), Some(ShedPolicy::RejectNew));
+        assert_eq!(ShedPolicy::parse(" REJECT "), Some(ShedPolicy::RejectNew));
+        assert_eq!(
+            ShedPolicy::parse("drop-oldest"),
+            Some(ShedPolicy::DropOldest)
+        );
+        assert_eq!(ShedPolicy::parse("Oldest"), Some(ShedPolicy::DropOldest));
+        assert_eq!(ShedPolicy::parse("lifo"), None);
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic() {
+        let a = ServeFaultPlan::seeded(42, 100, 3, 2, Duration::from_millis(5));
+        let b = ServeFaultPlan::seeded(42, 100, 3, 2, Duration::from_millis(5));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.panic_at_batches.iter().all(|&i| i < 100));
+        let c = ServeFaultPlan::seeded(43, 100, 3, 2, Duration::from_millis(5));
+        assert_ne!(
+            a, c,
+            "different seeds should (here) place faults differently"
+        );
+        assert!(ServeFaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_new_requests() {
+        // Batch 0 stalls 300 ms with request A in flight; B fills the
+        // 1-slot queue; C must be shed synchronously.
+        let server = Arc::new(Server::start_with(
+            toy_artifact(),
+            stall_first_batch(1, ShedPolicy::RejectNew),
+        ));
+        let a = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.1; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // A now in flight
+        let b = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.2; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // B now queued
+        assert!(matches!(
+            server.infer(&[0.3; 4]).unwrap_err(),
+            InferError::Overloaded
+        ));
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn full_queue_drops_oldest_when_configured() {
+        let server = Arc::new(Server::start_with(
+            toy_artifact(),
+            stall_first_batch(1, ShedPolicy::DropOldest),
+        ));
+        let a = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.1; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // A in flight
+        let b = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.2; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // B queued (queue full)
+        let c = server.infer(&[0.3; 4]); // displaces B
+        assert!(matches!(
+            b.join().unwrap().unwrap_err(),
+            InferError::Overloaded
+        ));
+        assert!(a.join().unwrap().is_ok());
+        assert!(c.is_ok());
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn deadlines_expire_without_a_forward_pass() {
+        // Zero budget expires at admission.
+        let server =
+            Server::start_with(toy_artifact(), stall_first_batch(8, ShedPolicy::RejectNew));
+        assert!(matches!(
+            server
+                .infer_with_deadline(&[0.5; 4], Some(Duration::ZERO))
+                .unwrap_err(),
+            InferError::DeadlineExceeded
+        ));
+        // A short budget expires while queued behind the stalled batch.
+        let server = Arc::new(server);
+        let a = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.1; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // A in flight (stalled)
+        let err = server
+            .infer_with_deadline(&[0.2; 4], Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(matches!(err, InferError::DeadlineExceeded), "{err}");
+        assert!(a.join().unwrap().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.deadline_expired, 2);
+        assert_eq!(stats.batches, 1, "no forward pass for expired requests");
+    }
+
+    #[test]
+    fn panic_restarts_executor_and_recovers() {
+        let image = [0.75, -0.5, 1.0, 0.25];
+        let clean = {
+            let server = Server::start(toy_artifact(), BatchPolicy::default());
+            server.infer(&image).unwrap()
+        };
+        let server = Server::start_with(
+            toy_artifact(),
+            ServeOptions {
+                fault_plan: ServeFaultPlan {
+                    panic_at_batches: vec![0],
+                    slow_batches: vec![],
+                },
+                ..ServeOptions::default()
+            },
+        );
+        let err = server.infer(&image).unwrap_err();
+        assert!(matches!(err, InferError::ExecutorFault(_)), "{err}");
+        assert!(err.to_string().contains("injected executor fault"));
+        // The server recovered: same request now succeeds with the exact
+        // same bits a never-faulted server produces.
+        let reply = server.infer(&image).unwrap();
+        for (a, b) in clean.logits.iter().zip(&reply.logits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.faulted, 1);
+        assert_eq!(server.health(), HealthState::Degraded { restarts: 1 });
+    }
+
+    #[test]
+    fn drain_timeout_fails_queued_requests() {
+        let server = Arc::new(Server::start_with(
+            toy_artifact(),
+            stall_first_batch(8, ShedPolicy::RejectNew),
+        ));
+        let a = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.1; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // A in flight (stalled 300 ms)
+        let b = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || s.infer(&[0.2; 4]))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // B queued
+        server.shutdown_within(Duration::from_millis(1));
+        // The in-flight batch completed; the queued request was failed.
+        assert!(a.join().unwrap().is_ok());
+        assert!(matches!(b.join().unwrap().unwrap_err(), InferError::Closed));
     }
 }

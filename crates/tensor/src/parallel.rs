@@ -729,6 +729,50 @@ mod tests {
     }
 
     #[test]
+    fn panic_payload_survives_and_next_dispatch_is_bit_identical() {
+        let _g = override_guard();
+        // A chunk fn shared by the post-panic parallel run and the serial
+        // reference: enough float math that a desync would show in bits.
+        fn fill(i: usize, c: &mut [f32]) {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = ((i * 4 + j) as f32 * 0.37).sin() * 1.0e3 / 7.0;
+            }
+        }
+        set_thread_override(Some(4));
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let chunks: Vec<(usize, usize)> = (0..32).map(|i| (i, i)).collect();
+            parallel_for_chunks(chunks, |_, v| {
+                if v == 7 {
+                    panic!("chaos probe {v}");
+                }
+            });
+        }))
+        .expect_err("panic must propagate to the submitter");
+        // The payload crosses the pool intact — supervisors (e.g. the
+        // serving dispatcher) rely on it for their fault messages.
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload must survive the pool crossing");
+        assert_eq!(msg, "chaos probe 7");
+        // The very next dispatch on the same, still-warm pool must run —
+        // no poisoned workers — and match a serial evaluation bit for bit.
+        let mut pooled = vec![0.0f32; 64];
+        let chunks: Vec<(usize, &mut [f32])> = pooled.chunks_mut(4).enumerate().collect();
+        parallel_for_chunks(chunks, fill);
+        set_thread_override(None);
+        let mut serial = vec![0.0f32; 64];
+        run_serial(|| {
+            let chunks: Vec<(usize, &mut [f32])> = serial.chunks_mut(4).enumerate().collect();
+            parallel_for_chunks(chunks, fill);
+        });
+        for (k, (a, b)) in pooled.iter().zip(&serial).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {k} diverged after panic");
+        }
+    }
+
+    #[test]
     fn scoped_mode_still_works() {
         let _g = override_guard();
         set_dispatch_mode(DispatchMode::Scoped);
