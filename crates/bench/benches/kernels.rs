@@ -224,7 +224,7 @@ fn bench_exec_engine(c: &mut Criterion) {
             &sparsity,
             |b, _| {
                 b.iter(|| {
-                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, None, false)
+                    conv2d_backward_exec(black_box(&input), &cw, &cgy, &g, &pool, None, false, None)
                         .unwrap()
                 })
             },
@@ -242,6 +242,7 @@ fn bench_exec_engine(c: &mut Criterion) {
                         &pool,
                         Some(&cpat),
                         false,
+                        None,
                     )
                     .unwrap()
                 })

@@ -6,6 +6,7 @@
 //! run_single [--profile smoke|small|paper] [--arch vgg16|resnet19|lenet5]
 //!            [--dataset cifar10|cifar100|tiny] [--method dense|ndsnn|set|rigl|lth|admm]
 //!            [--sparsity <f64>] [--initial <f64>] [--timesteps <n>] [--seed <n>]
+//!            [--surrogate atan|fastsigmoid[:alpha]|rect[:width]|gauss[:sigma]]
 //!            [--checkpoint-dir <path>] [--checkpoint-every <n>] [--resume]
 //!            [--export <path>]
 //! ```
@@ -27,6 +28,30 @@ use ndsnn::profile::Profile;
 use ndsnn::recovery::RecoveryOptions;
 use ndsnn::trainer;
 use ndsnn_snn::models::Architecture;
+use ndsnn_snn::surrogate::Surrogate;
+
+/// Parses `name[:param]` surrogate specs: `atan`, `fastsigmoid[:alpha]`,
+/// `rect[:width]`, `gauss[:sigma]`. Compact-support windows (`rect`,
+/// `gauss`) enable the active-set sparse-gradient backward.
+fn parse_surrogate(spec: &str) -> Option<Surrogate> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, p.parse::<f32>().ok()),
+        None => (spec, None),
+    };
+    match name {
+        "atan" => Some(Surrogate::Atan),
+        "fastsigmoid" => Some(Surrogate::FastSigmoid {
+            alpha: param.unwrap_or(2.0),
+        }),
+        "rect" | "rectangle" => Some(Surrogate::Rectangle {
+            width: param.unwrap_or(1.0),
+        }),
+        "gauss" | "gaussian" => Some(Surrogate::Gaussian {
+            sigma: param.unwrap_or(0.4),
+        }),
+        _ => None,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +108,12 @@ fn main() {
     }
     if get("--neuron").as_deref() == Some("plif") {
         cfg.neuron = ndsnn_snn::models::NeuronKind::Plif;
+    }
+    if let Some(spec) = get("--surrogate") {
+        match parse_surrogate(&spec) {
+            Some(s) => cfg.surrogate = s,
+            None => eprintln!("unknown surrogate {spec:?}; keeping {:?}", cfg.surrogate),
+        }
     }
     cfg.image_size = cfg.image_size.max(trainer::min_image_size(arch));
     eprintln!("running {}", cfg.describe());

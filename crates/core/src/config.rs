@@ -3,6 +3,7 @@
 use ndsnn_snn::encoder::Encoding;
 use ndsnn_snn::models::{Architecture, NeuronKind};
 use ndsnn_snn::optim::SgdConfig;
+use ndsnn_snn::surrogate::Surrogate;
 use serde::{Deserialize, Serialize};
 
 /// Which dataset family an experiment targets (paper §IV.A). All are
@@ -154,6 +155,12 @@ pub struct RunConfig {
     pub update_horizon: f64,
     /// Spiking neuron family (paper: fixed-decay LIF).
     pub neuron: NeuronKind,
+    /// Surrogate pseudo-derivative for the Heaviside backward (paper Eq. 3:
+    /// arctangent). Compact-support windows (`Rectangle`, `Gaussian`) are
+    /// what make the active-set sparse backward effective — the heavy-tailed
+    /// defaults never produce exact-zero derivatives, so their backward is
+    /// structurally dense.
+    pub surrogate: Surrogate,
     /// Write a full-state checkpoint every this many optimizer steps
     /// (0 disables periodic checkpointing). Takes effect only when a
     /// checkpoint directory is supplied via
@@ -165,6 +172,13 @@ pub struct RunConfig {
     /// to `NDSNN_SPIKE_DENSITY_THRESHOLD` (default 0.25); negative forces
     /// dense execution, `>= 1.0` forces the gather path.
     pub spike_density_threshold: Option<f64>,
+    /// Backward-density threshold for the active-set sparse-gradient BPTT
+    /// backward: a timestep whose realized surrogate-active density falls
+    /// strictly below it restricts `dX` to the active neurons (bit-identical
+    /// to dense at active threshold 0). `None` defers to
+    /// `NDSNN_GRAD_DENSITY_THRESHOLD` (default 0.25); negative disables
+    /// active-set emission entirely, `>= 1.0` forces the gather path.
+    pub grad_density_threshold: Option<f64>,
 }
 
 impl RunConfig {
@@ -201,6 +215,12 @@ pub mod env {
     /// Spike-density threshold below which binary timesteps dispatch through
     /// the gather kernels.
     pub const SPIKE_DENSITY_THRESHOLD: &str = "NDSNN_SPIKE_DENSITY_THRESHOLD";
+    /// Backward-density threshold below which a timestep's `dX` is restricted
+    /// to the surrogate-active neuron set.
+    pub const GRAD_DENSITY_THRESHOLD: &str = "NDSNN_GRAD_DENSITY_THRESHOLD";
+    /// Active-window membership threshold on `|φ'(v − ϑ)|`; `0` (the
+    /// default) keeps the sparse backward bit-identical to dense.
+    pub const GRAD_ACTIVE_THRESHOLD: &str = "NDSNN_GRAD_ACTIVE_THRESHOLD";
     /// Numeric-fault reaction policy (`abort` / `skip` / `rollback`).
     pub const FAULT_POLICY: &str = "NDSNN_FAULT_POLICY";
     /// Maximum requests coalesced into one forward pass by the serving
@@ -259,6 +279,20 @@ pub mod env {
     /// execution; `>= 1.0` forces the gather path.
     pub fn spike_density_threshold() -> f64 {
         ndsnn_tensor::ops::spike::spike_density_threshold_from_env()
+    }
+
+    /// `NDSNN_GRAD_DENSITY_THRESHOLD`, default 0.25. Negative disables
+    /// active-set emission (forces the dense backward); `>= 1.0` forces the
+    /// gather path whenever an active set is available.
+    pub fn grad_density_threshold() -> f64 {
+        ndsnn_tensor::ops::grad::grad_density_threshold_from_env()
+    }
+
+    /// `NDSNN_GRAD_ACTIVE_THRESHOLD`, default 0.0 (bit-identity mode).
+    /// Negative or non-finite values fall back to the default; positive
+    /// values trade bounded gradient error for a smaller active set.
+    pub fn grad_active_threshold() -> f64 {
+        ndsnn_tensor::ops::grad::grad_active_threshold_from_env()
     }
 
     /// `NDSNN_FAULT_POLICY`, default [`FaultPolicy::Abort`].
@@ -366,6 +400,50 @@ pub mod env {
             assert_eq!(
                 spike_density_threshold(),
                 ndsnn_tensor::ops::spike::DEFAULT_SPIKE_DENSITY_THRESHOLD
+            );
+        }
+
+        #[test]
+        fn grad_density_threshold_knob() {
+            // Force-dense and force-sparse extremes round-trip unclamped.
+            std::env::set_var(GRAD_DENSITY_THRESHOLD, "-1");
+            assert_eq!(grad_density_threshold(), -1.0);
+            std::env::set_var(GRAD_DENSITY_THRESHOLD, "1.5");
+            assert_eq!(grad_density_threshold(), 1.5);
+            std::env::set_var(GRAD_DENSITY_THRESHOLD, "0.4");
+            assert_eq!(grad_density_threshold(), 0.4);
+            std::env::set_var(GRAD_DENSITY_THRESHOLD, "garbage");
+            assert_eq!(
+                grad_density_threshold(),
+                ndsnn_tensor::ops::grad::DEFAULT_GRAD_DENSITY_THRESHOLD
+            );
+            std::env::remove_var(GRAD_DENSITY_THRESHOLD);
+            assert_eq!(
+                grad_density_threshold(),
+                ndsnn_tensor::ops::grad::DEFAULT_GRAD_DENSITY_THRESHOLD
+            );
+        }
+
+        #[test]
+        fn grad_active_threshold_knob() {
+            std::env::set_var(GRAD_ACTIVE_THRESHOLD, "0.01");
+            assert_eq!(grad_active_threshold(), 0.01);
+            // Negative and garbage both fall back: the membership test is
+            // |φ'| > τ, so a negative τ would silently mean "everything".
+            std::env::set_var(GRAD_ACTIVE_THRESHOLD, "-0.5");
+            assert_eq!(
+                grad_active_threshold(),
+                ndsnn_tensor::ops::grad::DEFAULT_GRAD_ACTIVE_THRESHOLD
+            );
+            std::env::set_var(GRAD_ACTIVE_THRESHOLD, "inf");
+            assert_eq!(
+                grad_active_threshold(),
+                ndsnn_tensor::ops::grad::DEFAULT_GRAD_ACTIVE_THRESHOLD
+            );
+            std::env::remove_var(GRAD_ACTIVE_THRESHOLD);
+            assert_eq!(
+                grad_active_threshold(),
+                ndsnn_tensor::ops::grad::DEFAULT_GRAD_ACTIVE_THRESHOLD
             );
         }
 

@@ -66,6 +66,21 @@ pub struct PhaseTimings {
     /// Time the sparse engine spent updating masks and rebuilding execution
     /// plans at drop-and-grow rounds (a subset of `pack_ns`).
     pub mask_update_ns: u64,
+    /// Time inside the active-set sparse-gradient backward dispatches. A
+    /// subset of `backward_ns` (the gathers run inside BPTT), so not added
+    /// to [`PhaseTimings::total_ns`].
+    pub grad_gather_ns: u64,
+    /// Consumer-layer backward timesteps whose `dX` was restricted to the
+    /// surrogate-active set.
+    pub grad_gather_steps: u64,
+    /// Consumer-layer backward timesteps that had a usable active set but
+    /// ran the dense `dX` (density at/above the grad threshold).
+    pub grad_dense_steps: u64,
+    /// Surrogate-active entries across all active sets consumer layers
+    /// received.
+    pub grad_nnz: u64,
+    /// Total entries (active + silent) across those active sets.
+    pub grad_elems: u64,
 }
 
 impl PhaseTimings {
@@ -86,6 +101,17 @@ impl PhaseTimings {
             0.0
         } else {
             self.spike_nnz as f64 / self.spike_elems as f64
+        }
+    }
+
+    /// Realized surrogate-active backward density over every active set the
+    /// consumer layers received during training, in `[0, 1]` (0 when no
+    /// active set was ever seen).
+    pub fn realized_backward_density(&self) -> f64 {
+        if self.grad_elems == 0 {
+            0.0
+        } else {
+            self.grad_nnz as f64 / self.grad_elems as f64
         }
     }
 }
@@ -197,8 +223,10 @@ impl Profile {
             delta_t: 8,
             update_horizon: 0.75,
             neuron: Default::default(),
+            surrogate: Default::default(),
             checkpoint_every: 0,
             spike_density_threshold: None,
+            grad_density_threshold: None,
         }
     }
 }
@@ -225,6 +253,7 @@ mod tests {
             norm_ns: 1 << 42,
             optim_step_ns: 1 << 43,
             mask_update_ns: 1 << 44,
+            grad_gather_ns: 1 << 45,
             ..PhaseTimings::default()
         };
         assert_eq!(t.total_ns(), 370);

@@ -536,7 +536,7 @@ pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
     let mut entries = BTreeMap::new();
 
     let mut meta = BlobWriter::new();
-    meta.put_u64(2); // snapshot format version (2: phase-timing counters)
+    meta.put_u64(3); // snapshot format version (3: grad-gather counters)
     meta.put_str(&snap.fingerprint);
     meta.put_usize(snap.step);
     meta.put_usize(snap.epoch);
@@ -622,6 +622,11 @@ pub fn encode_snapshot(snap: &RunSnapshot) -> BTreeMap<String, Vec<u8>> {
     tr.put_u64(snap.timings.norm_ns);
     tr.put_u64(snap.timings.optim_step_ns);
     tr.put_u64(snap.timings.mask_update_ns);
+    tr.put_u64(snap.timings.grad_gather_ns);
+    tr.put_u64(snap.timings.grad_gather_steps);
+    tr.put_u64(snap.timings.grad_dense_steps);
+    tr.put_u64(snap.timings.grad_nnz);
+    tr.put_u64(snap.timings.grad_elems);
     encode_faults(&mut tr, &snap.faults);
     entries.insert("trace".to_string(), tr.finish());
 
@@ -638,7 +643,7 @@ pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapsho
 
     let mut meta = BlobReader::new(blob("meta")?);
     let version = meta.get_u64()?;
-    if version != 2 {
+    if version != 3 {
         return Err(corrupt(format!("unsupported snapshot version {version}")));
     }
     let fingerprint = meta.get_str()?;
@@ -751,6 +756,11 @@ pub fn decode_snapshot(entries: &BTreeMap<String, Vec<u8>>) -> Result<RunSnapsho
         norm_ns: tr.get_u64()?,
         optim_step_ns: tr.get_u64()?,
         mask_update_ns: tr.get_u64()?,
+        grad_gather_ns: tr.get_u64()?,
+        grad_gather_steps: tr.get_u64()?,
+        grad_dense_steps: tr.get_u64()?,
+        grad_nnz: tr.get_u64()?,
+        grad_elems: tr.get_u64()?,
     };
     let faults = decode_faults(&mut tr)?;
     tr.finish()?;
@@ -852,6 +862,11 @@ mod tests {
                 norm_ns: 12,
                 optim_step_ns: 13,
                 mask_update_ns: 14,
+                grad_gather_ns: 15,
+                grad_gather_steps: 16,
+                grad_dense_steps: 17,
+                grad_nnz: 18,
+                grad_elems: 19,
             },
             faults: vec![FaultEvent {
                 step: 6,

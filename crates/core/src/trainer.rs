@@ -6,7 +6,7 @@
 //! for tests. [`run`] / [`run_with_data`] are the same loop with default
 //! [`RecoveryOptions`] (no checkpoint directory, abort-on-fault).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ndsnn_data::augment::AugmentConfig;
 use ndsnn_data::dataset::InMemoryDataset;
@@ -17,19 +17,22 @@ use ndsnn_metrics::cost::{
 };
 use ndsnn_metrics::flops::LayerCompute;
 use ndsnn_metrics::meters::{AccuracyMeter, AvgMeter, EpochRecord};
-use ndsnn_snn::layers::{ComputeSite, Layer, SpikeStats};
+use ndsnn_snn::layers::{ComputeSite, Layer, LifConfig, SpikeStats};
 use ndsnn_snn::models::{Architecture, ModelConfig};
 use ndsnn_snn::network::SpikingNetwork;
 use ndsnn_snn::optim::{CosineSchedule, Sgd};
 use ndsnn_sparse::admm::{AdmmConfig, AdmmEngine};
 use ndsnn_sparse::dynamic::UpdateEvent;
-use ndsnn_sparse::engine::{configure_spike_execution, DenseEngine, SparseEngine};
+use ndsnn_sparse::engine::{
+    configure_grad_execution, configure_spike_execution, DenseEngine, SparseEngine,
+};
 use ndsnn_sparse::lth::{LthConfig, LthController};
 use ndsnn_sparse::ndsnn::{ndsnn_engine, NdsnnConfig};
 use ndsnn_sparse::rigl::{rigl_engine, RiglConfig};
 use ndsnn_sparse::schedule::UpdateSchedule;
 use ndsnn_sparse::set::{set_engine, SetConfig};
 use ndsnn_sparse::structured::{StructuredConfig, StructuredEngine};
+use ndsnn_tensor::ops::grad::{grad_active_threshold_from_env, grad_density_threshold_from_env};
 use ndsnn_tensor::ops::spike::spike_density_threshold_from_env;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,7 +122,10 @@ pub fn build_network(cfg: &RunConfig) -> Result<SpikingNetwork> {
         image_size: cfg.image_size,
         num_classes: cfg.num_classes,
         width_mult: cfg.width_mult,
-        lif: Default::default(),
+        lif: LifConfig {
+            surrogate: cfg.surrogate,
+            ..Default::default()
+        },
         neuron: cfg.neuron,
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -403,6 +409,12 @@ fn run_attempt(
         cfg.spike_density_threshold
             .unwrap_or_else(spike_density_threshold_from_env),
     );
+    configure_grad_execution(
+        &mut net.layers,
+        cfg.grad_density_threshold
+            .unwrap_or_else(grad_density_threshold_from_env),
+        grad_active_threshold_from_env() as f32,
+    );
     let num_params = net.num_params();
     let loader = BatchLoader::new(
         cfg.batch_size,
@@ -451,6 +463,10 @@ fn run_attempt(
     let mut final_test = 0.0f64;
     let mut step = 0usize;
     let mut layer_rates: Vec<(String, f64)> = Vec::new();
+    // Per-consumer surrogate-active backward totals (nnz, elems), summed
+    // across every training batch; feeds the FLOPs report's backward
+    // densities.
+    let mut grad_layer_totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut timings = PhaseTimings::default();
     let mut loss_meter = AvgMeter::new();
     let mut acc_meter = AccuracyMeter::new();
@@ -532,6 +548,18 @@ fn run_attempt(
             timings.spike_dense_steps += spike_exec.dense_steps;
             timings.spike_nnz += spike_exec.nnz;
             timings.spike_elems += spike_exec.elems;
+            for (name, g) in net.layers.grad_exec_stats_per_layer() {
+                let slot = grad_layer_totals.entry(name).or_insert((0u64, 0u64));
+                slot.0 += g.nnz;
+                slot.1 += g.elems;
+            }
+            let grad_exec = net.layers.grad_exec_stats();
+            net.layers.reset_grad_exec_stats();
+            timings.grad_gather_ns += grad_exec.kernel_ns;
+            timings.grad_gather_steps += grad_exec.gather_steps;
+            timings.grad_dense_steps += grad_exec.dense_steps;
+            timings.grad_nnz += grad_exec.nnz;
+            timings.grad_elems += grad_exec.elems;
             let phase = net.layers.phase_ns();
             net.layers.reset_phase_ns();
             timings.neuron_ns += phase.neuron_ns;
@@ -741,8 +769,10 @@ fn run_attempt(
             test_meter.update(stats.correct, stats.total);
         }
         // Evaluation runs the same spike path; keep its counters out of the
-        // training-phase totals.
+        // training-phase totals. (Eval never emits active sets — layers are
+        // out of training mode — but reset grad counters too for symmetry.)
         net.layers.reset_spike_exec_stats();
+        net.layers.reset_grad_exec_stats();
         final_test = test_meter.percent();
         best_test = best_test.max(final_test);
         records.push(EpochRecord {
@@ -824,6 +854,7 @@ fn run_attempt(
     let mut flop_layers = Vec::new();
     let mut flop_densities = Vec::new();
     let mut flop_rates = Vec::new();
+    let mut flop_bwd_densities = Vec::new();
     let mut current_rate = ASSUMED_SPIKE_RATE;
     for site in sites {
         match site {
@@ -844,6 +875,12 @@ fn run_attempt(
                     .find(|(n, _)| *n == format!("{name}.weight"))
                     .map(|(_, d)| *d)
                     .unwrap_or(1.0);
+                // A consumer that never saw an active set ran its dX dense.
+                let bwd = grad_layer_totals
+                    .get(&name)
+                    .filter(|(_, elems)| *elems > 0)
+                    .map(|(nnz, elems)| *nnz as f64 / *elems as f64)
+                    .unwrap_or(1.0);
                 flop_layers.push(LayerCompute {
                     name,
                     weights,
@@ -851,10 +888,17 @@ fn run_attempt(
                 });
                 flop_densities.push(d);
                 flop_rates.push(current_rate);
+                flop_bwd_densities.push(bwd);
             }
         }
     }
-    let flops = training_flops_report(&flop_layers, &flop_densities, &flop_rates, cfg.timesteps);
+    let flops = training_flops_report(
+        &flop_layers,
+        &flop_densities,
+        &flop_rates,
+        &flop_bwd_densities,
+        cfg.timesteps,
+    );
 
     let mask_digest = engine
         .as_engine()
@@ -1061,6 +1105,58 @@ mod tests {
         // The gather kernels are exact: both runs follow the same numeric
         // trajectory bit for bit (the config field is execution-only, so it
         // is excluded from the loss comparison, not from the JSON).
+        assert_eq!(gather.epochs.len(), dense.epochs.len());
+        for (g, d) in gather.epochs.iter().zip(&dense.epochs) {
+            assert_eq!(g.train_loss, d.train_loss, "loss diverged");
+            assert_eq!(g.train_acc, d.train_acc);
+            assert_eq!(g.test_acc, d.test_acc);
+        }
+    }
+
+    #[test]
+    fn grad_density_threshold_config_switches_dispatch_bit_identically() {
+        // Rectangle has compact support, so neurons outside the window are
+        // *exactly* inactive and the restricted backward must replay the
+        // dense trajectory bit for bit. (The default Atan surrogate never
+        // reaches zero, so it would legitimately emit nothing.)
+        let surrogate = ndsnn_snn::surrogate::Surrogate::Rectangle { width: 1.0 };
+        let mut gather_cfg = smoke(MethodSpec::Dense);
+        gather_cfg.surrogate = surrogate;
+        gather_cfg.grad_density_threshold = Some(1.5);
+        let gather = run(&gather_cfg).unwrap();
+        assert!(
+            gather.timings.grad_gather_steps > 0,
+            "forced-gather run never restricted a backward: {:?}",
+            gather.timings
+        );
+        assert!(gather.timings.grad_elems > 0);
+        let density = gather.timings.realized_backward_density();
+        assert!(
+            (0.0..1.0).contains(&density),
+            "active window covered everything: {density}"
+        );
+        // The measured density also reaches the FLOPs report.
+        assert!(gather.flops.realized_backward_density < 1.0);
+
+        let mut dense_cfg = smoke(MethodSpec::Dense);
+        dense_cfg.surrogate = surrogate;
+        dense_cfg.grad_density_threshold = Some(-1.0);
+        let dense = run(&dense_cfg).unwrap();
+        assert_eq!(dense.timings.grad_gather_steps, 0);
+        assert_eq!(
+            dense.timings.grad_elems, 0,
+            "negative threshold must disable emission entirely"
+        );
+        assert_eq!(dense.flops.realized_backward_density, 1.0);
+        // Same trajectory, same rates — only the dX share of the active
+        // estimate shrinks with the measured backward density.
+        assert!(
+            gather.flops.realized_active < dense.flops.realized_active,
+            "active-backward FLOPs did not shrink: {} vs {}",
+            gather.flops.realized_active,
+            dense.flops.realized_active
+        );
+
         assert_eq!(gather.epochs.len(), dense.epochs.len());
         for (g, d) in gather.epochs.iter().zip(&dense.epochs) {
             assert_eq!(g.train_loss, d.train_loss, "loss diverged");

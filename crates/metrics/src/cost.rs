@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::flops::{training_flops, LayerCompute};
+use crate::flops::{training_flops, training_flops_active, LayerCompute};
 
 /// Input spike rate assumed for a layer whose activity was not measured:
 /// every input fires every timestep. This is the ANN-equivalent upper bound
@@ -34,6 +34,14 @@ pub struct TrainingFlops {
     /// MAC-and-density-weighted mean realized input rate (`realized /
     /// assumed`, scaled back to a rate) — the effective `R` of Eq. 6.
     pub realized_rate: f64,
+    /// Training FLOPs per sample at the measured rates *and* with each
+    /// layer's `dX` restricted to its measured surrogate-active backward
+    /// density (see [`training_flops_active`]); equals the 3×-forward
+    /// accounting when every backward ran dense.
+    pub realized_active: f64,
+    /// MAC-and-density-weighted mean realized backward density across the
+    /// consumer layers (1.0 when every backward ran dense).
+    pub realized_backward_density: f64,
 }
 
 /// Builds a [`TrainingFlops`] report from per-layer compute descriptors,
@@ -44,6 +52,7 @@ pub fn training_flops_report(
     layers: &[LayerCompute],
     densities: &[f64],
     realized_rates: &[f64],
+    backward_densities: &[f64],
     timesteps: usize,
 ) -> TrainingFlops {
     let assumed_rates = vec![ASSUMED_SPIKE_RATE; layers.len()];
@@ -54,10 +63,30 @@ pub fn training_flops_report(
     } else {
         ASSUMED_SPIKE_RATE
     };
+    let realized_active = training_flops_active(
+        layers,
+        densities,
+        realized_rates,
+        backward_densities,
+        timesteps,
+    );
+    // Weight each layer's backward density by its live dX work so tiny
+    // classifier heads cannot drown out the conv stack.
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for (i, l) in layers.iter().enumerate() {
+        let d = densities.get(i).copied().unwrap_or(1.0);
+        let b = backward_densities.get(i).copied().unwrap_or(1.0);
+        let w = l.dense_macs() as f64 * d;
+        num += w * b;
+        den += w;
+    }
+    let realized_backward_density = if den > 0.0 { num / den } else { 1.0 };
     TrainingFlops {
         assumed,
         realized,
         realized_rate,
+        realized_active,
+        realized_backward_density,
     }
 }
 
@@ -209,22 +238,54 @@ mod tests {
                 output_positions: 1,
             },
         ];
-        let r = training_flops_report(&layers, &[1.0, 1.0], &[0.25, 0.25], 2);
+        let r = training_flops_report(&layers, &[1.0, 1.0], &[0.25, 0.25], &[], 2);
         assert!(r.assumed > 0.0);
         assert!((r.realized / r.assumed - 0.25).abs() < 1e-12);
         assert!((r.realized_rate - 0.25).abs() < 1e-12);
         // Weight density scales both estimates, leaving the rate unchanged.
-        let d = training_flops_report(&layers, &[0.1, 0.1], &[0.25, 0.25], 2);
+        let d = training_flops_report(&layers, &[0.1, 0.1], &[0.25, 0.25], &[], 2);
         assert!((d.assumed / r.assumed - 0.1).abs() < 1e-12);
         assert!((d.realized_rate - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn flops_report_empty_defaults_to_assumed_rate() {
-        let r = training_flops_report(&[], &[], &[], 1);
+        let r = training_flops_report(&[], &[], &[], &[], 1);
         assert_eq!(r.assumed, 0.0);
         assert_eq!(r.realized, 0.0);
         assert_eq!(r.realized_rate, ASSUMED_SPIKE_RATE);
+        assert_eq!(r.realized_backward_density, 1.0);
+    }
+
+    #[test]
+    fn flops_report_tracks_backward_density() {
+        let layers = vec![
+            LayerCompute {
+                name: "conv".into(),
+                weights: 1000,
+                output_positions: 64,
+            },
+            LayerCompute {
+                name: "fc".into(),
+                weights: 5000,
+                output_positions: 1,
+            },
+        ];
+        // Missing entries stay dense.
+        let dense = training_flops_report(&layers, &[1.0, 1.0], &[1.0, 1.0], &[], 2);
+        assert_eq!(dense.realized_active, dense.realized);
+        assert_eq!(dense.realized_backward_density, 1.0);
+        // A 10%-active backward shrinks the active estimate and reports the
+        // MAC-weighted mean density.
+        let act = training_flops_report(&layers, &[1.0, 1.0], &[1.0, 1.0], &[0.1, 0.1], 2);
+        assert!(act.realized_active < act.realized);
+        assert!((act.realized_backward_density - 0.1).abs() < 1e-12);
+        // The conv stack dominates the weighted mean over the tiny head.
+        let mix = training_flops_report(&layers, &[1.0, 1.0], &[1.0, 1.0], &[0.1, 1.0], 2);
+        let macs_conv = 1000.0 * 64.0;
+        let macs_fc = 5000.0;
+        let expect = (macs_conv * 0.1 + macs_fc) / (macs_conv + macs_fc);
+        assert!((mix.realized_backward_density - expect).abs() < 1e-12);
     }
 
     #[test]

@@ -59,6 +59,33 @@ pub fn training_flops(
     3.0 * forward_flops(layers, densities, spike_rates, timesteps)
 }
 
+/// Training FLOPs with the backward split into its two halves: the weight
+/// gradient `dW` gathers over the same spiking input as the forward (so it
+/// scales with the input spike rate, 1× forward), while the input gradient
+/// `dX` runs over real-valued output gradients and scales instead with the
+/// consumer's realized *backward* density — the fraction of upstream neurons
+/// whose surrogate window is active, which is what the active-set backward
+/// actually computes. Missing backward-density entries default to dense
+/// (`1.0`), the pre-active-set behaviour.
+pub fn training_flops_active(
+    layers: &[LayerCompute],
+    densities: &[f64],
+    spike_rates: &[f64],
+    backward_densities: &[f64],
+    timesteps: usize,
+) -> f64 {
+    let dx: f64 = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let d = densities.get(i).copied().unwrap_or(1.0);
+            let b = backward_densities.get(i).copied().unwrap_or(1.0);
+            2.0 * l.dense_macs() as f64 * d * b * timesteps as f64
+        })
+        .sum();
+    2.0 * forward_flops(layers, densities, spike_rates, timesteps) + dx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +143,20 @@ mod tests {
     fn missing_entries_default_dense() {
         let f = forward_flops(&layers(), &[], &[], 1);
         assert_eq!(f, 2.0 * (1000.0 * 64.0 + 5000.0));
+    }
+
+    #[test]
+    fn active_backward_scales_only_the_dx_share() {
+        let f = forward_flops(&layers(), &[1.0, 1.0], &[1.0, 1.0], 1);
+        // Dense backward density: fwd + dW + dX = 3× forward.
+        let dense = training_flops_active(&layers(), &[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0], 1);
+        assert_eq!(dense, 3.0 * f);
+        // A 10%-active backward shrinks only the dX third.
+        let act = training_flops_active(&layers(), &[1.0, 1.0], &[1.0, 1.0], &[0.1, 0.1], 1);
+        assert!((act / f - 2.1).abs() < 1e-12);
+        // dW still follows the input spike rate while dX follows the
+        // backward density — the two knobs are independent.
+        let both = training_flops_active(&layers(), &[1.0, 1.0], &[0.5, 0.5], &[0.1, 0.1], 1);
+        assert!((both / f - (2.0 * 0.5 + 0.1)).abs() < 1e-12);
     }
 }

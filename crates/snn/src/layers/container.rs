@@ -1,5 +1,6 @@
 //! Layer composition.
 
+use ndsnn_tensor::ops::grad::GradActiveBatch;
 use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
@@ -77,6 +78,16 @@ impl Sequential {
             .filter(|(_, s)| s.elems > 0 || s.gather_steps > 0)
             .collect()
     }
+
+    /// Per-layer active-set backward statistics (name, stats) for children
+    /// that saw at least one gradient active set.
+    pub fn grad_exec_stats_per_layer(&self) -> Vec<(String, SpikeExecStats)> {
+        self.layers
+            .iter()
+            .map(|l| (l.name().to_string(), l.grad_exec_stats()))
+            .filter(|(_, s)| s.elems > 0 || s.gather_steps > 0)
+            .collect()
+    }
 }
 
 impl Layer for Sequential {
@@ -97,14 +108,30 @@ impl Layer for Sequential {
         spikes: Option<SpikeBatch>,
         step: usize,
     ) -> Result<(Tensor, Option<SpikeBatch>)> {
+        // Thread active-set metadata too: emitters only collect index lists
+        // when the grad execution is enabled for them, so this costs nothing
+        // when the feature is off.
+        let (out, sb, _) = self.forward_active(input, spikes, None, step)?;
+        Ok((out, sb))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
         let mut x = input.clone();
         let mut sb = spikes;
+        let mut ab = active;
         for layer in &mut self.layers {
-            let (y, next) = layer.forward_spikes(&x, sb, step)?;
+            let (y, next_sb, next_ab) = layer.forward_active(&x, sb, ab, step)?;
             x = y;
-            sb = next;
+            sb = next_sb;
+            ab = next_ab;
         }
-        Ok((x, sb))
+        Ok((x, sb, ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -170,6 +197,26 @@ impl Layer for Sequential {
     fn reset_spike_exec_stats(&mut self) {
         for layer in &mut self.layers {
             layer.reset_spike_exec_stats();
+        }
+    }
+
+    fn set_grad_execution(&mut self, threshold: f64, tau: f32) {
+        for layer in &mut self.layers {
+            layer.set_grad_execution(threshold, tau);
+        }
+    }
+
+    fn grad_exec_stats(&self) -> SpikeExecStats {
+        let mut total = SpikeExecStats::default();
+        for layer in &self.layers {
+            total.merge(layer.grad_exec_stats());
+        }
+        total
+    }
+
+    fn reset_grad_exec_stats(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_grad_exec_stats();
         }
     }
 

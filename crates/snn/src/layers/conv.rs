@@ -1,6 +1,7 @@
 //! Spiking 2-D convolution layer.
 
 use ndsnn_tensor::ops::conv::{conv2d_backward_exec, conv2d_forward_exec, Conv2dGeometry};
+use ndsnn_tensor::ops::grad::{grad_density_threshold_from_env, GradActiveBatch, PackedWt};
 use ndsnn_tensor::ops::spike::{spike_density_threshold_from_env, SpikeBatch};
 use ndsnn_tensor::scratch::ScratchPool;
 use ndsnn_tensor::Tensor;
@@ -26,8 +27,20 @@ pub struct Conv2d {
     /// Per-step record of whether the spike-gather dispatch was chosen, so
     /// the backward `dW` pass takes the matching multiply-free path.
     spike_gather_cache: Vec<bool>,
+    /// Per-step gradient active sets received via [`Layer::forward_active`]:
+    /// the input positions the upstream population can actually consume, to
+    /// which the backward `dX` may be restricted.
+    active_cache: Vec<Option<GradActiveBatch>>,
+    /// Packed transpose of the weight for the active-set `dX` gather, built
+    /// lazily at the first active backward step of a batch and reused for
+    /// every remaining timestep — weights only change between batches, and
+    /// [`Layer::reset_state`] (called at the start of every pass) drops the
+    /// cache before they can.
+    packed_wt: Option<PackedWt>,
     spike_threshold: f64,
+    grad_threshold: f64,
     exec: SpikeExecStats,
+    grad_exec: SpikeExecStats,
     /// Output spatial positions per sample (`H_out·W_out`) from the last
     /// forward pass — geometry alone cannot supply it because the output
     /// size depends on the input size. Feeds [`Layer::collect_compute`].
@@ -71,8 +84,12 @@ impl Conv2d {
             bias,
             input_cache: Vec::new(),
             spike_gather_cache: Vec::new(),
+            active_cache: Vec::new(),
+            packed_wt: None,
             spike_threshold: spike_density_threshold_from_env(),
+            grad_threshold: grad_density_threshold_from_env(),
             exec: SpikeExecStats::default(),
+            grad_exec: SpikeExecStats::default(),
             out_positions: 0,
             training: true,
             scratch: ScratchPool::new(),
@@ -92,6 +109,7 @@ impl Conv2d {
         &mut self,
         input: &Tensor,
         spikes: Option<&SpikeBatch>,
+        active: Option<GradActiveBatch>,
         step: usize,
     ) -> Result<Tensor> {
         let usable = spikes.is_some_and(|sb| {
@@ -129,8 +147,14 @@ impl Conv2d {
         self.out_positions = out.dims()[2] * out.dims()[3];
         if self.training {
             debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
+            let active_usable = active.as_ref().is_some_and(|ab| {
+                input.rank() == 4
+                    && ab.rows() == input.dims()[0]
+                    && ab.rows() * ab.cols() == input.len()
+            });
             self.input_cache.push(input.clone());
             self.spike_gather_cache.push(gather);
+            self.active_cache.push(active.filter(|_| active_usable));
         }
         Ok(out)
     }
@@ -142,7 +166,7 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        self.forward_impl(input, None, step)
+        self.forward_impl(input, None, None, step)
     }
 
     fn forward_spikes(
@@ -152,7 +176,23 @@ impl Layer for Conv2d {
         step: usize,
     ) -> Result<(Tensor, Option<SpikeBatch>)> {
         // Consumes the incoming batch; the conv output is not binary.
-        Ok((self.forward_impl(input, spikes.as_ref(), step)?, None))
+        Ok((self.forward_impl(input, spikes.as_ref(), None, step)?, None))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        // Consumes both: the spike batch feeds the forward/dW gathers, the
+        // active set is captured for the backward dX restriction.
+        Ok((
+            self.forward_impl(input, spikes.as_ref(), active, step)?,
+            None,
+            None,
+        ))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -165,6 +205,24 @@ impl Layer for Conv2d {
         // The dW gather composes with an installed weight plan (dW stays
         // dense-valued either way), so replay the forward's spike decision.
         let gather = self.spike_gather_cache.get(step).copied().unwrap_or(false);
+        let ab = self
+            .active_cache
+            .get(step)
+            .and_then(|o| o.as_ref())
+            .filter(|ab| ab.rows() == grad_out.dims()[0]);
+        if let Some(ab) = ab {
+            self.grad_exec.nnz += ab.nnz() as u64;
+            self.grad_exec.elems += (ab.rows() * ab.cols()) as u64;
+        }
+        let active = ab.filter(|ab| ab.density() < self.grad_threshold);
+        if active.is_some() && self.packed_wt.is_none() {
+            self.packed_wt = Some(PackedWt::from_row_major(
+                self.weight.value.as_slice(),
+                self.geometry.out_channels,
+                self.geometry.col_rows(),
+            ));
+        }
+        let active = active.map(|ab| (ab, self.packed_wt.as_ref().expect("packed above")));
         let t0 = Instant::now();
         let grads = conv2d_backward_exec(
             x,
@@ -174,10 +232,20 @@ impl Layer for Conv2d {
             &self.scratch,
             self.weight.exec_pattern()?,
             gather,
+            active,
         )?;
+        let elapsed = t0.elapsed().as_nanos() as u64;
         if gather {
-            self.exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+            self.exec.kernel_ns += elapsed;
             self.exec.gather_steps += 1;
+        }
+        if active.is_some() {
+            // Attributed wholesale: the fused backward call computes dW and
+            // dBias too, but the dX col2im chain it replaces dominates it.
+            self.grad_exec.kernel_ns += elapsed;
+            self.grad_exec.gather_steps += 1;
+        } else if ab.is_some() {
+            self.grad_exec.dense_steps += 1;
         }
         self.weight.grad.add_assign(&grads.weight_grad)?;
         if let Some(bias) = &mut self.bias {
@@ -189,6 +257,8 @@ impl Layer for Conv2d {
     fn reset_state(&mut self) {
         self.input_cache.clear();
         self.spike_gather_cache.clear();
+        self.active_cache.clear();
+        self.packed_wt = None;
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -206,12 +276,24 @@ impl Layer for Conv2d {
         self.spike_threshold = threshold;
     }
 
+    fn set_grad_execution(&mut self, threshold: f64, _tau: f32) {
+        self.grad_threshold = threshold;
+    }
+
     fn spike_exec_stats(&self) -> SpikeExecStats {
         self.exec
     }
 
     fn reset_spike_exec_stats(&mut self) {
         self.exec = SpikeExecStats::default();
+    }
+
+    fn grad_exec_stats(&self) -> SpikeExecStats {
+        self.grad_exec
+    }
+
+    fn reset_grad_exec_stats(&mut self) {
+        self.grad_exec = SpikeExecStats::default();
     }
 
     fn collect_compute(&self, out: &mut Vec<ComputeSite>) {

@@ -1,5 +1,6 @@
 //! Shape adapter between convolutional and fully-connected stages.
 
+use ndsnn_tensor::ops::grad::GradActiveBatch;
 use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
@@ -56,6 +57,22 @@ impl Layer for Flatten {
         // A spike batch is already `[batch, flattened features]`, the exact
         // view this layer produces — pass it through untouched.
         Ok((self.forward(input, step)?, spikes))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        // Flattening reinterprets shape without moving data, so the active
+        // set's flat indices are equally valid on both sides.
+        let (out, sb) = self.forward_spikes(input, spikes, step)?;
+        let ab = active.filter(|ab| {
+            out.rank() == 2 && ab.rows() == out.dims()[0] && ab.cols() == out.dims()[1]
+        });
+        Ok((out, sb, ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {

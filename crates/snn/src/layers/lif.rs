@@ -2,6 +2,9 @@
 
 use std::time::Instant;
 
+use ndsnn_tensor::ops::grad::{
+    grad_active_threshold_from_env, grad_density_threshold_from_env, GradActiveBatch,
+};
 use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::parallel::{for_chunks_mut, parallel_for_chunks, worker_threads};
 use ndsnn_tensor::Tensor;
@@ -17,12 +20,12 @@ pub(crate) const PAR_MIN_NEURONS: usize = 1 << 14;
 
 /// One chunk of the parallel membrane update: `(chunk_index, ((membrane
 /// slice, spike-output slice), (optional surrogate-input slice, per-chunk
-/// (spike count, fired list) slot)))`.
+/// (spike count, fired list, gradient-active list) slot)))`.
 type NeuronChunk<'a> = (
     usize,
     (
         (&'a mut [f32], &'a mut [f32]),
-        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>)),
+        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>, Vec<u32>)),
     ),
 );
 
@@ -111,6 +114,12 @@ pub struct LifLayer {
     training: bool,
     stats: SpikeStats,
     phase: LayerPhaseNs,
+    /// Consumer-side dispatch threshold (see [`Layer::set_grad_execution`]);
+    /// the emitter only consults its sign — a non-positive threshold means no
+    /// consumer can ever take the gather path, so collecting is pure waste.
+    grad_threshold: f64,
+    /// Surrogate-magnitude tolerance τ for gradient-active membership.
+    grad_tau: f32,
 }
 
 impl LifLayer {
@@ -128,7 +137,23 @@ impl LifLayer {
             training: true,
             stats: SpikeStats::default(),
             phase: LayerPhaseNs::default(),
+            grad_threshold: grad_density_threshold_from_env(),
+            grad_tau: grad_active_threshold_from_env() as f32,
         })
+    }
+
+    /// Whether this forward step should collect the gradient-active index
+    /// list. Requires training mode (the list feeds the backward pass),
+    /// detached reset (with the reset path in the graph, downstream gradients
+    /// reach `∂L/∂v` through more than the `φ'` product — stay conservative
+    /// and dense), an enabled consumer threshold, and a surrogate that can
+    /// actually deactivate neurons at τ (Atan/FastSigmoid at τ=0 cannot —
+    /// emitting a 100%-dense list would be pure overhead).
+    fn collect_active(&self) -> bool {
+        self.training
+            && self.grad_threshold > 0.0
+            && self.config.detach_reset
+            && !self.config.surrogate.always_active_at(self.grad_tau)
     }
 
     /// The layer's configuration.
@@ -139,12 +164,17 @@ impl LifLayer {
     /// The fused membrane-update/fire/cache pass shared by [`Layer::forward`]
     /// and [`Layer::forward_spikes`]. When `fired` is provided, the flat
     /// indices of spiking neurons are pushed in ascending order (the loop is a
-    /// single ascending scan), ready for [`SpikeBatch::from_flat_indices`].
+    /// single ascending scan), ready for [`SpikeBatch::from_flat_indices`];
+    /// `active` likewise collects the gradient-active indices
+    /// (`|φ'(v − ϑ)| > τ`) for [`GradActiveBatch::from_flat_indices`] — both
+    /// ride the same pass, so emission adds one surrogate evaluation per
+    /// neuron and nothing else.
     fn step_core(
         &mut self,
         input: &Tensor,
         step: usize,
         fired: Option<&mut Vec<u32>>,
+        active: Option<&mut Vec<u32>>,
     ) -> Result<Tensor> {
         let cfg = self.config;
         let thr = cfg.v_threshold;
@@ -183,15 +213,18 @@ impl LifLayer {
             let xd = x.as_mut().map(|t| t.as_mut_slice());
             let n = id.len();
             let collect_fired = fired.is_some();
+            let collect_active = active.is_some();
+            let tau = self.grad_tau;
             // Chunk-parallel over the population: every neuron is independent,
-            // so any chunking is bit-identical. Per-chunk spike counts and
-            // fired lists are concatenated in chunk order, preserving the
-            // ascending-index contract of `fired`.
+            // so any chunking is bit-identical. Per-chunk spike counts, fired
+            // lists and active lists are concatenated in chunk order,
+            // preserving the ascending-index contract of both outputs.
             let workers = worker_threads(n / PAR_MIN_NEURONS).max(1);
             let per = n.div_ceil(workers).max(1);
             let nchunks = n.div_ceil(per);
-            let mut parts: Vec<(u64, Vec<u32>)> =
-                (0..nchunks).map(|_| (0u64, Vec::new())).collect();
+            let mut parts: Vec<(u64, Vec<u32>, Vec<u32>)> = (0..nchunks)
+                .map(|_| (0u64, Vec::new(), Vec::new()))
+                .collect();
             let xchunks: Vec<Option<&mut [f32]>> = match xd {
                 Some(xs) => xs.chunks_mut(per).map(Some).collect(),
                 None => (0..nchunks).map(|_| None).collect(),
@@ -212,22 +245,40 @@ impl LifLayer {
                         ResetMode::Hard => cfg.alpha * vc[j] * (1.0 - op) + id[i],
                     };
                     vc[j] = nv;
-                    let f = nv - thr >= 0.0;
+                    let x = nv - thr;
+                    let f = x >= 0.0;
                     oc[j] = f32::from(f);
                     part.0 += u64::from(f);
                     if f && collect_fired {
                         part.1.push(i as u32);
                     }
+                    if collect_active && cfg.surrogate.active(x, tau) {
+                        part.2.push(i as u32);
+                    }
                     if let Some(xs) = xc.as_mut() {
-                        xs[j] = nv - thr;
+                        xs[j] = x;
                     }
                 }
             });
             spikes = parts.iter().map(|p| p.0).sum::<u64>();
-            if let Some(idx) = fired {
-                for (_, part) in parts {
-                    idx.extend(part);
+            match (fired, active) {
+                (Some(fidx), Some(aidx)) => {
+                    for (_, fpart, apart) in parts {
+                        fidx.extend(fpart);
+                        aidx.extend(apart);
+                    }
                 }
+                (Some(fidx), None) => {
+                    for (_, fpart, _) in parts {
+                        fidx.extend(fpart);
+                    }
+                }
+                (None, Some(aidx)) => {
+                    for (_, _, apart) in parts {
+                        aidx.extend(apart);
+                    }
+                }
+                (None, None) => {}
             }
         }
         self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
@@ -249,7 +300,7 @@ impl Layer for LifLayer {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        self.step_core(input, step, None)
+        self.step_core(input, step, None, None)
     }
 
     fn forward_spikes(
@@ -264,14 +315,45 @@ impl Layer for LifLayer {
         // exactly how downstream Linear/Conv consumers index the data.
         let dims = input.dims();
         if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
-            return Ok((self.step_core(input, step, None)?, None));
+            return Ok((self.step_core(input, step, None, None)?, None));
         }
         let rows = dims[0];
         let cols = input.len() / rows;
         let mut fired = Vec::new();
-        let o = self.step_core(input, step, Some(&mut fired))?;
+        let o = self.step_core(input, step, Some(&mut fired), None)?;
         let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
         Ok((o, Some(batch)))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        _spikes: Option<SpikeBatch>,
+        _active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        // An incoming active set is dropped: this population restarts the
+        // restriction chain (upstream gradients pass through its own
+        // `φ'`-product, described by the *fresh* batch emitted here, which
+        // shares the emitted spike batch's `[batch, features]` view).
+        let dims = input.dims();
+        if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
+            return Ok((self.step_core(input, step, None, None)?, None, None));
+        }
+        let rows = dims[0];
+        let cols = input.len() / rows;
+        let mut fired = Vec::new();
+        let mut active_idx = Vec::new();
+        let collect = self.collect_active();
+        let o = self.step_core(
+            input,
+            step,
+            Some(&mut fired),
+            collect.then_some(&mut active_idx),
+        )?;
+        let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
+        let ab = collect.then(|| GradActiveBatch::from_flat_indices(rows, cols, active_idx));
+        Ok((o, Some(batch), ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -361,6 +443,11 @@ impl Layer for LifLayer {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn set_grad_execution(&mut self, threshold: f64, tau: f32) {
+        self.grad_threshold = threshold;
+        self.grad_tau = if tau >= 0.0 { tau } else { 0.0 };
     }
 
     fn spike_stats(&self) -> SpikeStats {

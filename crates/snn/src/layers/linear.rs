@@ -1,5 +1,8 @@
 //! Fully-connected layer.
 
+use ndsnn_tensor::ops::grad::{
+    gather_gy_wt, grad_density_threshold_from_env, GradActiveBatch, PackedWt,
+};
 use ndsnn_tensor::ops::matmul::{matmul, matmul_a_bt_epilogue, matmul_at_b};
 use ndsnn_tensor::ops::reduce::sum_axis0;
 use ndsnn_tensor::ops::spike::{
@@ -28,8 +31,18 @@ pub struct Linear {
     /// Per-step spike batches received via [`Layer::forward_spikes`]; lets the
     /// backward pass gather `dW` over fired columns of the cached input.
     spike_cache: Vec<Option<SpikeBatch>>,
+    /// Per-step gradient active sets received via [`Layer::forward_active`]:
+    /// the columns of `dX` the upstream population can actually consume.
+    active_cache: Vec<Option<GradActiveBatch>>,
+    /// Packed transpose of the weight for the active-set `dX` gather, built
+    /// lazily at the first active backward step of a batch and reused for the
+    /// remaining timesteps; [`Layer::reset_state`] drops it before the
+    /// optimizer can touch the weights.
+    packed_wt: Option<PackedWt>,
     spike_threshold: f64,
+    grad_threshold: f64,
     exec: SpikeExecStats,
+    grad_exec: SpikeExecStats,
     training: bool,
 }
 
@@ -66,8 +79,12 @@ impl Linear {
             bias,
             input_cache: Vec::new(),
             spike_cache: Vec::new(),
+            active_cache: Vec::new(),
+            packed_wt: None,
             spike_threshold: spike_density_threshold_from_env(),
+            grad_threshold: grad_density_threshold_from_env(),
             exec: SpikeExecStats::default(),
+            grad_exec: SpikeExecStats::default(),
             training: true,
         })
     }
@@ -93,11 +110,24 @@ impl Linear {
         })
     }
 
-    /// Shared forward body: [`Layer::forward`] passes `spikes = None`.
+    /// True when `active` describes exactly this step's `input` tensor, so
+    /// the backward `dX` may be restricted to its columns.
+    fn active_usable(&self, input: &Tensor, active: Option<&GradActiveBatch>) -> bool {
+        active.is_some_and(|ab| {
+            input.rank() == 2
+                && ab.rows() == input.dims()[0]
+                && ab.cols() == input.dims()[1]
+                && ab.cols() == self.in_features()
+        })
+    }
+
+    /// Shared forward body: [`Layer::forward`] passes `spikes = None` and
+    /// `active = None`.
     fn forward_impl(
         &mut self,
         input: &Tensor,
         spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
         step: usize,
     ) -> Result<Tensor> {
         let usable = self.spikes_usable(input, spikes.as_ref());
@@ -186,10 +216,12 @@ impl Linear {
         }
         if self.training {
             debug_assert_eq!(step, self.input_cache.len(), "non-sequential forward");
+            let active_usable = self.active_usable(input, active.as_ref());
             self.input_cache.push(input.clone());
             // Cached even when the forward used the weight plan: the dW
             // gather is independent of the forward dispatch.
             self.spike_cache.push(spikes.filter(|_| usable));
+            self.active_cache.push(active.filter(|_| active_usable));
         }
         Ok(out)
     }
@@ -201,7 +233,7 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        self.forward_impl(input, None, step)
+        self.forward_impl(input, None, None, step)
     }
 
     fn forward_spikes(
@@ -211,7 +243,19 @@ impl Layer for Linear {
         step: usize,
     ) -> Result<(Tensor, Option<SpikeBatch>)> {
         // Consumes the incoming batch; the (real-valued) output is not binary.
-        Ok((self.forward_impl(input, spikes, step)?, None))
+        Ok((self.forward_impl(input, spikes, None, step)?, None))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        // Consumes both: the spike batch feeds the forward/dW gathers, the
+        // active set is captured for the backward dX restriction.
+        Ok((self.forward_impl(input, spikes, active, step)?, None, None))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -246,27 +290,72 @@ impl Layer for Linear {
         if let Some(bias) = &mut self.bias {
             bias.grad.add_assign(&sum_axis0(grad_out)?)?;
         }
-        // dx(B×In) = gy(B×Out) · W(Out×In); row-sparse when a plan is installed.
-        match self.weight.exec_pattern()? {
-            Some(pat) => {
+        // dx(B×In) = gy(B×Out) · W(Out×In). Three-way dispatch: the
+        // active-set gather computes only the columns the upstream spiking
+        // population consumes (it wins when the realized backward density is
+        // below the grad threshold and also exploits masked weights via its
+        // zero skip); otherwise row-sparse when a plan is installed, dense
+        // last. All three are bit-identical on the computed entries.
+        let ab = self
+            .active_cache
+            .get(step)
+            .and_then(|o| o.as_ref())
+            .filter(|ab| ab.rows() == grad_out.dims()[0]);
+        if let Some(ab) = ab {
+            self.grad_exec.nnz += ab.nnz() as u64;
+            self.grad_exec.elems += (ab.rows() * ab.cols()) as u64;
+        }
+        match ab.filter(|ab| ab.density() < self.grad_threshold) {
+            Some(ab) => {
+                let t0 = Instant::now();
+                let (out, inf) = (self.out_features(), self.in_features());
+                // Packed transpose makes each active column's reduction a
+                // contiguous walk over the *unmasked* weights only; packed
+                // once per batch and reused across the BPTT timesteps
+                // (weights only change between batches).
+                if self.packed_wt.is_none() {
+                    self.packed_wt = Some(PackedWt::from_row_major(
+                        self.weight.value.as_slice(),
+                        out,
+                        inf,
+                    ));
+                }
+                let pwt = self.packed_wt.as_ref().expect("packed above");
                 let b = grad_out.dims()[0];
-                let mut dx = Tensor::zeros([b, pat.cols()]);
-                sp_gy_w(
-                    pat,
-                    self.weight.value.as_slice(),
-                    grad_out.as_slice(),
-                    dx.as_mut_slice(),
-                    b,
-                );
+                let mut dx = Tensor::zeros([b, inf]);
+                gather_gy_wt(ab, pwt, grad_out.as_slice(), dx.as_mut_slice());
+                self.grad_exec.kernel_ns += t0.elapsed().as_nanos() as u64;
+                self.grad_exec.gather_steps += 1;
                 Ok(dx)
             }
-            None => Ok(matmul(grad_out, &self.weight.value)?),
+            None => {
+                if ab.is_some() {
+                    self.grad_exec.dense_steps += 1;
+                }
+                match self.weight.exec_pattern()? {
+                    Some(pat) => {
+                        let b = grad_out.dims()[0];
+                        let mut dx = Tensor::zeros([b, pat.cols()]);
+                        sp_gy_w(
+                            pat,
+                            self.weight.value.as_slice(),
+                            grad_out.as_slice(),
+                            dx.as_mut_slice(),
+                            b,
+                        );
+                        Ok(dx)
+                    }
+                    None => Ok(matmul(grad_out, &self.weight.value)?),
+                }
+            }
         }
     }
 
     fn reset_state(&mut self) {
         self.input_cache.clear();
         self.spike_cache.clear();
+        self.active_cache.clear();
+        self.packed_wt = None;
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -284,12 +373,24 @@ impl Layer for Linear {
         self.spike_threshold = threshold;
     }
 
+    fn set_grad_execution(&mut self, threshold: f64, _tau: f32) {
+        self.grad_threshold = threshold;
+    }
+
     fn spike_exec_stats(&self) -> SpikeExecStats {
         self.exec
     }
 
     fn reset_spike_exec_stats(&mut self) {
         self.exec = SpikeExecStats::default();
+    }
+
+    fn grad_exec_stats(&self) -> SpikeExecStats {
+        self.grad_exec
+    }
+
+    fn reset_grad_exec_stats(&mut self) {
+        self.grad_exec = SpikeExecStats::default();
     }
 
     fn collect_compute(&self, out: &mut Vec<ComputeSite>) {

@@ -27,6 +27,7 @@ pub use plif::{PlifConfig, PlifLayer};
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use residual::BasicBlock;
 
+use ndsnn_tensor::ops::grad::GradActiveBatch;
 use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::Tensor;
 
@@ -189,6 +190,32 @@ pub trait Layer: Send {
         Ok((self.forward(input, step)?, None))
     }
 
+    /// [`Layer::forward_spikes`] with backward active-set metadata threaded
+    /// alongside the spike batch.
+    ///
+    /// `active`, when present, lists the per-timestep *gradient-active*
+    /// neurons of the nearest upstream spiking population, mapped into this
+    /// layer's input space (see [`GradActiveBatch`]). A consumer (`Linear`,
+    /// `Conv2d`) captures it: during backward, its input gradient is consumed
+    /// upstream only through that population's `∂L/∂o · φ'(x)` product, so
+    /// `dX` rows outside the active set multiply into exact zeros and may be
+    /// skipped. Spiking layers emit a fresh batch for their own input space;
+    /// index-preserving layers (`Flatten`) pass it through; pools remap it
+    /// through their gradient routing. The default *drops* the batch — the
+    /// safe fallback that forces the dense backward downstream (correct for
+    /// layers like BatchNorm whose backward densifies gradients).
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        let _ = active;
+        let (out, sb) = self.forward_spikes(input, spikes, step)?;
+        Ok((out, sb, None))
+    }
+
     /// Propagates `grad_out` (∂L/∂output at `step`) to ∂L/∂input, adding any
     /// parameter gradients.
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor>;
@@ -230,6 +257,26 @@ pub trait Layer: Send {
 
     /// Resets spike-execution counters.
     fn reset_spike_exec_stats(&mut self) {}
+
+    /// Configures the active-set backward: `threshold` is the active-set
+    /// density below which consumers dispatch their `dX` through the gather
+    /// kernels (negative forces the dense backward and stops emitters from
+    /// collecting index lists; `>= 1.0` forces the gather path whenever an
+    /// active set exists), `tau` is the surrogate-magnitude tolerance for
+    /// membership (`0.0` = exact mode, bit-identical losses). Containers
+    /// recurse; layers without a role in the backward ignore it.
+    fn set_grad_execution(&mut self, _threshold: f64, _tau: f32) {}
+
+    /// Active-set backward execution counters accumulated since the last
+    /// [`Layer::reset_grad_exec_stats`] — same shape as the forward
+    /// [`SpikeExecStats`], but counting backward `dX` dispatches and the
+    /// realized *gradient* density. Non-consumer layers report zeros.
+    fn grad_exec_stats(&self) -> SpikeExecStats {
+        SpikeExecStats::default()
+    }
+
+    /// Resets active-set backward execution counters.
+    fn reset_grad_exec_stats(&mut self) {}
 
     /// Layer-internal phase timings accumulated since the last
     /// [`Layer::reset_phase_ns`]. Layers without instrumented kernels report

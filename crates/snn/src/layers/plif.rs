@@ -13,6 +13,9 @@
 
 use std::time::Instant;
 
+use ndsnn_tensor::ops::grad::{
+    grad_active_threshold_from_env, grad_density_threshold_from_env, GradActiveBatch,
+};
 use ndsnn_tensor::ops::spike::SpikeBatch;
 use ndsnn_tensor::parallel::{for_chunks_mut, parallel_for_chunks, worker_threads};
 use ndsnn_tensor::Tensor;
@@ -25,12 +28,12 @@ use crate::surrogate::Surrogate;
 
 /// One chunk of the parallel membrane update: `(chunk_index, ((membrane
 /// slice, spike-output slice), (optional surrogate-input slice, per-chunk
-/// (spike count, fired list) slot)))`.
+/// (spike count, fired list, gradient-active list) slot)))`.
 type NeuronChunk<'a> = (
     usize,
     (
         (&'a mut [f32], &'a mut [f32]),
-        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>)),
+        (Option<&'a mut [f32]>, &'a mut (u64, Vec<u32>, Vec<u32>)),
     ),
 );
 
@@ -95,6 +98,10 @@ pub struct PlifLayer {
     training: bool,
     stats: SpikeStats,
     phase: LayerPhaseNs,
+    /// Consumer-side dispatch threshold (see [`Layer::set_grad_execution`]).
+    grad_threshold: f64,
+    /// Surrogate-magnitude tolerance τ for gradient-active membership.
+    grad_tau: f32,
 }
 
 impl PlifLayer {
@@ -119,7 +126,20 @@ impl PlifLayer {
             training: true,
             stats: SpikeStats::default(),
             phase: LayerPhaseNs::default(),
+            grad_threshold: grad_density_threshold_from_env(),
+            grad_tau: grad_active_threshold_from_env() as f32,
         })
+    }
+
+    /// Whether this forward step should collect the gradient-active index
+    /// list. PLIF's backward always detaches the reset path, so unlike
+    /// [`super::LifLayer`] there is no reset-mode gate — only training mode,
+    /// an enabled consumer threshold, and a surrogate that can genuinely
+    /// deactivate neurons at τ.
+    fn collect_active(&self) -> bool {
+        self.training
+            && self.grad_threshold > 0.0
+            && !self.config.surrogate.always_active_at(self.grad_tau)
     }
 
     /// The current effective decay α = σ(w).
@@ -132,15 +152,20 @@ impl PlifLayer {
     /// scale/add/axpy/map tensor-op chain with the identical per-element
     /// operation order (`α·v + I`, then `+ (−ϑ)·o_prev`), so results are
     /// bit-identical to the original formulation at any thread count. When
-    /// `fired` is provided, flat spike indices are pushed ascending.
+    /// `fired` is provided, flat spike indices are pushed ascending;
+    /// `active` likewise collects the gradient-active indices
+    /// (`|φ'(v − ϑ)| > τ`) on the same scan.
     fn step_core(
         &mut self,
         input: &Tensor,
         step: usize,
         fired: Option<&mut Vec<u32>>,
+        active: Option<&mut Vec<u32>>,
     ) -> Result<Tensor> {
         let alpha = self.alpha();
         let thr = self.config.v_threshold;
+        let surrogate = self.config.surrogate;
+        let tau = self.grad_tau;
         let v_prev = self.v.take().unwrap_or_else(|| Tensor::zeros(input.dims()));
         if v_prev.dims() != input.dims() {
             return Err(SnnError::InvalidState(format!(
@@ -168,11 +193,13 @@ impl PlifLayer {
             let xd = x.as_mut().map(|t| t.as_mut_slice());
             let n = id.len();
             let collect_fired = fired.is_some();
+            let collect_active = active.is_some();
             let workers = worker_threads(n / PAR_MIN_NEURONS).max(1);
             let per = n.div_ceil(workers).max(1);
             let nchunks = n.div_ceil(per);
-            let mut parts: Vec<(u64, Vec<u32>)> =
-                (0..nchunks).map(|_| (0u64, Vec::new())).collect();
+            let mut parts: Vec<(u64, Vec<u32>, Vec<u32>)> = (0..nchunks)
+                .map(|_| (0u64, Vec::new(), Vec::new()))
+                .collect();
             let xchunks: Vec<Option<&mut [f32]>> = match xd {
                 Some(xs) => xs.chunks_mut(per).map(Some).collect(),
                 None => (0..nchunks).map(|_| None).collect(),
@@ -192,22 +219,40 @@ impl PlifLayer {
                     nv += id[i];
                     nv += -thr * opd[i];
                     vc[j] = nv;
+                    let x = nv + -thr;
                     let f = nv - thr >= 0.0;
                     oc[j] = f32::from(f);
                     part.0 += u64::from(f);
                     if f && collect_fired {
                         part.1.push(i as u32);
                     }
+                    if collect_active && surrogate.active(x, tau) {
+                        part.2.push(i as u32);
+                    }
                     if let Some(xs) = xc.as_mut() {
-                        xs[j] = nv + -thr;
+                        xs[j] = x;
                     }
                 }
             });
             spikes = parts.iter().map(|p| p.0).sum::<u64>();
-            if let Some(idx) = fired {
-                for (_, part) in parts {
-                    idx.extend(part);
+            match (fired, active) {
+                (Some(fidx), Some(aidx)) => {
+                    for (_, fpart, apart) in parts {
+                        fidx.extend(fpart);
+                        aidx.extend(apart);
+                    }
                 }
+                (Some(fidx), None) => {
+                    for (_, fpart, _) in parts {
+                        fidx.extend(fpart);
+                    }
+                }
+                (None, Some(aidx)) => {
+                    for (_, _, apart) in parts {
+                        aidx.extend(apart);
+                    }
+                }
+                (None, None) => {}
             }
         }
         self.phase.neuron_ns += t0.elapsed().as_nanos() as u64;
@@ -230,7 +275,7 @@ impl Layer for PlifLayer {
     }
 
     fn forward(&mut self, input: &Tensor, step: usize) -> Result<Tensor> {
-        self.step_core(input, step, None)
+        self.step_core(input, step, None, None)
     }
 
     fn forward_spikes(
@@ -243,14 +288,43 @@ impl Layer for PlifLayer {
         // so no rescan of the binary output is needed.
         let dims = input.dims();
         if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
-            return Ok((self.step_core(input, step, None)?, None));
+            return Ok((self.step_core(input, step, None, None)?, None));
         }
         let rows = dims[0];
         let cols = input.len() / rows;
         let mut fired = Vec::new();
-        let o = self.step_core(input, step, Some(&mut fired))?;
+        let o = self.step_core(input, step, Some(&mut fired), None)?;
         let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
         Ok((o, Some(batch)))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        _spikes: Option<SpikeBatch>,
+        _active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        // As with LIF: drop any incoming active set (this population restarts
+        // the restriction chain) and emit a fresh one for our input space.
+        let dims = input.dims();
+        if dims.len() < 2 || dims[0] == 0 || input.is_empty() {
+            return Ok((self.step_core(input, step, None, None)?, None, None));
+        }
+        let rows = dims[0];
+        let cols = input.len() / rows;
+        let mut fired = Vec::new();
+        let mut active_idx = Vec::new();
+        let collect = self.collect_active();
+        let o = self.step_core(
+            input,
+            step,
+            Some(&mut fired),
+            collect.then_some(&mut active_idx),
+        )?;
+        let batch = SpikeBatch::from_flat_indices(rows, cols, fired);
+        let ab = collect.then(|| GradActiveBatch::from_flat_indices(rows, cols, active_idx));
+        Ok((o, Some(batch), ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -309,6 +383,11 @@ impl Layer for PlifLayer {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn set_grad_execution(&mut self, threshold: f64, tau: f32) {
+        self.grad_threshold = threshold;
+        self.grad_tau = if tau >= 0.0 { tau } else { 0.0 };
     }
 
     fn spike_stats(&self) -> SpikeStats {

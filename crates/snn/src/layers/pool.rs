@@ -1,5 +1,6 @@
 //! Pooling layers.
 
+use ndsnn_tensor::ops::grad::GradActiveBatch;
 use ndsnn_tensor::ops::pool::{
     avg_pool2d_backward, avg_pool2d_forward, max_pool2d_backward, max_pool2d_forward,
     Pool2dGeometry,
@@ -9,6 +10,89 @@ use ndsnn_tensor::Tensor;
 
 use crate::error::{Result, SnnError};
 use crate::layers::Layer;
+
+/// True when `ab` describes the `(B, C, H, W)` input this pool just consumed.
+fn active_matches_input(ab: &GradActiveBatch, in_dims: &[usize]) -> bool {
+    in_dims.len() == 4 && ab.rows() == in_dims[0] && ab.cols() == in_dims[1..].iter().product()
+}
+
+/// Maps an input-space active set through max pooling: the backward scatters
+/// each output-position gradient to its argmax input pixel, so output `p` is
+/// gradient-relevant iff that pixel is active. `argmax` holds plane-relative
+/// winner indices, one per output element, exactly as the forward cached them.
+fn map_active_max(
+    ab: &GradActiveBatch,
+    in_dims: &[usize],
+    out_dims: &[usize],
+    argmax: &[u32],
+) -> GradActiveBatch {
+    let (b, h, w) = (in_dims[0], in_dims[2], in_dims[3]);
+    let (oh, ow) = (out_dims[2], out_dims[3]);
+    let (plane_in, plane_out) = (h * w, oh * ow);
+    let in_cols = in_dims[1] * plane_in;
+    let out_cols = in_dims[1] * plane_out;
+    // Per-sample membership mask over the input features, cleared by
+    // revisiting only the marked entries so the buffer amortizes across rows.
+    let mut mask = vec![false; in_cols];
+    let mut flat = Vec::new();
+    for s in 0..b {
+        let row = ab.row(s);
+        for &i in row {
+            mask[i as usize] = true;
+        }
+        let am = &argmax[s * out_cols..(s + 1) * out_cols];
+        for (p, &ai) in am.iter().enumerate() {
+            let in_flat = (p / plane_out) * plane_in + ai as usize;
+            if mask[in_flat] {
+                flat.push((s * out_cols + p) as u32);
+            }
+        }
+        for &i in row {
+            mask[i as usize] = false;
+        }
+    }
+    GradActiveBatch::from_flat_indices(b, out_cols, flat)
+}
+
+/// Maps an input-space active set through average pooling: the backward
+/// spreads each output-position gradient over its whole window, so output `p`
+/// is gradient-relevant iff *any* window pixel is active.
+fn map_active_avg(
+    ab: &GradActiveBatch,
+    in_dims: &[usize],
+    out_dims: &[usize],
+    geometry: &Pool2dGeometry,
+) -> GradActiveBatch {
+    let (b, h, w) = (in_dims[0], in_dims[2], in_dims[3]);
+    let (oh, ow) = (out_dims[2], out_dims[3]);
+    let (plane_in, plane_out) = (h * w, oh * ow);
+    let in_cols = in_dims[1] * plane_in;
+    let out_cols = in_dims[1] * plane_out;
+    let (k, stride) = (geometry.kernel, geometry.stride);
+    let mut mask = vec![false; in_cols];
+    let mut flat = Vec::new();
+    for s in 0..b {
+        let row = ab.row(s);
+        for &i in row {
+            mask[i as usize] = true;
+        }
+        for p in 0..out_cols {
+            let c = p / plane_out;
+            let rem = p % plane_out;
+            let (oy, ox) = (rem / ow, rem % ow);
+            let needed = (oy * stride..(oy * stride + k).min(h)).any(|iy| {
+                (ox * stride..(ox * stride + k).min(w)).any(|ix| mask[c * plane_in + iy * w + ix])
+            });
+            if needed {
+                flat.push((s * out_cols + p) as u32);
+            }
+        }
+        for &i in row {
+            mask[i as usize] = false;
+        }
+    }
+    GradActiveBatch::from_flat_indices(b, out_cols, flat)
+}
 
 /// Non-overlapping average pooling applied per timestep.
 #[derive(Debug)]
@@ -43,6 +127,21 @@ impl Layer for AvgPool2d {
             self.input_dims.push(input.dims().to_vec());
         }
         Ok(out)
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        let in_dims = input.dims().to_vec();
+        let (out, sb) = self.forward_spikes(input, spikes, step)?;
+        let ab = active
+            .filter(|ab| active_matches_input(ab, &in_dims) && out.rank() == 4)
+            .map(|ab| map_active_avg(&ab, &in_dims, out.dims(), &self.geometry));
+        Ok((out, sb, ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {
@@ -120,6 +219,28 @@ impl Layer for MaxPool2d {
             _ => None,
         };
         Ok((out, batch))
+    }
+
+    fn forward_active(
+        &mut self,
+        input: &Tensor,
+        spikes: Option<SpikeBatch>,
+        active: Option<GradActiveBatch>,
+        step: usize,
+    ) -> Result<(Tensor, Option<SpikeBatch>, Option<GradActiveBatch>)> {
+        let in_dims = input.dims().to_vec();
+        let (out, sb) = self.forward_spikes(input, spikes, step)?;
+        // The argmax cache only exists in training mode — which is also the
+        // only mode where the active set has a consumer.
+        let ab = match (active, self.cache.get(step)) {
+            (Some(ab), Some((_, argmax)))
+                if active_matches_input(&ab, &in_dims) && out.rank() == 4 =>
+            {
+                Some(map_active_max(&ab, &in_dims, out.dims(), argmax))
+            }
+            _ => None,
+        };
+        Ok((out, sb, ab))
     }
 
     fn backward(&mut self, grad_out: &Tensor, step: usize) -> Result<Tensor> {

@@ -58,6 +58,37 @@ impl Surrogate {
             }
         }
     }
+
+    /// Active-window membership test for the sparse-gradient backward:
+    /// `|φ(x)| > tau`. At `tau = 0.0` this is exactly "the pseudo-derivative
+    /// is nonzero", so skipping inactive neurons multiplies only exact-zero
+    /// factors out of the chain and the restricted backward stays
+    /// bit-identical to the dense one. Positive `tau` additionally drops the
+    /// surrogate's small tails (bounded-error mode).
+    #[inline]
+    pub fn active(&self, x: f32, tau: f32) -> bool {
+        self.grad(x).abs() > tau
+    }
+
+    /// Whether the active set is, for all practical purposes, the full
+    /// neuron set at threshold `tau` — in which case emitting index lists
+    /// would be pure overhead and the caller should stay on the dense path.
+    ///
+    /// `Atan` and `FastSigmoid` have strictly positive rational tails: their
+    /// f32 evaluation stays nonzero for any `|x|` below ~10¹⁸ (far beyond
+    /// anything finite membrane dynamics produce), so at `tau = 0` their
+    /// active density is 100% and sparsifying gains nothing. Returning
+    /// `true` only ever forces the dense backward, which is correct for any
+    /// input, so this is a performance gate rather than a correctness
+    /// contract. `Rectangle` has compact support and `Gaussian` underflows,
+    /// so both can genuinely deactivate neurons even at `tau = 0`.
+    #[inline]
+    pub fn always_active_at(&self, tau: f32) -> bool {
+        match *self {
+            Surrogate::Atan | Surrogate::FastSigmoid { .. } => tau <= 0.0,
+            Surrogate::Rectangle { .. } | Surrogate::Gaussian { .. } => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +138,92 @@ mod tests {
         let s = Surrogate::Rectangle { width: 2.0 };
         assert_eq!(s.grad(0.9), 0.5);
         assert_eq!(s.grad(1.1), 0.0);
+    }
+
+    /// Deterministic pseudo-random membrane potentials spanning the window
+    /// cores, the tails, and exact boundary values.
+    fn sample_potentials() -> Vec<f32> {
+        let mut xs: Vec<f32> = (0..2048)
+            .map(|i| {
+                // xorshift so the sweep is reproducible without a rand dep.
+                let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                z ^= z >> 29;
+                z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 32;
+                ((z % 20_001) as f32 / 1000.0) - 10.0
+            })
+            .collect();
+        xs.extend_from_slice(&[
+            0.0, -0.5, 0.5, 0.499_999, -0.499_999, 1.0, -1.0, 88.0, -88.0,
+        ]);
+        xs
+    }
+
+    #[test]
+    fn active_membership_matches_nonzero_derivative_exactly() {
+        // Satellite: at tau = 0 the active window is *exactly* the set of
+        // inputs whose dense pseudo-derivative is nonzero — the property the
+        // sparse backward's bit-identity argument rests on.
+        for s in [
+            Surrogate::Atan,
+            Surrogate::FastSigmoid { alpha: 2.0 },
+            Surrogate::Rectangle { width: 1.0 },
+            Surrogate::Gaussian { sigma: 0.4 },
+        ] {
+            for &x in &sample_potentials() {
+                assert_eq!(
+                    s.active(x, 0.0),
+                    s.grad(x) != 0.0,
+                    "{s:?} membership diverges from dense derivative at x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_mode_only_drops_bounded_mass() {
+        // With tau > 0 every dropped neuron carries |φ(x)| <= tau, and raising
+        // tau only shrinks the active set (monotone window).
+        let tau_lo = 1e-3f32;
+        let tau_hi = 1e-2f32;
+        for s in [
+            Surrogate::Atan,
+            Surrogate::FastSigmoid { alpha: 2.0 },
+            Surrogate::Rectangle { width: 1.0 },
+            Surrogate::Gaussian { sigma: 0.4 },
+        ] {
+            for &x in &sample_potentials() {
+                if !s.active(x, tau_lo) {
+                    assert!(
+                        s.grad(x).abs() <= tau_lo,
+                        "{s:?} dropped |φ({x})| = {} above tau",
+                        s.grad(x).abs()
+                    );
+                }
+                if s.active(x, tau_hi) {
+                    assert!(s.active(x, tau_lo), "{s:?} window not monotone at x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn always_active_gate_matches_reachable_zeros() {
+        // Heavy-tailed surrogates never hit exact zero at realistic
+        // potentials, so the gate keeps them on the structurally-dense path;
+        // compact/underflowing windows must report false because they really
+        // do deactivate neurons.
+        assert!(Surrogate::Atan.always_active_at(0.0));
+        assert!(Surrogate::FastSigmoid { alpha: 4.0 }.always_active_at(0.0));
+        assert!(!Surrogate::Atan.always_active_at(1e-6));
+        assert!(!Surrogate::Rectangle { width: 1.0 }.always_active_at(0.0));
+        assert!(!Surrogate::Gaussian { sigma: 0.4 }.always_active_at(0.0));
+        for &x in &sample_potentials() {
+            assert!(Surrogate::Atan.grad(x) != 0.0);
+            assert!(Surrogate::FastSigmoid { alpha: 4.0 }.grad(x) != 0.0);
+        }
+        // Gaussian genuinely underflows in f32 well inside the sweep range.
+        assert_eq!(Surrogate::Gaussian { sigma: 0.4 }.grad(8.0), 0.0);
+        assert_eq!(Surrogate::Rectangle { width: 1.0 }.grad(0.5), 0.0);
     }
 }

@@ -166,6 +166,20 @@ pub fn configure_spike_execution(model: &mut dyn Layer, threshold: f64) {
     model.set_spike_density_threshold(threshold);
 }
 
+/// Configures the model's active-set sparse-gradient backward: spiking
+/// layers emit per-timestep surrogate-active index lists, and every consumer
+/// layer restricts its `dX` to them whenever a timestep's realized backward
+/// density falls below `threshold` (negative disables emission and forces
+/// the dense backward, `>= 1.0` forces the gather whenever a set arrives).
+/// `tau` is the active-window membership threshold on `|φ'(v − ϑ)|`: at the
+/// default `0.0` the restricted backward is bit-identical to dense (only
+/// exact-zero surrogate factors are skipped); positive values additionally
+/// drop the surrogate's small tails in exchange for a bounded gradient
+/// error. The backward twin of [`configure_spike_execution`].
+pub fn configure_grad_execution(model: &mut dyn Layer, threshold: f64, tau: f32) {
+    model.set_grad_execution(threshold, tau);
+}
+
 /// Builds random initial masks at the given global sparsity, distributed
 /// across layers by `dist`, and applies them to the model's weights.
 pub fn init_random_masks(

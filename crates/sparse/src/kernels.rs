@@ -30,7 +30,7 @@ pub const DEFAULT_DENSITY_THRESHOLD: f64 = 0.25;
 /// negative value to force dense execution everywhere, or to `1.0` (or more)
 /// to force the sparse path for every masked layer.
 pub fn density_threshold_from_env() -> f64 {
-    ndsnn_tensor::env::parse_f64("NDSNN_DENSITY_THRESHOLD").unwrap_or(DEFAULT_DENSITY_THRESHOLD)
+    ndsnn_tensor::env::density_threshold("NDSNN_DENSITY_THRESHOLD", DEFAULT_DENSITY_THRESHOLD)
 }
 
 /// Installs (or clears) sparse execution plans on the model's sparsifiable

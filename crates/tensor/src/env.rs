@@ -34,6 +34,16 @@ pub fn parse_f64(name: &str) -> Option<f64> {
         .filter(|v| v.is_finite())
 }
 
+/// Shared parse for the density-threshold knob family
+/// (`NDSNN_DENSITY_THRESHOLD` / `NDSNN_SPIKE_DENSITY_THRESHOLD` /
+/// `NDSNN_GRAD_DENSITY_THRESHOLD`): every threshold follows the same
+/// contract — fall back to the documented default when unset or garbage,
+/// negative forces the dense path everywhere, `>= 1.0` forces the sparse
+/// path — so the three knobs share one parser instead of three copies.
+pub fn density_threshold(name: &str, default: f64) -> f64 {
+    parse_f64(name).unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

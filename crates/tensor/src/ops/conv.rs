@@ -14,12 +14,14 @@
 //! and stay bit-identical to the dense core.
 
 use crate::error::{Result, TensorError};
+use crate::ops::grad::{gather_conv_dx, transpose_into, GradActiveBatch, PackedWt};
 use crate::ops::layout::Im2colLayout;
 use crate::ops::spike::{gather_conv_dw, gather_conv_fwd};
 use crate::ops::spmm::{sp_mm, sp_mm_t, RowPattern};
 use crate::ops::tile::{
     conv_fwd_tiled, gemm_tiled, BiasRow, NoEpilogue, PanelA, PanelB, TileEpilogue,
 };
+use crate::parallel::SharedSlice;
 use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
 
@@ -521,12 +523,37 @@ pub fn conv2d_backward_pooled(
     g: &Conv2dGeometry,
     pool: &ScratchPool,
 ) -> Result<Conv2dGrads> {
-    conv2d_backward_exec(input, weight, grad_out, g, pool, None, false)
+    conv2d_backward_exec(input, weight, grad_out, g, pool, None, false, None)
+}
+
+/// Epilogue for the per-sample dW staging GEMM: folds each finished output
+/// tile of the staging buffer into the running block accumulator `acc`
+/// (`*wv += sv`, the exact chain of the fold loop it replaces) and resets
+/// the staging element to `0.0` so the next sample's `C += A·B` again starts
+/// from zero — all while the tile is cache-hot, saving two full passes over
+/// the weight-sized staging buffer per sample.
+struct FoldAndRezero<'a> {
+    acc: SharedSlice<'a, f32>,
+    /// Row stride (output columns) shared by the staging buffer and `acc`.
+    n: usize,
+}
+
+impl TileEpilogue for FoldAndRezero<'_> {
+    fn apply(&self, row: usize, j0: usize, seg: &mut [f32]) {
+        // SAFETY: tiles partition the output, `acc` mirrors its layout, and
+        // the epilogue visits each output element exactly once per call.
+        let dst = unsafe { self.acc.slice_mut(row * self.n + j0, seg.len()) };
+        for (wv, sv) in dst.iter_mut().zip(seg.iter_mut()) {
+            *wv += *sv;
+            *sv = 0.0;
+        }
+    }
 }
 
 /// [`conv2d_backward_pooled`] with an optional sparsity pattern for the
-/// weight viewed as `F × (C·KH·KW)`, and an optional spike-gather dispatch
-/// for the weight gradient.
+/// weight viewed as `F × (C·KH·KW)`, an optional spike-gather dispatch
+/// for the weight gradient, and an optional gradient active set restricting
+/// the input gradient.
 ///
 /// With a pattern, the input-gradient product `Wᵀ·gy` runs row-sparse
 /// ([`sp_mm_t`]). With `spike_gather`, the input must be binary spikes and
@@ -535,6 +562,20 @@ pub fn conv2d_backward_pooled(
 /// with a pattern (`dW` values are always dense either way, so drop/grow
 /// decisions that read gradients are unchanged by either dispatch). `dBias`
 /// is always computed dense.
+///
+/// With `active` (the receiver population's per-timestep
+/// [`GradActiveBatch`], `b × C·H·W` over the conv *input*, paired with the
+/// caller's [`PackedWt`] of this weight viewed as `F × (C·KH·KW)`), the
+/// `dCol` product and `col2im` scatter are replaced by [`gather_conv_dx`]:
+/// `dX` is computed only at active input pixels, in the dense accumulation
+/// order, and stays `0.0` elsewhere — exact for downstream consumers that
+/// multiply `dX` by the surrogate derivative (see [`crate::ops::grad`]).
+/// The packed transpose is taken by reference so callers can amortize one
+/// pack across every timestep of a BPTT backward (weights only change
+/// between batches). Composes with both other dispatches (`dW`/`dBias` are
+/// untouched) and with a weight pattern through the kernels' masked-weight
+/// zero skip.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_backward_exec(
     input: &Tensor,
     weight: &Tensor,
@@ -543,6 +584,7 @@ pub fn conv2d_backward_exec(
     pool: &ScratchPool,
     pattern: Option<&RowPattern>,
     spike_gather: bool,
+    active: Option<(&GradActiveBatch, &PackedWt)>,
 ) -> Result<Conv2dGrads> {
     let (b, h, w) = check_input(input, g)?;
     let (oh, ow) = g.output_hw(h, w)?;
@@ -554,6 +596,20 @@ pub fn conv2d_backward_exec(
     }
     let (cr, spatial) = (g.col_rows(), oh * ow);
     check_pattern(pattern, g, cr)?;
+    if let Some((ab, pwt)) = active {
+        if ab.rows() != b || ab.cols() != g.in_channels * h * w {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![ab.rows(), ab.cols()],
+                rhs: vec![b, g.in_channels * h * w],
+            });
+        }
+        if pwt.rows() != cr || pwt.cols() != g.out_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![pwt.rows(), pwt.cols()],
+                rhs: vec![cr, g.out_channels],
+            });
+        }
+    }
     let mut input_grad = Tensor::zeros(input.shape().clone());
     let mut weight_grad = Tensor::zeros(weight.shape().clone());
     let mut bias_grad = Tensor::zeros([g.out_channels]);
@@ -591,13 +647,20 @@ pub fn conv2d_backward_exec(
         // Only the spike-gather dW kernel walks an explicit col buffer; the
         // dense path packs its panels straight from the input sample.
         let mut col = spike_gather.then(|| pool.take(cr * spatial));
-        let mut col_grad = pool.take(cr * spatial);
+        // The active-set path never materializes the col gradient; it tapers
+        // straight into the needed input pixels instead.
+        let mut col_grad = (active.is_none()).then(|| pool.take(cr * spatial));
+        let mut gyt = active.map(|_| pool.take(spatial * g.out_channels));
         let mut wg = pool.take_zeroed(wlen);
         // Per-sample dW staging: the tiled GEMM computes the sample's full
-        // contribution from zero, then it folds into the running `wg` with
-        // one add per element — the exact `wv += acc` chain of the pre-tile
-        // per-(f,r) dot loop, so block partials stay bit-identical.
-        let mut wg_sample = pool.take(wlen);
+        // contribution from zero, then the fused epilogue folds it into the
+        // running `wg` with one add per element — the exact `wv += acc`
+        // chain of the pre-tile per-(f,r) dot loop, so block partials stay
+        // bit-identical — and restores the staging to zero for the next
+        // sample while the tile is still cache-hot. That fusion replaces
+        // two extra `wlen`-sized passes (a `fill(0.0)` and a separate fold
+        // loop), which dominate the dW cost at small spatial sizes.
+        let mut wg_sample = (!spike_gather).then(|| pool.take_zeroed(wlen));
         let mut bg = vec![0.0f32; g.out_channels];
         for s in 0..samples {
             let sample = &in_data[(s0 + s) * in_stride..(s0 + s + 1) * in_stride];
@@ -608,57 +671,86 @@ pub fn conv2d_backward_exec(
                 im2col(sample, g, h, w, oh, ow, col);
                 gather_conv_dw(gy, col, &mut wg, g.out_channels, cr, spatial, pool);
             } else {
-                wg_sample.fill(0.0);
+                let wg_sample = wg_sample.as_mut().expect("dense dW takes staging");
                 gemm_tiled(
                     PanelA::Rows(gy),
                     PanelB::Im2colT(&layout, sample),
-                    &mut wg_sample,
+                    wg_sample,
                     g.out_channels,
                     spatial,
                     cr,
-                    &NoEpilogue,
+                    &FoldAndRezero {
+                        acc: SharedSlice::new(&mut wg),
+                        n: cr,
+                    },
                     pool,
                 );
-                for (wv, &sv) in wg.iter_mut().zip(wg_sample.iter()) {
-                    *wv += sv;
-                }
             }
             // dBias
             for f in 0..g.out_channels {
                 bg[f] += gy[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
             }
-            // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter with
-            // col2im. The dense product reads the row-major weight through a
-            // transposed panel layout — no `wt` copy.
-            col_grad.fill(0.0);
-            match pattern {
-                Some(pat) => sp_mm_t(pat, w_data, gy, &mut col_grad, spatial),
-                None => gemm_tiled(
-                    PanelA::Cols(w_data),
-                    PanelB::Rows(gy),
-                    &mut col_grad,
-                    cr,
-                    g.out_channels,
-                    spatial,
-                    &NoEpilogue,
-                    pool,
-                ),
+            match (active, gyt.as_mut()) {
+                (Some((ab, pwt)), Some(gyt)) => {
+                    // dX at the receiver's active pixels only — no dCol
+                    // product, no col2im scatter.
+                    transpose_into(gy, g.out_channels, spatial, gyt);
+                    gather_conv_dx(
+                        pwt,
+                        gyt,
+                        ab.row(s0 + s),
+                        g,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
+                    );
+                }
+                _ => {
+                    // dCol = Wᵀ (cr × F) · gy (F × spatial), then scatter
+                    // with col2im. The dense product reads the row-major
+                    // weight through a transposed panel layout — no `wt`
+                    // copy.
+                    let col_grad = col_grad.as_mut().expect("dense path takes a col buffer");
+                    col_grad.fill(0.0);
+                    match pattern {
+                        Some(pat) => sp_mm_t(pat, w_data, gy, col_grad, spatial),
+                        None => gemm_tiled(
+                            PanelA::Cols(w_data),
+                            PanelB::Rows(gy),
+                            col_grad,
+                            cr,
+                            g.out_channels,
+                            spatial,
+                            &NoEpilogue,
+                            pool,
+                        ),
+                    }
+                    col2im(
+                        col_grad,
+                        g,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
+                    );
+                }
             }
-            col2im(
-                &col_grad,
-                g,
-                h,
-                w,
-                oh,
-                ow,
-                &mut ig_chunk[s * in_stride..(s + 1) * in_stride],
-            );
         }
         if let Some(col) = col {
             pool.give(col);
         }
-        pool.give(col_grad);
-        pool.give(wg_sample);
+        if let Some(col_grad) = col_grad {
+            pool.give(col_grad);
+        }
+        if let Some(gyt) = gyt {
+            pool.give(gyt);
+        }
+        if let Some(wg_sample) = wg_sample {
+            pool.give(wg_sample);
+        }
         *slot = Some((wg, bg));
     });
 
@@ -1125,8 +1217,17 @@ mod tests {
         }
 
         let dg = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
-        let sg =
-            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&pat), false).unwrap();
+        let sg = conv2d_backward_exec(
+            &input,
+            &weight,
+            &grad_out,
+            &g,
+            &pool,
+            Some(&pat),
+            false,
+            None,
+        )
+        .unwrap();
         for (a, b) in sg
             .input_grad
             .as_slice()
@@ -1141,9 +1242,17 @@ mod tests {
         // A pattern whose shape disagrees with the geometry is rejected.
         let bad = RowPattern::from_mask(1, 2, &[1.0, 0.0]);
         assert!(conv2d_forward_exec(&input, &weight, None, &g, &pool, Some(&bad), false).is_err());
-        assert!(
-            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, Some(&bad), false).is_err()
-        );
+        assert!(conv2d_backward_exec(
+            &input,
+            &weight,
+            &grad_out,
+            &g,
+            &pool,
+            Some(&bad),
+            false,
+            None
+        )
+        .is_err());
     }
 
     /// The spike-gather dispatch must equal dense execution bit-for-bit on a
@@ -1171,8 +1280,10 @@ mod tests {
             conv2d_forward_exec(&input, &weight, Some(&bias), &g, &pool, None, true).unwrap();
         assert_eq!(spike.as_slice(), dense.as_slice());
 
-        let dg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, false).unwrap();
-        let sg = conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, true).unwrap();
+        let dg =
+            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, false, None).unwrap();
+        let sg =
+            conv2d_backward_exec(&input, &weight, &grad_out, &g, &pool, None, true, None).unwrap();
         assert_eq!(sg.weight_grad.as_slice(), dg.weight_grad.as_slice());
         assert_eq!(sg.input_grad.as_slice(), dg.input_grad.as_slice());
         assert_eq!(sg.bias_grad.as_slice(), dg.bias_grad.as_slice());

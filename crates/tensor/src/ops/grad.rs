@@ -1,0 +1,604 @@
+//! Active-set sparse-gradient kernels for the BPTT backward pass.
+//!
+//! Surrogate gradients have bounded support: a neuron whose membrane
+//! potential sits outside the surrogate's active window contributes an
+//! *exact* zero to every downstream product (Perez-Nieves & Goodman, "Sparse
+//! Spiking Gradient Descent"). Where LIF/PLIF evaluate the surrogate they
+//! also emit a per-timestep [`GradActiveBatch`] — the ascending indices of
+//! neurons with `|φ'(v)| > τ` (τ defaults to `0.0`, membership is then
+//! exactly "derivative is non-zero"). The producing layer's *input-gradient*
+//! `dX` is consumed downstream only through the `dldo · φ'(x)` product of
+//! that receiver population, so `dX` need only be computed at the receiver's
+//! active positions; everything else stays `0.0` and multiplies into `±0.0`
+//! exactly as the dense value would have.
+//!
+//! ## Bit-identity with the dense backward
+//!
+//! The gather kernels run the *same floating-point operation sequence* as
+//! the dense/pattern paths they replace, restricted to the active rows:
+//!
+//! - per computed element the reduction index (`out` features for linear,
+//!   `F` then ascending `(kh, kw)` taps for conv) is walked ascending — the
+//!   order of the tiled GEMM's fixed ascending-k accumulation and of
+//!   `col2im`'s tap loop;
+//! - zero factors (`gy == 0.0`, masked weights) are skipped; a `+0.0`-seeded
+//!   accumulator chain is unchanged by dropping `±0.0` terms (see
+//!   [`crate::ops::spike`] for the full argument);
+//! - *uncomputed* elements stay `+0.0` where the dense value may be any
+//!   `x`; the receiver multiplies both by an exact surrogate zero, so the
+//!   difference is confined to the sign of zero products, which cannot
+//!   propagate into any non-zero value, loss, or firing decision.
+//!
+//! Losses, parameters and spike trains are therefore bit-identical to the
+//! dense backward at any `NDSNN_THREADS`; only `to_bits` of exact-zero
+//! gradient entries may differ — the contract the zero-skipping kernels have
+//! documented since the spike-gather PR.
+
+use crate::ops::conv::Conv2dGeometry;
+
+/// Default active-set density below which consumer layers dispatch the
+/// backward `dX` through the gather kernels; at or above it they run the
+/// dense/pattern path. Matches the forward crossovers
+/// (`NDSNN_DENSITY_THRESHOLD` / `NDSNN_SPIKE_DENSITY_THRESHOLD`): an index
+/// load per active element breaks even with the blocked kernels around one
+/// element in four.
+pub const DEFAULT_GRAD_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Default surrogate-derivative magnitude below which a neuron is *inactive*
+/// for gradient purposes. `0.0` means membership is exactly `φ'(x) != 0.0`,
+/// which preserves bit-identity; positive values trade a bounded amount of
+/// dropped gradient mass (each dropped entry has `|φ'| ≤ τ`) for a smaller
+/// active set.
+pub const DEFAULT_GRAD_ACTIVE_THRESHOLD: f64 = 0.0;
+
+/// Reads the `NDSNN_GRAD_DENSITY_THRESHOLD` override, falling back to
+/// [`DEFAULT_GRAD_DENSITY_THRESHOLD`] when unset or unparseable. Negative
+/// forces the dense backward everywhere; `>= 1.0` forces the gather path for
+/// every timestep that has an active set.
+pub fn grad_density_threshold_from_env() -> f64 {
+    crate::env::density_threshold(
+        "NDSNN_GRAD_DENSITY_THRESHOLD",
+        DEFAULT_GRAD_DENSITY_THRESHOLD,
+    )
+}
+
+/// Reads the `NDSNN_GRAD_ACTIVE_THRESHOLD` tolerance τ, falling back to
+/// [`DEFAULT_GRAD_ACTIVE_THRESHOLD`] (exact mode) when unset, unparseable or
+/// negative (a negative tolerance cannot widen a `|φ'| > τ` test beyond
+/// exactness).
+pub fn grad_active_threshold_from_env() -> f64 {
+    crate::env::parse_f64("NDSNN_GRAD_ACTIVE_THRESHOLD")
+        .filter(|v| *v >= 0.0)
+        .unwrap_or(DEFAULT_GRAD_ACTIVE_THRESHOLD)
+}
+
+/// Per-timestep ascending active-neuron index lists for the backward pass.
+///
+/// Mirrors [`SpikeBatch`](crate::ops::spike::SpikeBatch): the population is
+/// viewed as `rows × cols` (batch samples × flattened per-sample features)
+/// and, per row, the indices of *gradient-active* neurons — those whose
+/// surrogate derivative magnitude exceeds the tolerance — are stored
+/// ascending in CSR layout without values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradActiveBatch {
+    rows: usize,
+    cols: usize,
+    idx: Vec<u32>,
+    row_ptr: Vec<u32>,
+}
+
+impl GradActiveBatch {
+    /// Builds a batch from *ascending* flat indices into the row-major
+    /// `rows × cols` tensor — the natural output of the fused LIF scan that
+    /// already walks the membrane buffer once per timestep.
+    ///
+    /// # Panics
+    /// Debug-asserts that the indices are strictly ascending and in range.
+    pub fn from_flat_indices(rows: usize, cols: usize, flat: Vec<u32>) -> GradActiveBatch {
+        debug_assert!(cols <= u32::MAX as usize, "column index overflows u32");
+        debug_assert!(
+            flat.windows(2).all(|w| w[0] < w[1]),
+            "indices not ascending"
+        );
+        debug_assert!(flat.last().is_none_or(|&i| (i as usize) < rows * cols));
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        let mut seen = 0usize;
+        let mut idx = flat;
+        for r in 0..rows {
+            let row_end = ((r + 1) * cols) as u64;
+            while seen < idx.len() && u64::from(idx[seen]) < row_end {
+                seen += 1;
+            }
+            row_ptr.push(seen as u32);
+        }
+        for r in 0..rows {
+            let base = (r * cols) as u32;
+            for v in &mut idx[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
+                *v -= base;
+            }
+        }
+        GradActiveBatch {
+            rows,
+            cols,
+            idx,
+            row_ptr,
+        }
+    }
+
+    /// Batch rows (samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Flattened per-sample feature count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total gradient-active entries.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Active fraction in `[0, 1]` (the realized backward density of this
+    /// timestep).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Ascending active column indices of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.idx[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+}
+
+/// Transposes a row-major `rows × cols` matrix into `wt` (`cols × rows`).
+///
+/// The gather kernels walk one *column* of the original weight per active
+/// neuron; a one-off transpose per backward call makes those walks
+/// contiguous. Pure data movement — no arithmetic, so no numeric effect.
+pub fn transpose_into(w: &[f32], rows: usize, cols: usize, wt: &mut [f32]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(wt.len(), rows * cols);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        for (c, &v) in row.iter().enumerate() {
+            wt[c * rows + r] = v;
+        }
+    }
+}
+
+/// The transposed weight with masked (zero) entries compressed out — the
+/// operand the gather kernels walk.
+///
+/// At the paper's θ = 0.9 the dense backward already exploits *weight*
+/// sparsity (`sp_mm_t` walks a [`RowPattern`](crate::ops::spmm::RowPattern));
+/// a gather that re-reads the dense weight would forfeit that factor and only
+/// keep the *activity* factor. Packing the transpose once per backward call
+/// (`O(rows · cols)`, the cost of the transpose it replaces) lets the gather
+/// compose both: work per timestep is `active density × weight density` of
+/// the dense product.
+///
+/// Layout is CSR over the *transposed* view: row `r` (an input feature for
+/// linear, a `(c, kh, kw)` kernel tap for conv) stores the ascending output
+/// indices `f` with `w[f, r] != 0.0` and the matching values. Walking a row
+/// ascending reproduces the exact accumulation order of the dense kernels'
+/// ascending-`f` loop with its `w == 0.0` skip, so the packing has no
+/// numeric effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedWt {
+    rows: usize,
+    cols: usize,
+    val: Vec<f32>,
+    idx: Vec<u32>,
+    row_ptr: Vec<u32>,
+}
+
+impl PackedWt {
+    /// Packs the transpose of a row-major `rows × cols` matrix `w` (so the
+    /// packed view is `cols × rows`): packed row `c` holds the non-zero
+    /// entries of column `c` of `w`, ascending in `r`.
+    pub fn from_row_major(w: &[f32], rows: usize, cols: usize) -> PackedWt {
+        debug_assert_eq!(w.len(), rows * cols);
+        debug_assert!(rows <= u32::MAX as usize, "row index overflows u32");
+        let nnz = w.iter().filter(|v| **v != 0.0).count();
+        let mut val = Vec::with_capacity(nnz);
+        let mut idx = Vec::with_capacity(nnz);
+        let mut row_ptr = Vec::with_capacity(cols + 1);
+        row_ptr.push(0u32);
+        for c in 0..cols {
+            for r in 0..rows {
+                let v = w[r * cols + c];
+                if v != 0.0 {
+                    val.push(v);
+                    idx.push(r as u32);
+                }
+            }
+            row_ptr.push(val.len() as u32);
+        }
+        PackedWt {
+            rows: cols,
+            cols: rows,
+            val,
+            idx,
+            row_ptr,
+        }
+    }
+
+    /// Packed (transposed-view) row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Packed (transposed-view) column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// The non-zero `(index, value)` run of packed row `r`, indices
+    /// ascending.
+    #[inline]
+    fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let span = self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize;
+        (&self.idx[span.clone()], &self.val[span])
+    }
+}
+
+/// Linear input gradient restricted to the receiver's active set:
+/// `dx[s, c] += Σ_o gy[s, o] · W[o, c]` for every active column `c` of
+/// sample `s` only. `pwt` is the packed transposed weight
+/// ([`PackedWt::from_row_major`] of the `out × cols` weight); `dx` must be
+/// zeroed.
+///
+/// Per computed element the reduction runs `o` ascending with the
+/// `gy == 0.0` skip of [`sp_gy_w`](crate::ops::spmm::sp_gy_w); masked
+/// weights are compressed out of `pwt` in the same ascending order, so
+/// computed entries match the dense/pattern path bit-for-bit modulo `±0.0`
+/// (see the module docs). Threads over batch samples (disjoint `dx` rows)
+/// like the dense kernel.
+pub fn gather_gy_wt(ab: &GradActiveBatch, pwt: &PackedWt, gy: &[f32], dx: &mut [f32]) {
+    let cols = ab.cols;
+    let out_features = pwt.cols();
+    debug_assert_eq!(pwt.rows(), cols);
+    debug_assert_eq!(gy.len(), ab.rows * out_features);
+    debug_assert_eq!(dx.len(), ab.rows * cols);
+    super::matmul::for_output_row_ranges(
+        dx,
+        ab.rows,
+        cols,
+        ab.nnz() * out_features,
+        |s0, count, dx_rows| {
+            for s in 0..count {
+                let gyrow = &gy[(s0 + s) * out_features..(s0 + s + 1) * out_features];
+                let dxrow = &mut dx_rows[s * cols..(s + 1) * cols];
+                for &c in ab.row(s0 + s) {
+                    let (os, wvs) = pwt.row(c as usize);
+                    let mut acc = 0.0f32;
+                    for (&o, &wv) in os.iter().zip(wvs) {
+                        let g = gyrow[o as usize];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        acc += g * wv;
+                    }
+                    dxrow[c as usize] += acc;
+                }
+            }
+        },
+    );
+}
+
+/// Conv input gradient for one sample restricted to `need` — the ascending
+/// sample-relative flat pixel indices (in `C·H·W` space) the receiver
+/// population is gradient-active at.
+///
+/// Replaces the `dCol = Wᵀ·gy` product *and* the `col2im` scatter: for each
+/// needed pixel the kernel taps are visited in ascending `(kh, kw)` order
+/// (the `col2im` loop order) and each tap is an ascending-`f` dot of the
+/// packed transposed weight row `pwt[r]` with the position's spatial-major
+/// gradient row `gyt[pos]` (`spatial × F`) — the ascending-k order of the
+/// dense GEMM / [`sp_mm_t`](crate::ops::spmm::sp_mm_t); masked weights are
+/// compressed out of `pwt` in that same order, so the walk is the dense
+/// reduction with its `w == 0.0` terms deleted. Serial by design: the conv
+/// layer calls it per sample from inside already-parallel block workers.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_conv_dx(
+    pwt: &PackedWt,
+    gyt: &[f32],
+    need: &[u32],
+    g: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    dx: &mut [f32],
+) {
+    let f_out = g.out_channels;
+    let cr = g.col_rows();
+    debug_assert_eq!(pwt.rows(), cr);
+    debug_assert_eq!(pwt.cols(), f_out);
+    debug_assert_eq!(gyt.len(), oh * ow * f_out);
+    debug_assert_eq!(dx.len(), g.in_channels * h * w);
+    let plane = h * w;
+    for &p in need {
+        let p = p as usize;
+        let c = p / plane;
+        let rem = p % plane;
+        let (y, x) = (rem / w, rem % w);
+        let mut total = 0.0f32;
+        for kh in 0..g.kernel_h {
+            let ty = y + g.padding;
+            if ty < kh {
+                continue;
+            }
+            let dy = ty - kh;
+            if !dy.is_multiple_of(g.stride) {
+                continue;
+            }
+            let oy = dy / g.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kw in 0..g.kernel_w {
+                let tx = x + g.padding;
+                if tx < kw {
+                    continue;
+                }
+                let dx_off = tx - kw;
+                if !dx_off.is_multiple_of(g.stride) {
+                    continue;
+                }
+                let ox = dx_off / g.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let r = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                let (fs, wvs) = pwt.row(r);
+                let pos = oy * ow + ox;
+                let grow = &gyt[pos * f_out..(pos + 1) * f_out];
+                let mut acc = 0.0f32;
+                for (&f, &wv) in fs.iter().zip(wvs) {
+                    acc += wv * grow[f as usize];
+                }
+                // One add per kernel tap — the `col2im` accumulation chain.
+                total += acc;
+            }
+        }
+        dx[p] += total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::{conv2d_backward, Conv2dGeometry};
+    use crate::ops::matmul::matmul;
+    use crate::parallel::run_serial;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn active_from_mask(rows: usize, cols: usize, keep: impl Fn(usize) -> bool) -> GradActiveBatch {
+        let flat: Vec<u32> = (0..rows * cols)
+            .filter(|&i| keep(i))
+            .map(|i| i as u32)
+            .collect();
+        GradActiveBatch::from_flat_indices(rows, cols, flat)
+    }
+
+    #[test]
+    fn batch_mirrors_spike_batch_layout() {
+        let ab = GradActiveBatch::from_flat_indices(2, 3, vec![0, 3, 4]);
+        assert_eq!(ab.rows(), 2);
+        assert_eq!(ab.cols(), 3);
+        assert_eq!(ab.nnz(), 3);
+        assert_eq!(ab.row(0), &[0]);
+        assert_eq!(ab.row(1), &[0, 1]);
+        assert!((ab.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let w: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut wt = vec![0.0f32; 12];
+        transpose_into(&w, 3, 4, &mut wt);
+        let mut back = vec![0.0f32; 12];
+        transpose_into(&wt, 4, 3, &mut back);
+        assert_eq!(w, back);
+        assert_eq!(wt[0], 0.0);
+        assert_eq!(wt[1], 4.0); // wt[c=0][r=1] == w[1][0]
+    }
+
+    #[test]
+    fn linear_gather_full_active_bit_identical_to_dense() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let (b, out, cols) = (5, 12, 30);
+        let mut w = crate::init::uniform([out, cols], -1.0, 1.0, &mut rng);
+        // Masked weights exercise the wv skip; exact zeros in gy the g skip.
+        for v in w.as_mut_slice().iter_mut().step_by(3) {
+            *v = 0.0;
+        }
+        let mut gy = crate::init::uniform([b, out], -1.0, 1.0, &mut rng);
+        for v in gy.as_mut_slice().iter_mut().step_by(4) {
+            *v = 0.0;
+        }
+        let pwt = PackedWt::from_row_major(w.as_slice(), out, cols);
+        let ab = active_from_mask(b, cols, |_| true);
+        let mut dx = vec![0.0f32; b * cols];
+        gather_gy_wt(&ab, &pwt, gy.as_slice(), &mut dx);
+        let want = matmul(&gy, &w).unwrap();
+        assert_eq!(dx, want.as_slice());
+    }
+
+    #[test]
+    fn linear_gather_partial_matches_dense_on_active_zero_elsewhere() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let (b, out, cols) = (4, 9, 21);
+        let w = crate::init::uniform([out, cols], -1.0, 1.0, &mut rng);
+        let gy = crate::init::uniform([b, out], -1.0, 1.0, &mut rng);
+        let pwt = PackedWt::from_row_major(w.as_slice(), out, cols);
+        let ab = active_from_mask(b, cols, |i| i % 3 == 1);
+        let mut dx = vec![0.0f32; b * cols];
+        gather_gy_wt(&ab, &pwt, gy.as_slice(), &mut dx);
+        let want = matmul(&gy, &w).unwrap();
+        for (i, (&got, &w)) in dx.iter().zip(want.as_slice()).enumerate() {
+            if i % 3 == 1 {
+                assert_eq!(got, w, "active entry {i}");
+            } else {
+                assert_eq!(got, 0.0, "inactive entry {i} must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_gather_full_active_bit_identical_to_dense() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let g = Conv2dGeometry::square(3, 4, 3, 1, 1);
+        let (b, h, w) = (2, 6, 5);
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let input = crate::init::uniform([b, 3, h, w], -1.0, 1.0, &mut rng);
+        let mut weight = crate::init::uniform([4, 3, 3, 3], -1.0, 1.0, &mut rng);
+        for v in weight.as_mut_slice().iter_mut().step_by(2) {
+            *v = 0.0;
+        }
+        let grad_out = crate::init::uniform([b, 4, oh, ow], -1.0, 1.0, &mut rng);
+        let want = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+
+        let (cr, spatial, f) = (g.col_rows(), oh * ow, g.out_channels);
+        let pwt = PackedWt::from_row_major(weight.as_slice(), f, cr);
+        let in_stride = 3 * h * w;
+        let mut dx = vec![0.0f32; b * in_stride];
+        let need: Vec<u32> = (0..in_stride as u32).collect();
+        for s in 0..b {
+            let gy = &grad_out.as_slice()[s * f * spatial..(s + 1) * f * spatial];
+            let mut gyt = vec![0.0f32; spatial * f];
+            transpose_into(gy, f, spatial, &mut gyt);
+            gather_conv_dx(
+                &pwt,
+                &gyt,
+                &need,
+                &g,
+                h,
+                w,
+                oh,
+                ow,
+                &mut dx[s * in_stride..(s + 1) * in_stride],
+            );
+        }
+        assert_eq!(dx, want.input_grad.as_slice());
+    }
+
+    #[test]
+    fn conv_gather_strided_unpadded_geometry() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let g = Conv2dGeometry::square(2, 3, 3, 2, 0);
+        let (h, w) = (7, 9);
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let input = crate::init::uniform([1, 2, h, w], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform([3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let grad_out = crate::init::uniform([1, 3, oh, ow], -1.0, 1.0, &mut rng);
+        let want = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+        let (cr, spatial, f) = (g.col_rows(), oh * ow, g.out_channels);
+        let pwt = PackedWt::from_row_major(weight.as_slice(), f, cr);
+        let mut gyt = vec![0.0f32; spatial * f];
+        transpose_into(grad_out.as_slice(), f, spatial, &mut gyt);
+        let need: Vec<u32> = (0..(2 * h * w) as u32).collect();
+        let mut dx = vec![0.0f32; 2 * h * w];
+        gather_conv_dx(&pwt, &gyt, &need, &g, h, w, oh, ow, &mut dx);
+        assert_eq!(dx, want.input_grad.as_slice());
+    }
+
+    #[test]
+    fn conv_gather_partial_matches_dense_on_needed_pixels() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let g = Conv2dGeometry::square(3, 5, 3, 1, 1);
+        let (h, w) = (4, 4);
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let input = crate::init::uniform([1, 3, h, w], -1.0, 1.0, &mut rng);
+        let weight = crate::init::uniform([5, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let grad_out = crate::init::uniform([1, 5, oh, ow], -1.0, 1.0, &mut rng);
+        let want = conv2d_backward(&input, &weight, &grad_out, &g).unwrap();
+        let (cr, spatial, f) = (g.col_rows(), oh * ow, g.out_channels);
+        let pwt = PackedWt::from_row_major(weight.as_slice(), f, cr);
+        let mut gyt = vec![0.0f32; spatial * f];
+        transpose_into(grad_out.as_slice(), f, spatial, &mut gyt);
+        let in_elems = 3 * h * w;
+        let need: Vec<u32> = (0..in_elems as u32).filter(|i| i % 5 < 2).collect();
+        let mut dx = vec![0.0f32; in_elems];
+        gather_conv_dx(&pwt, &gyt, &need, &g, h, w, oh, ow, &mut dx);
+        for (i, &got) in dx.iter().enumerate() {
+            if i % 5 < 2 {
+                assert_eq!(got, want.input_grad.as_slice()[i], "needed pixel {i}");
+            } else {
+                assert_eq!(got, 0.0, "unneeded pixel {i} must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_linear_gather_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let (b, out, cols) = (64, 96, 512);
+        let w = crate::init::uniform([out, cols], -1.0, 1.0, &mut rng);
+        let gy = crate::init::uniform([b, out], -1.0, 1.0, &mut rng);
+        let pwt = PackedWt::from_row_major(w.as_slice(), out, cols);
+        let mut rng2 = StdRng::seed_from_u64(86);
+        let mask: Vec<bool> = (0..b * cols).map(|_| rng2.gen_bool(0.2)).collect();
+        let ab = active_from_mask(b, cols, |i| mask[i]);
+        let ser = run_serial(|| {
+            let mut dx = vec![0.0f32; b * cols];
+            gather_gy_wt(&ab, &pwt, gy.as_slice(), &mut dx);
+            dx
+        });
+        let mut dx = vec![0.0f32; b * cols];
+        gather_gy_wt(&ab, &pwt, gy.as_slice(), &mut dx);
+        assert_eq!(dx, ser);
+    }
+
+    #[test]
+    fn env_knob_defaults() {
+        if std::env::var("NDSNN_GRAD_DENSITY_THRESHOLD").is_err() {
+            assert_eq!(
+                grad_density_threshold_from_env(),
+                DEFAULT_GRAD_DENSITY_THRESHOLD
+            );
+        }
+        if std::env::var("NDSNN_GRAD_ACTIVE_THRESHOLD").is_err() {
+            assert_eq!(
+                grad_active_threshold_from_env(),
+                DEFAULT_GRAD_ACTIVE_THRESHOLD
+            );
+        }
+    }
+
+    #[test]
+    fn empty_need_set_leaves_dx_zero() {
+        let g = Conv2dGeometry::square(1, 1, 3, 1, 1);
+        let pwt = PackedWt::from_row_major(&[1.0f32; 9], 1, 9);
+        let gyt = vec![1.0f32; 16];
+        let mut dx = vec![0.0f32; 16];
+        gather_conv_dx(&pwt, &gyt, &[], &g, 4, 4, 4, 4, &mut dx);
+        assert!(dx.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn packed_wt_compresses_masked_columns() {
+        // w (2 × 3): [[1, 0, 2], [0, 0, 3]] — packed view is 3 × 2.
+        let pwt = PackedWt::from_row_major(&[1.0, 0.0, 2.0, 0.0, 0.0, 3.0], 2, 3);
+        assert_eq!((pwt.rows(), pwt.cols()), (3, 2));
+        assert_eq!(pwt.nnz(), 3);
+        assert_eq!(pwt.row(0), (&[0u32][..], &[1.0f32][..]));
+        assert_eq!(pwt.row(1), (&[][..], &[][..]));
+        assert_eq!(pwt.row(2), (&[0u32, 1][..], &[2.0f32, 3.0][..]));
+    }
+}

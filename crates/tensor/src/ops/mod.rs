@@ -1,6 +1,7 @@
 //! Numeric kernels: matmul, convolution, pooling, reductions, selection.
 
 pub mod conv;
+pub mod grad;
 pub mod layout;
 pub mod matmul;
 pub mod pool;

@@ -53,8 +53,10 @@ pub const DEFAULT_SPIKE_DENSITY_THRESHOLD: f64 = 0.25;
 /// negative value to force dense execution everywhere, or to `1.0` (or more)
 /// to force the gather path for every binary timestep.
 pub fn spike_density_threshold_from_env() -> f64 {
-    crate::env::parse_f64("NDSNN_SPIKE_DENSITY_THRESHOLD")
-        .unwrap_or(DEFAULT_SPIKE_DENSITY_THRESHOLD)
+    crate::env::density_threshold(
+        "NDSNN_SPIKE_DENSITY_THRESHOLD",
+        DEFAULT_SPIKE_DENSITY_THRESHOLD,
+    )
 }
 
 /// Fired-index lists for one timestep of a spiking activation batch.

@@ -322,8 +322,8 @@ proptest! {
         prop_assert_eq!(dense.as_slice(), spike.as_slice());
 
         let gy = ndsnn_tensor::init::uniform(dense.shape().clone(), -1.0, 1.0, &mut rng);
-        let bd = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, false).unwrap();
-        let bs = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, true).unwrap();
+        let bd = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, false, None).unwrap();
+        let bs = conv2d_backward_exec(&x, &w, &gy, &g, &pool, None, true, None).unwrap();
         prop_assert_eq!(bd.weight_grad.as_slice(), bs.weight_grad.as_slice());
         prop_assert_eq!(bd.bias_grad.as_slice(), bs.bias_grad.as_slice());
         prop_assert_eq!(bd.input_grad.as_slice(), bs.input_grad.as_slice());

@@ -453,6 +453,55 @@ fn spike_sparse_path_resumes_bit_identically() {
 }
 
 #[test]
+fn active_set_backward_resumes_bit_identically() {
+    // Force every consumer backward through the active-set dX restriction
+    // (threshold >= 1.0 gathers whenever a set arrives; Rectangle's compact
+    // support makes the sets genuine subsets) and verify kill-and-resume
+    // still reproduces the uninterrupted trajectory bit for bit, including
+    // the grad execution counters carried in PhaseTimings.
+    let mut cfg = smoke_ndsnn();
+    cfg.checkpoint_every = 2;
+    cfg.surrogate = ndsnn_snn::surrogate::Surrogate::Rectangle { width: 1.0 };
+    cfg.grad_density_threshold = Some(1.5);
+    let (train, test) = data(&cfg);
+    let baseline = run_with_data(&cfg, &train, &test).unwrap();
+    assert!(
+        baseline.timings.grad_gather_steps > 0,
+        "forced-gather baseline never restricted a backward"
+    );
+    assert!(baseline.timings.grad_elems > 0);
+
+    let dir = tmp_dir("active-set-resume");
+    let mut interrupted = RecoveryOptions::with_dir(&dir);
+    interrupted.fault_plan = FaultPlan {
+        kill_at_step: Some(4),
+        ..Default::default()
+    };
+    let err = run_recoverable(&cfg, &train, &test, &interrupted).unwrap_err();
+    assert!(matches!(err, NdsnnError::Injected(_)));
+
+    let resumed = run_recoverable(
+        &cfg,
+        &train,
+        &test,
+        &RecoveryOptions::with_dir(&dir).resuming(),
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_from_step, Some(4));
+    assert_identical(&baseline, &resumed);
+    // The grad counters live in the checkpointed PhaseTimings (snapshot
+    // format v3): the resumed run must account for exactly the restricted
+    // backwards the baseline ran.
+    assert_eq!(
+        baseline.timings.grad_gather_steps,
+        resumed.timings.grad_gather_steps
+    );
+    assert_eq!(baseline.timings.grad_nnz, resumed.timings.grad_nnz);
+    assert_eq!(baseline.timings.grad_elems, resumed.timings.grad_elems);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pooled_resume_identity_across_thread_counts() {
     // The baseline trains entirely single-threaded; the kill-and-resume run
     // executes on the persistent pool with 4 workers. Bit-identity of the
