@@ -111,6 +111,7 @@ fn bench_infer_runtime(c: &mut Criterion) {
         &params,
         &CompileOptions {
             density_threshold: -1.0,
+            quantize: None,
         },
     )
     .expect("compile dense");
@@ -204,6 +205,40 @@ fn bench_infer_runtime(c: &mut Criterion) {
             100.0 * *ns as f64 / total.max(1) as f64
         );
     }
+
+    // ---- Batch-size sweep over the CSR runtime: serving batches amortize
+    // im2col and scratch reuse, so ns/sample should fall (or at worst hold)
+    // as the batch grows. Per-sample medians land in the JSON so a batching
+    // regression is visible against the baseline. ----
+    let mut sweep_lines = String::new();
+    for batch in [1usize, 8, 32] {
+        let mut rng = StdRng::seed_from_u64(0x1FE2 + batch as u64);
+        let batch_images = ndsnn_tensor::init::uniform(
+            [batch, 3, cfg.image_size, cfg.image_size],
+            0.0,
+            1.0,
+            &mut rng,
+        );
+        for _ in 0..2 {
+            black_box(exec_csr.forward(&batch_images).expect("forward"));
+        }
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let t0 = std::time::Instant::now();
+            black_box(exec_csr.forward(&batch_images).expect("forward").as_slice()[0]);
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let med = median_of(&samples);
+        println!(
+            "bench infer_forward/vgg16_s93/frozen_csr_b{batch}: median {med:.1} ns/sample \
+             ({ROUNDS} interleaved rounds)"
+        );
+        sweep_lines.push_str(&format!(
+            "{{\"id\":\"infer_forward/vgg16_s93/frozen_csr_b{batch}\",\"batch\":{batch},\
+             \"median_ns_per_sample\":{med:.1},\"rounds\":{ROUNDS}}}\n"
+        ));
+    }
+    lines.push_str(&sweep_lines);
 
     let csr_speedup = medians[0] / medians[2];
     let dense_speedup = medians[0] / medians[1];

@@ -1,0 +1,305 @@
+//! Paired f32-CSR vs int8 inference benchmark for the NDINF2 quantized
+//! artifact path (DESIGN.md §15).
+//!
+//! One Small VGG-16 at the paper's ERK layer-density mix is compiled once
+//! to the f32 NDINF1 artifact, then quantized four ways — auto-selected
+//! encoding plus each index encoding forced (bitmap / delta-varint /
+//! absolute) — and every flavor is round-tripped through its serialized
+//! bytes before timing, because serving always loads from bytes.
+//!
+//! For each flavor the bench reports, into `NDSNN_BENCH_JSON`
+//! (`results/bench_quant.json`):
+//!
+//! - per-sample forward medians at batch 1 and the serving batch (8),
+//!   interleaved round-robin with the all-CSR f32 baseline (plus the
+//!   default mixed/dense artifact as an informational row) so all
+//!   variants sample the same machine-load noise;
+//! - the per-layer artifact-size table (f32 bytes → compressed bytes);
+//! - logit drift of the auto flavor against the f32 reference over a
+//!   200-image synthetic eval set (max/mean abs drift, argmax agreement) —
+//!   on the post-QAT substrate (`ndsnn_bench::synth`) where the int8 path
+//!   is exact by construction, plus the ungated raw-init drift showing how
+//!   lossy rounding amplifies through an untrained spiking net;
+//! - the no-regression booleans the CI `quant-parity` job greps:
+//!   `size_reduction_ok` (≥ 4×), `argmax_ok` (≥ 99.5%) and
+//!   `int8_no_regression_b{1,8}` (int8 within 10% of f32-CSR speed).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn_bench::synth::erk_sparse_params;
+use ndsnn_infer::{
+    compile, quantize_artifact, Artifact, CompileOptions, Executor, IndexEncoding, QuantOptions,
+};
+use ndsnn_metrics::quant::{drift_stats, size_summary, size_table, SizeRow};
+use ndsnn_snn::models::Architecture;
+use ndsnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's moderate-sparsity operating point: ERK at 80% leaves the
+/// small layers dense (stored f32-dense in NDINF1) and the big convs
+/// sparse — the mix the ≥ 4× size gate is specified against.
+const SPARSITY: f64 = 0.8;
+const EVAL_IMAGES: usize = 200;
+const SERVING_BATCH: usize = 8;
+const ROUNDS: usize = 20;
+
+fn small_vgg16() -> RunConfig {
+    let mut cfg =
+        Profile::Small.run_config(Architecture::Vgg16, DatasetKind::Cifar10, MethodSpec::Dense);
+    cfg.timesteps = 2;
+    cfg.image_size = cfg.image_size.max(ndsnn::trainer::min_image_size(cfg.arch));
+    cfg
+}
+
+fn images_of(cfg: &RunConfig, batch: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ndsnn_tensor::init::uniform(
+        [batch, 3, cfg.image_size, cfg.image_size],
+        0.0,
+        1.0,
+        &mut rng,
+    )
+}
+
+/// Quantize + byte round trip, returning the executor-ready artifact and
+/// its per-layer size rows.
+fn quantized_flavor(
+    f32_art: &Artifact,
+    encoding: Option<IndexEncoding>,
+) -> (Artifact, Vec<SizeRow>) {
+    let opts = QuantOptions {
+        encoding,
+        ..QuantOptions::default()
+    };
+    let (qart, rows) = quantize_artifact(f32_art, &opts).expect("quantize");
+    let qart = Artifact::decode(&qart.encode()).expect("NDINF2 round trip");
+    let size_rows = rows
+        .iter()
+        .map(|r| SizeRow {
+            name: r.name.clone(),
+            f32_bytes: r.f32_bytes,
+            compressed_bytes: r.bytes,
+            encoding: r.encoding.clone(),
+            rel_error: r.rel_error,
+        })
+        .collect();
+    (qart, size_rows)
+}
+
+fn median_of(v: &[f64]) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+fn bench_quant_infer(c: &mut Criterion) {
+    let cfg = small_vgg16();
+    // Post-QAT substrate: weights on per-row pow2 int8 grids, so the int8
+    // path must be bit-exact and the argmax boolean gates execution
+    // correctness. The raw (un-snapped) substrate is measured separately
+    // below for the reported rounding-drift numbers.
+    let params = erk_sparse_params(&cfg, SPARSITY, true);
+    let f32_art = compile(
+        &cfg,
+        &params,
+        &CompileOptions {
+            quantize: None,
+            ..Default::default()
+        },
+    )
+    .expect("compile f32");
+    // The like-for-like speed baseline the ISSUE names: *every* layer
+    // stored f32 CSR (density_threshold >= 1.0 packs everything), so the
+    // int8 gather-add kernels race the f32 CSR kernels over identical
+    // sparsity structure. The default mixed artifact (at ERK 0.8 it keeps
+    // all layers dense and takes the tiled kernel) rides along as an
+    // informational `f32_dense` row.
+    let csr_art = compile(
+        &cfg,
+        &params,
+        &CompileOptions {
+            quantize: None,
+            density_threshold: 1.0,
+        },
+    )
+    .expect("compile f32 all-CSR");
+
+    let flavors: Vec<(&str, Option<IndexEncoding>)> = vec![
+        ("int8_auto", None),
+        ("int8_bitmap", Some(IndexEncoding::Bitmap)),
+        ("int8_delta", Some(IndexEncoding::DeltaVarint)),
+        ("int8_absolute", Some(IndexEncoding::Absolute)),
+    ];
+    let mut execs: Vec<(String, Executor)> =
+        vec![("f32_csr".to_string(), Executor::new(Arc::new(csr_art)))];
+    let mut auto_rows: Vec<SizeRow> = Vec::new();
+    let mut flavor_bytes = String::new();
+    for (label, encoding) in &flavors {
+        let (qart, rows) = quantized_flavor(&f32_art, *encoding);
+        assert!(qart.is_quantized(), "{label}: nothing quantized");
+        let total = size_summary(&rows);
+        flavor_bytes.push_str(&format!(
+            "{{\"id\":\"quant_infer/size/{label}\",\"f32_bytes\":{},\
+             \"compressed_bytes\":{},\"ratio\":{:.3},\"quantized_layers\":{},\
+             \"total_layers\":{}}}\n",
+            total.f32_bytes,
+            total.compressed_bytes,
+            total.ratio,
+            total.quantized_layers,
+            total.total_layers
+        ));
+        if *label == "int8_auto" {
+            auto_rows = rows;
+        }
+        execs.push((label.to_string(), Executor::new(Arc::new(qart))));
+    }
+    execs.push(("f32_dense".to_string(), Executor::new(Arc::new(f32_art))));
+    print!(
+        "{}",
+        size_table("quant_infer artifact sizes (auto)", &auto_rows)
+    );
+    let auto_total = size_summary(&auto_rows);
+
+    // ---- Accuracy (untimed): auto flavor vs the f32 reference. ----
+    let eval = images_of(&cfg, EVAL_IMAGES, 0x5EED5E7);
+    let reference = execs[0].1.forward(&eval).expect("f32 forward");
+    let quantized = execs[1].1.forward(&eval).expect("int8 forward");
+    let classes = reference.len() / EVAL_IMAGES;
+    let drift = drift_stats(reference.as_slice(), quantized.as_slice(), classes);
+    println!(
+        "quant_infer: argmax_agreement={:.4} max_abs_drift={:.4} mean_abs_drift={:.6}",
+        drift.argmax_agreement, drift.max_abs_drift, drift.mean_abs_drift
+    );
+
+    // ---- Raw-substrate drift (untimed, reported not gated): how lossy
+    // rounding amplifies through an untrained spiking net. ----
+    let raw_params = erk_sparse_params(&cfg, SPARSITY, false);
+    let raw_f32 = compile(
+        &cfg,
+        &raw_params,
+        &CompileOptions {
+            quantize: None,
+            ..Default::default()
+        },
+    )
+    .expect("compile raw f32");
+    let (raw_q, _) = quantize_artifact(&raw_f32, &QuantOptions::default()).expect("quantize raw");
+    let raw_ref = Executor::new(Arc::new(raw_f32))
+        .forward(&eval)
+        .expect("raw f32 forward");
+    let raw_quant = Executor::new(Arc::new(raw_q))
+        .forward(&eval)
+        .expect("raw int8 forward");
+    let raw_drift = drift_stats(raw_ref.as_slice(), raw_quant.as_slice(), classes);
+    println!(
+        "quant_infer (raw init, ungated): argmax_agreement={:.4} max_abs_drift={:.4}",
+        raw_drift.argmax_agreement, raw_drift.max_abs_drift
+    );
+
+    // ---- Criterion medians, batch 1: baseline vs auto flavor. ----
+    let b1 = images_of(&cfg, 1, 0x1FE2);
+    let mut group = c.benchmark_group("quant_infer");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for idx in [0usize, 1] {
+        let label = execs[idx].0.clone();
+        let exec = &mut execs[idx].1;
+        group.bench_function(BenchmarkId::new("small_vgg16_b1", &label), |b| {
+            b.iter(|| black_box(exec.forward(&b1).expect("forward").as_slice()[0]))
+        });
+    }
+    group.finish();
+
+    // ---- Interleaved rounds for the paired medians: every round times one
+    // forward of every flavor back to back at each batch size, so the
+    // f32/int8 ratio compares like with like. ----
+    let mut lines = String::new();
+    let mut speedups: BTreeMap<usize, f64> = BTreeMap::new();
+    for batch in [1usize, SERVING_BATCH] {
+        let images = images_of(&cfg, batch, 0x1FE2 + batch as u64);
+        for (_, exec) in execs.iter_mut() {
+            black_box(exec.forward(&images).expect("warmup"));
+        }
+        let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(ROUNDS); execs.len()];
+        for _ in 0..ROUNDS {
+            for (vi, (_, exec)) in execs.iter_mut().enumerate() {
+                let t0 = std::time::Instant::now();
+                black_box(exec.forward(&images).expect("forward").as_slice()[0]);
+                times[vi].push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            }
+        }
+        let f32_med = median_of(&times[0]);
+        for (vi, (label, _)) in execs.iter().enumerate() {
+            let med = median_of(&times[vi]);
+            println!(
+                "bench quant_infer/small_vgg16_b{batch}/{label}: median {med:.1} ns/sample \
+                 (f32_csr x{:.2})",
+                f32_med / med
+            );
+            lines.push_str(&format!(
+                "{{\"id\":\"quant_infer/small_vgg16_b{batch}/{label}\",\"batch\":{batch},\
+                 \"median_ns_per_sample\":{med:.1},\"speedup_over_f32\":{:.3},\
+                 \"rounds\":{ROUNDS}}}\n",
+                f32_med / med
+            ));
+        }
+        speedups.insert(batch, f32_med / median_of(&times[1]));
+    }
+
+    let speedup_b1 = speedups[&1];
+    let speedup_serving = speedups[&SERVING_BATCH];
+    // No-regression bars: the size and accuracy gates are hard acceptance
+    // criteria; the speed bars assert int8 is at worst 10% slower than the
+    // f32 CSR path (gather-add replaces multiply-add, so parity or better
+    // is expected — the bar only exists to catch a kernel regression).
+    let size_reduction_ok = auto_total.ratio >= 4.0;
+    let argmax_ok = drift.argmax_agreement >= 0.995;
+    let no_reg_b1 = speedup_b1 >= 0.9;
+    let no_reg_serving = speedup_serving >= 0.9;
+    let line = format!(
+        "{{\"id\":\"quant_infer/summary\",\"sparsity\":{SPARSITY},\
+         \"f32_bytes\":{},\"compressed_bytes\":{},\"size_ratio\":{:.3},\
+         \"argmax_agreement\":{:.4},\"max_abs_drift\":{:.5},\"mean_abs_drift\":{:.6},\
+         \"raw_argmax_agreement\":{:.4},\"raw_max_abs_drift\":{:.4},\
+         \"int8_speedup_b1\":{speedup_b1:.3},\
+         \"int8_speedup_b{SERVING_BATCH}\":{speedup_serving:.3},\
+         \"size_reduction_ok\":{size_reduction_ok},\"argmax_ok\":{argmax_ok},\
+         \"int8_no_regression_b1\":{no_reg_b1},\
+         \"int8_no_regression_b{SERVING_BATCH}\":{no_reg_serving}}}\n",
+        auto_total.f32_bytes,
+        auto_total.compressed_bytes,
+        auto_total.ratio,
+        drift.argmax_agreement,
+        drift.max_abs_drift,
+        drift.mean_abs_drift,
+        raw_drift.argmax_agreement,
+        raw_drift.max_abs_drift
+    );
+    print!("quant_infer summary: {line}");
+
+    let Ok(path) = std::env::var("NDSNN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let payload = format!("{flavor_bytes}{lines}{line}");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(payload.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("quant_infer: could not append summary to {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_quant_infer);
+criterion_main!(benches);

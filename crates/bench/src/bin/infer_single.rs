@@ -4,7 +4,7 @@
 //! ```sh
 //! infer_single --artifact <path> [--requests <n>] [--clients <n>]
 //!              [--batch <n>] [--max-wait-us <n>] [--deadline-ms <n>]
-//!              [--seed <n>]
+//!              [--seed <n>] [--quantize] [--encoding bitmap|delta|absolute]
 //! ```
 //!
 //! Requests carry deterministic synthetic images (seeded) and are submitted
@@ -18,6 +18,12 @@
 //! The per-layer breakdown comes from a separate single-batch `Executor`
 //! pass over the same artifact, so it reflects the op costs without
 //! queueing noise. Produce an artifact with `run_single --export <path>`.
+//!
+//! `--quantize` (or `NDSNN_INFER_QUANT=1`) compresses the loaded artifact's
+//! eligible spike-input layers to int8 NDINF2 stores in memory before
+//! serving and prints a per-layer size table on stderr;
+//! `--encoding`/`NDSNN_INFER_ENCODING` forces one index encoding instead of
+//! the per-layer smallest. Already-quantized artifacts serve as-is.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -88,7 +94,35 @@ fn main() {
         opts.default_deadline = deadline;
     }
 
-    let artifact = Arc::new(Artifact::load(&path).expect("load artifact"));
+    let mut loaded = Artifact::load(&path).expect("load artifact");
+    let quantize = args.iter().any(|a| a == "--quantize") || ndsnn::config::env::infer_quant();
+    if quantize && !loaded.is_quantized() {
+        let encoding = get("--encoding")
+            .as_deref()
+            .and_then(ndsnn_infer::IndexEncoding::parse)
+            .or_else(|| ndsnn_infer::IndexEncoding::parse(&ndsnn::config::env::infer_encoding()));
+        let qopts = ndsnn_infer::QuantOptions {
+            encoding,
+            ..Default::default()
+        };
+        let (qart, rows) = ndsnn_infer::quantize_artifact(&loaded, &qopts).expect("quantize");
+        let size_rows: Vec<_> = rows
+            .iter()
+            .map(|r| ndsnn_metrics::quant::SizeRow {
+                name: r.name.clone(),
+                f32_bytes: r.f32_bytes,
+                compressed_bytes: r.bytes,
+                encoding: r.encoding.clone(),
+                rel_error: r.rel_error,
+            })
+            .collect();
+        eprintln!(
+            "{}",
+            ndsnn_metrics::quant::size_table("quantized artifact sizes", &size_rows)
+        );
+        loaded = qart;
+    }
+    let artifact = Arc::new(loaded);
     let m = &artifact.manifest;
     eprintln!(
         "serving {} (T={}, {}x{}x{}, {} classes, {} weighted layers) batch={} max_wait={:?}",

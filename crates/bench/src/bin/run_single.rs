@@ -8,7 +8,7 @@
 //!            [--sparsity <f64>] [--initial <f64>] [--timesteps <n>] [--seed <n>]
 //!            [--surrogate atan|fastsigmoid[:alpha]|rect[:width]|gauss[:sigma]]
 //!            [--checkpoint-dir <path>] [--checkpoint-every <n>] [--resume]
-//!            [--export <path>]
+//!            [--export <path>] [--quantize] [--encoding bitmap|delta|absolute]
 //! ```
 //!
 //! With `--checkpoint-dir` the run goes through the crash-safe path
@@ -21,7 +21,11 @@
 //! inference artifact after training (BatchNorm folded, masked weights
 //! CSR-packed; serve it with `infer_single`). Without `--checkpoint-dir`
 //! the run uses a temporary checkpoint directory so the final generation
-//! exists to compile from, then removes it.
+//! exists to compile from, then removes it. Adding `--quantize` (or setting
+//! `NDSNN_INFER_QUANT=1`) compresses eligible spike-input layers to int8
+//! NDINF2 stores and prints a per-layer size table on stderr;
+//! `--encoding`/`NDSNN_INFER_ENCODING` forces one index encoding instead of
+//! the per-layer smallest.
 
 use ndsnn::config::{DatasetKind, MethodSpec};
 use ndsnn::profile::Profile;
@@ -148,12 +152,44 @@ fn main() {
     };
     if let Some(path) = export {
         let dir = ckpt_dir.as_ref().expect("export implies checkpoint dir");
-        let art = ndsnn_infer::compile_from_checkpoint_dir(
-            &cfg,
-            dir,
-            &ndsnn_infer::CompileOptions::default(),
-        )
-        .expect("compile inference artifact");
+        // Quantize explicitly (not via CompileOptions) so the per-layer
+        // size rows are available for the table below.
+        let copts = ndsnn_infer::CompileOptions {
+            quantize: None,
+            ..Default::default()
+        };
+        let mut art = ndsnn_infer::compile_from_checkpoint_dir(&cfg, dir, &copts)
+            .expect("compile inference artifact");
+        let quantize = args.iter().any(|a| a == "--quantize") || ndsnn::config::env::infer_quant();
+        if quantize {
+            let encoding = get("--encoding")
+                .as_deref()
+                .and_then(ndsnn_infer::IndexEncoding::parse)
+                .or_else(|| {
+                    ndsnn_infer::IndexEncoding::parse(&ndsnn::config::env::infer_encoding())
+                });
+            let qopts = ndsnn_infer::QuantOptions {
+                encoding,
+                ..Default::default()
+            };
+            let (qart, rows) =
+                ndsnn_infer::quantize_artifact(&art, &qopts).expect("quantize artifact");
+            let size_rows: Vec<_> = rows
+                .iter()
+                .map(|r| ndsnn_metrics::quant::SizeRow {
+                    name: r.name.clone(),
+                    f32_bytes: r.f32_bytes,
+                    compressed_bytes: r.bytes,
+                    encoding: r.encoding.clone(),
+                    rel_error: r.rel_error,
+                })
+                .collect();
+            eprintln!(
+                "{}",
+                ndsnn_metrics::quant::size_table("quantized artifact sizes", &size_rows)
+            );
+            art = qart;
+        }
         art.save(&path).expect("write inference artifact");
         eprintln!(
             "exported {} ({} ops, {} weighted layers, mask digest {:016x})",

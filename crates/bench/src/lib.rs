@@ -9,6 +9,7 @@
 
 use ndsnn::profile::Profile;
 
+pub mod synth;
 pub mod traffic;
 
 /// Parsed common CLI options.

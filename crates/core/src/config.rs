@@ -247,6 +247,13 @@ pub mod env {
     /// core; problems below it run serially (thread wakeup used to cost a
     /// 256³ matmul 35%). Resolved once per process.
     pub const MIN_TILE_WORK: &str = "NDSNN_MIN_TILE_WORK";
+    /// Whether the inference compiler int8-quantizes eligible layers into an
+    /// NDINF2 artifact (`1`/`true`/`on` enable; anything else keeps f32).
+    pub const INFER_QUANT: &str = "NDSNN_INFER_QUANT";
+    /// Index encoding for quantized weight sections: `auto` (measured
+    /// per-layer choice), `bitmap`, `delta`, or `absolute`. Unrecognized
+    /// values fall back to `auto`.
+    pub const INFER_ENCODING: &str = "NDSNN_INFER_ENCODING";
 
     /// Default for [`min_tile_work`] (`2^25` multiply-adds).
     pub const DEFAULT_MIN_TILE_WORK: usize = ndsnn_tensor::ops::tile::DEFAULT_MIN_TILE_WORK;
@@ -353,6 +360,32 @@ pub mod env {
         ndsnn_tensor::ops::tile::min_tile_work()
     }
 
+    /// `NDSNN_INFER_QUANT`, default `false`. Accepts `1`/`true`/`on`/`yes`
+    /// (case-insensitive) as enabled; every other value — including garbage
+    /// — keeps quantization off, the safe default.
+    pub fn infer_quant() -> bool {
+        ndsnn_tensor::env::raw(INFER_QUANT).is_some_and(|s| {
+            matches!(
+                s.trim().to_ascii_lowercase().as_str(),
+                "1" | "true" | "on" | "yes"
+            )
+        })
+    }
+
+    /// `NDSNN_INFER_ENCODING`, default `auto`. Returns the trimmed
+    /// lowercase value when it names a known encoding (`auto`, `bitmap`,
+    /// `delta`, `absolute`); garbage falls back to `auto` (the measured
+    /// per-layer choice) instead of failing.
+    pub fn infer_encoding() -> String {
+        let raw = ndsnn_tensor::env::raw(INFER_ENCODING)
+            .map(|s| s.trim().to_ascii_lowercase())
+            .unwrap_or_default();
+        match raw.as_str() {
+            "bitmap" | "delta" | "delta-varint" | "deltavarint" | "absolute" | "abs" => raw,
+            _ => "auto".to_string(),
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -360,6 +393,32 @@ pub mod env {
         // One test per knob. Each touches only its own variable, so the
         // parallel test threads never contend on a shared name; every test
         // restores the environment before returning.
+
+        #[test]
+        fn infer_quant_knob() {
+            std::env::set_var(INFER_QUANT, " TRUE ");
+            assert!(infer_quant());
+            std::env::set_var(INFER_QUANT, "1");
+            assert!(infer_quant());
+            std::env::set_var(INFER_QUANT, "0");
+            assert!(!infer_quant());
+            std::env::set_var(INFER_QUANT, "maybe?");
+            assert!(!infer_quant(), "garbage must fall back to off");
+            std::env::remove_var(INFER_QUANT);
+            assert!(!infer_quant());
+        }
+
+        #[test]
+        fn infer_encoding_knob() {
+            std::env::set_var(INFER_ENCODING, " Bitmap ");
+            assert_eq!(infer_encoding(), "bitmap");
+            std::env::set_var(INFER_ENCODING, "delta-varint");
+            assert_eq!(infer_encoding(), "delta-varint");
+            std::env::set_var(INFER_ENCODING, "huffman");
+            assert_eq!(infer_encoding(), "auto", "garbage must fall back to auto");
+            std::env::remove_var(INFER_ENCODING);
+            assert_eq!(infer_encoding(), "auto");
+        }
 
         #[test]
         fn threads_knob() {

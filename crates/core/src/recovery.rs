@@ -374,6 +374,13 @@ impl BlobWriter {
         }
     }
 
+    /// Appends a length-prefixed raw byte run (compressed index streams in
+    /// NDINF2 inference artifacts).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.put_slice(bytes);
+    }
+
     /// Appends an NDT1-encoded tensor.
     pub fn put_tensor(&mut self, t: &Tensor) {
         self.buf.put_slice(&ndt::encode(t));
@@ -458,6 +465,16 @@ impl<'a> BlobReader<'a> {
             self.get_u64()?,
             self.get_u64()?,
         ])
+    }
+
+    /// Reads a length-prefixed raw byte run written by
+    /// [`BlobWriter::put_bytes`].
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_usize()?;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.data.copy_to_slice(&mut bytes);
+        Ok(bytes)
     }
 
     /// Reads an NDT1-encoded tensor.

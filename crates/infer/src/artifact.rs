@@ -1,4 +1,4 @@
-//! The NDINF1 frozen-model artifact format.
+//! The NDINF1/NDINF2 frozen-model artifact formats.
 //!
 //! An artifact is a checksummed NDCKPT2 blob container
 //! ([`ndsnn::checkpoint::encode_blobs`]) holding two entries:
@@ -15,6 +15,14 @@
 //! bit; both container and blob layers treat input as hostile (truncation,
 //! bad op codes, malformed CSR and checksum mismatches are errors, never
 //! panics).
+//!
+//! **Versioning is content-driven.** An artifact whose every weight is f32
+//! encodes as NDINF1 version 1, byte for byte what pre-quantization builds
+//! produced (pinned by the `ndinf1_bytes_stable` property test). Only when
+//! at least one op carries a [`WeightStore::QuantCsr`] weight does the
+//! manifest write the `NDINF2` magic and version 2 — and a version-1
+//! artifact smuggling the quantized store kind is a decode error, so old
+//! readers can never mis-parse new sections silently.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -26,13 +34,19 @@ use ndsnn_tensor::ops::conv::Conv2dGeometry;
 use ndsnn_tensor::Tensor;
 
 use crate::error::{InferError, Result};
+use crate::quant::{self, IndexEncoding, QuantWeight};
 
-/// Magic string opening the manifest blob.
+/// Magic string opening the manifest blob (all-f32 artifacts).
 pub const NDINF_MAGIC: &str = "NDINF1";
-/// Current artifact format version.
+/// Version written alongside [`NDINF_MAGIC`].
 pub const NDINF_VERSION: u64 = 1;
+/// Magic string for artifacts carrying at least one quantized weight.
+pub const NDINF2_MAGIC: &str = "NDINF2";
+/// Version written alongside [`NDINF2_MAGIC`].
+pub const NDINF2_VERSION: u64 = 2;
 
-/// Frozen weight storage: dense below the sparsity worth packing, CSR above.
+/// Frozen weight storage: dense below the sparsity worth packing, CSR
+/// above, or per-channel int8 CSR for quantized (NDINF2) layers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WeightStore {
     /// Dense tensor in the layer's native shape (`(Out, In)` linear,
@@ -40,6 +54,9 @@ pub enum WeightStore {
     Dense(Tensor),
     /// CSR over the 2-D view (`Out × In` linear, `F × (C·KH·KW)` conv).
     Csr(CsrMatrix),
+    /// Per-channel symmetric int8 CSR over the same 2-D view, with a
+    /// density-selected compressed index encoding on disk.
+    QuantCsr(QuantWeight),
 }
 
 impl WeightStore {
@@ -51,12 +68,18 @@ impl WeightStore {
                 nz as f64 / t.len().max(1) as f64
             }
             WeightStore::Csr(m) => m.density(),
+            WeightStore::QuantCsr(q) => q.density(),
         }
     }
 
-    /// True when packed CSR.
+    /// True when packed (f32 or int8) CSR.
     pub fn is_sparse(&self) -> bool {
-        matches!(self, WeightStore::Csr(_))
+        matches!(self, WeightStore::Csr(_) | WeightStore::QuantCsr(_))
+    }
+
+    /// True when the weight is int8-quantized.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, WeightStore::QuantCsr(_))
     }
 }
 
@@ -243,10 +266,34 @@ fn encode_store(w: &mut BlobWriter, store: &WeightStore) {
                 w.put_u32(p);
             }
         }
+        WeightStore::QuantCsr(q) => {
+            w.put_u8(2);
+            let (rows, cols) = q.dims();
+            w.put_usize(rows);
+            w.put_usize(cols);
+            w.put_u8(q.encoding().tag());
+            encode_f32s(w, q.scales());
+            // int8 values travel as their two's-complement byte patterns;
+            // row_ptr is never serialized — it re-derives from the index
+            // stream, so the two can't disagree.
+            let bytes: Vec<u8> = q.values().iter().map(|&v| v as u8).collect();
+            w.put_bytes(&bytes);
+            w.put_bytes(&q.encode_indices());
+        }
     }
 }
 
-fn decode_store(r: &mut BlobReader<'_>) -> Result<WeightStore> {
+/// Exact serialized byte length of one weight store — the honest unit the
+/// per-layer size tables and the ≥4× compression gate are measured in.
+pub fn store_encoded_bytes(store: &WeightStore) -> usize {
+    let mut w = BlobWriter::new();
+    encode_store(&mut w, store);
+    w.finish().len()
+}
+
+/// `quant_ok` is true only for version-2 manifests: a version-1 artifact
+/// carrying the quantized store kind is corrupt by definition.
+fn decode_store(r: &mut BlobReader<'_>, quant_ok: bool) -> Result<WeightStore> {
     match r.get_u8().map_err(bad)? {
         0 => Ok(WeightStore::Dense(r.get_tensor().map_err(bad)?)),
         1 => {
@@ -269,6 +316,35 @@ fn decode_store(r: &mut BlobReader<'_>) -> Result<WeightStore> {
                 CsrMatrix::from_parts(rows, cols, values, col_indices, row_ptr).map_err(bad)?,
             ))
         }
+        2 if quant_ok => {
+            let rows = r.get_usize().map_err(bad)?;
+            let cols = r.get_usize().map_err(bad)?;
+            rows.checked_mul(cols)
+                .ok_or_else(|| bad("quant weight grid overflows"))?;
+            let encoding = IndexEncoding::from_tag(r.get_u8().map_err(bad)?)?;
+            let scales = decode_f32s(r)?;
+            let values: Vec<i8> = r
+                .get_bytes()
+                .map_err(bad)?
+                .into_iter()
+                .map(|b| b as i8)
+                .collect();
+            let stream = r.get_bytes().map_err(bad)?;
+            let (col_indices, row_ptr) =
+                quant::decode_index_stream(encoding, rows, cols, values.len(), &stream)?;
+            // from_parts re-validates every invariant the integer kernels
+            // rely on (range, ascent, scale/occupancy agreement, row cap).
+            Ok(WeightStore::QuantCsr(QuantWeight::from_parts(
+                rows,
+                cols,
+                scales,
+                values,
+                col_indices,
+                row_ptr,
+                encoding,
+            )?))
+        }
+        2 => Err(bad("quantized weight store in a version-1 artifact")),
         k => Err(bad(format!("unknown weight storage kind {k}"))),
     }
 }
@@ -390,8 +466,9 @@ fn encode_op(w: &mut BlobWriter, op: &Op) {
 }
 
 /// Decodes one op; `depth` bounds Residual nesting so a malicious artifact
-/// cannot trigger unbounded recursion.
-fn decode_op(r: &mut BlobReader<'_>, depth: usize) -> Result<Op> {
+/// cannot trigger unbounded recursion. `quant_ok` gates the quantized store
+/// kind to version-2 manifests.
+fn decode_op(r: &mut BlobReader<'_>, depth: usize, quant_ok: bool) -> Result<Op> {
     if depth > 4 {
         return Err(bad("op nesting too deep"));
     }
@@ -402,7 +479,7 @@ fn decode_op(r: &mut BlobReader<'_>, depth: usize) -> Result<Op> {
             name,
             out_features: r.get_usize().map_err(bad)?,
             in_features: r.get_usize().map_err(bad)?,
-            weight: decode_store(r)?,
+            weight: decode_store(r, quant_ok)?,
             bias: decode_bias(r)?,
         },
         1 => {
@@ -422,7 +499,7 @@ fn decode_op(r: &mut BlobReader<'_>, depth: usize) -> Result<Op> {
                     stride,
                     padding,
                 },
-                weight: decode_store(r)?,
+                weight: decode_store(r, quant_ok)?,
                 bias: decode_bias(r)?,
             }
         }
@@ -453,14 +530,14 @@ fn decode_op(r: &mut BlobReader<'_>, depth: usize) -> Result<Op> {
             let nm = r.get_count(2).map_err(bad)?;
             let mut main = Vec::with_capacity(nm);
             for _ in 0..nm {
-                main.push(decode_op(r, depth + 1)?);
+                main.push(decode_op(r, depth + 1, quant_ok)?);
             }
             let ns = r.get_count(2).map_err(bad)?;
             let mut shortcut = Vec::with_capacity(ns);
             for _ in 0..ns {
-                shortcut.push(decode_op(r, depth + 1)?);
+                shortcut.push(decode_op(r, depth + 1, quant_ok)?);
             }
-            let lif_out = Box::new(decode_op(r, depth + 1)?);
+            let lif_out = Box::new(decode_op(r, depth + 1, quant_ok)?);
             Op::Residual {
                 name,
                 main,
@@ -472,14 +549,46 @@ fn decode_op(r: &mut BlobReader<'_>, depth: usize) -> Result<Op> {
     })
 }
 
+/// Whether an op (or any of a Residual's children) carries an int8 weight.
+fn op_has_quant(op: &Op) -> bool {
+    match op {
+        Op::Linear { weight, .. } | Op::Conv2d { weight, .. } => weight.is_quantized(),
+        Op::Residual {
+            main,
+            shortcut,
+            lif_out,
+            ..
+        } => {
+            main.iter().any(op_has_quant)
+                || shortcut.iter().any(op_has_quant)
+                || op_has_quant(lif_out)
+        }
+        _ => false,
+    }
+}
+
 impl Artifact {
-    /// Serializes the artifact into NDINF1 bytes (an NDCKPT2 container, so
-    /// every entry carries a CRC32).
+    /// True when any op carries an int8-quantized weight — the condition
+    /// that switches serialization to NDINF2.
+    pub fn is_quantized(&self) -> bool {
+        self.ops.iter().any(op_has_quant)
+    }
+
+    /// Serializes the artifact into NDINF1 or NDINF2 bytes (an NDCKPT2
+    /// container, so every entry carries a CRC32). All-f32 artifacts write
+    /// version 1, byte for byte what pre-quantization builds produced;
+    /// artifacts with any quantized weight write the NDINF2 magic and
+    /// version 2.
     pub fn encode(&self) -> Vec<u8> {
         let m = &self.manifest;
         let mut mw = BlobWriter::new();
-        mw.put_str(NDINF_MAGIC);
-        mw.put_u64(NDINF_VERSION);
+        if self.is_quantized() {
+            mw.put_str(NDINF2_MAGIC);
+            mw.put_u64(NDINF2_VERSION);
+        } else {
+            mw.put_str(NDINF_MAGIC);
+            mw.put_u64(NDINF_VERSION);
+        }
         mw.put_str(&m.arch);
         mw.put_usize(m.timesteps);
         mw.put_usize(m.in_channels);
@@ -505,8 +614,9 @@ impl Artifact {
         encode_blobs(&entries)
     }
 
-    /// Decodes NDINF1 bytes, verifying container checksums, the manifest
-    /// magic/version and every structural invariant of the graph.
+    /// Decodes NDINF1/NDINF2 bytes, verifying container checksums, the
+    /// manifest magic/version pairing and every structural invariant of the
+    /// graph (quantized weight sections are only legal under version 2).
     pub fn decode(data: &[u8]) -> Result<Artifact> {
         let entries = decode_blobs(data).map_err(bad)?;
         let blob = |name: &str| -> Result<&Vec<u8>> {
@@ -517,13 +627,16 @@ impl Artifact {
 
         let mut mr = BlobReader::new(blob("manifest")?);
         let magic = mr.get_str().map_err(bad)?;
-        if magic != NDINF_MAGIC {
-            return Err(bad(format!("bad magic {magic:?}")));
-        }
         let version = mr.get_u64().map_err(bad)?;
-        if version != NDINF_VERSION {
-            return Err(bad(format!("unsupported artifact version {version}")));
+        match (magic.as_str(), version) {
+            (NDINF_MAGIC, NDINF_VERSION) | (NDINF2_MAGIC, NDINF2_VERSION) => {}
+            _ => {
+                return Err(bad(format!(
+                    "unsupported artifact magic/version {magic:?} v{version}"
+                )))
+            }
         }
+        let quant_ok = version >= NDINF2_VERSION;
         let arch = mr.get_str().map_err(bad)?;
         let timesteps = mr.get_usize().map_err(bad)?;
         let in_channels = mr.get_usize().map_err(bad)?;
@@ -547,7 +660,7 @@ impl Artifact {
         let nops = gr.get_count(2).map_err(bad)?;
         let mut ops = Vec::with_capacity(nops);
         for _ in 0..nops {
-            ops.push(decode_op(&mut gr, 0)?);
+            ops.push(decode_op(&mut gr, 0, quant_ok)?);
         }
         gr.finish().map_err(bad)?;
 

@@ -40,14 +40,25 @@ pub struct CompileOptions {
     /// Weight-density threshold below which a layer's weight packs into
     /// CSR. Negative keeps everything dense; `>= 1.0` packs everything.
     pub density_threshold: f64,
+    /// When set, a post-lowering pass int8-quantizes every layer the
+    /// binary-input walk proves eligible (see
+    /// [`crate::quant::quantize_artifact`]), producing an NDINF2 artifact.
+    /// `None` keeps the pure-f32 NDINF1 output byte-for-byte unchanged.
+    pub quantize: Option<crate::quant::QuantOptions>,
 }
 
 impl Default for CompileOptions {
     /// Defers to `NDSNN_DENSITY_THRESHOLD` (default 0.25), matching the
-    /// training engine's own sparse-dispatch threshold.
+    /// training engine's own sparse-dispatch threshold; quantization
+    /// follows `NDSNN_INFER_QUANT` / `NDSNN_INFER_ENCODING` (default off).
     fn default() -> Self {
+        let quantize = ndsnn::config::env::infer_quant().then(|| crate::quant::QuantOptions {
+            encoding: crate::quant::IndexEncoding::parse(&ndsnn::config::env::infer_encoding()),
+            ..Default::default()
+        });
         CompileOptions {
             density_threshold: ndsnn::config::env::density_threshold(),
+            quantize,
         }
     }
 }
@@ -262,7 +273,7 @@ pub fn compile(
 
     let config_json = ndsnn_metrics::json::to_string(cfg)
         .map_err(|e| unsupported(format!("config not serializable: {e}")))?;
-    Ok(Artifact {
+    let art = Artifact {
         manifest: Manifest {
             arch: cfg.arch.label().to_string(),
             timesteps: cfg.timesteps,
@@ -274,7 +285,11 @@ pub fn compile(
             densities: lowering.densities,
         },
         ops,
-    })
+    };
+    match &opts.quantize {
+        Some(qopts) => Ok(crate::quant::quantize_artifact(&art, qopts)?.0),
+        None => Ok(art),
+    }
 }
 
 /// Compiles a full training [`RunSnapshot`] (strips everything but the

@@ -25,6 +25,7 @@ use ndsnn_tensor::ops::matmul::matmul_a_bt;
 use ndsnn_tensor::ops::pool::{
     avg_pool2d_forward, global_avg_pool, max_pool2d_forward, Pool2dGeometry,
 };
+use ndsnn_tensor::ops::quant::{csr_mm_i8, csr_mm_packed_i8, csr_xwt_i8, requantize_rows};
 use ndsnn_tensor::ops::tile::{AffineLifRow, AffineRow, NoEpilogue, TileEpilogue};
 use ndsnn_tensor::parallel::parallel_for_chunks;
 use ndsnn_tensor::scratch::ScratchPool;
@@ -32,6 +33,7 @@ use ndsnn_tensor::Tensor;
 
 use crate::artifact::{Artifact, Op, WeightStore};
 use crate::error::{InferError, Result};
+use crate::quant::QuantWeight;
 
 /// Membrane state of one frozen LIF layer.
 ///
@@ -399,6 +401,7 @@ impl Executor {
             WeightStore::Dense(w) => conv2d_forward_with_epilogue(x, w, g, epi, &self.pool)
                 .map_err(|e| exec_err(format!("{name}: {e}"))),
             WeightStore::Csr(m) => self.run_conv_csr(name, m, None, g, x, epi),
+            WeightStore::QuantCsr(q) => self.run_conv_quant(name, q, None, g, x, epi),
         }
     }
 
@@ -426,6 +429,9 @@ impl Executor {
                 }
                 WeightStore::Csr(m) => {
                     self.run_conv_csr(name, m, bias.as_ref(), geometry, &x, &NoEpilogue)?
+                }
+                WeightStore::QuantCsr(q) => {
+                    self.run_conv_quant(name, q, bias.as_ref(), geometry, &x, &NoEpilogue)?
                 }
             },
             Op::Affine {
@@ -525,6 +531,31 @@ impl Executor {
                 csr_xwt(m, x.as_slice(), y.as_mut_slice(), b);
                 y
             }
+            WeightStore::QuantCsr(q) => {
+                // Multiply-free gather-add: the compiler only quantizes
+                // layers with guaranteed-binary inputs, so every fired
+                // feature contributes its raw i8 weight to an i32
+                // accumulator; one f32 multiply per logit requantizes.
+                if q.dims() != (out_features, in_features) {
+                    return Err(exec_err(format!(
+                        "{name}: quant weight {:?} does not match ({out_features}, {in_features})",
+                        q.dims()
+                    )));
+                }
+                let mut y = Tensor::zeros([b, out_features]);
+                csr_xwt_i8(
+                    q.row_ptr(),
+                    q.col_indices(),
+                    q.values(),
+                    q.scales(),
+                    x.as_slice(),
+                    y.as_mut_slice(),
+                    b,
+                    out_features,
+                    in_features,
+                );
+                y
+            }
         };
         if let Some(bias) = bias {
             let k = out_features;
@@ -615,6 +646,117 @@ impl Executor {
                     csr_mm(w, &col, out_chunk, spatial);
                     pool.give(col);
                 }
+            }
+            if !epi.is_noop() {
+                for f in 0..filters {
+                    epi.apply(f, 0, &mut out_chunk[f * spatial..(f + 1) * spatial]);
+                }
+            }
+        });
+        if let Some(bias) = bias {
+            let od = out.as_mut_slice();
+            for s in 0..b {
+                for (f, &bv) in bias.as_slice().iter().enumerate() {
+                    let base = s * out_stride + f * spatial;
+                    od[base..base + spatial].iter_mut().for_each(|v| *v += bv);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantized convolution: per-sample binary spike inputs accumulate into
+    /// `i32`, then one f32 requantize multiply per output element at the
+    /// epilogue — the multiply-free NDINF2 hot path.
+    ///
+    /// Quiet samples (below [`GATHER_DENSITY_CUTOFF`]) take the packed
+    /// gather (`im2col_packed` + `csr_mm_packed_i8`); busy samples take the
+    /// streaming masked-add kernel (`im2col` + `csr_mm_i8`), whose
+    /// contiguous accesses vectorize where the gather's scattered
+    /// read-modify-writes serialize. Integer accumulation is exact and
+    /// order-free, so the dispatch is value-free — both kernels produce
+    /// bit-identical accumulators at any thread count. A sample that fired
+    /// nothing skips both kernels — its accumulators are all zero and the
+    /// `+0.0`-seeded output chunk already equals their requantization — but
+    /// the epilogue still applies (the affine of zero is not zero).
+    fn run_conv_quant<E: TileEpilogue>(
+        &self,
+        name: &str,
+        q: &QuantWeight,
+        bias: Option<&Tensor>,
+        g: &Conv2dGeometry,
+        input: &Tensor,
+        epi: &E,
+    ) -> Result<Tensor> {
+        if input.rank() != 4 || input.dims()[1] != g.in_channels {
+            return Err(exec_err(format!(
+                "{name}: input {:?} does not match conv geometry",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (b, h, iw) = (d[0], d[2], d[3]);
+        let (oh, ow) = g
+            .output_hw(h, iw)
+            .map_err(|e| exec_err(format!("{name}: {e}")))?;
+        let spatial = oh * ow;
+        let filters = g.out_channels;
+        let cr = g.col_rows();
+        if q.dims() != (filters, cr) {
+            return Err(exec_err(format!(
+                "{name}: quant weight {:?} does not match geometry ({filters}, {cr})",
+                q.dims()
+            )));
+        }
+        let mut out = Tensor::zeros([b, filters, oh, ow]);
+        let in_data = input.as_slice();
+        let in_stride = g.in_channels * h * iw;
+        let out_stride = filters * spatial;
+        let pool = &self.pool;
+        let chunks: Vec<_> = out
+            .as_mut_slice()
+            .chunks_mut(out_stride.max(1))
+            .enumerate()
+            .collect();
+        parallel_for_chunks(chunks, |s, out_chunk| {
+            let sample = &in_data[s * in_stride..(s + 1) * in_stride];
+            let nonzero = sample.iter().filter(|v| **v != 0.0).count();
+            if nonzero > 0 {
+                let mut acc = pool.take_i32_zeroed(out_stride);
+                if (nonzero as f64) < GATHER_DENSITY_CUTOFF * sample.len() as f64 {
+                    let mut ptr = pool.take_u32();
+                    let mut pos = pool.take_u32();
+                    let mut vals = pool.take(0);
+                    im2col_packed(
+                        sample, g, h, iw, oh, ow, &mut ptr, &mut pos, &mut vals, pool,
+                    );
+                    csr_mm_packed_i8(
+                        q.row_ptr(),
+                        q.col_indices(),
+                        q.values(),
+                        &ptr,
+                        &pos,
+                        &mut acc,
+                        spatial,
+                    );
+                    pool.give_u32(ptr);
+                    pool.give_u32(pos);
+                    pool.give(vals);
+                } else {
+                    let mut col = pool.take(cr * spatial);
+                    im2col(sample, g, h, iw, oh, ow, &mut col);
+                    csr_mm_i8(
+                        q.row_ptr(),
+                        q.col_indices(),
+                        q.values(),
+                        &col,
+                        &mut acc,
+                        spatial,
+                    );
+                    pool.give(col);
+                }
+                requantize_rows(&acc, q.scales(), out_chunk, spatial);
+                pool.give_i32(acc);
             }
             if !epi.is_noop() {
                 for f in 0..filters {
@@ -1018,6 +1160,172 @@ mod tests {
         };
         let mut ex = Executor::new(Arc::new(art));
         let x = Tensor::zeros([1, 1, 8, 8]);
+        assert!(ex.forward(&x).is_err());
+    }
+
+    /// Quantizes the sparse 3x18 conv weight used by the CSR block tests.
+    fn quant_conv_weight() -> crate::quant::QuantWeight {
+        let wd = Tensor::from_vec([3, 18], fill(54, 7, true)).unwrap();
+        let csr = CsrMatrix::from_dense(&wd).unwrap();
+        let (qw, _) = crate::quant::quantize_store(&WeightStore::Csr(csr), None).unwrap();
+        qw
+    }
+
+    /// Binary 0/1 spike batch: sample 0 mixed, sample 1 all-zero (kernel
+    /// skipped, epilogue still applies), sample 2 all-ones.
+    fn spike_batch() -> Tensor {
+        let mut xd: Vec<f32> = fill(3 * 2 * 5 * 5, 11, true)
+            .into_iter()
+            .map(|v| if v != 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        xd[50..100].iter_mut().for_each(|v| *v = 0.0);
+        xd[100..].iter_mut().for_each(|v| *v = 1.0);
+        Tensor::from_vec([3, 2, 5, 5], xd).unwrap()
+    }
+
+    #[test]
+    fn quantized_conv_matches_integer_hand_reference() {
+        let qw = quant_conv_weight();
+        let x = spike_batch();
+        let art = Artifact {
+            manifest: manifest(1, 2, 5),
+            ops: vec![Op::Conv2d {
+                name: "conv".to_string(),
+                geometry: Conv2dGeometry::square(2, 3, 3, 1, 1),
+                weight: WeightStore::QuantCsr(qw.clone()),
+                bias: None,
+            }],
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let got = ex.forward(&x).unwrap();
+        // Independent reference: im2col by hand, then one i32 gather-add per
+        // output element requantized with a single f32 multiply — the exact
+        // arithmetic the kernel contracts to produce.
+        let g = Conv2dGeometry::square(2, 3, 3, 1, 1);
+        let (rows, cols) = qw.dims();
+        let mut want = vec![0.0f32; 3 * rows * 25];
+        for s in 0..3 {
+            let mut patches = vec![0.0f32; cols * 25];
+            let sample = &x.as_slice()[s * 2 * 25..(s + 1) * 2 * 25];
+            im2col(sample, &g, 5, 5, 5, 5, &mut patches);
+            for r in 0..rows {
+                for p in 0..25 {
+                    let mut acc = 0i32;
+                    for e in qw.row_ptr()[r]..qw.row_ptr()[r + 1] {
+                        let ci = qw.col_indices()[e as usize] as usize;
+                        if patches[ci * 25 + p] != 0.0 {
+                            acc += i32::from(qw.values()[e as usize]);
+                        }
+                    }
+                    want[s * rows * 25 + r * 25 + p] = qw.scales()[r] * acc as f32;
+                }
+            }
+        }
+        assert_eq!(got.dims(), [3, 3, 5, 5]);
+        for (va, vb) in got.as_slice().iter().zip(&want) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_quantized_conv_block_bit_identical_to_unfused() {
+        let qw = quant_conv_weight();
+        let bias = Tensor::from_slice(&[0.3, -0.1, 0.05]);
+        let x = spike_batch();
+        for (timesteps, with_lif) in [(1, true), (3, false)] {
+            let art = Artifact {
+                manifest: manifest(timesteps, 2, 5),
+                ops: conv_block_ops(WeightStore::QuantCsr(qw.clone()), &bias, with_lif),
+            };
+            let mut ex = Executor::new(Arc::new(art));
+            assert!(matches!(ex.steps[0], TopStep::FusedConv { .. }));
+            let got = ex.forward(&x).unwrap();
+            let want = unfused_reference(
+                WeightStore::QuantCsr(qw.clone()),
+                &bias,
+                &x,
+                timesteps,
+                with_lif,
+            );
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn quantized_forward_is_thread_count_invariant() {
+        use ndsnn_tensor::parallel::{run_serial, set_thread_override};
+        let qw = quant_conv_weight();
+        let bias = Tensor::from_slice(&[0.3, -0.1, 0.05]);
+        let x = spike_batch();
+        let art = Arc::new(Artifact {
+            manifest: manifest(1, 2, 5),
+            ops: conv_block_ops(WeightStore::QuantCsr(qw), &bias, true),
+        });
+        let serial = run_serial(|| Executor::new(art.clone()).forward(&x).unwrap());
+        set_thread_override(Some(4));
+        let threaded = Executor::new(art).forward(&x).unwrap();
+        set_thread_override(None);
+        assert_bits_eq(&serial, &threaded);
+    }
+
+    #[test]
+    fn quantized_linear_matches_integer_hand_reference() {
+        let wd = Tensor::from_vec([3, 4], fill(12, 5, true)).unwrap();
+        let csr = CsrMatrix::from_dense(&wd).unwrap();
+        let (qw, _) = crate::quant::quantize_store(&WeightStore::Csr(csr), None).unwrap();
+        let art = Artifact {
+            manifest: manifest(1, 1, 2),
+            ops: vec![
+                Op::Flatten {
+                    name: "f".to_string(),
+                },
+                Op::Linear {
+                    name: "fc".to_string(),
+                    out_features: 3,
+                    in_features: 4,
+                    weight: WeightStore::QuantCsr(qw.clone()),
+                    bias: Some(Tensor::from_slice(&[0.1, -0.2, 0.3])),
+                },
+            ],
+        };
+        let x =
+            Tensor::from_vec([2, 1, 2, 2], vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut ex = Executor::new(Arc::new(art));
+        let got = ex.forward(&x).unwrap();
+        let xs = x.as_slice();
+        let mut want = vec![0.0f32; 2 * 3];
+        for b in 0..2 {
+            for r in 0..3 {
+                let mut acc = 0i32;
+                for e in qw.row_ptr()[r]..qw.row_ptr()[r + 1] {
+                    let ci = qw.col_indices()[e as usize] as usize;
+                    if xs[b * 4 + ci] != 0.0 {
+                        acc += i32::from(qw.values()[e as usize]);
+                    }
+                }
+                want[b * 3 + r] = qw.scales()[r] * acc as f32 + [0.1f32, -0.2, 0.3][r];
+            }
+        }
+        for (va, vb) in got.as_slice().iter().zip(&want) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_weight_shape_mismatch_is_an_error() {
+        let qw = quant_conv_weight(); // 3 x 18
+        let art = Artifact {
+            manifest: manifest(1, 2, 5),
+            ops: vec![Op::Conv2d {
+                name: "conv".to_string(),
+                // cr = 2*2*2 = 8, filters = 3: disagrees with the 3x18 weight.
+                geometry: Conv2dGeometry::square(2, 3, 2, 0, 1),
+                weight: WeightStore::QuantCsr(qw),
+                bias: None,
+            }],
+        };
+        let mut ex = Executor::new(Arc::new(art));
+        let x = Tensor::zeros([1, 2, 5, 5]);
         assert!(ex.forward(&x).is_err());
     }
 }

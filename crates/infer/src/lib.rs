@@ -35,12 +35,17 @@ pub mod artifact;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod quant;
 pub mod serve;
 
-pub use artifact::{Artifact, Manifest, Op, WeightStore};
+pub use artifact::{store_encoded_bytes, Artifact, Manifest, Op, WeightStore};
 pub use compile::{compile, compile_from_checkpoint_dir, compile_snapshot, lower, CompileOptions};
 pub use error::{InferError, Result};
 pub use exec::Executor;
+pub use quant::{
+    quantize_artifact, IndexEncoding, LayerQuantRow, QuantOptions, QuantWeight,
+    DEFAULT_QUANT_MAX_REL_ERROR,
+};
 pub use serve::{
     BatchPolicy, HealthState, InferReply, ServeFaultPlan, ServeOptions, ServeStats, Server,
     ShedPolicy,

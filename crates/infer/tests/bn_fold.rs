@@ -51,6 +51,7 @@ fn fold_and_compare(
         &stack.describe(),
         &CompileOptions {
             density_threshold: -1.0, // keep dense: folding is what's under test
+            quantize: None,
         },
     )
     .expect("lower");

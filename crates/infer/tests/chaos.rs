@@ -69,6 +69,21 @@ fn toy_artifact() -> Arc<Artifact> {
     })
 }
 
+/// [`toy_artifact`] with its linear layer quantized to int8 (the LIF in
+/// front makes it spike-input, so the compile-time walk accepts it) and
+/// round-tripped through NDINF2 bytes — the artifact a quantized server
+/// would actually load.
+fn quantized_toy_artifact() -> Arc<Artifact> {
+    let (qart, rows) =
+        ndsnn_infer::quantize_artifact(&toy_artifact(), &ndsnn_infer::QuantOptions::default())
+            .expect("quantize toy artifact");
+    assert!(
+        qart.is_quantized(),
+        "toy linear layer must quantize: {rows:?}"
+    );
+    Arc::new(Artifact::decode(&qart.encode()).expect("NDINF2 round trip"))
+}
+
 /// Deterministic per-request image: distinct, finite, reproducible.
 fn image_for(g: usize) -> Vec<f32> {
     (0..SAMPLE_LEN)
@@ -87,9 +102,9 @@ fn deadline_for(g: usize) -> Option<Duration> {
 }
 
 /// Reference logits (as bits) from an unfaulted, unbatched server.
-fn reference_bits() -> Vec<Vec<u32>> {
+fn reference_bits(artifact: &Arc<Artifact>) -> Vec<Vec<u32>> {
     let server = Server::start(
-        toy_artifact(),
+        Arc::clone(artifact),
         BatchPolicy {
             max_batch: 1,
             max_wait: Duration::from_micros(0),
@@ -103,8 +118,8 @@ fn reference_bits() -> Vec<Vec<u32>> {
         .collect()
 }
 
-fn chaos_run(shed: ShedPolicy) {
-    let reference = reference_bits();
+fn chaos_run_with(artifact: Arc<Artifact>, shed: ShedPolicy) {
+    let reference = reference_bits(&artifact);
     // Low horizon so every injected fault index is actually reached: with
     // max_batch 4 and ≥150 successful requests the run executes far more
     // than 8 batches.
@@ -112,7 +127,7 @@ fn chaos_run(shed: ShedPolicy) {
     let injected_panics = plan.panic_at_batches.len() as u64;
     assert!(injected_panics >= 1, "seed must place at least one panic");
     let server = Arc::new(Server::start_with(
-        toy_artifact(),
+        artifact,
         ServeOptions {
             policy: BatchPolicy {
                 max_batch: 4,
@@ -205,12 +220,26 @@ fn chaos_run(shed: ShedPolicy) {
 
 #[test]
 fn chaos_matrix_reject_new() {
-    chaos_run(ShedPolicy::RejectNew);
+    chaos_run_with(toy_artifact(), ShedPolicy::RejectNew);
 }
 
 #[test]
 fn chaos_matrix_drop_oldest() {
-    chaos_run(ShedPolicy::DropOldest);
+    chaos_run_with(toy_artifact(), ShedPolicy::DropOldest);
+}
+
+// Quantized artifacts run the identical chaos matrix: restarts rebuild the
+// executor from the NDINF2 artifact, and successful replies stay
+// bit-identical to the unfaulted quantized reference.
+
+#[test]
+fn chaos_matrix_quantized_reject_new() {
+    chaos_run_with(quantized_toy_artifact(), ShedPolicy::RejectNew);
+}
+
+#[test]
+fn chaos_matrix_quantized_drop_oldest() {
+    chaos_run_with(quantized_toy_artifact(), ShedPolicy::DropOldest);
 }
 
 #[test]

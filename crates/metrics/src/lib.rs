@@ -8,6 +8,8 @@
 //!   "NDSNN costs 40.89% of LTH" numbers (Fig. 5),
 //! - [`flops`]: sparse- and spike-aware FLOP accounting,
 //! - [`table`]: aligned text tables / CSV for regenerating Tables I–III,
+//! - [`quant`]: logit-drift / argmax-agreement scoring and per-layer
+//!   artifact-size accounting for the int8 inference path,
 //! - [`series`]: CSV + ASCII line charts for regenerating Figures 1/4/5.
 //!
 //! ## Example: compute a relative training cost
@@ -30,5 +32,6 @@ pub mod cost;
 pub mod flops;
 pub mod json;
 pub mod meters;
+pub mod quant;
 pub mod series;
 pub mod table;

@@ -5,6 +5,7 @@ pub mod grad;
 pub mod layout;
 pub mod matmul;
 pub mod pool;
+pub mod quant;
 pub mod reduce;
 pub mod spike;
 pub mod spmm;

@@ -1,0 +1,378 @@
+//! Integer gather-add kernels for quantized multiply-free inference.
+//!
+//! Spiking activations are exactly 0/1, so a forward GEMM against a
+//! per-channel symmetric int8 weight needs no multiplies at all: every fired
+//! input position contributes its raw `i8` weight to an `i32` accumulator,
+//! and one f32 multiply per *output element* (`scale[row] · acc`) converts
+//! the integer sum back to the real scale at the epilogue — the
+//! "requantize-at-epilogue" step. Integer addition is associative and exact,
+//! so any work partition (threads, chunking) produces bit-identical
+//! accumulators, and the single f32 requantize multiply per element is
+//! order-free — quantized logits are bit-identical at every
+//! `NDSNN_THREADS` setting by construction, not by accumulation-order
+//! discipline.
+//!
+//! The kernels here operate on raw CSR parts (`row_ptr`/`col_indices` as
+//! `u32`, values as `i8`, one f32 scale per row) so the artifact layer in
+//! `ndsnn-infer` can own the storage format while the arithmetic lives with
+//! the other kernels. Accumulator overflow is excluded by a compile-time
+//! bound checked where weights are quantized: a row of `nnz` int8 terms is
+//! bounded by `nnz · 127`, and the quantizer refuses rows with more than
+//! [`MAX_QUANT_ROW_NNZ`] stored entries.
+
+use crate::ops::matmul::for_output_row_ranges;
+
+/// Maximum stored entries per quantized weight row: `2^24 · 127 < 2^31`, so
+/// an `i32` accumulator can never overflow even if every term saturates.
+pub const MAX_QUANT_ROW_NNZ: usize = 1 << 24;
+
+/// `y(batch × rows) += scale[r] · Σ_{c ∈ nz(r), x[c] ≠ 0} q[r, c]` — the
+/// quantized frozen linear forward over binary (spike) activations.
+///
+/// The inner loop is multiply-free: fired columns contribute their raw `i8`
+/// weight to an `i32` accumulator (any non-zero activation counts as a
+/// spike — the compiler only quantizes layers whose inputs are guaranteed
+/// binary). One f32 multiply per output element requantizes at the end.
+/// Threads over batch samples on the same row partition as the f32 kernels
+/// ([`for_output_row_ranges`]); integer accumulation makes the result
+/// trivially thread-count invariant.
+#[allow(clippy::too_many_arguments)] // raw CSR parts + geometry
+pub fn csr_xwt_i8(
+    row_ptr: &[u32],
+    col_indices: &[u32],
+    q: &[i8],
+    scales: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    batch: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert_eq!(row_ptr.len(), rows + 1);
+    debug_assert_eq!(col_indices.len(), q.len());
+    debug_assert_eq!(scales.len(), rows);
+    debug_assert_eq!(x.len(), batch * cols);
+    debug_assert_eq!(y.len(), batch * rows);
+    for_output_row_ranges(y, batch, rows, batch * q.len(), |s0, count, y_rows| {
+        for s in 0..count {
+            let xrow = &x[(s0 + s) * cols..(s0 + s + 1) * cols];
+            let yrow = &mut y_rows[s * rows..(s + 1) * rows];
+            for (r, yv) in yrow.iter_mut().enumerate() {
+                let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                let mut acc = 0i32;
+                for (&ci, &qv) in col_indices[lo..hi].iter().zip(&q[lo..hi]) {
+                    if xrow[ci as usize] != 0.0 {
+                        acc += i32::from(qv);
+                    }
+                }
+                *yv += scales[r] * acc as f32;
+            }
+        }
+    });
+}
+
+/// `acc(rows × n) += W_q · spikes(cols × n)` with `W_q` in int8 CSR and the
+/// activation given as packed fired positions — the quantized doubly-sparse
+/// frozen conv GEMM, and the multiply-free core of NDINF2 serving.
+///
+/// The activation layout is exactly what
+/// [`crate::ops::conv::im2col_packed`] emits: column `c` of the logical
+/// im2col matrix fires at output positions `pos[ptr[c]..ptr[c+1]]` (the
+/// packed *values* are ignored — binary inputs mean every fired value is
+/// 1). Each stored weight entry is then *added* to the `i32` accumulator of
+/// every fired position in its column: no multiplies anywhere in the loop
+/// nest. Requantize the accumulators with [`requantize_rows`].
+pub fn csr_mm_packed_i8(
+    row_ptr: &[u32],
+    col_indices: &[u32],
+    q: &[i8],
+    ptr: &[u32],
+    pos: &[u32],
+    acc: &mut [i32],
+    n: usize,
+) {
+    let rows = row_ptr.len() - 1;
+    debug_assert_eq!(col_indices.len(), q.len());
+    debug_assert_eq!(acc.len(), rows * n);
+    for r in 0..rows {
+        let arow = &mut acc[r * n..(r + 1) * n];
+        let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+        for (&ci, &qv) in col_indices[lo..hi].iter().zip(&q[lo..hi]) {
+            let qv = i32::from(qv);
+            let (s, e) = (ptr[ci as usize] as usize, ptr[ci as usize + 1] as usize);
+            for &p in &pos[s..e] {
+                arow[p as usize] += qv;
+            }
+        }
+    }
+}
+
+/// `acc(rows × n) += W_q · 1[b ≠ 0](cols × n)` with `W_q` in int8 CSR parts
+/// and the activation as a *dense* f32 im2col buffer — the streaming twin
+/// of [`csr_mm_packed_i8`] for busy spike batches.
+///
+/// Each stored weight entry streams its column's full activation row with a
+/// branch-free masked add (`q & -(b ≠ 0)` — still no multiplies), keeping
+/// every access contiguous. At high fire rates this beats the packed gather
+/// twice over: the compiler vectorizes the compare/and/add, and the gather's
+/// scattered read-modify-writes into a small accumulator row serialize on
+/// store-to-load dependencies. Integer accumulation is exact, so both
+/// kernels produce identical accumulators and dispatching between them is
+/// value-free.
+pub fn csr_mm_i8(
+    row_ptr: &[u32],
+    col_indices: &[u32],
+    q: &[i8],
+    b: &[f32],
+    acc: &mut [i32],
+    n: usize,
+) {
+    let rows = row_ptr.len() - 1;
+    debug_assert_eq!(col_indices.len(), q.len());
+    debug_assert_eq!(acc.len(), rows * n);
+    for r in 0..rows {
+        let arow = &mut acc[r * n..(r + 1) * n];
+        let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+        for (&ci, &qv) in col_indices[lo..hi].iter().zip(&q[lo..hi]) {
+            let qv = i32::from(qv);
+            let brow = &b[ci as usize * n..(ci as usize + 1) * n];
+            for (a, &bv) in arow.iter_mut().zip(brow) {
+                *a += qv & -i32::from(bv != 0.0);
+            }
+        }
+    }
+}
+
+/// Requantize-at-epilogue: `out[r·n + j] = scale[r] · acc[r·n + j]` — the
+/// only floating-point arithmetic in the quantized forward. One multiply per
+/// output element, no accumulation, so the result is independent of
+/// evaluation order; callers apply their fused affine/LIF epilogue on the
+/// f32 output right after, exactly where the f32 path applies it.
+pub fn requantize_rows(acc: &[i32], scales: &[f32], out: &mut [f32], n: usize) {
+    debug_assert_eq!(acc.len(), out.len());
+    debug_assert_eq!(acc.len(), scales.len() * n.max(1));
+    for (r, (arow, orow)) in acc.chunks_exact(n).zip(out.chunks_exact_mut(n)).enumerate() {
+        let s = scales[r];
+        for (o, &a) in orow.iter_mut().zip(arow) {
+            *o = s * a as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense f32 reference for the binary-activation product:
+    /// `y[s][r] = scale[r] · Σ_c q[r][c] · 1[x[s][c] ≠ 0]` computed in f64
+    /// integer space then converted exactly like the kernel.
+    fn reference_xwt(
+        qd: &[i32],
+        scales: &[f32],
+        x: &[f32],
+        batch: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Vec<f32> {
+        let mut y = vec![0.0f32; batch * rows];
+        for s in 0..batch {
+            for r in 0..rows {
+                let mut acc = 0i32;
+                for c in 0..cols {
+                    if x[s * cols + c] != 0.0 {
+                        acc += qd[r * cols + c];
+                    }
+                }
+                y[s * rows + r] += scales[r] * acc as f32;
+            }
+        }
+        y
+    }
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// Builds a sparse int8 matrix in both dense (i32) and CSR parts form.
+    #[allow(clippy::type_complexity)]
+    fn sparse_i8(
+        rows: usize,
+        cols: usize,
+        seed: &mut u64,
+    ) -> (Vec<i32>, Vec<u32>, Vec<u32>, Vec<i8>) {
+        let mut dense = vec![0i32; rows * cols];
+        let mut row_ptr = vec![0u32];
+        let mut col_indices = Vec::new();
+        let mut q = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if lcg(seed) % 10 < 3 {
+                    let v = (lcg(seed) % 255) as i32 - 127;
+                    dense[r * cols + c] = v;
+                    col_indices.push(c as u32);
+                    q.push(v as i8);
+                }
+            }
+            row_ptr.push(q.len() as u32);
+        }
+        (dense, row_ptr, col_indices, q)
+    }
+
+    #[test]
+    fn xwt_i8_matches_dense_reference() {
+        let (batch, rows, cols) = (3, 5, 17);
+        let mut seed = 0xABCDu64;
+        let (dense, row_ptr, col_indices, q) = sparse_i8(rows, cols, &mut seed);
+        let scales: Vec<f32> = (0..rows).map(|r| 0.01 + r as f32 * 0.003).collect();
+        // Binary spikes at ~30% density.
+        let x: Vec<f32> = (0..batch * cols)
+            .map(|_| f32::from(u8::from(lcg(&mut seed) % 10 < 3)))
+            .collect();
+        let mut y = vec![0.0f32; batch * rows];
+        csr_xwt_i8(
+            &row_ptr,
+            &col_indices,
+            &q,
+            &scales,
+            &x,
+            &mut y,
+            batch,
+            rows,
+            cols,
+        );
+        let want = reference_xwt(&dense, &scales, &x, batch, rows, cols);
+        for (a, b) in y.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn xwt_i8_thread_count_invariant() {
+        use crate::parallel::{run_serial, set_thread_override};
+        let (batch, rows, cols) = (8, 64, 600);
+        let mut seed = 0xFEEDu64;
+        let (_, row_ptr, col_indices, q) = sparse_i8(rows, cols, &mut seed);
+        let scales: Vec<f32> = (0..rows).map(|r| 0.004 + r as f32 * 0.001).collect();
+        let x: Vec<f32> = (0..batch * cols)
+            .map(|_| f32::from(u8::from(lcg(&mut seed).is_multiple_of(4))))
+            .collect();
+        let mut y_serial = vec![0.0f32; batch * rows];
+        run_serial(|| {
+            csr_xwt_i8(
+                &row_ptr,
+                &col_indices,
+                &q,
+                &scales,
+                &x,
+                &mut y_serial,
+                batch,
+                rows,
+                cols,
+            )
+        });
+        set_thread_override(Some(4));
+        let mut y_par = vec![0.0f32; batch * rows];
+        csr_xwt_i8(
+            &row_ptr,
+            &col_indices,
+            &q,
+            &scales,
+            &x,
+            &mut y_par,
+            batch,
+            rows,
+            cols,
+        );
+        set_thread_override(None);
+        for (i, (a, b)) in y_par.iter().zip(&y_serial).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "thread divergence at {i}");
+        }
+    }
+
+    #[test]
+    fn packed_i8_matches_unpacked_gather() {
+        let (rows, cols, n) = (6, 11, 13);
+        let mut seed = 0xC0FFEEu64;
+        let (dense, row_ptr, col_indices, q) = sparse_i8(rows, cols, &mut seed);
+        // Binary activation matrix b(cols × n) at a few densities, packed
+        // row-wise exactly like im2col_packed output.
+        for keep in [0, 1, 3, 10] {
+            let b: Vec<f32> = (0..cols * n)
+                .map(|_| f32::from(u8::from(keep > 0 && lcg(&mut seed) % 10 < keep)))
+                .collect();
+            let (mut ptr, mut pos) = (vec![0u32], Vec::new());
+            for row in b.chunks_exact(n) {
+                for (p, &v) in row.iter().enumerate() {
+                    if v != 0.0 {
+                        pos.push(p as u32);
+                    }
+                }
+                ptr.push(pos.len() as u32);
+            }
+            let mut acc = vec![0i32; rows * n];
+            csr_mm_packed_i8(&row_ptr, &col_indices, &q, &ptr, &pos, &mut acc, n);
+            // Integer reference straight off the dense matrices.
+            for r in 0..rows {
+                for j in 0..n {
+                    let mut want = 0i32;
+                    for c in 0..cols {
+                        if b[c * n + j] != 0.0 {
+                            want += dense[r * cols + c];
+                        }
+                    }
+                    assert_eq!(
+                        acc[r * n + j],
+                        want,
+                        "acc mismatch at ({r},{j}) keep={keep}"
+                    );
+                }
+            }
+            // Requantize and check the scale lands per row.
+            let scales: Vec<f32> = (0..rows).map(|r| 0.5 + r as f32).collect();
+            let mut out = vec![7.0f32; rows * n];
+            requantize_rows(&acc, &scales, &mut out, n);
+            for r in 0..rows {
+                for j in 0..n {
+                    let want = scales[r] * acc[r * n + j] as f32;
+                    assert_eq!(out[r * n + j].to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_i8_matches_packed_accumulators() {
+        let (rows, cols, n) = (7, 13, 19);
+        let mut seed = 0xBEEF5EEDu64;
+        let (_, row_ptr, col_indices, q) = sparse_i8(rows, cols, &mut seed);
+        for keep in [0, 2, 5, 9] {
+            let b: Vec<f32> = (0..cols * n)
+                .map(|_| f32::from(u8::from(keep > 0 && lcg(&mut seed) % 10 < keep)))
+                .collect();
+            let (mut ptr, mut pos) = (vec![0u32], Vec::new());
+            for row in b.chunks_exact(n) {
+                for (p, &v) in row.iter().enumerate() {
+                    if v != 0.0 {
+                        pos.push(p as u32);
+                    }
+                }
+                ptr.push(pos.len() as u32);
+            }
+            let mut acc_packed = vec![0i32; rows * n];
+            csr_mm_packed_i8(&row_ptr, &col_indices, &q, &ptr, &pos, &mut acc_packed, n);
+            let mut acc_stream = vec![0i32; rows * n];
+            csr_mm_i8(&row_ptr, &col_indices, &q, &b, &mut acc_stream, n);
+            assert_eq!(acc_packed, acc_stream, "kernel divergence at keep={keep}");
+        }
+    }
+
+    #[test]
+    fn accumulator_bound_excludes_overflow() {
+        // The quantizer's row-nnz cap times the int8 max stays inside i32.
+        let worst = (MAX_QUANT_ROW_NNZ as i64) * 127;
+        assert!(worst < i64::from(i32::MAX));
+    }
+}

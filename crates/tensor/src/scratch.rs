@@ -23,6 +23,7 @@ use std::sync::Mutex;
 pub struct ScratchPool {
     free: Mutex<Vec<Vec<f32>>>,
     free_u32: Mutex<Vec<Vec<u32>>>,
+    free_i32: Mutex<Vec<Vec<i32>>>,
 }
 
 impl ScratchPool {
@@ -92,6 +93,34 @@ impl ScratchPool {
     /// Number of `u32` index buffers currently idle in the pool.
     pub fn idle_u32_buffers(&self) -> usize {
         self.free_u32.lock().expect("scratch pool mutex").len()
+    }
+
+    /// Takes an `i32` accumulator buffer of exactly `len` elements, all zero
+    /// (the quantized gather-add kernels accumulate with `+=`).
+    pub fn take_i32_zeroed(&self, len: usize) -> Vec<i32> {
+        let mut free = self.free_i32.lock().expect("scratch pool mutex");
+        let mut buf = match free.iter().position(|b| b.capacity() >= len) {
+            Some(pos) => free.swap_remove(pos),
+            None => free.pop().unwrap_or_default(),
+        };
+        drop(free);
+        buf.clear();
+        buf.resize(len, 0);
+        buf.fill(0);
+        buf
+    }
+
+    /// Returns an `i32` accumulator buffer to the pool for reuse.
+    pub fn give_i32(&self, buf: Vec<i32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free_i32.lock().expect("scratch pool mutex").push(buf);
+    }
+
+    /// Number of `i32` accumulator buffers currently idle in the pool.
+    pub fn idle_i32_buffers(&self) -> usize {
+        self.free_i32.lock().expect("scratch pool mutex").len()
     }
 
     /// Number of buffers currently idle in the pool.
@@ -165,6 +194,21 @@ mod tests {
         // Empty never-grown buffers are not retained.
         pool.give_u32(Vec::new());
         assert_eq!(pool.idle_u32_buffers(), 0);
+    }
+
+    #[test]
+    fn i32_pool_reuses_capacity_and_zeroes() {
+        let pool = ScratchPool::new();
+        let mut acc = pool.take_i32_zeroed(64);
+        assert!(acc.iter().all(|&v| v == 0));
+        acc.iter_mut().for_each(|v| *v = -7);
+        let ptr = acc.as_ptr();
+        pool.give_i32(acc);
+        assert_eq!(pool.idle_i32_buffers(), 1);
+        let again = pool.take_i32_zeroed(32);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.len(), 32);
+        assert!(again.iter().all(|&v| v == 0));
     }
 
     #[test]
