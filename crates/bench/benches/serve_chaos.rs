@@ -228,6 +228,7 @@ fn main() {
                 shed: ShedPolicy::RejectNew,
                 default_deadline: None,
                 drain_timeout: Duration::from_secs(2),
+                workers: 1,
                 fault_plan,
             },
         ))

@@ -1,0 +1,388 @@
+//! Multi-model fleet SLO harness: open-loop Zipf-mixture traffic against
+//! the registry + router + sharded serving fleet (DESIGN.md §16).
+//!
+//! Four compiled VGG-16 variants (width 1/4, 16×16 input, ~93% sparsity,
+//! distinct masks ⇒ distinct content digests) are registered into one
+//! [`ModelRegistry`] and served by a weighted [`Fleet`] behind a
+//! [`Router`]. Phases:
+//!
+//! 1. **planet-scale schedule** — generate one million Poisson arrivals
+//!    plus their Zipf model assignments and record the generation rate:
+//!    the harness itself must never be the bottleneck.
+//! 2. **capacity probe** — closed-loop hammering of the router with the
+//!    mixture to estimate sustainable fleet throughput on this box.
+//! 3. **50% saturation** — open-loop replay: per-model and fleet-wide
+//!    p50/p99/p999, latency measured from the *scheduled* arrival
+//!    (coordinated-omission-aware), shed must be zero.
+//! 4. **80% saturation** — same replay at 80%: the CI gate requires
+//!    fleet-wide p99 < 10× p50.
+//!
+//! Each phase appends a JSON line to `NDSNN_BENCH_JSON` (falling back to
+//! `results/bench_fleet.json`), ending with a summary line whose boolean
+//! SLO verdicts the CI `serve-fleet` job greps.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ndsnn::checkpoint::snapshot_params;
+use ndsnn::config::{DatasetKind, MethodSpec, RunConfig};
+use ndsnn::profile::Profile;
+use ndsnn::trainer::build_network;
+use ndsnn_bench::traffic::{splitmix64, PoissonBurst, ZipfMixture};
+use ndsnn_infer::{
+    compile, BatchPolicy, CompileOptions, Fleet, FleetOptions, InferError, ModelRegistry,
+    RegistryOptions, Router, ServeOptions, ShedPolicy,
+};
+use ndsnn_metrics::fleet::FleetRollup;
+use ndsnn_tensor::Tensor;
+
+const SPARSITY: f64 = 0.93;
+const CLIENT_THREADS: usize = 16;
+const NUM_MODELS: usize = 4;
+const ZIPF_S: f64 = 1.0;
+const SCHEDULE_N: usize = 1_000_000;
+
+fn cfg() -> RunConfig {
+    let mut cfg = Profile::Smoke.run_config(
+        ndsnn_snn::models::Architecture::Vgg16,
+        DatasetKind::Cifar10,
+        MethodSpec::Dense,
+    );
+    cfg.timesteps = 2;
+    cfg.width_mult = 0.25;
+    cfg.image_size = 16;
+    cfg
+}
+
+/// ~93%-sparse parameters whose surviving-weight pattern is offset by
+/// `phase`, so each model gets distinct bytes (and a distinct content
+/// digest) from one network build.
+fn sparse_params(cfg: &RunConfig, phase: usize) -> BTreeMap<String, Tensor> {
+    let mut net = build_network(cfg).expect("build network");
+    let mut params = snapshot_params(&mut net.layers);
+    let keep_every = (1.0 / (1.0 - SPARSITY)).round() as usize;
+    for (name, t) in params.iter_mut() {
+        if name.ends_with(".weight") {
+            for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+                if !(i + phase).is_multiple_of(keep_every) {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+    params
+}
+
+fn image_for(g: usize, sample_len: usize) -> Vec<f32> {
+    let mut state = 0x01A4_A6E5u64 ^ g as u64;
+    (0..sample_len)
+        .map(|_| (splitmix64(&mut state) >> 40) as f32 / (1u64 << 24) as f32)
+        .collect()
+}
+
+fn model_name(i: usize) -> String {
+    format!("vgg16-m{i}")
+}
+
+/// Open-loop replay of a Zipf-assigned arrival schedule through the
+/// router. Latency is charged from the scheduled arrival, so a stalled
+/// shard cannot hide queueing delay.
+fn replay(
+    router: &Arc<Router>,
+    arrivals: &[Duration],
+    assignments: &[usize],
+    sample_len: usize,
+) -> (FleetRollup, usize, usize) {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENT_THREADS {
+        let r = Arc::clone(router);
+        let mine: Vec<(usize, Duration, usize)> = arrivals
+            .iter()
+            .zip(assignments)
+            .enumerate()
+            .skip(c)
+            .step_by(CLIENT_THREADS)
+            .map(|(g, (d, m))| (g, *d, *m))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::with_capacity(mine.len());
+            for (g, scheduled, model) in mine {
+                let now = t0.elapsed();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let image = image_for(g, sample_len);
+                let outcome = r.infer(&model_name(model), &image);
+                out.push((model, scheduled, t0.elapsed(), outcome));
+            }
+            out
+        }));
+    }
+    let mut rollup = FleetRollup::new();
+    let mut shed = 0usize;
+    let mut other = 0usize;
+    for h in handles {
+        for (model, scheduled, completed, outcome) in h.join().expect("client thread") {
+            let name = model_name(model);
+            match outcome {
+                Ok(_) => rollup
+                    .model(&name)
+                    .record(completed.saturating_sub(scheduled)),
+                Err(InferError::Overloaded) => {
+                    rollup.model(&name).record_error();
+                    shed += 1;
+                }
+                Err(_) => {
+                    rollup.model(&name).record_error();
+                    other += 1;
+                }
+            }
+        }
+    }
+    (rollup, shed, other)
+}
+
+fn phase_lines(id: &str, rate_rps: f64, total: usize, rollup: &FleetRollup, shed: usize) -> String {
+    let mut out = String::new();
+    let fleet = rollup.fleet_summary();
+    out.push_str(&format!(
+        "{{\"id\":\"serve_fleet/{id}\",\"scope\":\"fleet\",\"rate_rps\":{rate_rps:.1},\
+         \"total\":{total},\"ok\":{},\"errors\":{},\"shed\":{shed},\
+         \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1}}}\n",
+        fleet.ok,
+        fleet.errors,
+        fleet.p50.as_secs_f64() * 1e6,
+        fleet.p99.as_secs_f64() * 1e6,
+        fleet.p999.as_secs_f64() * 1e6,
+    ));
+    for (name, s) in rollup.summaries() {
+        out.push_str(&format!(
+            "{{\"id\":\"serve_fleet/{id}\",\"scope\":\"model\",\"model\":\"{name}\",\
+             \"ok\":{},\"errors\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1}}}\n",
+            s.ok,
+            s.errors,
+            s.p50.as_secs_f64() * 1e6,
+            s.p99.as_secs_f64() * 1e6,
+            s.p999.as_secs_f64() * 1e6,
+        ));
+    }
+    out
+}
+
+fn main() {
+    let cfg = cfg();
+    let mut lines = String::new();
+
+    // ---- Registry: four distinct artifacts plus one deduplicated alias. ----
+    let registry = ModelRegistry::new(RegistryOptions::default());
+    let mut first_bytes_len = 0usize;
+    for i in 0..NUM_MODELS {
+        let params = sparse_params(&cfg, i);
+        let artifact = compile(&cfg, &params, &CompileOptions::default()).expect("compile");
+        let bytes = artifact.encode();
+        if i == 0 {
+            first_bytes_len = bytes.len();
+        }
+        registry.register(&model_name(i), bytes).expect("register");
+    }
+    let bytes_before_alias = registry.resident_bytes();
+    registry
+        .register(
+            "alias-of-m0",
+            registry.encoded_bytes(&model_name(0)).unwrap(),
+        )
+        .expect("register alias");
+    let dedup_ok = registry.resident_bytes() == bytes_before_alias
+        && registry.len() == NUM_MODELS + 1
+        && first_bytes_len > 0;
+    registry.evict("alias-of-m0");
+    println!(
+        "serve_fleet: {} models resident, {} B total, dedup_ok={dedup_ok}",
+        registry.len(),
+        registry.resident_bytes()
+    );
+
+    // ---- Phase 1: planet-scale schedule generation. ----
+    let mix = ZipfMixture::new(0x21BF, NUM_MODELS, ZIPF_S);
+    let (schedule_gen_rps, zipf_order_ok) = {
+        let t0 = Instant::now();
+        let arrivals = PoissonBurst::steady(0x5EED, 1_000_000.0).arrivals(SCHEDULE_N);
+        let assignments = mix.assignments(SCHEDULE_N);
+        let gen_secs = t0.elapsed().as_secs_f64();
+        let mut counts = vec![0usize; NUM_MODELS];
+        for &m in &assignments {
+            counts[m] += 1;
+        }
+        // Popularity rank must hold over a million draws.
+        let ordered = counts.windows(2).all(|w| w[0] > w[1]);
+        let rps = (arrivals.len() + assignments.len()) as f64 / gen_secs.max(1e-9) / 2.0;
+        println!(
+            "serve_fleet/schedule: {SCHEDULE_N} arrivals+assignments in {gen_secs:.3}s \
+             ({rps:.0}/s), zipf_counts={counts:?}"
+        );
+        lines.push_str(&format!(
+            "{{\"id\":\"serve_fleet/schedule\",\"arrivals\":{SCHEDULE_N},\
+             \"gen_per_sec\":{rps:.0},\"zipf_counts\":{counts:?}}}\n"
+        ));
+        (rps, ordered)
+    };
+
+    // ---- Fleet + router over the registry. ----
+    let weights: Vec<(String, f64)> = (0..NUM_MODELS)
+        .map(|i| (model_name(i), mix.weight(i)))
+        .collect();
+    let weight_refs: Vec<(&str, f64)> = weights.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+    let start_router = |queue_cap: usize| {
+        let fleet = Fleet::from_registry(
+            &registry,
+            &weight_refs,
+            FleetOptions {
+                total_workers: 8,
+                serve: ServeOptions {
+                    policy: BatchPolicy::default(),
+                    queue_cap,
+                    shed: ShedPolicy::RejectNew,
+                    default_deadline: None,
+                    drain_timeout: Duration::from_secs(2),
+                    workers: 1,
+                    fault_plan: Default::default(),
+                },
+                fault_plans: Default::default(),
+            },
+        )
+        .expect("fleet start");
+        for i in 0..NUM_MODELS {
+            println!(
+                "serve_fleet: shard {} weight={:.3} workers={}",
+                model_name(i),
+                mix.weight(i),
+                fleet.shard_workers(&model_name(i)).unwrap()
+            );
+        }
+        Arc::new(Router::new(fleet))
+    };
+    let sample_len = registry.get(&model_name(0)).unwrap().sample_len();
+
+    // ---- Phase 2: closed-loop capacity probe through the router. ----
+    let capacity_rps = {
+        let router = start_router(256);
+        let probe_assign = mix.assignments(1 << 16);
+        let done = Arc::new(AtomicU64::new(0));
+        let probe_for = Duration::from_secs(1);
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..8 {
+            let r = Arc::clone(&router);
+            let d = Arc::clone(&done);
+            let assign = probe_assign.clone();
+            handles.push(std::thread::spawn(move || {
+                let image = image_for(c, sample_len);
+                let mut i = c;
+                while t0.elapsed() < probe_for {
+                    if r.infer(&model_name(assign[i % assign.len()]), &image)
+                        .is_ok()
+                    {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("probe thread");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        router.shutdown();
+        (done.load(Ordering::Relaxed) as f64 / elapsed) * 0.9
+    };
+    println!("serve_fleet: estimated fleet capacity {capacity_rps:.1} rps");
+
+    // ---- Phase 3: 50% saturation — shed must be zero. ----
+    let (half, half_shed, half_resolved) = {
+        let n = 400;
+        let rate = (capacity_rps * 0.5).max(20.0);
+        let router = start_router(256);
+        let arrivals = PoissonBurst::steady(0xF1EE7, rate).arrivals(n);
+        let assignments = mix.assignments(n);
+        let (rollup, shed, other) = replay(&router, &arrivals, &assignments, sample_len);
+        router.shutdown();
+        let resolved = router.stats().fleet_totals().accounting_identity().is_ok();
+        let fleet = rollup.fleet_summary();
+        println!(
+            "serve_fleet/saturation50: ok={} shed={shed} other={other} \
+             p50={:.0}us p99={:.0}us",
+            fleet.ok,
+            fleet.p50.as_secs_f64() * 1e6,
+            fleet.p99.as_secs_f64() * 1e6
+        );
+        println!("{}", rollup.table("serve_fleet/saturation50").render());
+        lines.push_str(&phase_lines("saturation50", rate, n, &rollup, shed));
+        (rollup, shed, resolved)
+    };
+
+    // ---- Phase 4: 80% saturation — the gated tail. ----
+    let (sat, sat_shed, sat_resolved) = {
+        let n = 600;
+        let rate = (capacity_rps * 0.8).max(32.0);
+        let router = start_router(256);
+        let arrivals = PoissonBurst::steady(0x5A70, rate).arrivals(n);
+        let assignments = mix.assignments(n);
+        let (rollup, shed, other) = replay(&router, &arrivals, &assignments, sample_len);
+        router.shutdown();
+        let resolved = router.stats().fleet_totals().accounting_identity().is_ok();
+        let fleet = rollup.fleet_summary();
+        println!(
+            "serve_fleet/saturation80: ok={} shed={shed} other={other} \
+             p50={:.0}us p99={:.0}us p999={:.0}us",
+            fleet.ok,
+            fleet.p50.as_secs_f64() * 1e6,
+            fleet.p99.as_secs_f64() * 1e6,
+            fleet.p999.as_secs_f64() * 1e6
+        );
+        println!("{}", rollup.table("serve_fleet/saturation80").render());
+        lines.push_str(&phase_lines("saturation80", rate, n, &rollup, shed));
+        (rollup, shed, resolved)
+    };
+
+    // ---- Summary with the CI-gated SLO verdicts. ----
+    let slo_tail = sat.fleet_summary().tail_within(10.0);
+    let slo_shed = half_shed == 0;
+    let all_resolved = half_resolved && sat_resolved;
+    let _ = (half, sat_shed); // per-model lines already emitted above
+    let summary = format!(
+        "{{\"id\":\"serve_fleet/summary\",\"models\":{NUM_MODELS},\"zipf_s\":{ZIPF_S:.1},\
+         \"capacity_rps\":{capacity_rps:.1},\"schedule_gen_per_sec\":{schedule_gen_rps:.0},\
+         \"registry_dedup_ok\":{dedup_ok},\"zipf_order_ok\":{zipf_order_ok},\
+         \"fleet_p99_under_10x_p50\":{slo_tail},\"shed_zero_below_capacity\":{slo_shed},\
+         \"all_requests_resolved\":{all_resolved}}}\n"
+    );
+    print!("serve_fleet summary: {summary}");
+    lines.push_str(&summary);
+
+    let path = std::env::var("NDSNN_BENCH_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../results/bench_fleet.json"
+            )
+            .to_string()
+        });
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+    match written {
+        Ok(()) => println!("serve_fleet: appended results to {path}"),
+        Err(e) => eprintln!("serve_fleet: could not append results to {path}: {e}"),
+    }
+}

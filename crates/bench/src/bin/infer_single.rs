@@ -1,11 +1,25 @@
-//! Serves a frozen NDINF1 inference artifact and prints a JSON report:
-//! per-request latency percentiles, batching behaviour and per-layer time.
+//! Serves frozen NDINF1/NDINF2 inference artifacts and prints a JSON
+//! report: per-request latency percentiles, batching behaviour and
+//! per-layer time.
 //!
 //! ```sh
 //! infer_single --artifact <path> [--requests <n>] [--clients <n>]
 //!              [--batch <n>] [--max-wait-us <n>] [--deadline-ms <n>]
 //!              [--seed <n>] [--quantize] [--encoding bitmap|delta|absolute]
+//! infer_single --model-dir <dir> [--model <name>]... [--requests <n>]
+//!              [--clients <n>] [--batch <n>] [--max-wait-us <n>]
+//!              [--deadline-ms <n>] [--seed <n>]
 //! ```
+//!
+//! `--model-dir` switches to **fleet mode**: every artifact file in the
+//! directory is registered into a [`ndsnn_infer::ModelRegistry`] under its
+//! file stem (honoring `NDSNN_FLEET_BUDGET_BYTES` / `NDSNN_FLEET_MAX_MODELS`),
+//! served by a per-model sharded [`ndsnn_infer::Fleet`]
+//! (`NDSNN_FLEET_SHARD_THREADS` workers total), and requests are routed by
+//! name round-robin across the resident models — or only the names given
+//! via repeated `--model` flags. The report then carries one entry per
+//! model with its own `ServeStats` counters and latency percentiles, plus
+//! fleet-wide totals and the accounting-identity verdict.
 //!
 //! Requests carry deterministic synthetic images (seeded) and are submitted
 //! from `--clients` concurrent threads through the serving control plane
@@ -28,7 +42,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ndsnn_infer::{Artifact, BatchPolicy, Executor, InferError, ServeOptions, Server};
+use ndsnn_infer::{
+    Artifact, BatchPolicy, Executor, Fleet, FleetOptions, InferError, ModelRegistry, Router,
+    ServeOptions, Server,
+};
 use ndsnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +78,212 @@ struct Report {
     layer_ns: Vec<LayerTime>,
 }
 
+/// Per-model entry of the fleet-mode report: the shard's `ServeStats`
+/// counters plus client-side latency percentiles.
+#[derive(Serialize)]
+struct ModelReport {
+    model: String,
+    arch: String,
+    workers: usize,
+    routed: u64,
+    submitted: u64,
+    requests: u64,
+    batches: u64,
+    max_batch_seen: u64,
+    shed: u64,
+    deadline_expired: u64,
+    restarts: u64,
+    faulted: u64,
+    bad_inputs: u64,
+    latency_p50_us: u64,
+    latency_p95_us: u64,
+    latency_max_us: u64,
+}
+
+#[derive(Serialize)]
+struct FleetReport {
+    models: Vec<ModelReport>,
+    resident_models: usize,
+    resident_bytes: u64,
+    unknown_model: u64,
+    fleet_requests: u64,
+    fleet_submitted: u64,
+    accounting_ok: bool,
+}
+
+/// Fleet mode: register every artifact in `dir`, serve the selected names
+/// through a router, and print per-model `ServeStats` + latency report.
+fn run_fleet(
+    dir: &str,
+    only: &[String],
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    opts: ServeOptions,
+) {
+    let registry = ModelRegistry::from_env();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read --model-dir {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    entries.sort();
+    for path in &entries {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if name.is_empty() {
+            continue;
+        }
+        match registry.register_file(&name, path) {
+            Ok(_) => eprintln!("registered {name} from {}", path.display()),
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    if registry.is_empty() {
+        eprintln!("no loadable artifacts in {dir}");
+        std::process::exit(2);
+    }
+    let names: Vec<String> = if only.is_empty() {
+        registry.models().into_iter().map(|m| m.name).collect()
+    } else {
+        for name in only {
+            if !registry.contains(name) {
+                eprintln!("--model {name}: not found in {dir}");
+                std::process::exit(2);
+            }
+        }
+        only.to_vec()
+    };
+    eprintln!(
+        "fleet: {} resident model(s), {} B encoded, serving {:?}",
+        registry.len(),
+        registry.resident_bytes(),
+        names
+    );
+
+    let mut fleet_opts = FleetOptions::from_env();
+    fleet_opts.serve = opts;
+    let selected: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 1.0)).collect();
+    let fleet = Fleet::from_registry(&registry, &selected, fleet_opts).unwrap_or_else(|e| {
+        eprintln!("fleet start failed: {e}");
+        std::process::exit(2);
+    });
+    let workers: Vec<usize> = names
+        .iter()
+        .map(|n| fleet.shard_workers(n).unwrap_or(0))
+        .collect();
+    let router = Arc::new(Router::new(fleet));
+
+    // Every model shares one synthetic image pool; request g goes to model
+    // g % k, so each model sees a deterministic slice of the pool.
+    let sample = registry.get(&names[0]).unwrap().sample_len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = ndsnn_tensor::init::uniform([requests.max(1), sample], 0.0, 1.0, &mut rng);
+    let images: Vec<Vec<f32>> = (0..requests)
+        .map(|i| pool.as_slice()[i * sample..(i + 1) * sample].to_vec())
+        .collect();
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let router = Arc::clone(&router);
+        let names: Vec<String> = names.clone();
+        let mine: Vec<(usize, Vec<f32>)> = images
+            .iter()
+            .enumerate()
+            .skip(c)
+            .step_by(clients)
+            .map(|(g, img)| (g, img.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut rollup = ndsnn_metrics::fleet::FleetRollup::new();
+            for (g, img) in &mine {
+                let name = &names[g % names.len()];
+                match router.infer(name, img) {
+                    Ok(reply) => rollup.model(name).record(reply.latency),
+                    Err(
+                        InferError::DeadlineExceeded
+                        | InferError::Overloaded
+                        | InferError::ExecutorFault(_),
+                    ) => rollup.model(name).record_error(),
+                    Err(e) => panic!("infer {name} failed: {e}"),
+                }
+            }
+            rollup
+        }));
+    }
+    let mut rollup = ndsnn_metrics::fleet::FleetRollup::new();
+    for h in handles {
+        rollup.absorb(&h.join().expect("client thread"));
+    }
+    router.shutdown();
+
+    let stats = router.stats();
+    let totals = stats.fleet_totals();
+    let mut models = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let m = &stats.per_model[name];
+        let sorted = {
+            let mut v: Vec<u64> = rollup
+                .model(name)
+                .samples()
+                .iter()
+                .map(|d| d.as_micros() as u64)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() as f64 - 1.0) * p).round() as usize]
+            }
+        };
+        let arch = registry
+            .get(name)
+            .map(|a| a.manifest.arch.clone())
+            .unwrap_or_default();
+        models.push(ModelReport {
+            model: name.clone(),
+            arch,
+            workers: workers[i],
+            routed: m.routed,
+            submitted: m.serve.submitted,
+            requests: m.serve.requests,
+            batches: m.serve.batches,
+            max_batch_seen: m.serve.max_batch_seen,
+            shed: m.serve.shed,
+            deadline_expired: m.serve.deadline_expired,
+            restarts: m.serve.restarts,
+            faulted: m.serve.faulted,
+            bad_inputs: m.serve.bad_inputs,
+            latency_p50_us: pct(0.5),
+            latency_p95_us: pct(0.95),
+            latency_max_us: pct(1.0),
+        });
+    }
+    let report = FleetReport {
+        models,
+        resident_models: registry.len(),
+        resident_bytes: registry.resident_bytes(),
+        unknown_model: stats.unknown_model,
+        fleet_requests: totals.requests,
+        fleet_submitted: totals.submitted,
+        accounting_ok: totals.accounting_identity().is_ok(),
+    };
+    println!(
+        "{}",
+        ndsnn_metrics::json::to_string(&report).expect("serialize fleet report")
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
@@ -68,10 +291,6 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let path = get("--artifact").unwrap_or_else(|| {
-        eprintln!("usage: infer_single --artifact <path> [--requests <n>] [--clients <n>]");
-        std::process::exit(2);
-    });
     let requests: usize = get("--requests").and_then(|s| s.parse().ok()).unwrap_or(32);
     let clients: usize = get("--clients")
         .and_then(|s| s.parse().ok())
@@ -94,6 +313,25 @@ fn main() {
         opts.default_deadline = deadline;
     }
 
+    // Fleet mode: a directory of artifacts routed by name.
+    if let Some(dir) = get("--model-dir") {
+        let only: Vec<String> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == "--model")
+            .filter_map(|(i, _)| args.get(i + 1).cloned())
+            .collect();
+        run_fleet(&dir, &only, requests, clients, seed, opts);
+        return;
+    }
+
+    let path = get("--artifact").unwrap_or_else(|| {
+        eprintln!(
+            "usage: infer_single --artifact <path> | --model-dir <dir> [--model <name>]... \
+             [--requests <n>] [--clients <n>]"
+        );
+        std::process::exit(2);
+    });
     let mut loaded = Artifact::load(&path).expect("load artifact");
     let quantize = args.iter().any(|a| a == "--quantize") || ndsnn::config::env::infer_quant();
     if quantize && !loaded.is_quantized() {

@@ -79,6 +79,69 @@ impl PoissonBurst {
     }
 }
 
+/// A Zipf-weighted model-popularity mixture over `n` models.
+///
+/// Real multi-model traffic is heavy-tailed: a few hot models take most
+/// of the requests while a long tail stays nearly idle. Model `i`
+/// (0-indexed by popularity rank) gets weight `1 / (i + 1)^s`; `s = 0` is
+/// uniform, `s = 1` the classic Zipf law. Sampling inverts the CDF with a
+/// seeded SplitMix64 draw, so a whole fleet replay is reproducible from
+/// (arrival seed, mixture seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfMixture {
+    /// Seed for the model-choice stream; same seed ⇒ same assignment.
+    pub seed: u64,
+    /// Cumulative weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfMixture {
+    /// Mixture over `n ≥ 1` models with Zipf exponent `s ≥ 0`.
+    pub fn new(seed: u64, n: usize, s: f64) -> ZipfMixture {
+        assert!(n >= 1, "a mixture needs at least one model");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite, ≥ 0");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfMixture { seed, cdf }
+    }
+
+    /// Number of models in the mixture.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the mixture is empty (never: `new` requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The normalized popularity weight of model `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - prev
+    }
+
+    /// The model index for each of the first `n` requests.
+    pub fn assignments(&self, n: usize) -> Vec<usize> {
+        let mut state = self.seed;
+        (0..n)
+            .map(|_| {
+                let u = unit_open(&mut state);
+                // First bucket whose cumulative weight covers the draw.
+                self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+            })
+            .collect()
+    }
+}
+
 /// Nearest-rank percentile (`q` in `[0, 100]`) of `samples`; 0.0 when
 /// empty. Copies and sorts internally — fine at benchmark sample counts.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
@@ -138,6 +201,41 @@ mod tests {
             bursty.last().unwrap() < steady.last().unwrap(),
             "burst windows must raise the instantaneous rate"
         );
+    }
+
+    #[test]
+    fn zipf_mixture_is_deterministic_and_heavy_tailed() {
+        let mix = ZipfMixture::new(0x21BF, 4, 1.0);
+        assert_eq!(mix.len(), 4);
+        let a = mix.assignments(8192);
+        assert_eq!(a, mix.assignments(8192), "same seed ⇒ same assignment");
+        assert!(a.iter().all(|&m| m < 4));
+        let mut counts = [0usize; 4];
+        for &m in &a {
+            counts[m] += 1;
+        }
+        // Zipf s=1 over 4 models: weights 1 : 1/2 : 1/3 : 1/4. Rank order
+        // must hold, and every model must actually receive traffic.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        assert!(counts[3] > 0, "the tail model must still see requests");
+        // Empirical share of the hot model tracks its weight (12/25).
+        let hot_share = counts[0] as f64 / a.len() as f64;
+        assert!(
+            (hot_share - mix.weight(0)).abs() < 0.05,
+            "hot share {hot_share:.3} vs weight {:.3}",
+            mix.weight(0)
+        );
+        // Weights sum to 1.
+        let total: f64 = (0..4).map(|i| mix.weight(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mix = ZipfMixture::new(3, 5, 0.0);
+        for i in 0..5 {
+            assert!((mix.weight(i) - 0.2).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -254,6 +254,21 @@ pub mod env {
     /// per-layer choice), `bitmap`, `delta`, or `absolute`. Unrecognized
     /// values fall back to `auto`.
     pub const INFER_ENCODING: &str = "NDSNN_INFER_ENCODING";
+    /// Resident-byte budget for the multi-model registry: the sum of
+    /// encoded artifact bytes the registry may keep loaded. `0` (the
+    /// default) means unlimited. Registration past the budget evicts
+    /// least-recently-used unpinned models; if nothing evictable remains
+    /// the registration is refused and the registry is unchanged.
+    pub const FLEET_BUDGET_BYTES: &str = "NDSNN_FLEET_BUDGET_BYTES";
+    /// Maximum number of *named* models resident in the registry at once,
+    /// clamped to at least 1. Distinct names sharing one content digest
+    /// each count against the cap (the bytes are shared, the names are
+    /// not).
+    pub const FLEET_MAX_MODELS: &str = "NDSNN_FLEET_MAX_MODELS";
+    /// Total dispatcher worker threads a serving fleet carves into
+    /// per-model shards (weighted by model popularity, every shard gets
+    /// at least one). `0` (the default) means one worker per model.
+    pub const FLEET_SHARD_THREADS: &str = "NDSNN_FLEET_SHARD_THREADS";
 
     /// Default for [`min_tile_work`] (`2^25` multiply-adds).
     pub const DEFAULT_MIN_TILE_WORK: usize = ndsnn_tensor::ops::tile::DEFAULT_MIN_TILE_WORK;
@@ -267,6 +282,12 @@ pub mod env {
     pub const DEFAULT_INFER_DEADLINE_US: u64 = 0;
     /// Default for [`infer_drain_ms`].
     pub const DEFAULT_INFER_DRAIN_MS: u64 = 2000;
+    /// Default for [`fleet_budget_bytes`] (`0`: unlimited).
+    pub const DEFAULT_FLEET_BUDGET_BYTES: u64 = 0;
+    /// Default for [`fleet_max_models`].
+    pub const DEFAULT_FLEET_MAX_MODELS: usize = 64;
+    /// Default for [`fleet_shard_threads`] (`0`: one worker per model).
+    pub const DEFAULT_FLEET_SHARD_THREADS: usize = 0;
 
     /// `NDSNN_THREADS`: the *requested* worker-thread count, `None` when
     /// unset (the pool then uses the available parallelism). Note the pool
@@ -384,6 +405,29 @@ pub mod env {
             "bitmap" | "delta" | "delta-varint" | "deltavarint" | "absolute" | "abs" => raw,
             _ => "auto".to_string(),
         }
+    }
+
+    /// `NDSNN_FLEET_BUDGET_BYTES`, default [`DEFAULT_FLEET_BUDGET_BYTES`]
+    /// (`0`: unlimited). Unparsable values fall back to the default.
+    pub fn fleet_budget_bytes() -> u64 {
+        ndsnn_tensor::env::parse_u64(FLEET_BUDGET_BYTES).unwrap_or(DEFAULT_FLEET_BUDGET_BYTES)
+    }
+
+    /// `NDSNN_FLEET_MAX_MODELS`, default [`DEFAULT_FLEET_MAX_MODELS`],
+    /// clamped to at least 1 (a registry that can hold zero models could
+    /// never serve anything).
+    pub fn fleet_max_models() -> usize {
+        ndsnn_tensor::env::parse_usize(FLEET_MAX_MODELS)
+            .unwrap_or(DEFAULT_FLEET_MAX_MODELS)
+            .max(1)
+    }
+
+    /// `NDSNN_FLEET_SHARD_THREADS`, default
+    /// [`DEFAULT_FLEET_SHARD_THREADS`]. `0` means "one dispatcher worker
+    /// per model"; positive totals are divided across shards by popularity
+    /// weight with every shard keeping at least one worker.
+    pub fn fleet_shard_threads() -> usize {
+        ndsnn_tensor::env::parse_usize(FLEET_SHARD_THREADS).unwrap_or(DEFAULT_FLEET_SHARD_THREADS)
     }
 
     #[cfg(test)]
@@ -582,6 +626,42 @@ pub mod env {
             assert_eq!(infer_drain_ms(), 0, "zero drain is a valid policy");
             std::env::remove_var(INFER_DRAIN_MS);
             assert_eq!(infer_drain_ms(), DEFAULT_INFER_DRAIN_MS);
+        }
+
+        #[test]
+        fn fleet_budget_bytes_knob() {
+            std::env::set_var(FLEET_BUDGET_BYTES, "1048576");
+            assert_eq!(fleet_budget_bytes(), 1_048_576);
+            std::env::set_var(FLEET_BUDGET_BYTES, "0");
+            assert_eq!(fleet_budget_bytes(), 0, "zero means unlimited");
+            std::env::set_var(FLEET_BUDGET_BYTES, "a-lot");
+            assert_eq!(fleet_budget_bytes(), DEFAULT_FLEET_BUDGET_BYTES);
+            std::env::remove_var(FLEET_BUDGET_BYTES);
+            assert_eq!(fleet_budget_bytes(), DEFAULT_FLEET_BUDGET_BYTES);
+        }
+
+        #[test]
+        fn fleet_max_models_knob() {
+            std::env::set_var(FLEET_MAX_MODELS, "8");
+            assert_eq!(fleet_max_models(), 8);
+            std::env::set_var(FLEET_MAX_MODELS, "0");
+            assert_eq!(fleet_max_models(), 1, "zero models must clamp to 1");
+            std::env::set_var(FLEET_MAX_MODELS, "-3");
+            assert_eq!(fleet_max_models(), DEFAULT_FLEET_MAX_MODELS);
+            std::env::remove_var(FLEET_MAX_MODELS);
+            assert_eq!(fleet_max_models(), DEFAULT_FLEET_MAX_MODELS);
+        }
+
+        #[test]
+        fn fleet_shard_threads_knob() {
+            std::env::set_var(FLEET_SHARD_THREADS, "12");
+            assert_eq!(fleet_shard_threads(), 12);
+            std::env::set_var(FLEET_SHARD_THREADS, "0");
+            assert_eq!(fleet_shard_threads(), 0, "zero means one per model");
+            std::env::set_var(FLEET_SHARD_THREADS, "auto");
+            assert_eq!(fleet_shard_threads(), DEFAULT_FLEET_SHARD_THREADS);
+            std::env::remove_var(FLEET_SHARD_THREADS);
+            assert_eq!(fleet_shard_threads(), DEFAULT_FLEET_SHARD_THREADS);
         }
 
         #[test]

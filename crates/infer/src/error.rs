@@ -34,6 +34,14 @@ pub enum InferError {
     /// The submitted input was rejected at admission: wrong length, or
     /// non-finite (NaN/Inf) pixel values that would poison the logits.
     BadInput(String),
+    /// The request named a model the registry/fleet does not hold. The
+    /// router answers this synchronously — unknown names never consume
+    /// queue space or executor time in any shard.
+    UnknownModel(String),
+    /// A model-registry policy refused the operation: duplicate name,
+    /// resident-byte budget exhausted with nothing evictable, or the
+    /// resident-model cap reached. The registry's state is unchanged.
+    Registry(String),
 }
 
 impl std::fmt::Display for InferError {
@@ -48,6 +56,8 @@ impl std::fmt::Display for InferError {
             InferError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             InferError::ExecutorFault(m) => write!(f, "executor fault: {m}"),
             InferError::BadInput(m) => write!(f, "bad input: {m}"),
+            InferError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            InferError::Registry(m) => write!(f, "model registry: {m}"),
         }
     }
 }

@@ -23,6 +23,13 @@
 //!   Every admitted request gets exactly one typed reply; batching and
 //!   executor restarts never change any request's bits. A seeded
 //!   [`serve::ServeFaultPlan`] drives deterministic chaos tests.
+//! - [`registry`] / [`fleet`] / [`router`] — the multi-model layer: a
+//!   [`registry::ModelRegistry`] holds many artifacts resident as shared
+//!   `Arc`s (content-digest deduplicated, byte-budgeted, LRU pin/evict);
+//!   a [`fleet::Fleet`] carves a worker budget into per-model [`serve`]
+//!   shards by popularity weight so each model degrades independently;
+//!   a [`router::Router`] admits requests by model name, answering
+//!   unknown names synchronously so they never touch any shard.
 //!
 //! The bit-identity claim is load-bearing: it makes the artifact a drop-in
 //! replacement for training-graph evaluation (accuracy numbers carry over
@@ -35,17 +42,23 @@ pub mod artifact;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod fleet;
 pub mod quant;
+pub mod registry;
+pub mod router;
 pub mod serve;
 
 pub use artifact::{store_encoded_bytes, Artifact, Manifest, Op, WeightStore};
 pub use compile::{compile, compile_from_checkpoint_dir, compile_snapshot, lower, CompileOptions};
 pub use error::{InferError, Result};
 pub use exec::Executor;
+pub use fleet::{assign_workers, Fleet, FleetModel, FleetOptions};
 pub use quant::{
     quantize_artifact, IndexEncoding, LayerQuantRow, QuantOptions, QuantWeight,
     DEFAULT_QUANT_MAX_REL_ERROR,
 };
+pub use registry::{content_digest, ModelInfo, ModelRegistry, RegistryOptions};
+pub use router::{Router, RouterModelStats, RouterStats};
 pub use serve::{
     BatchPolicy, HealthState, InferReply, ServeFaultPlan, ServeOptions, ServeStats, Server,
     ShedPolicy,

@@ -1,0 +1,394 @@
+//! Multi-model registry: many frozen artifacts resident under one budget.
+//!
+//! A serving node holds *many* compressed NDINF1/NDINF2 artifacts, not one.
+//! The registry is the layer that makes that safe:
+//!
+//! - **Shared immutable residency** — each registered model decodes once
+//!   into an `Arc<Artifact>` backed by its encoded [`Bytes`]; every shard,
+//!   executor rebuild, and stats report clones the `Arc`, never the
+//!   weights.
+//! - **Content-digest dedup** — registering the same encoded bytes under a
+//!   second name charges the budget once: both names share one resident
+//!   blob and one decoded `Arc<Artifact>` (FNV-1a-64 over the encoded
+//!   container, which is itself CRC-checksummed, so equal digests on this
+//!   node mean equal bytes for any realistic corpus).
+//! - **Resident-byte budget + LRU pin/evict** — the per-node memory budget
+//!   from the constrained-hardware serving scenario. Registration past the
+//!   budget (or past the model cap) evicts least-recently-used *unpinned*
+//!   names; when nothing evictable remains the registration is refused
+//!   with [`InferError::Registry`] and the registry is unchanged — the
+//!   failure path never half-evicts.
+//! - **Hostile-input rejection at the door** — bytes go through
+//!   [`Artifact::decode`] (checksums, bounds, shape validation) *before*
+//!   any registry state changes, so a corrupt or malicious artifact can
+//!   never become resident, let alone evict a good one.
+//!
+//! Knobs: `NDSNN_FLEET_BUDGET_BYTES` (0 = unlimited) and
+//! `NDSNN_FLEET_MAX_MODELS` via [`RegistryOptions::from_env`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use crate::artifact::Artifact;
+use crate::error::{InferError, Result};
+
+/// FNV-1a 64-bit digest of the encoded artifact bytes. Cheap, stable, and
+/// good enough for dedup on one node because the container's own CRC has
+/// already vouched for the bytes' integrity.
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Budget and cap policy for a [`ModelRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryOptions {
+    /// Total encoded bytes the registry may keep resident; `0` = unlimited.
+    /// Deduplicated blobs are charged once no matter how many names share
+    /// them.
+    pub budget_bytes: u64,
+    /// Maximum resident *names* (clamped to ≥ 1). Names sharing a digest
+    /// each count: the cap bounds routing-table size, not just memory.
+    pub max_models: usize,
+}
+
+impl RegistryOptions {
+    /// Reads `NDSNN_FLEET_BUDGET_BYTES` / `NDSNN_FLEET_MAX_MODELS`.
+    pub fn from_env() -> RegistryOptions {
+        RegistryOptions {
+            budget_bytes: ndsnn::config::env::fleet_budget_bytes(),
+            max_models: ndsnn::config::env::fleet_max_models(),
+        }
+    }
+}
+
+impl Default for RegistryOptions {
+    fn default() -> Self {
+        RegistryOptions {
+            budget_bytes: ndsnn::config::env::DEFAULT_FLEET_BUDGET_BYTES,
+            max_models: ndsnn::config::env::DEFAULT_FLEET_MAX_MODELS,
+        }
+    }
+}
+
+/// One resident model as reported by [`ModelRegistry::models`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Registered name (unique per registry).
+    pub name: String,
+    /// Content digest of the encoded bytes ([`content_digest`]).
+    pub digest: u64,
+    /// Encoded container size in bytes (what the budget charges — once
+    /// per digest, reported per name).
+    pub encoded_bytes: usize,
+    /// Whether the name is pinned (exempt from LRU eviction).
+    pub pinned: bool,
+    /// Whether another resident name shares this digest (deduplicated).
+    pub shared: bool,
+    /// Architecture label from the artifact manifest.
+    pub arch: String,
+}
+
+struct NameEntry {
+    digest: u64,
+    pinned: bool,
+    /// Logical LRU clock tick of the last `register`/`get`/`pin` touch.
+    last_used: u64,
+}
+
+struct Resident {
+    bytes: Bytes,
+    artifact: Arc<Artifact>,
+    /// Number of names referencing this digest.
+    refs: usize,
+}
+
+struct Inner {
+    names: BTreeMap<String, NameEntry>,
+    blobs: BTreeMap<u64, Resident>,
+    resident_bytes: u64,
+    clock: u64,
+}
+
+/// Thread-safe registry of resident frozen models. See the module docs for
+/// the invariants; all operations take one short mutex hold — decoding
+/// (the expensive part) happens before the lock.
+pub struct ModelRegistry {
+    opts: RegistryOptions,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// Empty registry with the given policy.
+    pub fn new(opts: RegistryOptions) -> ModelRegistry {
+        ModelRegistry {
+            opts: RegistryOptions {
+                budget_bytes: opts.budget_bytes,
+                max_models: opts.max_models.max(1),
+            },
+            inner: Mutex::new(Inner {
+                names: BTreeMap::new(),
+                blobs: BTreeMap::new(),
+                resident_bytes: 0,
+                clock: 0,
+            }),
+        }
+    }
+
+    /// Empty registry configured from the environment.
+    pub fn from_env() -> ModelRegistry {
+        ModelRegistry::new(RegistryOptions::from_env())
+    }
+
+    /// The policy this registry enforces.
+    pub fn options(&self) -> &RegistryOptions {
+        &self.opts
+    }
+
+    /// Registers encoded artifact bytes under `name` and returns the shared
+    /// decoded model. Validates (decode + checksums) before touching any
+    /// state; dedups by content digest; evicts LRU unpinned names if the
+    /// budget or model cap requires it. On any error the registry is
+    /// unchanged.
+    pub fn register(&self, name: &str, encoded: impl Into<Bytes>) -> Result<Arc<Artifact>> {
+        if name.is_empty() {
+            return Err(InferError::Registry("model name must be non-empty".into()));
+        }
+        let encoded: Bytes = encoded.into();
+        // Hostile bytes die here, before the lock and before any eviction.
+        let decoded = Artifact::decode(&encoded)?;
+        let digest = content_digest(&encoded);
+
+        let mut inner = self.inner.lock().unwrap();
+        if inner.names.contains_key(name) {
+            return Err(InferError::Registry(format!(
+                "name {name:?} is already registered (evict it first to replace)"
+            )));
+        }
+        let new_bytes = if inner.blobs.contains_key(&digest) {
+            0 // dedup: the blob is already charged.
+        } else {
+            encoded.len() as u64
+        };
+        if self.opts.budget_bytes > 0 && new_bytes > self.opts.budget_bytes {
+            return Err(InferError::Registry(format!(
+                "artifact {name:?} is {new_bytes} B, over the whole {} B budget",
+                self.opts.budget_bytes
+            )));
+        }
+        // Plan evictions first so failure leaves the registry untouched.
+        let victims = self.plan_evictions(&inner, new_bytes)?;
+        for victim in &victims {
+            Self::remove_name(&mut inner, victim);
+        }
+        let artifact = match inner.blobs.get_mut(&digest) {
+            Some(res) => {
+                res.refs += 1;
+                Arc::clone(&res.artifact)
+            }
+            None => {
+                let artifact = Arc::new(decoded);
+                inner.resident_bytes += encoded.len() as u64;
+                inner.blobs.insert(
+                    digest,
+                    Resident {
+                        bytes: encoded,
+                        artifact: Arc::clone(&artifact),
+                        refs: 1,
+                    },
+                );
+                artifact
+            }
+        };
+        inner.clock += 1;
+        let tick = inner.clock;
+        inner.names.insert(
+            name.to_string(),
+            NameEntry {
+                digest,
+                pinned: false,
+                last_used: tick,
+            },
+        );
+        Ok(artifact)
+    }
+
+    /// [`register`](Self::register) from a file on disk.
+    pub fn register_file(&self, name: &str, path: impl AsRef<Path>) -> Result<Arc<Artifact>> {
+        let data = std::fs::read(path.as_ref())
+            .map_err(|e| InferError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        self.register(name, data)
+    }
+
+    /// Chooses the LRU unpinned names to evict so that, after removal, the
+    /// byte budget fits `new_bytes` more and the model cap fits one more
+    /// name. Pure planning: does not mutate. Errors if no victim set works.
+    fn plan_evictions(&self, inner: &Inner, new_bytes: u64) -> Result<Vec<String>> {
+        // Simulated state.
+        let mut sim_bytes = inner.resident_bytes;
+        let mut sim_names = inner.names.len();
+        let mut sim_refs: BTreeMap<u64, usize> =
+            inner.blobs.iter().map(|(d, r)| (*d, r.refs)).collect();
+
+        let fits = |bytes: u64, names: usize| {
+            (self.opts.budget_bytes == 0 || bytes + new_bytes <= self.opts.budget_bytes)
+                && names < self.opts.max_models
+        };
+
+        let mut candidates: Vec<(&String, &NameEntry)> =
+            inner.names.iter().filter(|(_, e)| !e.pinned).collect();
+        candidates.sort_by_key(|(_, e)| e.last_used);
+        let mut candidates = candidates.into_iter();
+
+        let mut victims = Vec::new();
+        while !fits(sim_bytes, sim_names) {
+            let (name, entry) = candidates.next().ok_or_else(|| {
+                InferError::Registry(format!(
+                    "cannot admit model: {} unpinned candidate(s) evicted still leaves \
+                     {sim_names}/{} names and {sim_bytes}+{new_bytes} B against a {} B budget",
+                    victims.len(),
+                    self.opts.max_models,
+                    self.opts.budget_bytes
+                ))
+            })?;
+            sim_names -= 1;
+            let refs = sim_refs.get_mut(&entry.digest).expect("name has a blob");
+            *refs -= 1;
+            if *refs == 0 {
+                sim_bytes -= inner.blobs[&entry.digest].bytes.len() as u64;
+            }
+            victims.push(name.clone());
+        }
+        Ok(victims)
+    }
+
+    fn remove_name(inner: &mut Inner, name: &str) -> bool {
+        let Some(entry) = inner.names.remove(name) else {
+            return false;
+        };
+        let res = inner.blobs.get_mut(&entry.digest).expect("name has a blob");
+        res.refs -= 1;
+        if res.refs == 0 {
+            let freed = res.bytes.len() as u64;
+            inner.blobs.remove(&entry.digest);
+            inner.resident_bytes -= freed;
+        }
+        true
+    }
+
+    /// Shared decoded model for `name`, touching its LRU slot. `None` when
+    /// the name is not resident.
+    pub fn get(&self, name: &str) -> Option<Arc<Artifact>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let tick = inner.clock;
+        let digest = {
+            let entry = inner.names.get_mut(name)?;
+            entry.last_used = tick;
+            entry.digest
+        };
+        Some(Arc::clone(&inner.blobs[&digest].artifact))
+    }
+
+    /// The raw encoded bytes for `name` (zero-copy slice handle). Does not
+    /// touch the LRU slot — this is an introspection API, not a serve path.
+    pub fn encoded_bytes(&self, name: &str) -> Option<Bytes> {
+        let inner = self.inner.lock().unwrap();
+        let entry = inner.names.get(name)?;
+        Some(inner.blobs[&entry.digest].bytes.clone())
+    }
+
+    /// Pins `name`: exempt from LRU eviction until [`unpin`](Self::unpin).
+    /// Also touches the LRU slot (a pin is a statement of interest).
+    pub fn pin(&self, name: &str) -> Result<()> {
+        self.set_pinned(name, true)
+    }
+
+    /// Unpins `name`, making it evictable again.
+    pub fn unpin(&self, name: &str) -> Result<()> {
+        self.set_pinned(name, false)
+    }
+
+    fn set_pinned(&self, name: &str, pinned: bool) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let tick = inner.clock;
+        let entry = inner
+            .names
+            .get_mut(name)
+            .ok_or_else(|| InferError::UnknownModel(name.to_string()))?;
+        entry.pinned = pinned;
+        if pinned {
+            entry.last_used = tick;
+        }
+        Ok(())
+    }
+
+    /// Explicitly evicts `name` (pinned or not — this is the operator
+    /// path, unlike budget-driven LRU which respects pins). Returns whether
+    /// the name was resident. Shards already holding the `Arc<Artifact>`
+    /// keep serving; eviction only frees the registry's references.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        Self::remove_name(&mut inner, name)
+    }
+
+    /// Number of resident names.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().names.len()
+    }
+
+    /// Whether no models are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `name` is resident (no LRU touch).
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.lock().unwrap().names.contains_key(name)
+    }
+
+    /// Total encoded bytes resident (deduplicated blobs counted once).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// Snapshot of every resident model, sorted by name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .names
+            .iter()
+            .map(|(name, entry)| {
+                let res = &inner.blobs[&entry.digest];
+                ModelInfo {
+                    name: name.clone(),
+                    digest: entry.digest,
+                    encoded_bytes: res.bytes.len(),
+                    pinned: entry.pinned,
+                    shared: res.refs > 1,
+                    arch: res.artifact.manifest.arch.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("ModelRegistry")
+            .field("opts", &self.opts)
+            .field("names", &inner.names.len())
+            .field("blobs", &inner.blobs.len())
+            .field("resident_bytes", &inner.resident_bytes)
+            .finish()
+    }
+}

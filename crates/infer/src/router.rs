@@ -1,0 +1,168 @@
+//! By-name request admission over a running [`Fleet`].
+//!
+//! The router is the fleet's single front door: it resolves a model name
+//! to its shard, counts the routing decision, and hands the request to
+//! that shard's bounded admission path. Unknown names are answered
+//! *synchronously* with [`InferError::UnknownModel`] — they never consume
+//! queue space, executor time, or a worker wakeup in any shard, so a
+//! misconfigured client cannot become a denial-of-service vector against
+//! models it never names.
+//!
+//! Routing counters use the same saturating arithmetic as
+//! [`ServeStats`], and compose with the per-shard accounting identity:
+//! when the router is the only admission path, `routed[m]` equals shard
+//! `m`'s `submitted` at quiescence.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::{InferError, Result};
+use crate::fleet::Fleet;
+use crate::serve::{HealthState, InferReply, ServeStats};
+
+fn sat_add(counter: &AtomicU64, n: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(n);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Routing + serving counters for one model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterModelStats {
+    /// Requests the router forwarded to this model's shard.
+    pub routed: u64,
+    /// The shard's own serving counters.
+    pub serve: ServeStats,
+}
+
+/// A point-in-time snapshot of the router's view of the fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Per-model routing + serving counters, keyed by model name.
+    pub per_model: BTreeMap<String, RouterModelStats>,
+    /// Requests naming a model the fleet does not serve (answered
+    /// synchronously, no shard involved).
+    pub unknown_model: u64,
+}
+
+impl RouterStats {
+    /// Saturating sum of every shard's counters (excludes `unknown_model`,
+    /// which never reached a shard).
+    pub fn fleet_totals(&self) -> ServeStats {
+        self.per_model
+            .values()
+            .fold(ServeStats::default(), |acc, m| acc.merge(&m.serve))
+    }
+}
+
+/// The by-name admission front end. Owns the [`Fleet`].
+pub struct Router {
+    fleet: Fleet,
+    /// Per-model routed counters, fixed at construction (the fleet's model
+    /// set is immutable once started), so the hot path is a `BTreeMap`
+    /// lookup plus one relaxed atomic add — no lock.
+    routed: BTreeMap<String, AtomicU64>,
+    unknown: AtomicU64,
+}
+
+impl Router {
+    /// Wraps a running fleet.
+    pub fn new(fleet: Fleet) -> Router {
+        let routed = fleet
+            .models()
+            .into_iter()
+            .map(|name| (name.to_string(), AtomicU64::new(0)))
+            .collect();
+        Router {
+            fleet,
+            routed,
+            unknown: AtomicU64::new(0),
+        }
+    }
+
+    /// The fleet behind this router.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Routes one request to `model`'s shard (shard default deadline
+    /// applies).
+    pub fn infer(&self, model: &str, image: &[f32]) -> Result<InferReply> {
+        self.admit(model)?.infer(image)
+    }
+
+    /// Routes one request with an explicit deadline (measured from
+    /// submission).
+    pub fn infer_with_deadline(
+        &self,
+        model: &str,
+        image: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<InferReply> {
+        self.admit(model)?.infer_with_deadline(image, deadline)
+    }
+
+    fn admit(&self, model: &str) -> Result<&crate::serve::Server> {
+        match self.routed.get(model) {
+            Some(counter) => {
+                sat_add(counter, 1);
+                Ok(self.fleet.server(model).expect("routed names have shards"))
+            }
+            None => {
+                sat_add(&self.unknown, 1);
+                Err(InferError::UnknownModel(model.to_string()))
+            }
+        }
+    }
+
+    /// Snapshot of routing + per-shard serving counters.
+    pub fn stats(&self) -> RouterStats {
+        let serve = self.fleet.stats();
+        RouterStats {
+            per_model: self
+                .routed
+                .iter()
+                .map(|(name, c)| {
+                    (
+                        name.clone(),
+                        RouterModelStats {
+                            routed: c.load(Ordering::Relaxed),
+                            serve: serve.get(name).cloned().unwrap_or_default(),
+                        },
+                    )
+                })
+                .collect(),
+            unknown_model: self.unknown.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-model health passthrough.
+    pub fn health(&self) -> BTreeMap<String, HealthState> {
+        self.fleet.health()
+    }
+
+    /// Shuts the fleet down (per-shard drain timeouts apply).
+    pub fn shutdown(&self) {
+        self.fleet.shutdown();
+    }
+
+    /// Shuts the fleet down with an explicit per-shard drain timeout.
+    pub fn shutdown_within(&self, timeout: Duration) {
+        self.fleet.shutdown_within(timeout);
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("fleet", &self.fleet)
+            .field("unknown", &self.unknown.load(Ordering::Relaxed))
+            .finish()
+    }
+}

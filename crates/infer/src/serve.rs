@@ -1,12 +1,16 @@
 //! Supervised serving control plane over a frozen artifact.
 //!
-//! [`Server::start_with`] spawns one supervised dispatcher thread that owns
-//! the [`Executor`]. Callers submit single images from any number of
-//! threads via [`Server::infer`] (or [`Server::infer_with_deadline`]); the
+//! [`Server::start_with`] spawns [`ServeOptions::workers`] supervised
+//! dispatcher threads, each owning its own [`Executor`] over the shared
+//! immutable artifact. Callers submit single images from any number of
+//! threads via [`Server::infer`] (or [`Server::infer_with_deadline`]); a
 //! dispatcher coalesces queued requests into one forward pass under a
 //! [`BatchPolicy`] — flush when `max_batch` requests are waiting, or when
 //! the oldest has waited `max_wait` — and replies with per-request logits,
-//! argmax and queue-to-reply latency.
+//! argmax and queue-to-reply latency. Because every frozen op is
+//! deterministic and batching is bitwise-neutral, *which* dispatcher
+//! answers a request never changes its bits, so multi-worker servers (the
+//! fleet's weighted shards) keep the single-worker parity guarantees.
 //!
 //! Unlike a plain channel-fed worker, the control plane bounds every
 //! resource and types every failure:
@@ -209,10 +213,18 @@ pub struct ServeOptions {
     /// `None` means requests wait indefinitely unless the caller passes
     /// one to [`Server::infer_with_deadline`].
     pub default_deadline: Option<Duration>,
-    /// How long [`Server::shutdown`] lets the dispatcher drain the queue
+    /// How long [`Server::shutdown`] lets the dispatchers drain the queue
     /// before failing still-queued requests with [`InferError::Closed`].
     pub drain_timeout: Duration,
-    /// Deterministic fault injection; empty in production.
+    /// Supervised dispatcher threads pulling from the shared admission
+    /// queue, each with its own [`Executor`] (clamped to ≥ 1). More
+    /// workers let independent batches of the same model run concurrently
+    /// — the fleet assigns these proportionally to model weight. Replies
+    /// stay bit-identical regardless of which worker answers.
+    pub workers: usize,
+    /// Deterministic fault injection; empty in production. With more than
+    /// one worker each dispatcher numbers its own batches from zero, so
+    /// deterministic chaos tests should keep `workers == 1`.
     pub fault_plan: ServeFaultPlan,
 }
 
@@ -230,6 +242,7 @@ impl ServeOptions {
             shed: ShedPolicy::from_env(),
             default_deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
             drain_timeout: Duration::from_millis(ndsnn::config::env::infer_drain_ms()),
+            workers: 1,
             fault_plan: ServeFaultPlan::default(),
         }
     }
@@ -243,6 +256,7 @@ impl Default for ServeOptions {
             shed: ShedPolicy::RejectNew,
             default_deadline: None,
             drain_timeout: Duration::from_millis(ndsnn::config::env::DEFAULT_INFER_DRAIN_MS),
+            workers: 1,
             fault_plan: ServeFaultPlan::default(),
         }
     }
@@ -278,8 +292,23 @@ pub struct InferReply {
 }
 
 /// Aggregate serving counters (monotonic since start).
+///
+/// Every counter accumulates with *saturating* arithmetic, so a
+/// pathological shed storm or crash loop can pin a counter at `u64::MAX`
+/// but never wrap it back to small numbers — monitoring that alerts on
+/// large values stays correct at any uptime.
+///
+/// The counters obey an **accounting identity**: once the server is
+/// quiescent (no request in flight — e.g. after [`Server::shutdown`]),
+/// every submitted request has been answered with exactly one typed
+/// outcome, so `submitted` equals `requests + shed + deadline_expired +
+/// faulted + bad_inputs + closed`. [`ServeStats::accounting_identity`]
+/// checks it; the chaos matrices (single-model and fleet) assert it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
+    /// Requests submitted to this server (counted before validation, so
+    /// every call to [`Server::infer`] ticks it exactly once).
+    pub submitted: u64,
     /// Requests answered successfully.
     pub requests: u64,
     /// Forward passes executed (including ones that faulted).
@@ -294,8 +323,58 @@ pub struct ServeStats {
     pub restarts: u64,
     /// Requests rejected at admission for malformed content.
     pub bad_inputs: u64,
-    /// Requests failed with `ExecutorFault` (their batch panicked).
+    /// Requests whose batch failed: `ExecutorFault` (panic) or `Exec`
+    /// (typed executor error, no rebuild needed).
     pub faulted: u64,
+    /// Requests answered `Closed` (admission after shutdown began, or
+    /// still queued when the drain budget expired).
+    pub closed: u64,
+}
+
+impl ServeStats {
+    /// Requests answered with a typed outcome — the right-hand side of the
+    /// accounting identity. Saturating, like the counters themselves.
+    pub fn resolved(&self) -> u64 {
+        self.requests
+            .saturating_add(self.shed)
+            .saturating_add(self.deadline_expired)
+            .saturating_add(self.faulted)
+            .saturating_add(self.bad_inputs)
+            .saturating_add(self.closed)
+    }
+
+    /// Checks `submitted == resolved()` — every admitted request answered
+    /// by exactly one typed outcome. Only meaningful when the server is
+    /// quiescent (requests still in flight make `submitted` run ahead).
+    /// Returns a description of the imbalance on violation.
+    pub fn accounting_identity(&self) -> std::result::Result<(), String> {
+        let resolved = self.resolved();
+        if self.submitted == resolved {
+            Ok(())
+        } else {
+            Err(format!(
+                "accounting identity violated: submitted {} != resolved {} ({self:?})",
+                self.submitted, resolved
+            ))
+        }
+    }
+
+    /// Elementwise saturating sum of two stat snapshots (fleet-wide
+    /// rollups; `max_batch_seen` takes the max, not the sum).
+    pub fn merge(&self, other: &ServeStats) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.saturating_add(other.submitted),
+            requests: self.requests.saturating_add(other.requests),
+            batches: self.batches.saturating_add(other.batches),
+            max_batch_seen: self.max_batch_seen.max(other.max_batch_seen),
+            shed: self.shed.saturating_add(other.shed),
+            deadline_expired: self.deadline_expired.saturating_add(other.deadline_expired),
+            restarts: self.restarts.saturating_add(other.restarts),
+            bad_inputs: self.bad_inputs.saturating_add(other.bad_inputs),
+            faulted: self.faulted.saturating_add(other.faulted),
+            closed: self.closed.saturating_add(other.closed),
+        }
+    }
 }
 
 struct Request {
@@ -319,6 +398,7 @@ impl Request {
 
 #[derive(Default)]
 struct Counters {
+    submitted: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
     max_batch_seen: AtomicU64,
@@ -327,14 +407,30 @@ struct Counters {
     restarts: AtomicU64,
     bad_inputs: AtomicU64,
     faulted: AtomicU64,
+    closed: AtomicU64,
+}
+
+/// Saturating add on an atomic counter: a wrapped counter would make the
+/// accounting identity (and any rate alert derived from it) silently lie,
+/// so the ceiling is sticky instead.
+fn sat_add(counter: &AtomicU64, n: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(n);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
 }
 
 struct QueueState {
     queue: VecDeque<Request>,
     /// False once shutdown begins; admission then returns `Closed`.
     open: bool,
-    /// False once the dispatcher has exited its supervision loop.
-    dispatcher_live: bool,
+    /// Dispatchers still inside their supervision loops; 0 means drain is
+    /// complete.
+    live_dispatchers: usize,
 }
 
 struct Shared {
@@ -355,22 +451,24 @@ impl Shared {
     }
 }
 
-/// A running inference server: one supervised dispatcher thread, one
+/// A running inference server: [`ServeOptions::workers`] supervised
+/// dispatcher threads over one shared admission queue, each owning an
 /// executor (rebuilt from the frozen artifact after a panic).
 ///
 /// `Server` is `Sync`; any number of threads may call [`Server::infer`]
 /// concurrently. Dropping the server (or calling [`Server::shutdown`])
-/// closes admission, drains within the configured timeout and joins the
+/// closes admission, drains within the configured timeout and joins every
 /// dispatcher.
 pub struct Server {
     shared: Arc<Shared>,
-    handle: Mutex<Option<JoinHandle<()>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
     sample_len: usize,
     num_classes: usize,
     queue_cap: usize,
     shed: ShedPolicy,
     default_deadline: Option<Duration>,
     drain_timeout: Duration,
+    workers: usize,
 }
 
 impl std::fmt::Debug for Server {
@@ -399,15 +497,16 @@ impl Server {
         )
     }
 
-    /// Starts the dispatcher with full control-plane options.
+    /// Starts the dispatchers with full control-plane options.
     pub fn start_with(artifact: Arc<Artifact>, opts: ServeOptions) -> Server {
         let sample_len = artifact.sample_len();
         let num_classes = artifact.manifest.num_classes;
+        let workers = opts.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 open: true,
-                dispatcher_live: true,
+                live_dispatchers: workers,
             }),
             not_empty: Condvar::new(),
             idle: Condvar::new(),
@@ -417,22 +516,33 @@ impl Server {
             max_batch: opts.policy.max_batch.max(1),
             max_wait: opts.policy.max_wait,
         };
-        let plan = opts.fault_plan.clone();
-        let dispatcher_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("ndsnn-infer-dispatch".to_string())
-            .spawn(move || supervise(artifact, dispatcher_shared, policy, plan))
-            .expect("spawn inference dispatcher");
+        let handles = (0..workers)
+            .map(|w| {
+                let plan = opts.fault_plan.clone();
+                let dispatcher_shared = Arc::clone(&shared);
+                let dispatcher_artifact = Arc::clone(&artifact);
+                std::thread::Builder::new()
+                    .name(format!("ndsnn-infer-dispatch-{w}"))
+                    .spawn(move || supervise(dispatcher_artifact, dispatcher_shared, policy, plan))
+                    .expect("spawn inference dispatcher")
+            })
+            .collect();
         Server {
             shared,
-            handle: Mutex::new(Some(handle)),
+            handles: Mutex::new(handles),
             sample_len,
             num_classes,
             queue_cap: opts.queue_cap.max(1),
             shed: opts.shed,
             default_deadline: opts.default_deadline,
             drain_timeout: opts.drain_timeout,
+            workers,
         }
+    }
+
+    /// Number of dispatcher threads serving this model.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Submits one flat `C·H·W` image under the server's default deadline
@@ -452,8 +562,9 @@ impl Server {
         deadline: Option<Duration>,
     ) -> Result<InferReply> {
         let counters = &self.shared.counters;
+        sat_add(&counters.submitted, 1);
         if image.len() != self.sample_len {
-            counters.bad_inputs.fetch_add(1, Ordering::Relaxed);
+            sat_add(&counters.bad_inputs, 1);
             return Err(InferError::BadInput(format!(
                 "image length {} does not match artifact sample length {}",
                 image.len(),
@@ -461,7 +572,7 @@ impl Server {
             )));
         }
         if let Some(i) = image.iter().position(|v| !v.is_finite()) {
-            counters.bad_inputs.fetch_add(1, Ordering::Relaxed);
+            sat_add(&counters.bad_inputs, 1);
             return Err(InferError::BadInput(format!(
                 "non-finite pixel {} at index {i}",
                 image[i]
@@ -470,24 +581,25 @@ impl Server {
         let now = Instant::now();
         let absolute = deadline.map(|d| now + d);
         if absolute.is_some_and(|a| a <= now) {
-            counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            sat_add(&counters.deadline_expired, 1);
             return Err(InferError::DeadlineExceeded);
         }
         let (rtx, rrx) = mpsc::sync_channel(1);
         {
             let mut st = self.shared.lock_state();
-            if !st.open || !st.dispatcher_live {
+            if !st.open || st.live_dispatchers == 0 {
+                sat_add(&counters.closed, 1);
                 return Err(InferError::Closed);
             }
             if st.queue.len() >= self.queue_cap {
                 match self.shed {
                     ShedPolicy::RejectNew => {
-                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        sat_add(&counters.shed, 1);
                         return Err(InferError::Overloaded);
                     }
                     ShedPolicy::DropOldest => {
                         if let Some(victim) = st.queue.pop_front() {
-                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            sat_add(&counters.shed, 1);
                             victim.reply(Err(InferError::Overloaded));
                         }
                     }
@@ -516,6 +628,7 @@ impl Server {
     pub fn stats(&self) -> ServeStats {
         let c = &self.shared.counters;
         ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
             requests: c.requests.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             max_batch_seen: c.max_batch_seen.load(Ordering::Relaxed),
@@ -524,6 +637,7 @@ impl Server {
             restarts: c.restarts.load(Ordering::Relaxed),
             bad_inputs: c.bad_inputs.load(Ordering::Relaxed),
             faulted: c.faulted.load(Ordering::Relaxed),
+            closed: c.closed.load(Ordering::Relaxed),
         }
     }
 
@@ -556,12 +670,14 @@ impl Server {
             let mut st = self.shared.lock_state();
             st.open = false;
             self.shared.not_empty.notify_all();
-            while st.dispatcher_live {
+            while st.live_dispatchers > 0 {
                 let now = Instant::now();
                 if now >= drain_deadline {
+                    let dropped = st.queue.len() as u64;
                     for req in st.queue.drain(..) {
                         req.reply(Err(InferError::Closed));
                     }
+                    sat_add(&self.shared.counters.closed, dropped);
                     self.shared.not_empty.notify_all();
                     break;
                 }
@@ -573,7 +689,8 @@ impl Server {
                 st = guard;
             }
         }
-        if let Some(handle) = self.handle.lock().expect("server handle mutex").take() {
+        let handles = std::mem::take(&mut *self.handles.lock().expect("server handle mutex"));
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -594,17 +711,18 @@ enum LoopExit {
     Fault,
 }
 
-/// Supervision loop: owns the executor lifecycle. A faulted (or, as a
-/// backstop, panicked) dispatch loop costs one restart counter tick and a
-/// fresh `Executor` from the immutable artifact — never the server.
+/// Supervision loop: owns one dispatcher's executor lifecycle. A faulted
+/// (or, as a backstop, panicked) dispatch loop costs one restart counter
+/// tick and a fresh `Executor` from the immutable artifact — never the
+/// server, and never any sibling dispatcher.
 fn supervise(
     artifact: Arc<Artifact>,
     shared: Arc<Shared>,
     policy: BatchPolicy,
     plan: ServeFaultPlan,
 ) {
-    // Global batch sequence: survives restarts so `ServeFaultPlan` indices
-    // stay meaningful (and deterministic) across rebuilds.
+    // Per-dispatcher batch sequence: survives restarts so `ServeFaultPlan`
+    // indices stay meaningful (and deterministic) across rebuilds.
     let mut batch_seq: u64 = 0;
     loop {
         let mut exec = Executor::new(Arc::clone(&artifact));
@@ -614,12 +732,12 @@ fn supervise(
         match exit {
             Ok(LoopExit::Drained) => break,
             Ok(LoopExit::Fault) | Err(_) => {
-                shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
+                sat_add(&shared.counters.restarts, 1);
             }
         }
     }
     let mut st = shared.lock_state();
-    st.dispatcher_live = false;
+    st.live_dispatchers -= 1;
     shared.idle.notify_all();
 }
 
@@ -680,10 +798,7 @@ fn dispatch_loop(
         let mut live = Vec::with_capacity(batch.len());
         for req in batch {
             if req.expired(now) {
-                shared
-                    .counters
-                    .deadline_expired
-                    .fetch_add(1, Ordering::Relaxed);
+                sat_add(&shared.counters.deadline_expired, 1);
                 req.reply(Err(InferError::DeadlineExceeded));
             } else {
                 live.push(req);
@@ -711,10 +826,7 @@ fn expire_queued(st: &mut QueueState, shared: &Shared) {
     while i < st.queue.len() {
         if st.queue[i].expired(now) {
             let req = st.queue.remove(i).expect("index in bounds");
-            shared
-                .counters
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
+            sat_add(&shared.counters.deadline_expired, 1);
             req.reply(Err(InferError::DeadlineExceeded));
         } else {
             i += 1;
@@ -740,7 +852,7 @@ fn run_batch(
         flat.extend_from_slice(&req.image);
     }
     let counters = &shared.counters;
-    counters.batches.fetch_add(1, Ordering::Relaxed);
+    sat_add(&counters.batches, 1);
     counters
         .max_batch_seen
         .fetch_max(n as u64, Ordering::Relaxed);
@@ -754,7 +866,7 @@ fn run_batch(
     }));
     match outcome {
         Ok(Ok(logits)) => {
-            counters.requests.fetch_add(n as u64, Ordering::Relaxed);
+            sat_add(&counters.requests, n as u64);
             let data = logits.as_slice();
             for (i, req) in batch.into_iter().enumerate() {
                 let row = data[i * k..(i + 1) * k].to_vec();
@@ -774,7 +886,11 @@ fn run_batch(
             Ok(())
         }
         Ok(Err(e)) => {
+            // A typed executor error fails the batch without a rebuild;
+            // its requests count as faulted so the accounting identity
+            // covers every reply path.
             let msg = e.to_string();
+            sat_add(&counters.faulted, n as u64);
             for req in batch {
                 req.reply(Err(InferError::Exec(msg.clone())));
             }
@@ -782,7 +898,7 @@ fn run_batch(
         }
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
-            counters.faulted.fetch_add(n as u64, Ordering::Relaxed);
+            sat_add(&counters.faulted, n as u64);
             for req in batch {
                 req.reply(Err(InferError::ExecutorFault(msg.clone())));
             }
@@ -1122,6 +1238,133 @@ mod tests {
         assert_eq!(stats.restarts, 1);
         assert_eq!(stats.faulted, 1);
         assert_eq!(server.health(), HealthState::Degraded { restarts: 1 });
+    }
+
+    #[test]
+    fn sat_add_sticks_at_the_ceiling() {
+        let c = AtomicU64::new(u64::MAX - 1);
+        sat_add(&c, 1);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+        sat_add(&c, 5);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX, "must not wrap");
+        let fresh = AtomicU64::new(3);
+        sat_add(&fresh, 4);
+        assert_eq!(fresh.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn stats_resolved_and_identity() {
+        let mut s = ServeStats {
+            submitted: 10,
+            requests: 4,
+            shed: 2,
+            deadline_expired: 1,
+            faulted: 1,
+            bad_inputs: 1,
+            closed: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(s.resolved(), 10);
+        assert!(s.accounting_identity().is_ok());
+        s.submitted = 11; // one in flight
+        let err = s.accounting_identity().unwrap_err();
+        assert!(err.contains("submitted 11"), "{err}");
+        // Saturating resolved: counters pinned at the ceiling don't wrap.
+        let pinned = ServeStats {
+            submitted: u64::MAX,
+            requests: u64::MAX,
+            shed: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(pinned.resolved(), u64::MAX);
+        assert!(pinned.accounting_identity().is_ok());
+    }
+
+    #[test]
+    fn stats_merge_is_saturating_and_takes_batch_max() {
+        let a = ServeStats {
+            submitted: u64::MAX - 1,
+            requests: 3,
+            max_batch_seen: 4,
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            submitted: 5,
+            requests: 2,
+            max_batch_seen: 9,
+            ..ServeStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.submitted, u64::MAX);
+        assert_eq!(m.requests, 5);
+        assert_eq!(m.max_batch_seen, 9);
+    }
+
+    #[test]
+    fn multi_worker_server_answers_everything_bit_identically() {
+        let art = toy_artifact();
+        // Single-worker unbatched reference bits.
+        let reference: Vec<Vec<u32>> = {
+            let server = Server::start(
+                Arc::clone(&art),
+                BatchPolicy {
+                    max_batch: 1,
+                    max_wait: Duration::from_micros(0),
+                },
+            );
+            (0..24)
+                .map(|g| {
+                    let reply = server.infer(&[g as f32 * 0.1, 0.2, -0.3, 0.4]).unwrap();
+                    reply.logits.iter().map(|v| v.to_bits()).collect()
+                })
+                .collect()
+        };
+        let server = Arc::new(Server::start_with(
+            Arc::clone(&art),
+            ServeOptions {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(100),
+                },
+                workers: 3,
+                ..ServeOptions::default()
+            },
+        ));
+        assert_eq!(server.workers(), 3);
+        let mut handles = Vec::new();
+        for g in 0..24 {
+            let s = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                (g, s.infer(&[g as f32 * 0.1, 0.2, -0.3, 0.4]).unwrap())
+            }));
+        }
+        for h in handles {
+            let (g, reply) = h.join().unwrap();
+            let bits: Vec<u32> = reply.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference[g], "worker identity broke request {g}");
+        }
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.requests, 24);
+        assert_eq!(stats.submitted, 24);
+        stats.accounting_identity().expect("quiescent identity");
+    }
+
+    #[test]
+    fn closed_requests_are_counted() {
+        let server = Server::start(toy_artifact(), BatchPolicy::default());
+        server.infer(&[0.5; 4]).unwrap();
+        server.shutdown();
+        assert!(matches!(
+            server.infer(&[0.5; 4]).unwrap_err(),
+            InferError::Closed
+        ));
+        let stats = server.stats();
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.submitted, 2);
+        stats
+            .accounting_identity()
+            .expect("closed is a typed outcome");
     }
 
     #[test]

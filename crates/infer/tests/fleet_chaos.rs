@@ -1,0 +1,314 @@
+//! Fleet isolation chaos test: one shard gets injected panics, slow
+//! batches, and queue overload while a sibling model keeps serving.
+//!
+//! The invariants pinned here extend the single-server chaos matrix to the
+//! multi-model layer:
+//!
+//! 1. **Bit-level isolation** — every successful reply from the *sibling*
+//!    shard is bit-identical to an unfaulted single-model reference
+//!    server's answer for the same image, no matter what the victim shard
+//!    is going through next door.
+//! 2. **Latency isolation** — the sibling's p99 stays within a generous
+//!    absolute gate while the victim's dispatcher is stalled for hundreds
+//!    of milliseconds at a time.
+//! 3. **Independent degradation** — the victim ends `Degraded`, the
+//!    sibling ends `Healthy`, and *each* shard's counters satisfy the
+//!    accounting identity on their own.
+//! 4. **Unknown names touch nothing** — routing misses are answered
+//!    synchronously and appear only in the router's `unknown_model`
+//!    counter.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ndsnn_infer::fleet::Fleet;
+use ndsnn_infer::{
+    Artifact, BatchPolicy, FleetOptions, HealthState, InferError, Manifest, ModelRegistry, Op,
+    RegistryOptions, Router, ServeFaultPlan, ServeOptions, Server, ShedPolicy, WeightStore,
+};
+use ndsnn_tensor::Tensor;
+
+const SAMPLE_LEN: usize = 4;
+const SIBLING_THREADS: usize = 4;
+const SIBLING_PER_THREAD: usize = 30;
+const SIBLING_TOTAL: usize = SIBLING_THREADS * SIBLING_PER_THREAD;
+const VICTIM_THREADS: usize = 6;
+const VICTIM_PER_THREAD: usize = 25;
+
+fn toy_artifact_bytes(salt: u32) -> Vec<u8> {
+    let b = salt as f32 / 16.0;
+    let w = Tensor::from_vec([2, 4], vec![1.0, -1.0, 0.5, 0.0, -0.5, 2.0, 0.0, 1.0]).unwrap();
+    Artifact {
+        manifest: Manifest {
+            arch: format!("toy-{salt}"),
+            timesteps: 2,
+            in_channels: 1,
+            image_size: 2,
+            num_classes: 2,
+            mask_digest: salt as u64,
+            config_json: "{}".to_string(),
+            densities: vec![],
+        },
+        ops: vec![
+            Op::Flatten {
+                name: "f".to_string(),
+            },
+            Op::Lif {
+                name: "lif".to_string(),
+                alpha: 0.5,
+                v_threshold: 0.5,
+                hard_reset: false,
+            },
+            Op::Linear {
+                name: "fc".to_string(),
+                out_features: 2,
+                in_features: 4,
+                weight: WeightStore::Dense(w),
+                bias: Some(Tensor::from_slice(&[0.25 + b, -0.25])),
+            },
+        ],
+    }
+    .encode()
+}
+
+fn image_for(g: usize) -> Vec<f32> {
+    (0..SAMPLE_LEN)
+        .map(|j| ((g * 37 + j * 13) % 100) as f32 / 50.0 - 1.0)
+        .collect()
+}
+
+/// Reference logits (as bits) for the sibling model from an unfaulted,
+/// unbatched, single-model server — the gold standard the fleet's sibling
+/// shard must match bit-for-bit under chaos next door.
+fn sibling_reference_bits(artifact: &Arc<Artifact>) -> Vec<Vec<u32>> {
+    let server = Server::start(
+        Arc::clone(artifact),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_micros(0),
+        },
+    );
+    let bits = (0..SIBLING_TOTAL)
+        .map(|g| {
+            let reply = server.infer(&image_for(g)).expect("reference infer");
+            reply.logits.iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+    server.shutdown();
+    bits
+}
+
+#[test]
+fn sibling_shard_is_isolated_from_victim_chaos() {
+    // Both models resident in one registry; the fleet pins them.
+    let registry = ModelRegistry::new(RegistryOptions {
+        budget_bytes: 0,
+        max_models: 8,
+    });
+    let sibling_artifact = registry.register("sibling", toy_artifact_bytes(1)).unwrap();
+    registry.register("victim", toy_artifact_bytes(2)).unwrap();
+    let reference = sibling_reference_bits(&sibling_artifact);
+
+    let plan = ServeFaultPlan::seeded(0xF1EE7, 8, 3, 2, Duration::from_millis(40));
+    let injected_panics = plan.panic_at_batches.len() as u64;
+    assert!(injected_panics >= 1, "seed must place at least one panic");
+
+    let mut opts = FleetOptions {
+        // One deterministic dispatcher per shard (fault plans number
+        // batches per worker).
+        total_workers: 0,
+        serve: ServeOptions {
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+            },
+            // Tiny queue, sized to the client mix: 4 sibling producers can
+            // have at most 4 requests outstanding so the sibling shard
+            // never overflows, while 6 victim producers overflow theirs
+            // whenever the victim dispatcher is stalled or rebuilding.
+            queue_cap: 4,
+            shed: ShedPolicy::RejectNew,
+            ..ServeOptions::default()
+        },
+        fault_plans: Default::default(),
+    };
+    opts.fault_plans.insert("victim".to_string(), plan);
+
+    let fleet = Fleet::from_registry(&registry, &[("sibling", 1.0), ("victim", 1.0)], opts)
+        .expect("fleet start");
+    assert!(
+        registry.models().iter().all(|m| m.pinned),
+        "fleet must pin what it serves"
+    );
+    let router = Arc::new(Router::new(fleet));
+
+    // Victim clients: flood the faulted shard so it sheds, panics, stalls.
+    let mut victim_handles = Vec::new();
+    for t in 0..VICTIM_THREADS {
+        let r = Arc::clone(&router);
+        victim_handles.push(std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for i in 0..VICTIM_PER_THREAD {
+                let g = t * VICTIM_PER_THREAD + i;
+                outcomes.push(r.infer("victim", &image_for(g)));
+            }
+            outcomes
+        }));
+    }
+
+    // Sibling clients: clean concurrent traffic on the healthy shard.
+    let mut sibling_handles = Vec::new();
+    for t in 0..SIBLING_THREADS {
+        let r = Arc::clone(&router);
+        sibling_handles.push(std::thread::spawn(move || {
+            let mut replies = Vec::with_capacity(SIBLING_PER_THREAD);
+            for i in 0..SIBLING_PER_THREAD {
+                let g = t * SIBLING_PER_THREAD + i;
+                let reply = r
+                    .infer("sibling", &image_for(g))
+                    .expect("sibling request failed during victim chaos");
+                replies.push((g, reply));
+            }
+            replies
+        }));
+    }
+
+    // Routing misses are synchronous and touch no shard.
+    for _ in 0..5 {
+        assert!(matches!(
+            router.infer("ghost", &image_for(0)).unwrap_err(),
+            InferError::UnknownModel(_)
+        ));
+    }
+
+    // Sibling invariant 1+2: every reply bit-identical to the unfaulted
+    // single-model reference; p99 within a generous absolute gate while the
+    // victim shard sits through 40 ms stalls and panics.
+    let mut latencies = Vec::with_capacity(SIBLING_TOTAL);
+    for h in sibling_handles {
+        for (g, reply) in h.join().expect("sibling client") {
+            let bits: Vec<u32> = reply.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits, reference[g],
+                "sibling request {g}: logits diverged while victim was faulted"
+            );
+            latencies.push(reply.latency);
+        }
+    }
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    assert!(
+        p99 < Duration::from_millis(250),
+        "sibling p99 {p99:?} blew the isolation gate"
+    );
+
+    // Victim outcomes: only the typed vocabulary, never a hang.
+    for h in victim_handles {
+        for outcome in h.join().expect("victim client") {
+            match outcome {
+                Ok(_)
+                | Err(InferError::Overloaded)
+                | Err(InferError::ExecutorFault(_))
+                | Err(InferError::DeadlineExceeded) => {}
+                Err(e) => panic!("victim request: unexpected outcome {e}"),
+            }
+        }
+    }
+
+    // Invariant 3: independent degradation + per-shard accounting.
+    let health = router.health();
+    assert_eq!(health["sibling"], HealthState::Healthy);
+    assert_eq!(
+        health["victim"],
+        HealthState::Degraded {
+            restarts: injected_panics
+        }
+    );
+
+    let stats = router.stats();
+    assert_eq!(stats.unknown_model, 5);
+    let sibling = &stats.per_model["sibling"];
+    assert_eq!(sibling.routed, SIBLING_TOTAL as u64);
+    assert_eq!(sibling.serve.requests, SIBLING_TOTAL as u64);
+    assert_eq!(sibling.serve.shed, 0, "sibling must never shed");
+    assert_eq!(sibling.serve.faulted, 0, "sibling must never fault");
+    let victim = &stats.per_model["victim"];
+    assert_eq!(victim.routed, (VICTIM_THREADS * VICTIM_PER_THREAD) as u64);
+    assert!(victim.serve.faulted > 0, "victim must observe its faults");
+    assert!(
+        victim.serve.shed > 0,
+        "victim must shed under overload: {:?}",
+        victim.serve
+    );
+
+    router.shutdown();
+    for (name, s) in router.fleet().stats() {
+        assert_eq!(s.submitted, stats.per_model[&name].routed);
+        s.accounting_identity()
+            .unwrap_or_else(|e| panic!("shard {name}: {e}"));
+    }
+    // Fleet totals are the saturating merge of the shards.
+    let totals = router.stats().fleet_totals();
+    assert_eq!(
+        totals.submitted,
+        (SIBLING_TOTAL + VICTIM_THREADS * VICTIM_PER_THREAD) as u64
+    );
+    totals.accounting_identity().expect("fleet-wide identity");
+
+    // Shut-down fleet answers Closed, not a hang.
+    assert!(matches!(
+        router.infer("sibling", &image_for(0)).unwrap_err(),
+        InferError::Closed
+    ));
+}
+
+#[test]
+fn weighted_fleet_carves_workers_by_popularity() {
+    let registry = ModelRegistry::new(RegistryOptions::default());
+    registry.register("hot", toy_artifact_bytes(1)).unwrap();
+    registry.register("cold", toy_artifact_bytes(2)).unwrap();
+    let fleet = Fleet::from_registry(
+        &registry,
+        &[("hot", 3.0), ("cold", 1.0)],
+        FleetOptions {
+            total_workers: 8,
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(fleet.shard_workers("hot"), Some(6));
+    assert_eq!(fleet.shard_workers("cold"), Some(2));
+    assert_eq!(fleet.shard_weight("hot"), Some(3.0));
+    // Both shards serve correct logits through the router.
+    let router = Router::new(fleet);
+    assert!(router.infer("hot", &image_for(3)).is_ok());
+    assert!(router.infer("cold", &image_for(3)).is_ok());
+    router.shutdown();
+}
+
+#[test]
+fn fleet_rejects_bad_configurations() {
+    assert!(matches!(
+        Fleet::start(vec![], FleetOptions::default()).unwrap_err(),
+        InferError::Registry(_)
+    ));
+    let registry = ModelRegistry::new(RegistryOptions::default());
+    registry.register("m", toy_artifact_bytes(1)).unwrap();
+    assert!(matches!(
+        Fleet::from_registry(
+            &registry,
+            &[("m", 1.0), ("m", 1.0)],
+            FleetOptions::default()
+        )
+        .unwrap_err(),
+        InferError::Registry(_)
+    ));
+    assert!(matches!(
+        Fleet::from_registry(&registry, &[("m", -1.0)], FleetOptions::default()).unwrap_err(),
+        InferError::Registry(_)
+    ));
+    assert!(matches!(
+        Fleet::from_registry(&registry, &[("ghost", 1.0)], FleetOptions::default()).unwrap_err(),
+        InferError::UnknownModel(_)
+    ));
+}

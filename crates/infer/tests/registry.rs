@@ -1,0 +1,274 @@
+//! Property and policy tests for the multi-model registry: content-digest
+//! dedup, budget-respecting LRU eviction, pin semantics, hostile-artifact
+//! rejection at the door, and failure atomicity (a refused registration
+//! leaves the registry bit-for-bit unchanged).
+
+use std::sync::Arc;
+
+use ndsnn_infer::{
+    content_digest, Artifact, InferError, Manifest, ModelRegistry, Op, RegistryOptions, WeightStore,
+};
+use ndsnn_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Encoded toy artifact whose bytes vary with `salt` (distinct digests for
+/// distinct salts, identical bytes for equal salts).
+fn toy_bytes(salt: u32) -> Vec<u8> {
+    let b = salt as f32 / 16.0;
+    let w = Tensor::from_vec([2, 4], vec![1.0, -1.0, 0.5, 0.0, -0.5, 2.0, 0.0, 1.0]).unwrap();
+    Artifact {
+        manifest: Manifest {
+            arch: format!("toy-{salt}"),
+            timesteps: 2,
+            in_channels: 1,
+            image_size: 2,
+            num_classes: 2,
+            mask_digest: salt as u64,
+            config_json: "{}".to_string(),
+            densities: vec![],
+        },
+        ops: vec![
+            Op::Flatten {
+                name: "f".to_string(),
+            },
+            Op::Lif {
+                name: "lif".to_string(),
+                alpha: 0.5,
+                v_threshold: 0.5,
+                hard_reset: false,
+            },
+            Op::Linear {
+                name: "fc".to_string(),
+                out_features: 2,
+                in_features: 4,
+                weight: WeightStore::Dense(w),
+                bias: Some(Tensor::from_slice(&[0.25 + b, -0.25])),
+            },
+        ],
+    }
+    .encode()
+}
+
+fn registry(budget_bytes: u64, max_models: usize) -> ModelRegistry {
+    ModelRegistry::new(RegistryOptions {
+        budget_bytes,
+        max_models,
+    })
+}
+
+/// Snapshot for atomicity checks: (models, resident bytes).
+fn snapshot(reg: &ModelRegistry) -> (Vec<String>, u64) {
+    (
+        reg.models().into_iter().map(|m| m.name).collect(),
+        reg.resident_bytes(),
+    )
+}
+
+#[test]
+fn same_bytes_are_resident_once() {
+    let reg = registry(0, 64);
+    let bytes = toy_bytes(1);
+    let a = reg.register("alpha", bytes.clone()).unwrap();
+    let b = reg.register("beta", bytes.clone()).unwrap();
+    // One decoded copy shared by both names…
+    assert!(Arc::ptr_eq(&a, &b), "dedup must share the decoded Arc");
+    // …and the budget charged once.
+    assert_eq!(reg.len(), 2);
+    assert_eq!(reg.resident_bytes(), bytes.len() as u64);
+    let models = reg.models();
+    assert!(models.iter().all(|m| m.shared));
+    assert_eq!(models[0].digest, models[1].digest);
+    assert_eq!(models[0].digest, content_digest(&bytes));
+
+    // Evicting one name keeps the blob; evicting both frees it.
+    assert!(reg.evict("alpha"));
+    assert_eq!(reg.resident_bytes(), bytes.len() as u64);
+    assert!(reg.evict("beta"));
+    assert_eq!(reg.resident_bytes(), 0);
+    assert!(reg.is_empty());
+}
+
+#[test]
+fn distinct_bytes_get_distinct_digests() {
+    let (a, b) = (toy_bytes(1), toy_bytes(2));
+    assert_ne!(content_digest(&a), content_digest(&b));
+    let reg = registry(0, 64);
+    reg.register("a", a.clone()).unwrap();
+    reg.register("b", b.clone()).unwrap();
+    assert_eq!(reg.resident_bytes(), (a.len() + b.len()) as u64);
+    assert!(reg.models().iter().all(|m| !m.shared));
+}
+
+#[test]
+fn duplicate_names_are_refused_atomically() {
+    let reg = registry(0, 64);
+    reg.register("m", toy_bytes(1)).unwrap();
+    let before = snapshot(&reg);
+    let err = reg.register("m", toy_bytes(2)).unwrap_err();
+    assert!(matches!(err, InferError::Registry(_)), "{err}");
+    assert_eq!(snapshot(&reg), before, "failed register must not mutate");
+}
+
+#[test]
+fn lru_eviction_respects_recency_order() {
+    let unit = toy_bytes(1).len() as u64;
+    // Room for exactly two resident blobs.
+    let reg = registry(2 * unit, 64);
+    reg.register("a", toy_bytes(1)).unwrap();
+    reg.register("b", toy_bytes(2)).unwrap();
+    // Touch `a`: now `b` is the least recently used.
+    reg.get("a").unwrap();
+    reg.register("c", toy_bytes(3)).unwrap();
+    assert!(reg.contains("a"), "recently used name must survive");
+    assert!(!reg.contains("b"), "LRU name must be evicted");
+    assert!(reg.contains("c"));
+    assert_eq!(reg.resident_bytes(), 2 * unit);
+}
+
+#[test]
+fn pinned_models_survive_eviction_pressure() {
+    let unit = toy_bytes(1).len() as u64;
+    let reg = registry(2 * unit, 64);
+    reg.register("pinned", toy_bytes(1)).unwrap();
+    reg.pin("pinned").unwrap();
+    reg.register("b", toy_bytes(2)).unwrap();
+    // Oldest LRU slot belongs to `pinned`, but eviction must skip it.
+    reg.register("c", toy_bytes(3)).unwrap();
+    assert!(reg.contains("pinned"));
+    assert!(!reg.contains("b"));
+    assert!(reg.contains("c"));
+
+    // With everything pinned and the budget full, registration refuses
+    // and the registry is unchanged.
+    reg.pin("c").unwrap();
+    let before = snapshot(&reg);
+    let err = reg.register("d", toy_bytes(4)).unwrap_err();
+    assert!(matches!(err, InferError::Registry(_)), "{err}");
+    assert_eq!(snapshot(&reg), before);
+
+    // Unpinning re-enables admission.
+    reg.unpin("c").unwrap();
+    reg.register("d", toy_bytes(4)).unwrap();
+    assert!(reg.contains("pinned") && reg.contains("d") && !reg.contains("c"));
+}
+
+#[test]
+fn model_cap_is_enforced_with_lru() {
+    let reg = registry(0, 2);
+    reg.register("a", toy_bytes(1)).unwrap();
+    reg.register("b", toy_bytes(2)).unwrap();
+    reg.get("a").unwrap();
+    reg.register("c", toy_bytes(3)).unwrap();
+    assert_eq!(reg.len(), 2);
+    assert!(reg.contains("a") && reg.contains("c") && !reg.contains("b"));
+}
+
+#[test]
+fn oversized_artifact_is_refused_outright() {
+    let bytes = toy_bytes(1);
+    let reg = registry(bytes.len() as u64 - 1, 64);
+    let err = reg.register("big", bytes).unwrap_err();
+    assert!(matches!(err, InferError::Registry(_)), "{err}");
+    assert!(reg.is_empty());
+    assert_eq!(reg.resident_bytes(), 0);
+}
+
+#[test]
+fn hostile_bytes_never_become_resident() {
+    let good = toy_bytes(1);
+    let reg = registry(0, 64);
+    reg.register("good", good.clone()).unwrap();
+    let before = snapshot(&reg);
+
+    // Truncation at every offset: rejected, registry untouched.
+    for cut in 0..good.len() {
+        let err = reg.register("evil", good[..cut].to_vec()).unwrap_err();
+        assert!(
+            matches!(err, InferError::InvalidArtifact(_)),
+            "truncation at {cut} must be invalid, got {err}"
+        );
+    }
+    // Single-bit flips: either rejected or (for bits the checksum cannot
+    // see, which NDCKPT2 has none of) decoded — but never a panic and
+    // never a half-mutated registry. Stride keeps the loop fast.
+    for pos in (0..good.len()).step_by(7) {
+        let mut evil = good.clone();
+        evil[pos] ^= 0x10;
+        if reg.register("evil", evil).is_ok() {
+            reg.evict("evil");
+        }
+    }
+    assert_eq!(snapshot(&reg), before);
+    assert!(!reg.contains("evil"));
+}
+
+#[test]
+fn unknown_names_answer_unknown_model() {
+    let reg = registry(0, 64);
+    assert!(reg.get("ghost").is_none());
+    assert!(!reg.evict("ghost"));
+    assert!(matches!(
+        reg.pin("ghost").unwrap_err(),
+        InferError::UnknownModel(_)
+    ));
+    assert!(matches!(
+        reg.unpin("ghost").unwrap_err(),
+        InferError::UnknownModel(_)
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of register/get/evict against a small budget keeps
+    /// the registry's books exact: resident bytes equal the sum of distinct
+    /// resident digests' sizes, never exceed the budget, and the name count
+    /// never exceeds the cap.
+    #[test]
+    fn registry_books_stay_exact(ops in proptest::collection::vec((0u8..3, 0u32..6), 1..40)) {
+        let unit = toy_bytes(0).len() as u64;
+        let reg = registry(3 * unit, 4);
+        for (kind, salt) in ops {
+            let name = format!("m{salt}");
+            match kind {
+                0 => { let _ = reg.register(&name, toy_bytes(salt)); }
+                1 => { let _ = reg.get(&name); }
+                _ => { let _ = reg.evict(&name); }
+            }
+            let models = reg.models();
+            prop_assert!(models.len() <= 4);
+            prop_assert!(reg.resident_bytes() <= 3 * unit);
+            let mut digests: Vec<u64> = models.iter().map(|m| m.digest).collect();
+            digests.sort_unstable();
+            digests.dedup();
+            let expected: u64 = digests
+                .iter()
+                .map(|d| {
+                    models
+                        .iter()
+                        .find(|m| m.digest == *d)
+                        .map(|m| m.encoded_bytes as u64)
+                        .unwrap()
+                })
+                .sum();
+            prop_assert_eq!(reg.resident_bytes(), expected);
+            // Shared flags agree with digest multiplicity.
+            for m in &models {
+                let copies = models.iter().filter(|x| x.digest == m.digest).count();
+                prop_assert_eq!(m.shared, copies > 1);
+            }
+        }
+    }
+
+    /// Registered models always round-trip: `get` returns an artifact whose
+    /// manifest matches what the bytes encoded.
+    #[test]
+    fn resident_models_decode_consistently(salt in 0u32..32) {
+        let reg = registry(0, 64);
+        let bytes = toy_bytes(salt);
+        let from_register = reg.register("m", bytes).unwrap();
+        let from_get = reg.get("m").unwrap();
+        prop_assert!(Arc::ptr_eq(&from_register, &from_get));
+        prop_assert_eq!(&from_get.manifest.arch, &format!("toy-{salt}"));
+    }
+}

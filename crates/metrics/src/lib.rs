@@ -10,6 +10,8 @@
 //! - [`table`]: aligned text tables / CSV for regenerating Tables I–III,
 //! - [`quant`]: logit-drift / argmax-agreement scoring and per-layer
 //!   artifact-size accounting for the int8 inference path,
+//! - [`fleet`]: per-model latency/outcome rollups (nearest-rank
+//!   percentiles, pooled fleet-wide tails) for multi-model serving,
 //! - [`series`]: CSV + ASCII line charts for regenerating Figures 1/4/5.
 //!
 //! ## Example: compute a relative training cost
@@ -29,6 +31,7 @@
 
 pub mod confusion;
 pub mod cost;
+pub mod fleet;
 pub mod flops;
 pub mod json;
 pub mod meters;
